@@ -1,0 +1,108 @@
+// Linearity audit (Fig. 1 / §II "Linearity"): messages per committed
+// operation as the cluster grows. PBFT's all-to-all rounds grow
+// quadratically with n; SBFT's collector pattern stays linear, and the
+// execution collector gives each client a single acknowledgement message.
+#include <cstdio>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/experiment.h"
+
+using namespace sbft;
+using namespace sbft::harness;
+
+namespace {
+
+struct Audit {
+  double msgs_per_request;
+  double bytes_per_request;
+  double acks_per_request;  // messages from replicas to clients
+};
+
+Audit audit(ProtocolKind kind, uint32_t f, uint32_t c) {
+  ClusterOptions opts;
+  opts.kind = kind;
+  opts.f = f;
+  opts.c = c;
+  opts.num_clients = 4;
+  opts.requests_per_client = 25;
+  opts.topology = sim::lan_topology();
+  opts.seed = 17;
+  Cluster cluster(std::move(opts));
+  if (!cluster.run_until_done(600'000'000)) {
+    std::printf("!!INCOMPLETE RUN!!\n");
+  }
+  if (!cluster.check_agreement()) std::printf("!!AGREEMENT VIOLATION!!\n");
+
+  uint64_t requests = 0;
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    requests += cluster.client(i).completed();
+  }
+  auto& stats = cluster.network().stats_by_type();
+  auto totals = cluster.network().total_stats();
+  // Client-facing acknowledgements: execute-ack + client-reply.
+  auto type_index = [](auto tag) {
+    return Message(decltype(tag){}).index();
+  };
+  uint64_t acks = stats[type_index(ExecuteAckMsg{})].count +
+                  stats[type_index(ClientReplyMsg{})].count;
+  Audit out;
+  out.msgs_per_request = static_cast<double>(totals.count) / requests;
+  out.bytes_per_request = static_cast<double>(totals.bytes) / requests;
+  out.acks_per_request = static_cast<double>(acks) / requests;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Message complexity per committed request (Fig. 1 / §II "
+              "Linearity) ===\n\n");
+  std::vector<uint32_t> fs = {1, 2, 4, 8};
+  if (bench_full_mode()) fs = {1, 2, 4, 8, 16, 32, 64};
+
+  std::printf("%-22s", "protocol \\ n");
+  for (uint32_t f : fs) std::printf("%12u", 3 * f + 1);
+  std::printf("\n");
+
+  struct Spec {
+    ProtocolKind kind;
+    uint32_t c;
+    const char* label;
+  };
+  const Spec specs[] = {
+      {ProtocolKind::kPbft, 0, "PBFT msgs/req"},
+      {ProtocolKind::kLinearPbft, 0, "Linear-PBFT msgs/req"},
+      {ProtocolKind::kSbft, 0, "SBFT msgs/req"},
+  };
+  std::vector<std::vector<Audit>> audits(std::size(specs));
+  for (size_t s = 0; s < std::size(specs); ++s) {
+    std::printf("%-22s", specs[s].label);
+    for (uint32_t f : fs) {
+      Audit a = audit(specs[s].kind, f, specs[s].c);
+      audits[s].push_back(a);
+      std::printf("%12.1f", a.msgs_per_request);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-22s", "SBFT client acks/req");
+  for (size_t i = 0; i < fs.size(); ++i)
+    std::printf("%12.2f", audits[2][i].acks_per_request);
+  std::printf("\n%-22s", "PBFT client acks/req");
+  for (size_t i = 0; i < fs.size(); ++i)
+    std::printf("%12.2f", audits[0][i].acks_per_request);
+
+  // Growth factors: quadratic protocols scale ~ (n2/n1)^2 between sizes.
+  std::printf("\n\ngrowth from n=%u to n=%u:  PBFT %.1fx,  Linear-PBFT %.1fx,  "
+              "SBFT %.1fx  (n ratio %.1fx)\n",
+              3 * fs.front() + 1, 3 * fs.back() + 1,
+              audits[0].back().msgs_per_request / audits[0].front().msgs_per_request,
+              audits[1].back().msgs_per_request / audits[1].front().msgs_per_request,
+              audits[2].back().msgs_per_request / audits[2].front().msgs_per_request,
+              static_cast<double>(3 * fs.back() + 1) / (3 * fs.front() + 1));
+  std::printf("Expected: PBFT grows ~quadratically; Linear-PBFT/SBFT grow "
+              "~linearly; SBFT clients receive ~1 ack vs PBFT's >= f+1.\n");
+  return 0;
+}

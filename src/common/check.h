@@ -1,0 +1,19 @@
+// Internal invariant checks. SBFT_CHECK is always on (these are protocol
+// invariants whose violation means a bug, and the cost is negligible next to
+// crypto and simulation work).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sbft::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "SBFT_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace sbft::detail
+
+#define SBFT_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr)) ::sbft::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,107 @@
+#include "core/client.h"
+
+#include "crypto/sha256.h"
+
+namespace sbft::core {
+
+SbftClient::SbftClient(ClientOptions options) : opts_(std::move(options)) {
+  SBFT_CHECK(opts_.op_factory != nullptr);
+}
+
+void SbftClient::on_start(sim::ActorContext& ctx) { send_next(ctx); }
+
+void SbftClient::send_next(sim::ActorContext& ctx) {
+  if (done()) return;
+  current_op_ = opts_.op_factory(completed(), ctx.rng());
+  ++timestamp_;
+  outstanding_ = true;
+  sent_at_ = ctx.now();
+  reply_tally_.clear();
+
+  Request req;
+  req.client = opts_.id;
+  req.timestamp = timestamp_;
+  req.op = current_op_;
+  req.client_sig = Bytes(opts_.signature_size, 0xab);  // size-modeled signature
+  ctx.charge(ctx.costs().rsa_sign_us);
+
+  // First attempt goes to the replica we believe reaches the primary (any
+  // correct replica forwards, §V-A); retries broadcast and rotate the hint.
+  ctx.send(primary_hint_, make_message(ClientRequestMsg{std::move(req)}));
+  ctx.set_timer(opts_.retry_timeout_us, ++timer_gen_);
+}
+
+bool verify_execute_ack(const ReplicaCrypto& crypto, ClientId client,
+                        const ExecuteAckMsg& ack) {
+  Digest leaf = exec_leaf(client, ack.timestamp, crypto::sha256(as_span(ack.value)));
+  if (!merkle::BlockMerkleTree::verify(ack.cert.ops_root, leaf, ack.proof))
+    return false;
+  return crypto.pi_verifier->verify(ack.cert.exec_digest(),
+                                    as_span(ack.cert.pi_sig));
+}
+
+bool SbftClient::verify_execute_ack(const ExecuteAckMsg& m,
+                                    sim::ActorContext& ctx) const {
+  ctx.charge(ctx.costs().hash_us(512));
+  ctx.charge(ctx.costs().bls_verify_combined_us);
+  return core::verify_execute_ack(opts_.crypto, opts_.id, m);
+}
+
+void SbftClient::complete(bool fast_ack, sim::ActorContext& ctx) {
+  outstanding_ = false;
+  ClientRecord rec;
+  rec.completed_at = ctx.now();
+  rec.latency_us = ctx.now() - sent_at_;
+  rec.via_fast_ack = fast_ack;
+  records_.push_back(rec);
+  send_next(ctx);
+}
+
+void SbftClient::on_message(NodeId /*from*/, const Message& msg,
+                            sim::ActorContext& ctx) {
+  if (!outstanding_) return;
+  if (const auto* ack = std::get_if<ExecuteAckMsg>(&msg)) {
+    if (ack->client != opts_.id || ack->timestamp != timestamp_) return;
+    if (!verify_execute_ack(*ack, ctx)) {
+      ++rejected_acks_;
+      return;
+    }
+    complete(/*fast_ack=*/true, ctx);
+    return;
+  }
+  if (const auto* reply = std::get_if<ClientReplyMsg>(&msg)) {
+    if (reply->client != opts_.id || reply->timestamp != timestamp_) return;
+    if (reply->replica == 0 || reply->replica > opts_.config.n()) return;
+    // Each reply carries a replica signature the client must verify — the
+    // f+1 acknowledgement cost that SBFT's ingredient 3 removes (§V-A).
+    ctx.charge(ctx.costs().rsa_verify_us);
+    reply_tally_[reply->replica] = crypto::sha256(as_span(reply->value));
+    // f+1 matching replies from distinct replicas (§V-A fallback).
+    std::map<Digest, uint32_t> counts;
+    for (const auto& [replica, digest] : reply_tally_) ++counts[digest];
+    for (const auto& [digest, count] : counts) {
+      if (count >= opts_.config.f + 1) {
+        complete(/*fast_ack=*/false, ctx);
+        return;
+      }
+    }
+  }
+}
+
+void SbftClient::on_timer(uint64_t id, sim::ActorContext& ctx) {
+  if (!outstanding_ || id != timer_gen_) return;
+  ++retries_;
+  primary_hint_ = (primary_hint_ + 1) % opts_.config.n();  // rotate away from a dead node
+  // Retry: broadcast to all replicas and ask for the f+1 acknowledgement
+  // path (replicas reply directly from their caches once executed).
+  Request req;
+  req.client = opts_.id;
+  req.timestamp = timestamp_;
+  req.op = current_op_;
+  req.client_sig = Bytes(opts_.signature_size, 0xab);
+  auto msg = make_message(ClientRequestMsg{std::move(req)});
+  for (NodeId r = 0; r < opts_.config.n(); ++r) ctx.send(r, msg);
+  ctx.set_timer(opts_.retry_timeout_us, ++timer_gen_);
+}
+
+}  // namespace sbft::core

@@ -1,0 +1,1303 @@
+#include "core/replica.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace sbft::core {
+
+namespace {
+
+// Timer identifiers: kind in the top 16 bits, sequence/payload below.
+enum TimerKind : uint64_t {
+  kBatchTimer = 1,
+  kFastPathTimer = 2,
+  kStaggerFast = 3,
+  kStaggerPrepare = 4,
+  kStaggerSlow = 5,
+  kStaggerExec = 6,
+  kProgressTimer = 7,
+  kStateTransferTimer = 8,
+  kShareFallback = 9,   // re-send sign-share to the primary (stalled slot)
+  kStateFallback = 10,  // re-send sign-state to the primary (stalled cert)
+};
+
+uint64_t timer_id(TimerKind kind, uint64_t payload) {
+  return (static_cast<uint64_t>(kind) << 48) | (payload & 0xffffffffffffull);
+}
+TimerKind timer_kind(uint64_t id) { return static_cast<TimerKind>(id >> 48); }
+uint64_t timer_payload(uint64_t id) { return id & 0xffffffffffffull; }
+
+Digest empty_ops_root() { return crypto::sha256("sbft.empty-ops"); }
+Digest genesis_digest() { return crypto::sha256("sbft.genesis"); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-slot state
+
+struct SbftReplica::Slot {
+  // Accepted pre-prepare (highest view).
+  bool has_pp = false;
+  ViewNum pp_view = 0;
+  Digest block_digest{};
+  std::optional<Block> block;
+  Digest h{};
+  Bytes own_sigma_share;  // kept for the view-change fm vote
+
+  // Prepare certificate (slow path).
+  bool has_cert = false;
+  ViewNum cert_view = 0;
+  Digest cert_digest{};
+  Bytes cert_tau;
+  bool sent_commit_share = false;
+
+  // Full proofs.
+  bool has_fast_proof = false;
+  ViewNum fp_view = 0;
+  Digest fp_digest{};
+  Bytes fast_proof;
+  bool has_slow_proof = false;
+  ViewNum sp_view = 0;
+  Digest sp_digest{};
+  Bytes slow_inner;
+  Bytes slow_proof;
+
+  bool committed = false;
+  bool committed_fast = false;
+  Digest committed_digest{};
+  sim::SimTime pp_time = -1;
+  sim::SimTime commit_time = -1;
+
+  // Post-view-change adoption waiting for the block payload.
+  bool awaiting_block = false;
+  Digest awaiting_digest{};
+  bool awaiting_is_commit = false;  // true: commit on arrival; false: adopt
+
+  // --- C-collector state (valid for coll_view) ------------------------------
+  struct Shares {
+    Bytes sigma;
+    Bytes tau;
+  };
+  ViewNum coll_view = 0;
+  bool coll_active = false;
+  // sign-shares grouped by h (an equivocating primary splits the quorum).
+  std::map<Digest, std::map<ReplicaId, Shares>> coll_shares;
+  std::map<Digest, Digest> coll_digest_of_h;  // h -> block digest
+  bool coll_fast_timer_set = false;
+  bool coll_sent_fast = false;
+  bool coll_sent_prepare = false;
+  bool coll_sent_slow = false;
+  bool coll_stagger_fast_set = false;
+  bool coll_stagger_prepare_set = false;
+  bool coll_stagger_slow_set = false;
+  Bytes coll_tau;            // tau(h) built or observed via Prepare
+  Digest coll_h{};           // h the certificate refers to
+  Digest coll_block_digest{};
+  std::map<ReplicaId, Bytes> coll_commit_shares;  // shares over d2
+
+  // --- E-collector state -----------------------------------------------------
+  std::map<ReplicaId, Bytes> pi_shares;  // shares matching our own exec digest
+  std::vector<std::pair<ReplicaId, Bytes>> buffered_pi;  // arrived pre-execution
+  bool e_sent = false;
+  bool e_stagger_set = false;
+};
+
+struct SbftReplica::ExecRecord {
+  ExecCertificate cert;
+  Block block;
+  std::vector<Bytes> values;
+  std::vector<Digest> leaves;
+  sim::SimTime executed_at = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / lifecycle
+
+SbftReplica::SbftReplica(ReplicaOptions options, std::unique_ptr<IService> service)
+    : opts_(std::move(options)), service_(std::move(service)) {
+  opts_.config.validate();
+  SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
+  exec_digests_[0] = genesis_digest();
+}
+
+SbftReplica::~SbftReplica() = default;
+
+void SbftReplica::on_start(sim::ActorContext& ctx) {
+  if (is_primary()) {
+    ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+  }
+}
+
+std::optional<Digest> SbftReplica::exec_digest_of(SeqNum s) const {
+  auto it = exec_digests_.find(s);
+  if (it == exec_digests_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Digest> SbftReplica::committed_digest_of(SeqNum s) const {
+  auto it = slots_.find(s);
+  if (it != slots_.end() && it->second.committed) return it->second.committed_digest;
+  auto rec = exec_records_.find(s);
+  if (rec != exec_records_.end()) return rec->second.block.digest();
+  return std::nullopt;
+}
+
+SbftReplica::Slot& SbftReplica::slot(SeqNum s) { return slots_[s]; }
+
+SbftReplica::Slot* SbftReplica::find_slot(SeqNum s) {
+  auto it = slots_.find(s);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+void SbftReplica::send_to_replica(sim::ActorContext& ctx, ReplicaId r, MessagePtr msg) {
+  if (silent()) return;
+  ctx.send(node_of(r), std::move(msg));
+}
+
+void SbftReplica::broadcast_replicas(sim::ActorContext& ctx, MessagePtr msg) {
+  if (silent()) return;
+  for (ReplicaId r = 1; r <= opts_.config.n(); ++r) ctx.send(node_of(r), msg);
+}
+
+Bytes SbftReplica::sign_share_maybe_corrupt(const crypto::IThresholdSigner& signer,
+                                            const Digest& d) const {
+  Bytes share = signer.sign_share(d);
+  if (opts_.behavior == ReplicaBehavior::kCorruptShares && !share.empty()) {
+    share[0] ^= 0xff;
+  }
+  return share;
+}
+
+void SbftReplica::arm_progress_timer(sim::ActorContext& ctx) {
+  if (progress_timer_armed_) return;
+  progress_timer_armed_ = true;
+  int64_t backoff = opts_.config.view_change_timeout_us
+                    << std::min<uint32_t>(vc_attempts_, 6);
+  ctx.set_timer(backoff, timer_id(kProgressTimer, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+void SbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext& ctx) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ClientRequestMsg>) {
+          handle_client_request(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, PrePrepareMsg>) {
+          handle_pre_prepare(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, SignShareMsg>) {
+          handle_sign_share(m, ctx);
+        } else if constexpr (std::is_same_v<T, FullCommitProofMsg>) {
+          handle_full_commit_proof(m, ctx);
+        } else if constexpr (std::is_same_v<T, PrepareMsg>) {
+          handle_prepare(m, ctx);
+        } else if constexpr (std::is_same_v<T, CommitShareMsg>) {
+          handle_commit_share(m, ctx);
+        } else if constexpr (std::is_same_v<T, FullCommitProofSlowMsg>) {
+          handle_full_commit_proof_slow(m, ctx);
+        } else if constexpr (std::is_same_v<T, SignStateMsg>) {
+          handle_sign_state(m, ctx);
+        } else if constexpr (std::is_same_v<T, FullExecuteProofMsg>) {
+          handle_full_execute_proof(m, ctx);
+        } else if constexpr (std::is_same_v<T, ViewChangeMsg>) {
+          handle_view_change(m, ctx);
+        } else if constexpr (std::is_same_v<T, NewViewMsg>) {
+          handle_new_view(m, ctx);
+        } else if constexpr (std::is_same_v<T, GetBlockRequestMsg>) {
+          handle_get_block_request(m, ctx);
+        } else if constexpr (std::is_same_v<T, GetBlockReplyMsg>) {
+          handle_get_block_reply(m, ctx);
+        } else if constexpr (std::is_same_v<T, StateTransferRequestMsg>) {
+          handle_state_transfer_request(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, StateTransferReplyMsg>) {
+          handle_state_transfer_reply(m, ctx);
+        }
+        // PBFT baseline messages are ignored by SBFT replicas.
+      },
+      msg);
+}
+
+void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
+  SeqNum s = timer_payload(id);
+  switch (timer_kind(id)) {
+    case kBatchTimer: {
+      // Flush partial batches so low load never waits forever (§V-C "or
+      // reaching a timeout").
+      if (is_primary() && !in_view_change_) try_propose(ctx, /*flush_partial=*/true);
+      if (is_primary()) {
+        ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+      }
+      break;
+    }
+    case kFastPathTimer: {
+      Slot* sl = find_slot(s);
+      if (!sl || sl->committed || !sl->coll_active) break;
+      if (!sl->coll_sent_fast && !sl->coll_sent_prepare) collector_try_prepare(s, ctx);
+      break;
+    }
+    case kStaggerFast: {
+      Slot* sl = find_slot(s);
+      if (sl && sl->coll_active && !sl->has_fast_proof && !sl->committed)
+        collector_try_fast(s, ctx, /*from_stagger=*/true);
+      break;
+    }
+    case kStaggerPrepare: {
+      Slot* sl = find_slot(s);
+      if (sl && sl->coll_active && !sl->has_cert && !sl->committed &&
+          !sl->coll_sent_prepare)
+        collector_try_prepare(s, ctx);
+      break;
+    }
+    case kStaggerSlow: {
+      Slot* sl = find_slot(s);
+      if (sl && sl->coll_active && !sl->has_slow_proof && !sl->committed)
+        collector_try_slow_proof(s, ctx);
+      break;
+    }
+    case kStaggerExec: {
+      ecollector_try_proof(s, ctx, /*from_stagger=*/true);
+      break;
+    }
+    case kProgressTimer: {
+      progress_timer_armed_ = false;
+      bool outstanding = !pending_.empty() || forwarded_waiting_ ||
+                         (!slots_.empty() && slots_.rbegin()->first > le_) ||
+                         in_view_change_;
+      if (le_ > progress_marker_) {
+        // Progress was made; assume forwarded requests were served (if not,
+        // the client's retry re-raises the flag).
+        progress_marker_ = le_;
+        forwarded_waiting_ = false;
+        if (outstanding) arm_progress_timer(ctx);
+        break;
+      }
+      if (outstanding) {
+        start_view_change(std::max(view_, vc_target_) + 1, ctx);
+      }
+      break;
+    }
+    case kShareFallback: {
+      Slot* sl = find_slot(s);
+      if (!sl || sl->committed || !sl->has_pp || sl->pp_view != view_ ||
+          in_view_change_)
+        break;
+      SignShareMsg share;
+      share.seq = s;
+      share.view = sl->pp_view;
+      share.block_digest = sl->block_digest;
+      share.h = sl->h;
+      share.replica = opts_.id;
+      share.sigma_share = sl->own_sigma_share;
+      share.tau_share = sign_share_maybe_corrupt(*opts_.crypto.tau_signer, sl->h);
+      ctx.charge(ctx.costs().bls_sign_share_us);
+      send_to_replica(ctx, opts_.config.primary_of(view_),
+                      make_message(std::move(share)));
+      break;
+    }
+    case kStateFallback: {
+      auto rec = exec_records_.find(s);
+      if (rec == exec_records_.end() || !rec->second.cert.pi_sig.empty() ||
+          in_view_change_)
+        break;
+      SignStateMsg ss;
+      ss.seq = s;
+      ss.replica = opts_.id;
+      ss.exec_digest = rec->second.cert.exec_digest();
+      ss.pi_share = sign_share_maybe_corrupt(*opts_.crypto.pi_signer,
+                                             rec->second.cert.exec_digest());
+      ctx.charge(ctx.costs().bls_sign_share_us);
+      send_to_replica(ctx, opts_.config.primary_of(view_),
+                      make_message(std::move(ss)));
+      break;
+    }
+    case kStateTransferTimer: {
+      st_inflight_ = false;
+      // Still behind? Try another source.
+      bool behind = (!slots_.empty() && slots_.rbegin()->first > le_ + opts_.config.win) ||
+                    (find_slot(le_ + 1) && find_slot(le_ + 1)->committed &&
+                     !find_slot(le_ + 1)->block);
+      if (behind) request_state_transfer(ctx);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client requests / primary proposal
+
+void SbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
+                                        sim::ActorContext& ctx) {
+  const Request& req = m.request;
+  ctx.charge(ctx.costs().rsa_verify_us);  // client request signature ([31])
+
+  auto cached = reply_cache_.find(req.client);
+  if (cached != reply_cache_.end() && req.timestamp <= cached->second.timestamp) {
+    // Already executed: serve the cached reply (client retry path, §V-A).
+    ClientReplyMsg reply;
+    reply.replica = opts_.id;
+    reply.client = req.client;
+    reply.timestamp = cached->second.timestamp;
+    reply.seq = cached->second.seq;
+    reply.value = cached->second.value;
+    if (!silent()) ctx.send(req.client, make_message(std::move(reply)));
+    return;
+  }
+
+  if (is_primary() && !in_view_change_) {
+    auto key = std::make_pair(req.client, req.timestamp);
+    if (pending_keys_.insert(key).second) pending_.emplace_back(req, ctx.now());
+    try_propose(ctx);
+  } else if (from == req.client) {
+    // Forward to the current primary; remember that we owe progress — if the
+    // primary never commits this request the timer forces a view change.
+    send_to_replica(ctx, opts_.config.primary_of(view_),
+                    make_message(ClientRequestMsg{req}));
+    forwarded_waiting_ = true;
+    arm_progress_timer(ctx);
+  }
+}
+
+uint64_t SbftReplica::active_window() const {
+  uint64_t by_collectors =
+      (opts_.config.n() - 1) / opts_.config.num_collectors();  // §VIII
+  return std::max<uint64_t>(1, std::min(by_collectors, opts_.config.win / 4));
+}
+
+uint32_t SbftReplica::adaptive_batch_size() const {
+  if (!opts_.config.adaptive_batching) return opts_.config.max_batch;
+  // §VIII: an adaptive controller keyed off the average backlog. We track an
+  // EWMA of the pending queue and size blocks to absorb it across a couple
+  // of concurrent blocks: small batches (low latency) when idle, full
+  // batches (amortized fixed costs) under load.
+  uint64_t size = static_cast<uint64_t>(avg_pending_ / 2.0) + 1;
+  return static_cast<uint32_t>(
+      std::clamp<uint64_t>(size, 1, opts_.config.max_batch));
+}
+
+void SbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
+  if (!is_primary() || in_view_change_) return;
+  avg_pending_ = 0.8 * avg_pending_ + 0.2 * static_cast<double>(pending_.size());
+  while (!pending_.empty()) {
+    // Drop requests already executed (e.g. committed via an earlier view).
+    const Request& head = pending_.front().first;
+    auto cached = reply_cache_.find(head.client);
+    if (cached != reply_cache_.end() && head.timestamp <= cached->second.timestamp) {
+      pending_keys_.erase({head.client, head.timestamp});
+      pending_.pop_front();
+      continue;
+    }
+    uint64_t in_flight = next_seq_ - 1 - le_;
+    if (in_flight >= active_window()) return;
+    if (next_seq_ > ls_ + opts_.config.win) return;
+
+    // The adaptive `batch` value is the *minimum* operations per block
+    // (§VIII); partial blocks only leave on the batch timer.
+    uint32_t want = adaptive_batch_size();
+    if (pending_.size() < want && !flush_partial) return;
+
+    Block block;
+    while (!pending_.empty() && block.requests.size() < want) {
+      auto [r, arrived] = std::move(pending_.front());
+      pending_.pop_front();
+      pending_keys_.erase({r.client, r.timestamp});
+      stats_.pending_wait_us += ctx.now() - arrived;
+      ++stats_.proposed_requests;
+      block.requests.push_back(std::move(r));
+    }
+    if (block.requests.empty()) return;
+    propose_block(std::move(block), ctx);
+  }
+}
+
+void SbftReplica::propose_block(Block block, sim::ActorContext& ctx) {
+  SeqNum s = next_seq_++;
+  ctx.charge(ctx.costs().hash_us(block.wire_size()));
+
+  if (opts_.behavior == ReplicaBehavior::kEquivocate && block.requests.size() >= 2) {
+    // Send conflicting blocks to the two halves of the cluster: same
+    // sequence, different request order => different digests.
+    Block alt = block;
+    std::swap(alt.requests.front(), alt.requests.back());
+    auto msg_a = make_message(PrePrepareMsg{s, view_, block});
+    auto msg_b = make_message(PrePrepareMsg{s, view_, alt});
+    for (ReplicaId r = 1; r <= opts_.config.n(); ++r) {
+      ctx.send(node_of(r), (r % 2 == 0) ? msg_a : msg_b);
+    }
+    return;
+  }
+
+  broadcast_replicas(ctx, make_message(PrePrepareMsg{s, view_, std::move(block)}));
+}
+
+// ---------------------------------------------------------------------------
+// Fast path (§V-C)
+
+void SbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
+                                     sim::ActorContext& ctx) {
+  if (in_view_change_ || m.view != view_) return;
+  if (!from_replica(from, opts_.config.primary_of(m.view))) return;
+  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) {
+    if (m.seq > ls_ + opts_.config.win) arm_progress_timer(ctx);
+    return;
+  }
+  Slot& sl = slot(m.seq);
+  if (sl.has_pp && sl.pp_view >= m.view) return;  // one pre-prepare per view
+  // Authenticate the batched client requests.
+  ctx.charge(static_cast<int64_t>(m.block.requests.size()) * ctx.costs().rsa_verify_us);
+  accept_pre_prepare(m.seq, m.view, m.block, ctx);
+}
+
+void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
+                                     sim::ActorContext& ctx) {
+  Slot& sl = slot(s);
+  if (sl.has_pp && sl.pp_view >= v) return;
+  sl.has_pp = true;
+  sl.pp_view = v;
+  sl.block_digest = block.digest();
+  sl.block = std::move(block);
+  sl.h = slot_hash(s, v, sl.block_digest);
+  sl.awaiting_block = false;
+  if (sl.pp_time < 0) sl.pp_time = ctx.now();
+  ctx.charge(ctx.costs().hash_us(64));
+
+  // Sign both shares (sigma for the fast path, tau for Linear-PBFT, §V-E).
+  sl.own_sigma_share = sign_share_maybe_corrupt(*opts_.crypto.sigma_signer, sl.h);
+  Bytes tau_share = sign_share_maybe_corrupt(*opts_.crypto.tau_signer, sl.h);
+  ctx.charge(2 * ctx.costs().bls_sign_share_us);
+
+  SignShareMsg share;
+  share.seq = s;
+  share.view = v;
+  share.block_digest = sl.block_digest;
+  share.h = sl.h;
+  share.replica = opts_.id;
+  share.sigma_share = sl.own_sigma_share;
+  share.tau_share = tau_share;
+  auto msg = make_message(std::move(share));
+  for (ReplicaId collector : c_collectors(opts_.config, s, v)) {
+    send_to_replica(ctx, collector, msg);
+  }
+  // If the designated collectors stall (e.g. all c+1 are faulty), re-send the
+  // shares to the primary — the always-last fallback collector (§V-E).
+  ctx.set_timer(2 * opts_.config.fast_path_timeout_us, timer_id(kShareFallback, s));
+  arm_progress_timer(ctx);
+
+  if (sl.committed) try_execute(ctx);  // proof may have arrived before the block
+}
+
+void SbftReplica::handle_sign_share(const SignShareMsg& m, sim::ActorContext& ctx) {
+  if (in_view_change_ || m.view != view_) return;
+  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  // The primary is the always-last fallback collector: replicas re-send
+  // their shares to it only when a slot stalls (kShareFallback).
+  auto collectors = commit_collectors(opts_.config, m.seq, m.view);
+  int rank = collector_rank(collectors, opts_.id);
+  if (rank < 0) return;
+  if (m.h != slot_hash(m.seq, m.view, m.block_digest)) {
+    ++stats_.invalid_shares_seen;
+    return;
+  }
+
+  Slot& sl = slot(m.seq);
+  if (sl.coll_view != m.view || !sl.coll_active) {
+    sl.coll_view = m.view;
+    sl.coll_active = true;
+    sl.coll_shares.clear();
+    sl.coll_commit_shares.clear();
+    sl.coll_sent_fast = sl.coll_sent_prepare = sl.coll_sent_slow = false;
+  }
+  sl.coll_shares[m.h].emplace(m.replica, Slot::Shares{m.sigma_share, m.tau_share});
+  sl.coll_digest_of_h[m.h] = m.block_digest;
+
+  // Arm the fast->slow fallback timer on first contact (§V-E trigger).
+  if (!sl.coll_fast_timer_set) {
+    sl.coll_fast_timer_set = true;
+    int64_t delay = opts_.config.fast_path_enabled
+                        ? opts_.config.fast_path_timeout_us +
+                              rank * opts_.collector_stagger_us
+                        : 0;  // fast path disabled: prepare as soon as possible
+    if (opts_.config.fast_path_enabled) {
+      ctx.set_timer(delay, timer_id(kFastPathTimer, m.seq));
+    }
+  }
+
+  size_t count = sl.coll_shares[m.h].size();
+  if (opts_.config.fast_path_enabled && count >= opts_.config.fast_quorum() &&
+      !sl.coll_sent_fast) {
+    if (rank == 0) {
+      collector_try_fast(m.seq, ctx, false);
+    } else if (!sl.coll_stagger_fast_set) {
+      sl.coll_stagger_fast_set = true;
+      ctx.set_timer(rank * opts_.collector_stagger_us, timer_id(kStaggerFast, m.seq));
+    }
+  }
+  if (!opts_.config.fast_path_enabled && count >= opts_.config.slow_quorum() &&
+      !sl.coll_sent_prepare) {
+    if (rank == 0) {
+      collector_try_prepare(m.seq, ctx);
+    } else if (!sl.coll_stagger_prepare_set) {
+      sl.coll_stagger_prepare_set = true;
+      ctx.set_timer(rank * opts_.collector_stagger_us,
+                    timer_id(kStaggerPrepare, m.seq));
+    }
+  }
+}
+
+void SbftReplica::collector_try_fast(SeqNum s, sim::ActorContext& ctx,
+                                     bool /*from_stagger*/) {
+  Slot* slp = find_slot(s);
+  if (!slp || slp->coll_sent_fast) return;
+  Slot& sl = *slp;
+  for (auto& [h, shares] : sl.coll_shares) {
+    if (shares.size() < opts_.config.fast_quorum()) continue;
+    std::vector<crypto::SignatureShare> sigma_shares;
+    sigma_shares.reserve(shares.size());
+    for (auto& [replica, pair] : shares)
+      sigma_shares.push_back({replica, pair.sigma});
+    // Batch-verify then combine. Group-signature mode (n-out-of-n) applies
+    // when every replica contributed (§VIII).
+    bool group_mode = shares.size() == opts_.config.n();
+    ctx.charge(ctx.costs().batch_verify_us(sigma_shares.size()));
+    ctx.charge(ctx.costs().combine_us(opts_.config.fast_quorum(), group_mode));
+    auto sig = opts_.crypto.sigma_verifier->combine(h, sigma_shares);
+    if (!sig) {
+      ++stats_.invalid_shares_seen;
+      continue;  // invalid shares filtered; wait for more
+    }
+    sl.coll_sent_fast = true;
+    FullCommitProofMsg proof;
+    proof.seq = s;
+    proof.view = sl.coll_view;
+    proof.block_digest = sl.coll_digest_of_h[h];
+    proof.sigma_sig = std::move(*sig);
+    broadcast_replicas(ctx, make_message(std::move(proof)));
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear-PBFT slow path (§V-E)
+
+void SbftReplica::collector_try_prepare(SeqNum s, sim::ActorContext& ctx) {
+  Slot* slp = find_slot(s);
+  if (!slp || slp->coll_sent_prepare || slp->coll_sent_fast) return;
+  Slot& sl = *slp;
+  for (auto& [h, shares] : sl.coll_shares) {
+    if (shares.size() < opts_.config.slow_quorum()) continue;
+    std::vector<crypto::SignatureShare> tau_shares;
+    tau_shares.reserve(shares.size());
+    for (auto& [replica, pair] : shares) tau_shares.push_back({replica, pair.tau});
+    ctx.charge(ctx.costs().batch_verify_us(tau_shares.size()));
+    ctx.charge(ctx.costs().combine_us(opts_.config.slow_quorum(), false));
+    auto sig = opts_.crypto.tau_verifier->combine(h, tau_shares);
+    if (!sig) {
+      ++stats_.invalid_shares_seen;
+      continue;
+    }
+    sl.coll_sent_prepare = true;
+    sl.coll_tau = *sig;
+    sl.coll_h = h;
+    sl.coll_block_digest = sl.coll_digest_of_h[h];
+    PrepareMsg prep;
+    prep.seq = s;
+    prep.view = sl.coll_view;
+    prep.block_digest = sl.coll_block_digest;
+    prep.tau_sig = std::move(*sig);
+    broadcast_replicas(ctx, make_message(std::move(prep)));
+    return;
+  }
+}
+
+void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
+  if (in_view_change_ || m.view != view_) return;
+  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  Digest h = slot_hash(m.seq, m.view, m.block_digest);
+  ctx.charge(ctx.costs().bls_verify_combined_us);
+  if (!opts_.crypto.tau_verifier->verify(h, as_span(m.tau_sig))) {
+    ++stats_.invalid_shares_seen;
+    return;
+  }
+  Slot& sl = slot(m.seq);
+  if (!sl.has_cert || sl.cert_view <= m.view) {
+    sl.has_cert = true;
+    sl.cert_view = m.view;
+    sl.cert_digest = m.block_digest;
+    sl.cert_tau = m.tau_sig;
+  }
+  // Fallback-stage collectors (the c+1 C-collectors plus the primary as the
+  // last staggered collector, §V-E) remember the certificate so they can
+  // aggregate commit shares.
+  auto collectors = commit_collectors(opts_.config, m.seq, m.view);
+  if (collector_rank(collectors, opts_.id) >= 0 && sl.coll_tau.empty()) {
+    sl.coll_view = m.view;
+    sl.coll_active = true;
+    sl.coll_tau = m.tau_sig;
+    sl.coll_h = h;
+    sl.coll_block_digest = m.block_digest;
+  }
+
+  if (!sl.sent_commit_share) {
+    sl.sent_commit_share = true;
+    Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
+    Bytes share = sign_share_maybe_corrupt(*opts_.crypto.tau_signer, d2);
+    ctx.charge(ctx.costs().bls_sign_share_us);
+    CommitShareMsg cs;
+    cs.seq = m.seq;
+    cs.view = m.view;
+    cs.commit_digest = d2;
+    cs.replica = opts_.id;
+    cs.tau_share = std::move(share);
+    auto msg = make_message(std::move(cs));
+    for (ReplicaId collector : collectors) send_to_replica(ctx, collector, msg);
+  }
+}
+
+void SbftReplica::handle_commit_share(const CommitShareMsg& m, sim::ActorContext& ctx) {
+  if (in_view_change_ || m.view != view_) return;
+  auto collectors = commit_collectors(opts_.config, m.seq, m.view);
+  int rank = collector_rank(collectors, opts_.id);
+  if (rank < 0) return;
+  Slot* slp = find_slot(m.seq);
+  if (!slp || slp->coll_tau.empty() || slp->coll_sent_slow) return;
+  Slot& sl = *slp;
+  // Only shares over the commit digest of our certificate count.
+  Digest expected = commit_hash(crypto::sha256(as_span(sl.coll_tau)));
+  if (!(m.commit_digest == expected)) return;
+  sl.coll_commit_shares.emplace(m.replica, m.tau_share);
+
+  if (sl.coll_commit_shares.size() >= opts_.config.slow_quorum()) {
+    if (rank == 0) {
+      collector_try_slow_proof(m.seq, ctx);
+    } else if (!sl.coll_stagger_slow_set) {
+      // Staggered backups — the primary is always the last to activate
+      // (§V-E); they act only if the faster collectors stayed silent.
+      sl.coll_stagger_slow_set = true;
+      ctx.set_timer(rank * opts_.collector_stagger_us, timer_id(kStaggerSlow, m.seq));
+    }
+  }
+}
+
+void SbftReplica::collector_try_slow_proof(SeqNum s, sim::ActorContext& ctx) {
+  Slot* slp = find_slot(s);
+  if (!slp || slp->coll_sent_slow || slp->coll_tau.empty()) return;
+  Slot& sl = *slp;
+  if (sl.coll_commit_shares.size() < opts_.config.slow_quorum()) return;
+  Digest d2 = commit_hash(crypto::sha256(as_span(sl.coll_tau)));
+  std::vector<crypto::SignatureShare> shares;
+  shares.reserve(sl.coll_commit_shares.size());
+  for (auto& [replica, share] : sl.coll_commit_shares)
+    shares.push_back({replica, share});
+  ctx.charge(ctx.costs().batch_verify_us(shares.size()));
+  ctx.charge(ctx.costs().combine_us(opts_.config.slow_quorum(), false));
+  auto sig = opts_.crypto.tau_verifier->combine(d2, shares);
+  if (!sig) {
+    ++stats_.invalid_shares_seen;
+    return;
+  }
+  sl.coll_sent_slow = true;
+  FullCommitProofSlowMsg proof;
+  proof.seq = s;
+  proof.view = sl.coll_view;
+  proof.block_digest = sl.coll_block_digest;
+  proof.tau_sig = sl.coll_tau;
+  proof.tau_tau_sig = std::move(*sig);
+  broadcast_replicas(ctx, make_message(std::move(proof)));
+}
+
+// ---------------------------------------------------------------------------
+// Commit triggers
+
+void SbftReplica::handle_full_commit_proof(const FullCommitProofMsg& m,
+                                           sim::ActorContext& ctx) {
+  if (m.seq <= le_) return;
+  Digest h = slot_hash(m.seq, m.view, m.block_digest);
+  ctx.charge(ctx.costs().bls_verify_combined_us);
+  if (!opts_.crypto.sigma_verifier->verify(h, as_span(m.sigma_sig))) {
+    ++stats_.invalid_shares_seen;
+    return;
+  }
+  Slot& sl = slot(m.seq);
+  if (!sl.has_fast_proof) {
+    sl.has_fast_proof = true;
+    sl.fp_view = m.view;
+    sl.fp_digest = m.block_digest;
+    sl.fast_proof = m.sigma_sig;
+  }
+  commit(m.seq, m.block_digest, /*fast=*/true, ctx);
+}
+
+void SbftReplica::handle_full_commit_proof_slow(const FullCommitProofSlowMsg& m,
+                                                sim::ActorContext& ctx) {
+  if (m.seq <= le_) return;
+  Digest h = slot_hash(m.seq, m.view, m.block_digest);
+  Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
+  ctx.charge(2 * ctx.costs().bls_verify_combined_us);
+  if (!opts_.crypto.tau_verifier->verify(h, as_span(m.tau_sig)) ||
+      !opts_.crypto.tau_verifier->verify(d2, as_span(m.tau_tau_sig))) {
+    ++stats_.invalid_shares_seen;
+    return;
+  }
+  Slot& sl = slot(m.seq);
+  if (!sl.has_slow_proof) {
+    sl.has_slow_proof = true;
+    sl.sp_view = m.view;
+    sl.sp_digest = m.block_digest;
+    sl.slow_inner = m.tau_sig;
+    sl.slow_proof = m.tau_tau_sig;
+  }
+  commit(m.seq, m.block_digest, /*fast=*/false, ctx);
+}
+
+void SbftReplica::commit(SeqNum s, const Digest& block_digest, bool fast,
+                         sim::ActorContext& ctx) {
+  Slot& sl = slot(s);
+  if (sl.committed) return;
+  sl.committed = true;
+  sl.committed_fast = fast;
+  sl.committed_digest = block_digest;
+  sl.commit_time = ctx.now();
+  if (sl.pp_time >= 0) {
+    stats_.pp_to_commit_us += ctx.now() - sl.pp_time;
+    ++stats_.timed_slots;
+  }
+  if (fast) {
+    ++stats_.fast_commits;
+  } else {
+    ++stats_.slow_commits;
+  }
+  if (!sl.block || !(sl.block_digest == block_digest)) {
+    // Committed by proof without the payload: fetch it.
+    sl.awaiting_block = true;
+    sl.awaiting_digest = block_digest;
+    sl.awaiting_is_commit = true;
+    if (!silent()) {
+      GetBlockRequestMsg req;
+      req.requester = opts_.id;
+      req.seq = s;
+      req.block_digest = block_digest;
+      broadcast_replicas(ctx, make_message(std::move(req)));
+    }
+    return;
+  }
+  try_execute(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Execution and acknowledgement (§V-D)
+
+void SbftReplica::try_execute(sim::ActorContext& ctx) {
+  for (;;) {
+    SeqNum s = le_ + 1;
+    Slot* sl = find_slot(s);
+    if (!sl || !sl->committed) return;
+    if (!sl->block || !(sl->block_digest == sl->committed_digest)) return;
+    execute_block(s, ctx);
+  }
+}
+
+void SbftReplica::execute_block(SeqNum s, sim::ActorContext& ctx) {
+  Slot& sl = *find_slot(s);
+  ExecRecord rec;
+  rec.block = *sl.block;
+
+  for (size_t l = 0; l < rec.block.requests.size(); ++l) {
+    const Request& req = rec.block.requests[l];
+    CachedReply& cache = reply_cache_[req.client];
+    Bytes value;
+    if (req.timestamp <= cache.timestamp) {
+      value = cache.value;  // duplicate: executed exactly once
+    } else {
+      value = service_->execute(as_span(req.op));
+      ctx.charge(service_->last_execute_cost_us(ctx.costs()));
+      cache.timestamp = req.timestamp;
+      cache.seq = s;
+      cache.index = l;
+      cache.value = value;
+      ++stats_.requests_executed;
+    }
+    rec.leaves.push_back(
+        exec_leaf(req.client, req.timestamp, crypto::sha256(as_span(value))));
+    rec.values.push_back(std::move(value));
+  }
+
+  ExecCertificate cert;
+  cert.seq = s;
+  cert.state_root = service_->state_digest();
+  cert.ops_root = rec.leaves.empty()
+                      ? empty_ops_root()
+                      : merkle::BlockMerkleTree(rec.leaves).root();
+  cert.prev_exec_digest = exec_digests_[s - 1];
+  Digest d = cert.exec_digest();
+  exec_digests_[s] = d;
+  rec.cert = cert;
+
+  // Persist the decision block (§IX: transactions persist to disk).
+  ctx.charge(ctx.costs().persist_us(rec.block.wire_size()));
+  if (opts_.ledger) opts_.ledger->append_block(s, as_span(encode_message(
+                                                      Message(PrePrepareMsg{
+                                                          s, sl.pp_view, rec.block}))));
+
+  if (sl.commit_time >= 0) stats_.commit_to_exec_us += ctx.now() - sl.commit_time;
+  le_ = s;
+  ++stats_.blocks_executed;
+
+  // Without the execution collector (Linear-PBFT variants), every replica
+  // replies to every client directly — the f+1-messages-per-client cost that
+  // ingredient 3 removes.
+  if (!opts_.config.execution_collector && !silent()) {
+    for (size_t l = 0; l < rec.block.requests.size(); ++l) {
+      const Request& req = rec.block.requests[l];
+      ClientReplyMsg reply;
+      reply.replica = opts_.id;
+      reply.client = req.client;
+      reply.timestamp = req.timestamp;
+      reply.seq = s;
+      reply.value = rec.values[l];
+      ctx.send(req.client, make_message(std::move(reply)));
+    }
+  }
+
+  rec.executed_at = ctx.now();
+  auto buffered = std::move(slot(s).buffered_pi);
+  exec_records_.emplace(s, std::move(rec));
+
+  // Sign the new state (pi threshold) and send to the E-collectors.
+  Bytes pi_share = sign_share_maybe_corrupt(*opts_.crypto.pi_signer, d);
+  ctx.charge(ctx.costs().bls_sign_share_us);
+  SignStateMsg ss;
+  ss.seq = s;
+  ss.replica = opts_.id;
+  ss.exec_digest = d;
+  ss.pi_share = std::move(pi_share);
+  auto msg = make_message(std::move(ss));
+  for (ReplicaId collector : e_collectors(opts_.config, s, view_)) {
+    send_to_replica(ctx, collector, msg);
+  }
+  ctx.set_timer(2 * opts_.config.fast_path_timeout_us, timer_id(kStateFallback, s));
+  // Replay pi shares that arrived before we executed.
+  for (auto& [replica, share] : buffered) {
+    SignStateMsg replay;
+    replay.seq = s;
+    replay.replica = replica;
+    replay.exec_digest = d;  // digest re-checked against the share itself
+    replay.pi_share = std::move(share);
+    handle_sign_state(replay, ctx);
+  }
+}
+
+void SbftReplica::handle_sign_state(const SignStateMsg& m, sim::ActorContext& ctx) {
+  auto collectors = fallback_e_collectors(opts_.config, m.seq, view_);
+  int rank = collector_rank(collectors, opts_.id);
+  if (rank < 0) return;
+  Slot& sl = slot(m.seq);
+  if (m.seq > le_) {
+    sl.buffered_pi.emplace_back(m.replica, m.pi_share);
+    ++stats_.buffered_pi_shares;
+    return;
+  }
+  auto rec = exec_records_.find(m.seq);
+  if (rec == exec_records_.end() || sl.e_sent) return;
+  Digest d = rec->second.cert.exec_digest();
+  // Only shares over our own executed digest can combine (robust filtering;
+  // the CPU cost is charged as a batch verification at combine time, §III).
+  if (!opts_.crypto.pi_verifier->verify_share(m.replica, d, as_span(m.pi_share))) {
+    ++stats_.invalid_shares_seen;
+    return;
+  }
+  sl.pi_shares.emplace(m.replica, m.pi_share);
+  if (sl.pi_shares.size() >= opts_.config.exec_quorum()) {
+    if (rank == 0) {
+      ecollector_try_proof(m.seq, ctx, false);
+    } else if (!sl.e_stagger_set) {
+      sl.e_stagger_set = true;
+      ctx.set_timer(rank * opts_.collector_stagger_us, timer_id(kStaggerExec, m.seq));
+    }
+  }
+}
+
+void SbftReplica::ecollector_try_proof(SeqNum s, sim::ActorContext& ctx,
+                                       bool /*from_stagger*/) {
+  Slot* slp = find_slot(s);
+  auto rec = exec_records_.find(s);
+  if (!slp || rec == exec_records_.end() || slp->e_sent) return;
+  // Another collector already certified this sequence?
+  if (!rec->second.cert.pi_sig.empty()) return;
+  Slot& sl = *slp;
+  if (sl.pi_shares.size() < opts_.config.exec_quorum()) return;
+  Digest d = rec->second.cert.exec_digest();
+  std::vector<crypto::SignatureShare> shares;
+  shares.reserve(sl.pi_shares.size());
+  for (auto& [replica, share] : sl.pi_shares) shares.push_back({replica, share});
+  ctx.charge(ctx.costs().batch_verify_us(shares.size()));
+  ctx.charge(ctx.costs().combine_us(opts_.config.exec_quorum(), false));
+  auto sig = opts_.crypto.pi_verifier->combine(d, shares);
+  if (!sig) {
+    ++stats_.invalid_shares_seen;
+    return;
+  }
+  sl.e_sent = true;
+  rec->second.cert.pi_sig = *sig;
+  FullExecuteProofMsg proof;
+  proof.seq = s;
+  proof.exec_digest = d;
+  proof.pi_sig = std::move(*sig);
+  broadcast_replicas(ctx, make_message(std::move(proof)));
+  if (opts_.config.execution_collector) send_execute_acks(s, ctx);
+}
+
+void SbftReplica::send_execute_acks(SeqNum s, sim::ActorContext& ctx) {
+  if (silent()) return;
+  auto rec_it = exec_records_.find(s);
+  if (rec_it == exec_records_.end()) return;
+  ExecRecord& rec = rec_it->second;
+  if (rec.leaves.empty()) return;
+  stats_.exec_to_ack_us += ctx.now() - rec.executed_at;
+  ++stats_.acked_blocks;
+  merkle::BlockMerkleTree tree(rec.leaves);
+  for (size_t l = 0; l < rec.block.requests.size(); ++l) {
+    const Request& req = rec.block.requests[l];
+    ExecuteAckMsg ack;
+    ack.client = req.client;
+    ack.timestamp = req.timestamp;
+    ack.index = l;
+    ack.value = rec.values[l];
+    ack.cert = rec.cert;
+    ack.proof = tree.prove(l);
+    ctx.charge(ctx.costs().hash_us(256));  // proof assembly
+    ctx.send(req.client, make_message(std::move(ack)));
+  }
+}
+
+void SbftReplica::handle_full_execute_proof(const FullExecuteProofMsg& m,
+                                            sim::ActorContext& ctx) {
+  ctx.charge(ctx.costs().bls_verify_combined_us);
+  if (!opts_.crypto.pi_verifier->verify(m.exec_digest, as_span(m.pi_sig))) {
+    ++stats_.invalid_shares_seen;
+    return;
+  }
+  auto rec = exec_records_.find(m.seq);
+  if (rec != exec_records_.end() &&
+      rec->second.cert.exec_digest() == m.exec_digest) {
+    if (rec->second.cert.pi_sig.empty()) rec->second.cert.pi_sig = m.pi_sig;
+    advance_checkpoint(m.seq, ctx);
+  } else if (m.seq > le_ + opts_.config.win / 2) {
+    // Far behind the cluster: catch up via state transfer.
+    request_state_transfer(ctx);
+  }
+}
+
+void SbftReplica::advance_checkpoint(SeqNum s, sim::ActorContext& ctx) {
+  if (s <= ls_ || s % opts_.config.checkpoint_interval() != 0) return;
+  auto rec = exec_records_.find(s);
+  if (rec == exec_records_.end() || rec->second.cert.pi_sig.empty()) return;
+  ls_ = s;
+  stable_checkpoint_ = rec->second.cert;
+  // Snapshot for state transfer; charged as a bulk hash over the state.
+  latest_snapshot_ = service_->snapshot();
+  ctx.charge(ctx.costs().hash_us(latest_snapshot_.size()));
+  garbage_collect();
+}
+
+void SbftReplica::garbage_collect() {
+  slots_.erase(slots_.begin(), slots_.lower_bound(ls_ + 1));
+  // Keep the checkpointed record itself (serves acks/fetches for stragglers).
+  exec_records_.erase(exec_records_.begin(), exec_records_.lower_bound(ls_));
+}
+
+// ---------------------------------------------------------------------------
+// Block fetch
+
+void SbftReplica::handle_get_block_request(const GetBlockRequestMsg& m,
+                                           sim::ActorContext& ctx) {
+  if (silent()) return;
+  const Block* found = nullptr;
+  if (Slot* sl = find_slot(m.seq); sl && sl->block &&
+                                   sl->block_digest == m.block_digest) {
+    found = &*sl->block;
+  } else if (auto rec = exec_records_.find(m.seq);
+             rec != exec_records_.end() &&
+             rec->second.block.digest() == m.block_digest) {
+    found = &rec->second.block;
+  }
+  if (!found) return;
+  GetBlockReplyMsg reply;
+  reply.seq = m.seq;
+  reply.block = *found;
+  send_to_replica(ctx, m.requester, make_message(std::move(reply)));
+}
+
+void SbftReplica::handle_get_block_reply(const GetBlockReplyMsg& m,
+                                         sim::ActorContext& ctx) {
+  Slot* sl = find_slot(m.seq);
+  if (!sl || !sl->awaiting_block) return;
+  ctx.charge(ctx.costs().hash_us(m.block.wire_size()));
+  if (!(m.block.digest() == sl->awaiting_digest)) return;
+  sl->awaiting_block = false;
+  if (sl->awaiting_is_commit) {
+    sl->block = m.block;
+    sl->block_digest = sl->awaiting_digest;
+    try_execute(ctx);
+  } else {
+    accept_pre_prepare(m.seq, view_, m.block, ctx);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// View change (§V-G)
+
+void SbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
+  if (target <= view_) return;
+  if (in_view_change_ && target <= vc_target_) return;
+  in_view_change_ = true;
+  vc_target_ = target;
+  ++vc_attempts_;
+  ++stats_.view_changes;
+
+  ViewChangeMsg msg = build_view_change(target);
+  vc_msgs_[target][opts_.id] = msg;
+  broadcast_replicas(ctx, make_message(ViewChangeMsg(msg)));
+  arm_progress_timer(ctx);  // exponential backoff to target+1 if this stalls
+  if (opts_.config.primary_of(target) == opts_.id) maybe_send_new_view(target, ctx);
+}
+
+ViewChangeMsg SbftReplica::build_view_change(ViewNum target) const {
+  ViewChangeMsg msg;
+  msg.sender = opts_.id;
+  msg.next_view = target;
+  msg.ls = ls_;
+  if (ls_ > 0) msg.checkpoint = stable_checkpoint_;
+  for (const auto& [s, sl] : slots_) {
+    if (s <= ls_ || s > ls_ + opts_.config.win) continue;
+    SlotEvidence e;
+    e.seq = s;
+    if (sl.has_slow_proof) {
+      e.lm_kind = SlowEvidence::kFullProof;
+      e.lm_view = sl.sp_view;
+      e.lm_block_digest = sl.sp_digest;
+      e.lm_sig = sl.slow_proof;
+      e.lm_inner_sig = sl.slow_inner;
+    } else if (sl.has_cert) {
+      e.lm_kind = SlowEvidence::kPrepareCert;
+      e.lm_view = sl.cert_view;
+      e.lm_block_digest = sl.cert_digest;
+      e.lm_sig = sl.cert_tau;
+    }
+    if (sl.has_fast_proof) {
+      e.fm_kind = FastEvidence::kFullProof;
+      e.fm_view = sl.fp_view;
+      e.fm_block_digest = sl.fp_digest;
+      e.fm_sig = sl.fast_proof;
+    } else if (sl.has_pp) {
+      e.fm_kind = FastEvidence::kVote;
+      e.fm_view = sl.pp_view;
+      e.fm_block_digest = sl.block_digest;
+      e.fm_sig = sl.own_sigma_share;
+    }
+    if (e.lm_kind == SlowEvidence::kNone && e.fm_kind == FastEvidence::kNone) continue;
+    if (sl.block) e.block = sl.block;
+    msg.slots.push_back(std::move(e));
+  }
+  return msg;
+}
+
+void SbftReplica::handle_view_change(const ViewChangeMsg& m, sim::ActorContext& ctx) {
+  if (m.next_view <= view_) return;
+  ViewChangeVerifiers verifiers{opts_.crypto.sigma_verifier.get(),
+                                opts_.crypto.tau_verifier.get(),
+                                opts_.crypto.pi_verifier.get()};
+  ctx.charge(ctx.costs().batch_verify_us(2 * m.slots.size() + 1));
+  if (!validate_view_change(opts_.config, verifiers, m)) return;
+  vc_msgs_[m.next_view][m.sender] = m;
+
+  // Join rule (§VII): f+1 distinct replicas ahead of us force our hand.
+  if (m.next_view > vc_target_ || !in_view_change_) {
+    size_t ahead = 0;
+    for (const auto& [target, senders] : vc_msgs_) {
+      if (target > view_) ahead = std::max(ahead, senders.size());
+    }
+    if (ahead >= opts_.config.f + 1) {
+      ViewNum best = view_;
+      for (const auto& [target, senders] : vc_msgs_) {
+        if (senders.size() >= opts_.config.f + 1) best = std::max(best, target);
+      }
+      if (best > view_) start_view_change(best, ctx);
+    }
+  }
+  if (opts_.config.primary_of(m.next_view) == opts_.id)
+    maybe_send_new_view(m.next_view, ctx);
+}
+
+void SbftReplica::maybe_send_new_view(ViewNum target, sim::ActorContext& ctx) {
+  if (new_view_sent_ && vc_target_ >= target) return;
+  auto it = vc_msgs_.find(target);
+  if (it == vc_msgs_.end() || it->second.size() < opts_.config.view_change_quorum())
+    return;
+  NewViewMsg nv;
+  nv.view = target;
+  for (const auto& [sender, msg] : it->second) {
+    nv.proofs.push_back(msg);
+    if (nv.proofs.size() == opts_.config.view_change_quorum()) break;
+  }
+  new_view_sent_ = true;
+  broadcast_replicas(ctx, make_message(NewViewMsg(nv)));
+  enter_new_view(nv, ctx);
+}
+
+void SbftReplica::handle_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
+  if (m.view <= view_) return;
+  ViewChangeVerifiers verifiers{opts_.crypto.sigma_verifier.get(),
+                                opts_.crypto.tau_verifier.get(),
+                                opts_.crypto.pi_verifier.get()};
+  size_t evidence = 0;
+  for (const auto& p : m.proofs) evidence += 2 * p.slots.size() + 1;
+  ctx.charge(ctx.costs().batch_verify_us(evidence));
+  if (!validate_new_view(opts_.config, verifiers, m)) return;
+  enter_new_view(m, ctx);
+}
+
+void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
+  if (m.view < view_ || (m.view == view_ && !in_view_change_)) return;
+  ViewChangeVerifiers verifiers{opts_.crypto.sigma_verifier.get(),
+                                opts_.crypto.tau_verifier.get(),
+                                opts_.crypto.pi_verifier.get()};
+
+  view_ = m.view;
+  in_view_change_ = false;
+  vc_target_ = m.view;
+  vc_attempts_ = 0;
+  new_view_sent_ = false;
+  vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(m.view));
+
+  SeqNum stable = select_stable_seq(opts_.config, verifiers, m.proofs);
+  if (stable > le_) request_state_transfer(ctx);
+
+  SeqNum max_evidence = stable;
+  for (const auto& p : m.proofs) {
+    for (const auto& e : p.slots) max_evidence = std::max(max_evidence, e.seq);
+  }
+
+  for (SeqNum j = stable + 1; j <= max_evidence; ++j) {
+    if (j <= le_) continue;  // already executed; safety ensures consistency
+    SafeValue safe = compute_safe_value(opts_.config, verifiers, j, m.proofs);
+    ctx.charge(ctx.costs().batch_verify_us(4));
+    Slot& sl = slot(j);
+    switch (safe.kind) {
+      case SafeValue::Kind::kDecided: {
+        // Record the proof so future view changes re-propagate it.
+        if (safe.decided_fast && !sl.has_fast_proof) {
+          sl.has_fast_proof = true;
+          sl.fp_view = safe.evidence_view;
+          sl.fp_digest = safe.block_digest;
+          sl.fast_proof = safe.decided_proof;
+        } else if (!safe.decided_fast && !sl.has_slow_proof) {
+          sl.has_slow_proof = true;
+          sl.sp_view = safe.evidence_view;
+          sl.sp_digest = safe.block_digest;
+          sl.slow_proof = safe.decided_proof;
+          sl.slow_inner = safe.decided_inner;
+        }
+        if (safe.block && !(sl.has_pp && sl.block_digest == safe.block_digest)) {
+          sl.has_pp = true;
+          sl.pp_view = m.view;
+          sl.block = safe.block;
+          sl.block_digest = safe.block_digest;
+        }
+        commit(j, safe.block_digest, safe.decided_fast, ctx);
+        break;
+      }
+      case SafeValue::Kind::kAdopt: {
+        if (safe.block) {
+          accept_pre_prepare(j, m.view, *safe.block, ctx);
+        } else {
+          sl.awaiting_block = true;
+          sl.awaiting_digest = safe.block_digest;
+          sl.awaiting_is_commit = false;
+          GetBlockRequestMsg req;
+          req.requester = opts_.id;
+          req.seq = j;
+          req.block_digest = safe.block_digest;
+          broadcast_replicas(ctx, make_message(std::move(req)));
+        }
+        break;
+      }
+      case SafeValue::Kind::kNoop: {
+        accept_pre_prepare(j, m.view, null_block(), ctx);
+        break;
+      }
+    }
+  }
+
+  next_seq_ = std::max<SeqNum>(max_evidence + 1, stable + 1);
+  progress_marker_ = le_;
+  if (is_primary()) {
+    ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+    try_propose(ctx);
+  }
+  arm_progress_timer(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// State transfer (§VIII)
+
+void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
+  if (st_inflight_ || silent()) return;
+  st_inflight_ = true;
+  ++stats_.state_transfers;
+  // Ask a pseudo-random peer; retry rotates the choice.
+  ReplicaId peer = static_cast<ReplicaId>(
+      1 + ctx.rng().below(opts_.config.n()));
+  if (peer == opts_.id) peer = (peer % opts_.config.n()) + 1;
+  StateTransferRequestMsg req;
+  req.requester = opts_.id;
+  req.have_seq = le_;
+  send_to_replica(ctx, peer, make_message(std::move(req)));
+  ctx.set_timer(opts_.config.view_change_timeout_us, timer_id(kStateTransferTimer, 0));
+}
+
+void SbftReplica::handle_state_transfer_request(NodeId /*from*/,
+                                                const StateTransferRequestMsg& m,
+                                                sim::ActorContext& ctx) {
+  if (silent()) return;
+  if (stable_checkpoint_.pi_sig.empty() || stable_checkpoint_.seq <= m.have_seq)
+    return;
+  StateTransferReplyMsg reply;
+  reply.seq = stable_checkpoint_.seq;
+  reply.cert = stable_checkpoint_;
+  reply.service_snapshot = latest_snapshot_;
+  ctx.charge(ctx.costs().hash_us(latest_snapshot_.size()));
+  send_to_replica(ctx, m.requester, make_message(std::move(reply)));
+}
+
+void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
+                                              sim::ActorContext& ctx) {
+  if (m.seq <= le_) {
+    st_inflight_ = false;
+    return;
+  }
+  ctx.charge(ctx.costs().bls_verify_combined_us);
+  if (m.cert.seq != m.seq ||
+      !opts_.crypto.pi_verifier->verify(m.cert.exec_digest(), as_span(m.cert.pi_sig)))
+    return;
+  auto fresh = service_->clone_empty();
+  ctx.charge(ctx.costs().hash_us(m.service_snapshot.size()));
+  if (!fresh->restore(as_span(m.service_snapshot))) return;
+  if (!(fresh->state_digest() == m.cert.state_root)) return;  // snapshot forged
+
+  service_ = std::move(fresh);
+  le_ = m.seq;
+  ls_ = m.seq;
+  exec_digests_[m.seq] = m.cert.exec_digest();
+  stable_checkpoint_ = m.cert;
+  latest_snapshot_ = m.service_snapshot;
+  slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
+  exec_records_.erase(exec_records_.begin(), exec_records_.lower_bound(m.seq));
+  st_inflight_ = false;
+  try_execute(ctx);
+}
+
+}  // namespace sbft::core

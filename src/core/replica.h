@@ -1,0 +1,200 @@
+// SBFT replica (§V): fast path, Linear-PBFT fallback, execution and
+// acknowledgement with E-collectors, checkpointing/garbage collection,
+// state transfer, and the dual-mode view change.
+//
+// The replica is a simulator actor: all sends/timers go through the
+// ActorContext, and every cryptographic or service operation charges its
+// calibrated cost so the discrete-event clock reflects a real deployment.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/crypto_context.h"
+#include "core/view_change.h"
+#include "kv/service.h"
+#include "proto/config.h"
+#include "proto/message.h"
+#include "sim/network.h"
+#include "storage/ledger_storage.h"
+
+namespace sbft::core {
+
+/// Fault behaviours injected for testing. Everything except kHonest models a
+/// Byzantine or crashed replica; honest replicas must stay safe regardless.
+enum class ReplicaBehavior {
+  kHonest,
+  kSilent,         // receives but never sends (crash-like, still counts CPU)
+  kEquivocate,     // as primary, proposes different blocks to different halves
+  kCorruptShares,  // flips a byte in every threshold share it emits
+};
+
+struct ReplicaOptions {
+  ProtocolConfig config;
+  ReplicaId id = 1;  // 1..n; the replica must be node id-1 in the network
+  ReplicaCrypto crypto;
+  std::shared_ptr<storage::ILedgerStorage> ledger;  // optional persistence
+  ReplicaBehavior behavior = ReplicaBehavior::kHonest;
+  // Collector staggering (§V: "in most executions just one collector is
+  // active and the others just monitor in idle").
+  int64_t collector_stagger_us = 25'000;
+};
+
+struct ReplicaStats {
+  uint64_t fast_commits = 0;
+  uint64_t slow_commits = 0;
+  uint64_t blocks_executed = 0;
+  uint64_t requests_executed = 0;
+  uint64_t view_changes = 0;
+  uint64_t state_transfers = 0;
+  uint64_t invalid_shares_seen = 0;
+  // Phase timing (sums over this replica's slots, microseconds).
+  int64_t pp_to_commit_us = 0;    // pre-prepare accept -> commit
+  int64_t commit_to_exec_us = 0;  // commit -> execution
+  uint64_t timed_slots = 0;
+  int64_t pending_wait_us = 0;    // primary: request arrival -> proposal
+  uint64_t proposed_requests = 0;
+  int64_t exec_to_ack_us = 0;     // E-collector: own execution -> acks sent
+  uint64_t acked_blocks = 0;
+  uint64_t buffered_pi_shares = 0;
+};
+
+class SbftReplica final : public sim::IActor {
+ public:
+  SbftReplica(ReplicaOptions options, std::unique_ptr<IService> service);
+  ~SbftReplica() override;  // defined where Slot/ExecRecord are complete
+
+  void on_start(sim::ActorContext& ctx) override;
+  void on_message(NodeId from, const Message& msg, sim::ActorContext& ctx) override;
+  void on_timer(uint64_t id, sim::ActorContext& ctx) override;
+
+  // Introspection (tests, metrics).
+  ReplicaId id() const { return opts_.id; }
+  ViewNum view() const { return view_; }
+  SeqNum last_executed() const { return le_; }
+  SeqNum last_stable() const { return ls_; }
+  const IService& service() const { return *service_; }
+  const ReplicaStats& stats() const { return stats_; }
+  /// Chained execution digest d_s for an executed sequence (nullopt if
+  /// unknown / garbage collected without record).
+  std::optional<Digest> exec_digest_of(SeqNum s) const;
+  /// Digest of the decision block committed at s (nullopt if not committed).
+  std::optional<Digest> committed_digest_of(SeqNum s) const;
+
+ private:
+  struct Slot;
+  struct ExecRecord;
+
+  // --- message handlers -----------------------------------------------------
+  void handle_client_request(NodeId from, const ClientRequestMsg& m,
+                             sim::ActorContext& ctx);
+  void handle_pre_prepare(NodeId from, const PrePrepareMsg& m, sim::ActorContext& ctx);
+  void handle_sign_share(const SignShareMsg& m, sim::ActorContext& ctx);
+  void handle_full_commit_proof(const FullCommitProofMsg& m, sim::ActorContext& ctx);
+  void handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx);
+  void handle_commit_share(const CommitShareMsg& m, sim::ActorContext& ctx);
+  void handle_full_commit_proof_slow(const FullCommitProofSlowMsg& m,
+                                     sim::ActorContext& ctx);
+  void handle_sign_state(const SignStateMsg& m, sim::ActorContext& ctx);
+  void handle_full_execute_proof(const FullExecuteProofMsg& m, sim::ActorContext& ctx);
+  void handle_view_change(const ViewChangeMsg& m, sim::ActorContext& ctx);
+  void handle_new_view(const NewViewMsg& m, sim::ActorContext& ctx);
+  void handle_get_block_request(const GetBlockRequestMsg& m, sim::ActorContext& ctx);
+  void handle_get_block_reply(const GetBlockReplyMsg& m, sim::ActorContext& ctx);
+  void handle_state_transfer_request(NodeId from, const StateTransferRequestMsg& m,
+                                     sim::ActorContext& ctx);
+  void handle_state_transfer_reply(const StateTransferReplyMsg& m,
+                                   sim::ActorContext& ctx);
+
+  // --- primary --------------------------------------------------------------
+  bool is_primary() const { return opts_.config.primary_of(view_) == opts_.id; }
+  uint64_t active_window() const;
+  uint32_t adaptive_batch_size() const;
+  void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
+  void propose_block(Block block, sim::ActorContext& ctx);
+
+  // --- commit paths ----------------------------------------------------------
+  void accept_pre_prepare(SeqNum s, ViewNum v, Block block, sim::ActorContext& ctx);
+  void collector_try_fast(SeqNum s, sim::ActorContext& ctx, bool from_stagger);
+  void collector_try_prepare(SeqNum s, sim::ActorContext& ctx);
+  void collector_try_slow_proof(SeqNum s, sim::ActorContext& ctx);
+  void commit(SeqNum s, const Digest& block_digest, bool fast, sim::ActorContext& ctx);
+
+  // --- execution (§V-D) -------------------------------------------------------
+  void try_execute(sim::ActorContext& ctx);
+  void execute_block(SeqNum s, sim::ActorContext& ctx);
+  void ecollector_try_proof(SeqNum s, sim::ActorContext& ctx, bool from_stagger);
+  void send_execute_acks(SeqNum s, sim::ActorContext& ctx);
+  void advance_checkpoint(SeqNum s, sim::ActorContext& ctx);
+  void garbage_collect();
+
+  // --- view change (§V-G) -----------------------------------------------------
+  void start_view_change(ViewNum target, sim::ActorContext& ctx);
+  ViewChangeMsg build_view_change(ViewNum target) const;
+  void maybe_send_new_view(ViewNum target, sim::ActorContext& ctx);
+  void enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx);
+
+  // --- state transfer ----------------------------------------------------------
+  void request_state_transfer(sim::ActorContext& ctx);
+
+  // --- helpers -----------------------------------------------------------------
+  Slot& slot(SeqNum s);
+  Slot* find_slot(SeqNum s);
+  NodeId node_of(ReplicaId r) const { return r - 1; }
+  bool from_replica(NodeId node, ReplicaId r) const { return node == r - 1; }
+  void send_to_replica(sim::ActorContext& ctx, ReplicaId r, MessagePtr msg);
+  void broadcast_replicas(sim::ActorContext& ctx, MessagePtr msg);
+  Bytes sign_share_maybe_corrupt(const crypto::IThresholdSigner& signer,
+                                 const Digest& d) const;
+  void arm_progress_timer(sim::ActorContext& ctx);
+  bool silent() const { return opts_.behavior == ReplicaBehavior::kSilent; }
+
+  ReplicaOptions opts_;
+  std::unique_ptr<IService> service_;
+
+  ViewNum view_ = 0;
+  bool in_view_change_ = false;
+  ViewNum vc_target_ = 0;
+  uint32_t vc_attempts_ = 0;
+
+  SeqNum ls_ = 0;        // last stable (checkpointed) sequence
+  SeqNum le_ = 0;        // last executed sequence
+  SeqNum next_seq_ = 1;  // primary: next sequence to propose
+
+  std::map<SeqNum, Slot> slots_;
+  std::map<SeqNum, ExecRecord> exec_records_;
+  std::map<SeqNum, Digest> exec_digests_;  // d_s chain (kept across GC)
+  ExecCertificate stable_checkpoint_;      // latest pi-certified checkpoint
+  Bytes latest_snapshot_;                  // service snapshot at the checkpoint
+
+  // Primary request queue.
+  std::deque<std::pair<Request, sim::SimTime>> pending_;
+  std::set<std::pair<ClientId, uint64_t>> pending_keys_;
+  double avg_pending_ = 0;  // EWMA demand estimate for adaptive batching
+
+  // Per-client reply cache (§V-A dedup / retry).
+  struct CachedReply {
+    uint64_t timestamp = 0;
+    SeqNum seq = 0;
+    uint64_t index = 0;
+    Bytes value;
+  };
+  std::map<ClientId, CachedReply> reply_cache_;
+
+  // View-change messages collected per target view.
+  std::map<ViewNum, std::map<ReplicaId, ViewChangeMsg>> vc_msgs_;
+  bool new_view_sent_ = false;
+
+  // Progress tracking for the view-change timer.
+  SeqNum progress_marker_ = 0;
+  bool progress_timer_armed_ = false;
+  bool forwarded_waiting_ = false;  // forwarded a client request to the primary
+  bool st_inflight_ = false;
+
+  ReplicaStats stats_;
+};
+
+}  // namespace sbft::core

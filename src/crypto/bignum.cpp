@@ -1,0 +1,396 @@
+#include "crypto/bignum.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace sbft::crypto {
+
+namespace {
+constexpr uint64_t kBase = 1ull << 32;
+}
+
+BigUint::BigUint(uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<uint32_t>(v >> 32));
+}
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_bytes_be(ByteSpan bytes) {
+  BigUint out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    size_t bit_pos = (bytes.size() - 1 - i) * 8;
+    out.limbs_[bit_pos / 32] |= static_cast<uint32_t>(bytes[i]) << (bit_pos % 32);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_bytes_be(as_span(sbft::from_hex(padded)));
+}
+
+Bytes BigUint::to_bytes_be() const {
+  if (is_zero()) return Bytes{0};
+  int bytes = (bit_length() + 7) / 8;
+  Bytes out(static_cast<size_t>(bytes), 0);
+  for (int i = 0; i < bytes; ++i) {
+    int bit_pos = i * 8;
+    out[static_cast<size_t>(bytes - 1 - i)] =
+        static_cast<uint8_t>(limbs_[static_cast<size_t>(bit_pos / 32)] >> (bit_pos % 32));
+  }
+  return out;
+}
+
+std::string BigUint::to_hex() const { return sbft::to_hex(as_span(to_bytes_be())); }
+
+uint64_t BigUint::low_u64() const {
+  uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return static_cast<int>(limbs_.size() - 1) * 32 +
+         (32 - std::countl_zero(limbs_.back()));
+}
+
+bool BigUint::bit(int i) const {
+  size_t limb = static_cast<size_t>(i) / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+BigUint BigUint::random_bits(Rng& rng, int bits) {
+  SBFT_CHECK(bits > 0);
+  BigUint out;
+  out.limbs_.resize(static_cast<size_t>(bits + 31) / 32);
+  for (auto& l : out.limbs_) l = static_cast<uint32_t>(rng.next());
+  int top_bits = bits % 32 == 0 ? 32 : bits % 32;
+  uint32_t mask = top_bits == 32 ? 0xffffffffu : ((1u << top_bits) - 1);
+  out.limbs_.back() &= mask;
+  out.limbs_.back() |= 1u << (top_bits - 1);  // force exact bit length
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::random_below(Rng& rng, const BigUint& bound) {
+  SBFT_CHECK(!bound.is_zero());
+  int bits = bound.bit_length();
+  for (;;) {
+    BigUint candidate;
+    candidate.limbs_.resize(static_cast<size_t>(bits + 31) / 32);
+    for (auto& l : candidate.limbs_) l = static_cast<uint32_t>(rng.next());
+    int top_bits = bits % 32 == 0 ? 32 : bits % 32;
+    uint32_t mask = top_bits == 32 ? 0xffffffffu : ((1u << top_bits) - 1);
+    candidate.limbs_.back() &= mask;
+    candidate.normalize();
+    if (candidate < bound) return candidate;
+  }
+}
+
+int BigUint::cmp(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::operator+(const BigUint& o) const {
+  BigUint out;
+  size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_.push_back(static_cast<uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigUint BigUint::operator-(const BigUint& o) const {
+  SBFT_CHECK(*this >= o);
+  BigUint out;
+  out.limbs_.reserve(limbs_.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow -
+                   (i < o.limbs_.size() ? static_cast<int64_t>(o.limbs_[i]) : 0);
+    borrow = diff < 0 ? 1 : 0;
+    out.limbs_.push_back(static_cast<uint32_t>(diff + (borrow ? static_cast<int64_t>(kBase) : 0)));
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::operator*(const BigUint& o) const {
+  if (is_zero() || o.is_zero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = limbs_[i];
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + ai * o.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + o.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::operator<<(int bits) const {
+  if (is_zero() || bits == 0) return *this;
+  int limb_shift = bits / 32;
+  int bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + static_cast<size_t>(limb_shift) + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + static_cast<size_t>(limb_shift)] |= static_cast<uint32_t>(v);
+    out.limbs_[i + static_cast<size_t>(limb_shift) + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::operator>>(int bits) const {
+  if (is_zero() || bits == 0) return *this;
+  size_t limb_shift = static_cast<size_t>(bits) / 32;
+  int bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.normalize();
+  return out;
+}
+
+DivMod BigUint::divmod(const BigUint& dividend, const BigUint& divisor) {
+  if (divisor.is_zero()) throw std::domain_error("BigUint: division by zero");
+  if (cmp(dividend, divisor) < 0) return {BigUint(), dividend};
+
+  // Single-limb fast path.
+  if (divisor.limbs_.size() == 1) {
+    uint64_t d = divisor.limbs_[0];
+    BigUint q;
+    q.limbs_.assign(dividend.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = dividend.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | dividend.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.normalize();
+    return {q, BigUint(rem)};
+  }
+
+  // Knuth Algorithm D with 32-bit digits.
+  const int s = std::countl_zero(divisor.limbs_.back());
+  BigUint vs = divisor << s;
+  BigUint us = dividend << s;
+  const size_t n = vs.limbs_.size();
+  std::vector<uint32_t> un(us.limbs_);
+  un.resize(std::max(un.size(), dividend.limbs_.size() + 1) + 1, 0);
+  const std::vector<uint32_t>& vn = vs.limbs_;
+  const size_t m = un.size() - n - 1;
+
+  BigUint q;
+  q.limbs_.assign(m + 1, 0);
+  for (size_t j = m + 1; j-- > 0;) {
+    uint64_t num = (static_cast<uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    uint64_t qhat = num / vn[n - 1];
+    uint64_t rhat = num % vn[n - 1];
+    for (;;) {
+      if (qhat >= kBase ||
+          qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+        --qhat;
+        rhat += vn[n - 1];
+        if (rhat < kBase) continue;
+      }
+      break;
+    }
+    // Multiply-and-subtract.
+    uint64_t mul_carry = 0;
+    int64_t borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t p = qhat * vn[i] + mul_carry;
+      mul_carry = p >> 32;
+      int64_t t = static_cast<int64_t>(un[i + j]) -
+                  static_cast<int64_t>(p & 0xffffffffull) - borrow;
+      un[i + j] = static_cast<uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    int64_t t = static_cast<int64_t>(un[j + n]) -
+                static_cast<int64_t>(mul_carry) - borrow;
+    un[j + n] = static_cast<uint32_t>(t);
+    if (t < 0) {
+      // qhat was one too large; add divisor back.
+      --qhat;
+      uint64_t carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(un[i + j]) + vn[i] + carry;
+        un[i + j] = static_cast<uint32_t>(sum);
+        carry = sum >> 32;
+      }
+      un[j + n] = static_cast<uint32_t>(un[j + n] + carry);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+  q.normalize();
+  BigUint r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<ptrdiff_t>(n));
+  r.normalize();
+  return {q, r >> s};
+}
+
+BigUint BigUint::gcd(BigUint a, BigUint b) {
+  while (!b.is_zero()) {
+    BigUint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUint BigUint::mod_mul(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return (a * b) % m;
+}
+
+BigUint BigUint::mod_exp(const BigUint& base, const BigUint& exp, const BigUint& m) {
+  SBFT_CHECK(!m.is_zero());
+  if (m == BigUint(1)) return BigUint();
+  BigUint result(1);
+  BigUint b = base % m;
+  int bits = exp.bit_length();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = mod_mul(result, result, m);
+    if (exp.bit(i)) result = mod_mul(result, b, m);
+  }
+  return result;
+}
+
+BigUint BigUint::mod_inverse(const BigUint& a, const BigUint& m) {
+  EgcdResult e = extended_gcd(a % m, m);
+  if (e.g != BigUint(1)) return BigUint();
+  return e.x.mod(m);
+}
+
+bool BigUint::is_probable_prime(const BigUint& n, Rng& rng, int rounds) {
+  static const uint32_t small_primes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29,
+                                          31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+                                          73, 79, 83, 89, 97, 101, 103, 107, 109, 113};
+  if (n < BigUint(2)) return false;
+  for (uint32_t p : small_primes) {
+    BigUint bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^r.
+  BigUint n_minus_1 = n - BigUint(1);
+  BigUint d = n_minus_1;
+  int r = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+  BigUint two(2);
+  for (int i = 0; i < rounds; ++i) {
+    BigUint a = random_below(rng, n - BigUint(3)) + two;  // in [2, n-2]
+    BigUint x = mod_exp(a, d, n);
+    if (x == BigUint(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (int j = 0; j < r - 1; ++j) {
+      x = mod_mul(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUint BigUint::random_prime(Rng& rng, int bits) {
+  SBFT_CHECK(bits >= 8);
+  for (;;) {
+    BigUint candidate = random_bits(rng, bits);
+    if (candidate.is_even()) candidate = candidate + BigUint(1);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BigInt
+
+BigInt::BigInt(int64_t v)
+    : mag_(v < 0 ? BigUint(static_cast<uint64_t>(-v)) : BigUint(static_cast<uint64_t>(v))),
+      neg_(v < 0) {}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  if (neg_ == o.neg_) return BigInt(mag_ + o.mag_, neg_);
+  // Opposite signs: subtract smaller magnitude from larger.
+  if (mag_ >= o.mag_) return BigInt(mag_ - o.mag_, neg_);
+  return BigInt(o.mag_ - mag_, o.neg_);
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  return BigInt(mag_ * o.mag_, neg_ != o.neg_);
+}
+
+BigUint BigInt::mod(const BigUint& m) const {
+  BigUint r = mag_ % m;
+  if (neg_ && !r.is_zero()) return m - r;
+  return r;
+}
+
+EgcdResult extended_gcd(const BigUint& a, const BigUint& b) {
+  // Iterative extended Euclid on (old_r, r) with Bezout coefficient tracking.
+  BigUint old_r = a, r = b;
+  BigInt old_s(1), s(0), old_t(0), t(1);
+  while (!r.is_zero()) {
+    DivMod dm = BigUint::divmod(old_r, r);
+    BigInt q(dm.quotient);
+    old_r = r;
+    r = dm.remainder;
+    BigInt new_s = old_s - q * s;
+    old_s = s;
+    s = new_s;
+    BigInt new_t = old_t - q * t;
+    old_t = t;
+    t = new_t;
+  }
+  return {old_r, old_s, old_t};
+}
+
+}  // namespace sbft::crypto

@@ -1,0 +1,131 @@
+// Arbitrary-precision unsigned/signed integers, from scratch.
+//
+// This replaces Crypto++'s integer arithmetic for the RSA and Shoup
+// threshold-RSA substrates. Representation: little-endian vector of 32-bit
+// limbs, normalized (no trailing zero limbs; the value 0 has no limbs).
+// Division is Knuth's Algorithm D. Performance targets the test/benchmark
+// sizes used in this repository (512..2048-bit moduli), not a general crypto
+// library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace sbft::crypto {
+
+class BigUint;
+struct DivMod;  // defined after BigUint (quotient/remainder pair)
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(uint64_t v);
+
+  static BigUint from_bytes_be(ByteSpan bytes);
+  static BigUint from_hex(std::string_view hex);
+  /// Uniform value with exactly `bits` bits (top bit set) from `rng`.
+  static BigUint random_bits(Rng& rng, int bits);
+  /// Uniform value in [0, bound).
+  static BigUint random_below(Rng& rng, const BigUint& bound);
+
+  Bytes to_bytes_be() const;
+  std::string to_hex() const;
+  /// Low 64 bits of the value.
+  uint64_t low_u64() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_even() const { return limbs_.empty() || (limbs_[0] & 1) == 0; }
+  int bit_length() const;
+  bool bit(int i) const;
+
+  /// Three-way comparison: <0, 0, >0.
+  static int cmp(const BigUint& a, const BigUint& b);
+  bool operator==(const BigUint& o) const { return cmp(*this, o) == 0; }
+  bool operator!=(const BigUint& o) const { return cmp(*this, o) != 0; }
+  bool operator<(const BigUint& o) const { return cmp(*this, o) < 0; }
+  bool operator<=(const BigUint& o) const { return cmp(*this, o) <= 0; }
+  bool operator>(const BigUint& o) const { return cmp(*this, o) > 0; }
+  bool operator>=(const BigUint& o) const { return cmp(*this, o) >= 0; }
+
+  BigUint operator+(const BigUint& o) const;
+  /// Requires *this >= o.
+  BigUint operator-(const BigUint& o) const;
+  BigUint operator*(const BigUint& o) const;
+  BigUint operator<<(int bits) const;
+  BigUint operator>>(int bits) const;
+
+  /// Throws std::domain_error on division by zero.
+  static DivMod divmod(const BigUint& dividend, const BigUint& divisor);
+  BigUint operator/(const BigUint& o) const;
+  BigUint operator%(const BigUint& o) const;
+
+  static BigUint gcd(BigUint a, BigUint b);
+
+  /// (base ^ exp) mod m, m > 0.
+  static BigUint mod_exp(const BigUint& base, const BigUint& exp, const BigUint& m);
+  /// Multiplicative inverse of a mod m; returns zero value if gcd(a, m) != 1.
+  static BigUint mod_inverse(const BigUint& a, const BigUint& m);
+  static BigUint mod_mul(const BigUint& a, const BigUint& b, const BigUint& m);
+
+  /// Miller-Rabin probabilistic primality test.
+  static bool is_probable_prime(const BigUint& n, Rng& rng, int rounds = 24);
+  /// Random probable prime with exactly `bits` bits.
+  static BigUint random_prime(Rng& rng, int bits);
+
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void normalize();
+  std::vector<uint32_t> limbs_;
+};
+
+struct DivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+inline BigUint BigUint::operator/(const BigUint& o) const {
+  return divmod(*this, o).quotient;
+}
+inline BigUint BigUint::operator%(const BigUint& o) const {
+  return divmod(*this, o).remainder;
+}
+
+/// Signed big integer: sign-and-magnitude over BigUint. Only the operations
+/// required by extended GCD and Shoup signature reconstruction are provided.
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(const BigUint& mag, bool negative = false)
+      : mag_(mag), neg_(negative && !mag.is_zero()) {}
+  explicit BigInt(int64_t v);
+
+  const BigUint& magnitude() const { return mag_; }
+  bool negative() const { return neg_; }
+  bool is_zero() const { return mag_.is_zero(); }
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator-() const { return BigInt(mag_, !neg_); }
+
+  /// Value reduced into [0, m): the canonical representative mod m.
+  BigUint mod(const BigUint& m) const;
+
+ private:
+  BigUint mag_;
+  bool neg_ = false;
+};
+
+struct EgcdResult {
+  BigUint g;  // gcd(a, b)
+  BigInt x;   // a*x + b*y == g
+  BigInt y;
+};
+EgcdResult extended_gcd(const BigUint& a, const BigUint& b);
+
+}  // namespace sbft::crypto

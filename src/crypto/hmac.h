@@ -1,0 +1,14 @@
+// HMAC-SHA256 (RFC 2104). Used by the simulated-BLS threshold scheme and by
+// tests; the paper's implementation uses HMAC from Crypto++ for channel MACs.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace sbft::crypto {
+
+Digest hmac_sha256(ByteSpan key, ByteSpan message);
+
+/// HMAC over the concatenation of several fragments.
+Digest hmac_sha256(ByteSpan key, std::initializer_list<ByteSpan> fragments);
+
+}  // namespace sbft::crypto

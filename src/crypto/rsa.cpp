@@ -1,0 +1,68 @@
+#include "crypto/rsa.h"
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "crypto/sha256.h"
+
+namespace sbft::crypto {
+
+BigUint rsa_fdh(const Digest& digest, const BigUint& n) {
+  // MGF1-style expansion: concatenate SHA256(digest || counter) blocks until
+  // we have modulus-sized output, then reduce mod n. The reduction bias is
+  // negligible at >=2 blocks of slack; we generate one extra block.
+  size_t need = static_cast<size_t>((n.bit_length() + 7) / 8) + 32;
+  Bytes stream;
+  stream.reserve(need + 32);
+  uint32_t counter = 0;
+  while (stream.size() < need) {
+    Writer w;
+    w.digest(digest);
+    w.u32(counter++);
+    Digest block = sha256(as_span(w.data()));
+    stream.insert(stream.end(), block.begin(), block.end());
+  }
+  stream.resize(need);
+  BigUint v = BigUint::from_bytes_be(as_span(stream)) % n;
+  if (v < BigUint(2)) v = v + BigUint(2);
+  return v;
+}
+
+Bytes RsaPrivateKey::sign(const Digest& digest) const {
+  BigUint m = rsa_fdh(digest, pub.n);
+  BigUint s = BigUint::mod_exp(m, d, pub.n);
+  // Fixed-width encoding so signature sizes are stable on the wire.
+  Bytes raw = s.to_bytes_be();
+  Bytes out(pub.signature_size(), 0);
+  SBFT_CHECK(raw.size() <= out.size());
+  std::copy(raw.begin(), raw.end(), out.end() - static_cast<ptrdiff_t>(raw.size()));
+  return out;
+}
+
+bool RsaPublicKey::verify(const Digest& digest, ByteSpan signature) const {
+  if (signature.size() != signature_size()) return false;
+  BigUint s = BigUint::from_bytes_be(signature);
+  if (s >= n) return false;
+  BigUint m = rsa_fdh(digest, n);
+  return BigUint::mod_exp(s, e, n) == m;
+}
+
+RsaKeyPair rsa_generate(Rng& rng, int bits) {
+  SBFT_CHECK(bits >= 128);
+  BigUint e(65537);
+  for (;;) {
+    BigUint p = BigUint::random_prime(rng, bits / 2);
+    BigUint q = BigUint::random_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+    BigUint n = p * q;
+    BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+    if (BigUint::gcd(e, phi) != BigUint(1)) continue;
+    BigUint d = BigUint::mod_inverse(e, phi);
+    if (d.is_zero()) continue;
+    RsaKeyPair kp;
+    kp.pub = RsaPublicKey{n, e};
+    kp.priv = RsaPrivateKey{kp.pub, d};
+    return kp;
+  }
+}
+
+}  // namespace sbft::crypto

@@ -1,0 +1,42 @@
+// Plain RSA with full-domain-hash signatures, built on the bignum substrate.
+// The paper signs client requests and server messages with 2048-bit RSA
+// (following [31]); tests and examples here default to smaller moduli so the
+// from-scratch bignum stays fast.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/bignum.h"
+
+namespace sbft::crypto {
+
+struct RsaPublicKey {
+  BigUint n;
+  BigUint e;
+
+  bool verify(const Digest& digest, ByteSpan signature) const;
+  size_t signature_size() const { return static_cast<size_t>((n.bit_length() + 7) / 8); }
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigUint d;
+
+  Bytes sign(const Digest& digest) const;
+};
+
+struct RsaKeyPair {
+  RsaPrivateKey priv;
+  RsaPublicKey pub;
+};
+
+/// Generates an RSA key pair with a modulus of `bits` bits (e = 65537).
+RsaKeyPair rsa_generate(Rng& rng, int bits);
+
+/// Full-domain hash: expands a 32-byte digest to an integer in [2, n).
+/// Exposed for the threshold-RSA scheme, which hashes to the same domain.
+BigUint rsa_fdh(const Digest& digest, const BigUint& n);
+
+}  // namespace sbft::crypto

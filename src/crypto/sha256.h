@@ -1,0 +1,37 @@
+// From-scratch SHA-256 (FIPS 180-4). The paper uses SHA256 (via Crypto++) for
+// all protocol digests; this implementation replaces that dependency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sbft::crypto {
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(ByteSpan data);
+  Sha256& update(std::string_view s) { return update(as_span(s)); }
+  /// Finalizes and returns the digest. The object must be reset() before reuse.
+  Digest finish();
+
+ private:
+  void compress(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(ByteSpan data);
+Digest sha256(std::string_view s);
+
+/// sha256(a || b) without materializing the concatenation.
+Digest sha256_concat(ByteSpan a, ByteSpan b);
+
+}  // namespace sbft::crypto

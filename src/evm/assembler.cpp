@@ -1,0 +1,52 @@
+#include "evm/assembler.h"
+
+#include <stdexcept>
+
+namespace sbft::evm {
+
+Assembler& Assembler::push(uint64_t v) {
+  // Count significant bytes (at least one).
+  int n = 1;
+  for (int i = 7; i >= 1; --i) {
+    if (v >> (8 * i)) {
+      n = i + 1;
+      break;
+    }
+  }
+  code_.push_back(static_cast<uint8_t>(static_cast<uint8_t>(Op::PUSH1) + n - 1));
+  for (int i = n - 1; i >= 0; --i) code_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  return *this;
+}
+
+Assembler& Assembler::push(const U256& v) {
+  code_.push_back(0x7f);  // PUSH32
+  auto w = v.to_word();
+  code_.insert(code_.end(), w.begin(), w.end());
+  return *this;
+}
+
+Assembler& Assembler::push_label(const std::string& name) {
+  code_.push_back(static_cast<uint8_t>(Op::PUSH1) + 1);  // PUSH2
+  fixups_.emplace_back(code_.size(), name);
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+Assembler& Assembler::label(const std::string& name) {
+  labels_[name] = code_.size();
+  return op(Op::JUMPDEST);
+}
+
+Bytes Assembler::assemble() const {
+  Bytes out = code_;
+  for (const auto& [offset, name] : fixups_) {
+    auto it = labels_.find(name);
+    if (it == labels_.end()) throw std::logic_error("undefined label: " + name);
+    out[offset] = static_cast<uint8_t>(it->second >> 8);
+    out[offset + 1] = static_cast<uint8_t>(it->second);
+  }
+  return out;
+}
+
+}  // namespace sbft::evm

@@ -1,0 +1,40 @@
+// Tiny EVM assembler used to author the contracts in the workload library.
+// Supports labeled jump targets with two-byte push fixups.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "evm/vm.h"
+
+namespace sbft::evm {
+
+class Assembler {
+ public:
+  Assembler& op(Op o) {
+    code_.push_back(static_cast<uint8_t>(o));
+    return *this;
+  }
+
+  /// Minimal-width PUSH of a 64-bit constant.
+  Assembler& push(uint64_t v);
+  /// PUSH of a full 256-bit constant (always PUSH32).
+  Assembler& push(const U256& v);
+  /// PUSH2 of a label's code offset; resolved at assemble() time.
+  Assembler& push_label(const std::string& name);
+  /// Defines `name` here and emits a JUMPDEST.
+  Assembler& label(const std::string& name);
+
+  /// Resolves fixups and returns the bytecode. Throws std::logic_error on
+  /// undefined labels.
+  Bytes assemble() const;
+
+ private:
+  Bytes code_;
+  std::map<std::string, size_t> labels_;
+  std::vector<std::pair<size_t, std::string>> fixups_;  // offset of PUSH2 operand
+};
+
+}  // namespace sbft::evm

@@ -1,0 +1,122 @@
+#include "evm/contracts.h"
+
+#include "evm/assembler.h"
+
+namespace sbft::evm {
+
+namespace {
+
+/// Emits code that replaces the account value on top of the stack with its
+/// balance storage slot: slot = SHA3(account_word || zero_word).
+void emit_balance_slot(Assembler& a) {
+  a.push(uint64_t{0}).op(Op::MSTORE);                 // mem[0..32) = account
+  a.push(uint64_t{0}).push(uint64_t{32}).op(Op::MSTORE);  // mem[32..64) = 0
+  a.push(uint64_t{64}).push(uint64_t{0}).op(Op::SHA3);    // [slot]
+}
+
+/// Emits "store top of stack at mem[0] and RETURN 32 bytes".
+void emit_return_word(Assembler& a) {
+  a.push(uint64_t{0}).op(Op::MSTORE);
+  a.push(uint64_t{32}).push(uint64_t{0}).op(Op::RETURN);
+}
+
+Bytes encode_call3(uint64_t selector, const U256& w1, const U256& w2) {
+  Bytes out;
+  auto sel = U256(selector).to_word();
+  auto a1 = w1.to_word();
+  auto a2 = w2.to_word();
+  out.insert(out.end(), sel.begin(), sel.end());
+  out.insert(out.end(), a1.begin(), a1.end());
+  out.insert(out.end(), a2.begin(), a2.end());
+  return out;
+}
+
+}  // namespace
+
+Bytes counter_contract() {
+  Assembler a;
+  a.push(uint64_t{0}).op(Op::SLOAD);       // [count]
+  a.push(uint64_t{1}).op(Op::ADD);         // [count+1]
+  a.op(Op::DUP1);                          // [count+1, count+1]
+  a.push(uint64_t{0}).op(Op::SSTORE);      // [count+1]
+  emit_return_word(a);
+  return a.assemble();
+}
+
+Bytes token_contract() {
+  Assembler a;
+  // Dispatcher.
+  a.push(uint64_t{0}).op(Op::CALLDATALOAD);                      // [sel]
+  a.op(Op::DUP1).push(uint64_t{1}).op(Op::EQ).push_label("mint").op(Op::JUMPI);
+  a.op(Op::DUP1).push(uint64_t{2}).op(Op::EQ).push_label("transfer").op(Op::JUMPI);
+  a.op(Op::DUP1).push(uint64_t{3}).op(Op::EQ).push_label("balanceOf").op(Op::JUMPI);
+  a.push(uint64_t{0}).push(uint64_t{0}).op(Op::REVERT);
+
+  // mint(account, amount): balance[account] += amount
+  a.label("mint").op(Op::POP);                                    // []
+  a.push(uint64_t{32}).op(Op::CALLDATALOAD);                      // [acct]
+  emit_balance_slot(a);                                           // [slot]
+  a.op(Op::DUP1).op(Op::SLOAD);                                   // [slot, bal]
+  a.push(uint64_t{64}).op(Op::CALLDATALOAD).op(Op::ADD);          // [slot, bal+amt]
+  a.op(Op::SWAP1).op(Op::SSTORE);                                 // []
+  a.push(uint64_t{1});
+  emit_return_word(a);
+
+  // transfer(to, amount): REVERT if balance[caller] < amount.
+  a.label("transfer").op(Op::POP);                                // []
+  a.op(Op::CALLER);                                               // [caller]
+  emit_balance_slot(a);                                           // [fslot]
+  a.op(Op::DUP1).op(Op::SLOAD);                                   // [fslot, bal]
+  a.op(Op::DUP1).push(uint64_t{64}).op(Op::CALLDATALOAD).op(Op::GT);  // [fslot,bal, amt>bal]
+  a.push_label("insufficient").op(Op::JUMPI);                     // [fslot, bal]
+  a.push(uint64_t{64}).op(Op::CALLDATALOAD).op(Op::SWAP1).op(Op::SUB);  // [fslot, bal-amt]
+  a.op(Op::SWAP1).op(Op::SSTORE);                                 // []
+  a.push(uint64_t{32}).op(Op::CALLDATALOAD);                      // [to]
+  emit_balance_slot(a);                                           // [tslot]
+  a.op(Op::DUP1).op(Op::SLOAD);                                   // [tslot, tbal]
+  a.push(uint64_t{64}).op(Op::CALLDATALOAD).op(Op::ADD);          // [tslot, tbal+amt]
+  a.op(Op::SWAP1).op(Op::SSTORE);                                 // []
+  a.push(uint64_t{1});
+  emit_return_word(a);
+
+  // balanceOf(account)
+  a.label("balanceOf").op(Op::POP);                               // []
+  a.push(uint64_t{32}).op(Op::CALLDATALOAD);                      // [acct]
+  emit_balance_slot(a);                                           // [slot]
+  a.op(Op::SLOAD);                                                // [bal]
+  emit_return_word(a);
+
+  a.label("insufficient");
+  a.push(uint64_t{0}).push(uint64_t{0}).op(Op::REVERT);
+  return a.assemble();
+}
+
+Bytes token_call_mint(const U256& account, const U256& amount) {
+  return encode_call3(1, account, amount);
+}
+Bytes token_call_transfer(const U256& to, const U256& amount) {
+  return encode_call3(2, to, amount);
+}
+Bytes token_call_balance_of(const U256& account) {
+  return encode_call3(3, account, U256(0));
+}
+
+Bytes spin_contract() {
+  Assembler a;
+  a.push(uint64_t{32}).op(Op::CALLDATALOAD);  // [n]
+  a.push(uint64_t{0});                        // [n, i]
+  a.push(uint64_t{1});                        // [n, i, acc]
+  a.label("loop");                            // [n, i, acc]
+  a.push(uint64_t{3}).op(Op::MUL).push(uint64_t{7}).op(Op::ADD);  // [n,i,acc']
+  a.op(Op::SWAP1).push(uint64_t{1}).op(Op::ADD).op(Op::SWAP1);    // [n,i+1,acc']
+  a.op(Op::DUP2).op(Op::DUP4).op(Op::GT);     // [n,i,acc, n>i]
+  a.push_label("loop").op(Op::JUMPI);         // [n,i,acc]
+  emit_return_word(a);                        // returns acc
+  return a.assemble();
+}
+
+Bytes spin_call(uint64_t iterations) {
+  return encode_call3(0, U256(iterations), U256(0));
+}
+
+}  // namespace sbft::evm

@@ -1,0 +1,181 @@
+#include "evm/u256.h"
+
+namespace sbft::evm {
+
+using crypto::BigUint;
+
+U256 U256::from_bytes_be(ByteSpan data) {
+  U256 out;
+  size_t n = std::min<size_t>(data.size(), 32);
+  // Right-align: the last byte of `data` is the least significant.
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t byte = data[data.size() - 1 - i];
+    out.limb[i / 8] |= static_cast<uint64_t>(byte) << (8 * (i % 8));
+  }
+  return out;
+}
+
+U256 U256::from_big(const BigUint& b) {
+  Bytes be = b.to_bytes_be();
+  if (be.size() > 32) be.erase(be.begin(), be.end() - 32);  // truncate mod 2^256
+  return from_bytes_be(as_span(be));
+}
+
+BigUint U256::to_big() const { return BigUint::from_bytes_be(ByteSpan{to_word().data(), 32}); }
+
+std::array<uint8_t, 32> U256::to_word() const {
+  std::array<uint8_t, 32> out{};
+  for (size_t i = 0; i < 32; ++i) {
+    out[31 - i] = static_cast<uint8_t>(limb[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+Bytes U256::to_bytes() const {
+  auto w = to_word();
+  return Bytes(w.begin(), w.end());
+}
+
+int U256::cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] != b.limb[i]) return a.limb[i] < b.limb[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+U256 operator+(const U256& a, const U256& b) {
+  U256 out;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 sum = carry + a.limb[i] + b.limb[i];
+    out.limb[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return out;
+}
+
+U256 operator-(const U256& a, const U256& b) {
+  U256 out;
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 d = static_cast<unsigned __int128>(a.limb[i]) - b.limb[i] - borrow;
+    out.limb[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return out;
+}
+
+U256 operator*(const U256& a, const U256& b) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; i + j < 4; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a.limb[i]) * b.limb[j] +
+                              out.limb[i + j] + carry;
+      out.limb[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  return out;
+}
+
+U256 operator/(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256();
+  return U256::from_big(a.to_big() / b.to_big());
+}
+
+U256 operator%(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256();
+  return U256::from_big(a.to_big() % b.to_big());
+}
+
+U256 operator&(const U256& a, const U256& b) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = a.limb[i] & b.limb[i];
+  return out;
+}
+
+U256 operator|(const U256& a, const U256& b) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = a.limb[i] | b.limb[i];
+  return out;
+}
+
+U256 operator^(const U256& a, const U256& b) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = a.limb[i] ^ b.limb[i];
+  return out;
+}
+
+U256 U256::operator~() const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = ~limb[i];
+  return out;
+}
+
+U256 U256::shl(uint64_t bits) const {
+  if (bits >= 256) return U256();
+  U256 out;
+  uint64_t limb_shift = bits / 64;
+  uint64_t bit_shift = bits % 64;
+  for (int i = 3; i >= 0; --i) {
+    uint64_t v = 0;
+    int src = i - static_cast<int>(limb_shift);
+    if (src >= 0) v = limb[static_cast<size_t>(src)] << bit_shift;
+    if (bit_shift != 0 && src - 1 >= 0)
+      v |= limb[static_cast<size_t>(src - 1)] >> (64 - bit_shift);
+    out.limb[static_cast<size_t>(i)] = v;
+  }
+  return out;
+}
+
+U256 U256::shr(uint64_t bits) const {
+  if (bits >= 256) return U256();
+  U256 out;
+  uint64_t limb_shift = bits / 64;
+  uint64_t bit_shift = bits % 64;
+  for (size_t i = 0; i < 4; ++i) {
+    uint64_t v = 0;
+    size_t src = i + limb_shift;
+    if (src < 4) v = limb[src] >> bit_shift;
+    if (bit_shift != 0 && src + 1 < 4) v |= limb[src + 1] << (64 - bit_shift);
+    out.limb[i] = v;
+  }
+  return out;
+}
+
+U256 U256::exp(const U256& base, const U256& e) {
+  U256 result(1);
+  U256 b = base;
+  for (int bit = 0; bit < 256; ++bit) {
+    size_t i = static_cast<size_t>(bit) / 64;
+    if ((e.limb[i] >> (bit % 64)) & 1) result = result * b;
+    // Square for the next bit; skip the final wasted square.
+    if (bit < 255) b = b * b;
+    // Early exit when no higher bits remain.
+    bool more = false;
+    for (size_t j = i; j < 4; ++j) {
+      uint64_t rest = e.limb[j];
+      if (j == i) rest &= ~((bit % 64 == 63) ? 0xffffffffffffffffull
+                                             : ((1ull << ((bit % 64) + 1)) - 1));
+      if (rest) {
+        more = true;
+        break;
+      }
+    }
+    if (!more) break;
+  }
+  return result;
+}
+
+U256 U256::addmod(const U256& a, const U256& b, const U256& m) {
+  if (m.is_zero()) return U256();
+  return from_big((a.to_big() + b.to_big()) % m.to_big());
+}
+
+U256 U256::mulmod(const U256& a, const U256& b, const U256& m) {
+  if (m.is_zero()) return U256();
+  return from_big((a.to_big() * b.to_big()) % m.to_big());
+}
+
+}  // namespace sbft::evm

@@ -1,0 +1,55 @@
+// 256-bit unsigned integer for the EVM-subset interpreter. Little-endian
+// 64-bit limbs; wrap-around semantics matching the EVM (mod 2^256). Division
+// and exponentiation delegate to the bignum substrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+
+namespace sbft::evm {
+
+struct U256 {
+  std::array<uint64_t, 4> limb{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(uint64_t v) : limb{v, 0, 0, 0} {}
+
+  static U256 from_bytes_be(ByteSpan data);  // up to 32 bytes, right-aligned
+  static U256 from_big(const crypto::BigUint& b);
+  crypto::BigUint to_big() const;
+  /// 32-byte big-endian encoding (EVM word).
+  std::array<uint8_t, 32> to_word() const;
+  Bytes to_bytes() const;
+
+  bool is_zero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+  uint64_t low64() const { return limb[0]; }
+  /// True if the value fits in 64 bits.
+  bool fits64() const { return (limb[1] | limb[2] | limb[3]) == 0; }
+
+  friend bool operator==(const U256& a, const U256& b) { return a.limb == b.limb; }
+  friend bool operator!=(const U256& a, const U256& b) { return !(a == b); }
+  static int cmp(const U256& a, const U256& b);
+  friend bool operator<(const U256& a, const U256& b) { return cmp(a, b) < 0; }
+  friend bool operator>(const U256& a, const U256& b) { return cmp(a, b) > 0; }
+
+  friend U256 operator+(const U256& a, const U256& b);
+  friend U256 operator-(const U256& a, const U256& b);
+  friend U256 operator*(const U256& a, const U256& b);
+  friend U256 operator/(const U256& a, const U256& b);  // x/0 == 0 (EVM rule)
+  friend U256 operator%(const U256& a, const U256& b);  // x%0 == 0 (EVM rule)
+  friend U256 operator&(const U256& a, const U256& b);
+  friend U256 operator|(const U256& a, const U256& b);
+  friend U256 operator^(const U256& a, const U256& b);
+  U256 operator~() const;
+  U256 shl(uint64_t bits) const;
+  U256 shr(uint64_t bits) const;
+
+  static U256 exp(const U256& base, const U256& e);           // mod 2^256
+  static U256 addmod(const U256& a, const U256& b, const U256& m);
+  static U256 mulmod(const U256& a, const U256& b, const U256& m);
+};
+
+}  // namespace sbft::evm

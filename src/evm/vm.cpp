@@ -1,0 +1,404 @@
+#include "evm/vm.h"
+
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace sbft::evm {
+
+namespace {
+
+constexpr size_t kMaxStack = 1024;
+constexpr size_t kMaxMemory = 1 << 22;  // 4 MiB per execution
+
+struct Frame {
+  IEvmHost& host;
+  const EvmParams& p;
+  std::vector<U256> stack;
+  Bytes memory;
+  uint64_t gas = 0;
+  size_t pc = 0;
+  uint32_t logs = 0;
+  // Journal of storage writes; flushed to the host only on success.
+  std::map<std::array<uint8_t, 32>, U256> journal;
+
+  Frame(IEvmHost& h, const EvmParams& params) : host(h), p(params), gas(params.gas_limit) {
+    stack.reserve(64);
+  }
+
+  bool charge(uint64_t cost) {
+    if (gas < cost) return false;
+    gas -= cost;
+    return true;
+  }
+
+  bool grow_memory(uint64_t offset, uint64_t len) {
+    if (len == 0) return true;
+    uint64_t end = offset + len;
+    if (end < offset || end > kMaxMemory) return false;
+    if (end > memory.size()) {
+      uint64_t new_words = (end + 31) / 32;
+      uint64_t old_words = (memory.size() + 31) / 32;
+      if (!charge((new_words - old_words) * 3)) return false;
+      memory.resize(new_words * 32, 0);
+    }
+    return true;
+  }
+
+  U256 sload(const U256& slot) {
+    auto it = journal.find(slot.to_word());
+    if (it != journal.end()) return it->second;
+    return host.sload(p.self, slot);
+  }
+
+  void flush_journal() {
+    for (const auto& [slot, value] : journal)
+      host.sstore(p.self, U256::from_bytes_be(ByteSpan{slot.data(), 32}), value);
+  }
+};
+
+/// Valid jump destinations: positions holding JUMPDEST outside push data.
+std::vector<bool> scan_jumpdests(ByteSpan code) {
+  std::vector<bool> valid(code.size(), false);
+  for (size_t i = 0; i < code.size(); ++i) {
+    uint8_t op = code[i];
+    if (op == static_cast<uint8_t>(Op::JUMPDEST)) valid[i] = true;
+    if (op >= static_cast<uint8_t>(Op::PUSH1) && op <= 0x7f)
+      i += static_cast<size_t>(op - static_cast<uint8_t>(Op::PUSH1) + 1);
+  }
+  return valid;
+}
+
+EvmResult fail(EvmStatus status, const Frame& f, std::string error = {}) {
+  EvmResult r;
+  r.status = status;
+  r.gas_used = f.p.gas_limit - f.gas;
+  r.error = std::move(error);
+  return r;
+}
+
+}  // namespace
+
+EvmResult evm_execute(IEvmHost& host, const EvmParams& params) {
+  Frame f(host, params);
+  const ByteSpan code = params.code;
+  const std::vector<bool> jumpdests = scan_jumpdests(code);
+
+  auto pop = [&](U256& out) {
+    if (f.stack.empty()) return false;
+    out = f.stack.back();
+    f.stack.pop_back();
+    return true;
+  };
+  auto push = [&](const U256& v) {
+    if (f.stack.size() >= kMaxStack) return false;
+    f.stack.push_back(v);
+    return true;
+  };
+
+  while (f.pc < code.size()) {
+    uint8_t opcode = code[f.pc];
+
+    // PUSH1..PUSH32
+    if (opcode >= static_cast<uint8_t>(Op::PUSH1) && opcode <= 0x7f) {
+      if (!f.charge(3)) return fail(EvmStatus::kOutOfGas, f);
+      size_t n = static_cast<size_t>(opcode - static_cast<uint8_t>(Op::PUSH1) + 1);
+      size_t avail = std::min(n, code.size() - f.pc - 1);
+      U256 v = U256::from_bytes_be(code.subspan(f.pc + 1, avail));
+      // Short push data at end of code is zero-extended on the right per EVM.
+      if (avail < n) v = v.shl(8 * (n - avail));
+      if (!push(v)) return fail(EvmStatus::kInvalid, f, "stack overflow");
+      f.pc += 1 + n;
+      continue;
+    }
+    // DUP1..DUP16
+    if (opcode >= 0x80 && opcode <= 0x8f) {
+      if (!f.charge(3)) return fail(EvmStatus::kOutOfGas, f);
+      size_t n = static_cast<size_t>(opcode - 0x80 + 1);
+      if (f.stack.size() < n) return fail(EvmStatus::kInvalid, f, "stack underflow");
+      if (!push(f.stack[f.stack.size() - n]))
+        return fail(EvmStatus::kInvalid, f, "stack overflow");
+      ++f.pc;
+      continue;
+    }
+    // SWAP1..SWAP16
+    if (opcode >= 0x90 && opcode <= 0x9f) {
+      if (!f.charge(3)) return fail(EvmStatus::kOutOfGas, f);
+      size_t n = static_cast<size_t>(opcode - 0x90 + 1);
+      if (f.stack.size() < n + 1) return fail(EvmStatus::kInvalid, f, "stack underflow");
+      std::swap(f.stack.back(), f.stack[f.stack.size() - 1 - n]);
+      ++f.pc;
+      continue;
+    }
+    // LOG0..LOG2
+    if (opcode >= 0xa0 && opcode <= 0xa2) {
+      size_t topics = static_cast<size_t>(opcode - 0xa0);
+      U256 off, len, topic;
+      if (!pop(off) || !pop(len)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+      for (size_t i = 0; i < topics; ++i)
+        if (!pop(topic)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+      if (!off.fits64() || !len.fits64() || !f.grow_memory(off.low64(), len.low64()))
+        return fail(EvmStatus::kOutOfGas, f);
+      if (!f.charge(375 + 375 * topics + 8 * len.low64()))
+        return fail(EvmStatus::kOutOfGas, f);
+      ++f.logs;
+      ++f.pc;
+      continue;
+    }
+
+    U256 a, b, c;
+    switch (static_cast<Op>(opcode)) {
+      case Op::STOP: {
+        f.flush_journal();
+        EvmResult r;
+        r.status = EvmStatus::kSuccess;
+        r.gas_used = f.p.gas_limit - f.gas;
+        r.log_count = f.logs;
+        return r;
+      }
+      case Op::ADD: case Op::MUL: case Op::SUB: case Op::DIV: case Op::MOD:
+      case Op::LT: case Op::GT: case Op::EQ: case Op::AND: case Op::OR:
+      case Op::XOR: case Op::BYTE: case Op::SHL: case Op::SHR: {
+        uint64_t cost = (opcode == static_cast<uint8_t>(Op::MUL) ||
+                         opcode == static_cast<uint8_t>(Op::DIV) ||
+                         opcode == static_cast<uint8_t>(Op::MOD)) ? 5 : 3;
+        if (!f.charge(cost)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a) || !pop(b)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        U256 r;
+        switch (static_cast<Op>(opcode)) {
+          case Op::ADD: r = a + b; break;
+          case Op::MUL: r = a * b; break;
+          case Op::SUB: r = a - b; break;
+          case Op::DIV: r = a / b; break;
+          case Op::MOD: r = a % b; break;
+          case Op::LT: r = U256(a < b ? 1 : 0); break;
+          case Op::GT: r = U256(a > b ? 1 : 0); break;
+          case Op::EQ: r = U256(a == b ? 1 : 0); break;
+          case Op::AND: r = a & b; break;
+          case Op::OR: r = a | b; break;
+          case Op::XOR: r = a ^ b; break;
+          case Op::BYTE:
+            r = (a.fits64() && a.low64() < 32) ? U256(b.to_word()[a.low64()]) : U256(0);
+            break;
+          case Op::SHL: r = a.fits64() ? b.shl(a.low64()) : U256(0); break;
+          case Op::SHR: r = a.fits64() ? b.shr(a.low64()) : U256(0); break;
+          default: break;
+        }
+        if (!push(r)) return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::ADDMOD: case Op::MULMOD: {
+        if (!f.charge(8)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a) || !pop(b) || !pop(c))
+          return fail(EvmStatus::kInvalid, f, "stack underflow");
+        U256 r = static_cast<Op>(opcode) == Op::ADDMOD ? U256::addmod(a, b, c)
+                                                       : U256::mulmod(a, b, c);
+        if (!push(r)) return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::EXP: {
+        if (!pop(a) || !pop(b)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!f.charge(10 + 50 * ((b.is_zero() ? 0u : 32u))))
+          return fail(EvmStatus::kOutOfGas, f);
+        if (!push(U256::exp(a, b))) return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::ISZERO: case Op::NOT: {
+        if (!f.charge(3)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        U256 r = static_cast<Op>(opcode) == Op::ISZERO ? U256(a.is_zero() ? 1 : 0) : ~a;
+        if (!push(r)) return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::SHA3: {
+        if (!pop(a) || !pop(b)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!a.fits64() || !b.fits64() || !f.grow_memory(a.low64(), b.low64()))
+          return fail(EvmStatus::kOutOfGas, f);
+        if (!f.charge(30 + 6 * ((b.low64() + 31) / 32)))
+          return fail(EvmStatus::kOutOfGas, f);
+        Digest d = crypto::sha256(ByteSpan{f.memory.data() + a.low64(), b.low64()});
+        if (!push(U256::from_bytes_be(as_span(d))))
+          return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::ADDRESS: case Op::CALLER: {
+        if (!f.charge(2)) return fail(EvmStatus::kOutOfGas, f);
+        const Address& addr =
+            static_cast<Op>(opcode) == Op::ADDRESS ? f.p.self : f.p.caller;
+        if (!push(U256::from_bytes_be(ByteSpan{addr.data(), addr.size()})))
+          return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::CALLVALUE: {
+        if (!f.charge(2)) return fail(EvmStatus::kOutOfGas, f);
+        if (!push(f.p.callvalue)) return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::CALLDATALOAD: {
+        if (!f.charge(3)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        uint8_t word[32] = {0};
+        if (a.fits64()) {
+          uint64_t off = a.low64();
+          for (size_t i = 0; i < 32 && off + i < f.p.calldata.size(); ++i)
+            word[i] = f.p.calldata[off + i];
+        }
+        if (!push(U256::from_bytes_be(ByteSpan{word, 32})))
+          return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::CALLDATASIZE: {
+        if (!f.charge(2)) return fail(EvmStatus::kOutOfGas, f);
+        if (!push(U256(f.p.calldata.size())))
+          return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::CALLDATACOPY: {
+        if (!pop(a) || !pop(b) || !pop(c))
+          return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!a.fits64() || !b.fits64() || !c.fits64() ||
+            !f.grow_memory(a.low64(), c.low64()))
+          return fail(EvmStatus::kOutOfGas, f);
+        if (!f.charge(3 + 3 * ((c.low64() + 31) / 32)))
+          return fail(EvmStatus::kOutOfGas, f);
+        for (uint64_t i = 0; i < c.low64(); ++i) {
+          uint64_t src = b.low64() + i;
+          f.memory[a.low64() + i] = src < f.p.calldata.size() ? f.p.calldata[src] : 0;
+        }
+        ++f.pc;
+        break;
+      }
+      case Op::POP: {
+        if (!f.charge(2)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        ++f.pc;
+        break;
+      }
+      case Op::MLOAD: {
+        if (!f.charge(3)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!a.fits64() || !f.grow_memory(a.low64(), 32))
+          return fail(EvmStatus::kOutOfGas, f);
+        if (!push(U256::from_bytes_be(ByteSpan{f.memory.data() + a.low64(), 32})))
+          return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::MSTORE: {
+        if (!f.charge(3)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a) || !pop(b)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!a.fits64() || !f.grow_memory(a.low64(), 32))
+          return fail(EvmStatus::kOutOfGas, f);
+        auto w = b.to_word();
+        std::copy(w.begin(), w.end(), f.memory.begin() + static_cast<ptrdiff_t>(a.low64()));
+        ++f.pc;
+        break;
+      }
+      case Op::MSTORE8: {
+        if (!f.charge(3)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a) || !pop(b)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!a.fits64() || !f.grow_memory(a.low64(), 1))
+          return fail(EvmStatus::kOutOfGas, f);
+        f.memory[a.low64()] = static_cast<uint8_t>(b.low64());
+        ++f.pc;
+        break;
+      }
+      case Op::SLOAD: {
+        if (!f.charge(200)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!push(f.sload(a))) return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::SSTORE: {
+        if (!pop(a) || !pop(b)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        bool fresh = f.sload(a).is_zero() && !b.is_zero();
+        if (!f.charge(fresh ? 20000 : 5000)) return fail(EvmStatus::kOutOfGas, f);
+        f.journal[a.to_word()] = b;
+        ++f.pc;
+        break;
+      }
+      case Op::JUMP: {
+        if (!f.charge(8)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!a.fits64() || a.low64() >= code.size() || !jumpdests[a.low64()])
+          return fail(EvmStatus::kInvalid, f, "bad jump destination");
+        f.pc = a.low64();
+        break;
+      }
+      case Op::JUMPI: {
+        if (!f.charge(10)) return fail(EvmStatus::kOutOfGas, f);
+        if (!pop(a) || !pop(b)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!b.is_zero()) {
+          if (!a.fits64() || a.low64() >= code.size() || !jumpdests[a.low64()])
+            return fail(EvmStatus::kInvalid, f, "bad jump destination");
+          f.pc = a.low64();
+        } else {
+          ++f.pc;
+        }
+        break;
+      }
+      case Op::PC: {
+        if (!f.charge(2)) return fail(EvmStatus::kOutOfGas, f);
+        if (!push(U256(f.pc))) return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::MSIZE: {
+        if (!f.charge(2)) return fail(EvmStatus::kOutOfGas, f);
+        if (!push(U256(f.memory.size())))
+          return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::GAS: {
+        if (!f.charge(2)) return fail(EvmStatus::kOutOfGas, f);
+        if (!push(U256(f.gas))) return fail(EvmStatus::kInvalid, f, "stack overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::JUMPDEST: {
+        if (!f.charge(1)) return fail(EvmStatus::kOutOfGas, f);
+        ++f.pc;
+        break;
+      }
+      case Op::RETURN: case Op::REVERT: {
+        if (!pop(a) || !pop(b)) return fail(EvmStatus::kInvalid, f, "stack underflow");
+        if (!a.fits64() || !b.fits64() || !f.grow_memory(a.low64(), b.low64()))
+          return fail(EvmStatus::kOutOfGas, f);
+        EvmResult r;
+        if (static_cast<Op>(opcode) == Op::RETURN) {
+          f.flush_journal();
+          r.status = EvmStatus::kSuccess;
+        } else {
+          r.status = EvmStatus::kRevert;
+        }
+        r.output.assign(f.memory.begin() + static_cast<ptrdiff_t>(a.low64()),
+                        f.memory.begin() + static_cast<ptrdiff_t>(a.low64() + b.low64()));
+        r.gas_used = f.p.gas_limit - f.gas;
+        r.log_count = f.logs;
+        return r;
+      }
+      default:
+        return fail(EvmStatus::kInvalid, f, "unknown opcode");
+    }
+  }
+  // Fell off the end of code: implicit STOP.
+  f.flush_journal();
+  EvmResult r;
+  r.status = EvmStatus::kSuccess;
+  r.gas_used = f.p.gas_limit - f.gas;
+  r.log_count = f.logs;
+  return r;
+}
+
+}  // namespace sbft::evm

@@ -1,0 +1,233 @@
+#include "harness/cluster.h"
+
+#include <algorithm>
+
+namespace sbft::harness {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kPbft: return "PBFT";
+    case ProtocolKind::kLinearPbft: return "Linear-PBFT";
+    case ProtocolKind::kLinearPbftFast: return "Linear-PBFT+FastPath";
+    case ProtocolKind::kSbft: return "SBFT";
+  }
+  return "?";
+}
+
+ProtocolConfig ClusterOptions::make_config() const {
+  ProtocolConfig config;
+  config.f = f;
+  config.c = kind == ProtocolKind::kSbft ? c : 0;
+  switch (kind) {
+    case ProtocolKind::kPbft:
+    case ProtocolKind::kLinearPbft:
+      config.fast_path_enabled = false;
+      config.execution_collector = false;
+      break;
+    case ProtocolKind::kLinearPbftFast:
+      config.fast_path_enabled = true;
+      config.execution_collector = false;
+      break;
+    case ProtocolKind::kSbft:
+      config.fast_path_enabled = true;
+      config.execution_collector = true;
+      break;
+  }
+  if (tweak_config) {
+    ProtocolConfig copy = config;
+    tweak_config(copy);
+    return copy;
+  }
+  return config;
+}
+
+Cluster::Cluster(ClusterOptions options)
+    : opts_(std::move(options)), config_(opts_.make_config()) {
+  if (opts_.topology.region_latency_us.empty()) opts_.topology = sim::lan_topology();
+  if (!opts_.service_factory) {
+    opts_.service_factory = [] { return std::make_unique<FastKvService>(); };
+  }
+  if (!opts_.op_factory) opts_.op_factory = kv_op_factory({});
+  build();
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::build() {
+  net_ = std::make_unique<sim::Network>(sim_, opts_.topology, opts_.costs, opts_.seed);
+  Rng key_rng(opts_.seed ^ 0x5bf7u);
+  keys_ = opts_.use_real_threshold_crypto
+              ? core::ClusterKeys::generate_rsa(key_rng, config_,
+                                                opts_.threshold_rsa_bits)
+              : core::ClusterKeys::generate(key_rng, config_);
+
+  const uint32_t n = config_.n();
+  const ReplicaId primary0 = config_.primary_of(0);
+
+  // Fault roles are drawn first (replica behaviour is fixed at construction).
+  // The view-0 primary is never selected: the paper's failure scenarios crash
+  // backups, and primary failure is exercised by the view-change tests.
+  Rng fault_rng(opts_.seed ^ 0xfau);
+  std::vector<ReplicaId> backups;
+  for (ReplicaId r = 1; r <= n; ++r) {
+    if (r != primary0) backups.push_back(r);
+  }
+  for (size_t i = backups.size(); i > 1; --i) {
+    std::swap(backups[i - 1], backups[fault_rng.below(i)]);
+  }
+  std::vector<core::ReplicaBehavior> behavior(n + 1, core::ReplicaBehavior::kHonest);
+  std::vector<ReplicaId> to_crash;
+  std::vector<ReplicaId> to_slow;
+  size_t cursor = 0;
+  for (uint32_t i = 0; i < opts_.crash_replicas && cursor < backups.size(); ++i) {
+    to_crash.push_back(backups[cursor++]);
+  }
+  for (uint32_t i = 0; i < opts_.straggler_replicas && cursor < backups.size(); ++i) {
+    to_slow.push_back(backups[cursor++]);
+  }
+  for (uint32_t i = 0; i < opts_.byzantine_replicas && cursor < backups.size(); ++i) {
+    behavior[backups[cursor++]] = opts_.byzantine_behavior;
+  }
+
+  // Replicas occupy node ids 0..n-1 (replica r => node r-1).
+  for (ReplicaId r = 1; r <= n; ++r) {
+    if (opts_.kind == ProtocolKind::kPbft) {
+      pbft::PbftOptions po;
+      po.config = config_;
+      po.id = r;
+      auto replica = std::make_unique<pbft::PbftReplica>(std::move(po),
+                                                         opts_.service_factory());
+      NodeId node = net_->add_node(replica.get());
+      SBFT_CHECK(node == r - 1);
+      pbft_replicas_.push_back(std::move(replica));
+    } else {
+      core::ReplicaOptions ro;
+      ro.config = config_;
+      ro.id = r;
+      ro.crypto = core::ReplicaCrypto::for_replica(keys_, r);
+      ro.behavior = behavior[r];
+      auto replica =
+          std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
+      NodeId node = net_->add_node(replica.get());
+      SBFT_CHECK(node == r - 1);
+      sbft_replicas_.push_back(std::move(replica));
+    }
+  }
+
+  // Clients occupy node ids n..n+k-1; ClientId == NodeId.
+  for (uint32_t i = 0; i < opts_.num_clients; ++i) {
+    core::ClientOptions co;
+    co.config = config_;
+    co.crypto = core::ReplicaCrypto::verifier_only(keys_);
+    co.num_requests = opts_.requests_per_client;
+    co.id = n + i;
+    co.op_factory = opts_.per_client_op_factory ? opts_.per_client_op_factory(co.id)
+                                                : opts_.op_factory;
+    auto client = std::make_unique<core::SbftClient>(std::move(co));
+    NodeId node = net_->add_node(client.get());
+    SBFT_CHECK(node == n + i);
+    clients_.push_back(std::move(client));
+  }
+
+  for (ReplicaId r : to_crash) net_->crash(r - 1);
+  for (ReplicaId r : to_slow) {
+    net_->set_cpu_factor(r - 1, 4.0);
+    net_->set_extra_latency(r - 1, 20'000);
+  }
+}
+
+void Cluster::run_for(sim::SimTime sim_time_us) {
+  if (!started_) {
+    started_ = true;
+    net_->start();
+  }
+  sim_.run_until(sim_.now() + sim_time_us);
+}
+
+bool Cluster::run_until_done(sim::SimTime deadline_us) {
+  if (!started_) {
+    started_ = true;
+    net_->start();
+  }
+  while (sim_.now() < deadline_us) {
+    bool all_done = std::all_of(clients_.begin(), clients_.end(),
+                                [](const auto& c) { return c->done(); });
+    if (all_done) return true;
+    if (sim_.idle()) return false;  // deadlock would be a bug; surface it
+    sim_.run_until(std::min(deadline_us, sim_.now() + 50'000));
+  }
+  return std::all_of(clients_.begin(), clients_.end(),
+                     [](const auto& c) { return c->done(); });
+}
+
+core::SbftReplica* Cluster::sbft_replica(ReplicaId id) {
+  if (sbft_replicas_.empty()) return nullptr;
+  return sbft_replicas_.at(id - 1).get();
+}
+
+pbft::PbftReplica* Cluster::pbft_replica(ReplicaId id) {
+  if (pbft_replicas_.empty()) return nullptr;
+  return pbft_replicas_.at(id - 1).get();
+}
+
+SeqNum Cluster::min_executed() const {
+  SeqNum lo = UINT64_MAX;
+  for (ReplicaId r = 1; r <= config_.n(); ++r) {
+    if (net_->crashed(r - 1)) continue;
+    SeqNum le = sbft_replicas_.empty() ? pbft_replicas_[r - 1]->last_executed()
+                                       : sbft_replicas_[r - 1]->last_executed();
+    lo = std::min(lo, le);
+  }
+  return lo == UINT64_MAX ? 0 : lo;
+}
+
+SeqNum Cluster::max_executed() const {
+  SeqNum hi = 0;
+  for (ReplicaId r = 1; r <= config_.n(); ++r) {
+    SeqNum le = sbft_replicas_.empty() ? pbft_replicas_[r - 1]->last_executed()
+                                       : sbft_replicas_[r - 1]->last_executed();
+    hi = std::max(hi, le);
+  }
+  return hi;
+}
+
+uint64_t Cluster::total_fast_commits() const {
+  uint64_t total = 0;
+  for (const auto& r : sbft_replicas_) total += r->stats().fast_commits;
+  return total;
+}
+
+uint64_t Cluster::total_slow_commits() const {
+  uint64_t total = 0;
+  for (const auto& r : sbft_replicas_) total += r->stats().slow_commits;
+  return total;
+}
+
+uint64_t Cluster::total_view_changes() const {
+  uint64_t total = 0;
+  for (const auto& r : sbft_replicas_) total += r->stats().view_changes;
+  for (const auto& r : pbft_replicas_) total += r->stats().view_changes;
+  return total;
+}
+
+bool Cluster::check_agreement(SeqNum* bad_seq) const {
+  SeqNum hi = max_executed();
+  for (SeqNum s = 1; s <= hi; ++s) {
+    std::optional<Digest> expect;
+    for (ReplicaId r = 1; r <= config_.n(); ++r) {
+      std::optional<Digest> got =
+          sbft_replicas_.empty() ? pbft_replicas_[r - 1]->committed_digest_of(s)
+                                 : sbft_replicas_[r - 1]->committed_digest_of(s);
+      if (!got) continue;
+      if (!expect) {
+        expect = got;
+      } else if (!(*expect == *got)) {
+        if (bad_seq) *bad_seq = s;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sbft::harness

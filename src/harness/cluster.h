@@ -1,0 +1,115 @@
+// Cluster builder: assembles a full simulated deployment — replicas of the
+// chosen protocol variant, closed-loop clients, WAN topology, cost model,
+// fault injection — and provides the safety audit used by tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/replica.h"
+#include "harness/workload.h"
+#include "pbft/pbft_replica.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace sbft::harness {
+
+/// The five evaluated systems (§IX).
+enum class ProtocolKind {
+  kPbft,            // scale-optimized PBFT baseline
+  kLinearPbft,      // + ingredient 1 (collectors, threshold signatures)
+  kLinearPbftFast,  // + ingredient 2 (fast path)
+  kSbft,            // + ingredient 3 (execution collector); c adds ingredient 4
+};
+
+const char* protocol_name(ProtocolKind kind);
+
+struct ClusterOptions {
+  ProtocolKind kind = ProtocolKind::kSbft;
+  uint32_t f = 1;
+  uint32_t c = 0;  // only meaningful for kSbft (redundant collectors)
+  uint32_t num_clients = 4;
+  uint64_t requests_per_client = 1000;
+  sim::Topology topology;
+  sim::CostModel costs;
+  uint64_t seed = 1;
+
+  /// Service run by every replica; defaults to FastKvService.
+  std::function<std::unique_ptr<IService>()> service_factory;
+  /// Client operation generator; defaults to the single-put KV workload.
+  std::function<Bytes(uint64_t, Rng&)> op_factory;
+  /// Per-client generator factory (takes the ClientId); overrides op_factory
+  /// when set — used by workloads with per-client identity (eth workload).
+  std::function<std::function<Bytes(uint64_t, Rng&)>(ClientId)> per_client_op_factory;
+
+  // Fault injection (applied before start).
+  uint32_t crash_replicas = 0;      // crash this many non-primary replicas
+  uint32_t straggler_replicas = 0;  // slow (4x CPU, +20ms) non-primary replicas
+  core::ReplicaBehavior byzantine_behavior = core::ReplicaBehavior::kHonest;
+  uint32_t byzantine_replicas = 0;  // replicas given byzantine_behavior
+
+  // Use real Shoup threshold-RSA keys instead of the simulated-BLS scheme.
+  // Slower (real modular exponentiation per share); meant for small-n tests
+  // that exercise the protocol with genuine cryptography.
+  bool use_real_threshold_crypto = false;
+  int threshold_rsa_bits = 384;
+
+  // Optional overrides applied to the derived ProtocolConfig.
+  std::function<void(ProtocolConfig&)> tweak_config;
+
+  ProtocolConfig make_config() const;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts all nodes and runs until `sim_time_us` of virtual time passed.
+  void run_for(sim::SimTime sim_time_us);
+  /// Runs until every client finished its request budget or the deadline hit.
+  /// Returns true if all clients finished.
+  bool run_until_done(sim::SimTime deadline_us);
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *net_; }
+  const ClusterOptions& options() const { return opts_; }
+  const ProtocolConfig& config() const { return config_; }
+
+  uint32_t n() const { return config_.n(); }
+  core::SbftClient& client(size_t i) { return *clients_[i]; }
+  size_t num_clients() const { return clients_.size(); }
+  core::SbftReplica* sbft_replica(ReplicaId id);  // null for kPbft clusters
+  pbft::PbftReplica* pbft_replica(ReplicaId id);  // null for SBFT clusters
+
+  SeqNum min_executed() const;
+  SeqNum max_executed() const;
+  uint64_t total_fast_commits() const;
+  uint64_t total_slow_commits() const;
+  uint64_t total_view_changes() const;
+
+  /// Theorem VI.1 audit: every pair of replicas that committed a block at the
+  /// same sequence number committed the same block. Returns false (and the
+  /// offending sequence via *bad_seq) on divergence.
+  bool check_agreement(SeqNum* bad_seq = nullptr) const;
+
+ private:
+  void build();
+
+  ClusterOptions opts_;
+  ProtocolConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  core::ClusterKeys keys_;
+  std::vector<std::unique_ptr<core::SbftReplica>> sbft_replicas_;
+  std::vector<std::unique_ptr<pbft::PbftReplica>> pbft_replicas_;
+  std::vector<std::unique_ptr<core::SbftClient>> clients_;
+  bool started_ = false;
+};
+
+}  // namespace sbft::harness

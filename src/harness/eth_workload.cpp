@@ -1,0 +1,88 @@
+#include "harness/eth_workload.h"
+
+#include "common/serde.h"
+#include "crypto/sha256.h"
+#include "evm/contracts.h"
+
+namespace sbft::harness {
+
+namespace {
+
+evm::Address address_from(std::string_view domain, uint64_t id, uint64_t salt = 0) {
+  Writer w;
+  w.str(domain);
+  w.u64(id);
+  w.u64(salt);
+  Digest d = crypto::sha256(as_span(w.data()));
+  evm::Address a{};
+  std::copy(d.begin(), d.begin() + 20, a.begin());
+  return a;
+}
+
+evm::U256 account_word(const evm::Address& a) {
+  return evm::U256::from_bytes_be(ByteSpan{a.data(), a.size()});
+}
+
+}  // namespace
+
+evm::Address eth_account_of(ClientId id) { return address_from("sbft.eth.acct", id); }
+
+evm::Address eth_token_of(ClientId id) {
+  // The deployer address is unique per client, so its first creation (nonce
+  // 0) has a precomputable contract address.
+  return evm::EvmLedgerService::derive_address(address_from("sbft.eth.deployer", id),
+                                               0);
+}
+
+std::function<Bytes(uint64_t, Rng&)> eth_op_factory(ClientId id,
+                                                    EthWorkloadOptions options) {
+  return [id, options](uint64_t request_index, Rng& rng) -> Bytes {
+    const evm::Address self = eth_account_of(id);
+    const evm::Address deployer = address_from("sbft.eth.deployer", id);
+    const evm::Address token = eth_token_of(id);
+
+    if (request_index == 0) {
+      // Bootstrap: deploy the token and mint a balance.
+      std::vector<Bytes> txs;
+      evm::CreateTx create;
+      create.sender = deployer;
+      create.code = evm::token_contract();
+      txs.push_back(evm::encode_create(create));
+      evm::CallTx mint;
+      mint.sender = self;
+      mint.contract = token;
+      mint.calldata = evm::token_call_mint(account_word(self), evm::U256(1'000'000'000));
+      mint.gas_limit = options.gas_limit;
+      txs.push_back(evm::encode_call(mint));
+      return evm::encode_tx_batch(txs);
+    }
+
+    std::vector<Bytes> txs;
+    txs.reserve(options.txs_per_request);
+    for (uint32_t i = 0; i < options.txs_per_request; ++i) {
+      if (rng.chance(options.create_fraction)) {
+        // Fresh deployer per creation: the trace's long tail of new contracts.
+        evm::CreateTx create;
+        create.sender = address_from("sbft.eth.deployer", id,
+                                     request_index * 1000 + i + 1);
+        create.code = evm::token_contract();
+        txs.push_back(evm::encode_create(create));
+        continue;
+      }
+      evm::CallTx call;
+      call.sender = self;
+      call.contract = token;
+      evm::Address to = address_from("sbft.eth.acct", rng.below(1 << 20));
+      call.calldata = evm::token_call_transfer(account_word(to), evm::U256(1));
+      // Pad calldata to model real transaction sizes (extra bytes are ignored
+      // by the contract's CALLDATALOAD offsets).
+      Bytes padding = rng.bytes(options.tx_padding_bytes);
+      call.calldata.insert(call.calldata.end(), padding.begin(), padding.end());
+      call.gas_limit = options.gas_limit;
+      txs.push_back(evm::encode_call(call));
+    }
+    return evm::encode_tx_batch(txs);
+  };
+}
+
+}  // namespace sbft::harness

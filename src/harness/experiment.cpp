@@ -1,0 +1,108 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sbft::harness {
+
+bool bench_full_mode() {
+  const char* env = std::getenv("SBFT_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+std::vector<uint32_t> bench_client_grid() {
+  if (bench_full_mode()) return {4, 32, 64, 128, 192, 256};
+  return {4, 64, 256};
+}
+
+ExperimentResult run_point(const ExperimentPoint& point) {
+  ClusterOptions opts;
+  opts.kind = point.kind;
+  opts.f = point.f;
+  opts.c = point.c;
+  opts.num_clients = point.num_clients;
+  opts.requests_per_client = 0;  // run for the whole window
+  opts.topology = point.topology.region_latency_us.empty() ? sim::continent_topology()
+                                                           : point.topology;
+  opts.seed = point.seed;
+  opts.crash_replicas = point.crash_replicas;
+  opts.straggler_replicas = point.straggler_replicas;
+  KvWorkloadOptions workload;
+  workload.ops_per_request = point.ops_per_request;
+  opts.op_factory = kv_op_factory(workload);
+  if (point.tweak) point.tweak(opts);
+
+  Cluster cluster(std::move(opts));
+  cluster.run_for(point.warmup_us);
+  sim::SimTime from = cluster.simulator().now();
+  cluster.run_for(point.measure_us);
+  sim::SimTime to = cluster.simulator().now();
+
+  ExperimentResult result;
+  result.metrics = collect_metrics(cluster, from, to, point.ops_per_request);
+  result.agreement_ok = cluster.check_agreement();
+  result.sim_events = cluster.simulator().events_processed();
+  return result;
+}
+
+namespace {
+
+std::string cache_key(const ExperimentPoint& p) {
+  std::ostringstream key;
+  key << "k" << static_cast<int>(p.kind) << "_f" << p.f << "_c" << p.c << "_cl"
+      << p.num_clients << "_b" << p.ops_per_request << "_cr" << p.crash_replicas
+      << "_st" << p.straggler_replicas << "_w" << p.warmup_us << "_m"
+      << p.measure_us << "_s" << p.seed << "_t"
+      << (p.topology.region_latency_us.empty() ? "continent" : p.topology.name);
+  return key.str();
+}
+
+std::filesystem::path cache_dir() {
+  return std::filesystem::temp_directory_path() / "sbft-bench-cache";
+}
+
+bool load_cached(const std::filesystem::path& file, ExperimentResult* out) {
+  std::ifstream in(file);
+  if (!in) return false;
+  int agreement = 0;
+  RunMetrics& m = out->metrics;
+  in >> m.requests_completed >> m.requests_per_second >> m.ops_per_second >>
+      m.latency.count >> m.latency.mean_ms >> m.latency.median_ms >>
+      m.latency.p95_ms >> m.latency.min_ms >> m.latency.max_ms >>
+      m.fast_ack_fraction >> m.fast_commits >> m.slow_commits >> m.view_changes >>
+      m.messages_sent >> m.bytes_sent >> agreement >> out->sim_events;
+  if (!in) return false;
+  out->agreement_ok = agreement != 0;
+  return true;
+}
+
+void store_cached(const std::filesystem::path& file, const ExperimentResult& r) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir(), ec);
+  std::ofstream out(file);
+  const RunMetrics& m = r.metrics;
+  out << m.requests_completed << ' ' << m.requests_per_second << ' '
+      << m.ops_per_second << ' ' << m.latency.count << ' ' << m.latency.mean_ms
+      << ' ' << m.latency.median_ms << ' ' << m.latency.p95_ms << ' '
+      << m.latency.min_ms << ' ' << m.latency.max_ms << ' ' << m.fast_ack_fraction
+      << ' ' << m.fast_commits << ' ' << m.slow_commits << ' ' << m.view_changes
+      << ' ' << m.messages_sent << ' ' << m.bytes_sent << ' '
+      << (r.agreement_ok ? 1 : 0) << ' ' << r.sim_events << '\n';
+}
+
+}  // namespace
+
+ExperimentResult run_point_cached(const ExperimentPoint& point) {
+  if (point.tweak) return run_point(point);  // closures are not hashable
+  std::filesystem::path file = cache_dir() / (cache_key(point) + ".txt");
+  ExperimentResult cached;
+  if (load_cached(file, &cached)) return cached;
+  ExperimentResult fresh = run_point(point);
+  store_cached(file, fresh);
+  return fresh;
+}
+
+}  // namespace sbft::harness

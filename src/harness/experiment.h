@@ -1,0 +1,48 @@
+// Experiment runner shared by the benchmark binaries: configures a cluster
+// for one (protocol, clients, failures, batching) point, runs warmup +
+// measurement windows of simulated time, and returns the paper-style row.
+#pragma once
+
+#include <string>
+
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+
+namespace sbft::harness {
+
+struct ExperimentPoint {
+  ProtocolKind kind = ProtocolKind::kSbft;
+  uint32_t f = 64;
+  uint32_t c = 0;
+  uint32_t num_clients = 4;
+  uint32_t ops_per_request = 1;   // 64 = the paper's batching mode
+  uint32_t crash_replicas = 0;
+  uint32_t straggler_replicas = 0;
+  sim::SimTime warmup_us = 1'000'000;
+  sim::SimTime measure_us = 4'000'000;
+  uint64_t seed = 7;
+  sim::Topology topology;  // defaults to continent scale
+  std::function<void(ClusterOptions&)> tweak;  // optional extra configuration
+};
+
+struct ExperimentResult {
+  RunMetrics metrics;
+  bool agreement_ok = true;
+  uint64_t sim_events = 0;
+};
+
+ExperimentResult run_point(const ExperimentPoint& point);
+
+/// Like run_point, but memoizes results in a per-build on-disk cache keyed by
+/// the point's parameters, so fig3 reuses fig2's sweep (and re-runs are free).
+/// Points with a custom `tweak` are never cached (the closure is opaque).
+ExperimentResult run_point_cached(const ExperimentPoint& point);
+
+/// True when SBFT_BENCH_FULL=1: run the paper's full sweeps instead of the
+/// reduced default grid.
+bool bench_full_mode();
+
+/// Reduced/full client-count grid for fig2/fig3 (paper: 4..256).
+std::vector<uint32_t> bench_client_grid();
+
+}  // namespace sbft::harness

@@ -1,0 +1,70 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace sbft::harness {
+
+LatencySummary summarize_latencies(const std::vector<int64_t>& latencies_us) {
+  LatencySummary out;
+  if (latencies_us.empty()) return out;
+  std::vector<int64_t> sorted = latencies_us;
+  std::sort(sorted.begin(), sorted.end());
+  out.count = sorted.size();
+  out.mean_ms = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+                static_cast<double>(sorted.size()) / 1000.0;
+  out.median_ms = static_cast<double>(sorted[sorted.size() / 2]) / 1000.0;
+  out.p95_ms = static_cast<double>(sorted[sorted.size() * 95 / 100]) / 1000.0;
+  out.min_ms = static_cast<double>(sorted.front()) / 1000.0;
+  out.max_ms = static_cast<double>(sorted.back()) / 1000.0;
+  return out;
+}
+
+RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime to_us,
+                           uint32_t ops_per_request) {
+  RunMetrics m;
+  std::vector<int64_t> latencies;
+  uint64_t fast_acks = 0;
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    for (const core::ClientRecord& rec : cluster.client(i).records()) {
+      if (rec.completed_at < from_us || rec.completed_at >= to_us) continue;
+      ++m.requests_completed;
+      latencies.push_back(rec.latency_us);
+      if (rec.via_fast_ack) ++fast_acks;
+    }
+  }
+  double window_s = static_cast<double>(to_us - from_us) / 1e6;
+  if (window_s > 0) {
+    m.requests_per_second = static_cast<double>(m.requests_completed) / window_s;
+    m.ops_per_second = m.requests_per_second * ops_per_request;
+  }
+  m.latency = summarize_latencies(latencies);
+  if (m.requests_completed > 0) {
+    m.fast_ack_fraction =
+        static_cast<double>(fast_acks) / static_cast<double>(m.requests_completed);
+  }
+  m.fast_commits = cluster.total_fast_commits();
+  m.slow_commits = cluster.total_slow_commits();
+  m.view_changes = cluster.total_view_changes();
+  auto totals = cluster.network().total_stats();
+  m.messages_sent = totals.count;
+  m.bytes_sent = totals.bytes;
+  return m;
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths) {
+  std::ostringstream out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int width = i < widths.size() ? widths[i] : 12;
+    std::string cell = cells[i];
+    if (static_cast<int>(cell.size()) < width) {
+      cell.append(static_cast<size_t>(width - static_cast<int>(cell.size())), ' ');
+    }
+    out << cell << ' ';
+  }
+  return out.str();
+}
+
+}  // namespace sbft::harness

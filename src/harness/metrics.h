@@ -1,0 +1,44 @@
+// Latency/throughput aggregation over client completion records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+
+namespace sbft::harness {
+
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_ms = 0;
+  double median_ms = 0;
+  double p95_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+};
+
+LatencySummary summarize_latencies(const std::vector<int64_t>& latencies_us);
+
+struct RunMetrics {
+  uint64_t requests_completed = 0;
+  double requests_per_second = 0;
+  double ops_per_second = 0;  // requests * ops_per_request
+  LatencySummary latency;
+  double fast_ack_fraction = 0;  // accepted via a single execute-ack
+  uint64_t fast_commits = 0;
+  uint64_t slow_commits = 0;
+  uint64_t view_changes = 0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+};
+
+/// Gathers metrics for completions inside [from_us, to_us) of simulated time.
+RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime to_us,
+                           uint32_t ops_per_request);
+
+/// Formats a fixed-width table row; the benches share this printer.
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths);
+
+}  // namespace sbft::harness

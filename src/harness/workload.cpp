@@ -1,0 +1,75 @@
+#include "harness/workload.h"
+
+#include "common/serde.h"
+#include "kv/kv_service.h"
+
+namespace sbft::harness {
+
+std::function<Bytes(uint64_t, Rng&)> kv_op_factory(KvWorkloadOptions options) {
+  return [options](uint64_t /*request_index*/, Rng& rng) -> Bytes {
+    auto one_op = [&]() {
+      Bytes key(options.key_size);
+      uint64_t k = rng.below(options.key_space);
+      for (size_t i = 0; i < sizeof(k) && i < key.size(); ++i)
+        key[i] = static_cast<uint8_t>(k >> (8 * i));
+      Bytes value = rng.bytes(options.value_size);
+      return kv::encode_put(as_span(key), as_span(value));
+    };
+    if (options.ops_per_request <= 1) return one_op();
+    std::vector<Bytes> ops;
+    ops.reserve(options.ops_per_request);
+    for (uint32_t i = 0; i < options.ops_per_request; ++i) ops.push_back(one_op());
+    return kv::encode_batch(ops);
+  };
+}
+
+Bytes FastKvService::execute(ByteSpan op) {
+  // Count constituent operations of a kBatch wrapper for cost reporting.
+  last_op_count_ = 1;
+  if (!op.empty() && op[0] == static_cast<uint8_t>(kv::OpType::kBatch)) {
+    Reader r(op.subspan(1));
+    last_op_count_ = std::max<uint64_t>(1, r.u32());
+  }
+  // Rolling digest: mixes length and a bounded prefix of the payload; cheap
+  // and deterministic, and any divergence in the executed stream diverges
+  // the digest.
+  uint64_t h = fnv1a(op.subspan(0, std::min<size_t>(op.size(), 64)));
+  acc0_ = (acc0_ ^ h) * 0x100000001b3ull + op.size();
+  acc1_ = (acc1_ + h) ^ (acc1_ << 13) ^ (acc1_ >> 7);
+  ++ops_;
+  return to_bytes("OK");
+}
+
+Bytes FastKvService::query(ByteSpan) const { return {}; }
+
+Digest FastKvService::state_digest() const {
+  Digest d{};
+  for (int i = 0; i < 8; ++i) {
+    d[static_cast<size_t>(i)] = static_cast<uint8_t>(acc0_ >> (8 * i));
+    d[static_cast<size_t>(8 + i)] = static_cast<uint8_t>(acc1_ >> (8 * i));
+    d[static_cast<size_t>(16 + i)] = static_cast<uint8_t>(ops_ >> (8 * i));
+  }
+  return d;
+}
+
+Bytes FastKvService::snapshot() const {
+  Writer w;
+  w.u64(acc0_);
+  w.u64(acc1_);
+  w.u64(ops_);
+  return std::move(w).take();
+}
+
+bool FastKvService::restore(ByteSpan snapshot) {
+  Reader r(snapshot);
+  acc0_ = r.u64();
+  acc1_ = r.u64();
+  ops_ = r.u64();
+  return r.at_end();
+}
+
+std::unique_ptr<IService> FastKvService::clone_empty() const {
+  return std::make_unique<FastKvService>();
+}
+
+}  // namespace sbft::harness

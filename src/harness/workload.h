@@ -1,0 +1,51 @@
+// Key-value benchmark workload (§IX "Measurements"): every request is a put
+// of a random value to a random key; in batching mode a request carries 64
+// operations. Also provides FastKvService, a deterministic lightweight state
+// machine used by the large protocol sweeps (DESIGN.md §3: the authenticated
+// KV store is exercised by tests/examples/smart-contract runs; the fig2/fig3
+// sweeps use this O(1)-digest service so a laptop can simulate 209 replicas).
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "kv/service.h"
+
+namespace sbft::harness {
+
+struct KvWorkloadOptions {
+  uint32_t ops_per_request = 1;  // 64 in the paper's batching mode
+  uint32_t key_space = 100'000;
+  uint32_t key_size = 16;
+  uint32_t value_size = 32;
+};
+
+/// Factory compatible with ClientOptions::op_factory.
+std::function<Bytes(uint64_t, Rng&)> kv_op_factory(KvWorkloadOptions options);
+
+/// Deterministic O(1)-digest replicated service for protocol benchmarks.
+/// The digest is a rolling non-cryptographic commitment over the executed
+/// operation stream — protocol-visible behaviour (determinism, digest
+/// equality across replicas, divergence on different histories) is preserved
+/// at negligible simulation cost.
+class FastKvService final : public IService {
+ public:
+  Bytes execute(ByteSpan op) override;
+  Bytes query(ByteSpan q) const override;
+  Digest state_digest() const override;
+  Bytes snapshot() const override;
+  bool restore(ByteSpan snapshot) override;
+  std::unique_ptr<IService> clone_empty() const override;
+  int64_t last_execute_cost_us(const sim::CostModel& costs) const override {
+    return costs.kv_op_us * static_cast<int64_t>(last_op_count_);
+  }
+
+ private:
+  uint64_t acc0_ = 0x243f6a8885a308d3ull;  // rolling digest accumulators
+  uint64_t acc1_ = 0x13198a2e03707344ull;
+  uint64_t ops_ = 0;
+  uint64_t last_op_count_ = 1;
+};
+
+}  // namespace sbft::harness

@@ -1,0 +1,150 @@
+#include "kv/kv_service.h"
+
+#include "common/serde.h"
+
+namespace sbft::kv {
+
+Bytes encode_put(ByteSpan key, ByteSpan value) {
+  Writer w;
+  w.u8(static_cast<uint8_t>(OpType::kPut));
+  w.bytes(key);
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+Bytes encode_get(ByteSpan key) {
+  Writer w;
+  w.u8(static_cast<uint8_t>(OpType::kGet));
+  w.bytes(key);
+  return std::move(w).take();
+}
+
+Bytes encode_delete(ByteSpan key) {
+  Writer w;
+  w.u8(static_cast<uint8_t>(OpType::kDelete));
+  w.bytes(key);
+  return std::move(w).take();
+}
+
+Bytes encode_batch(const std::vector<Bytes>& ops) {
+  Writer w;
+  w.u8(static_cast<uint8_t>(OpType::kBatch));
+  w.u32(static_cast<uint32_t>(ops.size()));
+  for (const Bytes& op : ops) w.bytes(as_span(op));
+  return std::move(w).take();
+}
+
+std::optional<DecodedOp> decode_op(ByteSpan op) {
+  Reader r(op);
+  DecodedOp out;
+  uint8_t tag = r.u8();
+  if (tag < 1 || tag > 3) return std::nullopt;
+  out.type = static_cast<OpType>(tag);
+  out.key = r.bytes();
+  if (out.type == OpType::kPut) out.value = r.bytes();
+  if (!r.at_end()) return std::nullopt;
+  return out;
+}
+
+Digest KvService::leaf_for(ByteSpan key, ByteSpan value) {
+  Writer w;
+  w.bytes(key);
+  w.bytes(value);
+  return merkle::leaf_hash(as_span(w.data()));
+}
+
+void KvService::put(ByteSpan key, ByteSpan value) {
+  data_[to_bytes(key)] = to_bytes(value);
+  tree_.update(key, leaf_for(key, value));
+}
+
+void KvService::erase(ByteSpan key) {
+  data_.erase(to_bytes(key));
+  tree_.update(key, Digest{});
+}
+
+std::optional<Bytes> KvService::get(ByteSpan key) const {
+  auto it = data_.find(to_bytes(key));
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes KvService::execute(ByteSpan op) {
+  last_op_count_ = 1;
+  if (!op.empty() && op[0] == static_cast<uint8_t>(OpType::kBatch)) {
+    Reader r(op.subspan(1));
+    uint32_t count = r.u32();
+    if (count > 1'000'000) return to_bytes("ERR:malformed");
+    Bytes last;
+    for (uint32_t i = 0; i < count && r.ok(); ++i) {
+      Bytes sub = r.bytes();
+      last = execute(as_span(sub));
+    }
+    last_op_count_ = count == 0 ? 1 : count;
+    return last;
+  }
+  auto decoded = decode_op(op);
+  if (!decoded) return to_bytes("ERR:malformed");
+  switch (decoded->type) {
+    case OpType::kPut: {
+      put(as_span(decoded->key), as_span(decoded->value));
+      return to_bytes("OK");
+    }
+    case OpType::kGet: {
+      auto v = get(as_span(decoded->key));
+      return v ? *v : Bytes{};
+    }
+    case OpType::kDelete: {
+      erase(as_span(decoded->key));
+      return to_bytes("OK");
+    }
+  }
+  return to_bytes("ERR:unknown");
+}
+
+Bytes KvService::query(ByteSpan q) const {
+  auto decoded = decode_op(q);
+  if (!decoded || decoded->type != OpType::kGet) return to_bytes("ERR:malformed");
+  auto v = get(as_span(decoded->key));
+  return v ? *v : Bytes{};
+}
+
+Bytes KvService::snapshot() const {
+  Writer w;
+  w.u64(data_.size());
+  for (const auto& [k, v] : data_) {
+    w.bytes(as_span(k));
+    w.bytes(as_span(v));
+  }
+  return std::move(w).take();
+}
+
+bool KvService::restore(ByteSpan snapshot) {
+  Reader r(snapshot);
+  uint64_t count = r.u64();
+  std::map<Bytes, Bytes> data;
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    Bytes k = r.bytes();
+    Bytes v = r.bytes();
+    data[std::move(k)] = std::move(v);
+  }
+  if (!r.at_end()) return false;
+  data_.clear();
+  tree_ = merkle::SparseMerkleTree();
+  for (const auto& [k, v] : data) put(as_span(k), as_span(v));
+  return true;
+}
+
+std::unique_ptr<IService> KvService::clone_empty() const {
+  return std::make_unique<KvService>();
+}
+
+bool KvService::verify(const Digest& root, ByteSpan key,
+                       const std::optional<Bytes>& value,
+                       const merkle::SmtProof& proof) {
+  std::optional<Digest> leaf;
+  if (value) leaf = leaf_for(key, as_span(*value));
+  return merkle::SparseMerkleTree::verify(root, key, leaf, proof);
+}
+
+}  // namespace sbft::kv

@@ -1,0 +1,48 @@
+// Generic replicated-service interface (§IV "Generic service").
+//
+// SBFT replicates any deterministic service that implements this interface;
+// the repository ships two implementations: the authenticated key-value store
+// (src/kv/kv_service.h) and the EVM smart-contract ledger built on top of it
+// (src/evm/evm_service.h).
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "sim/cost_model.h"
+
+namespace sbft {
+
+class IService {
+ public:
+  virtual ~IService() = default;
+
+  /// Executes operation `op`, mutating the state; returns the output value.
+  /// Must be deterministic: equal states and equal ops yield equal outputs
+  /// and equal successor states on every replica.
+  virtual Bytes execute(ByteSpan op) = 0;
+
+  /// Read-only query against the current state.
+  virtual Bytes query(ByteSpan q) const = 0;
+
+  /// Merkle digest of the current state (the `digest(D)` of §IV).
+  virtual Digest state_digest() const = 0;
+
+  /// Full-state snapshot for checkpointing / state transfer, and its inverse.
+  /// restore() returns false if the snapshot is malformed.
+  virtual Bytes snapshot() const = 0;
+  virtual bool restore(ByteSpan snapshot) = 0;
+
+  /// Fresh service instance of the same kind with empty state (used when a
+  /// replica instantiates the service for state transfer).
+  virtual std::unique_ptr<IService> clone_empty() const = 0;
+
+  /// Simulated CPU cost of the most recent execute() call, so replicas can
+  /// charge realistic execution time (KV ops vs EVM gas differ by orders of
+  /// magnitude).
+  virtual int64_t last_execute_cost_us(const sim::CostModel& costs) const {
+    return costs.kv_op_us;
+  }
+};
+
+}  // namespace sbft

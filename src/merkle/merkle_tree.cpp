@@ -1,0 +1,224 @@
+#include "merkle/merkle_tree.h"
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "crypto/sha256.h"
+
+namespace sbft::merkle {
+
+using crypto::Sha256;
+
+Digest leaf_hash(ByteSpan data) {
+  Sha256 h;
+  uint8_t tag = 0x00;
+  h.update(ByteSpan{&tag, 1});
+  h.update(data);
+  return h.finish();
+}
+
+Digest node_hash(const Digest& left, const Digest& right) {
+  Sha256 h;
+  uint8_t tag = 0x01;
+  h.update(ByteSpan{&tag, 1});
+  h.update(as_span(left));
+  h.update(as_span(right));
+  return h.finish();
+}
+
+// ---------------------------------------------------------------------------
+// BlockMerkleTree
+
+BlockMerkleTree::BlockMerkleTree(std::vector<Digest> leaves) {
+  SBFT_CHECK(!leaves.empty());
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < prev.size(); i += 2)
+      next.push_back(node_hash(prev[i], prev[i + 1]));
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote odd node
+    levels_.push_back(std::move(next));
+  }
+}
+
+BlockProof BlockMerkleTree::prove(uint64_t index) const {
+  SBFT_CHECK(index < leaf_count());
+  BlockProof proof;
+  proof.index = index;
+  proof.leaf_count = leaf_count();
+  uint64_t i = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    uint64_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    if (sibling < nodes.size()) {
+      proof.path.push_back(nodes[sibling]);
+    }
+    // When i is a promoted odd node (no sibling) nothing is appended; the
+    // verifier reproduces the same promotion rule from leaf_count.
+    i /= 2;
+  }
+  return proof;
+}
+
+bool BlockMerkleTree::verify(const Digest& root, const Digest& leaf,
+                             const BlockProof& proof) {
+  if (proof.leaf_count == 0 || proof.index >= proof.leaf_count) return false;
+  Digest cur = leaf;
+  uint64_t i = proof.index;
+  uint64_t width = proof.leaf_count;
+  size_t used = 0;
+  while (width > 1) {
+    uint64_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    if (sibling < width) {
+      if (used >= proof.path.size()) return false;
+      const Digest& sib = proof.path[used++];
+      cur = (i % 2 == 0) ? node_hash(cur, sib) : node_hash(sib, cur);
+    }
+    i /= 2;
+    width = (width + 1) / 2;
+  }
+  return used == proof.path.size() && digest_equal(cur, root);
+}
+
+Bytes BlockProof::encode() const {
+  Writer w;
+  w.u64(index);
+  w.u64(leaf_count);
+  w.u32(static_cast<uint32_t>(path.size()));
+  for (const Digest& d : path) w.digest(d);
+  return std::move(w).take();
+}
+
+std::optional<BlockProof> BlockProof::decode(ByteSpan data) {
+  Reader r(data);
+  BlockProof p;
+  p.index = r.u64();
+  p.leaf_count = r.u64();
+  uint32_t n = r.u32();
+  if (n > 64) return std::nullopt;
+  for (uint32_t i = 0; i < n; ++i) p.path.push_back(r.digest());
+  if (!r.at_end()) return std::nullopt;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// SparseMerkleTree
+
+const std::vector<Digest>& SparseMerkleTree::default_hashes() {
+  static const std::vector<Digest> defaults = [] {
+    std::vector<Digest> d(kDepth + 1);
+    d[0] = crypto::sha256("sbft.smt.empty-leaf");
+    for (int i = 1; i <= kDepth; ++i) d[i] = node_hash(d[i - 1], d[i - 1]);
+    return d;
+  }();
+  return defaults;
+}
+
+SparseMerkleTree::SparseMerkleTree() { root_ = default_hashes()[kDepth]; }
+
+uint64_t SparseMerkleTree::key_path(ByteSpan key) {
+  Digest d = crypto::sha256(key);
+  uint64_t path = 0;
+  for (int i = 0; i < 8; ++i) path = (path << 8) | d[static_cast<size_t>(i)];
+  return path;
+}
+
+Digest SparseMerkleTree::node(int level, uint64_t index) const {
+  if (level == 0) {
+    auto it = leaves_.find(index);
+    return it == leaves_.end() ? default_hashes()[0] : it->second;
+  }
+  auto it = nodes_.find(NodeKey{level, index});
+  return it == nodes_.end() ? default_hashes()[static_cast<size_t>(level)] : it->second;
+}
+
+void SparseMerkleTree::update(ByteSpan key, const Digest& leaf) {
+  uint64_t path = key_path(key);
+  Digest zero{};
+  if (digest_equal(leaf, zero)) {
+    leaves_.erase(path);
+  } else {
+    leaves_[path] = leaf;
+  }
+  // Recompute the path to the root.
+  uint64_t index = path;
+  for (int level = 1; level <= kDepth; ++level) {
+    uint64_t child = index;
+    index >>= 1;
+    Digest left = node(level - 1, child & ~1ull);
+    Digest right = node(level - 1, (child & ~1ull) | 1ull);
+    Digest h = node_hash(left, right);
+    if (digest_equal(h, default_hashes()[static_cast<size_t>(level)])) {
+      nodes_.erase(NodeKey{level, index});
+    } else {
+      nodes_[NodeKey{level, index}] = h;
+    }
+  }
+  root_ = node(kDepth, 0);
+}
+
+std::optional<Digest> SparseMerkleTree::leaf(ByteSpan key) const {
+  auto it = leaves_.find(key_path(key));
+  if (it == leaves_.end()) return std::nullopt;
+  return it->second;
+}
+
+SmtProof SparseMerkleTree::prove(ByteSpan key) const {
+  SmtProof proof;
+  proof.path = key_path(key);
+  uint64_t index = proof.path;
+  for (int level = 0; level < kDepth; ++level) {
+    Digest sib = node(level, index ^ 1ull);
+    if (!digest_equal(sib, default_hashes()[static_cast<size_t>(level)])) {
+      proof.nondefault_mask |= 1ull << level;
+      proof.siblings.push_back(sib);
+    }
+    index >>= 1;
+  }
+  return proof;
+}
+
+bool SparseMerkleTree::verify(const Digest& root, ByteSpan key,
+                              const std::optional<Digest>& leaf,
+                              const SmtProof& proof) {
+  if (proof.path != key_path(key)) return false;
+  Digest cur = leaf.value_or(default_hashes()[0]);
+  uint64_t index = proof.path;
+  size_t used = 0;
+  for (int level = 0; level < kDepth; ++level) {
+    Digest sib;
+    if (proof.nondefault_mask & (1ull << level)) {
+      if (used >= proof.siblings.size()) return false;
+      sib = proof.siblings[used++];
+    } else {
+      sib = default_hashes()[static_cast<size_t>(level)];
+    }
+    cur = (index & 1) ? node_hash(sib, cur) : node_hash(cur, sib);
+    index >>= 1;
+  }
+  return used == proof.siblings.size() && digest_equal(cur, root);
+}
+
+Bytes SmtProof::encode() const {
+  Writer w;
+  w.u64(path);
+  w.u64(nondefault_mask);
+  w.u32(static_cast<uint32_t>(siblings.size()));
+  for (const Digest& d : siblings) w.digest(d);
+  return std::move(w).take();
+}
+
+std::optional<SmtProof> SmtProof::decode(ByteSpan data) {
+  Reader r(data);
+  SmtProof p;
+  p.path = r.u64();
+  p.nondefault_mask = r.u64();
+  uint32_t n = r.u32();
+  if (n > SparseMerkleTree::kDepth) return std::nullopt;
+  for (uint32_t i = 0; i < n; ++i) p.siblings.push_back(r.digest());
+  if (!r.at_end()) return std::nullopt;
+  return p;
+}
+
+}  // namespace sbft::merkle

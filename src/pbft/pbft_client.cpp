@@ -1,0 +1,8 @@
+// The PBFT baseline reuses the SBFT client: a PBFT cluster never emits
+// execute-acks, so the client naturally completes through the f+1 matching
+// ClientReply path — exactly the acknowledgement pattern PBFT prescribes.
+// This translation unit exists to give the pbft library its own client entry
+// point and a named alias.
+#include "pbft/pbft_client.h"
+
+namespace sbft::pbft {}  // namespace sbft::pbft

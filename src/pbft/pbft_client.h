@@ -1,0 +1,14 @@
+// PBFT client: identical closed-loop behaviour to the SBFT client, but the
+// cluster never sends execute-acks so every request completes via f+1
+// matching replies (the paper's "previous systems required clients to wait
+// for f+1 replies", §V-A).
+#pragma once
+
+#include "core/client.h"
+
+namespace sbft::pbft {
+
+using PbftClient = core::SbftClient;
+using PbftClientOptions = core::ClientOptions;
+
+}  // namespace sbft::pbft

@@ -1,0 +1,387 @@
+#include "pbft/pbft_replica.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace sbft::pbft {
+
+namespace {
+enum TimerKind : uint64_t { kBatchTimer = 1, kProgressTimer = 2 };
+uint64_t timer_id(TimerKind kind, uint64_t payload) {
+  return (static_cast<uint64_t>(kind) << 48) | payload;
+}
+TimerKind timer_kind(uint64_t id) { return static_cast<TimerKind>(id >> 48); }
+}  // namespace
+
+PbftReplica::PbftReplica(PbftOptions options, std::unique_ptr<IService> service)
+    : opts_(std::move(options)), service_(std::move(service)) {
+  SBFT_CHECK(opts_.config.c == 0);  // PBFT sizing: n = 3f + 1
+  SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
+}
+
+void PbftReplica::on_start(sim::ActorContext& ctx) {
+  if (is_primary()) {
+    ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+  }
+}
+
+std::optional<Digest> PbftReplica::committed_digest_of(SeqNum s) const {
+  auto it = slots_.find(s);
+  if (it != slots_.end() && it->second.committed) return it->second.block_digest;
+  return std::nullopt;
+}
+
+void PbftReplica::broadcast(sim::ActorContext& ctx, MessagePtr msg) {
+  for (ReplicaId r = 1; r <= opts_.config.n(); ++r) ctx.send(r - 1, msg);
+}
+
+void PbftReplica::arm_progress_timer(sim::ActorContext& ctx) {
+  if (progress_timer_armed_) return;
+  progress_timer_armed_ = true;
+  int64_t backoff = opts_.config.view_change_timeout_us
+                    << std::min<uint32_t>(vc_attempts_, 6);
+  ctx.set_timer(backoff, timer_id(kProgressTimer, 0));
+}
+
+void PbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext& ctx) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ClientRequestMsg>) {
+          handle_client_request(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, PrePrepareMsg>) {
+          handle_pre_prepare(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, PbftPrepareMsg>) {
+          handle_prepare(m, ctx);
+        } else if constexpr (std::is_same_v<T, PbftCommitMsg>) {
+          handle_commit(m, ctx);
+        } else if constexpr (std::is_same_v<T, PbftCheckpointMsg>) {
+          handle_checkpoint(m, ctx);
+        } else if constexpr (std::is_same_v<T, PbftViewChangeMsg>) {
+          handle_view_change(m, ctx);
+        } else if constexpr (std::is_same_v<T, PbftNewViewMsg>) {
+          handle_new_view(from, m, ctx);
+        }
+      },
+      msg);
+}
+
+void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
+  switch (timer_kind(id)) {
+    case kBatchTimer: {
+      if (is_primary() && !in_view_change_) try_propose(ctx, /*flush_partial=*/true);
+      if (is_primary()) {
+        ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+      }
+      break;
+    }
+    case kProgressTimer: {
+      progress_timer_armed_ = false;
+      bool outstanding = !pending_.empty() || forwarded_waiting_ ||
+                         (!slots_.empty() && slots_.rbegin()->first > le_) ||
+                         in_view_change_;
+      if (le_ > progress_marker_) {
+        progress_marker_ = le_;
+        forwarded_waiting_ = false;
+        if (outstanding) arm_progress_timer(ctx);
+        break;
+      }
+      if (outstanding) start_view_change(std::max(view_, vc_target_) + 1, ctx);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normal case
+
+void PbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
+                                        sim::ActorContext& ctx) {
+  const Request& req = m.request;
+  ctx.charge(ctx.costs().rsa_verify_us);
+  auto cached = reply_cache_.find(req.client);
+  if (cached != reply_cache_.end() && req.timestamp <= cached->second.timestamp) {
+    ClientReplyMsg reply;
+    reply.replica = opts_.id;
+    reply.client = req.client;
+    reply.timestamp = cached->second.timestamp;
+    reply.seq = cached->second.seq;
+    reply.value = cached->second.value;
+    ctx.send(req.client, make_message(std::move(reply)));
+    return;
+  }
+  if (is_primary() && !in_view_change_) {
+    auto key = std::make_pair(req.client, req.timestamp);
+    if (pending_keys_.insert(key).second) pending_.push_back(req);
+    try_propose(ctx);
+  } else if (from == req.client) {
+    ctx.send(opts_.config.primary_of(view_) - 1, make_message(ClientRequestMsg{req}));
+    forwarded_waiting_ = true;
+    arm_progress_timer(ctx);
+  }
+}
+
+void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
+  if (!is_primary() || in_view_change_) return;
+  const uint64_t window = std::max<uint64_t>(1, opts_.config.win / 4);
+  while (!pending_.empty()) {
+    const Request& head = pending_.front();
+    auto cached = reply_cache_.find(head.client);
+    if (cached != reply_cache_.end() && head.timestamp <= cached->second.timestamp) {
+      pending_keys_.erase({head.client, head.timestamp});
+      pending_.pop_front();
+      continue;
+    }
+    if (next_seq_ - 1 - le_ >= window) return;
+    if (next_seq_ > ls_ + opts_.config.win) return;
+    // Batching: wait for a full block unless the batch timer flushes.
+    if (pending_.size() < opts_.config.max_batch && !flush_partial) return;
+    Block block;
+    while (!pending_.empty() && block.requests.size() < opts_.config.max_batch) {
+      Request r = std::move(pending_.front());
+      pending_.pop_front();
+      pending_keys_.erase({r.client, r.timestamp});
+      block.requests.push_back(std::move(r));
+    }
+    SeqNum s = next_seq_++;
+    ctx.charge(ctx.costs().hash_us(block.wire_size()) + ctx.costs().rsa_sign_us);
+    broadcast(ctx, make_message(PrePrepareMsg{s, view_, std::move(block)}));
+  }
+}
+
+void PbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
+                                     sim::ActorContext& ctx) {
+  if (in_view_change_ || m.view != view_) return;
+  if (from != opts_.config.primary_of(m.view) - 1) return;
+  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  Slot& sl = slots_[m.seq];
+  if (sl.has_pp && sl.pp_view >= m.view) return;
+  // Verify the primary's signature and every client request signature.
+  ctx.charge(ctx.costs().rsa_verify_us *
+             static_cast<int64_t>(1 + m.block.requests.size()));
+  accept_pre_prepare(m.seq, m.view, m.block, ctx);
+}
+
+void PbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
+                                     sim::ActorContext& ctx) {
+  Slot& sl = slots_[s];
+  sl.has_pp = true;
+  sl.pp_view = v;
+  sl.block_digest = block.digest();
+  sl.h = slot_hash(s, v, sl.block_digest);
+  sl.block = std::move(block);
+  ctx.charge(ctx.costs().hash_us(64));
+
+  if (!sl.sent_prepare) {
+    sl.sent_prepare = true;
+    sl.prepares.insert(opts_.id);
+    ctx.charge(ctx.costs().rsa_sign_us);  // sign once, broadcast copies
+    broadcast(ctx, make_message(PbftPrepareMsg{s, v, sl.h, opts_.id}));
+  }
+  arm_progress_timer(ctx);
+  check_prepared(s, ctx);
+}
+
+void PbftReplica::handle_prepare(const PbftPrepareMsg& m, sim::ActorContext& ctx) {
+  if (in_view_change_ || m.view != view_) return;
+  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  ctx.charge(ctx.costs().rsa_verify_us);  // the all-to-all quadratic cost
+  Slot& sl = slots_[m.seq];
+  if (sl.has_pp && !(m.h == sl.h)) return;
+  sl.prepares.insert(m.replica);
+  check_prepared(m.seq, ctx);
+}
+
+void PbftReplica::check_prepared(SeqNum s, sim::ActorContext& ctx) {
+  Slot& sl = slots_[s];
+  if (sl.prepared || !sl.has_pp) return;
+  if (sl.prepares.size() < opts_.config.slow_quorum()) return;  // 2f+1
+  sl.prepared = true;
+  if (!sl.sent_commit) {
+    sl.sent_commit = true;
+    sl.commits.insert(opts_.id);
+    ctx.charge(ctx.costs().rsa_sign_us);
+    broadcast(ctx, make_message(PbftCommitMsg{s, sl.pp_view, sl.h, opts_.id}));
+  }
+  check_committed(s, ctx);
+}
+
+void PbftReplica::handle_commit(const PbftCommitMsg& m, sim::ActorContext& ctx) {
+  if (in_view_change_ || m.view != view_) return;
+  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  ctx.charge(ctx.costs().rsa_verify_us);
+  Slot& sl = slots_[m.seq];
+  if (sl.has_pp && !(m.h == sl.h)) return;
+  sl.commits.insert(m.replica);
+  check_committed(m.seq, ctx);
+}
+
+void PbftReplica::check_committed(SeqNum s, sim::ActorContext& ctx) {
+  Slot& sl = slots_[s];
+  if (sl.committed || !sl.prepared) return;
+  if (sl.commits.size() < opts_.config.slow_quorum()) return;  // 2f+1
+  sl.committed = true;
+  try_execute(ctx);
+}
+
+void PbftReplica::try_execute(sim::ActorContext& ctx) {
+  for (;;) {
+    SeqNum s = le_ + 1;
+    auto it = slots_.find(s);
+    if (it == slots_.end() || !it->second.committed || !it->second.block) return;
+    Slot& sl = it->second;
+    for (const Request& req : sl.block->requests) {
+      CachedReply& cache = reply_cache_[req.client];
+      Bytes value;
+      if (req.timestamp <= cache.timestamp) {
+        value = cache.value;
+      } else {
+        value = service_->execute(as_span(req.op));
+        ctx.charge(service_->last_execute_cost_us(ctx.costs()));
+        cache.timestamp = req.timestamp;
+        cache.seq = s;
+        cache.value = value;
+        ++stats_.requests_executed;
+      }
+      ClientReplyMsg reply;
+      reply.replica = opts_.id;
+      reply.client = req.client;
+      reply.timestamp = req.timestamp;
+      reply.seq = s;
+      reply.value = std::move(value);
+      ctx.charge(ctx.costs().rsa_sign_us / 4);  // replies signed, amortized batch
+      ctx.send(req.client, make_message(std::move(reply)));
+    }
+    ctx.charge(ctx.costs().persist_us(sl.block->wire_size()));
+    if (opts_.ledger) {
+      opts_.ledger->append_block(
+          s, as_span(encode_message(Message(PrePrepareMsg{s, sl.pp_view, *sl.block}))));
+    }
+    le_ = s;
+    ++stats_.blocks_executed;
+
+    // Quadratic PBFT checkpoint protocol (§V-F contrasts against this).
+    if (s % opts_.config.checkpoint_interval() == 0) {
+      Digest d = service_->state_digest();
+      ctx.charge(ctx.costs().rsa_sign_us);
+      broadcast(ctx, make_message(PbftCheckpointMsg{s, d, opts_.id}));
+    }
+  }
+}
+
+void PbftReplica::handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContext& ctx) {
+  if (m.seq <= ls_) return;
+  ctx.charge(ctx.costs().rsa_verify_us);
+  auto& votes = checkpoint_votes_[m.seq][m.state_digest];
+  votes.insert(m.replica);
+  if (votes.size() >= opts_.config.exec_quorum() && m.seq <= le_) {  // f+1
+    ls_ = m.seq;
+    slots_.erase(slots_.begin(), slots_.lower_bound(ls_ + 1));
+    checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                            checkpoint_votes_.upper_bound(ls_));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// View change
+
+void PbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
+  if (target <= view_) return;
+  if (in_view_change_ && target <= vc_target_) return;
+  in_view_change_ = true;
+  vc_target_ = target;
+  ++vc_attempts_;
+  ++stats_.view_changes;
+
+  PbftViewChangeMsg msg;
+  msg.sender = opts_.id;
+  msg.next_view = target;
+  msg.ls = ls_;
+  for (const auto& [s, sl] : slots_) {
+    if (!sl.prepared || !sl.block) continue;
+    PbftPreparedCert cert;
+    cert.seq = s;
+    cert.view = sl.pp_view;
+    cert.h = sl.h;
+    cert.block = *sl.block;
+    msg.prepared.push_back(std::move(cert));
+  }
+  vc_msgs_[target][opts_.id] = msg;
+  ctx.charge(ctx.costs().rsa_sign_us);
+  broadcast(ctx, make_message(PbftViewChangeMsg(msg)));
+  arm_progress_timer(ctx);
+}
+
+void PbftReplica::handle_view_change(const PbftViewChangeMsg& m,
+                                     sim::ActorContext& ctx) {
+  if (m.next_view <= view_) return;
+  ctx.charge(ctx.costs().rsa_verify_us);
+  vc_msgs_[m.next_view][m.sender] = m;
+
+  if (vc_msgs_[m.next_view].size() >= opts_.config.f + 1 && m.next_view > vc_target_) {
+    start_view_change(m.next_view, ctx);
+  }
+  if (opts_.config.primary_of(m.next_view) == opts_.id && !new_view_sent_ &&
+      vc_msgs_[m.next_view].size() >= opts_.config.view_change_quorum()) {
+    PbftNewViewMsg nv;
+    nv.view = m.next_view;
+    for (const auto& [sender, proof] : vc_msgs_[m.next_view]) {
+      nv.proofs.push_back(proof);
+      if (nv.proofs.size() == opts_.config.view_change_quorum()) break;
+    }
+    new_view_sent_ = true;
+    ctx.charge(ctx.costs().rsa_sign_us);
+    broadcast(ctx, make_message(PbftNewViewMsg(nv)));
+    enter_new_view(nv, ctx);
+  }
+}
+
+void PbftReplica::handle_new_view(NodeId from, const PbftNewViewMsg& m,
+                                  sim::ActorContext& ctx) {
+  if (m.view <= view_) return;
+  if (from != opts_.config.primary_of(m.view) - 1) return;
+  if (m.proofs.size() < opts_.config.view_change_quorum()) return;
+  ctx.charge(ctx.costs().rsa_verify_us *
+             static_cast<int64_t>(m.proofs.size()));
+  enter_new_view(m, ctx);
+}
+
+void PbftReplica::enter_new_view(const PbftNewViewMsg& m, sim::ActorContext& ctx) {
+  view_ = m.view;
+  in_view_change_ = false;
+  vc_target_ = m.view;
+  vc_attempts_ = 0;
+  new_view_sent_ = false;
+  vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(m.view));
+
+  // Re-propose the highest-view prepared certificate per slot; no-op gaps.
+  SeqNum max_ls = ls_;
+  for (const auto& proof : m.proofs) max_ls = std::max(max_ls, proof.ls);
+  std::map<SeqNum, const PbftPreparedCert*> adopted;
+  SeqNum max_seq = max_ls;
+  for (const auto& proof : m.proofs) {
+    for (const auto& cert : proof.prepared) {
+      if (cert.seq <= max_ls) continue;
+      auto [it, inserted] = adopted.emplace(cert.seq, &cert);
+      if (!inserted && cert.view > it->second->view) it->second = &cert;
+      max_seq = std::max(max_seq, cert.seq);
+    }
+  }
+  for (SeqNum s = max_ls + 1; s <= max_seq; ++s) {
+    if (s <= le_) continue;
+    auto it = adopted.find(s);
+    Block block = it != adopted.end() ? it->second->block : Block{};
+    slots_[s] = Slot{};  // reset votes from the old view
+    accept_pre_prepare(s, m.view, std::move(block), ctx);
+  }
+  next_seq_ = std::max(next_seq_, max_seq + 1);
+  progress_marker_ = le_;
+  if (is_primary()) {
+    ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+    try_propose(ctx);
+  }
+  arm_progress_timer(ctx);
+}
+
+}  // namespace sbft::pbft

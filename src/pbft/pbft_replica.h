@@ -1,0 +1,125 @@
+// Scale-optimized PBFT baseline (§IX).
+//
+// Classic three-phase PBFT with all-to-all prepare/commit rounds and signed
+// messages (following [31]: public-key signatures rather than MAC vectors,
+// which is what the paper's "scale optimized PBFT" uses at f=64). Clients
+// wait for f+1 matching replies. Checkpoints are the quadratic PBFT protocol.
+// The view change carries prepared certificates and refills gaps with no-ops;
+// certificate signatures ride on the simulator's authenticated channels (the
+// baseline is evaluated for performance and crash faults, see DESIGN.md).
+//
+// n = 3f + 1 (set c = 0 in the ProtocolConfig).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "kv/service.h"
+#include "proto/config.h"
+#include "proto/message.h"
+#include "sim/network.h"
+#include "storage/ledger_storage.h"
+
+namespace sbft::pbft {
+
+struct PbftOptions {
+  ProtocolConfig config;  // c must be 0
+  ReplicaId id = 1;
+  std::shared_ptr<storage::ILedgerStorage> ledger;
+};
+
+struct PbftStats {
+  uint64_t blocks_executed = 0;
+  uint64_t requests_executed = 0;
+  uint64_t view_changes = 0;
+};
+
+class PbftReplica final : public sim::IActor {
+ public:
+  PbftReplica(PbftOptions options, std::unique_ptr<IService> service);
+
+  void on_start(sim::ActorContext& ctx) override;
+  void on_message(NodeId from, const Message& msg, sim::ActorContext& ctx) override;
+  void on_timer(uint64_t id, sim::ActorContext& ctx) override;
+
+  ReplicaId id() const { return opts_.id; }
+  ViewNum view() const { return view_; }
+  SeqNum last_executed() const { return le_; }
+  const IService& service() const { return *service_; }
+  const PbftStats& stats() const { return stats_; }
+  std::optional<Digest> committed_digest_of(SeqNum s) const;
+
+ private:
+  struct Slot {
+    bool has_pp = false;
+    ViewNum pp_view = 0;
+    Digest h{};
+    Digest block_digest{};
+    std::optional<Block> block;
+    std::set<ReplicaId> prepares;  // matching h
+    std::set<ReplicaId> commits;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool prepared = false;
+    bool committed = false;
+  };
+
+  void handle_client_request(NodeId from, const ClientRequestMsg& m,
+                             sim::ActorContext& ctx);
+  void handle_pre_prepare(NodeId from, const PrePrepareMsg& m, sim::ActorContext& ctx);
+  void handle_prepare(const PbftPrepareMsg& m, sim::ActorContext& ctx);
+  void handle_commit(const PbftCommitMsg& m, sim::ActorContext& ctx);
+  void handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContext& ctx);
+  void handle_view_change(const PbftViewChangeMsg& m, sim::ActorContext& ctx);
+  void handle_new_view(NodeId from, const PbftNewViewMsg& m, sim::ActorContext& ctx);
+
+  bool is_primary() const { return opts_.config.primary_of(view_) == opts_.id; }
+  void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
+  void accept_pre_prepare(SeqNum s, ViewNum v, Block block, sim::ActorContext& ctx);
+  void check_prepared(SeqNum s, sim::ActorContext& ctx);
+  void check_committed(SeqNum s, sim::ActorContext& ctx);
+  void try_execute(sim::ActorContext& ctx);
+  void start_view_change(ViewNum target, sim::ActorContext& ctx);
+  void enter_new_view(const PbftNewViewMsg& m, sim::ActorContext& ctx);
+  void broadcast(sim::ActorContext& ctx, MessagePtr msg);
+  void arm_progress_timer(sim::ActorContext& ctx);
+
+  PbftOptions opts_;
+  std::unique_ptr<IService> service_;
+
+  ViewNum view_ = 0;
+  bool in_view_change_ = false;
+  ViewNum vc_target_ = 0;
+  uint32_t vc_attempts_ = 0;
+  SeqNum ls_ = 0;
+  SeqNum le_ = 0;
+  SeqNum next_seq_ = 1;
+
+  std::map<SeqNum, Slot> slots_;
+  std::deque<Request> pending_;
+  std::set<std::pair<ClientId, uint64_t>> pending_keys_;
+
+  struct CachedReply {
+    uint64_t timestamp = 0;
+    SeqNum seq = 0;
+    Bytes value;
+  };
+  std::map<ClientId, CachedReply> reply_cache_;
+
+  // Checkpoint votes: seq -> digest -> voters.
+  std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> checkpoint_votes_;
+
+  std::map<ViewNum, std::map<ReplicaId, PbftViewChangeMsg>> vc_msgs_;
+  bool new_view_sent_ = false;
+
+  SeqNum progress_marker_ = 0;
+  bool progress_timer_armed_ = false;
+  bool forwarded_waiting_ = false;
+
+  PbftStats stats_;
+};
+
+}  // namespace sbft::pbft

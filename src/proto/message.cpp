@@ -1,0 +1,616 @@
+#include "proto/message.h"
+
+#include "common/serde.h"
+#include "crypto/sha256.h"
+
+namespace sbft {
+
+using crypto::Sha256;
+
+// ---------------------------------------------------------------------------
+// Digests
+
+Digest Request::digest() const {
+  Writer w;
+  w.u32(client);
+  w.u64(timestamp);
+  w.bytes(as_span(op));
+  return crypto::sha256(as_span(w.data()));
+}
+
+Digest Block::digest() const {
+  Sha256 h;
+  h.update("sbft.block");
+  for (const Request& r : requests) {
+    Digest rd = r.digest();
+    h.update(as_span(rd));
+  }
+  return h.finish();
+}
+
+size_t Block::wire_size() const {
+  size_t total = 4;
+  for (const Request& r : requests) total += r.wire_size();
+  return total;
+}
+
+Digest slot_hash(SeqNum s, ViewNum v, const Digest& block_digest) {
+  Writer w;
+  w.str("sbft.slot");
+  w.u64(s);
+  w.u64(v);
+  w.digest(block_digest);
+  return crypto::sha256(as_span(w.data()));
+}
+
+Digest commit_hash(const Digest& tau_signature_digest) {
+  Writer w;
+  w.str("sbft.commit");
+  w.digest(tau_signature_digest);
+  return crypto::sha256(as_span(w.data()));
+}
+
+Digest ExecCertificate::exec_digest() const {
+  Writer w;
+  w.str("sbft.exec");
+  w.u64(seq);
+  w.digest(state_root);
+  w.digest(ops_root);
+  w.digest(prev_exec_digest);
+  return crypto::sha256(as_span(w.data()));
+}
+
+Digest exec_leaf(ClientId client, uint64_t timestamp, const Digest& value_digest) {
+  Writer w;
+  w.u32(client);
+  w.u64(timestamp);
+  w.digest(value_digest);
+  return merkle::leaf_hash(as_span(w.data()));
+}
+
+size_t SlotEvidence::wire_size() const {
+  size_t total = 8 + 2 + 16 + 64 + 8 + lm_sig.size() + fm_sig.size() + 1;
+  if (block) total += block->wire_size();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding helpers
+
+namespace {
+
+enum class Tag : uint8_t {
+  kClientRequest = 1, kPrePrepare, kSignShare, kFullCommitProof, kPrepare,
+  kCommitShare, kFullCommitProofSlow, kSignState, kFullExecuteProof,
+  kExecuteAck, kClientReply, kViewChange, kNewView, kGetBlockRequest,
+  kGetBlockReply, kStateTransferRequest, kStateTransferReply, kPbftPrepare,
+  kPbftCommit, kPbftCheckpoint, kPbftViewChange, kPbftNewView,
+};
+
+void put(Writer& w, const Request& r) {
+  w.u32(r.client);
+  w.u64(r.timestamp);
+  w.bytes(as_span(r.op));
+  w.bytes(as_span(r.client_sig));
+}
+
+Request get_request(Reader& r) {
+  Request out;
+  out.client = r.u32();
+  out.timestamp = r.u64();
+  out.op = r.bytes();
+  out.client_sig = r.bytes();
+  return out;
+}
+
+void put(Writer& w, const Block& b) {
+  w.u32(static_cast<uint32_t>(b.requests.size()));
+  for (const Request& r : b.requests) put(w, r);
+}
+
+Block get_block(Reader& r) {
+  Block out;
+  uint32_t n = r.u32();
+  if (n > 1'000'000) return out;  // refuse absurd sizes
+  out.requests.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) out.requests.push_back(get_request(r));
+  return out;
+}
+
+void put(Writer& w, const ExecCertificate& c) {
+  w.u64(c.seq);
+  w.digest(c.state_root);
+  w.digest(c.ops_root);
+  w.digest(c.prev_exec_digest);
+  w.bytes(as_span(c.pi_sig));
+}
+
+ExecCertificate get_cert(Reader& r) {
+  ExecCertificate c;
+  c.seq = r.u64();
+  c.state_root = r.digest();
+  c.ops_root = r.digest();
+  c.prev_exec_digest = r.digest();
+  c.pi_sig = r.bytes();
+  return c;
+}
+
+void put(Writer& w, const SlotEvidence& e) {
+  w.u64(e.seq);
+  w.u8(static_cast<uint8_t>(e.lm_kind));
+  w.u64(e.lm_view);
+  w.digest(e.lm_block_digest);
+  w.bytes(as_span(e.lm_sig));
+  w.bytes(as_span(e.lm_inner_sig));
+  w.u8(static_cast<uint8_t>(e.fm_kind));
+  w.u64(e.fm_view);
+  w.digest(e.fm_block_digest);
+  w.bytes(as_span(e.fm_sig));
+  w.boolean(e.block.has_value());
+  if (e.block) put(w, *e.block);
+}
+
+SlotEvidence get_slot_evidence(Reader& r) {
+  SlotEvidence e;
+  e.seq = r.u64();
+  e.lm_kind = static_cast<SlowEvidence>(r.u8());
+  e.lm_view = r.u64();
+  e.lm_block_digest = r.digest();
+  e.lm_sig = r.bytes();
+  e.lm_inner_sig = r.bytes();
+  e.fm_kind = static_cast<FastEvidence>(r.u8());
+  e.fm_view = r.u64();
+  e.fm_block_digest = r.digest();
+  e.fm_sig = r.bytes();
+  if (r.boolean()) e.block = get_block(r);
+  return e;
+}
+
+void put(Writer& w, const ViewChangeMsg& m) {
+  w.u32(m.sender);
+  w.u64(m.next_view);
+  w.u64(m.ls);
+  put(w, m.checkpoint);
+  w.u32(static_cast<uint32_t>(m.slots.size()));
+  for (const SlotEvidence& e : m.slots) put(w, e);
+}
+
+ViewChangeMsg get_view_change(Reader& r) {
+  ViewChangeMsg m;
+  m.sender = r.u32();
+  m.next_view = r.u64();
+  m.ls = r.u64();
+  m.checkpoint = get_cert(r);
+  uint32_t n = r.u32();
+  if (n > 100'000) return m;
+  m.slots.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) m.slots.push_back(get_slot_evidence(r));
+  return m;
+}
+
+void put(Writer& w, const merkle::BlockProof& p) { w.bytes(as_span(p.encode())); }
+
+merkle::BlockProof get_block_proof(Reader& r) {
+  auto p = merkle::BlockProof::decode(as_span(r.bytes()));
+  return p.value_or(merkle::BlockProof{});
+}
+
+void put(Writer& w, const PbftPreparedCert& c) {
+  w.u64(c.seq);
+  w.u64(c.view);
+  w.digest(c.h);
+  put(w, c.block);
+}
+
+PbftPreparedCert get_pbft_cert(Reader& r) {
+  PbftPreparedCert c;
+  c.seq = r.u64();
+  c.view = r.u64();
+  c.h = r.digest();
+  c.block = get_block(r);
+  return c;
+}
+
+void put(Writer& w, const PbftViewChangeMsg& m) {
+  w.u32(m.sender);
+  w.u64(m.next_view);
+  w.u64(m.ls);
+  w.u32(static_cast<uint32_t>(m.prepared.size()));
+  for (const auto& c : m.prepared) put(w, c);
+}
+
+PbftViewChangeMsg get_pbft_view_change(Reader& r) {
+  PbftViewChangeMsg m;
+  m.sender = r.u32();
+  m.next_view = r.u64();
+  m.ls = r.u64();
+  uint32_t n = r.u32();
+  if (n > 100'000) return m;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) m.prepared.push_back(get_pbft_cert(r));
+  return m;
+}
+
+struct Encoder {
+  Writer& w;
+
+  void operator()(const ClientRequestMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kClientRequest));
+    put(w, m.request);
+  }
+  void operator()(const PrePrepareMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kPrePrepare));
+    w.u64(m.seq);
+    w.u64(m.view);
+    put(w, m.block);
+  }
+  void operator()(const SignShareMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kSignShare));
+    w.u64(m.seq);
+    w.u64(m.view);
+    w.digest(m.block_digest);
+    w.digest(m.h);
+    w.u32(m.replica);
+    w.bytes(as_span(m.sigma_share));
+    w.bytes(as_span(m.tau_share));
+  }
+  void operator()(const FullCommitProofMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kFullCommitProof));
+    w.u64(m.seq);
+    w.u64(m.view);
+    w.digest(m.block_digest);
+    w.bytes(as_span(m.sigma_sig));
+  }
+  void operator()(const PrepareMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kPrepare));
+    w.u64(m.seq);
+    w.u64(m.view);
+    w.digest(m.block_digest);
+    w.bytes(as_span(m.tau_sig));
+  }
+  void operator()(const CommitShareMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kCommitShare));
+    w.u64(m.seq);
+    w.u64(m.view);
+    w.digest(m.commit_digest);
+    w.u32(m.replica);
+    w.bytes(as_span(m.tau_share));
+  }
+  void operator()(const FullCommitProofSlowMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kFullCommitProofSlow));
+    w.u64(m.seq);
+    w.u64(m.view);
+    w.digest(m.block_digest);
+    w.bytes(as_span(m.tau_sig));
+    w.bytes(as_span(m.tau_tau_sig));
+  }
+  void operator()(const SignStateMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kSignState));
+    w.u64(m.seq);
+    w.u32(m.replica);
+    w.digest(m.exec_digest);
+    w.bytes(as_span(m.pi_share));
+  }
+  void operator()(const FullExecuteProofMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kFullExecuteProof));
+    w.u64(m.seq);
+    w.digest(m.exec_digest);
+    w.bytes(as_span(m.pi_sig));
+  }
+  void operator()(const ExecuteAckMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kExecuteAck));
+    w.u32(m.client);
+    w.u64(m.timestamp);
+    w.u64(m.index);
+    w.bytes(as_span(m.value));
+    put(w, m.cert);
+    put(w, m.proof);
+  }
+  void operator()(const ClientReplyMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kClientReply));
+    w.u32(m.replica);
+    w.u32(m.client);
+    w.u64(m.timestamp);
+    w.u64(m.seq);
+    w.bytes(as_span(m.value));
+  }
+  void operator()(const ViewChangeMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kViewChange));
+    put(w, m);
+  }
+  void operator()(const NewViewMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kNewView));
+    w.u64(m.view);
+    w.u32(static_cast<uint32_t>(m.proofs.size()));
+    for (const auto& p : m.proofs) put(w, p);
+  }
+  void operator()(const GetBlockRequestMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kGetBlockRequest));
+    w.u32(m.requester);
+    w.u64(m.seq);
+    w.digest(m.block_digest);
+  }
+  void operator()(const GetBlockReplyMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kGetBlockReply));
+    w.u64(m.seq);
+    put(w, m.block);
+  }
+  void operator()(const StateTransferRequestMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kStateTransferRequest));
+    w.u32(m.requester);
+    w.u64(m.have_seq);
+  }
+  void operator()(const StateTransferReplyMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kStateTransferReply));
+    w.u64(m.seq);
+    put(w, m.cert);
+    w.bytes(as_span(m.service_snapshot));
+  }
+  void operator()(const PbftPrepareMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kPbftPrepare));
+    w.u64(m.seq);
+    w.u64(m.view);
+    w.digest(m.h);
+    w.u32(m.replica);
+  }
+  void operator()(const PbftCommitMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kPbftCommit));
+    w.u64(m.seq);
+    w.u64(m.view);
+    w.digest(m.h);
+    w.u32(m.replica);
+  }
+  void operator()(const PbftCheckpointMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kPbftCheckpoint));
+    w.u64(m.seq);
+    w.digest(m.state_digest);
+    w.u32(m.replica);
+  }
+  void operator()(const PbftViewChangeMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kPbftViewChange));
+    put(w, m);
+  }
+  void operator()(const PbftNewViewMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kPbftNewView));
+    w.u64(m.view);
+    w.u32(static_cast<uint32_t>(m.proofs.size()));
+    for (const auto& p : m.proofs) put(w, p);
+  }
+};
+
+}  // namespace
+
+Bytes encode_message(const Message& msg) {
+  Writer w;
+  std::visit(Encoder{w}, msg);
+  return std::move(w).take();
+}
+
+std::optional<Message> decode_message(ByteSpan data) {
+  Reader r(data);
+  Tag tag = static_cast<Tag>(r.u8());
+  std::optional<Message> out;
+  switch (tag) {
+    case Tag::kClientRequest: {
+      ClientRequestMsg m;
+      m.request = get_request(r);
+      out = m;
+      break;
+    }
+    case Tag::kPrePrepare: {
+      PrePrepareMsg m;
+      m.seq = r.u64();
+      m.view = r.u64();
+      m.block = get_block(r);
+      out = m;
+      break;
+    }
+    case Tag::kSignShare: {
+      SignShareMsg m;
+      m.seq = r.u64();
+      m.view = r.u64();
+      m.block_digest = r.digest();
+      m.h = r.digest();
+      m.replica = r.u32();
+      m.sigma_share = r.bytes();
+      m.tau_share = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kFullCommitProof: {
+      FullCommitProofMsg m;
+      m.seq = r.u64();
+      m.view = r.u64();
+      m.block_digest = r.digest();
+      m.sigma_sig = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kPrepare: {
+      PrepareMsg m;
+      m.seq = r.u64();
+      m.view = r.u64();
+      m.block_digest = r.digest();
+      m.tau_sig = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kCommitShare: {
+      CommitShareMsg m;
+      m.seq = r.u64();
+      m.view = r.u64();
+      m.commit_digest = r.digest();
+      m.replica = r.u32();
+      m.tau_share = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kFullCommitProofSlow: {
+      FullCommitProofSlowMsg m;
+      m.seq = r.u64();
+      m.view = r.u64();
+      m.block_digest = r.digest();
+      m.tau_sig = r.bytes();
+      m.tau_tau_sig = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kSignState: {
+      SignStateMsg m;
+      m.seq = r.u64();
+      m.replica = r.u32();
+      m.exec_digest = r.digest();
+      m.pi_share = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kFullExecuteProof: {
+      FullExecuteProofMsg m;
+      m.seq = r.u64();
+      m.exec_digest = r.digest();
+      m.pi_sig = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kExecuteAck: {
+      ExecuteAckMsg m;
+      m.client = r.u32();
+      m.timestamp = r.u64();
+      m.index = r.u64();
+      m.value = r.bytes();
+      m.cert = get_cert(r);
+      m.proof = get_block_proof(r);
+      out = m;
+      break;
+    }
+    case Tag::kClientReply: {
+      ClientReplyMsg m;
+      m.replica = r.u32();
+      m.client = r.u32();
+      m.timestamp = r.u64();
+      m.seq = r.u64();
+      m.value = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kViewChange: {
+      out = get_view_change(r);
+      break;
+    }
+    case Tag::kNewView: {
+      NewViewMsg m;
+      m.view = r.u64();
+      uint32_t n = r.u32();
+      if (n > 100'000) return std::nullopt;
+      for (uint32_t i = 0; i < n && r.ok(); ++i)
+        m.proofs.push_back(get_view_change(r));
+      out = m;
+      break;
+    }
+    case Tag::kGetBlockRequest: {
+      GetBlockRequestMsg m;
+      m.requester = r.u32();
+      m.seq = r.u64();
+      m.block_digest = r.digest();
+      out = m;
+      break;
+    }
+    case Tag::kGetBlockReply: {
+      GetBlockReplyMsg m;
+      m.seq = r.u64();
+      m.block = get_block(r);
+      out = m;
+      break;
+    }
+    case Tag::kStateTransferRequest: {
+      StateTransferRequestMsg m;
+      m.requester = r.u32();
+      m.have_seq = r.u64();
+      out = m;
+      break;
+    }
+    case Tag::kStateTransferReply: {
+      StateTransferReplyMsg m;
+      m.seq = r.u64();
+      m.cert = get_cert(r);
+      m.service_snapshot = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kPbftPrepare: {
+      PbftPrepareMsg m;
+      m.seq = r.u64();
+      m.view = r.u64();
+      m.h = r.digest();
+      m.replica = r.u32();
+      out = m;
+      break;
+    }
+    case Tag::kPbftCommit: {
+      PbftCommitMsg m;
+      m.seq = r.u64();
+      m.view = r.u64();
+      m.h = r.digest();
+      m.replica = r.u32();
+      out = m;
+      break;
+    }
+    case Tag::kPbftCheckpoint: {
+      PbftCheckpointMsg m;
+      m.seq = r.u64();
+      m.state_digest = r.digest();
+      m.replica = r.u32();
+      out = m;
+      break;
+    }
+    case Tag::kPbftViewChange: {
+      out = get_pbft_view_change(r);
+      break;
+    }
+    case Tag::kPbftNewView: {
+      PbftNewViewMsg m;
+      m.view = r.u64();
+      uint32_t n = r.u32();
+      if (n > 100'000) return std::nullopt;
+      for (uint32_t i = 0; i < n && r.ok(); ++i)
+        m.proofs.push_back(get_pbft_view_change(r));
+      out = m;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.at_end()) return std::nullopt;
+  return out;
+}
+
+size_t message_wire_size(const Message& msg) { return encode_message(msg).size(); }
+
+const char* message_type_name(const Message& msg) {
+  struct Namer {
+    const char* operator()(const ClientRequestMsg&) { return "client-request"; }
+    const char* operator()(const PrePrepareMsg&) { return "pre-prepare"; }
+    const char* operator()(const SignShareMsg&) { return "sign-share"; }
+    const char* operator()(const FullCommitProofMsg&) { return "full-commit-proof"; }
+    const char* operator()(const PrepareMsg&) { return "prepare"; }
+    const char* operator()(const CommitShareMsg&) { return "commit"; }
+    const char* operator()(const FullCommitProofSlowMsg&) { return "full-commit-proof-slow"; }
+    const char* operator()(const SignStateMsg&) { return "sign-state"; }
+    const char* operator()(const FullExecuteProofMsg&) { return "full-execute-proof"; }
+    const char* operator()(const ExecuteAckMsg&) { return "execute-ack"; }
+    const char* operator()(const ClientReplyMsg&) { return "client-reply"; }
+    const char* operator()(const ViewChangeMsg&) { return "view-change"; }
+    const char* operator()(const NewViewMsg&) { return "new-view"; }
+    const char* operator()(const GetBlockRequestMsg&) { return "get-block-request"; }
+    const char* operator()(const GetBlockReplyMsg&) { return "get-block-reply"; }
+    const char* operator()(const StateTransferRequestMsg&) { return "state-transfer-request"; }
+    const char* operator()(const StateTransferReplyMsg&) { return "state-transfer-reply"; }
+    const char* operator()(const PbftPrepareMsg&) { return "pbft-prepare"; }
+    const char* operator()(const PbftCommitMsg&) { return "pbft-commit"; }
+    const char* operator()(const PbftCheckpointMsg&) { return "pbft-checkpoint"; }
+    const char* operator()(const PbftViewChangeMsg&) { return "pbft-view-change"; }
+    const char* operator()(const PbftNewViewMsg&) { return "pbft-new-view"; }
+  };
+  return std::visit(Namer{}, msg);
+}
+
+}  // namespace sbft

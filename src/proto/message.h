@@ -1,0 +1,286 @@
+// Protocol messages for SBFT (§V) and the scale-optimized PBFT baseline (§IX).
+//
+// Messages are passed by shared_ptr inside the simulator; encode()/decode()
+// define the canonical wire format used for size accounting (network
+// transmission cost) and for the serde round-trip tests. Threshold signature
+// payloads are opaque byte strings produced by src/crypto/threshold.h.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "merkle/merkle_tree.h"
+#include "proto/types.h"
+
+namespace sbft {
+
+// ---------------------------------------------------------------------------
+// Requests and decision blocks
+
+struct Request {
+  ClientId client = 0;
+  uint64_t timestamp = 0;  // strictly monotone per client (§V-A)
+  Bytes op;                // opaque service operation
+  Bytes client_sig;        // client request signature ([31]; size-modeled)
+
+  Digest digest() const;
+  size_t wire_size() const { return 16 + 8 + op.size() + client_sig.size(); }
+};
+
+struct Block {
+  std::vector<Request> requests;
+
+  Digest digest() const;
+  size_t wire_size() const;
+};
+
+/// h = H(s || v || digest(block)) — the hash every path signs (§V-C).
+Digest slot_hash(SeqNum s, ViewNum v, const Digest& block_digest);
+/// Digest signed by the tau(tau(h)) commit round (slow path, §V-E).
+Digest commit_hash(const Digest& tau_signature_digest);
+
+/// Chained execution digest d_s = H(s || state_root || ops_root || d_{s-1}).
+struct ExecCertificate {
+  SeqNum seq = 0;
+  Digest state_root{};       // service Merkle root after executing block s
+  Digest ops_root{};         // Merkle root over the block's (op, result) leaves
+  Digest prev_exec_digest{}; // d_{s-1}
+  Bytes pi_sig;              // pi threshold signature over exec_digest()
+
+  Digest exec_digest() const;
+  size_t wire_size() const { return 8 + 3 * 32 + pi_sig.size(); }
+};
+
+/// Leaf of the per-block operations tree for op l. The leaf binds
+/// (client, timestamp, output): the pair (client, timestamp) uniquely names
+/// the operation (clients sign monotone timestamps, §V-A), and the committed
+/// block binds its content, so the client can verify its result without the
+/// replicas re-hashing every operation payload.
+Digest exec_leaf(ClientId client, uint64_t timestamp, const Digest& value_digest);
+
+// ---------------------------------------------------------------------------
+// Common-case messages (§V-C, §V-D, §V-E)
+
+struct ClientRequestMsg {
+  Request request;
+};
+
+struct PrePrepareMsg {
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Block block;
+};
+
+struct SignShareMsg {  // replica -> C-collectors; carries sigma and tau shares
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Digest block_digest{};  // collectors verify h == slot_hash(seq, view, .)
+  Digest h{};
+  ReplicaId replica = 0;
+  Bytes sigma_share;
+  Bytes tau_share;
+};
+
+struct FullCommitProofMsg {  // C-collector -> all (fast path)
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Digest block_digest{};  // lets receivers rebuild h = slot_hash(seq, view, .)
+  Bytes sigma_sig;        // sigma(h)
+};
+
+struct PrepareMsg {  // C-collector -> all (slow path trigger)
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Digest block_digest{};
+  Bytes tau_sig;  // tau(h)
+};
+
+struct CommitShareMsg {  // replica -> C-collectors (slow path second round)
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Digest commit_digest{};  // d2 = commit_hash(SHA256(tau(h)))
+  ReplicaId replica = 0;
+  Bytes tau_share;  // tau_i over d2
+};
+
+struct FullCommitProofSlowMsg {  // C-collector -> all (slow path)
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Digest block_digest{};
+  Bytes tau_sig;      // tau(h)
+  Bytes tau_tau_sig;  // tau over commit_hash(SHA256(tau(h)))
+};
+
+struct SignStateMsg {  // replica -> E-collectors (§V-D)
+  SeqNum seq = 0;
+  ReplicaId replica = 0;
+  Digest exec_digest{};
+  Bytes pi_share;
+};
+
+struct FullExecuteProofMsg {  // E-collector -> all
+  SeqNum seq = 0;
+  Digest exec_digest{};
+  Bytes pi_sig;
+};
+
+struct ExecuteAckMsg {  // E-collector -> client (single-message ack, §V-A)
+  ClientId client = 0;
+  uint64_t timestamp = 0;
+  uint64_t index = 0;  // position l within the decision block
+  Bytes value;         // operation output val
+  ExecCertificate cert;
+  merkle::BlockProof proof;
+};
+
+struct ClientReplyMsg {  // per-replica reply (f+1 fallback / non-collector mode)
+  ReplicaId replica = 0;
+  ClientId client = 0;
+  uint64_t timestamp = 0;
+  SeqNum seq = 0;
+  Bytes value;
+};
+
+// ---------------------------------------------------------------------------
+// View change (§V-G)
+
+enum class SlowEvidence : uint8_t { kNone = 0, kPrepareCert = 1, kFullProof = 2 };
+enum class FastEvidence : uint8_t { kNone = 0, kVote = 1, kFullProof = 2 };
+
+/// Per-slot certificate pair x_j = (lm_j, fm_j) carried by view-change
+/// messages. Blocks are attached when the sender has them so the new primary
+/// can re-propose without a fetch round.
+struct SlotEvidence {
+  SeqNum seq = 0;
+
+  SlowEvidence lm_kind = SlowEvidence::kNone;
+  ViewNum lm_view = 0;
+  Digest lm_block_digest{};
+  Bytes lm_sig;        // tau(h) for kPrepareCert; tau(tau(h)) for kFullProof
+  Bytes lm_inner_sig;  // the inner tau(h) when lm_kind == kFullProof
+
+  FastEvidence fm_kind = FastEvidence::kNone;
+  ViewNum fm_view = 0;
+  Digest fm_block_digest{};
+  Bytes fm_sig;  // sigma_i(h) share for kVote; sigma(h) for kFullProof
+
+  std::optional<Block> block;  // payload matching the strongest evidence
+
+  size_t wire_size() const;
+};
+
+struct ViewChangeMsg {
+  ReplicaId sender = 0;
+  ViewNum next_view = 0;
+  SeqNum ls = 0;  // last stable sequence number
+  ExecCertificate checkpoint;  // pi-signed checkpoint at ls (empty at genesis)
+  std::vector<SlotEvidence> slots;
+};
+
+struct NewViewMsg {
+  ViewNum view = 0;
+  std::vector<ViewChangeMsg> proofs;  // 2f+2c+1 view-change messages
+};
+
+// ---------------------------------------------------------------------------
+// State transfer (§VIII; follows the PBFT code base's mechanism)
+
+/// Fetch of a decision-block payload by digest. Used after a view change when
+/// a replica adopted or decided a value whose evidence carried only the
+/// digest (a Byzantine view-change sender may omit the block; any of the
+/// >= f+c+1 honest replicas that signed it can serve it).
+struct GetBlockRequestMsg {
+  ReplicaId requester = 0;
+  SeqNum seq = 0;
+  Digest block_digest{};
+};
+
+struct GetBlockReplyMsg {
+  SeqNum seq = 0;
+  Block block;
+};
+
+struct StateTransferRequestMsg {
+  ReplicaId requester = 0;
+  SeqNum have_seq = 0;  // highest executed sequence at the requester
+};
+
+struct StateTransferReplyMsg {
+  SeqNum seq = 0;  // checkpoint being shipped
+  ExecCertificate cert;
+  Bytes service_snapshot;
+};
+
+// ---------------------------------------------------------------------------
+// PBFT baseline messages (all-to-all pattern)
+
+struct PbftPrepareMsg {
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Digest h{};
+  ReplicaId replica = 0;
+};
+
+struct PbftCommitMsg {
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Digest h{};
+  ReplicaId replica = 0;
+};
+
+struct PbftCheckpointMsg {
+  SeqNum seq = 0;
+  Digest state_digest{};
+  ReplicaId replica = 0;
+};
+
+struct PbftPreparedCert {
+  SeqNum seq = 0;
+  ViewNum view = 0;
+  Digest h{};
+  Block block;
+};
+
+struct PbftViewChangeMsg {
+  ReplicaId sender = 0;
+  ViewNum next_view = 0;
+  SeqNum ls = 0;
+  std::vector<PbftPreparedCert> prepared;
+};
+
+struct PbftNewViewMsg {
+  ViewNum view = 0;
+  std::vector<PbftViewChangeMsg> proofs;
+};
+
+// ---------------------------------------------------------------------------
+// The message variant
+
+using Message = std::variant<
+    ClientRequestMsg, PrePrepareMsg, SignShareMsg, FullCommitProofMsg,
+    PrepareMsg, CommitShareMsg, FullCommitProofSlowMsg, SignStateMsg,
+    FullExecuteProofMsg, ExecuteAckMsg, ClientReplyMsg, ViewChangeMsg,
+    NewViewMsg, GetBlockRequestMsg, GetBlockReplyMsg, StateTransferRequestMsg,
+    StateTransferReplyMsg, PbftPrepareMsg, PbftCommitMsg, PbftCheckpointMsg,
+    PbftViewChangeMsg, PbftNewViewMsg>;
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+template <typename T>
+MessagePtr make_message(T msg) {
+  return std::make_shared<const Message>(std::move(msg));
+}
+
+/// Canonical wire encoding (type tag + payload).
+Bytes encode_message(const Message& msg);
+/// Decodes a message; nullopt on malformed input.
+std::optional<Message> decode_message(ByteSpan data);
+/// Wire size of the encoded message (used for network transmission cost).
+size_t message_wire_size(const Message& msg);
+/// Short human-readable type name (logging, metrics).
+const char* message_type_name(const Message& msg);
+
+}  // namespace sbft

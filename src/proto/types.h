@@ -1,0 +1,14 @@
+// Shared protocol identifier types.
+#pragma once
+
+#include <cstdint>
+
+namespace sbft {
+
+using SeqNum = uint64_t;    // decision-block sequence number, 1-based
+using ViewNum = uint64_t;   // view number, 0-based
+using ReplicaId = uint32_t; // replica identifier, 1..n (matches §V)
+using ClientId = uint32_t;  // client identifier (disjoint from replica ids)
+using NodeId = uint32_t;    // simulator node id (replicas then clients)
+
+}  // namespace sbft

@@ -1,0 +1,279 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbft::sim {
+
+// ---------------------------------------------------------------------------
+// Topologies
+//
+// Latency values are one-way, synthesized from typical AWS inter-region RTTs
+// (see EXPERIMENTS.md for the calibration notes).
+
+Topology lan_topology() {
+  Topology t;
+  t.name = "lan";
+  t.region_latency_us = {{100}};
+  t.jitter_us = 50;
+  t.bandwidth_bytes_per_us = 1250.0;  // 10 Gbit/s
+  return t;
+}
+
+Topology continent_topology() {
+  // 5 regions, 2 availability zones each => 10 zones. Zones in the same
+  // region are ~1ms apart; cross-region one-way latencies 6..22 ms
+  // (us-east <-> us-west scale distances).
+  Topology t;
+  t.name = "continent";
+  const int R = 5;
+  // Base one-way latency between distinct regions (ms).
+  const int64_t base[R][R] = {
+      {0, 8, 12, 18, 22},
+      {8, 0, 6, 14, 18},
+      {12, 6, 0, 10, 14},
+      {18, 14, 10, 0, 8},
+      {22, 18, 14, 8, 0},
+  };
+  const int Z = 2 * R;
+  t.region_latency_us.assign(Z, std::vector<int64_t>(Z, 0));
+  for (int a = 0; a < Z; ++a) {
+    for (int b = 0; b < Z; ++b) {
+      if (a == b) {
+        t.region_latency_us[a][b] = 150;  // same zone
+      } else if (a / 2 == b / 2) {
+        t.region_latency_us[a][b] = 1000;  // sibling zone, same region
+      } else {
+        t.region_latency_us[a][b] = base[a / 2][b / 2] * 1000;
+      }
+    }
+  }
+  t.jitter_us = 1000;
+  t.bandwidth_bytes_per_us = 1000.0;  // ~8 Gbit/s effective per node
+  return t;
+}
+
+Topology world_topology() {
+  // 15 regions spread over all continents (§IX). One-way latencies are
+  // derived from a coarse geographic ring: us-e, us-w, ca, br, eu-w, eu-c,
+  // eu-n, me, in, sg, jp, kr, au, za, cn.
+  Topology t;
+  t.name = "world";
+  const int R = 15;
+  // Coordinates on a coarse "longitude" scale used to synthesize distances.
+  const double x[R] = {0, 3, 1, 4, 8, 9, 9.5, 12, 14, 16, 18, 17.5, 17, 11, 16.5};
+  const double y[R] = {4, 4, 5, -1, 5, 5, 6, 3, 2, 0, 4, 4, -3, -2, 4};
+  t.region_latency_us.assign(R, std::vector<int64_t>(R, 0));
+  for (int a = 0; a < R; ++a) {
+    for (int b = 0; b < R; ++b) {
+      if (a == b) {
+        t.region_latency_us[a][b] = 300;
+        continue;
+      }
+      double dx = x[a] - x[b];
+      double dy = y[a] - y[b];
+      double dist = std::sqrt(dx * dx + dy * dy);
+      // ~7ms of one-way latency per coordinate unit + 5ms fixed overhead;
+      // yields ~12..140ms one-way, matching world-scale WAN measurements.
+      t.region_latency_us[a][b] = static_cast<int64_t>(5000 + 7000 * dist);
+    }
+  }
+  t.jitter_us = 2000;
+  t.bandwidth_bytes_per_us = 1000.0;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// ActorContext
+
+const CostModel& ActorContext::costs() const { return net_.costs(); }
+Rng& ActorContext::rng() { return net_.node_rng(self_); }
+
+void ActorContext::multicast(const std::vector<NodeId>& to, MessagePtr msg) {
+  for (NodeId t : to) send(t, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Network
+
+Network::Network(Simulator& sim, Topology topology, CostModel costs, uint64_t seed)
+    : sim_(sim), topology_(std::move(topology)), costs_(costs), link_rng_(seed) {}
+
+NodeId Network::add_node(IActor* actor) {
+  return add_node(actor, num_nodes() % topology_.num_regions());
+}
+
+NodeId Network::add_node(IActor* actor, uint32_t region) {
+  SBFT_CHECK(region < topology_.num_regions());
+  NodeState state;
+  state.actor = actor;
+  state.region = region;
+  state.rng = link_rng_.fork();
+  nodes_.push_back(std::move(state));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::start() {
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    sim_.schedule(0, [this, id] {
+      run_handler(id, sim_.now(),
+                  [this, id](ActorContext& ctx) { nodes_[id].actor->on_start(ctx); });
+    });
+  }
+}
+
+void Network::crash(NodeId node) { nodes_[node].crashed = true; }
+
+void Network::set_cpu_factor(NodeId node, double factor) {
+  nodes_[node].cpu_factor = factor;
+}
+
+void Network::set_extra_latency(NodeId node, int64_t us) {
+  nodes_[node].extra_latency_us = us;
+}
+
+void Network::disconnect(NodeId a, NodeId b) {
+  cut_links_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::reconnect(NodeId a, NodeId b) {
+  cut_links_.erase({std::min(a, b), std::max(a, b)});
+}
+
+MessageStats Network::total_stats() const {
+  MessageStats total;
+  for (const auto& s : stats_) {
+    total.count += s.count;
+    total.bytes += s.bytes;
+  }
+  return total;
+}
+
+void Network::reset_stats() { stats_.fill(MessageStats{}); }
+
+void Network::run_handler(NodeId node, SimTime at, Handler fn) {
+  NodeState& state = nodes_[node];
+  if (state.crashed) return;
+  if (state.cpu_busy > at || !state.cpu_queue.empty()) {
+    // Node busy: enqueue FIFO and make sure a drain fires when it frees up.
+    state.cpu_queue.push_back(std::move(fn));
+    schedule_drain(node, std::max(state.cpu_busy, at));
+    return;
+  }
+  execute_handler(node, at, fn);
+}
+
+void Network::execute_handler(NodeId node, SimTime at, const Handler& fn) {
+  ActorContext ctx(*this, node, at);
+  fn(ctx);
+  flush(node, ctx);
+}
+
+void Network::schedule_drain(NodeId node, SimTime at) {
+  NodeState& state = nodes_[node];
+  if (state.drain_scheduled) return;
+  state.drain_scheduled = true;
+  sim_.schedule(std::max(at, sim_.now()), [this, node] { drain(node); });
+}
+
+void Network::drain(NodeId node) {
+  NodeState& state = nodes_[node];
+  state.drain_scheduled = false;
+  if (state.crashed) {
+    state.cpu_queue.clear();
+    return;
+  }
+  if (state.cpu_queue.empty()) return;
+  if (state.cpu_busy > sim_.now()) {
+    schedule_drain(node, state.cpu_busy);
+    return;
+  }
+  Handler fn = std::move(state.cpu_queue.front());
+  state.cpu_queue.pop_front();
+  execute_handler(node, sim_.now(), fn);
+  if (!state.cpu_queue.empty()) schedule_drain(node, state.cpu_busy);
+}
+
+void Network::flush(NodeId node, ActorContext& ctx) {
+  NodeState& state = nodes_[node];
+  int64_t cpu = static_cast<int64_t>(static_cast<double>(ctx.charged_) * state.cpu_factor);
+  SimTime done = ctx.start_ + cpu;
+  state.cpu_busy = done;
+  state.cpu_used_us += cpu;
+  ++state.handlers_run;
+
+  // Broadcasts enqueue the same payload many times; compute its wire size
+  // once per distinct message object.
+  const Message* last_msg = nullptr;
+  size_t last_size = 0;
+  for (auto& p : ctx.sends_) {
+    if (p.msg.get() != last_msg) {
+      last_msg = p.msg.get();
+      last_size = message_wire_size(*p.msg);
+    }
+    stats_[p.msg->index()].count += 1;
+    stats_[p.msg->index()].bytes += last_size;
+    transmit(node, p.to, std::move(p.msg), last_size, done);
+  }
+  for (auto& t : ctx.timers_) {
+    uint64_t id = t.id;
+    sim_.schedule(done + t.delay_us, [this, node, id] {
+      run_handler(node, sim_.now(), [this, node, id](ActorContext& c) {
+        nodes_[node].actor->on_timer(id, c);
+      });
+    });
+  }
+}
+
+void Network::transmit(NodeId from, NodeId to, MessagePtr msg, size_t wire_size,
+                       SimTime depart) {
+  NodeState& src = nodes_[from];
+  if (src.crashed) return;
+  if (to >= num_nodes()) return;
+  if (from == to) {
+    // Local delivery: no link involved.
+    deliver(from, to, std::move(msg), wire_size, depart);
+    return;
+  }
+  if (cut_links_.count({std::min(from, to), std::max(from, to)})) return;
+  if (drop_probability_ > 0 && link_rng_.chance(drop_probability_)) return;
+
+  // Uplink serialization at the sender.
+  int64_t tx = static_cast<int64_t>(static_cast<double>(wire_size) /
+                                    topology_.bandwidth_bytes_per_us) + 1;
+  SimTime tx_start = std::max(depart, src.uplink_busy);
+  SimTime tx_end = tx_start + tx;
+  src.uplink_busy = tx_end;
+
+  // Propagation.
+  NodeState& dst = nodes_[to];
+  int64_t latency = topology_.region_latency_us[src.region][dst.region] +
+                    src.extra_latency_us + dst.extra_latency_us +
+                    static_cast<int64_t>(link_rng_.below(
+                        static_cast<uint64_t>(std::max<int64_t>(topology_.jitter_us, 1))));
+  deliver(from, to, std::move(msg), wire_size, tx_end + latency);
+}
+
+void Network::deliver(NodeId from, NodeId to, MessagePtr msg, size_t wire_size,
+                      SimTime arrival) {
+  sim_.schedule(arrival, [this, from, to, msg = std::move(msg), wire_size] {
+    NodeState& dst = nodes_[to];
+    if (dst.crashed) return;
+    // Downlink serialization at the receiver.
+    SimTime rx_start = std::max(sim_.now(), dst.downlink_busy);
+    int64_t rx = static_cast<int64_t>(static_cast<double>(wire_size) /
+                                      topology_.bandwidth_bytes_per_us);
+    SimTime ready = rx_start + rx;
+    dst.downlink_busy = ready;
+    sim_.schedule(ready, [this, from, to, msg] {
+      // msg captured by value: run_handler may re-schedule the closure if the
+      // target CPU is busy, so the payload must outlive this event.
+      run_handler(to, sim_.now(), [this, from, to, msg](ActorContext& ctx) {
+        ctx.charge(costs_.msg_overhead_us);
+        nodes_[to].actor->on_message(from, *msg, ctx);
+      });
+    });
+  });
+}
+
+}  // namespace sbft::sim

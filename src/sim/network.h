@@ -1,0 +1,182 @@
+// Simulated network and node runtime.
+//
+// Nodes (replicas and clients) are actors on a shared discrete-event
+// simulator. The model captures exactly the resources the paper's evaluation
+// exercises on AWS:
+//   * per-node sequential CPU (handlers charge cost-model time; a saturated
+//     node queues work),
+//   * per-node uplink/downlink serialization (a broadcast is n unicasts that
+//     serialize on the sender's uplink — this is what makes all-to-all
+//     quadratic patterns hurt and collector patterns win),
+//   * region-to-region propagation latency with jitter,
+//   * fault injection: crash, straggler slowdown, message drop, partitions.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "proto/message.h"
+#include "sim/cost_model.h"
+#include "sim/simulator.h"
+
+namespace sbft::sim {
+
+struct Topology {
+  std::string name;
+  // One-way propagation latency between regions, microseconds.
+  std::vector<std::vector<int64_t>> region_latency_us;
+  int64_t jitter_us = 500;           // uniform [0, jitter) added per message
+  double bandwidth_bytes_per_us = 50.0;  // per-node up/downlink (~400 Mbit/s)
+
+  uint32_t num_regions() const { return static_cast<uint32_t>(region_latency_us.size()); }
+};
+
+/// Single-region LAN (unit tests): 100us one-way, high bandwidth.
+Topology lan_topology();
+/// 5 regions / 2 AZ per region on one continent (§IX "Continent scale WAN").
+Topology continent_topology();
+/// 15 regions across all continents (§IX "World scale WAN").
+Topology world_topology();
+
+class Network;
+
+/// Handler-scoped context: buffers sends and timers so that everything a
+/// handler emits departs when its charged CPU time completes.
+class ActorContext {
+ public:
+  SimTime now() const { return start_; }
+  const CostModel& costs() const;
+  Rng& rng();
+
+  /// Adds simulated CPU time to this handler.
+  void charge(int64_t us) { charged_ += us; }
+
+  void send(NodeId to, MessagePtr msg) { sends_.push_back({to, std::move(msg)}); }
+  void multicast(const std::vector<NodeId>& to, MessagePtr msg);
+  /// Schedules on_timer(id) `delay` after this handler completes.
+  void set_timer(int64_t delay_us, uint64_t id) { timers_.push_back({delay_us, id}); }
+
+ private:
+  friend class Network;
+  ActorContext(Network& net, NodeId self, SimTime start)
+      : net_(net), self_(self), start_(start) {}
+
+  struct PendingSend {
+    NodeId to;
+    MessagePtr msg;
+  };
+  struct PendingTimer {
+    int64_t delay_us;
+    uint64_t id;
+  };
+
+  Network& net_;
+  NodeId self_;
+  SimTime start_;
+  int64_t charged_ = 0;
+  std::vector<PendingSend> sends_;
+  std::vector<PendingTimer> timers_;
+};
+
+class IActor {
+ public:
+  virtual ~IActor() = default;
+  virtual void on_start(ActorContext&) {}
+  virtual void on_message(NodeId from, const Message& msg, ActorContext&) = 0;
+  virtual void on_timer(uint64_t, ActorContext&) {}
+};
+
+struct MessageStats {
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, Topology topology, CostModel costs, uint64_t seed = 1);
+
+  /// Registers an actor; nodes are placed round-robin across regions unless a
+  /// region is given. Returns the node id.
+  NodeId add_node(IActor* actor);
+  NodeId add_node(IActor* actor, uint32_t region);
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+
+  /// Delivers on_start to every node at time 0.
+  void start();
+
+  // --- fault injection -------------------------------------------------------
+  void crash(NodeId node);
+  bool crashed(NodeId node) const { return nodes_[node].crashed; }
+  /// Straggler: multiplies the node's CPU costs (1.0 = nominal).
+  void set_cpu_factor(NodeId node, double factor);
+  /// Extra one-way latency for all messages to/from this node.
+  void set_extra_latency(NodeId node, int64_t us);
+  /// Uniform message drop probability (applies to every link).
+  void set_drop_probability(double p) { drop_probability_ = p; }
+  /// Cuts / restores the pair link (both directions).
+  void disconnect(NodeId a, NodeId b);
+  void reconnect(NodeId a, NodeId b);
+
+  // --- statistics ------------------------------------------------------------
+  const std::array<MessageStats, std::variant_size_v<Message>>& stats_by_type() const {
+    return stats_;
+  }
+  MessageStats total_stats() const;
+  void reset_stats();
+
+  const CostModel& costs() const { return costs_; }
+  Simulator& simulator() { return sim_; }
+  Rng& node_rng(NodeId node) { return nodes_[node].rng; }
+  int64_t cpu_used_us(NodeId node) const { return nodes_[node].cpu_used_us; }
+  uint64_t handlers_run(NodeId node) const { return nodes_[node].handlers_run; }
+  size_t cpu_queue_depth(NodeId node) const { return nodes_[node].cpu_queue.size(); }
+
+ private:
+  friend class ActorContext;
+
+  using Handler = std::function<void(ActorContext&)>;
+
+  struct NodeState {
+    IActor* actor = nullptr;
+    uint32_t region = 0;
+    bool crashed = false;
+    double cpu_factor = 1.0;
+    int64_t extra_latency_us = 0;
+    SimTime cpu_busy = 0;
+    SimTime uplink_busy = 0;
+    SimTime downlink_busy = 0;
+    // FIFO of handlers waiting for the node's (sequential) CPU.
+    std::deque<Handler> cpu_queue;
+    bool drain_scheduled = false;
+    int64_t cpu_used_us = 0;   // cumulative charged CPU (utilization probe)
+    uint64_t handlers_run = 0;
+    Rng rng{0};
+  };
+
+  void transmit(NodeId from, NodeId to, MessagePtr msg, size_t wire_size,
+                SimTime depart);
+  void deliver(NodeId from, NodeId to, MessagePtr msg, size_t wire_size,
+               SimTime arrival);
+  void run_handler(NodeId node, SimTime at, Handler fn);
+  void execute_handler(NodeId node, SimTime at, const Handler& fn);
+  void schedule_drain(NodeId node, SimTime at);
+  void drain(NodeId node);
+  void flush(NodeId node, ActorContext& ctx);
+
+  Simulator& sim_;
+  Topology topology_;
+  CostModel costs_;
+  std::vector<NodeState> nodes_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
+  double drop_probability_ = 0.0;
+  Rng link_rng_;
+  std::array<MessageStats, std::variant_size_v<Message>> stats_{};
+};
+
+}  // namespace sbft::sim

@@ -1,0 +1,83 @@
+#include "storage/ledger_storage.h"
+
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace sbft::storage {
+
+void MemoryLedgerStorage::append_block(SeqNum s, ByteSpan encoded) {
+  blocks_.emplace(s, to_bytes(encoded));
+}
+
+std::optional<Bytes> MemoryLedgerStorage::read_block(SeqNum s) const {
+  auto it = blocks_.find(s);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second;
+}
+
+SeqNum MemoryLedgerStorage::last_seq() const {
+  return blocks_.empty() ? 0 : blocks_.rbegin()->first;
+}
+
+FileLedgerStorage::FileLedgerStorage(const std::string& path) : path_(path) {
+  // Open for read/append, creating if needed.
+  file_ = std::fopen(path.c_str(), "ab+");
+  if (!file_) throw std::runtime_error("FileLedgerStorage: cannot open " + path);
+  load_index();
+}
+
+FileLedgerStorage::~FileLedgerStorage() {
+  if (file_) std::fclose(file_);
+}
+
+void FileLedgerStorage::load_index() {
+  std::rewind(file_);
+  for (;;) {
+    uint8_t header[12];
+    long offset = std::ftell(file_);
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) break;
+    SeqNum s = 0;
+    for (int i = 0; i < 8; ++i) s |= static_cast<SeqNum>(header[i]) << (8 * i);
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[8 + i]) << (8 * i);
+    index_[s] = {offset + 12, len};
+    if (std::fseek(file_, static_cast<long>(len), SEEK_CUR) != 0) break;
+  }
+  std::fseek(file_, 0, SEEK_END);
+}
+
+void FileLedgerStorage::append_block(SeqNum s, ByteSpan encoded) {
+  if (index_.count(s)) return;  // immutable records: duplicate appends ignored
+  std::fseek(file_, 0, SEEK_END);
+  long offset = std::ftell(file_);
+  uint8_t header[12];
+  for (int i = 0; i < 8; ++i) header[i] = static_cast<uint8_t>(s >> (8 * i));
+  uint32_t len = static_cast<uint32_t>(encoded.size());
+  for (int i = 0; i < 4; ++i) header[8 + i] = static_cast<uint8_t>(len >> (8 * i));
+  SBFT_CHECK(std::fwrite(header, 1, sizeof(header), file_) == sizeof(header));
+  if (len > 0)
+    SBFT_CHECK(std::fwrite(encoded.data(), 1, encoded.size(), file_) == encoded.size());
+  index_[s] = {offset + 12, len};
+}
+
+std::optional<Bytes> FileLedgerStorage::read_block(SeqNum s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) return std::nullopt;
+  std::FILE* f = file_;
+  std::fflush(f);
+  if (std::fseek(f, it->second.first, SEEK_SET) != 0) return std::nullopt;
+  Bytes out(it->second.second);
+  if (!out.empty() && std::fread(out.data(), 1, out.size(), f) != out.size())
+    return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  return out;
+}
+
+SeqNum FileLedgerStorage::last_seq() const {
+  return index_.empty() ? 0 : index_.rbegin()->first;
+}
+
+void FileLedgerStorage::sync() { std::fflush(file_); }
+
+}  // namespace sbft::storage

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/bignum.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+
+namespace sbft::crypto {
+namespace {
+
+BigUint big(uint64_t v) { return BigUint(v); }
+
+TEST(BigUint, ConstructionAndLow64) {
+  EXPECT_TRUE(BigUint().is_zero());
+  EXPECT_EQ(big(0x123456789abcdef0ull).low_u64(), 0x123456789abcdef0ull);
+}
+
+TEST(BigUint, HexRoundTrip) {
+  BigUint v = BigUint::from_hex("deadbeefcafebabe0123456789");
+  EXPECT_EQ(v.to_hex(), "deadbeefcafebabe0123456789");
+}
+
+TEST(BigUint, BytesRoundTrip) {
+  Bytes data = {0x01, 0x00, 0xff, 0xee};
+  BigUint v = BigUint::from_bytes_be(as_span(data));
+  EXPECT_EQ(v.to_bytes_be(), data);
+}
+
+TEST(BigUint, LeadingZerosNormalized) {
+  Bytes data = {0x00, 0x00, 0x12};
+  EXPECT_EQ(BigUint::from_bytes_be(as_span(data)), big(0x12));
+}
+
+TEST(BigUint, Comparison) {
+  EXPECT_LT(big(5), big(6));
+  EXPECT_GT(BigUint::from_hex("100000000"), big(0xffffffffull));
+  EXPECT_EQ(big(7), big(7));
+}
+
+TEST(BigUint, AddSubCarries) {
+  BigUint a = BigUint::from_hex("ffffffffffffffffffffffff");
+  BigUint one = big(1);
+  BigUint sum = a + one;
+  EXPECT_EQ(sum.to_hex(), "01000000000000000000000000");
+  EXPECT_EQ(sum - one, a);
+}
+
+TEST(BigUint, MulKnownValue) {
+  BigUint a = BigUint::from_hex("ffffffff");
+  EXPECT_EQ((a * a).to_hex(), "fffffffe00000001");
+}
+
+TEST(BigUint, Shifts) {
+  BigUint v = big(1);
+  EXPECT_EQ((v << 100).bit_length(), 101);
+  EXPECT_EQ(((v << 100) >> 100), v);
+  EXPECT_EQ((big(0xff) >> 4), big(0xf));
+}
+
+TEST(BigUint, BitAccess) {
+  BigUint v = big(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(200));
+}
+
+TEST(BigUint, DivModSmall) {
+  auto dm = BigUint::divmod(big(100), big(7));
+  EXPECT_EQ(dm.quotient, big(14));
+  EXPECT_EQ(dm.remainder, big(2));
+}
+
+TEST(BigUint, DivModByZeroThrows) {
+  EXPECT_THROW(BigUint::divmod(big(1), BigUint()), std::domain_error);
+}
+
+TEST(BigUint, DivModReconstructionProperty) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    BigUint a = BigUint::random_bits(rng, 1 + static_cast<int>(rng.below(512)));
+    BigUint b = BigUint::random_bits(rng, 1 + static_cast<int>(rng.below(256)));
+    auto dm = BigUint::divmod(a, b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder, b);
+  }
+}
+
+TEST(BigUint, DivModAddBackBranch) {
+  // Regression guard for Knuth D's rare "add back" case: many divisors with
+  // high top digits over random dividends.
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    BigUint b = BigUint::from_hex("ffffffffffffffff0000000000000001") +
+                BigUint::random_bits(rng, 40);
+    BigUint a = b * BigUint::random_bits(rng, 64) + BigUint::random_bits(rng, 30);
+    auto dm = BigUint::divmod(a, b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder, b);
+  }
+}
+
+TEST(BigUint, Gcd) {
+  EXPECT_EQ(BigUint::gcd(big(48), big(36)), big(12));
+  EXPECT_EQ(BigUint::gcd(big(17), big(5)), big(1));
+  EXPECT_EQ(BigUint::gcd(big(0), big(9)), big(9));
+}
+
+TEST(BigUint, ModExpKnown) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigUint::mod_exp(big(2), big(10), big(1000)), big(24));
+  // Anything mod 1 is 0.
+  EXPECT_TRUE(BigUint::mod_exp(big(5), big(3), big(1)).is_zero());
+}
+
+TEST(BigUint, ModExpFermatProperty) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
+  BigUint p = BigUint::from_hex("ffffffffffffffc5");  // large 64-bit prime
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    BigUint a = BigUint::random_below(rng, p - big(2)) + big(2);
+    EXPECT_EQ(BigUint::mod_exp(a, p - big(1), p), big(1));
+  }
+}
+
+TEST(BigUint, ModInverse) {
+  Rng rng(19);
+  BigUint m = BigUint::from_hex("ffffffffffffffc5");
+  for (int i = 0; i < 20; ++i) {
+    BigUint a = BigUint::random_below(rng, m - big(1)) + big(1);
+    BigUint inv = BigUint::mod_inverse(a, m);
+    ASSERT_FALSE(inv.is_zero());
+    EXPECT_EQ(BigUint::mod_mul(a, inv, m), big(1));
+  }
+}
+
+TEST(BigUint, ModInverseNonCoprimeFails) {
+  EXPECT_TRUE(BigUint::mod_inverse(big(6), big(9)).is_zero());
+}
+
+TEST(BigUint, MillerRabinKnownPrimes) {
+  Rng rng(23);
+  for (uint64_t p : {2ull, 3ull, 97ull, 7919ull, 104729ull, 2147483647ull}) {
+    EXPECT_TRUE(BigUint::is_probable_prime(big(p), rng)) << p;
+  }
+}
+
+TEST(BigUint, MillerRabinKnownComposites) {
+  Rng rng(29);
+  // Includes Carmichael numbers 561 and 41041.
+  for (uint64_t c : {1ull, 4ull, 561ull, 41041ull, 7917ull, 104730ull}) {
+    EXPECT_FALSE(BigUint::is_probable_prime(big(c), rng)) << c;
+  }
+}
+
+TEST(BigUint, RandomPrimeHasExactBits) {
+  Rng rng(31);
+  BigUint p = BigUint::random_prime(rng, 96);
+  EXPECT_EQ(p.bit_length(), 96);
+  EXPECT_TRUE(BigUint::is_probable_prime(p, rng));
+}
+
+TEST(BigInt, SignedArithmetic) {
+  BigInt a(5), b(-8);
+  EXPECT_EQ((a + b).mod(big(100)), big(97));
+  EXPECT_EQ((a - b).mod(big(100)), big(13));
+  EXPECT_EQ((a * b).mod(big(100)), big(60));  // -40 mod 100
+}
+
+TEST(BigInt, ModOfNegative) {
+  EXPECT_EQ(BigInt(-1).mod(big(7)), big(6));
+  EXPECT_EQ(BigInt(-14).mod(big(7)), big(0));
+}
+
+TEST(ExtendedGcd, BezoutIdentity) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    BigUint a = BigUint::random_bits(rng, 128);
+    BigUint b = BigUint::random_bits(rng, 96);
+    EgcdResult e = extended_gcd(a, b);
+    // a*x + b*y == g, checked modulo a large prime to avoid signed bigints.
+    BigUint m = BigUint::from_hex("ffffffffffffffffffffffffffffff61");
+    BigUint lhs = (BigUint::mod_mul(a % m, e.x.mod(m), m) +
+                   BigUint::mod_mul(b % m, e.y.mod(m), m)) %
+                  m;
+    EXPECT_EQ(lhs, e.g % m);
+    EXPECT_TRUE((a % e.g).is_zero());
+    EXPECT_TRUE((b % e.g).is_zero());
+  }
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  Rng rng(41);
+  RsaKeyPair kp = rsa_generate(rng, 512);
+  Digest d = crypto::sha256("message");
+  Bytes sig = kp.priv.sign(d);
+  EXPECT_EQ(sig.size(), kp.pub.signature_size());
+  EXPECT_TRUE(kp.pub.verify(d, as_span(sig)));
+}
+
+TEST(Rsa, RejectsTamperedSignature) {
+  Rng rng(43);
+  RsaKeyPair kp = rsa_generate(rng, 512);
+  Digest d = crypto::sha256("message");
+  Bytes sig = kp.priv.sign(d);
+  sig[5] ^= 1;
+  EXPECT_FALSE(kp.pub.verify(d, as_span(sig)));
+}
+
+TEST(Rsa, RejectsWrongDigest) {
+  Rng rng(47);
+  RsaKeyPair kp = rsa_generate(rng, 512);
+  Bytes sig = kp.priv.sign(crypto::sha256("a"));
+  EXPECT_FALSE(kp.pub.verify(crypto::sha256("b"), as_span(sig)));
+}
+
+TEST(Rsa, RejectsWrongKey) {
+  Rng rng(53);
+  RsaKeyPair kp1 = rsa_generate(rng, 512);
+  RsaKeyPair kp2 = rsa_generate(rng, 512);
+  Digest d = crypto::sha256("message");
+  Bytes sig = kp1.priv.sign(d);
+  EXPECT_FALSE(kp2.pub.verify(d, as_span(sig)));
+}
+
+TEST(Rsa, FdhInRange) {
+  Rng rng(59);
+  RsaKeyPair kp = rsa_generate(rng, 256);
+  for (int i = 0; i < 20; ++i) {
+    Digest d = crypto::sha256(std::to_string(i));
+    BigUint m = rsa_fdh(d, kp.pub.n);
+    EXPECT_LT(m, kp.pub.n);
+    EXPECT_GE(m, BigUint(2));
+    // Deterministic.
+    EXPECT_EQ(rsa_fdh(d, kp.pub.n), m);
+  }
+}
+
+}  // namespace
+}  // namespace sbft::crypto

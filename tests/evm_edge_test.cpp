@@ -1,0 +1,213 @@
+// EVM interpreter edge cases: introspection opcodes, memory ops, gas
+// accounting boundaries, malformed code, and stack limits.
+#include <gtest/gtest.h>
+
+#include "evm/assembler.h"
+#include "evm/vm.h"
+
+namespace sbft::evm {
+namespace {
+
+struct NullHost : IEvmHost {
+  U256 sload(const Address&, const U256&) const override { return U256(); }
+  void sstore(const Address&, const U256&, const U256&) override {}
+};
+
+EvmResult run(const Assembler& a, uint64_t gas = 10'000'000) {
+  NullHost host;
+  Bytes code = a.assemble();
+  EvmParams params;
+  params.code = as_span(code);
+  params.gas_limit = gas;
+  return evm_execute(host, params);
+}
+
+U256 word(const EvmResult& r) { return U256::from_bytes_be(as_span(r.output)); }
+
+Assembler& return_top(Assembler& a) {
+  a.push(uint64_t{0}).op(Op::MSTORE);
+  a.push(uint64_t{32}).push(uint64_t{0}).op(Op::RETURN);
+  return a;
+}
+
+TEST(VmEdge, PcReportsCodeOffset) {
+  Assembler a;
+  a.op(Op::JUMPDEST);  // offset 0
+  a.op(Op::PC);        // offset 1: pushes 1
+  return_top(a);
+  EvmResult r = run(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(word(r), U256(1));
+}
+
+TEST(VmEdge, MsizeTracksTouchedMemory) {
+  Assembler a;
+  a.push(uint64_t{1}).push(uint64_t{95}).op(Op::MSTORE8);  // touches byte 95
+  a.op(Op::MSIZE);
+  return_top(a);
+  EvmResult r = run(a);
+  ASSERT_TRUE(r.ok());
+  // Memory grows in 32-byte words: 96 bytes.
+  EXPECT_EQ(word(r), U256(96));
+}
+
+TEST(VmEdge, GasDecreasesMonotonically) {
+  Assembler a;
+  a.op(Op::GAS);
+  return_top(a);
+  EvmResult r = run(a, 50'000);
+  ASSERT_TRUE(r.ok());
+  U256 remaining = word(r);
+  EXPECT_LT(remaining.low64(), 50'000u);
+  EXPECT_GT(remaining.low64(), 49'000u);  // only a handful of cheap ops ran
+}
+
+TEST(VmEdge, Mstore8WritesSingleByte) {
+  Assembler a;
+  a.push(uint64_t{0xAB}).push(uint64_t{31}).op(Op::MSTORE8);
+  a.push(uint64_t{0}).op(Op::MLOAD);
+  return_top(a);
+  EvmResult r = run(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(word(r), U256(0xAB));  // lowest byte of the first word
+}
+
+TEST(VmEdge, CalldatacopyZeroFillsPastEnd) {
+  NullHost host;
+  Assembler a;
+  // Copy 64 bytes from offset 0 of a 4-byte calldata into memory.
+  a.push(uint64_t{64}).push(uint64_t{0}).push(uint64_t{0}).op(Op::CALLDATACOPY);
+  a.push(uint64_t{0}).op(Op::MLOAD);
+  return_top(a);
+  Bytes code = a.assemble();
+  Bytes calldata = {0x11, 0x22, 0x33, 0x44};
+  EvmParams params;
+  params.code = as_span(code);
+  params.calldata = as_span(calldata);
+  EvmResult r = evm_execute(host, params);
+  ASSERT_TRUE(r.ok());
+  // First word: 0x11223344 followed by 28 zero bytes.
+  auto w = word(r).to_word();
+  EXPECT_EQ(w[0], 0x11);
+  EXPECT_EQ(w[3], 0x44);
+  EXPECT_EQ(w[4], 0x00);
+}
+
+TEST(VmEdge, AddmodMulmodOpcodes) {
+  Assembler a;
+  // ADDMOD(10, 10, 8) = 4 : push order c, b, a (a on top).
+  a.push(uint64_t{8}).push(uint64_t{10}).push(uint64_t{10}).op(Op::ADDMOD);
+  return_top(a);
+  EXPECT_EQ(word(run(a)), U256(4));
+  Assembler m;
+  m.push(uint64_t{8}).push(uint64_t{10}).push(uint64_t{10}).op(Op::MULMOD);
+  return_top(m);
+  EXPECT_EQ(word(run(m)), U256(4));
+}
+
+TEST(VmEdge, ExpOpcode) {
+  Assembler a;
+  a.push(uint64_t{10}).push(uint64_t{2}).op(Op::EXP);  // 2^10
+  return_top(a);
+  EXPECT_EQ(word(run(a)), U256(1024));
+}
+
+TEST(VmEdge, TruncatedPushZeroExtends) {
+  // PUSH2 with only one byte of operand at the end of code: the missing byte
+  // is treated as zero on the right (value 0xAB00).
+  Bytes code = {0x61, 0xAB};  // PUSH2 0xAB<end>
+  NullHost host;
+  EvmParams params;
+  params.code = as_span(code);
+  EvmResult r = evm_execute(host, params);
+  EXPECT_TRUE(r.ok());  // implicit STOP after the push
+}
+
+TEST(VmEdge, StackOverflowCaught) {
+  // 1025 pushes exceed the 1024-entry stack.
+  Assembler a;
+  for (int i = 0; i < 1025; ++i) a.push(uint64_t{1});
+  EvmResult r = run(a);
+  EXPECT_EQ(r.status, EvmStatus::kInvalid);
+  EXPECT_EQ(r.error, "stack overflow");
+}
+
+TEST(VmEdge, DupSwapUnderflowCaught) {
+  Assembler a;
+  a.push(uint64_t{1}).op(static_cast<Op>(0x8f));  // DUP16 with 1 element
+  EXPECT_EQ(run(a).status, EvmStatus::kInvalid);
+  Assembler b;
+  b.push(uint64_t{1}).op(static_cast<Op>(0x9f));  // SWAP16 with 1 element
+  EXPECT_EQ(run(b).status, EvmStatus::kInvalid);
+}
+
+TEST(VmEdge, JumpIntoPushDataRejected) {
+  // Construct code where a JUMPDEST byte value (0x5b) sits inside push data;
+  // jumping there must fail.
+  Assembler a;
+  a.push(uint64_t{0x5b});  // 0x60 0x5b — the 0x5b at offset 1 is data
+  a.push(uint64_t{1}).op(Op::JUMP);
+  EvmResult r = run(a);
+  EXPECT_EQ(r.status, EvmStatus::kInvalid);
+  EXPECT_EQ(r.error, "bad jump destination");
+}
+
+TEST(VmEdge, MemoryExpansionChargesGas) {
+  // Touching a large offset must cost noticeably more than a small one.
+  Assembler small;
+  small.push(uint64_t{1}).push(uint64_t{0}).op(Op::MSTORE);
+  small.op(Op::STOP);
+  Assembler large;
+  large.push(uint64_t{1}).push(uint64_t{100'000}).op(Op::MSTORE);
+  large.op(Op::STOP);
+  EvmResult rs = run(small);
+  EvmResult rl = run(large);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_GT(rl.gas_used, rs.gas_used + 5000);
+}
+
+TEST(VmEdge, MemoryCapRejectsAbsurdOffsets) {
+  Assembler a;
+  a.push(U256(1).shl(40)).push(uint64_t{1});
+  a.op(Op::SWAP1).op(Op::MSTORE);  // offset 2^40 — beyond the per-exec cap
+  EvmResult r = run(a);
+  EXPECT_NE(r.status, EvmStatus::kSuccess);
+}
+
+TEST(VmEdge, LogChargesAndCounts) {
+  Assembler a;
+  a.push(uint64_t{7}).push(uint64_t{32}).push(uint64_t{0}).op(Op::LOG1);
+  a.op(Op::STOP);
+  EvmResult r = run(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.log_count, 1u);
+  EXPECT_GT(r.gas_used, 750u);  // LOG1 base cost
+}
+
+TEST(VmEdge, UnknownOpcodeFails) {
+  Bytes code = {0xfe};  // INVALID
+  NullHost host;
+  EvmParams params;
+  params.code = as_span(code);
+  EvmResult r = evm_execute(host, params);
+  EXPECT_EQ(r.status, EvmStatus::kInvalid);
+}
+
+TEST(VmEdge, RevertReturnsData) {
+  Assembler a;
+  a.push(uint64_t{0xdead}).push(uint64_t{0}).op(Op::MSTORE);
+  a.push(uint64_t{32}).push(uint64_t{0}).op(Op::REVERT);
+  EvmResult r = run(a);
+  EXPECT_EQ(r.status, EvmStatus::kRevert);
+  EXPECT_EQ(U256::from_bytes_be(as_span(r.output)), U256(0xdead));
+}
+
+TEST(VmEdge, AssemblerRejectsUndefinedLabel) {
+  Assembler a;
+  a.push_label("nowhere").op(Op::JUMP);
+  EXPECT_THROW(a.assemble(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sbft::evm

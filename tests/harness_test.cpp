@@ -1,0 +1,135 @@
+// Harness-level tests: metrics aggregation, experiment runner, and the
+// Ethereum-like smart-contract workload end to end on a replicated cluster.
+#include <gtest/gtest.h>
+
+#include "evm/evm_service.h"
+#include "evm/u256.h"
+#include "harness/eth_workload.h"
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+
+namespace sbft::harness {
+namespace {
+
+TEST(Metrics, LatencySummaryPercentiles) {
+  std::vector<int64_t> latencies;
+  for (int i = 1; i <= 100; ++i) latencies.push_back(i * 1000);  // 1..100 ms
+  LatencySummary s = summarize_latencies(latencies);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean_ms, 50.5, 0.01);
+  EXPECT_NEAR(s.median_ms, 51.0, 1.0);
+  EXPECT_NEAR(s.p95_ms, 96.0, 1.0);
+  EXPECT_EQ(s.min_ms, 1.0);
+  EXPECT_EQ(s.max_ms, 100.0);
+}
+
+TEST(Metrics, EmptySummaryIsZero) {
+  LatencySummary s = summarize_latencies({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean_ms, 0.0);
+}
+
+TEST(Metrics, FormatRowPads) {
+  std::string row = format_row({"a", "bb"}, {4, 4});
+  EXPECT_EQ(row, "a    bb   ");
+}
+
+TEST(Experiment, RunPointProducesMetrics) {
+  ExperimentPoint point;
+  point.kind = ProtocolKind::kSbft;
+  point.f = 1;
+  point.c = 0;
+  point.num_clients = 4;
+  point.warmup_us = 500'000;
+  point.measure_us = 2'000'000;
+  point.topology = sim::lan_topology();
+  ExperimentResult result = run_point(point);
+  EXPECT_TRUE(result.agreement_ok);
+  EXPECT_GT(result.metrics.requests_completed, 0u);
+  EXPECT_GT(result.metrics.ops_per_second, 0.0);
+  EXPECT_GT(result.sim_events, 0u);
+}
+
+TEST(Experiment, ProtocolNames) {
+  EXPECT_STREQ(protocol_name(ProtocolKind::kPbft), "PBFT");
+  EXPECT_STREQ(protocol_name(ProtocolKind::kSbft), "SBFT");
+}
+
+TEST(EthWorkload, AddressesAreDeterministic) {
+  EXPECT_EQ(eth_account_of(5), eth_account_of(5));
+  EXPECT_NE(eth_account_of(5), eth_account_of(6));
+  EXPECT_EQ(eth_token_of(5), eth_token_of(5));
+}
+
+TEST(EthWorkload, BootstrapThenTransfersExecuteOnLedger) {
+  evm::EvmLedgerService ledger;
+  EthWorkloadOptions wopts;
+  wopts.txs_per_request = 10;
+  wopts.create_fraction = 0.0;
+  auto factory = eth_op_factory(42, wopts);
+  Rng rng(1);
+  // Bootstrap request deploys + mints.
+  ledger.execute(as_span(factory(0, rng)));
+  EXPECT_EQ(ledger.contracts_created(), 1u);
+  ASSERT_TRUE(ledger.code_of(eth_token_of(42)).has_value());
+  // Transfer batches run against the deployed token.
+  ledger.execute(as_span(factory(1, rng)));
+  sim::CostModel costs;
+  EXPECT_GT(ledger.last_execute_cost_us(costs), 10 * costs.evm_us(21000) / 2);
+}
+
+TEST(EthWorkload, CreateFractionDeploysContracts) {
+  evm::EvmLedgerService ledger;
+  EthWorkloadOptions wopts;
+  wopts.txs_per_request = 20;
+  wopts.create_fraction = 0.5;
+  auto factory = eth_op_factory(7, wopts);
+  Rng rng(2);
+  ledger.execute(as_span(factory(0, rng)));
+  ledger.execute(as_span(factory(1, rng)));
+  EXPECT_GT(ledger.contracts_created(), 2u);
+}
+
+TEST(EthWorkload, RequestSizeNear12KB) {
+  EthWorkloadOptions wopts;  // defaults: 50 txs, padded
+  auto factory = eth_op_factory(3, wopts);
+  Rng rng(3);
+  Bytes request = factory(1, rng);
+  EXPECT_GT(request.size(), 8'000u);
+  EXPECT_LT(request.size(), 16'000u);
+}
+
+TEST(EthWorkload, ReplicatedSmartContractsEndToEnd) {
+  // The paper's smart-contract benchmark in miniature: an SBFT cluster
+  // executing the EVM ledger with per-client token contracts.
+  ClusterOptions opts;
+  opts.kind = ProtocolKind::kSbft;
+  opts.f = 1;
+  opts.c = 0;
+  opts.num_clients = 2;
+  opts.requests_per_client = 4;
+  opts.topology = sim::lan_topology();
+  opts.seed = 3;
+  opts.service_factory = [] { return std::make_unique<evm::EvmLedgerService>(); };
+  EthWorkloadOptions wopts;
+  wopts.txs_per_request = 5;
+  wopts.tx_padding_bytes = 16;
+  opts.per_client_op_factory = [wopts](ClientId id) {
+    return eth_op_factory(id, wopts);
+  };
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(240'000'000));
+  cluster.run_for(5'000'000);
+  const auto& ledger = dynamic_cast<const evm::EvmLedgerService&>(
+      cluster.sbft_replica(1)->service());
+  EXPECT_GE(ledger.contracts_created(), 2u);  // one token per client
+  // Every replica holds the identical ledger.
+  Digest expect = cluster.sbft_replica(1)->service().state_digest();
+  for (ReplicaId r = 2; r <= cluster.n(); ++r) {
+    EXPECT_EQ(cluster.sbft_replica(r)->service().state_digest(), expect);
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+}  // namespace
+}  // namespace sbft::harness

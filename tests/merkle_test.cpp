@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+#include "merkle/merkle_tree.h"
+
+namespace sbft::merkle {
+namespace {
+
+std::vector<Digest> make_leaves(size_t count) {
+  std::vector<Digest> leaves;
+  for (size_t i = 0; i < count; ++i) {
+    leaves.push_back(leaf_hash(as_span(to_bytes("leaf-" + std::to_string(i)))));
+  }
+  return leaves;
+}
+
+TEST(LeafHash, DomainSeparatedFromNodes) {
+  Digest a = crypto::sha256("x");
+  EXPECT_NE(leaf_hash(as_span(a)), node_hash(a, a));
+}
+
+TEST(BlockTree, SingleLeaf) {
+  auto leaves = make_leaves(1);
+  BlockMerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  BlockProof proof = tree.prove(0);
+  EXPECT_TRUE(BlockMerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+class BlockTreeSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BlockTreeSizes, AllProofsVerify) {
+  auto leaves = make_leaves(GetParam());
+  BlockMerkleTree tree(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    BlockProof proof = tree.prove(i);
+    EXPECT_TRUE(BlockMerkleTree::verify(tree.root(), leaves[i], proof)) << i;
+  }
+}
+
+TEST_P(BlockTreeSizes, WrongLeafFails) {
+  auto leaves = make_leaves(GetParam());
+  BlockMerkleTree tree(leaves);
+  Digest wrong = leaf_hash(as_span(to_bytes("not-a-leaf")));
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_FALSE(BlockMerkleTree::verify(tree.root(), wrong, tree.prove(i)));
+  }
+}
+
+TEST_P(BlockTreeSizes, WrongIndexFails) {
+  auto leaves = make_leaves(GetParam());
+  if (leaves.size() < 2) return;
+  BlockMerkleTree tree(leaves);
+  BlockProof proof = tree.prove(0);
+  proof.index = 1;
+  EXPECT_FALSE(BlockMerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockTreeSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 64, 100));
+
+TEST(BlockTree, TamperedPathFails) {
+  auto leaves = make_leaves(8);
+  BlockMerkleTree tree(leaves);
+  BlockProof proof = tree.prove(3);
+  proof.path[0][0] ^= 1;
+  EXPECT_FALSE(BlockMerkleTree::verify(tree.root(), leaves[3], proof));
+}
+
+TEST(BlockTree, ProofEncodingRoundTrip) {
+  auto leaves = make_leaves(9);
+  BlockMerkleTree tree(leaves);
+  BlockProof proof = tree.prove(5);
+  auto decoded = BlockProof::decode(as_span(proof.encode()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->index, proof.index);
+  EXPECT_EQ(decoded->leaf_count, proof.leaf_count);
+  EXPECT_EQ(decoded->path, proof.path);
+  EXPECT_TRUE(BlockMerkleTree::verify(tree.root(), leaves[5], *decoded));
+}
+
+TEST(BlockTree, OutOfRangeProofRejected) {
+  auto leaves = make_leaves(4);
+  BlockMerkleTree tree(leaves);
+  BlockProof proof = tree.prove(0);
+  proof.index = 9;
+  EXPECT_FALSE(BlockMerkleTree::verify(tree.root(), leaves[0], proof));
+  proof.index = 0;
+  proof.leaf_count = 0;
+  EXPECT_FALSE(BlockMerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+// ---------------------------------------------------------------------------
+// Sparse Merkle tree
+
+TEST(Smt, EmptyTreeHasDefaultRoot) {
+  SparseMerkleTree a, b;
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Smt, InsertChangesRoot) {
+  SparseMerkleTree t;
+  Digest before = t.root();
+  t.update(as_span("key"), leaf_hash(as_span("value")));
+  EXPECT_NE(t.root(), before);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Smt, DeleteRestoresDefaultRoot) {
+  SparseMerkleTree t;
+  Digest empty_root = t.root();
+  t.update(as_span("key"), leaf_hash(as_span("value")));
+  t.update(as_span("key"), Digest{});
+  EXPECT_EQ(t.root(), empty_root);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Smt, OrderIndependentRoot) {
+  SparseMerkleTree a, b;
+  a.update(as_span("k1"), leaf_hash(as_span("v1")));
+  a.update(as_span("k2"), leaf_hash(as_span("v2")));
+  b.update(as_span("k2"), leaf_hash(as_span("v2")));
+  b.update(as_span("k1"), leaf_hash(as_span("v1")));
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(Smt, MembershipProofs) {
+  SparseMerkleTree t;
+  Digest leaf = leaf_hash(as_span("value"));
+  t.update(as_span("key"), leaf);
+  t.update(as_span("other"), leaf_hash(as_span("other-value")));
+  SmtProof proof = t.prove(as_span("key"));
+  EXPECT_TRUE(SparseMerkleTree::verify(t.root(), as_span("key"), leaf, proof));
+  // Wrong value fails.
+  EXPECT_FALSE(SparseMerkleTree::verify(t.root(), as_span("key"),
+                                        leaf_hash(as_span("forged")), proof));
+}
+
+TEST(Smt, NonMembershipProof) {
+  SparseMerkleTree t;
+  t.update(as_span("exists"), leaf_hash(as_span("v")));
+  SmtProof proof = t.prove(as_span("missing"));
+  EXPECT_TRUE(
+      SparseMerkleTree::verify(t.root(), as_span("missing"), std::nullopt, proof));
+  // Claiming absence of a present key fails.
+  SmtProof present = t.prove(as_span("exists"));
+  EXPECT_FALSE(
+      SparseMerkleTree::verify(t.root(), as_span("exists"), std::nullopt, present));
+}
+
+TEST(Smt, ProofForWrongKeyRejected) {
+  SparseMerkleTree t;
+  Digest leaf = leaf_hash(as_span("v"));
+  t.update(as_span("a"), leaf);
+  SmtProof proof = t.prove(as_span("a"));
+  EXPECT_FALSE(SparseMerkleTree::verify(t.root(), as_span("b"), leaf, proof));
+}
+
+TEST(Smt, ProofEncodingRoundTrip) {
+  SparseMerkleTree t;
+  for (int i = 0; i < 20; ++i) {
+    t.update(as_span(to_bytes("key-" + std::to_string(i))),
+             leaf_hash(as_span(to_bytes("val-" + std::to_string(i)))));
+  }
+  SmtProof proof = t.prove(as_span("key-7"));
+  auto decoded = SmtProof::decode(as_span(proof.encode()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(SparseMerkleTree::verify(t.root(), as_span("key-7"),
+                                       leaf_hash(as_span("val-7")), *decoded));
+}
+
+TEST(Smt, RandomizedAgainstReference) {
+  SparseMerkleTree t;
+  std::map<std::string, Digest> reference;
+  Rng rng(55);
+  for (int step = 0; step < 500; ++step) {
+    std::string key = "k" + std::to_string(rng.below(50));
+    if (rng.chance(0.25) && !reference.empty()) {
+      t.update(as_span(key), Digest{});
+      reference.erase(key);
+    } else {
+      Digest leaf = leaf_hash(as_span(rng.bytes(8)));
+      t.update(as_span(key), leaf);
+      reference[key] = leaf;
+    }
+  }
+  EXPECT_EQ(t.size(), reference.size());
+  for (const auto& [key, leaf] : reference) {
+    auto got = t.leaf(as_span(key));
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(*got, leaf);
+    EXPECT_TRUE(SparseMerkleTree::verify(t.root(), as_span(key), leaf,
+                                         t.prove(as_span(key))));
+  }
+  // Rebuild from scratch in sorted order: same root.
+  SparseMerkleTree rebuilt;
+  for (const auto& [key, leaf] : reference) rebuilt.update(as_span(key), leaf);
+  EXPECT_EQ(rebuilt.root(), t.root());
+}
+
+}  // namespace
+}  // namespace sbft::merkle

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "proto/message.h"
+
+namespace sbft {
+namespace {
+
+Rng& rng() {
+  static Rng r(0xfeed);
+  return r;
+}
+
+Digest random_digest() {
+  Digest d;
+  Bytes b = rng().bytes(32);
+  std::copy(b.begin(), b.end(), d.begin());
+  return d;
+}
+
+Request random_request() {
+  Request req;
+  req.client = static_cast<ClientId>(rng().below(1000));
+  req.timestamp = rng().next();
+  req.op = rng().bytes(1 + rng().below(64));
+  req.client_sig = rng().bytes(33);
+  return req;
+}
+
+Block random_block(size_t requests) {
+  Block b;
+  for (size_t i = 0; i < requests; ++i) b.requests.push_back(random_request());
+  return b;
+}
+
+ExecCertificate random_cert() {
+  ExecCertificate c;
+  c.seq = rng().next();
+  c.state_root = random_digest();
+  c.ops_root = random_digest();
+  c.prev_exec_digest = random_digest();
+  c.pi_sig = rng().bytes(33);
+  return c;
+}
+
+void expect_roundtrip(const Message& msg) {
+  Bytes encoded = encode_message(msg);
+  EXPECT_EQ(encoded.size(), message_wire_size(msg));
+  auto decoded = decode_message(as_span(encoded));
+  ASSERT_TRUE(decoded.has_value()) << message_type_name(msg);
+  EXPECT_EQ(decoded->index(), msg.index());
+  EXPECT_EQ(encode_message(*decoded), encoded) << message_type_name(msg);
+}
+
+TEST(Messages, ClientRequestRoundTrip) {
+  expect_roundtrip(Message(ClientRequestMsg{random_request()}));
+}
+
+TEST(Messages, PrePrepareRoundTrip) {
+  expect_roundtrip(Message(PrePrepareMsg{7, 3, random_block(5)}));
+}
+
+TEST(Messages, SignShareRoundTrip) {
+  SignShareMsg m;
+  m.seq = 9;
+  m.view = 2;
+  m.block_digest = random_digest();
+  m.h = random_digest();
+  m.replica = 4;
+  m.sigma_share = rng().bytes(33);
+  m.tau_share = rng().bytes(33);
+  expect_roundtrip(Message(m));
+}
+
+TEST(Messages, CommitPathRoundTrips) {
+  FullCommitProofMsg fast{1, 2, random_digest(), rng().bytes(33)};
+  expect_roundtrip(Message(fast));
+  PrepareMsg prep{3, 4, random_digest(), rng().bytes(33)};
+  expect_roundtrip(Message(prep));
+  CommitShareMsg cs{5, 6, random_digest(), 7, rng().bytes(33)};
+  expect_roundtrip(Message(cs));
+  FullCommitProofSlowMsg slow{8, 9, random_digest(), rng().bytes(33),
+                              rng().bytes(33)};
+  expect_roundtrip(Message(slow));
+}
+
+TEST(Messages, ExecutionPathRoundTrips) {
+  SignStateMsg ss{10, 3, random_digest(), rng().bytes(33)};
+  expect_roundtrip(Message(ss));
+  FullExecuteProofMsg fep{11, random_digest(), rng().bytes(33)};
+  expect_roundtrip(Message(fep));
+
+  ExecuteAckMsg ack;
+  ack.client = 12;
+  ack.timestamp = 34;
+  ack.index = 2;
+  ack.value = rng().bytes(16);
+  ack.cert = random_cert();
+  ack.proof.index = 2;
+  ack.proof.leaf_count = 8;
+  ack.proof.path = {random_digest(), random_digest(), random_digest()};
+  expect_roundtrip(Message(ack));
+
+  ClientReplyMsg reply{3, 12, 34, 11, rng().bytes(16)};
+  expect_roundtrip(Message(reply));
+}
+
+TEST(Messages, ViewChangeRoundTrip) {
+  ViewChangeMsg vc;
+  vc.sender = 2;
+  vc.next_view = 5;
+  vc.ls = 128;
+  vc.checkpoint = random_cert();
+  SlotEvidence e;
+  e.seq = 129;
+  e.lm_kind = SlowEvidence::kPrepareCert;
+  e.lm_view = 4;
+  e.lm_block_digest = random_digest();
+  e.lm_sig = rng().bytes(33);
+  e.fm_kind = FastEvidence::kVote;
+  e.fm_view = 4;
+  e.fm_block_digest = random_digest();
+  e.fm_sig = rng().bytes(33);
+  e.block = random_block(2);
+  vc.slots.push_back(e);
+  SlotEvidence full;
+  full.seq = 130;
+  full.lm_kind = SlowEvidence::kFullProof;
+  full.lm_view = 3;
+  full.lm_block_digest = random_digest();
+  full.lm_sig = rng().bytes(33);
+  full.lm_inner_sig = rng().bytes(33);
+  vc.slots.push_back(full);
+  expect_roundtrip(Message(vc));
+
+  NewViewMsg nv;
+  nv.view = 5;
+  nv.proofs = {vc, vc, vc};
+  expect_roundtrip(Message(nv));
+}
+
+TEST(Messages, StateTransferRoundTrips) {
+  expect_roundtrip(Message(GetBlockRequestMsg{1, 2, random_digest()}));
+  expect_roundtrip(Message(GetBlockReplyMsg{2, random_block(3)}));
+  expect_roundtrip(Message(StateTransferRequestMsg{3, 44}));
+  StateTransferReplyMsg reply;
+  reply.seq = 128;
+  reply.cert = random_cert();
+  reply.service_snapshot = rng().bytes(500);
+  expect_roundtrip(Message(reply));
+}
+
+TEST(Messages, PbftRoundTrips) {
+  expect_roundtrip(Message(PbftPrepareMsg{1, 2, random_digest(), 3}));
+  expect_roundtrip(Message(PbftCommitMsg{4, 5, random_digest(), 6}));
+  expect_roundtrip(Message(PbftCheckpointMsg{128, random_digest(), 7}));
+  PbftViewChangeMsg vc;
+  vc.sender = 1;
+  vc.next_view = 2;
+  vc.ls = 0;
+  PbftPreparedCert cert;
+  cert.seq = 3;
+  cert.view = 1;
+  cert.h = random_digest();
+  cert.block = random_block(2);
+  vc.prepared.push_back(cert);
+  expect_roundtrip(Message(vc));
+  PbftNewViewMsg nv;
+  nv.view = 2;
+  nv.proofs = {vc};
+  expect_roundtrip(Message(nv));
+}
+
+TEST(Messages, DecodeRejectsGarbage) {
+  Bytes garbage = {0xff, 0x00, 0x12};
+  EXPECT_FALSE(decode_message(as_span(garbage)).has_value());
+  EXPECT_FALSE(decode_message(ByteSpan{}).has_value());
+}
+
+TEST(Messages, DecodeRejectsTrailingBytes) {
+  Bytes encoded = encode_message(Message(StateTransferRequestMsg{1, 2}));
+  encoded.push_back(0x00);
+  EXPECT_FALSE(decode_message(as_span(encoded)).has_value());
+}
+
+TEST(Messages, BlockDigestDependsOnContent) {
+  Block a = random_block(3);
+  Block b = a;
+  EXPECT_EQ(a.digest(), b.digest());
+  b.requests[0].timestamp ^= 1;
+  EXPECT_NE(a.digest(), b.digest());
+  // Order matters.
+  Block c = a;
+  std::swap(c.requests[0], c.requests[1]);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Messages, SlotHashBindsAllInputs) {
+  Digest d = random_digest();
+  EXPECT_NE(slot_hash(1, 0, d), slot_hash(2, 0, d));
+  EXPECT_NE(slot_hash(1, 0, d), slot_hash(1, 1, d));
+  EXPECT_NE(slot_hash(1, 0, d), slot_hash(1, 0, random_digest()));
+}
+
+TEST(Messages, ExecCertificateDigestChains) {
+  ExecCertificate a = random_cert();
+  ExecCertificate b = a;
+  EXPECT_EQ(a.exec_digest(), b.exec_digest());
+  b.prev_exec_digest = random_digest();
+  EXPECT_NE(a.exec_digest(), b.exec_digest());
+  b = a;
+  b.seq += 1;
+  EXPECT_NE(a.exec_digest(), b.exec_digest());
+}
+
+TEST(Messages, TypeNamesDistinct) {
+  EXPECT_STREQ(message_type_name(Message(PrePrepareMsg{})), "pre-prepare");
+  EXPECT_STREQ(message_type_name(Message(SignShareMsg{})), "sign-share");
+  EXPECT_STREQ(message_type_name(Message(NewViewMsg{})), "new-view");
+}
+
+TEST(Messages, FuzzDecodeDoesNotCrash) {
+  Rng fuzz(123);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes data = fuzz.bytes(fuzz.below(200));
+    (void)decode_message(as_span(data));  // must not crash or hang
+  }
+}
+
+TEST(Messages, FuzzTruncatedRealMessages) {
+  Message msg(PrePrepareMsg{7, 3, random_block(4)});
+  Bytes encoded = encode_message(msg);
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    auto decoded = decode_message(ByteSpan{encoded.data(), len});
+    // Truncation must never produce a successfully-decoded full message
+    // (the reader latches failure on underflow).
+    if (decoded.has_value()) {
+      EXPECT_EQ(encode_message(*decoded).size(), len);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbft

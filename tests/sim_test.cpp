@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace sbft::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(300, [&] { order.push_back(3); });
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(200, [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, SameTimeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] {
+    sim.after(5, [&] { ++fired; });
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(100, [&] { ++fired; });
+  sim.schedule(200, [&] { ++fired; });
+  sim.run_until(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 150);
+  sim.run_until(250);
+  EXPECT_EQ(fired, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Network
+
+struct Recorder : IActor {
+  std::vector<std::pair<NodeId, SimTime>> received;
+  int64_t cpu_cost = 0;
+  std::vector<NodeId> reply_to;
+
+  void on_message(NodeId from, const Message&, ActorContext& ctx) override {
+    received.emplace_back(from, ctx.now());
+    if (cpu_cost) ctx.charge(cpu_cost);
+    for (NodeId to : reply_to) {
+      ctx.send(to, make_message(ClientReplyMsg{}));
+    }
+  }
+};
+
+struct Starter : IActor {
+  NodeId target = 0;
+  int copies = 1;
+  void on_start(ActorContext& ctx) override {
+    for (int i = 0; i < copies; ++i) {
+      ctx.send(target, make_message(ClientRequestMsg{}));
+    }
+  }
+  void on_message(NodeId, const Message&, ActorContext&) override {}
+};
+
+TEST(Network, DeliversWithLatency) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  Recorder recorder;
+  net.add_node(&starter);
+  starter.target = net.add_node(&recorder);
+  net.start();
+  sim.run_until_idle();
+  ASSERT_EQ(recorder.received.size(), 1u);
+  // LAN latency is ~100us one-way plus jitter and transmission.
+  EXPECT_GE(recorder.received[0].second, 100);
+  EXPECT_LT(recorder.received[0].second, 1000);
+}
+
+TEST(Network, CrashedNodeReceivesNothing) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  Recorder recorder;
+  net.add_node(&starter);
+  starter.target = net.add_node(&recorder);
+  net.crash(starter.target);
+  net.start();
+  sim.run_until_idle();
+  EXPECT_TRUE(recorder.received.empty());
+}
+
+TEST(Network, CutLinkDropsBothDirections) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  Recorder recorder;
+  NodeId a = net.add_node(&starter);
+  NodeId b = net.add_node(&recorder);
+  starter.target = b;
+  net.disconnect(a, b);
+  net.start();
+  sim.run_until_idle();
+  EXPECT_TRUE(recorder.received.empty());
+}
+
+TEST(Network, CpuSerializesProcessing) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  starter.copies = 3;
+  Recorder recorder;
+  recorder.cpu_cost = 10'000;  // 10ms per message
+  net.add_node(&starter);
+  starter.target = net.add_node(&recorder);
+  net.start();
+  sim.run_until_idle();
+  ASSERT_EQ(recorder.received.size(), 3u);
+  // Handlers must start at least 10ms apart (sequential CPU).
+  EXPECT_GE(recorder.received[1].second, recorder.received[0].second + 10'000);
+  EXPECT_GE(recorder.received[2].second, recorder.received[1].second + 10'000);
+}
+
+TEST(Network, StragglerCpuFactorSlowsNode) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  starter.copies = 2;
+  Recorder recorder;
+  recorder.cpu_cost = 1000;
+  net.add_node(&starter);
+  starter.target = net.add_node(&recorder);
+  net.set_cpu_factor(starter.target, 10.0);
+  net.start();
+  sim.run_until_idle();
+  ASSERT_EQ(recorder.received.size(), 2u);
+  EXPECT_GE(recorder.received[1].second, recorder.received[0].second + 10'000);
+}
+
+TEST(Network, WorldLatencyHigherThanLan) {
+  CostModel costs;
+  SimTime lan_time, world_time;
+  {
+    Simulator sim;
+    Network net(sim, lan_topology(), costs);
+    Starter s;
+    Recorder r;
+    net.add_node(&s);
+    s.target = net.add_node(&r);
+    net.start();
+    sim.run_until_idle();
+    lan_time = r.received[0].second;
+  }
+  {
+    Simulator sim;
+    Network net(sim, world_topology(), costs);
+    Starter s;
+    Recorder r;
+    net.add_node(&s, 0);
+    s.target = net.add_node(&r, 10);  // different continent
+    net.start();
+    sim.run_until_idle();
+    world_time = r.received[0].second;
+  }
+  EXPECT_GT(world_time, lan_time * 10);
+}
+
+TEST(Network, StatsCountMessagesAndBytes) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  starter.copies = 4;
+  Recorder recorder;
+  net.add_node(&starter);
+  starter.target = net.add_node(&recorder);
+  net.start();
+  sim.run_until_idle();
+  auto totals = net.total_stats();
+  EXPECT_EQ(totals.count, 4u);
+  EXPECT_GT(totals.bytes, 0u);
+  net.reset_stats();
+  EXPECT_EQ(net.total_stats().count, 0u);
+}
+
+TEST(Network, DropProbabilityLosesMessages) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  starter.copies = 200;
+  Recorder recorder;
+  net.add_node(&starter);
+  starter.target = net.add_node(&recorder);
+  net.set_drop_probability(0.5);
+  net.start();
+  sim.run_until_idle();
+  EXPECT_LT(recorder.received.size(), 180u);
+  EXPECT_GT(recorder.received.size(), 20u);
+}
+
+TEST(Network, TimersFireAfterDelay) {
+  struct TimerActor : IActor {
+    SimTime fired_at = -1;
+    void on_start(ActorContext& ctx) override { ctx.set_timer(5000, 42); }
+    void on_message(NodeId, const Message&, ActorContext&) override {}
+    void on_timer(uint64_t id, ActorContext& ctx) override {
+      EXPECT_EQ(id, 42u);
+      fired_at = ctx.now();
+    }
+  };
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  TimerActor actor;
+  net.add_node(&actor);
+  net.start();
+  sim.run_until_idle();
+  EXPECT_EQ(actor.fired_at, 5000);
+}
+
+TEST(Topologies, Shapes) {
+  EXPECT_EQ(lan_topology().num_regions(), 1u);
+  EXPECT_EQ(continent_topology().num_regions(), 10u);  // 5 regions x 2 AZ
+  EXPECT_EQ(world_topology().num_regions(), 15u);
+  // Symmetric and zero-ish diagonal.
+  auto world = world_topology();
+  for (uint32_t a = 0; a < world.num_regions(); ++a) {
+    for (uint32_t b = 0; b < world.num_regions(); ++b) {
+      EXPECT_EQ(world.region_latency_us[a][b], world.region_latency_us[b][a]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbft::sim

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+#include "crypto/threshold.h"
+
+namespace sbft::crypto {
+namespace {
+
+struct SchemeParam {
+  const char* name;
+  uint32_t n;
+  uint32_t k;
+  bool rsa;  // Shoup threshold RSA vs simulated BLS
+};
+
+class ThresholdTest : public ::testing::TestWithParam<SchemeParam> {
+ protected:
+  ThresholdScheme deal() {
+    Rng rng(0xbead + GetParam().n * 131 + GetParam().k);
+    if (GetParam().rsa) {
+      return deal_shoup_rsa(rng, GetParam().n, GetParam().k, /*modulus_bits=*/384);
+    }
+    return deal_sim_bls(rng, GetParam().n, GetParam().k);
+  }
+};
+
+TEST_P(ThresholdTest, SharesVerifyIndividually) {
+  ThresholdScheme s = deal();
+  Digest d = sha256("payload");
+  for (const auto& signer : s.signers) {
+    Bytes share = signer->sign_share(d);
+    EXPECT_TRUE(s.verifier->verify_share(signer->signer_id(), d, as_span(share)));
+  }
+}
+
+TEST_P(ThresholdTest, CombineFirstKShares) {
+  ThresholdScheme s = deal();
+  Digest d = sha256("combine-me");
+  std::vector<SignatureShare> shares;
+  for (uint32_t i = 0; i < GetParam().k; ++i) {
+    shares.push_back({s.signers[i]->signer_id(), s.signers[i]->sign_share(d)});
+  }
+  auto sig = s.verifier->combine(d, shares);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(s.verifier->verify(d, as_span(*sig)));
+}
+
+TEST_P(ThresholdTest, CombineRandomSubsets) {
+  ThresholdScheme s = deal();
+  Rng rng(77);
+  Digest d = sha256("subset");
+  for (int round = 0; round < 5; ++round) {
+    // Random k-subset of signers.
+    std::vector<uint32_t> ids(GetParam().n);
+    for (uint32_t i = 0; i < GetParam().n; ++i) ids[i] = i + 1;
+    for (size_t i = ids.size(); i > 1; --i) std::swap(ids[i - 1], ids[rng.below(i)]);
+    std::vector<SignatureShare> shares;
+    for (uint32_t i = 0; i < GetParam().k; ++i) {
+      shares.push_back({ids[i], s.signers[ids[i] - 1]->sign_share(d)});
+    }
+    auto sig = s.verifier->combine(d, shares);
+    ASSERT_TRUE(sig.has_value()) << "round " << round;
+    EXPECT_TRUE(s.verifier->verify(d, as_span(*sig)));
+  }
+}
+
+TEST_P(ThresholdTest, TooFewSharesFail) {
+  ThresholdScheme s = deal();
+  Digest d = sha256("short");
+  std::vector<SignatureShare> shares;
+  for (uint32_t i = 0; i + 1 < GetParam().k; ++i) {
+    shares.push_back({s.signers[i]->signer_id(), s.signers[i]->sign_share(d)});
+  }
+  EXPECT_FALSE(s.verifier->combine(d, shares).has_value());
+}
+
+TEST_P(ThresholdTest, DuplicateSignerDoesNotCount) {
+  ThresholdScheme s = deal();
+  Digest d = sha256("dups");
+  std::vector<SignatureShare> shares;
+  // k-1 distinct + 1 duplicate => must fail.
+  for (uint32_t i = 0; i + 1 < GetParam().k; ++i) {
+    shares.push_back({s.signers[i]->signer_id(), s.signers[i]->sign_share(d)});
+  }
+  if (!shares.empty()) shares.push_back(shares.front());
+  EXPECT_FALSE(s.verifier->combine(d, shares).has_value());
+}
+
+TEST_P(ThresholdTest, CorruptShareRejectedAndFiltered) {
+  ThresholdScheme s = deal();
+  Digest d = sha256("corrupt");
+  Bytes bad = s.signers[0]->sign_share(d);
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(s.verifier->verify_share(1, d, as_span(bad)));
+
+  // A corrupt share followed by k good ones (including a good share from the
+  // corrupting signer) still combines (robustness, §III).
+  std::vector<SignatureShare> shares;
+  shares.push_back({1, bad});
+  for (uint32_t i = 0; i < GetParam().k; ++i) {
+    shares.push_back({s.signers[i]->signer_id(), s.signers[i]->sign_share(d)});
+  }
+  auto sig = s.verifier->combine(d, shares);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(s.verifier->verify(d, as_span(*sig)));
+}
+
+TEST_P(ThresholdTest, MisattributedShareRejected) {
+  ThresholdScheme s = deal();
+  Digest d = sha256("misattributed");
+  Bytes share_of_1 = s.signers[0]->sign_share(d);
+  EXPECT_FALSE(s.verifier->verify_share(2, d, as_span(share_of_1)));
+}
+
+TEST_P(ThresholdTest, SignatureDoesNotVerifyOtherDigest) {
+  ThresholdScheme s = deal();
+  Digest d = sha256("one");
+  std::vector<SignatureShare> shares;
+  for (uint32_t i = 0; i < GetParam().k; ++i) {
+    shares.push_back({s.signers[i]->signer_id(), s.signers[i]->sign_share(d)});
+  }
+  auto sig = s.verifier->combine(d, shares);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_FALSE(s.verifier->verify(sha256("two"), as_span(*sig)));
+}
+
+TEST_P(ThresholdTest, TamperedCombinedSignatureRejected) {
+  ThresholdScheme s = deal();
+  Digest d = sha256("tamper");
+  std::vector<SignatureShare> shares;
+  for (uint32_t i = 0; i < GetParam().k; ++i) {
+    shares.push_back({s.signers[i]->signer_id(), s.signers[i]->sign_share(d)});
+  }
+  auto sig = s.verifier->combine(d, shares);
+  ASSERT_TRUE(sig.has_value());
+  (*sig)[sig->size() / 2] ^= 0x40;
+  EXPECT_FALSE(s.verifier->verify(d, as_span(*sig)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SimBls, ThresholdTest,
+    ::testing::Values(SchemeParam{"bls_4_3", 4, 3, false},
+                      SchemeParam{"bls_4_4", 4, 4, false},
+                      SchemeParam{"bls_7_5", 7, 5, false},
+                      SchemeParam{"bls_13_9", 13, 9, false},
+                      SchemeParam{"bls_31_21", 31, 21, false},
+                      SchemeParam{"bls_209_197", 209, 197, false}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+INSTANTIATE_TEST_SUITE_P(
+    ShoupRsa, ThresholdTest,
+    ::testing::Values(SchemeParam{"rsa_4_3", 4, 3, true},
+                      SchemeParam{"rsa_5_4", 5, 4, true},
+                      SchemeParam{"rsa_7_5", 7, 5, true},
+                      SchemeParam{"rsa_10_7", 10, 7, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// SBFT's three schemes: sigma / tau / pi thresholds for f=1, c=0 (§V).
+TEST(ThresholdSbftShapes, SigmaTauPiQuorums) {
+  Rng rng(99);
+  const uint32_t n = 4;
+  for (uint32_t k : {4u, 3u, 2u}) {
+    ThresholdScheme s = deal_sim_bls(rng, n, k);
+    EXPECT_EQ(s.verifier->threshold(), k);
+    EXPECT_EQ(s.verifier->num_signers(), n);
+    EXPECT_EQ(s.signers.size(), n);
+  }
+}
+
+TEST(ThresholdSizes, SimBlsMatchesBls) {
+  Rng rng(101);
+  ThresholdScheme s = deal_sim_bls(rng, 4, 3);
+  // 33 bytes, the BLS BN-P254 compressed size the paper reports (§III).
+  EXPECT_EQ(s.verifier->signature_size(), 33u);
+  EXPECT_EQ(s.verifier->share_size(), 33u);
+  Bytes share = s.signers[0]->sign_share(sha256("x"));
+  EXPECT_EQ(share.size(), 33u);
+}
+
+TEST(ThresholdInstances, DistinctSchemesDoNotCrossVerify) {
+  Rng rng(103);
+  ThresholdScheme a = deal_sim_bls(rng, 4, 3);
+  ThresholdScheme b = deal_sim_bls(rng, 4, 3);
+  Digest d = sha256("cross");
+  Bytes share = a.signers[0]->sign_share(d);
+  EXPECT_TRUE(a.verifier->verify_share(1, d, as_span(share)));
+  EXPECT_FALSE(b.verifier->verify_share(1, d, as_span(share)));
+}
+
+}  // namespace
+}  // namespace sbft::crypto
