@@ -1,0 +1,147 @@
+// Recovery cost (§VIII): how long a restarted replica takes to rebuild its
+// state as a function of ledger length — full replay from genesis versus
+// snapshot + suffix replay — plus a simulated kill-and-restart measuring the
+// end-to-end rejoin time inside a running cluster.
+//
+// Emits one JSON line per measurement (machine-readable) alongside the table.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "harness/cluster.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/wal.h"
+#include "storage/ledger_storage.h"
+
+using namespace sbft;
+using namespace sbft::harness;
+
+namespace {
+
+Bytes encoded_block(SeqNum s, uint32_t ops_per_block) {
+  Block block;
+  for (uint32_t i = 0; i < ops_per_block; ++i) {
+    Request req;
+    req.client = 100 + i;
+    req.timestamp = s;
+    req.op = Bytes(64, static_cast<uint8_t>(s + i));
+    block.requests.push_back(std::move(req));
+  }
+  return encode_message(Message(PrePrepareMsg{s, 0, std::move(block)}));
+}
+
+struct ReplayResult {
+  double wall_ms = 0;
+  uint64_t replayed = 0;
+  uint64_t replayed_bytes = 0;
+};
+
+ReplayResult measure_replay(uint64_t blocks, bool with_snapshot) {
+  auto ledger = std::make_shared<storage::MemoryLedgerStorage>();
+  for (SeqNum s = 1; s <= blocks; ++s) {
+    ledger->append_block(s, as_span(encoded_block(s, /*ops_per_block=*/4)));
+  }
+  auto factory = [] { return std::make_unique<FastKvService>(); };
+  auto wal = std::make_shared<recovery::MemoryWal>();
+  if (with_snapshot) {
+    // Checkpoint halfway: replay the prefix once to derive the certificate.
+    recovery::RecoveryManager prefix(ledger, nullptr);
+    auto state = prefix.recover(factory);
+    SeqNum half = blocks / 2;
+    wal->record_checkpoint(state->replayed[half - 1].cert, [&] {
+      auto service = factory();
+      for (SeqNum s = 1; s <= half; ++s) {
+        for (const Request& r : state->replayed[s - 1].block.requests) {
+          service->execute(as_span(r.op));
+        }
+      }
+      return service->snapshot();
+    }());
+  }
+
+  recovery::RecoveryManager manager(ledger, wal);
+  auto begin = std::chrono::steady_clock::now();
+  auto recovered = manager.recover(factory);
+  auto end = std::chrono::steady_clock::now();
+  ReplayResult out;
+  out.wall_ms = std::chrono::duration<double, std::milli>(end - begin).count();
+  out.replayed = recovered ? recovered->replayed.size() : 0;
+  out.replayed_bytes = recovered ? recovered->replayed_bytes : 0;
+  return out;
+}
+
+/// Simulated rejoin: kill a backup under load, restart it, and measure the
+/// virtual time from restart until it has caught back up with the cluster.
+double measure_rejoin_ms(sim::SimTime downtime_us) {
+  ClusterOptions opts;
+  opts.kind = ProtocolKind::kSbft;
+  opts.f = 1;
+  opts.num_clients = 4;
+  opts.requests_per_client = 0;  // free-running load
+  opts.topology = sim::lan_topology();
+  opts.seed = 17;
+  opts.tweak_config = [](ProtocolConfig& config) { config.win = 32; };
+  Cluster cluster(std::move(opts));
+  cluster.run_for(1'000'000);
+  cluster.crash_replica(3);
+  cluster.run_for(downtime_us);
+  cluster.restart_replica(3);
+  sim::SimTime restarted_at = cluster.simulator().now();
+  for (int i = 0; i < 600; ++i) {
+    cluster.run_for(50'000);
+    SeqNum cluster_le = 0;
+    for (ReplicaId r = 1; r <= cluster.n(); ++r) {
+      if (r != 3) cluster_le = std::max(cluster_le, cluster.sbft_replica(r)->last_executed());
+    }
+    if (cluster.sbft_replica(3)->last_executed() + 2 >= cluster_le) {
+      return static_cast<double>(cluster.simulator().now() - restarted_at) / 1000.0;
+    }
+  }
+  return -1.0;  // did not catch up
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Recovery latency vs ledger length (§VIII durability) ===\n\n");
+  std::printf("%10s %14s %12s %14s %14s\n", "blocks", "mode", "replayed",
+              "bytes", "recover ms");
+  std::vector<uint64_t> sizes = {256, 1024, 4096, 16384};
+  if (bench_full_mode()) sizes.push_back(65536);
+  for (uint64_t blocks : sizes) {
+    for (bool snapshot : {false, true}) {
+      ReplayResult r = measure_replay(blocks, snapshot);
+      const char* mode = snapshot ? "snapshot+tail" : "full-replay";
+      std::printf("%10llu %14s %12llu %14llu %14.2f\n",
+                  static_cast<unsigned long long>(blocks), mode,
+                  static_cast<unsigned long long>(r.replayed),
+                  static_cast<unsigned long long>(r.replayed_bytes), r.wall_ms);
+      std::printf("{\"bench\":\"recovery_replay\",\"ledger_blocks\":%llu,"
+                  "\"mode\":\"%s\",\"replayed\":%llu,\"replayed_bytes\":%llu,"
+                  "\"recover_wall_ms\":%.3f}\n",
+                  static_cast<unsigned long long>(blocks), mode,
+                  static_cast<unsigned long long>(r.replayed),
+                  static_cast<unsigned long long>(r.replayed_bytes), r.wall_ms);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\n=== Simulated rejoin time vs downtime (kill + restart under "
+              "load) ===\n\n");
+  std::printf("%14s %16s\n", "downtime ms", "rejoin ms");
+  for (sim::SimTime down : {500'000, 2'000'000, 8'000'000}) {
+    double rejoin = measure_rejoin_ms(down);
+    std::printf("%14lld %16.1f\n", static_cast<long long>(down / 1000), rejoin);
+    std::printf("{\"bench\":\"recovery_rejoin\",\"downtime_ms\":%lld,"
+                "\"rejoin_ms\":%.1f}\n",
+                static_cast<long long>(down / 1000), rejoin);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected: full replay grows linearly with ledger length; the "
+              "snapshot halves the replayed suffix. Rejoin time is dominated "
+              "by replay plus one state-transfer round when the cluster's "
+              "checkpoint moved past the local log.\n");
+  return 0;
+}

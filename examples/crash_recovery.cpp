@@ -1,0 +1,75 @@
+// Crash-and-recover walkthrough (§VIII durability): a 4-replica SBFT cluster
+// under client load loses a backup, restarts it from its surviving WAL +
+// ledger, and the replica rejoins the fast path; then the same replica loses
+// its disk entirely and comes back through state transfer.
+#include <cstdio>
+
+#include "harness/cluster.h"
+
+using namespace sbft;
+using namespace sbft::harness;
+
+namespace {
+
+void print_state(Cluster& cluster, const char* label) {
+  std::printf("--- %s (t = %.1fs)\n", label,
+              static_cast<double>(cluster.simulator().now()) / 1e6);
+  for (ReplicaId r = 1; r <= cluster.n(); ++r) {
+    auto* rep = cluster.sbft_replica(r);
+    std::printf("  replica %u: view=%llu last_executed=%llu fast=%llu "
+                "slow=%llu recoveries=%llu replayed=%llu state_transfers=%llu%s\n",
+                r, static_cast<unsigned long long>(rep->view()),
+                static_cast<unsigned long long>(rep->last_executed()),
+                static_cast<unsigned long long>(rep->stats().fast_commits),
+                static_cast<unsigned long long>(rep->stats().slow_commits),
+                static_cast<unsigned long long>(rep->stats().recoveries),
+                static_cast<unsigned long long>(rep->stats().blocks_replayed),
+                static_cast<unsigned long long>(rep->stats().state_transfers),
+                cluster.network().crashed(r - 1) ? "  [crashed]" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SBFT crash recovery demo: WAL + ledger replay, then disk loss "
+              "+ state transfer\n\n");
+  ClusterOptions opts;
+  opts.kind = ProtocolKind::kSbft;
+  opts.f = 1;
+  opts.c = 0;
+  opts.num_clients = 4;
+  opts.requests_per_client = 0;  // free-running
+  opts.topology = sim::lan_topology();
+  opts.seed = 42;
+  opts.tweak_config = [](ProtocolConfig& config) { config.win = 32; };
+  Cluster cluster(std::move(opts));
+
+  cluster.run_for(2'000'000);
+  print_state(cluster, "steady state, fast path active");
+
+  std::printf("\n>>> killing replica 3\n");
+  cluster.crash_replica(3);
+  cluster.run_for(3'000'000);
+  print_state(cluster, "replica 3 down: fast quorum lost, slow path carries on");
+
+  std::printf("\n>>> restarting replica 3 from its WAL + ledger\n");
+  cluster.restart_replica(3);
+  cluster.run_for(4'000'000);
+  print_state(cluster, "replica 3 recovered (note recoveries/replayed) and "
+                       "fast commits resumed");
+
+  std::printf("\n>>> killing replica 3 again and wiping its disk\n");
+  cluster.crash_replica(3);
+  cluster.run_for(3'000'000);
+  cluster.restart_replica(3, /*wipe_storage=*/true);
+  cluster.run_for(5'000'000);
+  print_state(cluster, "replica 3 rebuilt from a peer's checkpoint "
+                       "(state_transfers > 0, recoveries stays 0)");
+
+  std::printf("\nagreement audit: %s\n",
+              cluster.check_agreement() ? "OK (Theorem VI.1 holds)" : "VIOLATED");
+  std::printf("total WAL bytes written across the cluster: %llu\n",
+              static_cast<unsigned long long>(cluster.total_wal_bytes_written()));
+  return 0;
+}

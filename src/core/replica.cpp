@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/sha256.h"
+#include "recovery/recovery_manager.h"
 
 namespace sbft::core {
 
@@ -27,9 +28,6 @@ uint64_t timer_id(TimerKind kind, uint64_t payload) {
 }
 TimerKind timer_kind(uint64_t id) { return static_cast<TimerKind>(id >> 48); }
 uint64_t timer_payload(uint64_t id) { return id & 0xffffffffffffull; }
-
-Digest empty_ops_root() { return crypto::sha256("sbft.empty-ops"); }
-Digest genesis_digest() { return crypto::sha256("sbft.genesis"); }
 
 }  // namespace
 
@@ -118,15 +116,106 @@ SbftReplica::SbftReplica(ReplicaOptions options, std::unique_ptr<IService> servi
     : opts_(std::move(options)), service_(std::move(service)) {
   opts_.config.validate();
   SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
-  exec_digests_[0] = genesis_digest();
+  exec_digests_[0] = genesis_exec_digest();
+  recover_from_storage();
 }
 
 SbftReplica::~SbftReplica() = default;
 
+void SbftReplica::recover_from_storage() {
+  if (!opts_.ledger && !opts_.wal) return;
+  recovery::RecoveryManager manager(opts_.ledger, opts_.wal,
+                                    opts_.config.checkpoint_interval());
+  auto recovered = manager.recover([this] { return service_->clone_empty(); });
+  if (!recovered) return;  // fresh storage, or snapshot failed verification
+
+  service_ = std::move(recovered->service);
+  view_ = recovered->view;
+  vc_target_ = view_;
+  ls_ = recovered->last_stable;
+  le_ = recovered->last_executed;
+  next_seq_ = le_ + 1;
+  progress_marker_ = le_;
+  if (ls_ > 0) {
+    stable_checkpoint_ = recovered->checkpoint;
+    snapshot_cert_ = recovered->checkpoint;
+    latest_snapshot_ = recovered->snapshot;
+  }
+  if (recovered->snapshot_seq > 0) {
+    pending_snapshot_seq_ = recovered->snapshot_seq;
+    pending_snapshot_ = std::move(recovered->snapshot_at);
+  }
+  exec_digests_ = std::move(recovered->exec_digests);
+  exec_digests_.emplace(0, genesis_exec_digest());
+
+  // Rebuild execution records and the per-client reply cache from the
+  // replayed suffix so the replica serves retries and block fetches exactly
+  // as its previous incarnation would have.
+  for (recovery::ReplayedBlock& rb : recovered->replayed) {
+    for (size_t l = 0; l < rb.block.requests.size(); ++l) {
+      const Request& req = rb.block.requests[l];
+      CachedReply& cache = reply_cache_[req.client];
+      if (req.timestamp > cache.timestamp) {
+        cache.timestamp = req.timestamp;
+        cache.seq = rb.seq;
+        cache.index = l;
+        cache.value = rb.values[l];
+      }
+    }
+    ExecRecord rec;
+    rec.cert = rb.cert;
+    rec.block = std::move(rb.block);
+    rec.values = std::move(rb.values);
+    rec.leaves = std::move(rb.leaves);
+    exec_records_.emplace(rb.seq, std::move(rec));
+  }
+  for (const recovery::WalVote& v : recovered->votes) {
+    auto& entry = wal_votes_[v.seq];
+    if (v.view >= entry.first) entry = {v.view, v.block_digest};
+  }
+  if (!wal_votes_.empty()) {
+    // A restarted primary must not re-propose different blocks at sequence
+    // numbers it already pre-prepared before the crash.
+    next_seq_ = std::max(next_seq_, wal_votes_.rbegin()->first + 1);
+  }
+  recovered_replay_bytes_ = recovered->replayed_bytes;
+  stats_.recoveries = 1;
+  stats_.blocks_replayed = recovered->replayed.size();
+  if (opts_.wal) stats_.wal_bytes_written = opts_.wal->bytes_written();
+}
+
+void SbftReplica::wal_record_view(ViewNum v) {
+  if (!opts_.wal) return;
+  opts_.wal->record_view(v);
+  stats_.wal_bytes_written = opts_.wal->bytes_written();
+}
+
+void SbftReplica::wal_record_vote(SeqNum s, ViewNum v, const Digest& block_digest) {
+  if (!opts_.wal) return;
+  opts_.wal->record_vote(s, v, block_digest);
+  stats_.wal_bytes_written = opts_.wal->bytes_written();
+}
+
+void SbftReplica::wal_record_checkpoint(const ExecCertificate& cert,
+                                        ByteSpan snapshot) {
+  if (!opts_.wal) return;
+  opts_.wal->record_checkpoint(cert, snapshot);
+  stats_.wal_bytes_written = opts_.wal->bytes_written();
+}
+
 void SbftReplica::on_start(sim::ActorContext& ctx) {
+  // Boot-time replay cost: reading the ledger suffix back and re-executing it
+  // is charged like the sequential I/O that produced it.
+  if (recovered_replay_bytes_ > 0) {
+    ctx.charge(ctx.costs().persist_us(recovered_replay_bytes_));
+  }
   if (is_primary()) {
     ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
   }
+  // A restarted replica may have slept through checkpoints (or lost its disk
+  // entirely): probe a peer for a newer stable checkpoint right away instead
+  // of waiting to notice the gap from protocol traffic.
+  if (opts_.recovering) request_state_transfer(ctx);
 }
 
 std::optional<Digest> SbftReplica::exec_digest_of(SeqNum s) const {
@@ -456,9 +545,18 @@ void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
                                      sim::ActorContext& ctx) {
   Slot& sl = slot(s);
   if (sl.has_pp && sl.pp_view >= v) return;
+  Digest digest = block.digest();
+  // Anti-equivocation across restarts: a previous incarnation's persisted
+  // vote at this (or a later) view binds this one to the same digest.
+  if (auto wv = wal_votes_.find(s);
+      wv != wal_votes_.end() && wv->second.first >= v &&
+      !(wv->second.second == digest)) {
+    return;
+  }
+  wal_record_vote(s, v, digest);
   sl.has_pp = true;
   sl.pp_view = v;
-  sl.block_digest = block.digest();
+  sl.block_digest = digest;
   sl.block = std::move(block);
   sl.h = slot_hash(s, v, sl.block_digest);
   sl.awaiting_block = false;
@@ -614,7 +712,7 @@ void SbftReplica::collector_try_prepare(SeqNum s, sim::ActorContext& ctx) {
 }
 
 void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
-  if (in_view_change_ || m.view != view_) return;
+  if (m.view < view_ || (in_view_change_ && m.view == view_)) return;
   if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
   Digest h = slot_hash(m.seq, m.view, m.block_digest);
   ctx.charge(ctx.costs().bls_verify_combined_us);
@@ -622,7 +720,17 @@ void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
     ++stats_.invalid_shares_seen;
     return;
   }
+  // A valid tau(h) for a future view proves a slow quorum operates there; a
+  // lagging/recovered replica can fast-forward and process the prepare.
+  adopt_verified_view(m.view, ctx);
+  if (in_view_change_ || m.view != view_) return;
   Slot& sl = slot(m.seq);
+  if (sl.has_cert && sl.cert_view < m.view) {
+    // The commit round is bound to one certificate: a fresh tau(h) from a
+    // later view starts a fresh round (without this, a slot whose slow round
+    // stalled in view v can never commit in any later view).
+    sl.sent_commit_share = false;
+  }
   if (!sl.has_cert || sl.cert_view <= m.view) {
     sl.has_cert = true;
     sl.cert_view = m.view;
@@ -721,6 +829,7 @@ void SbftReplica::handle_full_commit_proof(const FullCommitProofMsg& m,
     ++stats_.invalid_shares_seen;
     return;
   }
+  adopt_verified_view(m.view, ctx);
   Slot& sl = slot(m.seq);
   if (!sl.has_fast_proof) {
     sl.has_fast_proof = true;
@@ -742,6 +851,7 @@ void SbftReplica::handle_full_commit_proof_slow(const FullCommitProofSlowMsg& m,
     ++stats_.invalid_shares_seen;
     return;
   }
+  adopt_verified_view(m.view, ctx);
   Slot& sl = slot(m.seq);
   if (!sl.has_slow_proof) {
     sl.has_slow_proof = true;
@@ -845,6 +955,14 @@ void SbftReplica::execute_block(SeqNum s, sim::ActorContext& ctx) {
   if (sl.commit_time >= 0) stats_.commit_to_exec_us += ctx.now() - sl.commit_time;
   le_ = s;
   ++stats_.blocks_executed;
+
+  // Capture the checkpoint snapshot while the service state still equals the
+  // state the certificate will describe (charged as a bulk hash).
+  if (s % opts_.config.checkpoint_interval() == 0) {
+    pending_snapshot_seq_ = s;
+    pending_snapshot_ = service_->snapshot();
+    ctx.charge(ctx.costs().hash_us(pending_snapshot_.size()));
+  }
 
   // Without the execution collector (Linear-PBFT variants), every replica
   // replies to every client directly — the f+1-messages-per-client cost that
@@ -997,9 +1115,22 @@ void SbftReplica::advance_checkpoint(SeqNum s, sim::ActorContext& ctx) {
   if (rec == exec_records_.end() || rec->second.cert.pi_sig.empty()) return;
   ls_ = s;
   stable_checkpoint_ = rec->second.cert;
-  // Snapshot for state transfer; charged as a bulk hash over the state.
-  latest_snapshot_ = service_->snapshot();
-  ctx.charge(ctx.costs().hash_us(latest_snapshot_.size()));
+  // Promote the snapshot captured when s executed; it matches the
+  // certificate's state root by construction. (If it is somehow missing —
+  // e.g. the sequence executed before this incarnation — fall back to a live
+  // snapshot only when the service has not moved past s; otherwise keep the
+  // previous consistent pair.)
+  if (pending_snapshot_seq_ == s) {
+    latest_snapshot_ = std::move(pending_snapshot_);
+    pending_snapshot_ = {};
+    snapshot_cert_ = stable_checkpoint_;
+    wal_record_checkpoint(snapshot_cert_, as_span(latest_snapshot_));
+  } else if (le_ == s) {
+    latest_snapshot_ = service_->snapshot();
+    ctx.charge(ctx.costs().hash_us(latest_snapshot_.size()));
+    snapshot_cert_ = stable_checkpoint_;
+    wal_record_checkpoint(snapshot_cert_, as_span(latest_snapshot_));
+  }
   garbage_collect();
 }
 
@@ -1049,6 +1180,26 @@ void SbftReplica::handle_get_block_reply(const GetBlockReplyMsg& m,
 
 // ---------------------------------------------------------------------------
 // View change (§V-G)
+
+void SbftReplica::adopt_verified_view(ViewNum v, sim::ActorContext& ctx) {
+  // Only called after a combined threshold signature bound to view v checked
+  // out, so a quorum of replicas demonstrably operates in v. A replica that
+  // slept through the view change (crash/recovery, long partition) would
+  // otherwise wait for a NewViewMsg that was broadcast while it was down and
+  // will never be re-sent. Replicas that are mid-view-change keep the normal
+  // NewViewMsg path (it adopts the in-flight slots).
+  if (v <= view_ || in_view_change_) return;
+  view_ = v;
+  vc_target_ = v;
+  vc_attempts_ = 0;
+  new_view_sent_ = false;
+  vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(v));
+  progress_marker_ = le_;
+  wal_record_view(v);
+  if (is_primary()) {
+    ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+  }
+}
 
 void SbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
   if (target <= view_) return;
@@ -1172,6 +1323,7 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
   vc_attempts_ = 0;
   new_view_sent_ = false;
   vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(m.view));
+  wal_record_view(m.view);
 
   SeqNum stable = select_stable_seq(opts_.config, verifiers, m.proofs);
   if (stable > le_) request_state_transfer(ctx);
@@ -1263,11 +1415,12 @@ void SbftReplica::handle_state_transfer_request(NodeId /*from*/,
                                                 const StateTransferRequestMsg& m,
                                                 sim::ActorContext& ctx) {
   if (silent()) return;
-  if (stable_checkpoint_.pi_sig.empty() || stable_checkpoint_.seq <= m.have_seq)
-    return;
+  // Ship the consistent (certificate, snapshot) pair — never the bare stable
+  // checkpoint, whose snapshot may not have been captured.
+  if (snapshot_cert_.pi_sig.empty() || snapshot_cert_.seq <= m.have_seq) return;
   StateTransferReplyMsg reply;
-  reply.seq = stable_checkpoint_.seq;
-  reply.cert = stable_checkpoint_;
+  reply.seq = snapshot_cert_.seq;
+  reply.cert = snapshot_cert_;
   reply.service_snapshot = latest_snapshot_;
   ctx.charge(ctx.costs().hash_us(latest_snapshot_.size()));
   send_to_replica(ctx, m.requester, make_message(std::move(reply)));
@@ -1293,7 +1446,11 @@ void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
   ls_ = m.seq;
   exec_digests_[m.seq] = m.cert.exec_digest();
   stable_checkpoint_ = m.cert;
+  snapshot_cert_ = m.cert;
   latest_snapshot_ = m.service_snapshot;
+  pending_snapshot_seq_ = 0;
+  pending_snapshot_ = {};
+  wal_record_checkpoint(snapshot_cert_, as_span(latest_snapshot_));
   slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
   exec_records_.erase(exec_records_.begin(), exec_records_.lower_bound(m.seq));
   st_inflight_ = false;

@@ -18,6 +18,7 @@
 #include "kv/service.h"
 #include "proto/config.h"
 #include "proto/message.h"
+#include "recovery/wal.h"
 #include "sim/network.h"
 #include "storage/ledger_storage.h"
 
@@ -37,6 +38,14 @@ struct ReplicaOptions {
   ReplicaId id = 1;  // 1..n; the replica must be node id-1 in the network
   ReplicaCrypto crypto;
   std::shared_ptr<storage::ILedgerStorage> ledger;  // optional persistence
+  // Optional write-ahead log for consensus metadata (view, checkpoints,
+  // in-flight votes). When ledger and/or wal hold state at construction, the
+  // replica rebuilds itself from them (crash recovery, §VIII).
+  std::shared_ptr<recovery::IReplicaWal> wal;
+  // Set when the replica is restarted into an already-running cluster: it
+  // probes state transfer on boot in case its local log fell behind the
+  // cluster's stable checkpoint (or the disk was lost entirely).
+  bool recovering = false;
   ReplicaBehavior behavior = ReplicaBehavior::kHonest;
   // Collector staggering (§V: "in most executions just one collector is
   // active and the others just monitor in idle").
@@ -51,6 +60,10 @@ struct ReplicaStats {
   uint64_t view_changes = 0;
   uint64_t state_transfers = 0;
   uint64_t invalid_shares_seen = 0;
+  // Durability / crash recovery.
+  uint64_t recoveries = 0;         // 1 when this incarnation rebuilt from storage
+  uint64_t blocks_replayed = 0;    // ledger blocks re-executed during recovery
+  uint64_t wal_bytes_written = 0;  // cumulative WAL appends (handle lifetime)
   // Phase timing (sums over this replica's slots, microseconds).
   int64_t pp_to_commit_us = 0;    // pre-prepare accept -> commit
   int64_t commit_to_exec_us = 0;  // commit -> execution
@@ -131,6 +144,19 @@ class SbftReplica final : public sim::IActor {
   void advance_checkpoint(SeqNum s, sim::ActorContext& ctx);
   void garbage_collect();
 
+  // --- crash recovery (§VIII) -------------------------------------------------
+  /// Rebuilds state from WAL + ledger at construction time (no-op when the
+  /// attached storage is fresh or absent).
+  void recover_from_storage();
+  /// Fast-forwards to view `v` on the strength of a verified combined
+  /// threshold signature produced in `v` (a quorum operated there). Lets a
+  /// recovered or lagging replica rejoin across view changes it slept
+  /// through. No-op while a view change is in progress.
+  void adopt_verified_view(ViewNum v, sim::ActorContext& ctx);
+  void wal_record_view(ViewNum v);
+  void wal_record_vote(SeqNum s, ViewNum v, const Digest& block_digest);
+  void wal_record_checkpoint(const ExecCertificate& cert, ByteSpan snapshot);
+
   // --- view change (§V-G) -----------------------------------------------------
   void start_view_change(ViewNum target, sim::ActorContext& ctx);
   ViewChangeMsg build_view_change(ViewNum target) const;
@@ -168,7 +194,14 @@ class SbftReplica final : public sim::IActor {
   std::map<SeqNum, ExecRecord> exec_records_;
   std::map<SeqNum, Digest> exec_digests_;  // d_s chain (kept across GC)
   ExecCertificate stable_checkpoint_;      // latest pi-certified checkpoint
-  Bytes latest_snapshot_;                  // service snapshot at the checkpoint
+  // Shippable state-transfer pair: snapshot_cert_.state_root matches
+  // latest_snapshot_ exactly. The snapshot is captured when the checkpoint
+  // sequence *executes* (pending_snapshot_), not when its certificate forms —
+  // by certification time the service may have executed further.
+  ExecCertificate snapshot_cert_;
+  Bytes latest_snapshot_;
+  SeqNum pending_snapshot_seq_ = 0;
+  Bytes pending_snapshot_;
 
   // Primary request queue.
   std::deque<std::pair<Request, sim::SimTime>> pending_;
@@ -193,6 +226,12 @@ class SbftReplica final : public sim::IActor {
   bool progress_timer_armed_ = false;
   bool forwarded_waiting_ = false;  // forwarded a client request to the primary
   bool st_inflight_ = false;
+
+  // Votes persisted by a previous incarnation for slots still in flight:
+  // seq -> (highest voted view, block digest). A recovered replica refuses to
+  // vote for a conflicting digest at or below that view (anti-equivocation).
+  std::map<SeqNum, std::pair<ViewNum, Digest>> wal_votes_;
+  uint64_t recovered_replay_bytes_ = 0;  // charged as boot-time replay CPU
 
   ReplicaStats stats_;
 };

@@ -90,6 +90,15 @@ void Cluster::build() {
   }
 
   // Replicas occupy node ids 0..n-1 (replica r => node r-1).
+  const bool durable = opts_.durability && opts_.kind != ProtocolKind::kPbft;
+  if (durable) {
+    ledgers_.resize(n);
+    wals_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      ledgers_[i] = std::make_shared<storage::MemoryLedgerStorage>();
+      wals_[i] = std::make_shared<recovery::MemoryWal>();
+    }
+  }
   for (ReplicaId r = 1; r <= n; ++r) {
     if (opts_.kind == ProtocolKind::kPbft) {
       pbft::PbftOptions po;
@@ -106,6 +115,10 @@ void Cluster::build() {
       ro.id = r;
       ro.crypto = core::ReplicaCrypto::for_replica(keys_, r);
       ro.behavior = behavior[r];
+      if (durable) {
+        ro.ledger = ledgers_[r - 1];
+        ro.wal = wals_[r - 1];
+      }
       auto replica =
           std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
       NodeId node = net_->add_node(replica.get());
@@ -134,6 +147,44 @@ void Cluster::build() {
     net_->set_cpu_factor(r - 1, 4.0);
     net_->set_extra_latency(r - 1, 20'000);
   }
+
+  // Scheduled kill-and-restart scenarios (rolling restarts chain events).
+  for (const ClusterOptions::RestartEvent& ev : opts_.restart_schedule) {
+    SBFT_CHECK(opts_.kind != ProtocolKind::kPbft);
+    ReplicaId target = ev.replica;
+    if (target == 0 && cursor < backups.size()) target = backups[cursor++];
+    if (target == 0) continue;  // no backup left to assign
+    sim_.schedule(ev.crash_at_us, [this, target] { net_->crash(target - 1); });
+    if (ev.restart_at_us > ev.crash_at_us) {
+      sim_.schedule(ev.restart_at_us, [this, target, wipe = ev.wipe_storage] {
+        restart_replica(target, wipe);
+      });
+    }
+  }
+}
+
+void Cluster::restart_replica(ReplicaId r, bool wipe_storage) {
+  SBFT_CHECK(!sbft_replicas_.empty());  // restart is an SBFT-variant feature
+  SBFT_CHECK(net_->crashed(r - 1));
+  if (ledgers_.empty()) ledgers_.resize(config_.n());
+  if (wals_.empty()) wals_.resize(config_.n());
+  if (wipe_storage || !ledgers_[r - 1]) {
+    ledgers_[r - 1] = std::make_shared<storage::MemoryLedgerStorage>();
+  }
+  if (wipe_storage || !wals_[r - 1]) {
+    wals_[r - 1] = std::make_shared<recovery::MemoryWal>();
+  }
+  core::ReplicaOptions ro;
+  ro.config = config_;
+  ro.id = r;
+  ro.crypto = core::ReplicaCrypto::for_replica(keys_, r);
+  ro.ledger = ledgers_[r - 1];
+  ro.wal = wals_[r - 1];
+  ro.recovering = true;
+  auto replica =
+      std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
+  net_->restart(r - 1, replica.get());
+  sbft_replicas_[r - 1] = std::move(replica);
 }
 
 void Cluster::run_for(sim::SimTime sim_time_us) {
@@ -200,6 +251,22 @@ uint64_t Cluster::total_fast_commits() const {
 uint64_t Cluster::total_slow_commits() const {
   uint64_t total = 0;
   for (const auto& r : sbft_replicas_) total += r->stats().slow_commits;
+  return total;
+}
+
+uint64_t Cluster::total_recoveries() const {
+  uint64_t total = 0;
+  for (const auto& r : sbft_replicas_) total += r->stats().recoveries;
+  return total;
+}
+
+uint64_t Cluster::total_wal_bytes_written() const {
+  // Sum over the durable handles, not the replica stats: the handle's counter
+  // spans every incarnation of the replica.
+  uint64_t total = 0;
+  for (const auto& w : wals_) {
+    if (w) total += w->bytes_written();
+  }
   return total;
 }
 

@@ -11,8 +11,10 @@
 #include "core/replica.h"
 #include "harness/workload.h"
 #include "pbft/pbft_replica.h"
+#include "recovery/wal.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "storage/ledger_storage.h"
 
 namespace sbft::harness {
 
@@ -49,6 +51,22 @@ struct ClusterOptions {
   uint32_t straggler_replicas = 0;  // slow (4x CPU, +20ms) non-primary replicas
   core::ReplicaBehavior byzantine_behavior = core::ReplicaBehavior::kHonest;
   uint32_t byzantine_replicas = 0;  // replicas given byzantine_behavior
+
+  // Durability: give every SBFT replica a memory-backed ledger + WAL owned by
+  // the cluster, so a replica can be killed and restarted (the handles stand
+  // in for the disk that survives the process). No effect on simulated cost.
+  bool durability = true;
+
+  /// Scheduled kill-and-restart fault scenario (SBFT variants only). Chain
+  /// several events for rolling restarts; set wipe_storage to model disk loss
+  /// (the replica comes back empty and must state-transfer).
+  struct RestartEvent {
+    sim::SimTime crash_at_us = 0;
+    sim::SimTime restart_at_us = 0;  // <= crash_at_us: crash only, no restart
+    ReplicaId replica = 0;           // 0: auto-pick a distinct non-primary backup
+    bool wipe_storage = false;
+  };
+  std::vector<RestartEvent> restart_schedule;
 
   // Use real Shoup threshold-RSA keys instead of the simulated-BLS scheme.
   // Slower (real modular exponentiation per share); meant for small-n tests
@@ -87,11 +105,27 @@ class Cluster {
   core::SbftReplica* sbft_replica(ReplicaId id);  // null for kPbft clusters
   pbft::PbftReplica* pbft_replica(ReplicaId id);  // null for SBFT clusters
 
+  // --- crash / restart (SBFT variants) ---------------------------------------
+  /// Crashes the replica's node (equivalent to network().crash(r - 1)).
+  void crash_replica(ReplicaId r) { net_->crash(r - 1); }
+  /// Rebuilds a crashed replica from its surviving ledger + WAL handles and
+  /// re-admits it to the network; with wipe_storage the handles are replaced
+  /// by empty ones first (disk loss — recovery must go via state transfer).
+  void restart_replica(ReplicaId r, bool wipe_storage = false);
+  std::shared_ptr<storage::ILedgerStorage> replica_ledger(ReplicaId r) {
+    return ledgers_.empty() ? nullptr : ledgers_[r - 1];
+  }
+  std::shared_ptr<recovery::IReplicaWal> replica_wal(ReplicaId r) {
+    return wals_.empty() ? nullptr : wals_[r - 1];
+  }
+
   SeqNum min_executed() const;
   SeqNum max_executed() const;
   uint64_t total_fast_commits() const;
   uint64_t total_slow_commits() const;
   uint64_t total_view_changes() const;
+  uint64_t total_recoveries() const;
+  uint64_t total_wal_bytes_written() const;
 
   /// Theorem VI.1 audit: every pair of replicas that committed a block at the
   /// same sequence number committed the same block. Returns false (and the
@@ -109,6 +143,9 @@ class Cluster {
   std::vector<std::unique_ptr<core::SbftReplica>> sbft_replicas_;
   std::vector<std::unique_ptr<pbft::PbftReplica>> pbft_replicas_;
   std::vector<std::unique_ptr<core::SbftClient>> clients_;
+  // Per-replica durable storage (index r - 1); outlives replica incarnations.
+  std::vector<std::shared_ptr<storage::ILedgerStorage>> ledgers_;
+  std::vector<std::shared_ptr<recovery::IReplicaWal>> wals_;
   bool started_ = false;
 };
 

@@ -47,6 +47,8 @@ RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime 
   m.fast_commits = cluster.total_fast_commits();
   m.slow_commits = cluster.total_slow_commits();
   m.view_changes = cluster.total_view_changes();
+  m.recoveries = cluster.total_recoveries();
+  m.wal_bytes_written = cluster.total_wal_bytes_written();
   auto totals = cluster.network().total_stats();
   m.messages_sent = totals.count;
   m.bytes_sent = totals.bytes;

@@ -31,6 +31,9 @@ struct RunMetrics {
   uint64_t view_changes = 0;
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;
+  // Durability / crash recovery (fault experiments report recovery cost).
+  uint64_t recoveries = 0;
+  uint64_t wal_bytes_written = 0;
 };
 
 /// Gathers metrics for completions inside [from_us, to_us) of simulated time.

@@ -60,6 +60,10 @@ Digest ExecCertificate::exec_digest() const {
   return crypto::sha256(as_span(w.data()));
 }
 
+Digest genesis_exec_digest() { return crypto::sha256("sbft.genesis"); }
+
+Digest empty_ops_root() { return crypto::sha256("sbft.empty-ops"); }
+
 Digest exec_leaf(ClientId client, uint64_t timestamp, const Digest& value_digest) {
   Writer w;
   w.u32(client);
@@ -378,6 +382,19 @@ struct Encoder {
 };
 
 }  // namespace
+
+Bytes encode_exec_certificate(const ExecCertificate& cert) {
+  Writer w;
+  put(w, cert);
+  return std::move(w).take();
+}
+
+std::optional<ExecCertificate> decode_exec_certificate(ByteSpan data) {
+  Reader r(data);
+  ExecCertificate cert = get_cert(r);
+  if (!r.at_end()) return std::nullopt;
+  return cert;
+}
 
 Bytes encode_message(const Message& msg) {
   Writer w;

@@ -54,6 +54,16 @@ struct ExecCertificate {
   size_t wire_size() const { return 8 + 3 * 32 + pi_sig.size(); }
 };
 
+/// d_0 of the chained execution digest (state before any block executed).
+Digest genesis_exec_digest();
+/// ops_root of a decision block that carries no operations.
+Digest empty_ops_root();
+
+/// Standalone ExecCertificate encoding (WAL records, snapshot files); the
+/// in-message encoding is identical.
+Bytes encode_exec_certificate(const ExecCertificate& cert);
+std::optional<ExecCertificate> decode_exec_certificate(ByteSpan data);
+
 /// Leaf of the per-block operations tree for op l. The leaf binds
 /// (client, timestamp, output): the pair (client, timestamp) uniquely names
 /// the operation (clients sign monotone timestamps, §V-A), and the committed

@@ -1,0 +1,90 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+#include "merkle/merkle_tree.h"
+#include "proto/message.h"
+
+namespace sbft::recovery {
+
+std::optional<RecoveredState> RecoveryManager::recover(
+    const std::function<std::unique_ptr<IService>()>& service_factory) const {
+  WalState wal_state = wal_ ? wal_->load() : WalState{};
+  SeqNum ledger_last = ledger_ ? ledger_->last_seq() : 0;
+  if (wal_state.empty() && ledger_last == 0) return std::nullopt;  // fresh boot
+
+  RecoveredState out;
+  out.view = wal_state.view;
+  out.service = service_factory();
+
+  // 1. Restore the checkpoint snapshot, verified against the certificate.
+  if (wal_state.last_stable > 0) {
+    if (!out.service->restore(as_span(wal_state.snapshot))) return std::nullopt;
+    if (!(out.service->state_digest() == wal_state.checkpoint.state_root))
+      return std::nullopt;  // snapshot does not match the certified root
+    out.last_stable = wal_state.last_stable;
+    out.checkpoint = wal_state.checkpoint;
+    out.snapshot = wal_state.snapshot;
+    out.exec_digests[out.last_stable] = wal_state.checkpoint.exec_digest();
+  } else {
+    out.exec_digests[0] = genesis_exec_digest();
+  }
+  out.last_executed = out.last_stable;
+
+  // 2. Replay the contiguous ledger suffix past the checkpoint. Blocks are
+  // persisted at execution time, so the ledger extends exactly to the
+  // pre-crash last-executed sequence (modulo a torn tail, which load_index
+  // already truncated away).
+  std::map<ClientId, std::pair<uint64_t, Bytes>> reply_cache;  // ts, value
+  for (SeqNum s = out.last_executed + 1; ledger_ && s <= ledger_last; ++s) {
+    auto encoded = ledger_->read_block(s);
+    if (!encoded) break;  // gap: everything beyond is unusable
+    auto msg = decode_message(as_span(*encoded));
+    if (!msg || !std::holds_alternative<PrePrepareMsg>(*msg)) break;
+    const auto& pp = std::get<PrePrepareMsg>(*msg);
+
+    ReplayedBlock rb;
+    rb.seq = s;
+    rb.view = pp.view;
+    rb.block = pp.block;
+    for (const Request& req : rb.block.requests) {
+      auto& cache = reply_cache[req.client];
+      Bytes value;
+      if (cache.first != 0 && req.timestamp <= cache.first) {
+        value = cache.second;  // duplicate within the replayed suffix
+      } else {
+        value = out.service->execute(as_span(req.op));
+        cache = {req.timestamp, value};
+      }
+      rb.leaves.push_back(
+          exec_leaf(req.client, req.timestamp, crypto::sha256(as_span(value))));
+      rb.values.push_back(std::move(value));
+    }
+    rb.cert.seq = s;
+    rb.cert.state_root = out.service->state_digest();
+    rb.cert.ops_root = rb.leaves.empty() ? empty_ops_root()
+                                         : merkle::BlockMerkleTree(rb.leaves).root();
+    rb.cert.prev_exec_digest = out.exec_digests[s - 1];
+    out.exec_digests[s] = rb.cert.exec_digest();
+    out.last_executed = s;
+    out.replayed_bytes += encoded->size();
+    out.replayed.push_back(std::move(rb));
+    if (checkpoint_interval_ > 0 && s % checkpoint_interval_ == 0) {
+      out.snapshot_seq = s;
+      out.snapshot_at = out.service->snapshot();
+    }
+  }
+
+  // 3. Surface votes for slots still in flight (not yet executed).
+  for (const WalVote& v : wal_state.votes) {
+    if (v.seq > out.last_executed) out.votes.push_back(v);
+  }
+  std::sort(out.votes.begin(), out.votes.end(),
+            [](const WalVote& a, const WalVote& b) {
+              return a.seq != b.seq ? a.seq < b.seq : a.view < b.view;
+            });
+  return out;
+}
+
+}  // namespace sbft::recovery

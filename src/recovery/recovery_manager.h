@@ -1,0 +1,83 @@
+// Crash recovery (§VIII): rebuilds a replica's consensus and service state
+// from its surviving storage — the WAL (view, stable checkpoint certificate +
+// snapshot, in-flight votes) and the block ledger (committed decision blocks).
+//
+// Recovery sequence:
+//   1. load the WAL; restore the service from the checkpoint snapshot and
+//      verify it against the certificate's state root (a corrupt snapshot
+//      aborts recovery — the replica boots fresh and relies on the protocol's
+//      state-transfer path instead),
+//   2. replay the ledger's contiguous blocks past the checkpoint, re-deriving
+//      the chained execution digests d_s, the per-client reply cache, and the
+//      execution records,
+//   3. hand back the recovered view and votes so the replica re-enters the
+//      protocol without equivocating on anything it signed pre-crash.
+//
+// If the local log is behind the cluster's stable checkpoint the replica
+// simply recovers to its old position and catches up through the existing
+// state-transfer path (triggered on boot for restarted replicas).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kv/service.h"
+#include "recovery/wal.h"
+#include "storage/ledger_storage.h"
+
+namespace sbft::recovery {
+
+/// One ledger block re-executed during recovery; carries everything the
+/// replica needs to reconstruct its ExecRecord for the sequence.
+struct ReplayedBlock {
+  SeqNum seq = 0;
+  ViewNum view = 0;  // view of the persisted pre-prepare
+  Block block;
+  ExecCertificate cert;  // re-derived; pi_sig empty (not re-certified)
+  std::vector<Bytes> values;
+  std::vector<Digest> leaves;
+};
+
+struct RecoveredState {
+  ViewNum view = 0;
+  SeqNum last_stable = 0;
+  SeqNum last_executed = 0;
+  ExecCertificate checkpoint;  // valid when last_stable > 0
+  Bytes snapshot;
+  std::map<SeqNum, Digest> exec_digests;  // d_s chain from checkpoint (or genesis)
+  std::vector<ReplayedBlock> replayed;
+  std::vector<WalVote> votes;  // in-flight votes above last_executed
+  std::unique_ptr<IService> service;
+  uint64_t replayed_bytes = 0;  // encoded bytes re-read from the ledger
+  // Service snapshot at the highest checkpoint-interval multiple replayed
+  // (0 = none): lets the replica re-arm its pending checkpoint snapshot so a
+  // certificate arriving post-recovery pairs with consistent state.
+  SeqNum snapshot_seq = 0;
+  Bytes snapshot_at;
+};
+
+class RecoveryManager {
+ public:
+  /// `checkpoint_interval` > 0 re-captures service snapshots at interval
+  /// multiples during replay (pass ProtocolConfig::checkpoint_interval()).
+  RecoveryManager(std::shared_ptr<storage::ILedgerStorage> ledger,
+                  std::shared_ptr<IReplicaWal> wal, uint64_t checkpoint_interval = 0)
+      : ledger_(std::move(ledger)),
+        wal_(std::move(wal)),
+        checkpoint_interval_(checkpoint_interval) {}
+
+  /// Rebuilds state from the attached storage. Returns nullopt when there is
+  /// nothing to recover (fresh storage) or the snapshot fails verification.
+  std::optional<RecoveredState> recover(
+      const std::function<std::unique_ptr<IService>()>& service_factory) const;
+
+ private:
+  std::shared_ptr<storage::ILedgerStorage> ledger_;
+  std::shared_ptr<IReplicaWal> wal_;
+  uint64_t checkpoint_interval_ = 0;
+};
+
+}  // namespace sbft::recovery

@@ -1,0 +1,229 @@
+#include "recovery/wal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/serde.h"
+
+namespace sbft::recovery {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'B', 'F', 'T', 'W', 'A', 'L', '\x01'};
+
+enum RecordType : uint8_t {
+  kView = 1,
+  kVote = 2,
+  kCheckpoint = 3,
+};
+
+Bytes encode_view(ViewNum view) {
+  Writer w;
+  w.u64(view);
+  return std::move(w).take();
+}
+
+Bytes encode_vote(SeqNum seq, ViewNum view, const Digest& block_digest) {
+  Writer w;
+  w.u64(seq);
+  w.u64(view);
+  w.digest(block_digest);
+  return std::move(w).take();
+}
+
+Bytes encode_checkpoint(const ExecCertificate& cert, ByteSpan snapshot) {
+  Writer w;
+  w.bytes(as_span(encode_exec_certificate(cert)));
+  w.bytes(snapshot);
+  return std::move(w).take();
+}
+
+/// Applies one record to the logical state (shared by both implementations'
+/// replay paths). Returns false on a malformed payload.
+bool apply_record(WalState& state, uint8_t type, ByteSpan payload) {
+  Reader r(payload);
+  switch (type) {
+    case kView: {
+      ViewNum v = r.u64();
+      if (!r.at_end()) return false;
+      state.view = std::max(state.view, v);
+      return true;
+    }
+    case kVote: {
+      WalVote vote;
+      vote.seq = r.u64();
+      vote.view = r.u64();
+      vote.block_digest = r.digest();
+      if (!r.at_end()) return false;
+      state.votes.push_back(vote);
+      return true;
+    }
+    case kCheckpoint: {
+      Bytes cert_bytes = r.bytes();
+      Bytes snapshot = r.bytes();
+      if (!r.at_end()) return false;
+      auto cert = decode_exec_certificate(as_span(cert_bytes));
+      if (!cert) return false;
+      state.checkpoint = *cert;
+      state.last_stable = cert->seq;
+      state.snapshot = std::move(snapshot);
+      // Compaction semantics: the checkpoint supersedes earlier votes.
+      state.votes.erase(std::remove_if(state.votes.begin(), state.votes.end(),
+                                       [&](const WalVote& v) {
+                                         return v.seq <= state.last_stable;
+                                       }),
+                        state.votes.end());
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemoryWal
+
+void MemoryWal::record_view(ViewNum view) {
+  bytes_written_ += 1 + encode_view(view).size();
+  state_.view = std::max(state_.view, view);
+}
+
+void MemoryWal::record_vote(SeqNum seq, ViewNum view, const Digest& block_digest) {
+  bytes_written_ += 1 + encode_vote(seq, view, block_digest).size();
+  state_.votes.push_back({seq, view, block_digest});
+}
+
+void MemoryWal::record_checkpoint(const ExecCertificate& cert, ByteSpan snapshot) {
+  Bytes payload = encode_checkpoint(cert, snapshot);
+  bytes_written_ += 1 + payload.size();
+  apply_record(state_, kCheckpoint, as_span(payload));
+}
+
+// ---------------------------------------------------------------------------
+// FileWal
+
+FileWal::FileWal(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "ab+");
+  if (!file_) throw std::runtime_error("FileWal: cannot open " + path);
+  // Truncate a torn tail record (crash mid-append) so new appends land on a
+  // record boundary instead of extending the garbage. A file whose magic
+  // itself is short or corrupt restarts as a fresh log — the magic must be
+  // rewritten, or every future append would sit after a headerless prefix,
+  // invisible to load() and destroyed on the next open.
+  long valid = valid_prefix_end();
+  std::fseek(file_, 0, SEEK_END);
+  if (valid < std::ftell(file_)) {
+    SBFT_CHECK(::ftruncate(fileno(file_), valid) == 0);
+    std::fseek(file_, 0, SEEK_END);
+  }
+  if (valid == 0) {
+    SBFT_CHECK(std::fwrite(kMagic, 1, sizeof(kMagic), file_) == sizeof(kMagic));
+    std::fflush(file_);
+  }
+}
+
+FileWal::~FileWal() {
+  if (file_) std::fclose(file_);
+}
+
+void FileWal::append_record(uint8_t type, ByteSpan payload) {
+  Writer w;
+  w.u32(static_cast<uint32_t>(payload.size() + 1));
+  w.u8(type);
+  w.raw(payload);
+  std::fseek(file_, 0, SEEK_END);
+  SBFT_CHECK(std::fwrite(w.data().data(), 1, w.size(), file_) == w.size());
+  // Write-ahead contract: the record must be durable before the caller acts
+  // on it (e.g. emits the sign-share the vote describes).
+  std::fflush(file_);
+  bytes_written_ += w.size();
+}
+
+void FileWal::record_view(ViewNum view) { append_record(kView, as_span(encode_view(view))); }
+
+void FileWal::record_vote(SeqNum seq, ViewNum view, const Digest& block_digest) {
+  append_record(kVote, as_span(encode_vote(seq, view, block_digest)));
+}
+
+void FileWal::record_checkpoint(const ExecCertificate& cert, ByteSpan snapshot) {
+  WalState state = load();
+  apply_record(state, kCheckpoint, as_span(encode_checkpoint(cert, snapshot)));
+  rewrite(state);
+}
+
+void FileWal::rewrite(const WalState& state) {
+  // Compaction: serialize the logical state into a fresh file and rename it
+  // over the old log, so a crash mid-compaction leaves one valid log behind.
+  std::string tmp = path_ + ".compact";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (!out) throw std::runtime_error("FileWal: cannot open " + tmp);
+  Writer w;
+  w.raw(ByteSpan{reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic)});
+  auto frame = [&w](uint8_t type, ByteSpan payload) {
+    w.u32(static_cast<uint32_t>(payload.size() + 1));
+    w.u8(type);
+    w.raw(payload);
+  };
+  if (state.view > 0) frame(kView, as_span(encode_view(state.view)));
+  if (state.last_stable > 0)
+    frame(kCheckpoint, as_span(encode_checkpoint(state.checkpoint, as_span(state.snapshot))));
+  for (const WalVote& v : state.votes)
+    frame(kVote, as_span(encode_vote(v.seq, v.view, v.block_digest)));
+  SBFT_CHECK(std::fwrite(w.data().data(), 1, w.size(), out) == w.size());
+  std::fflush(out);
+  std::fclose(out);
+  std::fclose(file_);
+  file_ = nullptr;  // keep the destructor off the closed stream if we throw
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+    throw std::runtime_error("FileWal: rename failed for " + path_);
+  file_ = std::fopen(path_.c_str(), "ab+");
+  if (!file_) throw std::runtime_error("FileWal: cannot reopen " + path_);
+  bytes_written_ += w.size();
+}
+
+WalState FileWal::load() const {
+  WalState state;
+  scan(&state);
+  return state;
+}
+
+long FileWal::valid_prefix_end() const {
+  return scan(nullptr);
+}
+
+long FileWal::scan(WalState* state) const {
+  std::fflush(file_);
+  std::fseek(file_, 0, SEEK_END);
+  long size = std::ftell(file_);
+  if (size < static_cast<long>(sizeof(kMagic))) return 0;
+  Bytes raw(static_cast<size_t>(size));
+  std::rewind(file_);
+  size_t got = std::fread(raw.data(), 1, raw.size(), file_);
+  std::fseek(file_, 0, SEEK_END);
+  if (got != raw.size()) return 0;
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) return 0;
+
+  size_t pos = sizeof(kMagic);
+  while (pos + 4 <= raw.size()) {
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(raw[pos + i]) << (8 * i);
+    if (len == 0 || pos + 4 + len > raw.size()) break;  // torn tail record
+    uint8_t type = raw[pos + 4];
+    ByteSpan payload{raw.data() + pos + 5, len - 1};
+    WalState scratch;
+    if (!apply_record(state ? *state : scratch, type, payload)) break;  // corrupt
+    pos += 4 + len;
+  }
+  return static_cast<long>(pos);
+}
+
+void FileWal::sync() { std::fflush(file_); }
+
+}  // namespace sbft::recovery

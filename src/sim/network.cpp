@@ -124,6 +124,23 @@ void Network::start() {
 
 void Network::crash(NodeId node) { nodes_[node].crashed = true; }
 
+void Network::restart(NodeId node, IActor* actor) {
+  NodeState& state = nodes_[node];
+  SBFT_CHECK(state.crashed);
+  state.crashed = false;
+  ++state.incarnation;
+  if (actor) state.actor = actor;
+  // Runtime state died with the process; the link is idle when it boots.
+  state.cpu_queue.clear();
+  state.cpu_busy = sim_.now();
+  state.uplink_busy = sim_.now();
+  state.downlink_busy = sim_.now();
+  sim_.schedule(sim_.now(), [this, node] {
+    run_handler(node, sim_.now(),
+                [this, node](ActorContext& ctx) { nodes_[node].actor->on_start(ctx); });
+  });
+}
+
 void Network::set_cpu_factor(NodeId node, double factor) {
   nodes_[node].cpu_factor = factor;
 }
@@ -217,7 +234,11 @@ void Network::flush(NodeId node, ActorContext& ctx) {
   }
   for (auto& t : ctx.timers_) {
     uint64_t id = t.id;
-    sim_.schedule(done + t.delay_us, [this, node, id] {
+    // Timers are process-local: if the node crashes and restarts before the
+    // timer fires, the new incarnation must not inherit it.
+    uint64_t inc = state.incarnation;
+    sim_.schedule(done + t.delay_us, [this, node, id, inc] {
+      if (nodes_[node].incarnation != inc) return;
       run_handler(node, sim_.now(), [this, node, id](ActorContext& c) {
         nodes_[node].actor->on_timer(id, c);
       });

@@ -113,6 +113,15 @@ class Network {
   // --- fault injection -------------------------------------------------------
   void crash(NodeId node);
   bool crashed(NodeId node) const { return nodes_[node].crashed; }
+  /// Re-admits a crashed node: clears the crash flag, bumps the node's
+  /// incarnation (pending timers from the dead incarnation never fire; in-
+  /// flight *messages* still arrive — the network outlives the process), and
+  /// delivers on_start at the current simulated time. Pass `actor` to swap in
+  /// a freshly constructed actor (a restarted replica rebuilding itself from
+  /// its storage); nullptr keeps the existing object.
+  void restart(NodeId node, IActor* actor = nullptr);
+  /// Restart count of the node (0 = original incarnation).
+  uint64_t incarnation(NodeId node) const { return nodes_[node].incarnation; }
   /// Straggler: multiplies the node's CPU costs (1.0 = nominal).
   void set_cpu_factor(NodeId node, double factor);
   /// Extra one-way latency for all messages to/from this node.
@@ -154,6 +163,7 @@ class Network {
     // FIFO of handlers waiting for the node's (sequential) CPU.
     std::deque<Handler> cpu_queue;
     bool drain_scheduled = false;
+    uint64_t incarnation = 0;  // bumped by restart(); gates stale timers
     int64_t cpu_used_us = 0;   // cumulative charged CPU (utilization probe)
     uint64_t handlers_run = 0;
     Rng rng{0};

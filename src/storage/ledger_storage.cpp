@@ -1,5 +1,7 @@
 #include "storage/ledger_storage.h"
 
+#include <unistd.h>
+
 #include <stdexcept>
 
 #include "common/check.h"
@@ -32,19 +34,37 @@ FileLedgerStorage::~FileLedgerStorage() {
 }
 
 void FileLedgerStorage::load_index() {
+  // A crash can leave a torn tail record (partial header or payload). Index
+  // only complete records and truncate the tail away so the next append lands
+  // at a record boundary instead of extending the garbage.
+  std::fseek(file_, 0, SEEK_END);
+  long file_size = std::ftell(file_);
   std::rewind(file_);
+  long good_end = 0;
   for (;;) {
     uint8_t header[12];
     long offset = std::ftell(file_);
+    if (offset + static_cast<long>(sizeof(header)) > file_size) break;
     if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) break;
     SeqNum s = 0;
     for (int i = 0; i < 8; ++i) s |= static_cast<SeqNum>(header[i]) << (8 * i);
     uint32_t len = 0;
     for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[8 + i]) << (8 * i);
+    if (offset + 12 + static_cast<long>(len) > file_size) break;  // torn payload
     index_[s] = {offset + 12, len};
+    good_end = offset + 12 + static_cast<long>(len);
     if (std::fseek(file_, static_cast<long>(len), SEEK_CUR) != 0) break;
   }
-  std::fseek(file_, 0, SEEK_END);
+  if (good_end < file_size) {
+    std::fflush(file_);
+    if (::ftruncate(fileno(file_), good_end) != 0) {
+      throw std::runtime_error("FileLedgerStorage: cannot truncate torn tail of " +
+                               path_);
+    }
+  }
+  // Re-sync the write offset to the (possibly truncated) end so appends start
+  // on a record boundary.
+  std::fseek(file_, good_end, SEEK_SET);
 }
 
 void FileLedgerStorage::append_block(SeqNum s, ByteSpan encoded) {

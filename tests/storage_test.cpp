@@ -82,6 +82,59 @@ TEST(FileLedger, EmptyPayloadAllowed) {
   EXPECT_TRUE(blk->empty());
 }
 
+TEST(FileLedger, TruncatedTailHeaderIsDiscarded) {
+  // A crash mid-append can leave a partial header; reopen must index only the
+  // complete records and land the next append on a record boundary.
+  TempFile tmp;
+  {
+    FileLedgerStorage ledger(tmp.path());
+    ledger.append_block(1, as_span(to_bytes("one")));
+    ledger.append_block(2, as_span(to_bytes("two")));
+    ledger.sync();
+  }
+  {
+    std::FILE* f = std::fopen(tmp.path().c_str(), "ab");
+    const uint8_t garbage[5] = {0x03, 0, 0, 0, 0};  // 5 of 12 header bytes
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  FileLedgerStorage reopened(tmp.path());
+  EXPECT_EQ(reopened.block_count(), 2u);
+  EXPECT_EQ(reopened.last_seq(), 2u);
+  EXPECT_EQ(reopened.read_block(1), to_bytes("one"));
+  // Appends after the truncation parse cleanly on the next open.
+  reopened.append_block(3, as_span(to_bytes("three")));
+  reopened.sync();
+  FileLedgerStorage again(tmp.path());
+  EXPECT_EQ(again.block_count(), 3u);
+  EXPECT_EQ(again.read_block(3), to_bytes("three"));
+}
+
+TEST(FileLedger, TruncatedTailPayloadIsDiscarded) {
+  // Header fully written but the payload cut short: the record must not be
+  // indexed (its bytes are garbage) and must be truncated away.
+  TempFile tmp;
+  {
+    FileLedgerStorage ledger(tmp.path());
+    ledger.append_block(1, as_span(to_bytes("complete")));
+    ledger.append_block(2, as_span(to_bytes("this-payload-gets-cut")));
+    ledger.sync();
+  }
+  auto size = std::filesystem::file_size(tmp.path());
+  std::filesystem::resize_file(tmp.path(), size - 4);
+  FileLedgerStorage reopened(tmp.path());
+  EXPECT_EQ(reopened.block_count(), 1u);
+  EXPECT_EQ(reopened.last_seq(), 1u);
+  EXPECT_EQ(reopened.read_block(1), to_bytes("complete"));
+  EXPECT_FALSE(reopened.read_block(2).has_value());
+  // Re-appending sequence 2 works and survives another reopen.
+  reopened.append_block(2, as_span(to_bytes("rewritten")));
+  reopened.sync();
+  FileLedgerStorage again(tmp.path());
+  EXPECT_EQ(again.block_count(), 2u);
+  EXPECT_EQ(again.read_block(2), to_bytes("rewritten"));
+}
+
 TEST(FileLedger, LargeBlock) {
   TempFile tmp;
   FileLedgerStorage ledger(tmp.path());
