@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "crypto/sha256.h"
-#include "recovery/recovery_manager.h"
 
 namespace sbft::core {
 
@@ -101,106 +100,35 @@ struct SbftReplica::Slot {
   bool e_stagger_set = false;
 };
 
-struct SbftReplica::ExecRecord {
-  ExecCertificate cert;
-  Block block;
-  std::vector<Bytes> values;
-  std::vector<Digest> leaves;
-  sim::SimTime executed_at = 0;
-};
-
 // ---------------------------------------------------------------------------
 // Construction / lifecycle
 
 SbftReplica::SbftReplica(ReplicaOptions options, std::unique_ptr<IService> service)
-    : opts_(std::move(options)), service_(std::move(service)) {
+    : opts_(std::move(options)),
+      runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal},
+               std::move(service)) {
   opts_.config.validate();
   SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
-  exec_digests_[0] = genesis_exec_digest();
   recover_from_storage();
 }
 
 SbftReplica::~SbftReplica() = default;
 
+ReplicaStats SbftReplica::stats() const {
+  ReplicaStats merged = stats_;
+  runtime_.stats().merge_into(merged);
+  return merged;
+}
+
 void SbftReplica::recover_from_storage() {
-  if (!opts_.ledger && !opts_.wal) return;
-  recovery::RecoveryManager manager(opts_.ledger, opts_.wal,
-                                    opts_.config.checkpoint_interval());
-  auto recovered = manager.recover([this] { return service_->clone_empty(); });
+  auto recovered = runtime_.recover();
   if (!recovered) return;  // fresh storage, or snapshot failed verification
 
-  service_ = std::move(recovered->service);
   view_ = recovered->view;
   vc_target_ = view_;
-  ls_ = recovered->last_stable;
-  le_ = recovered->last_executed;
-  next_seq_ = le_ + 1;
-  progress_marker_ = le_;
-  if (ls_ > 0) {
-    stable_checkpoint_ = recovered->checkpoint;
-    snapshot_cert_ = recovered->checkpoint;
-    latest_snapshot_ = recovered->snapshot;
-  }
-  if (recovered->snapshot_seq > 0) {
-    pending_snapshot_seq_ = recovered->snapshot_seq;
-    pending_snapshot_ = std::move(recovered->snapshot_at);
-  }
-  exec_digests_ = std::move(recovered->exec_digests);
-  exec_digests_.emplace(0, genesis_exec_digest());
-
-  // Rebuild execution records and the per-client reply cache from the
-  // replayed suffix so the replica serves retries and block fetches exactly
-  // as its previous incarnation would have.
-  for (recovery::ReplayedBlock& rb : recovered->replayed) {
-    for (size_t l = 0; l < rb.block.requests.size(); ++l) {
-      const Request& req = rb.block.requests[l];
-      CachedReply& cache = reply_cache_[req.client];
-      if (req.timestamp > cache.timestamp) {
-        cache.timestamp = req.timestamp;
-        cache.seq = rb.seq;
-        cache.index = l;
-        cache.value = rb.values[l];
-      }
-    }
-    ExecRecord rec;
-    rec.cert = rb.cert;
-    rec.block = std::move(rb.block);
-    rec.values = std::move(rb.values);
-    rec.leaves = std::move(rb.leaves);
-    exec_records_.emplace(rb.seq, std::move(rec));
-  }
-  for (const recovery::WalVote& v : recovered->votes) {
-    auto& entry = wal_votes_[v.seq];
-    if (v.view >= entry.first) entry = {v.view, v.block_digest};
-  }
-  if (!wal_votes_.empty()) {
-    // A restarted primary must not re-propose different blocks at sequence
-    // numbers it already pre-prepared before the crash.
-    next_seq_ = std::max(next_seq_, wal_votes_.rbegin()->first + 1);
-  }
+  progress_marker_ = le();
+  next_seq_ = recovered->install_votes(wal_votes_, le() + 1);
   recovered_replay_bytes_ = recovered->replayed_bytes;
-  stats_.recoveries = 1;
-  stats_.blocks_replayed = recovered->replayed.size();
-  if (opts_.wal) stats_.wal_bytes_written = opts_.wal->bytes_written();
-}
-
-void SbftReplica::wal_record_view(ViewNum v) {
-  if (!opts_.wal) return;
-  opts_.wal->record_view(v);
-  stats_.wal_bytes_written = opts_.wal->bytes_written();
-}
-
-void SbftReplica::wal_record_vote(SeqNum s, ViewNum v, const Digest& block_digest) {
-  if (!opts_.wal) return;
-  opts_.wal->record_vote(s, v, block_digest);
-  stats_.wal_bytes_written = opts_.wal->bytes_written();
-}
-
-void SbftReplica::wal_record_checkpoint(const ExecCertificate& cert,
-                                        ByteSpan snapshot) {
-  if (!opts_.wal) return;
-  opts_.wal->record_checkpoint(cert, snapshot);
-  stats_.wal_bytes_written = opts_.wal->bytes_written();
 }
 
 void SbftReplica::on_start(sim::ActorContext& ctx) {
@@ -218,17 +146,12 @@ void SbftReplica::on_start(sim::ActorContext& ctx) {
   if (opts_.recovering) request_state_transfer(ctx);
 }
 
-std::optional<Digest> SbftReplica::exec_digest_of(SeqNum s) const {
-  auto it = exec_digests_.find(s);
-  if (it == exec_digests_.end()) return std::nullopt;
-  return it->second;
-}
-
 std::optional<Digest> SbftReplica::committed_digest_of(SeqNum s) const {
   auto it = slots_.find(s);
   if (it != slots_.end() && it->second.committed) return it->second.committed_digest;
-  auto rec = exec_records_.find(s);
-  if (rec != exec_records_.end()) return rec->second.block.digest();
+  if (const runtime::ExecutionRecord* rec = runtime_.record(s)) {
+    return rec->block.digest();
+  }
   return std::nullopt;
 }
 
@@ -353,12 +276,12 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
     case kProgressTimer: {
       progress_timer_armed_ = false;
       bool outstanding = !pending_.empty() || forwarded_waiting_ ||
-                         (!slots_.empty() && slots_.rbegin()->first > le_) ||
+                         (!slots_.empty() && slots_.rbegin()->first > le()) ||
                          in_view_change_;
-      if (le_ > progress_marker_) {
+      if (le() > progress_marker_) {
         // Progress was made; assume forwarded requests were served (if not,
         // the client's retry re-raises the flag).
-        progress_marker_ = le_;
+        progress_marker_ = le();
         forwarded_waiting_ = false;
         if (outstanding) arm_progress_timer(ctx);
         break;
@@ -387,16 +310,14 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
       break;
     }
     case kStateFallback: {
-      auto rec = exec_records_.find(s);
-      if (rec == exec_records_.end() || !rec->second.cert.pi_sig.empty() ||
-          in_view_change_)
-        break;
+      const runtime::ExecutionRecord* rec = runtime_.record(s);
+      if (rec == nullptr || !rec->cert.pi_sig.empty() || in_view_change_) break;
       SignStateMsg ss;
       ss.seq = s;
       ss.replica = opts_.id;
-      ss.exec_digest = rec->second.cert.exec_digest();
+      ss.exec_digest = rec->cert.exec_digest();
       ss.pi_share = sign_share_maybe_corrupt(*opts_.crypto.pi_signer,
-                                             rec->second.cert.exec_digest());
+                                             rec->cert.exec_digest());
       ctx.charge(ctx.costs().bls_sign_share_us);
       send_to_replica(ctx, opts_.config.primary_of(view_),
                       make_message(std::move(ss)));
@@ -405,9 +326,9 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
     case kStateTransferTimer: {
       st_inflight_ = false;
       // Still behind? Try another source.
-      bool behind = (!slots_.empty() && slots_.rbegin()->first > le_ + opts_.config.win) ||
-                    (find_slot(le_ + 1) && find_slot(le_ + 1)->committed &&
-                     !find_slot(le_ + 1)->block);
+      bool behind = (!slots_.empty() && slots_.rbegin()->first > le() + opts_.config.win) ||
+                    (find_slot(le() + 1) && find_slot(le() + 1)->committed &&
+                     !find_slot(le() + 1)->block);
       if (behind) request_state_transfer(ctx);
       break;
     }
@@ -424,15 +345,15 @@ void SbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
   const Request& req = m.request;
   ctx.charge(ctx.costs().rsa_verify_us);  // client request signature ([31])
 
-  auto cached = reply_cache_.find(req.client);
-  if (cached != reply_cache_.end() && req.timestamp <= cached->second.timestamp) {
+  if (const runtime::CachedReply* cached =
+          runtime_.cached_reply(req.client, req.timestamp)) {
     // Already executed: serve the cached reply (client retry path, §V-A).
     ClientReplyMsg reply;
     reply.replica = opts_.id;
     reply.client = req.client;
-    reply.timestamp = cached->second.timestamp;
-    reply.seq = cached->second.seq;
-    reply.value = cached->second.value;
+    reply.timestamp = cached->timestamp;
+    reply.seq = cached->seq;
+    reply.value = cached->value;
     if (!silent()) ctx.send(req.client, make_message(std::move(reply)));
     return;
   }
@@ -474,15 +395,14 @@ void SbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
   while (!pending_.empty()) {
     // Drop requests already executed (e.g. committed via an earlier view).
     const Request& head = pending_.front().first;
-    auto cached = reply_cache_.find(head.client);
-    if (cached != reply_cache_.end() && head.timestamp <= cached->second.timestamp) {
+    if (runtime_.replies().is_duplicate(head.client, head.timestamp)) {
       pending_keys_.erase({head.client, head.timestamp});
       pending_.pop_front();
       continue;
     }
-    uint64_t in_flight = next_seq_ - 1 - le_;
+    uint64_t in_flight = next_seq_ - 1 - le();
     if (in_flight >= active_window()) return;
-    if (next_seq_ > ls_ + opts_.config.win) return;
+    if (next_seq_ > ls() + opts_.config.win) return;
 
     // The adaptive `batch` value is the *minimum* operations per block
     // (§VIII); partial blocks only leave on the batch timer.
@@ -530,8 +450,8 @@ void SbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
                                      sim::ActorContext& ctx) {
   if (in_view_change_ || m.view != view_) return;
   if (!from_replica(from, opts_.config.primary_of(m.view))) return;
-  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) {
-    if (m.seq > ls_ + opts_.config.win) arm_progress_timer(ctx);
+  if (m.seq <= ls() || m.seq > ls() + opts_.config.win) {
+    if (m.seq > ls() + opts_.config.win) arm_progress_timer(ctx);
     return;
   }
   Slot& sl = slot(m.seq);
@@ -553,7 +473,7 @@ void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
       !(wv->second.second == digest)) {
     return;
   }
-  wal_record_vote(s, v, digest);
+  runtime_.wal_record_vote(s, v, digest);
   sl.has_pp = true;
   sl.pp_view = v;
   sl.block_digest = digest;
@@ -590,7 +510,7 @@ void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
 
 void SbftReplica::handle_sign_share(const SignShareMsg& m, sim::ActorContext& ctx) {
   if (in_view_change_ || m.view != view_) return;
-  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   // The primary is the always-last fallback collector: replicas re-send
   // their shares to it only when a slot stalls (kShareFallback).
   auto collectors = commit_collectors(opts_.config, m.seq, m.view);
@@ -713,7 +633,7 @@ void SbftReplica::collector_try_prepare(SeqNum s, sim::ActorContext& ctx) {
 
 void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
   if (m.view < view_ || (in_view_change_ && m.view == view_)) return;
-  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   Digest h = slot_hash(m.seq, m.view, m.block_digest);
   ctx.charge(ctx.costs().bls_verify_combined_us);
   if (!opts_.crypto.tau_verifier->verify(h, as_span(m.tau_sig))) {
@@ -822,7 +742,7 @@ void SbftReplica::collector_try_slow_proof(SeqNum s, sim::ActorContext& ctx) {
 
 void SbftReplica::handle_full_commit_proof(const FullCommitProofMsg& m,
                                            sim::ActorContext& ctx) {
-  if (m.seq <= le_) return;
+  if (m.seq <= le()) return;
   Digest h = slot_hash(m.seq, m.view, m.block_digest);
   ctx.charge(ctx.costs().bls_verify_combined_us);
   if (!opts_.crypto.sigma_verifier->verify(h, as_span(m.sigma_sig))) {
@@ -842,7 +762,7 @@ void SbftReplica::handle_full_commit_proof(const FullCommitProofMsg& m,
 
 void SbftReplica::handle_full_commit_proof_slow(const FullCommitProofSlowMsg& m,
                                                 sim::ActorContext& ctx) {
-  if (m.seq <= le_) return;
+  if (m.seq <= le()) return;
   Digest h = slot_hash(m.seq, m.view, m.block_digest);
   Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
   ctx.charge(2 * ctx.costs().bls_verify_combined_us);
@@ -902,7 +822,7 @@ void SbftReplica::commit(SeqNum s, const Digest& block_digest, bool fast,
 
 void SbftReplica::try_execute(sim::ActorContext& ctx) {
   for (;;) {
-    SeqNum s = le_ + 1;
+    SeqNum s = le() + 1;
     Slot* sl = find_slot(s);
     if (!sl || !sl->committed) return;
     if (!sl->block || !(sl->block_digest == sl->committed_digest)) return;
@@ -912,57 +832,13 @@ void SbftReplica::try_execute(sim::ActorContext& ctx) {
 
 void SbftReplica::execute_block(SeqNum s, sim::ActorContext& ctx) {
   Slot& sl = *find_slot(s);
-  ExecRecord rec;
-  rec.block = *sl.block;
-
-  for (size_t l = 0; l < rec.block.requests.size(); ++l) {
-    const Request& req = rec.block.requests[l];
-    CachedReply& cache = reply_cache_[req.client];
-    Bytes value;
-    if (req.timestamp <= cache.timestamp) {
-      value = cache.value;  // duplicate: executed exactly once
-    } else {
-      value = service_->execute(as_span(req.op));
-      ctx.charge(service_->last_execute_cost_us(ctx.costs()));
-      cache.timestamp = req.timestamp;
-      cache.seq = s;
-      cache.index = l;
-      cache.value = value;
-      ++stats_.requests_executed;
-    }
-    rec.leaves.push_back(
-        exec_leaf(req.client, req.timestamp, crypto::sha256(as_span(value))));
-    rec.values.push_back(std::move(value));
-  }
-
-  ExecCertificate cert;
-  cert.seq = s;
-  cert.state_root = service_->state_digest();
-  cert.ops_root = rec.leaves.empty()
-                      ? empty_ops_root()
-                      : merkle::BlockMerkleTree(rec.leaves).root();
-  cert.prev_exec_digest = exec_digests_[s - 1];
-  Digest d = cert.exec_digest();
-  exec_digests_[s] = d;
-  rec.cert = cert;
-
-  // Persist the decision block (§IX: transactions persist to disk).
-  ctx.charge(ctx.costs().persist_us(rec.block.wire_size()));
-  if (opts_.ledger) opts_.ledger->append_block(s, as_span(encode_message(
-                                                      Message(PrePrepareMsg{
-                                                          s, sl.pp_view, rec.block}))));
+  // The runtime executes the block (dedup through the reply cache), persists
+  // it, extends the d_s chain, and captures the checkpoint snapshot.
+  runtime::ExecutionRecord& rec =
+      runtime_.execute_block(s, sl.pp_view, *sl.block, ctx);
+  Digest d = rec.cert.exec_digest();
 
   if (sl.commit_time >= 0) stats_.commit_to_exec_us += ctx.now() - sl.commit_time;
-  le_ = s;
-  ++stats_.blocks_executed;
-
-  // Capture the checkpoint snapshot while the service state still equals the
-  // state the certificate will describe (charged as a bulk hash).
-  if (s % opts_.config.checkpoint_interval() == 0) {
-    pending_snapshot_seq_ = s;
-    pending_snapshot_ = service_->snapshot();
-    ctx.charge(ctx.costs().hash_us(pending_snapshot_.size()));
-  }
 
   // Without the execution collector (Linear-PBFT variants), every replica
   // replies to every client directly — the f+1-messages-per-client cost that
@@ -980,9 +856,7 @@ void SbftReplica::execute_block(SeqNum s, sim::ActorContext& ctx) {
     }
   }
 
-  rec.executed_at = ctx.now();
   auto buffered = std::move(slot(s).buffered_pi);
-  exec_records_.emplace(s, std::move(rec));
 
   // Sign the new state (pi threshold) and send to the E-collectors.
   Bytes pi_share = sign_share_maybe_corrupt(*opts_.crypto.pi_signer, d);
@@ -1013,14 +887,14 @@ void SbftReplica::handle_sign_state(const SignStateMsg& m, sim::ActorContext& ct
   int rank = collector_rank(collectors, opts_.id);
   if (rank < 0) return;
   Slot& sl = slot(m.seq);
-  if (m.seq > le_) {
+  if (m.seq > le()) {
     sl.buffered_pi.emplace_back(m.replica, m.pi_share);
     ++stats_.buffered_pi_shares;
     return;
   }
-  auto rec = exec_records_.find(m.seq);
-  if (rec == exec_records_.end() || sl.e_sent) return;
-  Digest d = rec->second.cert.exec_digest();
+  const runtime::ExecutionRecord* rec = runtime_.record(m.seq);
+  if (rec == nullptr || sl.e_sent) return;
+  Digest d = rec->cert.exec_digest();
   // Only shares over our own executed digest can combine (robust filtering;
   // the CPU cost is charged as a batch verification at combine time, §III).
   if (!opts_.crypto.pi_verifier->verify_share(m.replica, d, as_span(m.pi_share))) {
@@ -1041,13 +915,13 @@ void SbftReplica::handle_sign_state(const SignStateMsg& m, sim::ActorContext& ct
 void SbftReplica::ecollector_try_proof(SeqNum s, sim::ActorContext& ctx,
                                        bool /*from_stagger*/) {
   Slot* slp = find_slot(s);
-  auto rec = exec_records_.find(s);
-  if (!slp || rec == exec_records_.end() || slp->e_sent) return;
+  runtime::ExecutionRecord* rec = runtime_.record(s);
+  if (!slp || rec == nullptr || slp->e_sent) return;
   // Another collector already certified this sequence?
-  if (!rec->second.cert.pi_sig.empty()) return;
+  if (!rec->cert.pi_sig.empty()) return;
   Slot& sl = *slp;
   if (sl.pi_shares.size() < opts_.config.exec_quorum()) return;
-  Digest d = rec->second.cert.exec_digest();
+  Digest d = rec->cert.exec_digest();
   std::vector<crypto::SignatureShare> shares;
   shares.reserve(sl.pi_shares.size());
   for (auto& [replica, share] : sl.pi_shares) shares.push_back({replica, share});
@@ -1059,7 +933,7 @@ void SbftReplica::ecollector_try_proof(SeqNum s, sim::ActorContext& ctx,
     return;
   }
   sl.e_sent = true;
-  rec->second.cert.pi_sig = *sig;
+  rec->cert.pi_sig = *sig;
   FullExecuteProofMsg proof;
   proof.seq = s;
   proof.exec_digest = d;
@@ -1070,9 +944,9 @@ void SbftReplica::ecollector_try_proof(SeqNum s, sim::ActorContext& ctx,
 
 void SbftReplica::send_execute_acks(SeqNum s, sim::ActorContext& ctx) {
   if (silent()) return;
-  auto rec_it = exec_records_.find(s);
-  if (rec_it == exec_records_.end()) return;
-  ExecRecord& rec = rec_it->second;
+  const runtime::ExecutionRecord* rec_ptr = runtime_.record(s);
+  if (rec_ptr == nullptr) return;
+  const runtime::ExecutionRecord& rec = *rec_ptr;
   if (rec.leaves.empty()) return;
   stats_.exec_to_ack_us += ctx.now() - rec.executed_at;
   ++stats_.acked_blocks;
@@ -1098,46 +972,25 @@ void SbftReplica::handle_full_execute_proof(const FullExecuteProofMsg& m,
     ++stats_.invalid_shares_seen;
     return;
   }
-  auto rec = exec_records_.find(m.seq);
-  if (rec != exec_records_.end() &&
-      rec->second.cert.exec_digest() == m.exec_digest) {
-    if (rec->second.cert.pi_sig.empty()) rec->second.cert.pi_sig = m.pi_sig;
+  runtime::ExecutionRecord* rec = runtime_.record(m.seq);
+  if (rec != nullptr && rec->cert.exec_digest() == m.exec_digest) {
+    if (rec->cert.pi_sig.empty()) rec->cert.pi_sig = m.pi_sig;
     advance_checkpoint(m.seq, ctx);
-  } else if (m.seq > le_ + opts_.config.win / 2) {
+  } else if (m.seq > le() + opts_.config.win / 2) {
     // Far behind the cluster: catch up via state transfer.
     request_state_transfer(ctx);
   }
 }
 
 void SbftReplica::advance_checkpoint(SeqNum s, sim::ActorContext& ctx) {
-  if (s <= ls_ || s % opts_.config.checkpoint_interval() != 0) return;
-  auto rec = exec_records_.find(s);
-  if (rec == exec_records_.end() || rec->second.cert.pi_sig.empty()) return;
-  ls_ = s;
-  stable_checkpoint_ = rec->second.cert;
-  // Promote the snapshot captured when s executed; it matches the
-  // certificate's state root by construction. (If it is somehow missing —
-  // e.g. the sequence executed before this incarnation — fall back to a live
-  // snapshot only when the service has not moved past s; otherwise keep the
-  // previous consistent pair.)
-  if (pending_snapshot_seq_ == s) {
-    latest_snapshot_ = std::move(pending_snapshot_);
-    pending_snapshot_ = {};
-    snapshot_cert_ = stable_checkpoint_;
-    wal_record_checkpoint(snapshot_cert_, as_span(latest_snapshot_));
-  } else if (le_ == s) {
-    latest_snapshot_ = service_->snapshot();
-    ctx.charge(ctx.costs().hash_us(latest_snapshot_.size()));
-    snapshot_cert_ = stable_checkpoint_;
-    wal_record_checkpoint(snapshot_cert_, as_span(latest_snapshot_));
-  }
-  garbage_collect();
-}
-
-void SbftReplica::garbage_collect() {
-  slots_.erase(slots_.begin(), slots_.lower_bound(ls_ + 1));
-  // Keep the checkpointed record itself (serves acks/fetches for stragglers).
-  exec_records_.erase(exec_records_.begin(), exec_records_.lower_bound(ls_));
+  if (s <= ls() || s % opts_.config.checkpoint_interval() != 0) return;
+  const runtime::ExecutionRecord* rec = runtime_.record(s);
+  if (rec == nullptr || rec->cert.pi_sig.empty()) return;
+  // The runtime promotes the snapshot captured when s executed (it matches
+  // the certificate's state root by construction), persists the checkpoint
+  // to the WAL, and garbage-collects execution records.
+  if (!runtime_.advance_stable(rec->cert, ctx)) return;
+  slots_.erase(slots_.begin(), slots_.lower_bound(ls() + 1));
 }
 
 // ---------------------------------------------------------------------------
@@ -1150,10 +1003,9 @@ void SbftReplica::handle_get_block_request(const GetBlockRequestMsg& m,
   if (Slot* sl = find_slot(m.seq); sl && sl->block &&
                                    sl->block_digest == m.block_digest) {
     found = &*sl->block;
-  } else if (auto rec = exec_records_.find(m.seq);
-             rec != exec_records_.end() &&
-             rec->second.block.digest() == m.block_digest) {
-    found = &rec->second.block;
+  } else if (const runtime::ExecutionRecord* rec = runtime_.record(m.seq);
+             rec != nullptr && rec->block.digest() == m.block_digest) {
+    found = &rec->block;
   }
   if (!found) return;
   GetBlockReplyMsg reply;
@@ -1194,8 +1046,8 @@ void SbftReplica::adopt_verified_view(ViewNum v, sim::ActorContext& ctx) {
   vc_attempts_ = 0;
   new_view_sent_ = false;
   vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(v));
-  progress_marker_ = le_;
-  wal_record_view(v);
+  progress_marker_ = le();
+  runtime_.wal_record_view(v);
   if (is_primary()) {
     ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
   }
@@ -1220,10 +1072,10 @@ ViewChangeMsg SbftReplica::build_view_change(ViewNum target) const {
   ViewChangeMsg msg;
   msg.sender = opts_.id;
   msg.next_view = target;
-  msg.ls = ls_;
-  if (ls_ > 0) msg.checkpoint = stable_checkpoint_;
+  msg.ls = ls();
+  if (ls() > 0) msg.checkpoint = runtime_.checkpoints().stable_cert();
   for (const auto& [s, sl] : slots_) {
-    if (s <= ls_ || s > ls_ + opts_.config.win) continue;
+    if (s <= ls() || s > ls() + opts_.config.win) continue;
     SlotEvidence e;
     e.seq = s;
     if (sl.has_slow_proof) {
@@ -1323,10 +1175,10 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
   vc_attempts_ = 0;
   new_view_sent_ = false;
   vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(m.view));
-  wal_record_view(m.view);
+  runtime_.wal_record_view(m.view);
 
   SeqNum stable = select_stable_seq(opts_.config, verifiers, m.proofs);
-  if (stable > le_) request_state_transfer(ctx);
+  if (stable > le()) request_state_transfer(ctx);
 
   SeqNum max_evidence = stable;
   for (const auto& p : m.proofs) {
@@ -1334,7 +1186,7 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
   }
 
   for (SeqNum j = stable + 1; j <= max_evidence; ++j) {
-    if (j <= le_) continue;  // already executed; safety ensures consistency
+    if (j <= le()) continue;  // already executed; safety ensures consistency
     SafeValue safe = compute_safe_value(opts_.config, verifiers, j, m.proofs);
     ctx.charge(ctx.costs().batch_verify_us(4));
     Slot& sl = slot(j);
@@ -1385,7 +1237,7 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
   }
 
   next_seq_ = std::max<SeqNum>(max_evidence + 1, stable + 1);
-  progress_marker_ = le_;
+  progress_marker_ = le();
   if (is_primary()) {
     ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
     try_propose(ctx);
@@ -1399,14 +1251,14 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
 void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   if (st_inflight_ || silent()) return;
   st_inflight_ = true;
-  ++stats_.state_transfers;
+  ++runtime_.stats().state_transfers;
   // Ask a pseudo-random peer; retry rotates the choice.
   ReplicaId peer = static_cast<ReplicaId>(
       1 + ctx.rng().below(opts_.config.n()));
   if (peer == opts_.id) peer = (peer % opts_.config.n()) + 1;
   StateTransferRequestMsg req;
   req.requester = opts_.id;
-  req.have_seq = le_;
+  req.have_seq = le();
   send_to_replica(ctx, peer, make_message(std::move(req)));
   ctx.set_timer(opts_.config.view_change_timeout_us, timer_id(kStateTransferTimer, 0));
 }
@@ -1417,18 +1269,20 @@ void SbftReplica::handle_state_transfer_request(NodeId /*from*/,
   if (silent()) return;
   // Ship the consistent (certificate, snapshot) pair — never the bare stable
   // checkpoint, whose snapshot may not have been captured.
-  if (snapshot_cert_.pi_sig.empty() || snapshot_cert_.seq <= m.have_seq) return;
+  const runtime::CheckpointManager& cp = runtime_.checkpoints();
+  if (cp.snapshot_cert().pi_sig.empty() || cp.snapshot_cert().seq <= m.have_seq)
+    return;
   StateTransferReplyMsg reply;
-  reply.seq = snapshot_cert_.seq;
-  reply.cert = snapshot_cert_;
-  reply.service_snapshot = latest_snapshot_;
-  ctx.charge(ctx.costs().hash_us(latest_snapshot_.size()));
+  reply.seq = cp.snapshot_cert().seq;
+  reply.cert = cp.snapshot_cert();
+  reply.service_snapshot = cp.snapshot();
+  ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
   send_to_replica(ctx, m.requester, make_message(std::move(reply)));
 }
 
 void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
                                               sim::ActorContext& ctx) {
-  if (m.seq <= le_) {
+  if (m.seq <= le()) {
     st_inflight_ = false;
     return;
   }
@@ -1436,23 +1290,11 @@ void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
   if (m.cert.seq != m.seq ||
       !opts_.crypto.pi_verifier->verify(m.cert.exec_digest(), as_span(m.cert.pi_sig)))
     return;
-  auto fresh = service_->clone_empty();
-  ctx.charge(ctx.costs().hash_us(m.service_snapshot.size()));
-  if (!fresh->restore(as_span(m.service_snapshot))) return;
-  if (!(fresh->state_digest() == m.cert.state_root)) return;  // snapshot forged
-
-  service_ = std::move(fresh);
-  le_ = m.seq;
-  ls_ = m.seq;
-  exec_digests_[m.seq] = m.cert.exec_digest();
-  stable_checkpoint_ = m.cert;
-  snapshot_cert_ = m.cert;
-  latest_snapshot_ = m.service_snapshot;
-  pending_snapshot_seq_ = 0;
-  pending_snapshot_ = {};
-  wal_record_checkpoint(snapshot_cert_, as_span(latest_snapshot_));
+  // The runtime verifies the snapshot envelope against the certificate's
+  // state root, installs the service + reply cache, and records the
+  // checkpoint in the WAL.
+  if (!runtime_.adopt_checkpoint(m.cert, as_span(m.service_snapshot), ctx)) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
-  exec_records_.erase(exec_records_.begin(), exec_records_.lower_bound(m.seq));
   st_inflight_ = false;
   try_execute(ctx);
 }

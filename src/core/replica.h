@@ -1,6 +1,8 @@
-// SBFT replica (§V): fast path, Linear-PBFT fallback, execution and
-// acknowledgement with E-collectors, checkpointing/garbage collection,
-// state transfer, and the dual-mode view change.
+// SBFT ordering engine (§V): fast path, Linear-PBFT fallback, execution
+// acknowledgement with E-collectors, state transfer, and the dual-mode view
+// change. Everything protocol-independent — the execution pipeline, reply
+// cache, checkpointing, WAL/recovery — lives in runtime::ReplicaRuntime; this
+// class decides *which* block commits at each sequence number.
 //
 // The replica is a simulator actor: all sends/timers go through the
 // ActorContext, and every cryptographic or service operation charges its
@@ -19,6 +21,7 @@
 #include "proto/config.h"
 #include "proto/message.h"
 #include "recovery/wal.h"
+#include "runtime/replica_runtime.h"
 #include "sim/network.h"
 #include "storage/ledger_storage.h"
 
@@ -64,6 +67,7 @@ struct ReplicaStats {
   uint64_t recoveries = 0;         // 1 when this incarnation rebuilt from storage
   uint64_t blocks_replayed = 0;    // ledger blocks re-executed during recovery
   uint64_t wal_bytes_written = 0;  // cumulative WAL appends (handle lifetime)
+  uint64_t reply_cache_hits = 0;   // duplicates served or suppressed
   // Phase timing (sums over this replica's slots, microseconds).
   int64_t pp_to_commit_us = 0;    // pre-prepare accept -> commit
   int64_t commit_to_exec_us = 0;  // commit -> execution
@@ -78,7 +82,7 @@ struct ReplicaStats {
 class SbftReplica final : public sim::IActor {
  public:
   SbftReplica(ReplicaOptions options, std::unique_ptr<IService> service);
-  ~SbftReplica() override;  // defined where Slot/ExecRecord are complete
+  ~SbftReplica() override;  // defined where Slot is complete
 
   void on_start(sim::ActorContext& ctx) override;
   void on_message(NodeId from, const Message& msg, sim::ActorContext& ctx) override;
@@ -87,19 +91,22 @@ class SbftReplica final : public sim::IActor {
   // Introspection (tests, metrics).
   ReplicaId id() const { return opts_.id; }
   ViewNum view() const { return view_; }
-  SeqNum last_executed() const { return le_; }
-  SeqNum last_stable() const { return ls_; }
-  const IService& service() const { return *service_; }
-  const ReplicaStats& stats() const { return stats_; }
+  SeqNum last_executed() const { return runtime_.last_executed(); }
+  SeqNum last_stable() const { return runtime_.last_stable(); }
+  const IService& service() const { return runtime_.service(); }
+  const runtime::ReplicaRuntime& runtime() const { return runtime_; }
+  /// Protocol stats merged with the runtime's protocol-agnostic stats.
+  ReplicaStats stats() const;
   /// Chained execution digest d_s for an executed sequence (nullopt if
   /// unknown / garbage collected without record).
-  std::optional<Digest> exec_digest_of(SeqNum s) const;
+  std::optional<Digest> exec_digest_of(SeqNum s) const {
+    return runtime_.exec_digest_of(s);
+  }
   /// Digest of the decision block committed at s (nullopt if not committed).
   std::optional<Digest> committed_digest_of(SeqNum s) const;
 
  private:
   struct Slot;
-  struct ExecRecord;
 
   // --- message handlers -----------------------------------------------------
   void handle_client_request(NodeId from, const ClientRequestMsg& m,
@@ -142,7 +149,6 @@ class SbftReplica final : public sim::IActor {
   void ecollector_try_proof(SeqNum s, sim::ActorContext& ctx, bool from_stagger);
   void send_execute_acks(SeqNum s, sim::ActorContext& ctx);
   void advance_checkpoint(SeqNum s, sim::ActorContext& ctx);
-  void garbage_collect();
 
   // --- crash recovery (§VIII) -------------------------------------------------
   /// Rebuilds state from WAL + ledger at construction time (no-op when the
@@ -153,9 +159,6 @@ class SbftReplica final : public sim::IActor {
   /// recovered or lagging replica rejoin across view changes it slept
   /// through. No-op while a view change is in progress.
   void adopt_verified_view(ViewNum v, sim::ActorContext& ctx);
-  void wal_record_view(ViewNum v);
-  void wal_record_vote(SeqNum s, ViewNum v, const Digest& block_digest);
-  void wal_record_checkpoint(const ExecCertificate& cert, ByteSpan snapshot);
 
   // --- view change (§V-G) -----------------------------------------------------
   void start_view_change(ViewNum target, sim::ActorContext& ctx);
@@ -167,6 +170,8 @@ class SbftReplica final : public sim::IActor {
   void request_state_transfer(sim::ActorContext& ctx);
 
   // --- helpers -----------------------------------------------------------------
+  SeqNum le() const { return runtime_.last_executed(); }
+  SeqNum ls() const { return runtime_.last_stable(); }
   Slot& slot(SeqNum s);
   Slot* find_slot(SeqNum s);
   NodeId node_of(ReplicaId r) const { return r - 1; }
@@ -179,43 +184,21 @@ class SbftReplica final : public sim::IActor {
   bool silent() const { return opts_.behavior == ReplicaBehavior::kSilent; }
 
   ReplicaOptions opts_;
-  std::unique_ptr<IService> service_;
+  runtime::ReplicaRuntime runtime_;
 
   ViewNum view_ = 0;
   bool in_view_change_ = false;
   ViewNum vc_target_ = 0;
   uint32_t vc_attempts_ = 0;
 
-  SeqNum ls_ = 0;        // last stable (checkpointed) sequence
-  SeqNum le_ = 0;        // last executed sequence
   SeqNum next_seq_ = 1;  // primary: next sequence to propose
 
   std::map<SeqNum, Slot> slots_;
-  std::map<SeqNum, ExecRecord> exec_records_;
-  std::map<SeqNum, Digest> exec_digests_;  // d_s chain (kept across GC)
-  ExecCertificate stable_checkpoint_;      // latest pi-certified checkpoint
-  // Shippable state-transfer pair: snapshot_cert_.state_root matches
-  // latest_snapshot_ exactly. The snapshot is captured when the checkpoint
-  // sequence *executes* (pending_snapshot_), not when its certificate forms —
-  // by certification time the service may have executed further.
-  ExecCertificate snapshot_cert_;
-  Bytes latest_snapshot_;
-  SeqNum pending_snapshot_seq_ = 0;
-  Bytes pending_snapshot_;
 
   // Primary request queue.
   std::deque<std::pair<Request, sim::SimTime>> pending_;
   std::set<std::pair<ClientId, uint64_t>> pending_keys_;
   double avg_pending_ = 0;  // EWMA demand estimate for adaptive batching
-
-  // Per-client reply cache (§V-A dedup / retry).
-  struct CachedReply {
-    uint64_t timestamp = 0;
-    SeqNum seq = 0;
-    uint64_t index = 0;
-    Bytes value;
-  };
-  std::map<ClientId, CachedReply> reply_cache_;
 
   // View-change messages collected per target view.
   std::map<ViewNum, std::map<ReplicaId, ViewChangeMsg>> vc_msgs_;
@@ -233,7 +216,7 @@ class SbftReplica final : public sim::IActor {
   std::map<SeqNum, std::pair<ViewNum, Digest>> wal_votes_;
   uint64_t recovered_replay_bytes_ = 0;  // charged as boot-time replay CPU
 
-  ReplicaStats stats_;
+  ReplicaStats stats_;  // protocol-level counters; runtime fields merged in stats()
 };
 
 }  // namespace sbft::core

@@ -53,7 +53,36 @@ Cluster::Cluster(ClusterOptions options)
 
 Cluster::~Cluster() = default;
 
+void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavior,
+                            bool recovering) {
+  if (opts_.kind == ProtocolKind::kPbft) {
+    pbft::PbftOptions po;
+    po.config = config_;
+    po.id = handle.id_;
+    po.ledger = handle.ledger_;
+    po.wal = handle.wal_;
+    po.recovering = recovering;
+    handle.pbft_ =
+        std::make_unique<pbft::PbftReplica>(std::move(po), opts_.service_factory());
+  } else {
+    core::ReplicaOptions ro;
+    ro.config = config_;
+    ro.id = handle.id_;
+    ro.crypto = core::ReplicaCrypto::for_replica(keys_, handle.id_);
+    ro.behavior = behavior;
+    ro.ledger = handle.ledger_;
+    ro.wal = handle.wal_;
+    ro.recovering = recovering;
+    handle.sbft_ =
+        std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
+  }
+}
+
 void Cluster::build() {
+  // Byzantine behaviours are implemented by the SBFT engine only; fail loudly
+  // rather than running a "byzantine" PBFT cluster all-honest. (Crash /
+  // straggler / restart faults are network-level and work on every protocol.)
+  SBFT_CHECK(opts_.kind != ProtocolKind::kPbft || opts_.byzantine_replicas == 0);
   net_ = std::make_unique<sim::Network>(sim_, opts_.topology, opts_.costs, opts_.seed);
   Rng key_rng(opts_.seed ^ 0x5bf7u);
   keys_ = opts_.use_real_threshold_crypto
@@ -89,42 +118,19 @@ void Cluster::build() {
     behavior[backups[cursor++]] = opts_.byzantine_behavior;
   }
 
-  // Replicas occupy node ids 0..n-1 (replica r => node r-1).
-  const bool durable = opts_.durability && opts_.kind != ProtocolKind::kPbft;
-  if (durable) {
-    ledgers_.resize(n);
-    wals_.resize(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      ledgers_[i] = std::make_shared<storage::MemoryLedgerStorage>();
-      wals_[i] = std::make_shared<recovery::MemoryWal>();
-    }
-  }
+  // Replicas occupy node ids 0..n-1; the authoritative replica->node mapping
+  // lives in each ReplicaHandle.
+  replicas_.resize(n);
   for (ReplicaId r = 1; r <= n; ++r) {
-    if (opts_.kind == ProtocolKind::kPbft) {
-      pbft::PbftOptions po;
-      po.config = config_;
-      po.id = r;
-      auto replica = std::make_unique<pbft::PbftReplica>(std::move(po),
-                                                         opts_.service_factory());
-      NodeId node = net_->add_node(replica.get());
-      SBFT_CHECK(node == r - 1);
-      pbft_replicas_.push_back(std::move(replica));
-    } else {
-      core::ReplicaOptions ro;
-      ro.config = config_;
-      ro.id = r;
-      ro.crypto = core::ReplicaCrypto::for_replica(keys_, r);
-      ro.behavior = behavior[r];
-      if (durable) {
-        ro.ledger = ledgers_[r - 1];
-        ro.wal = wals_[r - 1];
-      }
-      auto replica =
-          std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
-      NodeId node = net_->add_node(replica.get());
-      SBFT_CHECK(node == r - 1);
-      sbft_replicas_.push_back(std::move(replica));
+    ReplicaHandle& handle = replicas_[r - 1];
+    handle.id_ = r;
+    if (opts_.durability) {
+      handle.ledger_ = std::make_shared<storage::MemoryLedgerStorage>();
+      handle.wal_ = std::make_shared<recovery::MemoryWal>();
     }
+    build_replica(handle, behavior[r], /*recovering=*/false);
+    handle.node_ = net_->add_node(handle.actor());
+    SBFT_CHECK(handle.node_ == r - 1);  // replicas are added first
   }
 
   // Clients occupy node ids n..n+k-1; ClientId == NodeId.
@@ -142,19 +148,19 @@ void Cluster::build() {
     clients_.push_back(std::move(client));
   }
 
-  for (ReplicaId r : to_crash) net_->crash(r - 1);
+  for (ReplicaId r : to_crash) net_->crash(replica(r).node());
   for (ReplicaId r : to_slow) {
-    net_->set_cpu_factor(r - 1, 4.0);
-    net_->set_extra_latency(r - 1, 20'000);
+    net_->set_cpu_factor(replica(r).node(), 4.0);
+    net_->set_extra_latency(replica(r).node(), 20'000);
   }
 
-  // Scheduled kill-and-restart scenarios (rolling restarts chain events).
+  // Scheduled kill-and-restart scenarios (rolling restarts chain events);
+  // available on every protocol.
   for (const ClusterOptions::RestartEvent& ev : opts_.restart_schedule) {
-    SBFT_CHECK(opts_.kind != ProtocolKind::kPbft);
     ReplicaId target = ev.replica;
     if (target == 0 && cursor < backups.size()) target = backups[cursor++];
     if (target == 0) continue;  // no backup left to assign
-    sim_.schedule(ev.crash_at_us, [this, target] { net_->crash(target - 1); });
+    sim_.schedule(ev.crash_at_us, [this, target] { crash_replica(target); });
     if (ev.restart_at_us > ev.crash_at_us) {
       sim_.schedule(ev.restart_at_us, [this, target, wipe = ev.wipe_storage] {
         restart_replica(target, wipe);
@@ -164,27 +170,16 @@ void Cluster::build() {
 }
 
 void Cluster::restart_replica(ReplicaId r, bool wipe_storage) {
-  SBFT_CHECK(!sbft_replicas_.empty());  // restart is an SBFT-variant feature
-  SBFT_CHECK(net_->crashed(r - 1));
-  if (ledgers_.empty()) ledgers_.resize(config_.n());
-  if (wals_.empty()) wals_.resize(config_.n());
-  if (wipe_storage || !ledgers_[r - 1]) {
-    ledgers_[r - 1] = std::make_shared<storage::MemoryLedgerStorage>();
+  ReplicaHandle& handle = replica(r);
+  SBFT_CHECK(net_->crashed(handle.node()));
+  if (wipe_storage || !handle.ledger_) {
+    handle.ledger_ = std::make_shared<storage::MemoryLedgerStorage>();
   }
-  if (wipe_storage || !wals_[r - 1]) {
-    wals_[r - 1] = std::make_shared<recovery::MemoryWal>();
+  if (wipe_storage || !handle.wal_) {
+    handle.wal_ = std::make_shared<recovery::MemoryWal>();
   }
-  core::ReplicaOptions ro;
-  ro.config = config_;
-  ro.id = r;
-  ro.crypto = core::ReplicaCrypto::for_replica(keys_, r);
-  ro.ledger = ledgers_[r - 1];
-  ro.wal = wals_[r - 1];
-  ro.recovering = true;
-  auto replica =
-      std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
-  net_->restart(r - 1, replica.get());
-  sbft_replicas_[r - 1] = std::move(replica);
+  build_replica(handle, core::ReplicaBehavior::kHonest, /*recovering=*/true);
+  net_->restart(handle.node(), handle.actor());
 }
 
 void Cluster::run_for(sim::SimTime sim_time_us) {
@@ -211,52 +206,44 @@ bool Cluster::run_until_done(sim::SimTime deadline_us) {
                      [](const auto& c) { return c->done(); });
 }
 
-core::SbftReplica* Cluster::sbft_replica(ReplicaId id) {
-  if (sbft_replicas_.empty()) return nullptr;
-  return sbft_replicas_.at(id - 1).get();
-}
+core::SbftReplica* Cluster::sbft_replica(ReplicaId id) { return replica(id).sbft(); }
 
-pbft::PbftReplica* Cluster::pbft_replica(ReplicaId id) {
-  if (pbft_replicas_.empty()) return nullptr;
-  return pbft_replicas_.at(id - 1).get();
-}
+pbft::PbftReplica* Cluster::pbft_replica(ReplicaId id) { return replica(id).pbft(); }
 
 SeqNum Cluster::min_executed() const {
   SeqNum lo = UINT64_MAX;
-  for (ReplicaId r = 1; r <= config_.n(); ++r) {
-    if (net_->crashed(r - 1)) continue;
-    SeqNum le = sbft_replicas_.empty() ? pbft_replicas_[r - 1]->last_executed()
-                                       : sbft_replicas_[r - 1]->last_executed();
-    lo = std::min(lo, le);
+  for (const ReplicaHandle& h : replicas_) {
+    if (net_->crashed(h.node())) continue;
+    lo = std::min(lo, h.last_executed());
   }
   return lo == UINT64_MAX ? 0 : lo;
 }
 
 SeqNum Cluster::max_executed() const {
   SeqNum hi = 0;
-  for (ReplicaId r = 1; r <= config_.n(); ++r) {
-    SeqNum le = sbft_replicas_.empty() ? pbft_replicas_[r - 1]->last_executed()
-                                       : sbft_replicas_[r - 1]->last_executed();
-    hi = std::max(hi, le);
-  }
+  for (const ReplicaHandle& h : replicas_) hi = std::max(hi, h.last_executed());
   return hi;
 }
 
 uint64_t Cluster::total_fast_commits() const {
   uint64_t total = 0;
-  for (const auto& r : sbft_replicas_) total += r->stats().fast_commits;
+  for (const ReplicaHandle& h : replicas_) {
+    if (h.sbft()) total += h.sbft()->stats().fast_commits;
+  }
   return total;
 }
 
 uint64_t Cluster::total_slow_commits() const {
   uint64_t total = 0;
-  for (const auto& r : sbft_replicas_) total += r->stats().slow_commits;
+  for (const ReplicaHandle& h : replicas_) {
+    if (h.sbft()) total += h.sbft()->stats().slow_commits;
+  }
   return total;
 }
 
 uint64_t Cluster::total_recoveries() const {
   uint64_t total = 0;
-  for (const auto& r : sbft_replicas_) total += r->stats().recoveries;
+  for (const ReplicaHandle& h : replicas_) total += h.runtime_stats().recoveries;
   return total;
 }
 
@@ -264,16 +251,15 @@ uint64_t Cluster::total_wal_bytes_written() const {
   // Sum over the durable handles, not the replica stats: the handle's counter
   // spans every incarnation of the replica.
   uint64_t total = 0;
-  for (const auto& w : wals_) {
-    if (w) total += w->bytes_written();
+  for (const ReplicaHandle& h : replicas_) {
+    if (h.wal()) total += h.wal()->bytes_written();
   }
   return total;
 }
 
 uint64_t Cluster::total_view_changes() const {
   uint64_t total = 0;
-  for (const auto& r : sbft_replicas_) total += r->stats().view_changes;
-  for (const auto& r : pbft_replicas_) total += r->stats().view_changes;
+  for (const ReplicaHandle& h : replicas_) total += h.view_changes();
   return total;
 }
 
@@ -281,10 +267,8 @@ bool Cluster::check_agreement(SeqNum* bad_seq) const {
   SeqNum hi = max_executed();
   for (SeqNum s = 1; s <= hi; ++s) {
     std::optional<Digest> expect;
-    for (ReplicaId r = 1; r <= config_.n(); ++r) {
-      std::optional<Digest> got =
-          sbft_replicas_.empty() ? pbft_replicas_[r - 1]->committed_digest_of(s)
-                                 : sbft_replicas_[r - 1]->committed_digest_of(s);
+    for (const ReplicaHandle& h : replicas_) {
+      std::optional<Digest> got = h.committed_digest_of(s);
       if (!got) continue;
       if (!expect) {
         expect = got;

@@ -1,6 +1,11 @@
 // Cluster builder: assembles a full simulated deployment — replicas of the
 // chosen protocol variant, closed-loop clients, WAN topology, cost model,
 // fault injection — and provides the safety audit used by tests.
+//
+// Every replica, regardless of protocol, sits behind a ReplicaHandle that
+// owns its durable storage and exposes stats/ledger/WAL uniformly, so the
+// crash / restart / disk-wipe / rolling-restart scenario family runs on SBFT
+// variants and the PBFT baseline through the identical API.
 #pragma once
 
 #include <functional>
@@ -9,6 +14,7 @@
 
 #include "core/client.h"
 #include "core/replica.h"
+#include "harness/replica_handle.h"
 #include "harness/workload.h"
 #include "pbft/pbft_replica.h"
 #include "recovery/wal.h"
@@ -52,14 +58,14 @@ struct ClusterOptions {
   core::ReplicaBehavior byzantine_behavior = core::ReplicaBehavior::kHonest;
   uint32_t byzantine_replicas = 0;  // replicas given byzantine_behavior
 
-  // Durability: give every SBFT replica a memory-backed ledger + WAL owned by
-  // the cluster, so a replica can be killed and restarted (the handles stand
-  // in for the disk that survives the process). No effect on simulated cost.
+  // Durability: give every replica a memory-backed ledger + WAL owned by its
+  // handle, so a replica can be killed and restarted (the handles stand in
+  // for the disk that survives the process). No effect on simulated cost.
   bool durability = true;
 
-  /// Scheduled kill-and-restart fault scenario (SBFT variants only). Chain
-  /// several events for rolling restarts; set wipe_storage to model disk loss
-  /// (the replica comes back empty and must state-transfer).
+  /// Scheduled kill-and-restart fault scenario (any protocol). Chain several
+  /// events for rolling restarts; set wipe_storage to model disk loss (the
+  /// replica comes back empty and must state-transfer).
   struct RestartEvent {
     sim::SimTime crash_at_us = 0;
     sim::SimTime restart_at_us = 0;  // <= crash_at_us: crash only, no restart
@@ -102,21 +108,25 @@ class Cluster {
   uint32_t n() const { return config_.n(); }
   core::SbftClient& client(size_t i) { return *clients_[i]; }
   size_t num_clients() const { return clients_.size(); }
+
+  /// Uniform, protocol-agnostic access to a replica (stats, storage, ids).
+  ReplicaHandle& replica(ReplicaId id) { return replicas_.at(id - 1); }
+  const ReplicaHandle& replica(ReplicaId id) const { return replicas_.at(id - 1); }
   core::SbftReplica* sbft_replica(ReplicaId id);  // null for kPbft clusters
   pbft::PbftReplica* pbft_replica(ReplicaId id);  // null for SBFT clusters
 
-  // --- crash / restart (SBFT variants) ---------------------------------------
-  /// Crashes the replica's node (equivalent to network().crash(r - 1)).
-  void crash_replica(ReplicaId r) { net_->crash(r - 1); }
+  // --- crash / restart (any protocol) ----------------------------------------
+  /// Crashes the replica's node (id↔node translation via its handle).
+  void crash_replica(ReplicaId r) { net_->crash(replica(r).node()); }
   /// Rebuilds a crashed replica from its surviving ledger + WAL handles and
   /// re-admits it to the network; with wipe_storage the handles are replaced
   /// by empty ones first (disk loss — recovery must go via state transfer).
   void restart_replica(ReplicaId r, bool wipe_storage = false);
   std::shared_ptr<storage::ILedgerStorage> replica_ledger(ReplicaId r) {
-    return ledgers_.empty() ? nullptr : ledgers_[r - 1];
+    return replica(r).ledger();
   }
   std::shared_ptr<recovery::IReplicaWal> replica_wal(ReplicaId r) {
-    return wals_.empty() ? nullptr : wals_[r - 1];
+    return replica(r).wal();
   }
 
   SeqNum min_executed() const;
@@ -134,18 +144,16 @@ class Cluster {
 
  private:
   void build();
+  void build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavior,
+                     bool recovering);
 
   ClusterOptions opts_;
   ProtocolConfig config_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
   core::ClusterKeys keys_;
-  std::vector<std::unique_ptr<core::SbftReplica>> sbft_replicas_;
-  std::vector<std::unique_ptr<pbft::PbftReplica>> pbft_replicas_;
+  std::vector<ReplicaHandle> replicas_;  // index r - 1
   std::vector<std::unique_ptr<core::SbftClient>> clients_;
-  // Per-replica durable storage (index r - 1); outlives replica incarnations.
-  std::vector<std::shared_ptr<storage::ILedgerStorage>> ledgers_;
-  std::vector<std::shared_ptr<recovery::IReplicaWal>> wals_;
   bool started_ = false;
 };
 

@@ -1,0 +1,77 @@
+// Protocol-agnostic replica handle.
+//
+// The cluster builds one handle per replica slot regardless of which ordering
+// engine backs it (SBFT variants or the PBFT baseline). The handle owns the
+// replica object *and* its durable storage (ledger + WAL, which stand in for
+// the disk that survives the process), exposes the uniform introspection the
+// harness/tests/benches need — view, executed/stable sequences, runtime
+// stats, committed digests — and is the single place where replica ids map
+// to network node ids. Crash/restart/disk-wipe scenarios therefore run
+// identically on every protocol.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/replica.h"
+#include "pbft/pbft_replica.h"
+#include "recovery/wal.h"
+#include "runtime/replica_runtime.h"
+#include "storage/ledger_storage.h"
+
+namespace sbft::harness {
+
+class ReplicaHandle {
+ public:
+  ReplicaHandle() = default;
+
+  ReplicaId id() const { return id_; }
+  /// Network node this replica occupies — the only id↔node translation the
+  /// harness uses (never hand-compute r - 1).
+  NodeId node() const { return node_; }
+
+  core::SbftReplica* sbft() const { return sbft_.get(); }
+  pbft::PbftReplica* pbft() const { return pbft_.get(); }
+  sim::IActor* actor() const {
+    return sbft_ ? static_cast<sim::IActor*>(sbft_.get())
+                 : static_cast<sim::IActor*>(pbft_.get());
+  }
+
+  // --- uniform introspection -------------------------------------------------
+  ViewNum view() const { return sbft_ ? sbft_->view() : pbft_->view(); }
+  SeqNum last_executed() const {
+    return sbft_ ? sbft_->last_executed() : pbft_->last_executed();
+  }
+  SeqNum last_stable() const {
+    return sbft_ ? sbft_->last_stable() : pbft_->last_stable();
+  }
+  const IService& service() const {
+    return sbft_ ? sbft_->service() : pbft_->service();
+  }
+  const runtime::ReplicaRuntime& runtime() const {
+    return sbft_ ? sbft_->runtime() : pbft_->runtime();
+  }
+  const runtime::RuntimeStats& runtime_stats() const { return runtime().stats(); }
+  uint64_t view_changes() const {
+    return sbft_ ? sbft_->stats().view_changes : pbft_->stats().view_changes;
+  }
+  std::optional<Digest> committed_digest_of(SeqNum s) const {
+    return sbft_ ? sbft_->committed_digest_of(s) : pbft_->committed_digest_of(s);
+  }
+
+  // --- durable storage (outlives replica incarnations) -----------------------
+  std::shared_ptr<storage::ILedgerStorage> ledger() const { return ledger_; }
+  std::shared_ptr<recovery::IReplicaWal> wal() const { return wal_; }
+
+ private:
+  friend class Cluster;
+
+  ReplicaId id_ = 0;
+  NodeId node_ = 0;
+  std::unique_ptr<core::SbftReplica> sbft_;
+  std::unique_ptr<pbft::PbftReplica> pbft_;
+  std::shared_ptr<storage::ILedgerStorage> ledger_;
+  std::shared_ptr<recovery::IReplicaWal> wal_;
+};
+
+}  // namespace sbft::harness

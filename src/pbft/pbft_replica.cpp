@@ -7,7 +7,11 @@
 namespace sbft::pbft {
 
 namespace {
-enum TimerKind : uint64_t { kBatchTimer = 1, kProgressTimer = 2 };
+enum TimerKind : uint64_t {
+  kBatchTimer = 1,
+  kProgressTimer = 2,
+  kStateTransferTimer = 3,
+};
 uint64_t timer_id(TimerKind kind, uint64_t payload) {
   return (static_cast<uint64_t>(kind) << 48) | payload;
 }
@@ -15,20 +19,51 @@ TimerKind timer_kind(uint64_t id) { return static_cast<TimerKind>(id >> 48); }
 }  // namespace
 
 PbftReplica::PbftReplica(PbftOptions options, std::unique_ptr<IService> service)
-    : opts_(std::move(options)), service_(std::move(service)) {
+    : opts_(std::move(options)),
+      runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal},
+               std::move(service)) {
   SBFT_CHECK(opts_.config.c == 0);  // PBFT sizing: n = 3f + 1
   SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
+  recover_from_storage();
+}
+
+void PbftReplica::recover_from_storage() {
+  auto recovered = runtime_.recover();
+  if (!recovered) return;  // fresh storage, or snapshot failed verification
+
+  view_ = recovered->view;
+  vc_target_ = view_;
+  progress_marker_ = le();
+  next_seq_ = recovered->install_votes(wal_votes_, le() + 1);
+  recovered_replay_bytes_ = recovered->replayed_bytes;
 }
 
 void PbftReplica::on_start(sim::ActorContext& ctx) {
+  // Boot-time replay cost: reading the ledger suffix back and re-executing it
+  // is charged like the sequential I/O that produced it.
+  if (recovered_replay_bytes_ > 0) {
+    ctx.charge(ctx.costs().persist_us(recovered_replay_bytes_));
+  }
   if (is_primary()) {
     ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
   }
+  // A restarted replica may have slept through checkpoints (or lost its disk
+  // entirely): probe a peer for a newer stable checkpoint right away.
+  if (opts_.recovering) request_state_transfer(ctx);
+}
+
+PbftStats PbftReplica::stats() const {
+  PbftStats merged = stats_;
+  runtime_.stats().merge_into(merged);
+  return merged;
 }
 
 std::optional<Digest> PbftReplica::committed_digest_of(SeqNum s) const {
   auto it = slots_.find(s);
   if (it != slots_.end() && it->second.committed) return it->second.block_digest;
+  if (const runtime::ExecutionRecord* rec = runtime_.record(s)) {
+    return rec->block.digest();
+  }
   return std::nullopt;
 }
 
@@ -62,6 +97,10 @@ void PbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext&
           handle_view_change(m, ctx);
         } else if constexpr (std::is_same_v<T, PbftNewViewMsg>) {
           handle_new_view(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, StateTransferRequestMsg>) {
+          handle_state_transfer_request(m, ctx);
+        } else if constexpr (std::is_same_v<T, StateTransferReplyMsg>) {
+          handle_state_transfer_reply(m, ctx);
         }
       },
       msg);
@@ -79,15 +118,25 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
     case kProgressTimer: {
       progress_timer_armed_ = false;
       bool outstanding = !pending_.empty() || forwarded_waiting_ ||
-                         (!slots_.empty() && slots_.rbegin()->first > le_) ||
+                         (!slots_.empty() && slots_.rbegin()->first > le()) ||
                          in_view_change_;
-      if (le_ > progress_marker_) {
-        progress_marker_ = le_;
+      if (le() > progress_marker_) {
+        progress_marker_ = le();
         forwarded_waiting_ = false;
         if (outstanding) arm_progress_timer(ctx);
         break;
       }
       if (outstanding) start_view_change(std::max(view_, vc_target_) + 1, ctx);
+      break;
+    }
+    case kStateTransferTimer: {
+      st_inflight_ = false;
+      // Retry while a true gap persists — or while a wiped/restarted replica
+      // has yet to obtain any checkpoint (its boot probe may have picked a
+      // peer with nothing to ship).
+      if (execution_gap() || (opts_.recovering && le() == 0 && ls() == 0)) {
+        request_state_transfer(ctx);
+      }
       break;
     }
   }
@@ -100,14 +149,14 @@ void PbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
                                         sim::ActorContext& ctx) {
   const Request& req = m.request;
   ctx.charge(ctx.costs().rsa_verify_us);
-  auto cached = reply_cache_.find(req.client);
-  if (cached != reply_cache_.end() && req.timestamp <= cached->second.timestamp) {
+  if (const runtime::CachedReply* cached =
+          runtime_.cached_reply(req.client, req.timestamp)) {
     ClientReplyMsg reply;
     reply.replica = opts_.id;
     reply.client = req.client;
-    reply.timestamp = cached->second.timestamp;
-    reply.seq = cached->second.seq;
-    reply.value = cached->second.value;
+    reply.timestamp = cached->timestamp;
+    reply.seq = cached->seq;
+    reply.value = cached->value;
     ctx.send(req.client, make_message(std::move(reply)));
     return;
   }
@@ -127,14 +176,13 @@ void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
   const uint64_t window = std::max<uint64_t>(1, opts_.config.win / 4);
   while (!pending_.empty()) {
     const Request& head = pending_.front();
-    auto cached = reply_cache_.find(head.client);
-    if (cached != reply_cache_.end() && head.timestamp <= cached->second.timestamp) {
+    if (runtime_.replies().is_duplicate(head.client, head.timestamp)) {
       pending_keys_.erase({head.client, head.timestamp});
       pending_.pop_front();
       continue;
     }
-    if (next_seq_ - 1 - le_ >= window) return;
-    if (next_seq_ > ls_ + opts_.config.win) return;
+    if (next_seq_ - 1 - le() >= window) return;
+    if (next_seq_ > ls() + opts_.config.win) return;
     // Batching: wait for a full block unless the batch timer flushes.
     if (pending_.size() < opts_.config.max_batch && !flush_partial) return;
     Block block;
@@ -154,7 +202,7 @@ void PbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
                                      sim::ActorContext& ctx) {
   if (in_view_change_ || m.view != view_) return;
   if (from != opts_.config.primary_of(m.view) - 1) return;
-  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   Slot& sl = slots_[m.seq];
   if (sl.has_pp && sl.pp_view >= m.view) return;
   // Verify the primary's signature and every client request signature.
@@ -166,9 +214,19 @@ void PbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
 void PbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
                                      sim::ActorContext& ctx) {
   Slot& sl = slots_[s];
+  Digest digest = block.digest();
+  // Anti-equivocation across restarts: a previous incarnation's persisted
+  // vote at this (or a later) view binds this one to the same digest.
+  if (auto wv = wal_votes_.find(s);
+      wv != wal_votes_.end() && wv->second.first >= v &&
+      !(wv->second.second == digest)) {
+    return;
+  }
+  // Write-ahead contract: the vote is durable before the prepare leaves.
+  runtime_.wal_record_vote(s, v, digest);
   sl.has_pp = true;
   sl.pp_view = v;
-  sl.block_digest = block.digest();
+  sl.block_digest = digest;
   sl.h = slot_hash(s, v, sl.block_digest);
   sl.block = std::move(block);
   ctx.charge(ctx.costs().hash_us(64));
@@ -185,7 +243,7 @@ void PbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
 
 void PbftReplica::handle_prepare(const PbftPrepareMsg& m, sim::ActorContext& ctx) {
   if (in_view_change_ || m.view != view_) return;
-  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   ctx.charge(ctx.costs().rsa_verify_us);  // the all-to-all quadratic cost
   Slot& sl = slots_[m.seq];
   if (sl.has_pp && !(m.h == sl.h)) return;
@@ -209,7 +267,7 @@ void PbftReplica::check_prepared(SeqNum s, sim::ActorContext& ctx) {
 
 void PbftReplica::handle_commit(const PbftCommitMsg& m, sim::ActorContext& ctx) {
   if (in_view_change_ || m.view != view_) return;
-  if (m.seq <= ls_ || m.seq > ls_ + opts_.config.win) return;
+  if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   ctx.charge(ctx.costs().rsa_verify_us);
   Slot& sl = slots_[m.seq];
   if (sl.has_pp && !(m.h == sl.h)) return;
@@ -227,60 +285,120 @@ void PbftReplica::check_committed(SeqNum s, sim::ActorContext& ctx) {
 
 void PbftReplica::try_execute(sim::ActorContext& ctx) {
   for (;;) {
-    SeqNum s = le_ + 1;
+    SeqNum s = le() + 1;
     auto it = slots_.find(s);
     if (it == slots_.end() || !it->second.committed || !it->second.block) return;
     Slot& sl = it->second;
-    for (const Request& req : sl.block->requests) {
-      CachedReply& cache = reply_cache_[req.client];
-      Bytes value;
-      if (req.timestamp <= cache.timestamp) {
-        value = cache.value;
-      } else {
-        value = service_->execute(as_span(req.op));
-        ctx.charge(service_->last_execute_cost_us(ctx.costs()));
-        cache.timestamp = req.timestamp;
-        cache.seq = s;
-        cache.value = value;
-        ++stats_.requests_executed;
-      }
+    // The runtime executes the block (dedup through the reply cache),
+    // persists it, and captures the checkpoint snapshot at interval
+    // multiples.
+    runtime::ExecutionRecord& rec =
+        runtime_.execute_block(s, sl.pp_view, *sl.block, ctx);
+    for (size_t l = 0; l < rec.block.requests.size(); ++l) {
+      const Request& req = rec.block.requests[l];
       ClientReplyMsg reply;
       reply.replica = opts_.id;
       reply.client = req.client;
       reply.timestamp = req.timestamp;
       reply.seq = s;
-      reply.value = std::move(value);
+      reply.value = rec.values[l];
       ctx.charge(ctx.costs().rsa_sign_us / 4);  // replies signed, amortized batch
       ctx.send(req.client, make_message(std::move(reply)));
     }
-    ctx.charge(ctx.costs().persist_us(sl.block->wire_size()));
-    if (opts_.ledger) {
-      opts_.ledger->append_block(
-          s, as_span(encode_message(Message(PrePrepareMsg{s, sl.pp_view, *sl.block}))));
-    }
-    le_ = s;
-    ++stats_.blocks_executed;
 
     // Quadratic PBFT checkpoint protocol (§V-F contrasts against this).
     if (s % opts_.config.checkpoint_interval() == 0) {
-      Digest d = service_->state_digest();
       ctx.charge(ctx.costs().rsa_sign_us);
-      broadcast(ctx, make_message(PbftCheckpointMsg{s, d, opts_.id}));
+      broadcast(ctx, make_message(
+                         PbftCheckpointMsg{s, rec.cert.state_root, opts_.id}));
     }
   }
 }
 
+/// A true execution gap: no pre-prepare for the next sequence while later
+/// slots exist. Those blocks were delivered while this replica was away and
+/// will never be re-sent — only a newer checkpoint can close the gap. (A
+/// merely *lagging* replica, whose next slot is present but not yet
+/// committed, needs no state transfer.)
+bool PbftReplica::execution_gap() const {
+  auto next = slots_.find(le() + 1);
+  return (next == slots_.end() || !next->second.has_pp) && !slots_.empty() &&
+         slots_.rbegin()->first > le() + 1;
+}
+
 void PbftReplica::handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContext& ctx) {
-  if (m.seq <= ls_) return;
+  if (m.seq <= ls()) return;
   ctx.charge(ctx.costs().rsa_verify_us);
   auto& votes = checkpoint_votes_[m.seq][m.state_digest];
   votes.insert(m.replica);
-  if (votes.size() >= opts_.config.exec_quorum() && m.seq <= le_) {  // f+1
-    ls_ = m.seq;
-    slots_.erase(slots_.begin(), slots_.lower_bound(ls_ + 1));
-    checkpoint_votes_.erase(checkpoint_votes_.begin(),
-                            checkpoint_votes_.upper_bound(ls_));
+  if (votes.size() < opts_.config.exec_quorum()) return;  // f+1
+  if (m.seq > le()) {
+    // A stable checkpoint exists beyond what we executed. If we truly slept
+    // through the missing blocks (restart, partition), catch up via state
+    // transfer; if we merely lag with the slots in hand, just execute.
+    if (execution_gap()) request_state_transfer(ctx);
+    return;
   }
+  // Advance through the runtime: promotes the snapshot captured when m.seq
+  // executed, persists the checkpoint to the WAL, GCs execution records.
+  if (const runtime::ExecutionRecord* rec = runtime_.record(m.seq)) {
+    runtime_.advance_stable(rec->cert, ctx);
+  }
+  slots_.erase(slots_.begin(), slots_.lower_bound(ls() + 1));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(ls()));
+}
+
+// ---------------------------------------------------------------------------
+// State transfer (checkpoint shipping; crash-fault trust model, see header)
+
+void PbftReplica::request_state_transfer(sim::ActorContext& ctx) {
+  if (st_inflight_) return;
+  st_inflight_ = true;
+  ++runtime_.stats().state_transfers;
+  // Ask a pseudo-random peer; retry rotates the choice.
+  ReplicaId peer = static_cast<ReplicaId>(1 + ctx.rng().below(opts_.config.n()));
+  if (peer == opts_.id) peer = (peer % opts_.config.n()) + 1;
+  StateTransferRequestMsg req;
+  req.requester = opts_.id;
+  req.have_seq = le();
+  ctx.send(peer - 1, make_message(std::move(req)));
+  ctx.set_timer(opts_.config.view_change_timeout_us,
+                timer_id(kStateTransferTimer, 0));
+}
+
+void PbftReplica::handle_state_transfer_request(const StateTransferRequestMsg& m,
+                                                sim::ActorContext& ctx) {
+  // Ship the consistent (certificate, snapshot) pair captured when the
+  // checkpoint executed. No pi signature here — the certificate's state root
+  // is what the receiver verifies the snapshot against.
+  const runtime::CheckpointManager& cp = runtime_.checkpoints();
+  if (!cp.has_shippable() || cp.snapshot_cert().seq <= m.have_seq) return;
+  StateTransferReplyMsg reply;
+  reply.seq = cp.snapshot_cert().seq;
+  reply.cert = cp.snapshot_cert();
+  reply.service_snapshot = cp.snapshot();
+  ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
+  ctx.send(m.requester - 1, make_message(std::move(reply)));
+}
+
+void PbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
+                                              sim::ActorContext& ctx) {
+  if (m.seq <= le()) {
+    st_inflight_ = false;
+    return;
+  }
+  if (m.cert.seq != m.seq) return;
+  // The runtime verifies the snapshot envelope against the certificate's
+  // state root, installs the service + reply cache, and records the
+  // checkpoint in the WAL.
+  if (!runtime_.adopt_checkpoint(m.cert, as_span(m.service_snapshot), ctx)) return;
+  slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(m.seq));
+  progress_marker_ = le();
+  st_inflight_ = false;
+  try_execute(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -297,7 +415,7 @@ void PbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
   PbftViewChangeMsg msg;
   msg.sender = opts_.id;
   msg.next_view = target;
-  msg.ls = ls_;
+  msg.ls = ls();
   for (const auto& [s, sl] : slots_) {
     if (!sl.prepared || !sl.block) continue;
     PbftPreparedCert cert;
@@ -354,9 +472,10 @@ void PbftReplica::enter_new_view(const PbftNewViewMsg& m, sim::ActorContext& ctx
   vc_attempts_ = 0;
   new_view_sent_ = false;
   vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(m.view));
+  runtime_.wal_record_view(m.view);
 
   // Re-propose the highest-view prepared certificate per slot; no-op gaps.
-  SeqNum max_ls = ls_;
+  SeqNum max_ls = ls();
   for (const auto& proof : m.proofs) max_ls = std::max(max_ls, proof.ls);
   std::map<SeqNum, const PbftPreparedCert*> adopted;
   SeqNum max_seq = max_ls;
@@ -369,14 +488,14 @@ void PbftReplica::enter_new_view(const PbftNewViewMsg& m, sim::ActorContext& ctx
     }
   }
   for (SeqNum s = max_ls + 1; s <= max_seq; ++s) {
-    if (s <= le_) continue;
+    if (s <= le()) continue;
     auto it = adopted.find(s);
     Block block = it != adopted.end() ? it->second->block : Block{};
     slots_[s] = Slot{};  // reset votes from the old view
     accept_pre_prepare(s, m.view, std::move(block), ctx);
   }
   next_seq_ = std::max(next_seq_, max_seq + 1);
-  progress_marker_ = le_;
+  progress_marker_ = le();
   if (is_primary()) {
     ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
     try_propose(ctx);

@@ -8,6 +8,15 @@
 // certificate signatures ride on the simulator's authenticated channels (the
 // baseline is evaluated for performance and crash faults, see DESIGN.md).
 //
+// The ordering engine sits on the same runtime::ReplicaRuntime as SBFT, so
+// the baseline gets the identical execution pipeline, reply cache,
+// checkpointing, WAL durability, crash recovery, and checkpoint-based state
+// transfer — every crash/restart/disk-wipe harness scenario runs on both
+// protocols through the same Cluster API. State-transfer certificates carry
+// no pi threshold signature here (PBFT has no threshold keys); the snapshot
+// is still verified against the certificate's state root, which is the
+// crash-fault trust model the baseline is evaluated under.
+//
 // n = 3f + 1 (set c = 0 in the ProtocolConfig).
 #pragma once
 
@@ -20,6 +29,8 @@
 #include "kv/service.h"
 #include "proto/config.h"
 #include "proto/message.h"
+#include "recovery/wal.h"
+#include "runtime/replica_runtime.h"
 #include "sim/network.h"
 #include "storage/ledger_storage.h"
 
@@ -28,13 +39,24 @@ namespace sbft::pbft {
 struct PbftOptions {
   ProtocolConfig config;  // c must be 0
   ReplicaId id = 1;
-  std::shared_ptr<storage::ILedgerStorage> ledger;
+  std::shared_ptr<storage::ILedgerStorage> ledger;  // optional persistence
+  std::shared_ptr<recovery::IReplicaWal> wal;       // optional consensus WAL
+  // Set when the replica is restarted into an already-running cluster: it
+  // probes state transfer on boot in case its local log fell behind the
+  // cluster's stable checkpoint (or the disk was lost entirely).
+  bool recovering = false;
 };
 
 struct PbftStats {
   uint64_t blocks_executed = 0;
   uint64_t requests_executed = 0;
   uint64_t view_changes = 0;
+  uint64_t state_transfers = 0;
+  // Durability / crash recovery (same semantics as core::ReplicaStats).
+  uint64_t recoveries = 0;
+  uint64_t blocks_replayed = 0;
+  uint64_t wal_bytes_written = 0;
+  uint64_t reply_cache_hits = 0;
 };
 
 class PbftReplica final : public sim::IActor {
@@ -47,9 +69,12 @@ class PbftReplica final : public sim::IActor {
 
   ReplicaId id() const { return opts_.id; }
   ViewNum view() const { return view_; }
-  SeqNum last_executed() const { return le_; }
-  const IService& service() const { return *service_; }
-  const PbftStats& stats() const { return stats_; }
+  SeqNum last_executed() const { return runtime_.last_executed(); }
+  SeqNum last_stable() const { return runtime_.last_stable(); }
+  const IService& service() const { return runtime_.service(); }
+  const runtime::ReplicaRuntime& runtime() const { return runtime_; }
+  /// Protocol stats merged with the runtime's protocol-agnostic stats.
+  PbftStats stats() const;
   std::optional<Digest> committed_digest_of(SeqNum s) const;
 
  private:
@@ -75,6 +100,10 @@ class PbftReplica final : public sim::IActor {
   void handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContext& ctx);
   void handle_view_change(const PbftViewChangeMsg& m, sim::ActorContext& ctx);
   void handle_new_view(NodeId from, const PbftNewViewMsg& m, sim::ActorContext& ctx);
+  void handle_state_transfer_request(const StateTransferRequestMsg& m,
+                                     sim::ActorContext& ctx);
+  void handle_state_transfer_reply(const StateTransferReplyMsg& m,
+                                   sim::ActorContext& ctx);
 
   bool is_primary() const { return opts_.config.primary_of(view_) == opts_.id; }
   void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
@@ -84,30 +113,26 @@ class PbftReplica final : public sim::IActor {
   void try_execute(sim::ActorContext& ctx);
   void start_view_change(ViewNum target, sim::ActorContext& ctx);
   void enter_new_view(const PbftNewViewMsg& m, sim::ActorContext& ctx);
+  void recover_from_storage();
+  void request_state_transfer(sim::ActorContext& ctx);
+  bool execution_gap() const;
   void broadcast(sim::ActorContext& ctx, MessagePtr msg);
   void arm_progress_timer(sim::ActorContext& ctx);
+  SeqNum le() const { return runtime_.last_executed(); }
+  SeqNum ls() const { return runtime_.last_stable(); }
 
   PbftOptions opts_;
-  std::unique_ptr<IService> service_;
+  runtime::ReplicaRuntime runtime_;
 
   ViewNum view_ = 0;
   bool in_view_change_ = false;
   ViewNum vc_target_ = 0;
   uint32_t vc_attempts_ = 0;
-  SeqNum ls_ = 0;
-  SeqNum le_ = 0;
   SeqNum next_seq_ = 1;
 
   std::map<SeqNum, Slot> slots_;
   std::deque<Request> pending_;
   std::set<std::pair<ClientId, uint64_t>> pending_keys_;
-
-  struct CachedReply {
-    uint64_t timestamp = 0;
-    SeqNum seq = 0;
-    Bytes value;
-  };
-  std::map<ClientId, CachedReply> reply_cache_;
 
   // Checkpoint votes: seq -> digest -> voters.
   std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> checkpoint_votes_;
@@ -118,8 +143,15 @@ class PbftReplica final : public sim::IActor {
   SeqNum progress_marker_ = 0;
   bool progress_timer_armed_ = false;
   bool forwarded_waiting_ = false;
+  bool st_inflight_ = false;
 
-  PbftStats stats_;
+  // Votes persisted by a previous incarnation for slots still in flight:
+  // seq -> (highest voted view, block digest). A recovered replica refuses to
+  // accept a conflicting pre-prepare at or below that view.
+  std::map<SeqNum, std::pair<ViewNum, Digest>> wal_votes_;
+  uint64_t recovered_replay_bytes_ = 0;  // charged as boot-time replay CPU
+
+  PbftStats stats_;  // protocol-level counters; runtime fields merged in stats()
 };
 
 }  // namespace sbft::pbft

@@ -5,6 +5,7 @@
 #include "crypto/sha256.h"
 #include "merkle/merkle_tree.h"
 #include "proto/message.h"
+#include "runtime/snapshot.h"
 
 namespace sbft::recovery {
 
@@ -18,11 +19,15 @@ std::optional<RecoveredState> RecoveryManager::recover(
   out.view = wal_state.view;
   out.service = service_factory();
 
-  // 1. Restore the checkpoint snapshot, verified against the certificate.
+  // 1. Restore the checkpoint snapshot envelope: the service part verified
+  // against the certificate, plus the persisted per-client reply cache.
   if (wal_state.last_stable > 0) {
-    if (!out.service->restore(as_span(wal_state.snapshot))) return std::nullopt;
+    auto decoded = runtime::decode_checkpoint_snapshot(as_span(wal_state.snapshot));
+    if (!decoded) return std::nullopt;  // corrupt envelope (e.g. cache section)
+    if (!out.service->restore(as_span(decoded->service_state))) return std::nullopt;
     if (!(out.service->state_digest() == wal_state.checkpoint.state_root))
       return std::nullopt;  // snapshot does not match the certified root
+    out.reply_cache = std::move(decoded->replies);
     out.last_stable = wal_state.last_stable;
     out.checkpoint = wal_state.checkpoint;
     out.snapshot = wal_state.snapshot;
@@ -36,7 +41,6 @@ std::optional<RecoveredState> RecoveryManager::recover(
   // persisted at execution time, so the ledger extends exactly to the
   // pre-crash last-executed sequence (modulo a torn tail, which load_index
   // already truncated away).
-  std::map<ClientId, std::pair<uint64_t, Bytes>> reply_cache;  // ts, value
   for (SeqNum s = out.last_executed + 1; ledger_ && s <= ledger_last; ++s) {
     auto encoded = ledger_->read_block(s);
     if (!encoded) break;  // gap: everything beyond is unusable
@@ -48,14 +52,17 @@ std::optional<RecoveredState> RecoveryManager::recover(
     rb.seq = s;
     rb.view = pp.view;
     rb.block = pp.block;
-    for (const Request& req : rb.block.requests) {
-      auto& cache = reply_cache[req.client];
+    for (size_t l = 0; l < rb.block.requests.size(); ++l) {
+      const Request& req = rb.block.requests[l];
       Bytes value;
-      if (cache.first != 0 && req.timestamp <= cache.first) {
-        value = cache.second;  // duplicate within the replayed suffix
+      if (const runtime::CachedReply* cached = out.reply_cache.find(req.client);
+          cached != nullptr && req.timestamp <= cached->timestamp) {
+        // Duplicate of a request already executed — within the suffix or, via
+        // the restored cache, before the checkpoint. Must not execute twice.
+        value = cached->value;
       } else {
         value = out.service->execute(as_span(req.op));
-        cache = {req.timestamp, value};
+        out.reply_cache.store(req.client, req.timestamp, s, l, value);
       }
       rb.leaves.push_back(
           exec_leaf(req.client, req.timestamp, crypto::sha256(as_span(value))));
@@ -72,7 +79,8 @@ std::optional<RecoveredState> RecoveryManager::recover(
     out.replayed.push_back(std::move(rb));
     if (checkpoint_interval_ > 0 && s % checkpoint_interval_ == 0) {
       out.snapshot_seq = s;
-      out.snapshot_at = out.service->snapshot();
+      out.snapshot_at = runtime::encode_checkpoint_snapshot(
+          as_span(out.service->snapshot()), out.reply_cache);
     }
   }
 

@@ -1,15 +1,20 @@
 // Crash recovery (§VIII): rebuilds a replica's consensus and service state
 // from its surviving storage — the WAL (view, stable checkpoint certificate +
-// snapshot, in-flight votes) and the block ledger (committed decision blocks).
+// snapshot envelope, in-flight votes) and the block ledger (committed
+// decision blocks).
 //
 // Recovery sequence:
-//   1. load the WAL; restore the service from the checkpoint snapshot and
-//      verify it against the certificate's state root (a corrupt snapshot
-//      aborts recovery — the replica boots fresh and relies on the protocol's
-//      state-transfer path instead),
+//   1. load the WAL; decode the checkpoint snapshot envelope, restore the
+//      service from its state part and verify it against the certificate's
+//      state root (a corrupt snapshot aborts recovery — the replica boots
+//      fresh and relies on the protocol's state-transfer path instead), and
+//      restore the persisted per-client reply cache,
 //   2. replay the ledger's contiguous blocks past the checkpoint, re-deriving
-//      the chained execution digests d_s, the per-client reply cache, and the
-//      execution records,
+//      the chained execution digests d_s and the execution records. Replay
+//      consults the restored reply cache, so duplicates of *pre-checkpoint*
+//      requests are suppressed exactly as the original execution suppressed
+//      them — re-executing a non-idempotent operation (an EVM transfer) would
+//      diverge from the certified state roots,
 //   3. hand back the recovered view and votes so the replica re-enters the
 //      protocol without equivocating on anything it signed pre-crash.
 //
@@ -26,6 +31,7 @@
 
 #include "kv/service.h"
 #include "recovery/wal.h"
+#include "runtime/reply_cache.h"
 #include "storage/ledger_storage.h"
 
 namespace sbft::recovery {
@@ -46,13 +52,17 @@ struct RecoveredState {
   SeqNum last_stable = 0;
   SeqNum last_executed = 0;
   ExecCertificate checkpoint;  // valid when last_stable > 0
-  Bytes snapshot;
+  Bytes snapshot;              // checkpoint snapshot envelope as persisted
   std::map<SeqNum, Digest> exec_digests;  // d_s chain from checkpoint (or genesis)
   std::vector<ReplayedBlock> replayed;
   std::vector<WalVote> votes;  // in-flight votes above last_executed
   std::unique_ptr<IService> service;
+  // Reply cache restored from the checkpoint snapshot and advanced through
+  // the replayed suffix: serves retries of pre-crash requests and guards
+  // against re-executing duplicates.
+  runtime::ReplyCache reply_cache;
   uint64_t replayed_bytes = 0;  // encoded bytes re-read from the ledger
-  // Service snapshot at the highest checkpoint-interval multiple replayed
+  // Snapshot envelope at the highest checkpoint-interval multiple replayed
   // (0 = none): lets the replica re-arm its pending checkpoint snapshot so a
   // certificate arriving post-recovery pairs with consistent state.
   SeqNum snapshot_seq = 0;

@@ -109,7 +109,8 @@ void MemoryWal::record_checkpoint(const ExecCertificate& cert, ByteSpan snapshot
 // ---------------------------------------------------------------------------
 // FileWal
 
-FileWal::FileWal(const std::string& path) : path_(path) {
+FileWal::FileWal(const std::string& path, WalCompaction compaction)
+    : path_(path), compaction_(compaction) {
   file_ = std::fopen(path.c_str(), "ab+");
   if (!file_) throw std::runtime_error("FileWal: cannot open " + path);
   // Truncate a torn tail record (crash mid-append) so new appends land on a
@@ -117,16 +118,19 @@ FileWal::FileWal(const std::string& path) : path_(path) {
   // itself is short or corrupt restarts as a fresh log — the magic must be
   // rewritten, or every future append would sit after a headerless prefix,
   // invisible to load() and destroyed on the next open.
-  long valid = valid_prefix_end();
+  long valid = scan(&state_);
   std::fseek(file_, 0, SEEK_END);
   if (valid < std::ftell(file_)) {
     SBFT_CHECK(::ftruncate(fileno(file_), valid) == 0);
     std::fseek(file_, 0, SEEK_END);
   }
   if (valid == 0) {
+    state_ = WalState{};
     SBFT_CHECK(std::fwrite(kMagic, 1, sizeof(kMagic), file_) == sizeof(kMagic));
     std::fflush(file_);
+    valid = sizeof(kMagic);
   }
+  file_bytes_ = static_cast<uint64_t>(valid);
 }
 
 FileWal::~FileWal() {
@@ -144,18 +148,41 @@ void FileWal::append_record(uint8_t type, ByteSpan payload) {
   // on it (e.g. emits the sign-share the vote describes).
   std::fflush(file_);
   bytes_written_ += w.size();
+  file_bytes_ += w.size();
 }
 
-void FileWal::record_view(ViewNum view) { append_record(kView, as_span(encode_view(view))); }
+void FileWal::record_view(ViewNum view) {
+  Bytes payload = encode_view(view);
+  append_record(kView, as_span(payload));
+  apply_record(state_, kView, as_span(payload));
+}
 
 void FileWal::record_vote(SeqNum seq, ViewNum view, const Digest& block_digest) {
-  append_record(kVote, as_span(encode_vote(seq, view, block_digest)));
+  Bytes payload = encode_vote(seq, view, block_digest);
+  append_record(kVote, as_span(payload));
+  apply_record(state_, kVote, as_span(payload));
 }
 
 void FileWal::record_checkpoint(const ExecCertificate& cert, ByteSpan snapshot) {
-  WalState state = load();
-  apply_record(state, kCheckpoint, as_span(encode_checkpoint(cert, snapshot)));
-  rewrite(state);
+  Bytes payload = encode_checkpoint(cert, snapshot);
+  apply_record(state_, kCheckpoint, as_span(payload));
+  if (compaction_ == WalCompaction::kFullRewrite) {
+    rewrite(state_);
+    return;
+  }
+  // Incremental: append the one record — loaders treat it as superseding
+  // earlier checkpoints and votes at or below its sequence — and rewrite
+  // only when dead records dominate the live state. Frame sizes are derived
+  // from the encoders so the threshold stays in sync with the format.
+  append_record(kCheckpoint, payload);
+  static const uint64_t kFrameHeader = 4 + 1;  // [u32 len][u8 type]
+  static const uint64_t kViewFrame = kFrameHeader + encode_view(0).size();
+  static const uint64_t kVoteFrame =
+      kFrameHeader + encode_vote(0, 0, Digest{}).size();
+  uint64_t live = sizeof(kMagic) + (state_.view > 0 ? kViewFrame : 0) +
+                  kFrameHeader + payload.size() +
+                  state_.votes.size() * kVoteFrame;
+  if (file_bytes_ > 2 * live + 4096) rewrite(state_);
 }
 
 void FileWal::rewrite(const WalState& state) {
@@ -186,17 +213,10 @@ void FileWal::rewrite(const WalState& state) {
   file_ = std::fopen(path_.c_str(), "ab+");
   if (!file_) throw std::runtime_error("FileWal: cannot reopen " + path_);
   bytes_written_ += w.size();
+  file_bytes_ = w.size();
 }
 
-WalState FileWal::load() const {
-  WalState state;
-  scan(&state);
-  return state;
-}
-
-long FileWal::valid_prefix_end() const {
-  return scan(nullptr);
-}
+WalState FileWal::load() const { return state_; }
 
 long FileWal::scan(WalState* state) const {
   std::fflush(file_);

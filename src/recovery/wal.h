@@ -10,9 +10,13 @@
 //     into equivocating about a slot it voted on pre-crash.
 //
 // On checkpoint the log compacts: votes at or below the stable sequence are
-// dropped and superseded checkpoints/views are rewritten away, bounding the
-// log to one window of votes plus one snapshot (RocksDB-style compaction is a
-// ROADMAP follow-on).
+// dropped and superseded checkpoints/views supersede in-place on load. The
+// default FileWal policy is *incremental* (RocksDB-style): a checkpoint
+// appends one record, and the file is only rewritten from scratch when the
+// dead-record ratio crosses a threshold — instead of rewriting the whole log
+// (snapshot + every surviving vote) at every checkpoint. The old behaviour is
+// kept as WalCompaction::kFullRewrite for comparison (recovery_bench asserts
+// the incremental policy writes fewer bytes).
 //
 // Two implementations: MemoryWal (simulation — the harness keeps the handle
 // alive across a simulated restart, standing in for the surviving disk) and
@@ -82,15 +86,28 @@ class MemoryWal final : public IReplicaWal {
   uint64_t bytes_written_ = 0;
 };
 
+/// Compaction policy for FileWal::record_checkpoint.
+enum class WalCompaction {
+  /// Append one checkpoint record; rewrite the file only when dead records
+  /// (superseded checkpoints/views, compacted votes) dominate the live state.
+  kIncremental,
+  /// Rewrite the whole file at every checkpoint (the pre-incremental
+  /// behaviour; kept for comparison benchmarks).
+  kFullRewrite,
+};
+
 /// Append-only file of framed records:
 ///   [8-byte magic "SBFTWAL" + version][records...]
 ///   record := [u32 len][u8 type][payload (len-1 bytes)]
 /// A torn tail record (partial write at crash) is ignored on load and
-/// truncated away by the next compaction. record_checkpoint rewrites the file
-/// (write temp, rename) so the log never outgrows one checkpoint + window.
+/// truncated away by the next compaction. Later records supersede earlier
+/// ones on load (a checkpoint drops votes at or below its sequence), so
+/// appending is always safe; the incremental policy bounds the file to a
+/// small multiple of the live state.
 class FileWal final : public IReplicaWal {
  public:
-  explicit FileWal(const std::string& path);
+  explicit FileWal(const std::string& path,
+                   WalCompaction compaction = WalCompaction::kIncremental);
   ~FileWal() override;
 
   FileWal(const FileWal&) = delete;
@@ -103,17 +120,25 @@ class FileWal final : public IReplicaWal {
   uint64_t bytes_written() const override { return bytes_written_; }
   void sync() override;
 
+  /// Current size of the on-disk log (live + not-yet-compacted records).
+  uint64_t file_bytes() const { return file_bytes_; }
+
  private:
   void append_record(uint8_t type, ByteSpan payload);
   void rewrite(const WalState& state);
   /// Parses the record stream; fills `state` when non-null. Returns the file
   /// offset just past the last complete, well-formed record.
   long scan(WalState* state) const;
-  long valid_prefix_end() const;
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  WalCompaction compaction_;
+  // In-memory mirror of the logical state (what scan() of the file yields);
+  // keeps load() O(1) and lets the incremental policy size the live state
+  // without re-reading the file.
+  WalState state_;
   uint64_t bytes_written_ = 0;
+  uint64_t file_bytes_ = 0;
 };
 
 }  // namespace sbft::recovery

@@ -1,0 +1,218 @@
+#include "runtime/replica_runtime.h"
+
+#include "common/check.h"
+#include "crypto/sha256.h"
+#include "merkle/merkle_tree.h"
+#include "recovery/recovery_manager.h"
+#include "runtime/snapshot.h"
+
+namespace sbft::runtime {
+
+ReplicaRuntime::ReplicaRuntime(RuntimeOptions options,
+                               std::unique_ptr<IService> service)
+    : opts_(std::move(options)),
+      service_(std::move(service)),
+      checkpoints_(opts_.checkpoint_interval) {
+  exec_digests_[0] = genesis_exec_digest();
+}
+
+std::optional<RecoveredProtocolState> ReplicaRuntime::recover() {
+  if (!opts_.ledger && !opts_.wal) return std::nullopt;
+  recovery::RecoveryManager manager(opts_.ledger, opts_.wal,
+                                    opts_.checkpoint_interval);
+  auto recovered = manager.recover([this] { return service_->clone_empty(); });
+  if (!recovered) return std::nullopt;  // fresh storage, or snapshot corrupt
+
+  service_ = std::move(recovered->service);
+  le_ = recovered->last_executed;
+  replies_ = std::move(recovered->reply_cache);
+  exec_digests_ = std::move(recovered->exec_digests);
+  exec_digests_.emplace(0, genesis_exec_digest());
+  if (recovered->last_stable > 0) {
+    checkpoints_.restore(recovered->checkpoint, std::move(recovered->snapshot),
+                         recovered->snapshot_seq,
+                         std::move(recovered->snapshot_at));
+  } else if (recovered->snapshot_seq > 0) {
+    checkpoints_.capture_pending(recovered->snapshot_seq,
+                                 std::move(recovered->snapshot_at));
+  }
+
+  // Reinstall execution records for the replayed suffix so the replica serves
+  // retries and block fetches exactly as its previous incarnation would have.
+  for (recovery::ReplayedBlock& rb : recovered->replayed) {
+    ExecutionRecord rec;
+    rec.cert = rb.cert;
+    rec.pp_view = rb.view;
+    rec.block = std::move(rb.block);
+    rec.values = std::move(rb.values);
+    rec.leaves = std::move(rb.leaves);
+    records_.emplace(rb.seq, std::move(rec));
+  }
+
+  stats_.recoveries = 1;
+  stats_.blocks_replayed = recovered->replayed.size();
+  if (opts_.wal) stats_.wal_bytes_written = opts_.wal->bytes_written();
+
+  RecoveredProtocolState out;
+  out.view = recovered->view;
+  out.votes = std::move(recovered->votes);
+  out.replayed_bytes = recovered->replayed_bytes;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Execution pipeline
+
+ExecutionRecord& ReplicaRuntime::execute_block(SeqNum s, ViewNum pp_view,
+                                               const Block& block,
+                                               sim::ActorContext& ctx) {
+  SBFT_CHECK(s == le_ + 1);
+  ExecutionRecord rec;
+  rec.block = block;
+  rec.pp_view = pp_view;
+  for (size_t l = 0; l < rec.block.requests.size(); ++l) {
+    const Request& req = rec.block.requests[l];
+    Bytes value;
+    if (const CachedReply* cached = replies_.find(req.client);
+        cached != nullptr && req.timestamp <= cached->timestamp) {
+      value = cached->value;  // duplicate: executed exactly once
+      ++stats_.reply_cache_hits;
+    } else {
+      value = service_->execute(as_span(req.op));
+      ctx.charge(service_->last_execute_cost_us(ctx.costs()));
+      replies_.store(req.client, req.timestamp, s, l, value);
+      ++stats_.requests_executed;
+    }
+    rec.leaves.push_back(
+        exec_leaf(req.client, req.timestamp, crypto::sha256(as_span(value))));
+    rec.values.push_back(std::move(value));
+  }
+
+  ExecCertificate cert;
+  cert.seq = s;
+  cert.state_root = service_->state_digest();
+  cert.ops_root = rec.leaves.empty() ? empty_ops_root()
+                                     : merkle::BlockMerkleTree(rec.leaves).root();
+  cert.prev_exec_digest = exec_digests_[s - 1];
+  exec_digests_[s] = cert.exec_digest();
+  rec.cert = cert;
+
+  // Persist the decision block (§IX: transactions persist to disk).
+  ctx.charge(ctx.costs().persist_us(rec.block.wire_size()));
+  if (opts_.ledger) {
+    opts_.ledger->append_block(
+        s, as_span(encode_message(Message(PrePrepareMsg{s, pp_view, rec.block}))));
+  }
+  le_ = s;
+  ++stats_.blocks_executed;
+
+  // Capture the checkpoint snapshot while the service state still equals the
+  // state the certificate describes; the reply cache rides along so recovery
+  // suppresses pre-checkpoint duplicates (charged as a bulk hash).
+  if (opts_.checkpoint_interval > 0 && s % opts_.checkpoint_interval == 0) {
+    Bytes envelope = snapshot_envelope();
+    ctx.charge(ctx.costs().hash_us(envelope.size()));
+    checkpoints_.capture_pending(s, std::move(envelope));
+  }
+
+  rec.executed_at = ctx.now();
+  auto [it, inserted] = records_.emplace(s, std::move(rec));
+  SBFT_CHECK(inserted);
+  return it->second;
+}
+
+std::optional<Digest> ReplicaRuntime::exec_digest_of(SeqNum s) const {
+  auto it = exec_digests_.find(s);
+  if (it == exec_digests_.end()) return std::nullopt;
+  return it->second;
+}
+
+ExecutionRecord* ReplicaRuntime::record(SeqNum s) {
+  auto it = records_.find(s);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const ExecutionRecord* ReplicaRuntime::record(SeqNum s) const {
+  auto it = records_.find(s);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const CachedReply* ReplicaRuntime::cached_reply(ClientId client,
+                                                uint64_t timestamp) {
+  const CachedReply* cached = replies_.find(client);
+  if (cached == nullptr || timestamp > cached->timestamp) return nullptr;
+  ++stats_.reply_cache_hits;
+  return cached;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+
+bool ReplicaRuntime::advance_stable(ExecCertificate cert, sim::ActorContext& ctx) {
+  if (opts_.checkpoint_interval == 0) return false;
+  if (cert.seq <= checkpoints_.last_stable() ||
+      cert.seq % opts_.checkpoint_interval != 0)
+    return false;
+  bool recorded = checkpoints_.make_stable(cert, le_, [&] {
+    Bytes envelope = snapshot_envelope();
+    ctx.charge(ctx.costs().hash_us(envelope.size()));
+    return envelope;
+  });
+  if (recorded) wal_record_checkpoint();
+  // Keep the checkpointed record itself (serves acks/fetches for stragglers).
+  records_.erase(records_.begin(),
+                 records_.lower_bound(checkpoints_.last_stable()));
+  return true;
+}
+
+bool ReplicaRuntime::adopt_checkpoint(const ExecCertificate& cert,
+                                      ByteSpan snapshot_envelope_bytes,
+                                      sim::ActorContext& ctx) {
+  if (cert.seq <= le_) return false;
+  auto fresh = service_->clone_empty();
+  auto decoded = decode_checkpoint_snapshot(snapshot_envelope_bytes);
+  ctx.charge(ctx.costs().hash_us(snapshot_envelope_bytes.size()));
+  if (!decoded) return false;  // corrupt envelope
+  if (!fresh->restore(as_span(decoded->service_state))) return false;
+  if (!(fresh->state_digest() == cert.state_root)) return false;  // forged
+
+  service_ = std::move(fresh);
+  le_ = cert.seq;
+  // The snapshot's cache can only be newer than ours, but a legacy envelope
+  // carries none — keep our own entries where they win.
+  replies_.absorb(std::move(decoded->replies));
+  exec_digests_[cert.seq] = cert.exec_digest();
+  checkpoints_.adopt(cert, to_bytes(snapshot_envelope_bytes));
+  wal_record_checkpoint();
+  records_.erase(records_.begin(), records_.lower_bound(cert.seq));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+
+void ReplicaRuntime::wal_record_view(ViewNum v) {
+  if (!opts_.wal) return;
+  opts_.wal->record_view(v);
+  stats_.wal_bytes_written = opts_.wal->bytes_written();
+}
+
+void ReplicaRuntime::wal_record_vote(SeqNum s, ViewNum v,
+                                     const Digest& block_digest) {
+  if (!opts_.wal) return;
+  opts_.wal->record_vote(s, v, block_digest);
+  stats_.wal_bytes_written = opts_.wal->bytes_written();
+}
+
+void ReplicaRuntime::wal_record_checkpoint() {
+  if (!opts_.wal || !checkpoints_.has_shippable()) return;
+  opts_.wal->record_checkpoint(checkpoints_.snapshot_cert(),
+                               as_span(checkpoints_.snapshot()));
+  stats_.wal_bytes_written = opts_.wal->bytes_written();
+}
+
+Bytes ReplicaRuntime::snapshot_envelope() const {
+  return encode_checkpoint_snapshot(as_span(service_->snapshot()), replies_);
+}
+
+}  // namespace sbft::runtime

@@ -1,0 +1,173 @@
+// Protocol-agnostic replica runtime.
+//
+// Both ordering engines — SBFT (src/core/replica.h) and the scale-optimized
+// PBFT baseline (src/pbft/pbft_replica.h) — decide *which* block commits at
+// each sequence number; everything that happens after that decision is
+// identical and lives here:
+//   * the execution pipeline: in-order execution of committed blocks through
+//     the generic service, the chained execution digests d_s, and the
+//     execution records (values, Merkle leaves, certificates) that back
+//     client acks and block fetches,
+//   * the per-client ReplyCache, serialized into checkpoint snapshots so a
+//     recovered replica answers duplicates of pre-checkpoint requests from
+//     cache instead of re-executing them,
+//   * checkpointing through the CheckpointManager (snapshot capture at
+//     checkpoint-execution time, stable-certificate tracking, record GC),
+//   * durability: ledger persistence of decision blocks, the WAL hooks
+//     (views, votes, checkpoints), and boot-time recovery through the
+//     RecoveryManager (§VIII).
+//
+// The runtime never sends messages and holds no view/quorum state — that is
+// the ordering engine's job. This split is what makes every crash/restart/
+// disk-wipe scenario in the harness write-once-run-on-both.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kv/service.h"
+#include "proto/message.h"
+#include "recovery/wal.h"
+#include "runtime/checkpoint_manager.h"
+#include "runtime/reply_cache.h"
+#include "sim/network.h"
+#include "storage/ledger_storage.h"
+
+namespace sbft::runtime {
+
+struct RuntimeOptions {
+  uint64_t checkpoint_interval = 0;  // 0: checkpoints disabled
+  std::shared_ptr<storage::ILedgerStorage> ledger;  // optional persistence
+  std::shared_ptr<recovery::IReplicaWal> wal;       // optional consensus WAL
+};
+
+/// Stats common to every protocol; the ordering engines merge these into
+/// their protocol-specific stats structs via merge_into.
+struct RuntimeStats {
+  uint64_t blocks_executed = 0;
+  uint64_t requests_executed = 0;
+  uint64_t reply_cache_hits = 0;  // duplicates served or suppressed
+  uint64_t state_transfers = 0;   // requests issued by the owning replica
+  uint64_t recoveries = 0;        // 1 when this incarnation rebuilt from storage
+  uint64_t blocks_replayed = 0;   // ledger blocks re-executed during recovery
+  uint64_t wal_bytes_written = 0; // cumulative WAL appends (handle lifetime)
+
+  /// Copies every runtime-owned counter into a protocol stats struct (which
+  /// must declare fields of the same names) — one place to extend when a
+  /// counter is added, instead of one copy-loop per ordering engine.
+  template <typename ProtocolStats>
+  void merge_into(ProtocolStats& out) const {
+    out.blocks_executed = blocks_executed;
+    out.requests_executed = requests_executed;
+    out.reply_cache_hits = reply_cache_hits;
+    out.state_transfers = state_transfers;
+    out.recoveries = recoveries;
+    out.blocks_replayed = blocks_replayed;
+    out.wal_bytes_written = wal_bytes_written;
+  }
+};
+
+/// Everything the runtime retains about an executed sequence.
+struct ExecutionRecord {
+  ExecCertificate cert;  // pi_sig filled in by the E-collector (SBFT only)
+  Block block;
+  ViewNum pp_view = 0;
+  std::vector<Bytes> values;
+  std::vector<Digest> leaves;
+  sim::SimTime executed_at = 0;
+};
+
+/// Protocol-level state handed back from recovery; the generic state (service,
+/// execution records, reply cache, checkpoints) is installed directly.
+struct RecoveredProtocolState {
+  ViewNum view = 0;
+  std::vector<recovery::WalVote> votes;  // in-flight votes (anti-equivocation)
+  uint64_t replayed_bytes = 0;           // charge as boot-time replay I/O
+
+  /// Folds the persisted in-flight votes into the replica's anti-equivocation
+  /// map (seq -> highest voted view + digest) and returns the first sequence
+  /// a restarted primary may propose at: past everything executed *and*
+  /// everything it pre-prepared before the crash (re-proposing a different
+  /// block at a voted sequence would be self-equivocation).
+  SeqNum install_votes(std::map<SeqNum, std::pair<ViewNum, Digest>>& wal_votes,
+                       SeqNum next_seq) const {
+    for (const recovery::WalVote& v : votes) {
+      auto& entry = wal_votes[v.seq];
+      if (v.view >= entry.first) entry = {v.view, v.block_digest};
+    }
+    if (!wal_votes.empty()) {
+      next_seq = std::max(next_seq, wal_votes.rbegin()->first + 1);
+    }
+    return next_seq;
+  }
+};
+
+class ReplicaRuntime {
+ public:
+  ReplicaRuntime(RuntimeOptions options, std::unique_ptr<IService> service);
+
+  /// Rebuilds state from the attached storage (no-op when fresh or absent).
+  /// Call once, before the owning replica starts.
+  std::optional<RecoveredProtocolState> recover();
+
+  // --- execution -------------------------------------------------------------
+  /// Executes the committed block at s == last_executed() + 1: dedups against
+  /// the reply cache, charges service costs, persists the decision block,
+  /// extends the d_s chain, and captures the checkpoint snapshot when s is an
+  /// interval multiple. Returns the retained record.
+  ExecutionRecord& execute_block(SeqNum s, ViewNum pp_view, const Block& block,
+                                 sim::ActorContext& ctx);
+  SeqNum last_executed() const { return le_; }
+  std::optional<Digest> exec_digest_of(SeqNum s) const;
+  ExecutionRecord* record(SeqNum s);
+  const ExecutionRecord* record(SeqNum s) const;
+
+  // --- reply cache -----------------------------------------------------------
+  const ReplyCache& replies() const { return replies_; }
+  /// Cached reply when `timestamp` is a duplicate (counts a cache hit);
+  /// nullptr when the request is new.
+  const CachedReply* cached_reply(ClientId client, uint64_t timestamp);
+
+  // --- checkpoints -----------------------------------------------------------
+  CheckpointManager& checkpoints() { return checkpoints_; }
+  const CheckpointManager& checkpoints() const { return checkpoints_; }
+  SeqNum last_stable() const { return checkpoints_.last_stable(); }
+  /// `cert` is the execution certificate of a checkpoint-interval sequence
+  /// that the protocol certified stable (pi quorum for SBFT, checkpoint-vote
+  /// quorum for PBFT). Advances the stable state, persists the checkpoint to
+  /// the WAL, and garbage-collects execution records below it.
+  bool advance_stable(ExecCertificate cert, sim::ActorContext& ctx);
+  /// Installs a checkpoint received via state transfer after verifying the
+  /// snapshot envelope's service part against cert.state_root. The protocol
+  /// layer performs any signature verification *before* calling this.
+  bool adopt_checkpoint(const ExecCertificate& cert, ByteSpan snapshot_envelope,
+                        sim::ActorContext& ctx);
+
+  // --- WAL -------------------------------------------------------------------
+  void wal_record_view(ViewNum v);
+  void wal_record_vote(SeqNum s, ViewNum v, const Digest& block_digest);
+
+  IService& service() { return *service_; }
+  const IService& service() const { return *service_; }
+  RuntimeStats& stats() { return stats_; }
+  const RuntimeStats& stats() const { return stats_; }
+
+ private:
+  Bytes snapshot_envelope() const;
+  void wal_record_checkpoint();
+
+  RuntimeOptions opts_;
+  std::unique_ptr<IService> service_;
+  ReplyCache replies_;
+  CheckpointManager checkpoints_;
+
+  SeqNum le_ = 0;  // last executed sequence
+  std::map<SeqNum, ExecutionRecord> records_;
+  std::map<SeqNum, Digest> exec_digests_;  // d_s chain (kept across GC)
+
+  RuntimeStats stats_;
+};
+
+}  // namespace sbft::runtime

@@ -1,0 +1,63 @@
+#include "runtime/reply_cache.h"
+
+#include "common/serde.h"
+
+namespace sbft::runtime {
+
+const CachedReply* ReplyCache::find(ClientId client) const {
+  auto it = entries_.find(client);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ReplyCache::is_duplicate(ClientId client, uint64_t timestamp) const {
+  const CachedReply* cached = find(client);
+  return cached != nullptr && timestamp <= cached->timestamp;
+}
+
+void ReplyCache::store(ClientId client, uint64_t timestamp, SeqNum seq,
+                       uint64_t index, Bytes value) {
+  CachedReply& entry = entries_[client];
+  if (timestamp < entry.timestamp) return;  // never regress the watermark
+  entry.timestamp = timestamp;
+  entry.seq = seq;
+  entry.index = index;
+  entry.value = std::move(value);
+}
+
+void ReplyCache::absorb(ReplyCache&& other) {
+  for (auto& [client, entry] : other.entries_) {
+    store(client, entry.timestamp, entry.seq, entry.index, std::move(entry.value));
+  }
+}
+
+Bytes ReplyCache::encode() const {
+  Writer w;
+  w.u32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [client, entry] : entries_) {
+    w.u64(client);
+    w.u64(entry.timestamp);
+    w.u64(entry.seq);
+    w.u64(entry.index);
+    w.bytes(as_span(entry.value));
+  }
+  return std::move(w).take();
+}
+
+std::optional<ReplyCache> ReplyCache::decode(ByteSpan data) {
+  Reader r(data);
+  ReplyCache cache;
+  uint32_t count = r.u32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    ClientId client = r.u64();
+    CachedReply entry;
+    entry.timestamp = r.u64();
+    entry.seq = r.u64();
+    entry.index = r.u64();
+    entry.value = r.bytes();
+    cache.entries_[client] = std::move(entry);
+  }
+  if (!r.at_end()) return std::nullopt;
+  return cache;
+}
+
+}  // namespace sbft::runtime

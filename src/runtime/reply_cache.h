@@ -1,0 +1,56 @@
+// Per-client reply cache (§V-A dedup / retry), shared by every ordering
+// protocol through the ReplicaRuntime.
+//
+// Clients sign strictly monotone timestamps, so one entry per client — the
+// reply to its highest executed timestamp — suffices to (a) serve retries of
+// the latest request and (b) refuse to re-execute anything at or below it.
+// The cache is serialized into checkpoint snapshots: a replica recovering
+// from its WAL (or adopting a checkpoint via state transfer) suppresses
+// duplicates of *pre-checkpoint* requests instead of re-executing them,
+// which is a correctness requirement for non-idempotent services (an EVM
+// transfer applied twice diverges from the certified state root).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "proto/types.h"
+
+namespace sbft::runtime {
+
+struct CachedReply {
+  uint64_t timestamp = 0;
+  SeqNum seq = 0;      // sequence the reply was produced at
+  uint64_t index = 0;  // position within that decision block
+  Bytes value;
+};
+
+class ReplyCache {
+ public:
+  /// Latest cached reply for the client (nullptr if none).
+  const CachedReply* find(ClientId client) const;
+  /// True when `timestamp` is at or below the client's executed watermark —
+  /// i.e. the request must not execute again.
+  bool is_duplicate(ClientId client, uint64_t timestamp) const;
+  /// Records the reply for the client's newest executed request.
+  void store(ClientId client, uint64_t timestamp, SeqNum seq, uint64_t index,
+             Bytes value);
+  /// Merges `other` in, keeping the newest entry per client (used when a
+  /// state-transfer snapshot carries a cache that may lag our own).
+  void absorb(ReplyCache&& other);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// Canonical encoding (embedded in checkpoint snapshots).
+  Bytes encode() const;
+  /// nullopt on malformed input.
+  static std::optional<ReplyCache> decode(ByteSpan data);
+
+ private:
+  std::map<ClientId, CachedReply> entries_;
+};
+
+}  // namespace sbft::runtime

@@ -1,0 +1,42 @@
+#include "runtime/snapshot.h"
+
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace sbft::runtime {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'B', 'F', 'T', 'S', 'N', 'A', 'P'};
+constexpr uint16_t kVersion = 1;
+}  // namespace
+
+Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies) {
+  Writer w;
+  w.raw(ByteSpan{reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic)});
+  w.u16(kVersion);
+  w.bytes(service_state);
+  w.bytes(as_span(replies.encode()));
+  return std::move(w).take();
+}
+
+std::optional<CheckpointSnapshot> decode_checkpoint_snapshot(ByteSpan data) {
+  CheckpointSnapshot out;
+  if (data.size() < sizeof(kMagic) + 2 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    out.service_state.assign(data.begin(), data.end());  // bare legacy snapshot
+    return out;
+  }
+  Reader r(ByteSpan{data.data() + sizeof(kMagic), data.size() - sizeof(kMagic)});
+  uint16_t version = r.u16();
+  Bytes service_state = r.bytes();
+  Bytes replies = r.bytes();
+  if (version != kVersion || !r.at_end()) return std::nullopt;
+  auto cache = ReplyCache::decode(as_span(replies));
+  if (!cache) return std::nullopt;
+  out.service_state = std::move(service_state);
+  out.replies = std::move(*cache);
+  return out;
+}
+
+}  // namespace sbft::runtime

@@ -1,0 +1,39 @@
+// Checkpoint snapshot envelope.
+//
+// A checkpoint snapshot as shipped in WAL records and state-transfer replies
+// is more than the service state: the per-client reply cache rides along so a
+// recovered replica suppresses duplicates of pre-checkpoint requests instead
+// of re-executing them. The envelope frames both parts:
+//
+//   [8-byte magic "SBFTSNAP"][u16 version][bytes service_state][bytes replies]
+//
+// The service part is the component verified against the certificate's
+// state_root; the reply cache is covered by the local WAL's crash-fault trust
+// (and, over state transfer, by the same authenticated-channel assumption the
+// snapshot ride-along metadata already relies on — see README §durability).
+// decode falls back to treating the whole input as a bare service snapshot
+// (the pre-envelope format) with an empty reply cache, so logs written before
+// this format remain recoverable.
+#pragma once
+
+#include "runtime/reply_cache.h"
+
+namespace sbft::runtime {
+
+struct CheckpointSnapshot {
+  Bytes service_state;
+  ReplyCache replies;
+};
+
+Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies);
+/// Inputs without the envelope magic decode as a bare service snapshot (a
+/// malformed service part is caught downstream, by IService::restore and the
+/// state-root check). An input that *carries* the magic but is malformed —
+/// unknown version, broken framing, corrupt reply-cache section — returns
+/// nullopt: the cache has no state-root covering it, and silently dropping
+/// it would reintroduce the duplicate re-execution hazard the envelope
+/// exists to close. Callers treat nullopt like a corrupt snapshot (abort
+/// recovery / reject the transfer).
+std::optional<CheckpointSnapshot> decode_checkpoint_snapshot(ByteSpan data);
+
+}  // namespace sbft::runtime

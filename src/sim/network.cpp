@@ -157,6 +157,13 @@ void Network::reconnect(NodeId a, NodeId b) {
   cut_links_.erase({std::min(a, b), std::max(a, b)});
 }
 
+void Network::inject(NodeId from, NodeId to, MessagePtr msg) {
+  size_t wire_size = message_wire_size(*msg);
+  stats_[msg->index()].count += 1;
+  stats_[msg->index()].bytes += wire_size;
+  transmit(from, to, std::move(msg), wire_size, sim_.now());
+}
+
 MessageStats Network::total_stats() const {
   MessageStats total;
   for (const auto& s : stats_) {

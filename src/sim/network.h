@@ -132,6 +132,13 @@ class Network {
   void disconnect(NodeId a, NodeId b);
   void reconnect(NodeId a, NodeId b);
 
+  /// Test hook: injects a message from `from` to `to` at the current
+  /// simulated time, as if `from` had sent it from a handler (normal latency,
+  /// bandwidth, and drop rules apply). Lets scenario tests replay a specific
+  /// message — e.g. a duplicate client request against a restarted replica —
+  /// without scripting a full actor.
+  void inject(NodeId from, NodeId to, MessagePtr msg);
+
   // --- statistics ------------------------------------------------------------
   const std::array<MessageStats, std::variant_size_v<Message>>& stats_by_type() const {
     return stats_;

@@ -11,6 +11,7 @@
 #include "harness/workload.h"
 #include "recovery/recovery_manager.h"
 #include "recovery/wal.h"
+#include "runtime/snapshot.h"
 #include "storage/ledger_storage.h"
 
 namespace sbft::recovery {
@@ -150,6 +151,43 @@ TEST(FileWalTest, CorruptMagicRestartsAsFreshLog) {
   EXPECT_EQ(state.votes[0].seq, 3u);
 }
 
+TEST(FileWalTest, IncrementalCompactionWritesFewerBytesAndConverges) {
+  // ROADMAP open item: compact only records below the stable checkpoint
+  // instead of rewriting the whole log (snapshot + every surviving vote) at
+  // every checkpoint. With a realistic in-flight window of votes ahead of
+  // the stable sequence, the full-rewrite policy re-writes all of them per
+  // checkpoint; the incremental policy appends one record and only rewrites
+  // when dead bytes dominate.
+  TempFile a, b;
+  FileWal inc(a.path(), WalCompaction::kIncremental);
+  FileWal full(b.path(), WalCompaction::kFullRewrite);
+  const Bytes snap(256, 0xab);
+  for (SeqNum s = 1; s <= 512; ++s) {
+    inc.record_vote(s, 1, digest_of(0x10));
+    full.record_vote(s, 1, digest_of(0x10));
+    if (s % 16 == 0 && s > 256) {
+      // Checkpoint trails the vote head by a 256-deep in-flight window.
+      inc.record_checkpoint(make_cert(s - 256), as_span(snap));
+      full.record_checkpoint(make_cert(s - 256), as_span(snap));
+    }
+  }
+  EXPECT_LT(inc.bytes_written(), full.bytes_written());
+  // Same logical state under either policy.
+  WalState si = inc.load();
+  WalState sf = full.load();
+  EXPECT_EQ(si.last_stable, sf.last_stable);
+  EXPECT_EQ(si.snapshot, sf.snapshot);
+  EXPECT_EQ(si.votes.size(), sf.votes.size());
+  // The threshold rewrite bounds the incremental file to a small multiple of
+  // the live state (window of votes + one snapshot).
+  EXPECT_LT(inc.file_bytes(), 4 * (256 * 53 + snap.size() + 1024));
+  // A reopen of the incrementally-compacted log sees the same state.
+  inc.sync();
+  FileWal reopened(a.path());
+  EXPECT_EQ(reopened.load().last_stable, si.last_stable);
+  EXPECT_EQ(reopened.load().votes.size(), si.votes.size());
+}
+
 // ---------------------------------------------------------------------------
 // RecoveryManager ledger replay
 
@@ -215,12 +253,17 @@ TEST(RecoveryManagerTest, SnapshotPlusSuffixMatchesFullReplay) {
   ASSERT_TRUE(half.has_value());
   auto wal = std::make_shared<MemoryWal>();
   ExecCertificate cp = half->replayed[2].cert;  // seq 3
-  // Rebuild the service up to seq 3 to snapshot it.
+  // Rebuild the service up to seq 3 to snapshot it, cache riding along in
+  // the checkpoint envelope.
   auto service3 = factory();
+  runtime::ReplyCache cache3;
   for (SeqNum s = 1; s <= 3; ++s) {
-    service3->execute(as_span(half->replayed[s - 1].block.requests[0].op));
+    const Request& req = half->replayed[s - 1].block.requests[0];
+    cache3.store(req.client, req.timestamp, s, 0,
+                 service3->execute(as_span(req.op)));
   }
-  wal->record_checkpoint(cp, as_span(service3->snapshot()));
+  wal->record_checkpoint(cp, as_span(runtime::encode_checkpoint_snapshot(
+                                 as_span(service3->snapshot()), cache3)));
   wal->record_view(0);
 
   RecoveryManager from_snapshot(ledger, wal);
@@ -231,6 +274,35 @@ TEST(RecoveryManagerTest, SnapshotPlusSuffixMatchesFullReplay) {
   EXPECT_EQ(recovered->replayed.size(), 3u);  // only the suffix re-executed
   EXPECT_EQ(recovered->exec_digests.at(6), reference->exec_digests.at(6));
   EXPECT_EQ(recovered->service->state_digest(), reference->service->state_digest());
+  // The recovered reply cache spans checkpoint + suffix.
+  ASSERT_NE(recovered->reply_cache.find(7), nullptr);
+  EXPECT_EQ(recovered->reply_cache.find(7)->timestamp, 6u);
+}
+
+TEST(RecoveryManagerTest, LegacyBareSnapshotStillRecovers) {
+  // WALs written before the snapshot envelope carry the raw service
+  // snapshot; recovery must keep accepting them (with an empty cache).
+  auto ledger = std::make_shared<storage::MemoryLedgerStorage>();
+  for (SeqNum s = 1; s <= 4; ++s) {
+    ledger->append_block(s, as_span(encoded_block(s, 0, 9, s)));
+  }
+  auto factory = [] { return std::make_unique<harness::FastKvService>(); };
+  RecoveryManager prefix(ledger, nullptr);
+  auto half = prefix.recover(factory);
+  ASSERT_TRUE(half.has_value());
+  auto service2 = factory();
+  for (SeqNum s = 1; s <= 2; ++s) {
+    service2->execute(as_span(half->replayed[s - 1].block.requests[0].op));
+  }
+  auto wal = std::make_shared<MemoryWal>();
+  wal->record_checkpoint(half->replayed[1].cert, as_span(service2->snapshot()));
+
+  RecoveryManager manager(ledger, wal);
+  auto recovered = manager.recover(factory);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->last_stable, 2u);
+  EXPECT_EQ(recovered->last_executed, 4u);
+  EXPECT_EQ(recovered->service->state_digest(), half->service->state_digest());
 }
 
 TEST(RecoveryManagerTest, CorruptSnapshotAbortsRecovery) {

@@ -1,0 +1,475 @@
+// Protocol-agnostic replica runtime: reply-cache persistence across
+// checkpoints (including the non-idempotent EVM-transfer re-execution
+// hazard), the checkpoint snapshot envelope, seed-bug regressions, and the
+// cross-protocol crash→recover→rejoin scenario family — every simulated
+// scenario here runs on both SBFT and the PBFT baseline through the
+// identical Cluster API.
+#include <gtest/gtest.h>
+
+#include "evm/contracts.h"
+#include "evm/evm_service.h"
+#include "harness/cluster.h"
+#include "harness/workload.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/wal.h"
+#include "runtime/checkpoint_manager.h"
+#include "runtime/reply_cache.h"
+#include "runtime/replica_runtime.h"
+#include "runtime/snapshot.h"
+#include "storage/ledger_storage.h"
+
+// ---------------------------------------------------------------------------
+// ReplyCache + snapshot envelope
+
+namespace sbft::runtime {
+namespace {
+
+TEST(ReplyCache, StoresAndServesNewestPerClient) {
+  ReplyCache cache;
+  EXPECT_FALSE(cache.is_duplicate(7, 1));
+  cache.store(7, 1, 10, 0, to_bytes("a"));
+  cache.store(7, 3, 12, 1, to_bytes("b"));
+  EXPECT_TRUE(cache.is_duplicate(7, 1));  // watermark covers older timestamps
+  EXPECT_TRUE(cache.is_duplicate(7, 3));
+  EXPECT_FALSE(cache.is_duplicate(7, 4));
+  ASSERT_NE(cache.find(7), nullptr);
+  EXPECT_EQ(cache.find(7)->value, to_bytes("b"));
+  EXPECT_EQ(cache.find(7)->seq, 12u);
+  // A stale store must never regress the watermark.
+  cache.store(7, 2, 11, 0, to_bytes("stale"));
+  EXPECT_EQ(cache.find(7)->timestamp, 3u);
+  EXPECT_EQ(cache.find(7)->value, to_bytes("b"));
+}
+
+TEST(ReplyCache, EncodeDecodeRoundTrip) {
+  ReplyCache cache;
+  cache.store(4, 9, 3, 2, to_bytes("val-4"));
+  cache.store(900, 1, 1, 0, Bytes{});
+  auto decoded = ReplyCache::decode(as_span(cache.encode()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size(), 2u);
+  ASSERT_NE(decoded->find(4), nullptr);
+  EXPECT_EQ(decoded->find(4)->timestamp, 9u);
+  EXPECT_EQ(decoded->find(4)->index, 2u);
+  EXPECT_EQ(decoded->find(4)->value, to_bytes("val-4"));
+  ASSERT_NE(decoded->find(900), nullptr);
+  EXPECT_TRUE(decoded->find(900)->value.empty());
+}
+
+TEST(ReplyCache, DecodeRejectsMalformed) {
+  EXPECT_FALSE(ReplyCache::decode(as_span(to_bytes("garbage"))).has_value());
+  ReplyCache cache;
+  cache.store(1, 1, 1, 0, to_bytes("x"));
+  Bytes encoded = cache.encode();
+  encoded.pop_back();  // truncated value
+  EXPECT_FALSE(ReplyCache::decode(as_span(encoded)).has_value());
+}
+
+TEST(CheckpointSnapshot, EnvelopeRoundTrip) {
+  ReplyCache cache;
+  cache.store(11, 5, 2, 0, to_bytes("r"));
+  Bytes envelope = encode_checkpoint_snapshot(as_span(to_bytes("svc-state")), cache);
+  auto decoded = decode_checkpoint_snapshot(as_span(envelope));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->service_state, to_bytes("svc-state"));
+  ASSERT_NE(decoded->replies.find(11), nullptr);
+  EXPECT_EQ(decoded->replies.find(11)->timestamp, 5u);
+}
+
+TEST(CheckpointSnapshot, BareLegacySnapshotFallsBack) {
+  // Pre-envelope WAL records carry the raw service snapshot; it must decode
+  // as the service part with an empty cache, not fail.
+  Bytes bare = to_bytes("raw-service-snapshot");
+  auto decoded = decode_checkpoint_snapshot(as_span(bare));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->service_state, bare);
+  EXPECT_TRUE(decoded->replies.empty());
+}
+
+TEST(CheckpointSnapshot, CorruptCacheSectionRejectsEnvelope) {
+  // The reply cache has no state-root covering it; an envelope whose cache
+  // section is corrupt must be rejected outright — decoding it as "empty
+  // cache" would silently reintroduce the duplicate re-execution hazard.
+  ReplyCache cache;
+  cache.store(11, 5, 2, 0, to_bytes("r"));
+  Bytes envelope = encode_checkpoint_snapshot(as_span(to_bytes("svc")), cache);
+  envelope.pop_back();  // truncate inside the cache section
+  EXPECT_FALSE(decode_checkpoint_snapshot(as_span(envelope)).has_value());
+}
+
+}  // namespace
+}  // namespace sbft::runtime
+
+// ---------------------------------------------------------------------------
+// Seed-bug regressions (ROADMAP "known seed bugs")
+
+namespace sbft::harness {
+namespace {
+
+TEST(SeedRegressions, CheckpointSnapshotCapturedAtExecutionNotCertification) {
+  // Seed bug: checkpoint snapshots were captured when the certificate formed;
+  // by then the service had often executed further, so the shipped
+  // (certificate, snapshot) pair failed state-transfer verification. The
+  // CheckpointManager must promote the snapshot captured when the checkpoint
+  // sequence *executed*, never a live capture from a moved-on service.
+  FastKvService service;
+  runtime::ReplyCache replies;
+  runtime::CheckpointManager manager(4);
+
+  for (int i = 0; i < 4; ++i) service.execute(as_span(to_bytes("op"))); // 1..4
+  Digest root4 = service.state_digest();
+  manager.capture_pending(
+      4, runtime::encode_checkpoint_snapshot(as_span(service.snapshot()), replies));
+
+  // The service executes past the checkpoint before its certificate forms.
+  service.execute(as_span(to_bytes("op5")));
+  service.execute(as_span(to_bytes("op6")));
+
+  ExecCertificate cert;
+  cert.seq = 4;
+  cert.state_root = root4;
+  bool recorded = manager.make_stable(cert, /*last_executed=*/6, []() -> Bytes {
+    ADD_FAILURE() << "live capture would pair moved-on state with the cert";
+    return {};
+  });
+  ASSERT_TRUE(recorded);
+
+  // The shippable pair is consistent: restoring the snapshot reproduces
+  // exactly the certified state root.
+  auto decoded = runtime::decode_checkpoint_snapshot(as_span(manager.snapshot()));
+  ASSERT_TRUE(decoded.has_value());
+  FastKvService fresh;
+  ASSERT_TRUE(fresh.restore(as_span(decoded->service_state)));
+  EXPECT_EQ(fresh.state_digest(), manager.snapshot_cert().state_root);
+
+  // A later checkpoint whose execution-time snapshot is missing (executed by
+  // a previous incarnation) must keep the previous consistent pair.
+  ExecCertificate cert8;
+  cert8.seq = 8;
+  cert8.state_root = service.state_digest();
+  EXPECT_FALSE(manager.make_stable(cert8, /*last_executed=*/10,
+                                   []() -> Bytes { return {}; }));
+  EXPECT_EQ(manager.last_stable(), 8u);          // stable advanced...
+  EXPECT_EQ(manager.snapshot_cert().seq, 4u);    // ...shippable pair kept
+}
+
+TEST(SeedRegressions, ExactlyQuorumViewChangeRecommitsStalledSlots) {
+  // Seed bug: Slot::sent_commit_share was bound to the slot, not to the
+  // certificate, so a slot whose slow round stalled in view v could never
+  // commit in a later view — with exactly 2f+1 replicas alive every commit
+  // share is needed and the view change livelocked.
+  ClusterOptions opts;
+  opts.kind = ProtocolKind::kLinearPbft;  // slow path only: commit shares on every slot
+  opts.f = 1;
+  opts.num_clients = 2;
+  opts.requests_per_client = 150;
+  opts.topology = sim::lan_topology();
+  opts.seed = 7;
+  Cluster cluster(std::move(opts));
+  cluster.run_for(100'000);  // slow-path slots in flight in view 0
+  cluster.crash_replica(1);  // view-0 primary; exactly 2f+1 = 3 remain
+  ASSERT_TRUE(cluster.run_until_done(600'000'000))
+      << "clients stalled: stalled slots were not re-committed in the new view";
+  EXPECT_GT(cluster.total_view_changes(), 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+}  // namespace
+}  // namespace sbft::harness
+
+// ---------------------------------------------------------------------------
+// Reply-cache persistence across checkpoints (EVM-transfer hazard)
+
+namespace sbft::recovery {
+namespace {
+
+using evm::CallTx;
+using evm::CreateTx;
+using evm::EvmLedgerService;
+using evm::U256;
+
+evm::U256 word_of(const evm::Address& a) {
+  return U256::from_bytes_be(ByteSpan{a.data(), a.size()});
+}
+
+struct EvmLedgerFixture {
+  evm::Address deployer{{1}};
+  evm::Address alice{{2}};
+  evm::Address bob{{3}};
+  evm::Address token = EvmLedgerService::derive_address(evm::Address{{1}}, 0);
+
+  Bytes op_create() const {
+    return evm::encode_create(CreateTx{deployer, evm::token_contract()});
+  }
+  Bytes op_mint(uint64_t amount) const {
+    return evm::encode_call(
+        CallTx{alice, token, evm::token_call_mint(word_of(alice), U256(amount))});
+  }
+  Bytes op_transfer(uint64_t amount) const {
+    return evm::encode_call(
+        CallTx{alice, token, evm::token_call_transfer(word_of(bob), U256(amount))});
+  }
+  Bytes op_balance() const {
+    return evm::encode_call(
+        CallTx{alice, token, evm::token_call_balance_of(word_of(alice))});
+  }
+
+  static Bytes block_of(SeqNum s, std::vector<std::pair<uint64_t, Bytes>> reqs) {
+    Block block;
+    for (auto& [ts, op] : reqs) {
+      Request req;
+      req.client = 7;
+      req.timestamp = ts;
+      req.op = std::move(op);
+      block.requests.push_back(std::move(req));
+    }
+    return encode_message(Message(PrePrepareMsg{s, 0, std::move(block)}));
+  }
+
+  /// Ledger where block 3 carries a *duplicate* (same client, timestamp 3) of
+  /// the transfer executed in block 1 — i.e. a retry that slipped into a
+  /// later decision block, whose duplicate lands beyond the checkpoint at 2.
+  std::shared_ptr<storage::MemoryLedgerStorage> full_ledger() const {
+    auto ledger = std::make_shared<storage::MemoryLedgerStorage>();
+    ledger->append_block(1, as_span(block_of(1, {{1, op_create()},
+                                                 {2, op_mint(100)},
+                                                 {3, op_transfer(10)}})));
+    ledger->append_block(2, as_span(block_of(2, {{4, op_balance()}})));
+    ledger->append_block(3, as_span(block_of(3, {{3, op_transfer(10)}})));  // dup
+    ledger->append_block(4, as_span(block_of(4, {{5, op_balance()}})));
+    return ledger;
+  }
+
+  static std::function<std::unique_ptr<IService>()> factory() {
+    return [] { return std::make_unique<EvmLedgerService>(); };
+  }
+};
+
+TEST(ReplyCachePersistence, EvmTransferNotReExecutedAfterRecovery) {
+  EvmLedgerFixture fx;
+  auto ledger = fx.full_ledger();
+
+  // Reference: contiguous replay from genesis. The reply cache built along
+  // the way suppresses the duplicate transfer, so alice ends at 90.
+  RecoveryManager reference_manager(ledger, nullptr);
+  auto reference = reference_manager.recover(fx.factory());
+  ASSERT_TRUE(reference.has_value());
+
+  // Checkpoint at 2: replay the prefix once to derive the certificate, the
+  // service snapshot, and — the point of this test — the reply cache.
+  auto prefix = std::make_shared<storage::MemoryLedgerStorage>();
+  prefix->append_block(1, *ledger->read_block(1));
+  prefix->append_block(2, *ledger->read_block(2));
+  RecoveryManager prefix_manager(prefix, nullptr);
+  auto at2 = prefix_manager.recover(fx.factory());
+  ASSERT_TRUE(at2.has_value());
+  ASSERT_EQ(at2->last_executed, 2u);
+
+  auto wal = std::make_shared<MemoryWal>();
+  wal->record_checkpoint(
+      at2->replayed[1].cert,
+      as_span(runtime::encode_checkpoint_snapshot(as_span(at2->service->snapshot()),
+                                                  at2->reply_cache)));
+
+  // Recover from checkpoint + suffix: the persisted cache must suppress the
+  // pre-checkpoint duplicate in block 3 instead of re-executing the transfer.
+  RecoveryManager manager(ledger, wal);
+  auto recovered = manager.recover(fx.factory());
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->last_stable, 2u);
+  EXPECT_EQ(recovered->last_executed, 4u);
+  EXPECT_EQ(recovered->replayed.size(), 2u);  // only the suffix re-executed
+  EXPECT_EQ(recovered->service->state_digest(), reference->service->state_digest());
+  EXPECT_EQ(recovered->exec_digests.at(4), reference->exec_digests.at(4));
+  // The recovered cache serves retries of every pre-crash request.
+  ASSERT_NE(recovered->reply_cache.find(7), nullptr);
+  EXPECT_EQ(recovered->reply_cache.find(7)->timestamp, 5u);
+}
+
+TEST(ReplyCachePersistence, WithoutPersistedCacheTheTransferDoubles) {
+  // Hazard demonstration: a checkpoint snapshot *without* the reply cache
+  // (the pre-envelope format) replays the duplicate transfer a second time —
+  // the recovered state diverges from the certified execution. This is the
+  // ROADMAP open item this subsystem closes; benign for idempotent KV puts,
+  // wrong for EVM transfers.
+  EvmLedgerFixture fx;
+  auto ledger = fx.full_ledger();
+
+  RecoveryManager reference_manager(ledger, nullptr);
+  auto reference = reference_manager.recover(fx.factory());
+  ASSERT_TRUE(reference.has_value());
+
+  auto prefix = std::make_shared<storage::MemoryLedgerStorage>();
+  prefix->append_block(1, *ledger->read_block(1));
+  prefix->append_block(2, *ledger->read_block(2));
+  RecoveryManager prefix_manager(prefix, nullptr);
+  auto at2 = prefix_manager.recover(fx.factory());
+  ASSERT_TRUE(at2.has_value());
+
+  auto wal = std::make_shared<MemoryWal>();
+  wal->record_checkpoint(at2->replayed[1].cert,
+                         as_span(at2->service->snapshot()));  // bare: no cache
+
+  RecoveryManager manager(ledger, wal);
+  auto recovered = manager.recover(fx.factory());
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->last_executed, 4u);
+  // The transfer re-executed: alice lost another 10 — state diverged.
+  EXPECT_FALSE(recovered->service->state_digest() ==
+               reference->service->state_digest());
+}
+
+}  // namespace
+}  // namespace sbft::recovery
+
+// ---------------------------------------------------------------------------
+// Cross-protocol crash / restart / disk-wipe scenarios (identical Cluster API)
+
+namespace sbft::harness {
+namespace {
+
+class CrossProtocolRecovery : public ::testing::TestWithParam<ProtocolKind> {
+ protected:
+  ClusterOptions base(uint64_t requests) const {
+    ClusterOptions opts;
+    opts.kind = GetParam();
+    opts.f = 1;
+    opts.c = 0;
+    opts.num_clients = 2;
+    opts.requests_per_client = requests;
+    opts.topology = sim::lan_topology();
+    opts.seed = 11;
+    opts.tweak_config = [](ProtocolConfig& config) {
+      config.win = 32;  // frequent checkpoints: recovery exercises snapshots
+    };
+    return opts;
+  }
+};
+
+TEST_P(CrossProtocolRecovery, CrashRestartRejoinsFromWal) {
+  // Acceptance scenario: kill a non-primary replica mid-run, restart it, and
+  // watch it recover from WAL + ledger, rejoin, and keep executing — on both
+  // protocols, through the same restart_schedule API.
+  auto opts = base(400);
+  opts.restart_schedule.push_back({/*crash_at_us=*/1'000'000,
+                                   /*restart_at_us=*/4'000'000,
+                                   /*replica=*/3, /*wipe_storage=*/false});
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+
+  const ReplicaHandle& restarted = cluster.replica(3);
+  EXPECT_EQ(restarted.runtime_stats().recoveries, 1u);
+  EXPECT_GT(restarted.runtime_stats().blocks_replayed, 0u)
+      << "WAL/ledger were empty";
+  // Rejoined: executed well past whatever it recovered to.
+  EXPECT_GT(restarted.last_executed(), restarted.runtime_stats().blocks_replayed);
+  if (GetParam() == ProtocolKind::kSbft) {
+    // Re-entered the fast path (f=1, c=0: fast quorum needs all n=4 replicas,
+    // so post-restart fast commits prove the recovered replica participates).
+    EXPECT_GT(restarted.sbft()->stats().fast_commits, 0u);
+  }
+  EXPECT_EQ(cluster.total_recoveries(), 1u);
+  EXPECT_GT(cluster.total_wal_bytes_written(), 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    EXPECT_EQ(cluster.client(i).completed(), 400u);
+  }
+}
+
+TEST_P(CrossProtocolRecovery, WipedDiskRecoversViaStateTransfer) {
+  auto opts = base(300);
+  opts.restart_schedule.push_back({/*crash_at_us=*/1'000'000,
+                                   /*restart_at_us=*/5'000'000,
+                                   /*replica=*/4, /*wipe_storage=*/true});
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+  // Fast protocols may drain the clients before the scheduled restart; play
+  // the schedule out and give the wiped replica time to state-transfer.
+  if (cluster.simulator().now() < 6'000'000) {
+    cluster.run_for(6'000'000 - cluster.simulator().now());
+  }
+  cluster.run_for(5'000'000);
+
+  const ReplicaHandle& restarted = cluster.replica(4);
+  EXPECT_EQ(restarted.runtime_stats().recoveries, 0u);  // nothing local survived
+  EXPECT_GT(restarted.runtime_stats().state_transfers, 0u)
+      << "empty replica never requested state transfer";
+  EXPECT_GT(restarted.last_executed(), 0u) << "never caught up";
+  EXPECT_TRUE(cluster.check_agreement());
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    EXPECT_EQ(cluster.client(i).completed(), 300u);
+  }
+}
+
+TEST_P(CrossProtocolRecovery, RollingRestartKeepsClusterLiveAndSafe) {
+  auto opts = base(400);
+  opts.restart_schedule.push_back({1'000'000, 3'000'000, 2, false});
+  opts.restart_schedule.push_back({5'000'000, 7'000'000, 3, false});
+  opts.restart_schedule.push_back({9'000'000, 11'000'000, 4, false});
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(900'000'000)) << "clients stalled";
+  // Clients may drain before the tail of the schedule; play it out so every
+  // scheduled restart (and its recovery) actually happens.
+  if (cluster.simulator().now() < 12'000'000) {
+    cluster.run_for(12'000'000 - cluster.simulator().now());
+  }
+  EXPECT_EQ(cluster.total_recoveries(), 3u);
+  EXPECT_TRUE(cluster.check_agreement());
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    EXPECT_EQ(cluster.client(i).completed(), 400u);
+  }
+}
+
+TEST_P(CrossProtocolRecovery, RestartedReplicaServesPreCheckpointDuplicateFromCache) {
+  // The acceptance criterion's sharp edge: after recovery, a duplicate of a
+  // request executed *before* the stable checkpoint must be answered from the
+  // reply cache persisted in the checkpoint snapshot — not re-executed, not
+  // dropped. We replay such a duplicate straight at the restarted replica.
+  auto opts = base(120);
+  opts.tweak_config = [](ProtocolConfig& config) {
+    config.win = 16;  // checkpoint every 8 blocks
+  };
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+  ASSERT_GT(cluster.replica(2).last_stable(), 0u) << "no checkpoint formed";
+
+  cluster.crash_replica(2);
+  cluster.run_for(300'000);
+  cluster.restart_replica(2);
+  cluster.run_for(2'000'000);  // recover + settle
+
+  const ReplicaHandle& restarted = cluster.replica(2);
+  EXPECT_EQ(restarted.runtime_stats().recoveries, 1u);
+
+  // Replay client n's first request (timestamp 1 — executed long before the
+  // stable checkpoint) against the restarted replica.
+  ClientId client = cluster.n();  // first client's node id == its ClientId
+  ASSERT_NE(restarted.runtime().replies().find(client), nullptr)
+      << "recovered reply cache lost the client";
+  uint64_t hits_before = restarted.runtime_stats().reply_cache_hits;
+  uint64_t executed_before = restarted.runtime_stats().requests_executed;
+  Request dup;
+  dup.client = client;
+  dup.timestamp = 1;
+  dup.op = to_bytes("retry-of-first-request");
+  cluster.network().inject(client, restarted.node(),
+                           make_message(ClientRequestMsg{dup}));
+  cluster.run_for(200'000);
+
+  EXPECT_GT(restarted.runtime_stats().reply_cache_hits, hits_before)
+      << "duplicate was not served from the recovered reply cache";
+  EXPECT_EQ(restarted.runtime_stats().requests_executed, executed_before)
+      << "duplicate re-executed instead of being served from cache";
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, CrossProtocolRecovery,
+                         ::testing::Values(ProtocolKind::kSbft,
+                                           ProtocolKind::kPbft),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           return info.param == ProtocolKind::kSbft ? "Sbft"
+                                                                    : "Pbft";
+                         });
+
+}  // namespace
+}  // namespace sbft::harness
