@@ -105,7 +105,9 @@ struct SbftReplica::Slot {
 
 SbftReplica::SbftReplica(ReplicaOptions options, std::unique_ptr<IService> service)
     : opts_(std::move(options)),
-      runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal},
+      runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal,
+                opts_.config.state_transfer_chunk_size,
+                opts_.config.state_transfer_max_chunks_per_request},
                std::move(service)) {
   opts_.config.validate();
   SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
@@ -226,6 +228,12 @@ void SbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext&
           handle_state_transfer_request(from, m, ctx);
         } else if constexpr (std::is_same_v<T, StateTransferReplyMsg>) {
           handle_state_transfer_reply(m, ctx);
+        } else if constexpr (std::is_same_v<T, StateManifestMsg>) {
+          handle_state_manifest(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, StateChunkRequestMsg>) {
+          handle_state_chunk_request(m, ctx);
+        } else if constexpr (std::is_same_v<T, StateChunkMsg>) {
+          handle_state_chunk(from, m, ctx);
         }
         // PBFT baseline messages are ignored by SBFT replicas.
       },
@@ -324,12 +332,33 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
       break;
     }
     case kStateTransferTimer: {
+      runtime::StateTransferManager& st = runtime_.state_transfer();
+      if (st.chunked()) {
+        // Single retry loop; the stop/probe decisions live in the manager,
+        // shared with the PBFT engine.
+        auto tick = st.on_retry_tick(le(), state_transfer_behind(), runtime_.stats());
+        if (tick.stop) {
+          st_inflight_ = false;
+          // The fetch that just ended may have become moot for its *target*
+          // while the replica fell behind a newer checkpoint (the cluster
+          // moved on mid-fetch): start over, like the legacy path below.
+          if (state_transfer_behind()) request_state_transfer(ctx);
+          break;
+        }
+        if (tick.probe) {
+          StateTransferRequestMsg req;
+          req.requester = opts_.id;
+          req.have_seq = le();
+          broadcast_replicas(ctx, make_message(std::move(req)));
+        }
+        send_chunk_requests(ctx);
+        ctx.set_timer(opts_.config.state_transfer_retry_us,
+                      timer_id(kStateTransferTimer, 0));
+        break;
+      }
       st_inflight_ = false;
       // Still behind? Try another source.
-      bool behind = (!slots_.empty() && slots_.rbegin()->first > le() + opts_.config.win) ||
-                    (find_slot(le() + 1) && find_slot(le() + 1)->committed &&
-                     !find_slot(le() + 1)->block);
-      if (behind) request_state_transfer(ctx);
+      if (state_transfer_behind()) request_state_transfer(ctx);
       break;
     }
     default:
@@ -1246,10 +1275,39 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
-// State transfer (§VIII)
+// State transfer (§VIII; chunked protocol spec in docs/state_transfer.md)
+
+bool SbftReplica::state_transfer_behind() const {
+  // A committed-but-unfetchable slot or delivered traffic far past le() means
+  // blocks this replica will never see again; a wiped/restarted boot that has
+  // recovered nothing yet must also keep probing (its first probe may race
+  // ahead of any checkpoint existing).
+  const Slot* next = nullptr;
+  if (auto it = slots_.find(le() + 1); it != slots_.end()) next = &it->second;
+  return (!slots_.empty() && slots_.rbegin()->first > le() + opts_.config.win) ||
+         (next && next->committed && !next->block) ||
+         (opts_.recovering && le() == 0 && ls() == 0);
+}
 
 void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
-  if (st_inflight_ || silent()) return;
+  if (silent()) return;
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  if (st.chunked()) {
+    if (st.active()) return;  // a fetch round is already running
+    st.begin_probe();
+    ++runtime_.stats().state_transfers;
+    StateTransferRequestMsg req;
+    req.requester = opts_.id;
+    req.have_seq = le();
+    broadcast_replicas(ctx, make_message(std::move(req)));
+    if (!st_inflight_) {
+      st_inflight_ = true;  // retry timer armed
+      ctx.set_timer(opts_.config.state_transfer_retry_us,
+                    timer_id(kStateTransferTimer, 0));
+    }
+    return;
+  }
+  if (st_inflight_) return;
   st_inflight_ = true;
   ++runtime_.stats().state_transfers;
   // Ask a pseudo-random peer; retry rotates the choice.
@@ -1272,6 +1330,17 @@ void SbftReplica::handle_state_transfer_request(NodeId /*from*/,
   const runtime::CheckpointManager& cp = runtime_.checkpoints();
   if (cp.snapshot_cert().pi_sig.empty() || cp.snapshot_cert().seq <= m.have_seq)
     return;
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  if (st.chunked()) {
+    // Building the chunk tree hashes the whole envelope — charged only when
+    // the cache is cold for this checkpoint, not on every repeated probe.
+    bool cold = st.donor_cached_seq() != cp.snapshot_cert().seq;
+    auto manifest = st.make_manifest(cp, m.have_seq, opts_.id);
+    if (!manifest) return;
+    if (cold) ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
+    send_to_replica(ctx, m.requester, make_message(std::move(*manifest)));
+    return;
+  }
   StateTransferReplyMsg reply;
   reply.seq = cp.snapshot_cert().seq;
   reply.cert = cp.snapshot_cert();
@@ -1296,6 +1365,86 @@ void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
   if (!runtime_.adopt_checkpoint(m.cert, as_span(m.service_snapshot), ctx)) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
   st_inflight_ = false;
+  try_execute(ctx);
+}
+
+void SbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
+                                        sim::ActorContext& ctx) {
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  if (silent() || !st.chunked() || !st.active() || m.seq <= le()) return;
+  // The donor field must match the authenticated channel's sender: donor
+  // identity drives registration and (on an invalid chunk) exclusion, so a
+  // Byzantine replica must not be able to impersonate honest donors. All
+  // cheap structural checks run before the pairing is charged — an excluded
+  // donor spamming manifests must not cost a signature verification each.
+  if (!from_replica(from, m.donor)) return;
+  if (m.cert.seq != m.seq || st.donor_excluded(m.donor)) return;
+  // The certificate must be pi-certified before the manifest can target the
+  // fetch; the chunk root itself is bound end-to-end by the final state-root
+  // check in adopt_checkpoint (a lying manifest sender is excluded there).
+  ctx.charge(ctx.costs().bls_verify_combined_us);
+  if (!opts_.crypto.pi_verifier->verify(m.cert.exec_digest(), as_span(m.cert.pi_sig)))
+    return;
+  if (st.on_manifest(m, le())) send_chunk_requests(ctx);
+}
+
+void SbftReplica::handle_state_chunk_request(const StateChunkRequestMsg& m,
+                                             sim::ActorContext& ctx) {
+  if (silent()) return;
+  std::vector<StateChunkMsg> chunks = runtime_.state_transfer().make_chunks(
+      runtime_.checkpoints(), m, opts_.id, runtime_.stats());
+  for (StateChunkMsg& c : chunks) {
+    ctx.charge(ctx.costs().hash_us(c.data.size()));
+    if (opts_.corrupt_state_chunks && !c.data.empty()) c.data[0] ^= 0xff;
+    send_to_replica(ctx, m.requester, make_message(std::move(c)));
+  }
+}
+
+void SbftReplica::handle_state_chunk(NodeId from, const StateChunkMsg& m,
+                                     sim::ActorContext& ctx) {
+  if (silent()) return;
+  // Spoofed donor ids could exclude honest donors (see handle_state_manifest).
+  if (!from_replica(from, m.donor)) return;
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  ctx.charge(ctx.costs().hash_us(m.data.size()));  // leaf hash + proof path
+  using Verdict = runtime::StateTransferManager::ChunkVerdict;
+  switch (st.on_chunk(m, runtime_.stats())) {
+    case Verdict::kCompleted:
+      complete_chunked_transfer(ctx);
+      break;
+    case Verdict::kStored:
+    case Verdict::kInvalid:
+      // Keep the pipeline full; an invalid chunk also re-plans the indices
+      // that were outstanding at the now-excluded donor.
+      send_chunk_requests(ctx);
+      break;
+    case Verdict::kDuplicate:
+    case Verdict::kRejected:
+      break;
+  }
+}
+
+void SbftReplica::send_chunk_requests(sim::ActorContext& ctx) {
+  for (auto& [donor, req] : runtime_.state_transfer().plan_requests(opts_.id)) {
+    send_to_replica(ctx, donor, make_message(std::move(req)));
+  }
+}
+
+void SbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  ExecCertificate cert = st.target_cert();
+  Bytes envelope = st.take_envelope();
+  bool adopted = runtime_.adopt_checkpoint(cert, as_span(envelope), ctx);
+  // The stale-target vs lying-manifest distinction lives in the manager,
+  // shared with the PBFT engine.
+  if (st.on_adopt_result(adopted, le())) {
+    StateTransferRequestMsg req;
+    req.requester = opts_.id;
+    req.have_seq = le();
+    broadcast_replicas(ctx, make_message(std::move(req)));
+  }
+  if (!adopted) return;
+  slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
   try_execute(ctx);
 }
 

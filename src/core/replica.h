@@ -50,6 +50,10 @@ struct ReplicaOptions {
   // cluster's stable checkpoint (or the disk was lost entirely).
   bool recovering = false;
   ReplicaBehavior behavior = ReplicaBehavior::kHonest;
+  // Fault injection: as a state-transfer donor, flip a byte in every chunk
+  // payload served (the proof still matches the honest chunk, so fetchers
+  // must detect the corruption by Merkle verification and move on).
+  bool corrupt_state_chunks = false;
   // Collector staggering (§V: "in most executions just one collector is
   // active and the others just monitor in idle").
   int64_t collector_stagger_us = 25'000;
@@ -68,6 +72,12 @@ struct ReplicaStats {
   uint64_t blocks_replayed = 0;    // ledger blocks re-executed during recovery
   uint64_t wal_bytes_written = 0;  // cumulative WAL appends (handle lifetime)
   uint64_t reply_cache_hits = 0;   // duplicates served or suppressed
+  // Chunked state transfer (filled by RuntimeStats::merge_into).
+  uint64_t state_transfer_chunks_served = 0;
+  uint64_t state_transfer_chunks_fetched = 0;
+  uint64_t state_transfer_invalid_chunks = 0;
+  uint64_t state_transfer_resumes = 0;
+  uint64_t state_transfer_bytes_transferred = 0;
   // Phase timing (sums over this replica's slots, microseconds).
   int64_t pp_to_commit_us = 0;    // pre-prepare accept -> commit
   int64_t commit_to_exec_us = 0;  // commit -> execution
@@ -128,6 +138,12 @@ class SbftReplica final : public sim::IActor {
                                      sim::ActorContext& ctx);
   void handle_state_transfer_reply(const StateTransferReplyMsg& m,
                                    sim::ActorContext& ctx);
+  void handle_state_manifest(NodeId from, const StateManifestMsg& m,
+                             sim::ActorContext& ctx);
+  void handle_state_chunk_request(const StateChunkRequestMsg& m,
+                                  sim::ActorContext& ctx);
+  void handle_state_chunk(NodeId from, const StateChunkMsg& m,
+                          sim::ActorContext& ctx);
 
   // --- primary --------------------------------------------------------------
   bool is_primary() const { return opts_.config.primary_of(view_) == opts_.id; }
@@ -168,6 +184,14 @@ class SbftReplica final : public sim::IActor {
 
   // --- state transfer ----------------------------------------------------------
   void request_state_transfer(sim::ActorContext& ctx);
+  /// True while this replica demonstrably needs a newer checkpoint (execution
+  /// gap behind delivered traffic, or a wiped/restarted boot with nothing yet).
+  bool state_transfer_behind() const;
+  /// Sends the manager's next chunk-request plan to its chosen donors.
+  void send_chunk_requests(sim::ActorContext& ctx);
+  /// All chunks received: assemble, adopt, and clean up (or restart the fetch
+  /// when the assembled envelope fails the certified state-root check).
+  void complete_chunked_transfer(sim::ActorContext& ctx);
 
   // --- helpers -----------------------------------------------------------------
   SeqNum le() const { return runtime_.last_executed(); }

@@ -55,6 +55,10 @@ Cluster::~Cluster() = default;
 
 void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavior,
                             bool recovering) {
+  bool corrupt_chunks =
+      std::find(opts_.corrupt_chunk_replicas.begin(),
+                opts_.corrupt_chunk_replicas.end(),
+                handle.id_) != opts_.corrupt_chunk_replicas.end();
   if (opts_.kind == ProtocolKind::kPbft) {
     pbft::PbftOptions po;
     po.config = config_;
@@ -62,6 +66,7 @@ void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavio
     po.ledger = handle.ledger_;
     po.wal = handle.wal_;
     po.recovering = recovering;
+    po.corrupt_state_chunks = corrupt_chunks;
     handle.pbft_ =
         std::make_unique<pbft::PbftReplica>(std::move(po), opts_.service_factory());
   } else {
@@ -73,6 +78,7 @@ void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavio
     ro.ledger = handle.ledger_;
     ro.wal = handle.wal_;
     ro.recovering = recovering;
+    ro.corrupt_state_chunks = corrupt_chunks;
     handle.sbft_ =
         std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
   }

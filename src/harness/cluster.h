@@ -57,6 +57,11 @@ struct ClusterOptions {
   uint32_t straggler_replicas = 0;  // slow (4x CPU, +20ms) non-primary replicas
   core::ReplicaBehavior byzantine_behavior = core::ReplicaBehavior::kHonest;
   uint32_t byzantine_replicas = 0;  // replicas given byzantine_behavior
+  // Replicas that bit-flip every state-transfer chunk they serve as donors
+  // (fetchers must detect the corruption by Merkle verification and fetch the
+  // chunk from another donor). Works on every protocol — the corruption sits
+  // in the shared chunk-serving path, not in an ordering engine.
+  std::vector<ReplicaId> corrupt_chunk_replicas;
 
   // Durability: give every replica a memory-backed ledger + WAL owned by its
   // handle, so a replica can be killed and restarted (the handles stand in

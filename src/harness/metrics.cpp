@@ -49,6 +49,14 @@ RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime 
   m.view_changes = cluster.total_view_changes();
   m.recoveries = cluster.total_recoveries();
   m.wal_bytes_written = cluster.total_wal_bytes_written();
+  for (ReplicaId r = 1; r <= cluster.n(); ++r) {
+    const runtime::RuntimeStats& rs = cluster.replica(r).runtime_stats();
+    m.state_transfer_chunks_served += rs.state_transfer_chunks_served;
+    m.state_transfer_chunks_fetched += rs.state_transfer_chunks_fetched;
+    m.state_transfer_invalid_chunks += rs.state_transfer_invalid_chunks;
+    m.state_transfer_resumes += rs.state_transfer_resumes;
+    m.state_transfer_bytes_transferred += rs.state_transfer_bytes_transferred;
+  }
   auto totals = cluster.network().total_stats();
   m.messages_sent = totals.count;
   m.bytes_sent = totals.bytes;

@@ -34,6 +34,12 @@ struct RunMetrics {
   // Durability / crash recovery (fault experiments report recovery cost).
   uint64_t recoveries = 0;
   uint64_t wal_bytes_written = 0;
+  // Chunked state transfer (summed over replicas; docs/state_transfer.md).
+  uint64_t state_transfer_chunks_served = 0;
+  uint64_t state_transfer_chunks_fetched = 0;
+  uint64_t state_transfer_invalid_chunks = 0;
+  uint64_t state_transfer_resumes = 0;
+  uint64_t state_transfer_bytes_transferred = 0;
 };
 
 /// Gathers metrics for completions inside [from_us, to_us) of simulated time.

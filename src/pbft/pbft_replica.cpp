@@ -20,7 +20,9 @@ TimerKind timer_kind(uint64_t id) { return static_cast<TimerKind>(id >> 48); }
 
 PbftReplica::PbftReplica(PbftOptions options, std::unique_ptr<IService> service)
     : opts_(std::move(options)),
-      runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal},
+      runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal,
+                opts_.config.state_transfer_chunk_size,
+                opts_.config.state_transfer_max_chunks_per_request},
                std::move(service)) {
   SBFT_CHECK(opts_.config.c == 0);  // PBFT sizing: n = 3f + 1
   SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
@@ -101,6 +103,12 @@ void PbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext&
           handle_state_transfer_request(m, ctx);
         } else if constexpr (std::is_same_v<T, StateTransferReplyMsg>) {
           handle_state_transfer_reply(m, ctx);
+        } else if constexpr (std::is_same_v<T, StateManifestMsg>) {
+          handle_state_manifest(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, StateChunkRequestMsg>) {
+          handle_state_chunk_request(m, ctx);
+        } else if constexpr (std::is_same_v<T, StateChunkMsg>) {
+          handle_state_chunk(from, m, ctx);
         }
       },
       msg);
@@ -130,13 +138,35 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
       break;
     }
     case kStateTransferTimer: {
+      runtime::StateTransferManager& st = runtime_.state_transfer();
+      if (st.chunked()) {
+        // Single retry loop; the stop/probe decisions live in the manager,
+        // shared with the SBFT engine.
+        auto tick = st.on_retry_tick(le(), state_transfer_behind(), runtime_.stats());
+        if (tick.stop) {
+          st_inflight_ = false;
+          // The fetch that just ended may have become moot for its *target*
+          // while the replica fell behind a newer checkpoint (the cluster
+          // moved on mid-fetch): start over, like the legacy path below.
+          if (state_transfer_behind()) request_state_transfer(ctx);
+          break;
+        }
+        if (tick.probe) {
+          StateTransferRequestMsg req;
+          req.requester = opts_.id;
+          req.have_seq = le();
+          broadcast(ctx, make_message(std::move(req)));
+        }
+        send_chunk_requests(ctx);
+        ctx.set_timer(opts_.config.state_transfer_retry_us,
+                      timer_id(kStateTransferTimer, 0));
+        break;
+      }
       st_inflight_ = false;
       // Retry while a true gap persists — or while a wiped/restarted replica
       // has yet to obtain any checkpoint (its boot probe may have picked a
       // peer with nothing to ship).
-      if (execution_gap() || (opts_.recovering && le() == 0 && ls() == 0)) {
-        request_state_transfer(ctx);
-      }
+      if (state_transfer_behind()) request_state_transfer(ctx);
       break;
     }
   }
@@ -350,9 +380,30 @@ void PbftReplica::handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContex
 }
 
 // ---------------------------------------------------------------------------
-// State transfer (checkpoint shipping; crash-fault trust model, see header)
+// State transfer (checkpoint shipping; crash-fault trust model, see header;
+// chunked protocol spec in docs/state_transfer.md)
+
+bool PbftReplica::state_transfer_behind() const {
+  return execution_gap() || (opts_.recovering && le() == 0 && ls() == 0);
+}
 
 void PbftReplica::request_state_transfer(sim::ActorContext& ctx) {
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  if (st.chunked()) {
+    if (st.active()) return;  // a fetch round is already running
+    st.begin_probe();
+    ++runtime_.stats().state_transfers;
+    StateTransferRequestMsg req;
+    req.requester = opts_.id;
+    req.have_seq = le();
+    broadcast(ctx, make_message(std::move(req)));
+    if (!st_inflight_) {
+      st_inflight_ = true;  // retry timer armed
+      ctx.set_timer(opts_.config.state_transfer_retry_us,
+                    timer_id(kStateTransferTimer, 0));
+    }
+    return;
+  }
   if (st_inflight_) return;
   st_inflight_ = true;
   ++runtime_.stats().state_transfers;
@@ -374,6 +425,17 @@ void PbftReplica::handle_state_transfer_request(const StateTransferRequestMsg& m
   // is what the receiver verifies the snapshot against.
   const runtime::CheckpointManager& cp = runtime_.checkpoints();
   if (!cp.has_shippable() || cp.snapshot_cert().seq <= m.have_seq) return;
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  if (st.chunked()) {
+    // Building the chunk tree hashes the whole envelope — charged only when
+    // the cache is cold for this checkpoint, not on every repeated probe.
+    bool cold = st.donor_cached_seq() != cp.snapshot_cert().seq;
+    auto manifest = st.make_manifest(cp, m.have_seq, opts_.id);
+    if (!manifest) return;
+    if (cold) ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
+    ctx.send(m.requester - 1, make_message(std::move(*manifest)));
+    return;
+  }
   StateTransferReplyMsg reply;
   reply.seq = cp.snapshot_cert().seq;
   reply.cert = cp.snapshot_cert();
@@ -398,6 +460,79 @@ void PbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
                           checkpoint_votes_.upper_bound(m.seq));
   progress_marker_ = le();
   st_inflight_ = false;
+  try_execute(ctx);
+}
+
+void PbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
+                                        sim::ActorContext& ctx) {
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  if (!st.chunked() || !st.active() || m.seq <= le()) return;
+  // The donor field must match the authenticated channel's sender: donor
+  // identity drives registration and (on an invalid chunk) exclusion, so a
+  // faulty replica must not be able to impersonate honest donors.
+  if (from != m.donor - 1) return;
+  // No pi signature to verify here (PBFT has no threshold keys): the chunk
+  // root and certificate are bound end-to-end by the state-root check in
+  // adopt_checkpoint — the crash-fault trust model the baseline runs under.
+  if (st.on_manifest(m, le())) send_chunk_requests(ctx);
+}
+
+void PbftReplica::handle_state_chunk_request(const StateChunkRequestMsg& m,
+                                             sim::ActorContext& ctx) {
+  std::vector<StateChunkMsg> chunks = runtime_.state_transfer().make_chunks(
+      runtime_.checkpoints(), m, opts_.id, runtime_.stats());
+  for (StateChunkMsg& c : chunks) {
+    ctx.charge(ctx.costs().hash_us(c.data.size()));
+    if (opts_.corrupt_state_chunks && !c.data.empty()) c.data[0] ^= 0xff;
+    ctx.send(m.requester - 1, make_message(std::move(c)));
+  }
+}
+
+void PbftReplica::handle_state_chunk(NodeId from, const StateChunkMsg& m,
+                                     sim::ActorContext& ctx) {
+  // Spoofed donor ids could exclude honest donors (see handle_state_manifest).
+  if (from != m.donor - 1) return;
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  ctx.charge(ctx.costs().hash_us(m.data.size()));  // leaf hash + proof path
+  using Verdict = runtime::StateTransferManager::ChunkVerdict;
+  switch (st.on_chunk(m, runtime_.stats())) {
+    case Verdict::kCompleted:
+      complete_chunked_transfer(ctx);
+      break;
+    case Verdict::kStored:
+    case Verdict::kInvalid:
+      send_chunk_requests(ctx);
+      break;
+    case Verdict::kDuplicate:
+    case Verdict::kRejected:
+      break;
+  }
+}
+
+void PbftReplica::send_chunk_requests(sim::ActorContext& ctx) {
+  for (auto& [donor, req] : runtime_.state_transfer().plan_requests(opts_.id)) {
+    ctx.send(donor - 1, make_message(std::move(req)));
+  }
+}
+
+void PbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  ExecCertificate cert = st.target_cert();
+  Bytes envelope = st.take_envelope();
+  bool adopted = runtime_.adopt_checkpoint(cert, as_span(envelope), ctx);
+  // The stale-target vs lying-manifest distinction lives in the manager,
+  // shared with the SBFT engine.
+  if (st.on_adopt_result(adopted, le())) {
+    StateTransferRequestMsg req;
+    req.requester = opts_.id;
+    req.have_seq = le();
+    broadcast(ctx, make_message(std::move(req)));
+  }
+  if (!adopted) return;
+  slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(cert.seq));
+  progress_marker_ = le();
   try_execute(ctx);
 }
 

@@ -45,6 +45,9 @@ struct PbftOptions {
   // probes state transfer on boot in case its local log fell behind the
   // cluster's stable checkpoint (or the disk was lost entirely).
   bool recovering = false;
+  // Fault injection: as a state-transfer donor, flip a byte in every chunk
+  // payload served (fetchers must detect it by Merkle verification).
+  bool corrupt_state_chunks = false;
 };
 
 struct PbftStats {
@@ -57,6 +60,12 @@ struct PbftStats {
   uint64_t blocks_replayed = 0;
   uint64_t wal_bytes_written = 0;
   uint64_t reply_cache_hits = 0;
+  // Chunked state transfer (filled by RuntimeStats::merge_into).
+  uint64_t state_transfer_chunks_served = 0;
+  uint64_t state_transfer_chunks_fetched = 0;
+  uint64_t state_transfer_invalid_chunks = 0;
+  uint64_t state_transfer_resumes = 0;
+  uint64_t state_transfer_bytes_transferred = 0;
 };
 
 class PbftReplica final : public sim::IActor {
@@ -104,6 +113,12 @@ class PbftReplica final : public sim::IActor {
                                      sim::ActorContext& ctx);
   void handle_state_transfer_reply(const StateTransferReplyMsg& m,
                                    sim::ActorContext& ctx);
+  void handle_state_manifest(NodeId from, const StateManifestMsg& m,
+                             sim::ActorContext& ctx);
+  void handle_state_chunk_request(const StateChunkRequestMsg& m,
+                                  sim::ActorContext& ctx);
+  void handle_state_chunk(NodeId from, const StateChunkMsg& m,
+                          sim::ActorContext& ctx);
 
   bool is_primary() const { return opts_.config.primary_of(view_) == opts_.id; }
   void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
@@ -115,6 +130,9 @@ class PbftReplica final : public sim::IActor {
   void enter_new_view(const PbftNewViewMsg& m, sim::ActorContext& ctx);
   void recover_from_storage();
   void request_state_transfer(sim::ActorContext& ctx);
+  bool state_transfer_behind() const;
+  void send_chunk_requests(sim::ActorContext& ctx);
+  void complete_chunked_transfer(sim::ActorContext& ctx);
   bool execution_gap() const;
   void broadcast(sim::ActorContext& ctx, MessagePtr msg);
   void arm_progress_timer(sim::ActorContext& ctx);

@@ -34,11 +34,25 @@ struct ProtocolConfig {
   uint32_t max_batch = 64;       // upper bound on requests per decision block
   bool adaptive_batching = true; // §VIII adaptive batch parameter
 
+  // --- state transfer (§VIII; normative spec in docs/state_transfer.md) -----
+  // Checkpoint snapshots ship as fixed-size chunks addressed by a Merkle tree
+  // over chunk hashes, fetched in parallel from every replica holding the
+  // stable checkpoint. 0 disables chunking: the whole snapshot envelope ships
+  // in one StateTransferReplyMsg (the pre-chunking protocol, kept for the
+  // monolithic-vs-chunked comparison in bench_recovery_bench).
+  uint32_t state_transfer_chunk_size = 64 * 1024;
+  // Upper bound on chunk indices carried by one StateChunkRequestMsg; bounds
+  // the per-donor burst a single request can trigger.
+  uint32_t state_transfer_max_chunks_per_request = 16;
+
   // --- timers (microseconds of simulated time) ------------------------------
   int64_t batch_timeout_us = 5'000;        // primary flushes a partial batch
   int64_t fast_path_timeout_us = 150'000;  // collector falls back to slow path
   int64_t view_change_timeout_us = 2'000'000;  // base; doubles per attempt (§VII)
   int64_t client_retry_timeout_us = 4'000'000;
+  // Chunked state transfer retry tick: outstanding chunk requests older than
+  // this are re-planned onto other donors (resume, never restart).
+  int64_t state_transfer_retry_us = 400'000;
 
   void validate() const {
     SBFT_CHECK(f >= 1);

@@ -89,6 +89,8 @@ enum class Tag : uint8_t {
   kExecuteAck, kClientReply, kViewChange, kNewView, kGetBlockRequest,
   kGetBlockReply, kStateTransferRequest, kStateTransferReply, kPbftPrepare,
   kPbftCommit, kPbftCheckpoint, kPbftViewChange, kPbftNewView,
+  // Chunked state transfer (appended; earlier tag values are wire-stable).
+  kStateManifest, kStateChunkRequest, kStateChunk,
 };
 
 void put(Writer& w, const Request& r) {
@@ -349,6 +351,34 @@ struct Encoder {
     put(w, m.cert);
     w.bytes(as_span(m.service_snapshot));
   }
+  void operator()(const StateManifestMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kStateManifest));
+    w.u32(m.donor);
+    w.u64(m.seq);
+    put(w, m.cert);
+    w.digest(m.chunk_root);
+    w.u32(m.chunk_count);
+    w.u32(m.chunk_size);
+    w.u64(m.total_bytes);
+  }
+  void operator()(const StateChunkRequestMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kStateChunkRequest));
+    w.u32(m.requester);
+    w.u64(m.seq);
+    w.digest(m.chunk_root);
+    w.u32(static_cast<uint32_t>(m.indices.size()));
+    for (uint32_t i : m.indices) w.u32(i);
+  }
+  void operator()(const StateChunkMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kStateChunk));
+    w.u32(m.donor);
+    w.u64(m.seq);
+    w.digest(m.chunk_root);
+    w.u32(m.index);
+    w.u32(m.chunk_count);
+    w.bytes(as_span(m.data));
+    put(w, m.proof);
+  }
   void operator()(const PbftPrepareMsg& m) {
     w.u8(static_cast<uint8_t>(Tag::kPbftPrepare));
     w.u64(m.seq);
@@ -553,6 +583,42 @@ std::optional<Message> decode_message(ByteSpan data) {
       out = m;
       break;
     }
+    case Tag::kStateManifest: {
+      StateManifestMsg m;
+      m.donor = r.u32();
+      m.seq = r.u64();
+      m.cert = get_cert(r);
+      m.chunk_root = r.digest();
+      m.chunk_count = r.u32();
+      m.chunk_size = r.u32();
+      m.total_bytes = r.u64();
+      out = m;
+      break;
+    }
+    case Tag::kStateChunkRequest: {
+      StateChunkRequestMsg m;
+      m.requester = r.u32();
+      m.seq = r.u64();
+      m.chunk_root = r.digest();
+      uint32_t n = r.u32();
+      if (n > 1'000'000) return std::nullopt;
+      m.indices.reserve(n);
+      for (uint32_t i = 0; i < n && r.ok(); ++i) m.indices.push_back(r.u32());
+      out = m;
+      break;
+    }
+    case Tag::kStateChunk: {
+      StateChunkMsg m;
+      m.donor = r.u32();
+      m.seq = r.u64();
+      m.chunk_root = r.digest();
+      m.index = r.u32();
+      m.chunk_count = r.u32();
+      m.data = r.bytes();
+      m.proof = get_block_proof(r);
+      out = m;
+      break;
+    }
     case Tag::kPbftPrepare: {
       PbftPrepareMsg m;
       m.seq = r.u64();
@@ -621,6 +687,9 @@ const char* message_type_name(const Message& msg) {
     const char* operator()(const GetBlockReplyMsg&) { return "get-block-reply"; }
     const char* operator()(const StateTransferRequestMsg&) { return "state-transfer-request"; }
     const char* operator()(const StateTransferReplyMsg&) { return "state-transfer-reply"; }
+    const char* operator()(const StateManifestMsg&) { return "state-manifest"; }
+    const char* operator()(const StateChunkRequestMsg&) { return "state-chunk-request"; }
+    const char* operator()(const StateChunkMsg&) { return "state-chunk"; }
     const char* operator()(const PbftPrepareMsg&) { return "pbft-prepare"; }
     const char* operator()(const PbftCommitMsg&) { return "pbft-commit"; }
     const char* operator()(const PbftCheckpointMsg&) { return "pbft-checkpoint"; }

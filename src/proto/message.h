@@ -218,10 +218,56 @@ struct StateTransferRequestMsg {
   SeqNum have_seq = 0;  // highest executed sequence at the requester
 };
 
+/// Monolithic reply: the whole snapshot envelope in one message. Legacy path,
+/// used when ProtocolConfig::state_transfer_chunk_size == 0; the chunked
+/// protocol below replaces it everywhere else (docs/state_transfer.md).
 struct StateTransferReplyMsg {
   SeqNum seq = 0;  // checkpoint being shipped
   ExecCertificate cert;
   Bytes service_snapshot;
+};
+
+// --- chunked state transfer (docs/state_transfer.md is the normative spec) --
+
+/// Donor -> fetcher: describes the chunked form of the donor's shippable
+/// (certificate, snapshot) pair. chunk_root is the BlockMerkleTree root over
+/// leaf_hash(chunk_i); the fetcher verifies every chunk against it, and the
+/// assembled envelope against cert.state_root (the certified binding).
+struct StateManifestMsg {
+  ReplicaId donor = 0;
+  SeqNum seq = 0;  // == cert.seq
+  ExecCertificate cert;
+  Digest chunk_root{};
+  uint32_t chunk_count = 0;
+  uint32_t chunk_size = 0;     // bytes per chunk (last chunk may be shorter)
+  uint64_t total_bytes = 0;    // size of the snapshot envelope
+};
+
+/// Fetcher -> donor: fetch of specific chunks of one transfer. chunk_root
+/// here is the *geometry-bound transfer key* (the manifest's tree root hashed
+/// with its chunk grid — ChunkedSnapshot::make_transfer_root), so a donor
+/// only ever serves a transfer whose geometry it derived itself. Indices are
+/// explicit so a resume re-requests exactly the missing set, from whichever
+/// donor the fetcher chooses.
+struct StateChunkRequestMsg {
+  ReplicaId requester = 0;
+  SeqNum seq = 0;
+  Digest chunk_root{};  // transfer key, not the bare tree root
+  std::vector<uint32_t> indices;
+};
+
+/// Donor -> fetcher: one chunk plus its Merkle membership proof under the
+/// manifest's tree root. Verified chunk-by-chunk, so a corrupt donor is
+/// detected on the first bad chunk and the fetch continues from the
+/// remaining donors.
+struct StateChunkMsg {
+  ReplicaId donor = 0;
+  SeqNum seq = 0;
+  Digest chunk_root{};  // transfer key, matching the request
+  uint32_t index = 0;
+  uint32_t chunk_count = 0;
+  Bytes data;
+  merkle::BlockProof proof;
 };
 
 // ---------------------------------------------------------------------------
@@ -274,7 +320,8 @@ using Message = std::variant<
     PrepareMsg, CommitShareMsg, FullCommitProofSlowMsg, SignStateMsg,
     FullExecuteProofMsg, ExecuteAckMsg, ClientReplyMsg, ViewChangeMsg,
     NewViewMsg, GetBlockRequestMsg, GetBlockReplyMsg, StateTransferRequestMsg,
-    StateTransferReplyMsg, PbftPrepareMsg, PbftCommitMsg, PbftCheckpointMsg,
+    StateTransferReplyMsg, StateManifestMsg, StateChunkRequestMsg, StateChunkMsg,
+    PbftPrepareMsg, PbftCommitMsg, PbftCheckpointMsg,
     PbftViewChangeMsg, PbftNewViewMsg>;
 
 using MessagePtr = std::shared_ptr<const Message>;

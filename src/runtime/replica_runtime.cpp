@@ -12,7 +12,9 @@ ReplicaRuntime::ReplicaRuntime(RuntimeOptions options,
                                std::unique_ptr<IService> service)
     : opts_(std::move(options)),
       service_(std::move(service)),
-      checkpoints_(opts_.checkpoint_interval) {
+      checkpoints_(opts_.checkpoint_interval),
+      state_transfer_(opts_.state_transfer_chunk_size,
+                      opts_.state_transfer_max_chunks_per_request) {
   exec_digests_[0] = genesis_exec_digest();
 }
 

@@ -32,6 +32,7 @@
 #include "recovery/wal.h"
 #include "runtime/checkpoint_manager.h"
 #include "runtime/reply_cache.h"
+#include "runtime/state_transfer.h"
 #include "sim/network.h"
 #include "storage/ledger_storage.h"
 
@@ -41,6 +42,10 @@ struct RuntimeOptions {
   uint64_t checkpoint_interval = 0;  // 0: checkpoints disabled
   std::shared_ptr<storage::ILedgerStorage> ledger;  // optional persistence
   std::shared_ptr<recovery::IReplicaWal> wal;       // optional consensus WAL
+  // Chunked state transfer (ProtocolConfig::state_transfer_chunk_size /
+  // _max_chunks_per_request); chunk size 0 keeps the monolithic protocol.
+  uint32_t state_transfer_chunk_size = 0;
+  uint32_t state_transfer_max_chunks_per_request = 16;
 };
 
 /// Stats common to every protocol; the ordering engines merge these into
@@ -53,6 +58,14 @@ struct RuntimeStats {
   uint64_t recoveries = 0;        // 1 when this incarnation rebuilt from storage
   uint64_t blocks_replayed = 0;   // ledger blocks re-executed during recovery
   uint64_t wal_bytes_written = 0; // cumulative WAL appends (handle lifetime)
+  // Chunked state transfer (docs/state_transfer.md).
+  uint64_t state_transfer_chunks_served = 0;   // donor: chunks shipped
+  uint64_t state_transfer_chunks_fetched = 0;  // fetcher: chunks verified+stored
+  uint64_t state_transfer_invalid_chunks = 0;  // fetcher: failed Merkle check
+  uint64_t state_transfer_resumes = 0;         // retry ticks with partial data
+  // Chunk payload verified and stored by this replica's fetcher role; summed
+  // across a cluster this equals the snapshot bytes moved exactly once.
+  uint64_t state_transfer_bytes_transferred = 0;
 
   /// Copies every runtime-owned counter into a protocol stats struct (which
   /// must declare fields of the same names) — one place to extend when a
@@ -66,6 +79,11 @@ struct RuntimeStats {
     out.recoveries = recoveries;
     out.blocks_replayed = blocks_replayed;
     out.wal_bytes_written = wal_bytes_written;
+    out.state_transfer_chunks_served = state_transfer_chunks_served;
+    out.state_transfer_chunks_fetched = state_transfer_chunks_fetched;
+    out.state_transfer_invalid_chunks = state_transfer_invalid_chunks;
+    out.state_transfer_resumes = state_transfer_resumes;
+    out.state_transfer_bytes_transferred = state_transfer_bytes_transferred;
   }
 };
 
@@ -145,6 +163,13 @@ class ReplicaRuntime {
   bool adopt_checkpoint(const ExecCertificate& cert, ByteSpan snapshot_envelope,
                         sim::ActorContext& ctx);
 
+  // --- state transfer --------------------------------------------------------
+  /// Chunked state-transfer state machine (fetcher + donor roles); the
+  /// ordering engines drive it and send what it hands back — the runtime
+  /// itself never touches the network (docs/state_transfer.md).
+  StateTransferManager& state_transfer() { return state_transfer_; }
+  const StateTransferManager& state_transfer() const { return state_transfer_; }
+
   // --- WAL -------------------------------------------------------------------
   void wal_record_view(ViewNum v);
   void wal_record_vote(SeqNum s, ViewNum v, const Digest& block_digest);
@@ -162,6 +187,7 @@ class ReplicaRuntime {
   std::unique_ptr<IService> service_;
   ReplyCache replies_;
   CheckpointManager checkpoints_;
+  StateTransferManager state_transfer_;
 
   SeqNum le_ = 0;  // last executed sequence
   std::map<SeqNum, ExecutionRecord> records_;

@@ -1,0 +1,396 @@
+#include "runtime/state_transfer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "crypto/sha256.h"
+#include "runtime/checkpoint_manager.h"
+#include "runtime/replica_runtime.h"
+
+namespace sbft::runtime {
+
+// ---------------------------------------------------------------------------
+// ChunkedSnapshot
+
+ChunkedSnapshot::ChunkedSnapshot(ByteSpan envelope, uint32_t chunk_size)
+    : chunk_size_(chunk_size), total_bytes_(envelope.size()) {
+  SBFT_CHECK(!envelope.empty());
+  SBFT_CHECK(chunk_size_ > 0);
+  std::vector<Digest> leaves;
+  leaves.reserve(envelope.size() / chunk_size_ + 1);
+  for (size_t off = 0; off < envelope.size(); off += chunk_size_) {
+    size_t len = std::min<size_t>(chunk_size_, envelope.size() - off);
+    leaves.push_back(chunk_leaf(envelope.subspan(off, len)));
+  }
+  tree_ = std::make_unique<merkle::BlockMerkleTree>(std::move(leaves));
+  transfer_root_ = make_transfer_root(tree_->root(), chunk_size_, chunk_count(),
+                                      total_bytes_);
+}
+
+Digest ChunkedSnapshot::make_transfer_root(const Digest& tree_root,
+                                           uint32_t chunk_size,
+                                           uint32_t chunk_count,
+                                           uint64_t total_bytes) {
+  Writer w;
+  w.str("sbft.state-transfer");
+  w.digest(tree_root);
+  w.u32(chunk_size);
+  w.u32(chunk_count);
+  w.u64(total_bytes);
+  return crypto::sha256(as_span(w.data()));
+}
+
+ByteSpan ChunkedSnapshot::chunk(ByteSpan envelope, uint32_t index) const {
+  SBFT_CHECK(envelope.size() == total_bytes_);
+  SBFT_CHECK(index < chunk_count());
+  size_t off = static_cast<size_t>(index) * chunk_size_;
+  size_t len = std::min<size_t>(chunk_size_, envelope.size() - off);
+  return envelope.subspan(off, len);
+}
+
+// ---------------------------------------------------------------------------
+// Fetcher
+
+void StateTransferManager::reset_fetch_state() {
+  target_cert_ = ExecCertificate{};
+  manifest_donor_ = 0;
+  chunk_root_ = Digest{};
+  transfer_root_ = Digest{};
+  chunk_count_ = 0;
+  target_chunk_size_ = 0;
+  total_bytes_ = 0;
+  chunks_.clear();
+  received_ = 0;
+  donors_.clear();
+  strikes_.clear();
+  struck_out_.clear();
+  unplanned_.clear();
+  outstanding_.clear();
+  outstanding_by_donor_.clear();
+  delivered_since_tick_.clear();
+}
+
+void StateTransferManager::retarget(const StateManifestMsg& m) {
+  reset_fetch_state();
+  target_cert_ = m.cert;
+  manifest_donor_ = m.donor;
+  chunk_root_ = m.chunk_root;
+  transfer_root_ = ChunkedSnapshot::make_transfer_root(
+      m.chunk_root, m.chunk_size, m.chunk_count, m.total_bytes);
+  chunk_count_ = m.chunk_count;
+  target_chunk_size_ = m.chunk_size;
+  total_bytes_ = m.total_bytes;
+  chunks_.assign(chunk_count_, Bytes{});
+  for (uint32_t i = 0; i < chunk_count_; ++i) unplanned_.insert(unplanned_.end(), i);
+  donors_.push_back(m.donor);
+}
+
+bool StateTransferManager::on_manifest(const StateManifestMsg& m,
+                                       SeqNum last_executed) {
+  if (!active_ || m.seq <= last_executed) return false;
+  if (excluded_.count(m.donor)) return false;
+  // Geometry sanity: the chunk grid must tile total_bytes exactly.
+  if (m.cert.seq != m.seq || m.chunk_size == 0 || m.chunk_count == 0 ||
+      m.total_bytes == 0 || m.total_bytes > kMaxTotalBytes ||
+      m.chunk_count > kMaxChunks) {
+    return false;
+  }
+  uint64_t expect_count =
+      (m.total_bytes + m.chunk_size - 1) / m.chunk_size;
+  if (expect_count != m.chunk_count) return false;
+
+  // Manifests name a *transfer*: the chunk tree root bound to its geometry.
+  // Honest replicas derive identical envelopes (hence identical transfers)
+  // for a given checkpoint, so two same-seq manifests naming different
+  // transfers means one of them lied — about the root or about the grid.
+  Digest incoming = ChunkedSnapshot::make_transfer_root(
+      m.chunk_root, m.chunk_size, m.chunk_count, m.total_bytes);
+
+  // Same seq, different transfer: first manifest wins while any of its
+  // donors is still answering. But once every donor of the adopted transfer
+  // is dead, excluded, or struck out, it is unobtainable — a live network
+  // offering a different transfer for the same seq means the adopted
+  // manifest was the lie. Drop it (excluding its sender) and let this
+  // manifest re-target; without this, a Byzantine donor could wedge the
+  // fetch forever by advertising a fabricated transfer and going silent.
+  if (has_target() && m.seq == target_cert_.seq &&
+      !(incoming == transfer_root_)) {
+    // struck_out_, not strikes_: planning-time forgiveness must not erase
+    // the evidence that the adopted transfer's donors are all unresponsive.
+    bool donors_dead = true;
+    for (ReplicaId d : donors_) {
+      if (!struck_out_.count(d)) donors_dead = false;
+    }
+    if (!donors_dead) return false;
+    manifest_failed();
+  }
+  if (!has_target() || m.seq > target_cert_.seq) {
+    retarget(m);
+    return true;
+  }
+  if (m.seq == target_cert_.seq && incoming == transfer_root_) {
+    // Another replica holds the same transfer: register it as a donor.
+    if (std::find(donors_.begin(), donors_.end(), m.donor) == donors_.end()) {
+      donors_.push_back(m.donor);
+      return true;
+    }
+  }
+  return false;
+}
+
+StateTransferManager::ChunkVerdict StateTransferManager::on_chunk(
+    const StateChunkMsg& m, RuntimeStats& stats) {
+  // Messages match on the geometry-bound transfer key; the Merkle proof
+  // below verifies against the tree root that key commits to.
+  if (!has_target() || m.seq != target_cert_.seq ||
+      !(m.chunk_root == transfer_root_)) {
+    return ChunkVerdict::kRejected;
+  }
+  bool valid = m.index < chunk_count_ && m.chunk_count == chunk_count_ &&
+               !m.data.empty() && m.data.size() <= target_chunk_size_ &&
+               m.proof.index == m.index && m.proof.leaf_count == chunk_count_ &&
+               merkle::BlockMerkleTree::verify(
+                   chunk_root_, ChunkedSnapshot::chunk_leaf(as_span(m.data)),
+                   m.proof);
+  if (!valid) {
+    ++stats.state_transfer_invalid_chunks;
+    excluded_.insert(m.donor);
+    donors_.erase(std::remove(donors_.begin(), donors_.end(), m.donor),
+                  donors_.end());
+    // Everything outstanding at the bad donor becomes re-plannable right now.
+    if (auto it = outstanding_by_donor_.find(m.donor);
+        it != outstanding_by_donor_.end()) {
+      for (uint32_t i : it->second) {
+        outstanding_.erase(i);
+        if (chunks_[i].empty()) unplanned_.insert(i);
+      }
+      outstanding_by_donor_.erase(it);
+    }
+    // An invalid chunk from the replica whose manifest we adopted makes the
+    // whole target suspect (it authored the chunk root): drop it now so
+    // honest same-seq manifests can re-target on the next probe, instead of
+    // waiting for a completion that may never come.
+    if (m.donor == manifest_donor_) manifest_failed();
+    return ChunkVerdict::kInvalid;
+  }
+  // A verified chunk proves the donor is alive and serving, even when it
+  // loses a re-plan race and arrives as a duplicate — credit it before the
+  // duplicate check so the retry tick never strikes an active donor, and
+  // clear any strike history it accumulated while unreachable.
+  delivered_since_tick_.insert(m.donor);
+  strikes_.erase(m.donor);
+  struck_out_.erase(m.donor);
+  if (!chunks_[m.index].empty()) return ChunkVerdict::kDuplicate;
+  chunks_[m.index] = m.data;
+  ++received_;
+  ++stats.state_transfer_chunks_fetched;
+  stats.state_transfer_bytes_transferred += m.data.size();
+  unplanned_.erase(m.index);
+  outstanding_.erase(m.index);
+  if (auto it = outstanding_by_donor_.find(m.donor);
+      it != outstanding_by_donor_.end()) {
+    it->second.erase(m.index);
+  }
+  return received_ == chunk_count_ ? ChunkVerdict::kCompleted
+                                   : ChunkVerdict::kStored;
+}
+
+std::vector<std::pair<ReplicaId, StateChunkRequestMsg>>
+StateTransferManager::plan_requests(ReplicaId self) {
+  std::vector<std::pair<ReplicaId, StateChunkRequestMsg>> out;
+  if (!has_target() || received_ == chunk_count_) return out;
+
+  // Usable donors: not excluded (erased already), preferring ones that have
+  // not struck out; if every donor struck out, forgive — the alternative is
+  // giving up with partial data in hand.
+  std::vector<ReplicaId> pool;
+  for (ReplicaId d : donors_) {
+    if (strikes_[d] < kStrikeLimit) pool.push_back(d);
+  }
+  if (pool.empty()) {
+    strikes_.clear();
+    pool = donors_;
+  }
+  if (pool.empty()) return out;
+
+  std::map<ReplicaId, StateChunkRequestMsg> batch;
+  size_t cursor = rotation_ % pool.size();
+  for (auto it = unplanned_.begin(); it != unplanned_.end();) {
+    uint32_t i = *it;
+    // Round-robin over donors with capacity left this plan.
+    ReplicaId donor = 0;
+    for (size_t probe = 0; probe < pool.size(); ++probe) {
+      ReplicaId cand = pool[(cursor + probe) % pool.size()];
+      if (batch[cand].indices.size() < max_chunks_per_request_) {
+        donor = cand;
+        cursor = (cursor + probe + 1) % pool.size();
+        break;
+      }
+    }
+    if (donor == 0) break;  // every donor's batch is full; wait for arrivals
+    StateChunkRequestMsg& req = batch[donor];
+    if (req.indices.empty()) {
+      req.requester = self;
+      req.seq = target_cert_.seq;
+      req.chunk_root = transfer_root_;
+    }
+    req.indices.push_back(i);
+    it = unplanned_.erase(it);
+    outstanding_.insert(i);
+    outstanding_by_donor_[donor].insert(i);
+  }
+  for (auto& [donor, req] : batch) {
+    if (!req.indices.empty()) out.emplace_back(donor, std::move(req));
+  }
+  return out;
+}
+
+bool StateTransferManager::on_retry(RuntimeStats& stats) {
+  if (!active_) return false;
+  // Strike donors that sat on outstanding requests without delivering, and
+  // make everything they sat on plannable again.
+  for (const auto& [donor, indices] : outstanding_by_donor_) {
+    if (indices.empty() || delivered_since_tick_.count(donor)) continue;
+    if (++strikes_[donor] >= kStrikeLimit) struck_out_.insert(donor);
+  }
+  for (uint32_t i : outstanding_) {
+    if (chunks_.empty() || chunks_[i].empty()) unplanned_.insert(i);
+  }
+  outstanding_.clear();
+  outstanding_by_donor_.clear();
+  delivered_since_tick_.clear();
+  ++rotation_;
+  bool resuming = has_target() && received_ > 0 && received_ < chunk_count_;
+  if (resuming) ++stats.state_transfer_resumes;
+  return resuming;
+}
+
+StateTransferManager::RetryTick StateTransferManager::on_retry_tick(
+    SeqNum last_executed, bool behind, RuntimeStats& stats) {
+  // The fetch became moot: caught up to (or past) the target through the
+  // ordering protocol, or no manifest yet and no demonstrable lag remains.
+  if (has_target() && target_cert_.seq <= last_executed) finish();
+  if (active_ && !has_target() && !behind) finish();
+  if (!active_) return {/*stop=*/true, /*probe=*/false};
+  on_retry(stats);
+  // Re-broadcast the probe while no manifest was adopted, every donor went
+  // bad, or every registered donor has struck out (all crashed/partitioned:
+  // plan_requests will forgive and keep retrying them, but only a fresh
+  // probe lets replicas that acquired the checkpoint since then register).
+  // struck_out_ persists across planning-time forgiveness, so this decision
+  // — like on_manifest's re-target — cannot be erased by a re-plan.
+  bool all_struck = !donors_.empty();
+  for (ReplicaId d : donors_) {
+    if (!struck_out_.count(d)) all_struck = false;
+  }
+  return {/*stop=*/false,
+          /*probe=*/!has_target() || donors_.empty() || all_struck};
+}
+
+Bytes StateTransferManager::take_envelope() {
+  SBFT_CHECK(has_target() && received_ == chunk_count_);
+  Bytes envelope;
+  envelope.reserve(total_bytes_);
+  for (const Bytes& c : chunks_) {
+    envelope.insert(envelope.end(), c.begin(), c.end());
+  }
+  return envelope;
+}
+
+bool StateTransferManager::on_adopt_result(bool adopted, SeqNum last_executed) {
+  if (adopted) {
+    finish();
+    return false;
+  }
+  if (target_cert_.seq <= last_executed) {
+    // Became stale while fetching (the replica caught up through the
+    // ordering protocol); nothing went wrong — the retry timer lapses.
+    finish();
+    return false;
+  }
+  // The assembled envelope failed the certified state-root check: the
+  // manifest sender lied. Exclude it and re-probe from the survivors.
+  manifest_failed();
+  return true;
+}
+
+void StateTransferManager::manifest_failed() {
+  excluded_.insert(manifest_donor_);
+  reset_fetch_state();
+  // Stays active (and excluded_ is kept): the caller re-probes and the fetch
+  // restarts against the remaining replicas.
+}
+
+void StateTransferManager::finish() {
+  active_ = false;
+  reset_fetch_state();
+  excluded_.clear();
+  rotation_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Donor
+
+const ChunkedSnapshot* StateTransferManager::donor_snapshot(
+    const CheckpointManager& cp) {
+  if (!cp.has_shippable()) return nullptr;
+  if (donor_seq_ != cp.snapshot_cert().seq || !donor_chunks_) {
+    donor_chunks_ =
+        std::make_unique<ChunkedSnapshot>(as_span(cp.snapshot()), chunk_size_);
+    donor_seq_ = cp.snapshot_cert().seq;
+  }
+  return donor_chunks_.get();
+}
+
+std::optional<StateManifestMsg> StateTransferManager::make_manifest(
+    const CheckpointManager& cp, SeqNum have_seq, ReplicaId self) {
+  if (!chunked() || !cp.has_shippable() || cp.snapshot_cert().seq <= have_seq) {
+    return std::nullopt;
+  }
+  const ChunkedSnapshot* snap = donor_snapshot(cp);
+  StateManifestMsg m;
+  m.donor = self;
+  m.seq = cp.snapshot_cert().seq;
+  m.cert = cp.snapshot_cert();
+  m.chunk_root = snap->chunk_root();
+  m.chunk_count = snap->chunk_count();
+  m.chunk_size = snap->chunk_size();
+  m.total_bytes = snap->total_bytes();
+  return m;
+}
+
+std::vector<StateChunkMsg> StateTransferManager::make_chunks(
+    const CheckpointManager& cp, const StateChunkRequestMsg& req, ReplicaId self,
+    RuntimeStats& stats) {
+  std::vector<StateChunkMsg> out;
+  if (!chunked() || !cp.has_shippable() || cp.snapshot_cert().seq != req.seq) {
+    return out;  // checkpoint advanced past the request: fetcher re-probes
+  }
+  const ChunkedSnapshot* snap = donor_snapshot(cp);
+  // Match on the geometry-bound transfer key: a request for a transfer this
+  // donor does not recognize (e.g. forged geometry over the honest root) is
+  // ignored, so an honest donor can never be blamed for a liar's manifest.
+  if (!(snap->transfer_root() == req.chunk_root)) return out;
+  size_t limit = std::min<size_t>(req.indices.size(), max_chunks_per_request_);
+  for (size_t i = 0; i < limit; ++i) {
+    uint32_t index = req.indices[i];
+    if (index >= snap->chunk_count()) continue;
+    StateChunkMsg m;
+    m.donor = self;
+    m.seq = req.seq;
+    m.chunk_root = snap->transfer_root();
+    m.index = index;
+    m.chunk_count = snap->chunk_count();
+    m.data = to_bytes(snap->chunk(as_span(cp.snapshot()), index));
+    m.proof = snap->proof(index);
+    // Bytes are counted fetcher-side only (on verified store), so summing
+    // the counter across a cluster yields the snapshot size once — not
+    // once per role, and not inflated by dropped or duplicate serves.
+    ++stats.state_transfer_chunks_served;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace sbft::runtime

@@ -1,0 +1,239 @@
+// Chunked, resumable, integrity-verified state transfer (§VIII; the normative
+// protocol description lives in docs/state_transfer.md — keep them in sync).
+//
+// A checkpoint snapshot envelope is split into fixed-size chunks addressed by
+// a Merkle tree over chunk hashes (reusing merkle::BlockMerkleTree). A
+// rejoining replica broadcasts a probe; every replica holding a newer stable
+// checkpoint answers with a manifest (certificate + chunk root + geometry),
+// and the fetcher pulls the chunks in parallel from all manifest senders
+// (donors), verifying each chunk against the manifest's chunk root before
+// storing it. Missing chunks — donor crash, partition, dropped messages — are
+// re-planned onto the remaining donors on a retry tick; received chunks are
+// never discarded, so a disturbed transfer *resumes* instead of restarting.
+// The assembled envelope is finally verified against the certificate's state
+// root by ReplicaRuntime::adopt_checkpoint, which closes the trust loop: a
+// donor that lied in its manifest is detected there, excluded, and the fetch
+// restarts against the remaining donors.
+//
+// Split of responsibilities: this manager owns the fetch/serve state machine
+// and produces/consumes the protocol message *structs*; it never touches the
+// network. The ordering engines (SBFT, PBFT) send whatever it hands back and
+// feed it what arrives — the same layering rule the rest of the runtime
+// follows (the runtime never sends messages).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "merkle/merkle_tree.h"
+#include "proto/message.h"
+
+namespace sbft::runtime {
+
+class CheckpointManager;
+struct RuntimeStats;
+
+/// Donor-side view of one snapshot envelope: the chunk partition geometry
+/// and the Merkle tree over leaf_hash(chunk_i), built once per shippable
+/// pair and cached until the stable checkpoint advances. Does NOT retain the
+/// envelope bytes — the CheckpointManager already owns them; chunk() slices
+/// the caller-provided envelope, so a multi-MB snapshot is never duplicated.
+class ChunkedSnapshot {
+ public:
+  /// `envelope` must be non-empty; `chunk_size` > 0.
+  ChunkedSnapshot(ByteSpan envelope, uint32_t chunk_size);
+
+  uint32_t chunk_count() const { return static_cast<uint32_t>(tree_->leaf_count()); }
+  uint32_t chunk_size() const { return chunk_size_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  const Digest& chunk_root() const { return tree_->root(); }
+  /// Geometry-bound transfer key: requests and chunk replies are matched on
+  /// this, never on the bare tree root (see make_transfer_root).
+  const Digest& transfer_root() const { return transfer_root_; }
+
+  /// Payload bytes of chunk `index` (the last chunk may be shorter).
+  /// `envelope` must be the same bytes this snapshot was built over.
+  ByteSpan chunk(ByteSpan envelope, uint32_t index) const;
+  merkle::BlockProof proof(uint32_t index) const { return tree_->prove(index); }
+
+  /// Leaf digest a verifier recomputes from a received chunk payload.
+  static Digest chunk_leaf(ByteSpan data) { return merkle::leaf_hash(data); }
+
+  /// The transfer key binds the chunk tree root to the manifest geometry, so
+  /// two manifests agreeing on the envelope but lying about the grid name
+  /// *different* transfers: an honest donor never serves (and is never
+  /// blamed for) a bogus-geometry fetch — the liar's transfer just starves
+  /// and the dead-donors retarget path heals it.
+  static Digest make_transfer_root(const Digest& tree_root, uint32_t chunk_size,
+                                   uint32_t chunk_count, uint64_t total_bytes);
+
+ private:
+  uint32_t chunk_size_;
+  uint64_t total_bytes_;
+  std::unique_ptr<merkle::BlockMerkleTree> tree_;
+  Digest transfer_root_{};
+};
+
+/// Fetcher + donor state machine for chunked state transfer. Owned by
+/// ReplicaRuntime; driven by the ordering engines.
+class StateTransferManager {
+ public:
+  explicit StateTransferManager(uint32_t chunk_size,
+                                uint32_t max_chunks_per_request = 16)
+      : chunk_size_(chunk_size),
+        max_chunks_per_request_(max_chunks_per_request ? max_chunks_per_request : 1) {}
+
+  /// Chunking enabled? (false => the legacy monolithic reply is used).
+  bool chunked() const { return chunk_size_ > 0; }
+
+  // --- fetcher ---------------------------------------------------------------
+
+  /// A fetch round is in progress (probe broadcast, manifest possibly
+  /// adopted, chunks possibly partially received).
+  bool active() const { return active_; }
+  /// A manifest has been adopted (target certificate + chunk root known).
+  bool has_target() const { return active_ && target_cert_.seq > 0; }
+  const ExecCertificate& target_cert() const { return target_cert_; }
+  uint32_t chunks_received() const { return received_; }
+  uint32_t chunk_count() const { return chunk_count_; }
+  size_t donor_count() const { return donors_.size(); }
+  /// Donor was excluded (invalid chunk / failed manifest) for this fetch —
+  /// lets engines skip expensive signature checks on its further manifests.
+  bool donor_excluded(ReplicaId donor) const { return excluded_.count(donor) > 0; }
+
+  /// Marks a fetch round active (idempotent). The caller broadcasts the
+  /// probe; partial state from a disturbed earlier round is kept (resume).
+  void begin_probe() { active_ = true; }
+
+  /// Feeds a donor manifest. Returns true when the manifest (re)targeted the
+  /// fetch or registered a new donor — i.e. the caller should send the next
+  /// request plan. Certificate signature verification (SBFT's pi) is the
+  /// caller's job, *before* this call.
+  bool on_manifest(const StateManifestMsg& m, SeqNum last_executed);
+
+  enum class ChunkVerdict {
+    kRejected,   // stale or off-target; ignore silently
+    kInvalid,    // failed Merkle verification: donor excluded, re-plan
+    kDuplicate,  // already stored; ignore
+    kStored,     // stored; request more
+    kCompleted,  // stored and the set is complete: assemble + adopt
+  };
+  ChunkVerdict on_chunk(const StateChunkMsg& m, RuntimeStats& stats);
+
+  /// Chunk-request batches for missing chunks that are not already
+  /// outstanding, fanned out round-robin across the known donors. Empty when
+  /// nothing is missing or no donor is usable.
+  std::vector<std::pair<ReplicaId, StateChunkRequestMsg>> plan_requests(
+      ReplicaId self);
+
+  /// Retry tick: expires outstanding requests, strikes donors that delivered
+  /// nothing since the last tick (a struck-out donor is deprioritized; one
+  /// serving invalid chunks is excluded outright). Returns true when the
+  /// fetch holds partial data and will resume — counted as
+  /// stats.state_transfer_resumes.
+  bool on_retry(RuntimeStats& stats);
+
+  /// One full retry-timer tick, shared by both ordering engines so the
+  /// subtle stop/probe decisions cannot drift between them. `behind` is the
+  /// engine's protocol-specific "still demonstrably needs a checkpoint"
+  /// check. When `stop`, the fetch is over and the engine disarms its timer;
+  /// otherwise the engine re-broadcasts the probe iff `probe`, sends
+  /// plan_requests(), and re-arms.
+  struct RetryTick {
+    bool stop = false;
+    bool probe = false;
+  };
+  RetryTick on_retry_tick(SeqNum last_executed, bool behind, RuntimeStats& stats);
+
+  /// The assembled envelope; valid once on_chunk returned kCompleted.
+  Bytes take_envelope();
+
+  /// Folds the result of ReplicaRuntime::adopt_checkpoint(target_cert, ...)
+  /// back into the fetch state — shared by both engines so the subtle
+  /// stale-target vs lying-manifest distinction cannot drift between them.
+  /// Returns true when the engine must re-broadcast the probe (the manifest
+  /// sender lied: excluded, fetch restarts against the remaining replicas).
+  bool on_adopt_result(bool adopted, SeqNum last_executed);
+
+  /// Final verification against cert.state_root failed: the manifest sender
+  /// lied (or raced a bogus manifest in first). Excludes it and drops the
+  /// target so the next probe re-targets from the remaining donors.
+  void manifest_failed();
+
+  /// Fetch finished (envelope adopted) or became moot (caught up through the
+  /// ordering protocol): clears all fetch state.
+  void finish();
+
+  // --- donor -----------------------------------------------------------------
+
+  /// Checkpoint sequence the donor chunk cache currently covers (0 = cold).
+  /// A manifest/chunk request for a different shippable pair rebuilds the
+  /// cache — that rebuild, not every request, is what hashes the envelope.
+  SeqNum donor_cached_seq() const { return donor_chunks_ ? donor_seq_ : 0; }
+
+  /// Manifest for the current shippable pair; nullopt when there is none or
+  /// it is not newer than `have_seq`.
+  std::optional<StateManifestMsg> make_manifest(const CheckpointManager& cp,
+                                                SeqNum have_seq, ReplicaId self);
+
+  /// Chunk replies for a fetch request against the current shippable pair;
+  /// empty when the request does not match it (stale root, wrong seq).
+  std::vector<StateChunkMsg> make_chunks(const CheckpointManager& cp,
+                                         const StateChunkRequestMsg& req,
+                                         ReplicaId self, RuntimeStats& stats);
+
+ private:
+  void retarget(const StateManifestMsg& m);
+  /// Clears every per-target field (target, chunks, donors, strike and
+  /// outstanding bookkeeping). Exclusions, rotation, and active_ are managed
+  /// by the callers (manifest_failed keeps them; finish drops everything).
+  void reset_fetch_state();
+  const ChunkedSnapshot* donor_snapshot(const CheckpointManager& cp);
+
+  // Refuse absurd manifests (memory-bound guard; a lying donor is caught by
+  // verification, but only if we don't allocate ourselves to death first).
+  static constexpr uint64_t kMaxTotalBytes = 1ull << 31;
+  static constexpr uint32_t kMaxChunks = 1u << 20;
+  static constexpr uint32_t kStrikeLimit = 2;
+
+  uint32_t chunk_size_;
+  uint32_t max_chunks_per_request_;
+
+  // Fetcher state.
+  bool active_ = false;
+  ExecCertificate target_cert_;        // seq == 0: no manifest adopted yet
+  ReplicaId manifest_donor_ = 0;
+  Digest chunk_root_{};                // tree root: chunk proofs verify here
+  Digest transfer_root_{};             // geometry-bound key: messages match here
+  uint32_t chunk_count_ = 0;
+  uint32_t target_chunk_size_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::vector<Bytes> chunks_;          // empty vector element == missing
+  uint32_t received_ = 0;
+  std::vector<ReplicaId> donors_;      // manifest senders, arrival order
+  std::map<ReplicaId, uint32_t> strikes_;
+  // Donors that reached kStrikeLimit. Unlike strikes_ (which plan_requests
+  // forgives when nobody else is left to ask), this evidence persists until
+  // the donor actually delivers again or the fetch re-targets — it is what
+  // the dead-donors re-target decision reads, so forgiveness-for-planning
+  // can never erase the proof that the adopted transfer is unobtainable.
+  std::set<ReplicaId> struck_out_;
+  std::set<ReplicaId> excluded_;       // served an invalid chunk / bad manifest
+  // Missing indices partitioned into unplanned (fetchable now) and
+  // outstanding (requested since the last retry tick), so a plan refill is
+  // O(assigned), not a rescan of every chunk.
+  std::set<uint32_t> unplanned_;
+  std::set<uint32_t> outstanding_;
+  std::map<ReplicaId, std::set<uint32_t>> outstanding_by_donor_;
+  std::set<ReplicaId> delivered_since_tick_;
+  uint32_t rotation_ = 0;              // donor round-robin offset
+
+  // Donor-side chunk cache for the current shippable pair.
+  SeqNum donor_seq_ = 0;
+  std::unique_ptr<ChunkedSnapshot> donor_chunks_;
+};
+
+}  // namespace sbft::runtime

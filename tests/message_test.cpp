@@ -150,6 +150,38 @@ TEST(Messages, StateTransferRoundTrips) {
   expect_roundtrip(Message(reply));
 }
 
+TEST(Messages, ChunkedStateTransferRoundTrips) {
+  StateManifestMsg manifest;
+  manifest.donor = 3;
+  manifest.seq = 128;
+  manifest.cert = random_cert();
+  manifest.chunk_root = random_digest();
+  manifest.chunk_count = 17;
+  manifest.chunk_size = 4096;
+  manifest.total_bytes = 16 * 4096 + 123;
+  expect_roundtrip(Message(manifest));
+
+  StateChunkRequestMsg req;
+  req.requester = 2;
+  req.seq = 128;
+  req.chunk_root = manifest.chunk_root;
+  req.indices = {0, 5, 16};
+  expect_roundtrip(Message(req));
+
+  StateChunkMsg chunk;
+  chunk.donor = 3;
+  chunk.seq = 128;
+  chunk.chunk_root = manifest.chunk_root;
+  chunk.index = 5;
+  chunk.chunk_count = 17;
+  chunk.data = rng().bytes(4096);
+  chunk.proof.index = 5;
+  chunk.proof.leaf_count = 17;
+  chunk.proof.path = {random_digest(), random_digest(), random_digest(),
+                      random_digest(), random_digest()};
+  expect_roundtrip(Message(chunk));
+}
+
 TEST(Messages, PbftRoundTrips) {
   expect_roundtrip(Message(PbftPrepareMsg{1, 2, random_digest(), 3}));
   expect_roundtrip(Message(PbftCommitMsg{4, 5, random_digest(), 6}));

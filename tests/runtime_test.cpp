@@ -9,13 +9,16 @@
 #include "evm/contracts.h"
 #include "evm/evm_service.h"
 #include "harness/cluster.h"
+#include "harness/eth_workload.h"
 #include "harness/workload.h"
+#include "kv/kv_service.h"
 #include "recovery/recovery_manager.h"
 #include "recovery/wal.h"
 #include "runtime/checkpoint_manager.h"
 #include "runtime/reply_cache.h"
 #include "runtime/replica_runtime.h"
 #include "runtime/snapshot.h"
+#include "runtime/state_transfer.h"
 #include "storage/ledger_storage.h"
 
 // ---------------------------------------------------------------------------
@@ -95,6 +98,307 @@ TEST(CheckpointSnapshot, CorruptCacheSectionRejectsEnvelope) {
   Bytes envelope = encode_checkpoint_snapshot(as_span(to_bytes("svc")), cache);
   envelope.pop_back();  // truncate inside the cache section
   EXPECT_FALSE(decode_checkpoint_snapshot(as_span(envelope)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Chunked state transfer: ChunkedSnapshot + StateTransferManager unit level
+// (the protocol spec these implement is docs/state_transfer.md)
+
+StateChunkMsg chunk_msg_of(const ChunkedSnapshot& snap, ByteSpan envelope,
+                           ReplicaId donor, SeqNum seq, uint32_t index) {
+  StateChunkMsg m;
+  m.donor = donor;
+  m.seq = seq;
+  m.chunk_root = snap.transfer_root();
+  m.index = index;
+  m.chunk_count = snap.chunk_count();
+  m.data = to_bytes(snap.chunk(envelope, index));
+  m.proof = snap.proof(index);
+  return m;
+}
+
+StateManifestMsg manifest_of(const ChunkedSnapshot& snap, ReplicaId donor,
+                             SeqNum seq) {
+  StateManifestMsg m;
+  m.donor = donor;
+  m.seq = seq;
+  m.cert.seq = seq;
+  m.chunk_root = snap.chunk_root();
+  m.chunk_count = snap.chunk_count();
+  m.chunk_size = snap.chunk_size();
+  m.total_bytes = snap.total_bytes();
+  return m;
+}
+
+Bytes patterned_envelope(size_t size) {
+  Bytes envelope(size);
+  for (size_t i = 0; i < size; ++i) {
+    envelope[i] = static_cast<uint8_t>(i * 131 + (i >> 8));
+  }
+  return envelope;
+}
+
+TEST(ChunkedSnapshotTest, SplitsProvesAndVerifies) {
+  Bytes envelope = patterned_envelope(10'000);
+  ChunkedSnapshot snap(as_span(envelope), 1024);
+  EXPECT_EQ(snap.chunk_count(), 10u);  // 9 full chunks + a 784-byte tail
+  EXPECT_EQ(snap.total_bytes(), 10'000u);
+  EXPECT_EQ(snap.chunk(as_span(envelope), 9).size(), 10'000u - 9 * 1024u);
+
+  Bytes reassembled;
+  for (uint32_t i = 0; i < snap.chunk_count(); ++i) {
+    ByteSpan c = snap.chunk(as_span(envelope), i);
+    reassembled.insert(reassembled.end(), c.begin(), c.end());
+    EXPECT_TRUE(merkle::BlockMerkleTree::verify(
+        snap.chunk_root(), ChunkedSnapshot::chunk_leaf(c), snap.proof(i)));
+  }
+  EXPECT_EQ(reassembled, envelope);
+
+  // A bit flip in the payload must not verify under the honest proof.
+  Bytes tampered = to_bytes(snap.chunk(as_span(envelope), 3));
+  tampered[0] ^= 0x01;
+  EXPECT_FALSE(merkle::BlockMerkleTree::verify(
+      snap.chunk_root(), ChunkedSnapshot::chunk_leaf(as_span(tampered)),
+      snap.proof(3)));
+}
+
+TEST(StateTransferManagerTest, FansOutResumesAndReassembles) {
+  Bytes envelope = patterned_envelope(8 * 1024);
+  ChunkedSnapshot snap(as_span(envelope), 1024);  // 8 chunks
+  StateTransferManager mgr(1024, /*max_chunks_per_request=*/2);
+  RuntimeStats stats;
+
+  mgr.begin_probe();
+  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, /*donor=*/1, /*seq=*/16), 0));
+  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, /*donor=*/2, /*seq=*/16), 0));
+  EXPECT_EQ(mgr.donor_count(), 2u);
+
+  // First plan: 2 donors x cap 2 = 4 outstanding chunks.
+  auto plan = mgr.plan_requests(/*self=*/4);
+  ASSERT_EQ(plan.size(), 2u);
+  size_t planned = 0;
+  for (const auto& [donor, req] : plan) {
+    EXPECT_LE(req.indices.size(), 2u);
+    planned += req.indices.size();
+  }
+  EXPECT_EQ(planned, 4u);
+
+  // Donor 1 answers its batch; donor 2 dies silently.
+  using Verdict = StateTransferManager::ChunkVerdict;
+  for (const auto& [donor, req] : plan) {
+    if (donor != 1) continue;
+    for (uint32_t i : req.indices) {
+      EXPECT_EQ(mgr.on_chunk(chunk_msg_of(snap, as_span(envelope), donor, 16, i), stats),
+                Verdict::kStored);
+    }
+  }
+  uint32_t received_before_retry = mgr.chunks_received();
+  EXPECT_GT(received_before_retry, 0u);
+
+  // Retry tick: partial data in hand => this is a *resume*, and nothing
+  // already received is thrown away.
+  EXPECT_TRUE(mgr.on_retry(stats));
+  EXPECT_EQ(stats.state_transfer_resumes, 1u);
+  EXPECT_EQ(mgr.chunks_received(), received_before_retry);
+
+  // Drain the remaining chunks (donor 1 keeps serving across plans).
+  for (int guard = 0; guard < 32; ++guard) {
+    auto next = mgr.plan_requests(4);
+    if (next.empty()) break;
+    bool done = false;
+    for (const auto& [donor, req] : next) {
+      for (uint32_t i : req.indices) {
+        Verdict v = mgr.on_chunk(chunk_msg_of(snap, as_span(envelope), donor, 16, i), stats);
+        done = done || v == Verdict::kCompleted;
+      }
+    }
+    if (done) break;
+  }
+  ASSERT_EQ(mgr.chunks_received(), snap.chunk_count());
+  // Each chunk fetched exactly once — the resume never re-fetched data.
+  EXPECT_EQ(stats.state_transfer_chunks_fetched, snap.chunk_count());
+  EXPECT_EQ(stats.state_transfer_bytes_transferred, envelope.size());
+  EXPECT_EQ(mgr.take_envelope(), envelope);
+}
+
+TEST(StateTransferManagerTest, InvalidChunkExcludesDonorForGood) {
+  Bytes envelope = patterned_envelope(4 * 1024);
+  ChunkedSnapshot snap(as_span(envelope), 1024);
+  StateTransferManager mgr(1024, 4);
+  RuntimeStats stats;
+
+  mgr.begin_probe();
+  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));
+  auto plan = mgr.plan_requests(4);
+  ASSERT_EQ(plan.size(), 1u);
+
+  StateChunkMsg bad = chunk_msg_of(snap, as_span(envelope), 1, 16, plan[0].second.indices[0]);
+  bad.data[0] ^= 0xff;  // bit flip; the honest proof no longer matches
+  EXPECT_EQ(mgr.on_chunk(bad, stats),
+            StateTransferManager::ChunkVerdict::kInvalid);
+  EXPECT_EQ(stats.state_transfer_invalid_chunks, 1u);
+  EXPECT_EQ(mgr.chunks_received(), 0u);
+  EXPECT_EQ(mgr.donor_count(), 0u);       // excluded
+  EXPECT_TRUE(mgr.plan_requests(4).empty());  // nobody left to ask
+
+  // An excluded donor's manifests are ignored; an honest donor re-enables
+  // the fetch and its indices re-plan immediately.
+  EXPECT_FALSE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));
+  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, 2, 16), 0));
+  auto retry = mgr.plan_requests(4);
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(retry[0].first, 2u);
+  EXPECT_EQ(retry[0].second.indices.size(), snap.chunk_count());
+}
+
+TEST(StateTransferManagerTest, BogusRootManifestCannotWedgeTheFetch) {
+  // A Byzantine donor holding the genuine certificate can advertise a
+  // fabricated chunk root (the certificate does not cover the root). Honest
+  // same-seq manifests carry the true root and must eventually re-target:
+  // immediately when the liar serves an invalid chunk, or once the liar has
+  // struck out silently — never "first manifest wins" forever.
+  Bytes envelope = patterned_envelope(4 * 1024);
+  ChunkedSnapshot honest(as_span(envelope), 1024);
+  RuntimeStats stats;
+
+  // Liar serves an invalid chunk: target dropped at once, honest re-targets.
+  {
+    StateTransferManager mgr(1024, 4);
+    mgr.begin_probe();
+    StateManifestMsg bogus = manifest_of(honest, /*donor=*/1, /*seq=*/16);
+    bogus.chunk_root[0] ^= 0xff;
+    ASSERT_TRUE(mgr.on_manifest(bogus, 0));
+    auto plan = mgr.plan_requests(4);
+    ASSERT_FALSE(plan.empty());
+    StateChunkMsg garbage =
+        chunk_msg_of(honest, as_span(envelope), 1, 16, plan[0].second.indices[0]);
+    garbage.chunk_root = plan[0].second.chunk_root;  // matches target, fails proof
+    EXPECT_EQ(mgr.on_chunk(garbage, stats),
+              StateTransferManager::ChunkVerdict::kInvalid);
+    EXPECT_FALSE(mgr.has_target());  // suspect root dropped with its author
+    ASSERT_TRUE(mgr.on_manifest(manifest_of(honest, /*donor=*/2, 16), 0));
+    EXPECT_EQ(mgr.target_cert().seq, 16u);
+  }
+
+  // Liar goes silent instead: after it strikes out, the honest root wins.
+  // Faithful to the engine loop: plan_requests runs after *every* tick (its
+  // forgiveness branch clears strikes_ for planning) and the honest manifest
+  // arrives between ticks — the struck-out evidence must survive all that.
+  {
+    StateTransferManager mgr(1024, 4);
+    mgr.begin_probe();
+    StateManifestMsg bogus = manifest_of(honest, /*donor=*/1, /*seq=*/16);
+    bogus.chunk_root[0] ^= 0xff;
+    ASSERT_TRUE(mgr.on_manifest(bogus, 0));
+    StateManifestMsg truth = manifest_of(honest, /*donor=*/2, /*seq=*/16);
+    EXPECT_FALSE(mgr.on_manifest(truth, 0));  // liar's donors not yet dead
+    ASSERT_FALSE(mgr.plan_requests(4).empty());
+    mgr.on_retry_tick(0, true, stats);  // strike 1
+    ASSERT_FALSE(mgr.plan_requests(4).empty());
+    auto tick = mgr.on_retry_tick(0, true, stats);  // strike 2: struck out
+    EXPECT_TRUE(tick.probe);
+    ASSERT_FALSE(mgr.plan_requests(4).empty());  // forgiveness retries the liar...
+    ASSERT_TRUE(mgr.on_manifest(truth, 0));      // ...but cannot mask its record
+    EXPECT_TRUE(mgr.has_target());
+    auto plan = mgr.plan_requests(4);
+    ASSERT_FALSE(plan.empty());
+    EXPECT_EQ(plan[0].first, 2u);  // fetching the honest root from donor 2
+  }
+}
+
+TEST(StateTransferManagerTest, GeometryLieNamesADifferentTransfer) {
+  // The wedge variant the transfer key exists for: a manifest reusing the
+  // HONEST tree root but shrinking chunk_size passes the manifest geometry
+  // sanity check, yet must name a *different* transfer — honest donors then
+  // ignore its requests (key mismatch) instead of serving chunks that would
+  // violate the lied size bound and get the donors excluded.
+  Bytes envelope = patterned_envelope(10 * 1024);
+  ChunkedSnapshot snap(as_span(envelope), 1024);  // 10 chunks of 1024
+  RuntimeStats stats;
+  StateTransferManager mgr(1024, 4);
+  mgr.begin_probe();
+  StateManifestMsg shrunk = manifest_of(snap, /*donor=*/1, /*seq=*/16);
+  shrunk.chunk_size = 512;  // honest root, lying grid
+  shrunk.chunk_count = 20;  // passes ceil(10240 / 512) == 20
+  ASSERT_TRUE(mgr.on_manifest(shrunk, 0));
+  auto plan = mgr.plan_requests(4);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_FALSE(plan[0].second.chunk_root == snap.transfer_root());
+
+  // Nobody serves the liar's transfer; once it strikes out (the engine
+  // re-plans after every tick, so its outstanding requests keep going
+  // unanswered), the honest same-seq manifest re-targets and requests carry
+  // the honest key.
+  mgr.on_retry_tick(0, true, stats);
+  ASSERT_FALSE(mgr.plan_requests(4).empty());
+  mgr.on_retry_tick(0, true, stats);
+  ASSERT_FALSE(mgr.plan_requests(4).empty());  // engine plans before manifests land
+  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, /*donor=*/2, 16), 0));
+  auto honest_plan = mgr.plan_requests(4);
+  ASSERT_FALSE(honest_plan.empty());
+  EXPECT_TRUE(honest_plan[0].second.chunk_root == snap.transfer_root());
+  EXPECT_EQ(honest_plan[0].first, 2u);
+}
+
+TEST(StateTransferManagerTest, RetryTickReprobesWhenEveryDonorStruckOut) {
+  // Livelock guard: if the only registered donor dies, the strike counter
+  // alone keeps retrying it forever — the tick must re-raise the probe so
+  // replicas that acquired the checkpoint since then can register.
+  Bytes envelope = patterned_envelope(4 * 1024);
+  ChunkedSnapshot snap(as_span(envelope), 1024);
+  StateTransferManager mgr(1024, 4);
+  RuntimeStats stats;
+
+  mgr.begin_probe();
+  auto first = mgr.on_retry_tick(/*last_executed=*/0, /*behind=*/true, stats);
+  EXPECT_FALSE(first.stop);
+  EXPECT_TRUE(first.probe);  // no manifest adopted yet
+
+  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));
+  ASSERT_FALSE(mgr.plan_requests(4).empty());  // donor 1 has outstanding chunks
+  auto tick1 = mgr.on_retry_tick(0, true, stats);
+  EXPECT_FALSE(tick1.stop);
+  EXPECT_FALSE(tick1.probe);  // one strike: donor may just be slow
+  ASSERT_FALSE(mgr.plan_requests(4).empty());
+  auto tick2 = mgr.on_retry_tick(0, true, stats);
+  EXPECT_FALSE(tick2.stop);
+  EXPECT_TRUE(tick2.probe);  // struck out: only a fresh probe finds donors
+
+  // The fetch becomes moot once the replica caught up past the target.
+  auto done = mgr.on_retry_tick(/*last_executed=*/16, /*behind=*/false, stats);
+  EXPECT_TRUE(done.stop);
+  EXPECT_FALSE(mgr.active());
+}
+
+TEST(StateTransferManagerTest, AdoptResultDistinguishesStaleFromLyingManifest) {
+  Bytes envelope = patterned_envelope(1024);
+  ChunkedSnapshot snap(as_span(envelope), 1024);
+  RuntimeStats stats;
+
+  // Lying manifest: adoption failed and the target is still ahead of the
+  // replica — the sender is excluded and the caller must re-probe.
+  StateTransferManager mgr(1024, 4);
+  mgr.begin_probe();
+  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));
+  EXPECT_TRUE(mgr.on_adopt_result(/*adopted=*/false, /*last_executed=*/0));
+  EXPECT_TRUE(mgr.active());                 // fetch restarts
+  EXPECT_FALSE(mgr.has_target());            // against a fresh manifest
+  EXPECT_FALSE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));  // liar excluded
+
+  // Stale target: adoption failed only because the replica caught up past
+  // the checkpoint through the ordering protocol — nothing went wrong.
+  StateTransferManager stale(1024, 4);
+  stale.begin_probe();
+  ASSERT_TRUE(stale.on_manifest(manifest_of(snap, 2, 16), 0));
+  EXPECT_FALSE(stale.on_adopt_result(/*adopted=*/false, /*last_executed=*/16));
+  EXPECT_FALSE(stale.active());
+
+  // Success clears everything.
+  StateTransferManager ok(1024, 4);
+  ok.begin_probe();
+  ASSERT_TRUE(ok.on_manifest(manifest_of(snap, 3, 16), 0));
+  EXPECT_FALSE(ok.on_adopt_result(/*adopted=*/true, /*last_executed=*/16));
+  EXPECT_FALSE(ok.active());
 }
 
 }  // namespace
@@ -464,6 +768,215 @@ TEST_P(CrossProtocolRecovery, RestartedReplicaServesPreCheckpointDuplicateFromCa
 }
 
 INSTANTIATE_TEST_SUITE_P(Protocols, CrossProtocolRecovery,
+                         ::testing::Values(ProtocolKind::kSbft,
+                                           ProtocolKind::kPbft),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           return info.param == ProtocolKind::kSbft ? "Sbft"
+                                                                    : "Pbft";
+                         });
+
+// ---------------------------------------------------------------------------
+// Chunked state transfer scenarios (docs/state_transfer.md describes the
+// exact message flow these exercise; docs/scenarios.md indexes them). All run
+// on both protocols through the identical Cluster API.
+
+class ChunkedStateTransfer : public ::testing::TestWithParam<ProtocolKind> {
+ protected:
+  /// Cluster whose replicas carry a real (multi-hundred-KB) KV state, so the
+  /// checkpoint snapshot spans many chunks at the configured chunk size.
+  ClusterOptions base(uint64_t requests, uint32_t chunk_size,
+                      uint32_t value_size) const {
+    ClusterOptions opts;
+    opts.kind = GetParam();
+    opts.f = 1;
+    opts.c = 0;
+    opts.num_clients = 2;
+    opts.requests_per_client = requests;
+    opts.topology = sim::lan_topology();
+    opts.seed = 23;
+    opts.service_factory = [] { return std::make_unique<kv::KvService>(); };
+    KvWorkloadOptions kv;
+    kv.value_size = value_size;
+    kv.key_space = 4096;
+    opts.op_factory = kv_op_factory(kv);
+    opts.tweak_config = [chunk_size](ProtocolConfig& config) {
+      config.win = 32;  // frequent checkpoints
+      config.state_transfer_chunk_size = chunk_size;
+      config.state_transfer_retry_us = 200'000;
+    };
+    return opts;
+  }
+
+  const runtime::RuntimeStats& stats_of(Cluster& cluster, ReplicaId r) const {
+    return cluster.replica(r).runtime_stats();
+  }
+
+  /// Runs until the wiped replica has stored its first chunks but not yet
+  /// adopted the checkpoint — i.e. provably mid-transfer.
+  ::testing::AssertionResult run_until_mid_transfer(Cluster& cluster,
+                                                    ReplicaId fetcher) {
+    for (int i = 0; i < 2000; ++i) {
+      if (stats_of(cluster, fetcher).state_transfer_chunks_fetched > 0) break;
+      cluster.run_for(5'000);
+    }
+    if (stats_of(cluster, fetcher).state_transfer_chunks_fetched == 0) {
+      return ::testing::AssertionFailure() << "state transfer never started";
+    }
+    if (cluster.replica(fetcher).last_executed() != 0) {
+      return ::testing::AssertionFailure()
+             << "transfer completed before the fault could be injected";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  /// Runs until the fetcher adopted a checkpoint (last_executed > 0).
+  bool run_until_adopted(Cluster& cluster, ReplicaId fetcher) {
+    for (int i = 0; i < 1200; ++i) {
+      if (cluster.replica(fetcher).last_executed() > 0) return true;
+      cluster.run_for(50'000);
+    }
+    return false;
+  }
+};
+
+TEST_P(ChunkedStateTransfer, WipedReplicaRejoinsViaMultiChunkEvmTransfer) {
+  // The acceptance scenario: a disk-wiped replica with a large EVM snapshot
+  // (ERC-20-style tokens, balances, contract code) rejoins through chunked
+  // state transfer on both protocols.
+  ClusterOptions opts;
+  opts.kind = GetParam();
+  opts.f = 1;
+  opts.c = 0;
+  opts.num_clients = 2;
+  opts.requests_per_client = 40;
+  opts.topology = sim::lan_topology();
+  opts.seed = 29;
+  opts.service_factory = [] { return std::make_unique<evm::EvmLedgerService>(); };
+  opts.per_client_op_factory = [](ClientId id) {
+    return eth_op_factory(id, EthWorkloadOptions{});
+  };
+  opts.tweak_config = [](ProtocolConfig& config) {
+    config.win = 16;  // checkpoint every 8 blocks
+    config.state_transfer_chunk_size = 1024;
+    config.state_transfer_retry_us = 200'000;
+  };
+  opts.restart_schedule.push_back({/*crash_at_us=*/1'000'000,
+                                   /*restart_at_us=*/4'000'000,
+                                   /*replica=*/4, /*wipe_storage=*/true});
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+  if (cluster.simulator().now() < 5'000'000) {
+    cluster.run_for(5'000'000 - cluster.simulator().now());
+  }
+  ASSERT_TRUE(run_until_adopted(cluster, 4)) << "wiped replica never caught up";
+
+  const ReplicaHandle& restarted = cluster.replica(4);
+  EXPECT_EQ(restarted.runtime_stats().recoveries, 0u);  // nothing local survived
+  EXPECT_GT(restarted.runtime_stats().state_transfers, 0u);
+  // The EVM snapshot spans many chunks at a 1KB chunk size.
+  EXPECT_GE(restarted.runtime_stats().state_transfer_chunks_fetched, 4u);
+  EXPECT_GT(restarted.last_stable(), 0u);
+  EXPECT_EQ(restarted.runtime_stats().state_transfer_invalid_chunks, 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    EXPECT_EQ(cluster.client(i).completed(), 40u);
+  }
+}
+
+TEST_P(ChunkedStateTransfer, MidTransferDonorCrashIsSurvivedByResume) {
+  auto opts = base(/*requests=*/250, /*chunk_size=*/2048, /*value_size=*/1024);
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+  ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+  // Wipe replica 4; stretch its RTTs so the transfer takes many rounds and
+  // the fault window below is wide.
+  cluster.crash_replica(4);
+  cluster.run_for(200'000);
+  cluster.network().set_extra_latency(cluster.replica(4).node(), 20'000);
+  cluster.restart_replica(4, /*wipe_storage=*/true);
+  ASSERT_TRUE(run_until_mid_transfer(cluster, 4));
+
+  // One of the donors dies mid-transfer. Its outstanding chunks go
+  // unanswered; the retry tick re-plans them onto the surviving donors and
+  // the fetch *resumes* — received chunks are never re-fetched.
+  cluster.crash_replica(2);
+  ASSERT_TRUE(run_until_adopted(cluster, 4)) << "transfer never completed";
+
+  const runtime::RuntimeStats& st = stats_of(cluster, 4);
+  EXPECT_GE(st.state_transfer_resumes, 1u) << "fetch restarted instead of resuming";
+  EXPECT_EQ(st.state_transfer_invalid_chunks, 0u);
+  EXPECT_GT(cluster.replica(4).last_stable(), 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST_P(ChunkedStateTransfer, PartitionDuringTransferResumesAfterHeal) {
+  // First of the ROADMAP scenario ideas (docs/scenarios.md): partition during
+  // restart — here cutting the fetcher off mid-transfer — must suspend the
+  // fetch and resume it after the heal, not restart it.
+  auto opts = base(/*requests=*/250, /*chunk_size=*/2048, /*value_size=*/1024);
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+  ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+  cluster.crash_replica(4);
+  cluster.run_for(200'000);
+  cluster.network().set_extra_latency(cluster.replica(4).node(), 20'000);
+  cluster.restart_replica(4, /*wipe_storage=*/true);
+  ASSERT_TRUE(run_until_mid_transfer(cluster, 4));
+
+  // Cut the fetcher off from every peer mid-transfer.
+  NodeId fetcher_node = cluster.replica(4).node();
+  for (ReplicaId r = 1; r <= cluster.n(); ++r) {
+    if (r != 4) cluster.network().disconnect(fetcher_node, cluster.replica(r).node());
+  }
+  cluster.run_for(300'000);  // drain whatever was already in flight
+  uint64_t fetched_at_cut = stats_of(cluster, 4).state_transfer_chunks_fetched;
+  ASSERT_GT(fetched_at_cut, 0u);
+  cluster.run_for(1'000'000);  // several retry ticks fire into the void
+  EXPECT_EQ(stats_of(cluster, 4).state_transfer_chunks_fetched, fetched_at_cut)
+      << "chunks crossed a cut link";
+  EXPECT_EQ(cluster.replica(4).last_executed(), 0u);
+
+  for (ReplicaId r = 1; r <= cluster.n(); ++r) {
+    if (r != 4) cluster.network().reconnect(fetcher_node, cluster.replica(r).node());
+  }
+  ASSERT_TRUE(run_until_adopted(cluster, 4)) << "transfer never completed after heal";
+
+  const runtime::RuntimeStats& st = stats_of(cluster, 4);
+  // The partition's retry ticks ran with partial data in hand: resumes, and
+  // the pre-partition chunks were kept (total fetched only grew).
+  EXPECT_GE(st.state_transfer_resumes, 1u);
+  EXPECT_GT(st.state_transfer_chunks_fetched, fetched_at_cut);
+  EXPECT_GT(cluster.replica(4).last_stable(), 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST_P(ChunkedStateTransfer, CorruptChunkDetectedAndRefetchedFromHonestDonor) {
+  // A donor serving a bit-flipped chunk is caught by per-chunk Merkle
+  // verification, excluded, and its chunks are re-fetched from the honest
+  // donors — on both protocols (the corruption sits in the shared
+  // chunk-serving path, so this needs no Byzantine ordering behaviour).
+  auto opts = base(/*requests=*/120, /*chunk_size=*/2048, /*value_size=*/512);
+  opts.corrupt_chunk_replicas = {2};
+  opts.restart_schedule.push_back({/*crash_at_us=*/1'000'000,
+                                   /*restart_at_us=*/4'000'000,
+                                   /*replica=*/4, /*wipe_storage=*/true});
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+  if (cluster.simulator().now() < 5'000'000) {
+    cluster.run_for(5'000'000 - cluster.simulator().now());
+  }
+  ASSERT_TRUE(run_until_adopted(cluster, 4)) << "wiped replica never caught up";
+
+  const runtime::RuntimeStats& st = stats_of(cluster, 4);
+  EXPECT_GT(st.state_transfer_invalid_chunks, 0u)
+      << "the corrupt donor was never detected";
+  EXPECT_GT(cluster.replica(4).last_stable(), 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ChunkedStateTransfer,
                          ::testing::Values(ProtocolKind::kSbft,
                                            ProtocolKind::kPbft),
                          [](const ::testing::TestParamInfo<ProtocolKind>& info) {

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (run by the CI docs job).
+
+1. Every relative markdown link in docs/*.md and README.md resolves to an
+   existing file (anchors are stripped; http(s) links are skipped).
+2. Every public class declared in src/runtime/*.h appears by name in
+   docs/architecture.md — the runtime layer is the protocol-agnostic core
+   both ordering engines share, so its surface must stay documented.
+
+Exits non-zero with a summary of every violation.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Top-level class *definitions* only: 'class Foo {' / 'class Foo final ...'
+# at the start of a line. Member/nested classes are indented; forward
+# declarations ('class Foo;') belong to other layers and are excluded.
+CLASS_RE = re.compile(r"^class\s+(\w+)[^;]*$", re.MULTILINE)
+
+
+def doc_files():
+    docs = sorted((ROOT / "docs").glob("*.md"))
+    readme = ROOT / "README.md"
+    return docs + ([readme] if readme.exists() else [])
+
+
+def check_links():
+    errors = []
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{doc.relative_to(ROOT)}: broken link -> {target}")
+    return errors
+
+
+def check_runtime_classes():
+    errors = []
+    arch = ROOT / "docs" / "architecture.md"
+    if not arch.exists():
+        return [f"missing {arch.relative_to(ROOT)}"]
+    arch_text = arch.read_text(encoding="utf-8")
+    for header in sorted((ROOT / "src" / "runtime").glob("*.h")):
+        for cls in CLASS_RE.findall(header.read_text(encoding="utf-8")):
+            if cls not in arch_text:
+                errors.append(
+                    f"src/runtime/{header.name}: public class '{cls}' is not "
+                    f"mentioned in docs/architecture.md"
+                )
+    return errors
+
+
+def main():
+    errors = check_links() + check_runtime_classes()
+    docs = len(doc_files())
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s) across {docs} documents:")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    print(f"check_docs: OK ({docs} documents, links resolve, "
+          f"runtime classes documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
