@@ -88,6 +88,15 @@ class Reader {
   }
 
   size_t remaining() const { return data_.size() - pos_; }
+  size_t pos() const { return pos_; }
+  /// Skips `n` bytes (page padding in aligned snapshot formats).
+  void skip(size_t n) {
+    if (remaining() < n) {
+      fail_ = true;
+      return;
+    }
+    pos_ += n;
+  }
   bool ok() const { return !fail_; }
   bool at_end() const { return ok() && remaining() == 0; }
 

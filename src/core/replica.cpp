@@ -20,6 +20,7 @@ enum TimerKind : uint64_t {
   kStateTransferTimer = 8,
   kShareFallback = 9,   // re-send sign-share to the primary (stalled slot)
   kStateFallback = 10,  // re-send sign-state to the primary (stalled cert)
+  kDonorTickTimer = 11, // drain chunk serves the donor rate limiter deferred
 };
 
 uint64_t timer_id(TimerKind kind, uint64_t payload) {
@@ -107,7 +108,9 @@ SbftReplica::SbftReplica(ReplicaOptions options, std::unique_ptr<IService> servi
     : opts_(std::move(options)),
       runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal,
                 opts_.config.state_transfer_chunk_size,
-                opts_.config.state_transfer_max_chunks_per_request},
+                opts_.config.state_transfer_max_chunks_per_request,
+                opts_.config.state_transfer_delta_enabled,
+                opts_.config.state_transfer_donor_chunks_per_tick},
                std::move(service)) {
   opts_.config.validate();
   SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
@@ -345,12 +348,7 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
           if (state_transfer_behind()) request_state_transfer(ctx);
           break;
         }
-        if (tick.probe) {
-          StateTransferRequestMsg req;
-          req.requester = opts_.id;
-          req.have_seq = le();
-          broadcast_replicas(ctx, make_message(std::move(req)));
-        }
+        if (tick.probe) broadcast_state_probe(ctx);
         send_chunk_requests(ctx);
         ctx.set_timer(opts_.config.state_transfer_retry_us,
                       timer_id(kStateTransferTimer, 0));
@@ -359,6 +357,20 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
       st_inflight_ = false;
       // Still behind? Try another source.
       if (state_transfer_behind()) request_state_transfer(ctx);
+      break;
+    }
+    case kDonorTickTimer: {
+      donor_tick_armed_ = false;
+      runtime::StateTransferManager& st = runtime_.state_transfer();
+      for (auto& [requester, chunk] : st.on_donor_tick(
+               runtime_.checkpoints(), opts_.id, runtime_.stats())) {
+        ctx.charge(ctx.costs().hash_us(chunk.data.size()));
+        if (opts_.corrupt_state_chunks && !chunk.data.empty()) {
+          chunk.data[0] ^= 0xff;
+        }
+        send_to_replica(ctx, requester, make_message(std::move(chunk)));
+      }
+      arm_donor_tick(ctx);
       break;
     }
     default:
@@ -1294,12 +1306,8 @@ void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   runtime::StateTransferManager& st = runtime_.state_transfer();
   if (st.chunked()) {
     if (st.active()) return;  // a fetch round is already running
-    st.begin_probe();
     ++runtime_.stats().state_transfers;
-    StateTransferRequestMsg req;
-    req.requester = opts_.id;
-    req.have_seq = le();
-    broadcast_replicas(ctx, make_message(std::move(req)));
+    broadcast_state_probe(ctx);
     if (!st_inflight_) {
       st_inflight_ = true;  // retry timer armed
       ctx.set_timer(opts_.config.state_transfer_retry_us,
@@ -1333,9 +1341,10 @@ void SbftReplica::handle_state_transfer_request(NodeId /*from*/,
   runtime::StateTransferManager& st = runtime_.state_transfer();
   if (st.chunked()) {
     // Building the chunk tree hashes the whole envelope — charged only when
-    // the cache is cold for this checkpoint, not on every repeated probe.
+    // the cache is cold for this checkpoint, not on every repeated probe
+    // (note_checkpoint keeps it warm in steady state).
     bool cold = st.donor_cached_seq() != cp.snapshot_cert().seq;
-    auto manifest = st.make_manifest(cp, m.have_seq, opts_.id);
+    auto manifest = st.make_manifest(cp, m, opts_.id);
     if (!manifest) return;
     if (cold) ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
     send_to_replica(ctx, m.requester, make_message(std::move(*manifest)));
@@ -1385,7 +1394,15 @@ void SbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   ctx.charge(ctx.costs().bls_verify_combined_us);
   if (!opts_.crypto.pi_verifier->verify(m.cert.exec_digest(), as_span(m.cert.pi_sig)))
     return;
-  if (st.on_manifest(m, le())) send_chunk_requests(ctx);
+  if (st.on_manifest(m, le(), runtime_.checkpoints(), runtime_.stats())) {
+    // A delta manifest may have seeded every chunk from the local base — the
+    // fetch can be complete without a single wire chunk.
+    if (st.fetch_complete()) {
+      complete_chunked_transfer(ctx);
+    } else {
+      send_chunk_requests(ctx);
+    }
+  }
 }
 
 void SbftReplica::handle_state_chunk_request(const StateChunkRequestMsg& m,
@@ -1398,6 +1415,29 @@ void SbftReplica::handle_state_chunk_request(const StateChunkRequestMsg& m,
     if (opts_.corrupt_state_chunks && !c.data.empty()) c.data[0] ^= 0xff;
     send_to_replica(ctx, m.requester, make_message(std::move(c)));
   }
+  arm_donor_tick(ctx);
+}
+
+void SbftReplica::broadcast_state_probe(sim::ActorContext& ctx) {
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  const runtime::CheckpointManager& cp = runtime_.checkpoints();
+  // The probe advertises this replica's retained checkpoint as the delta
+  // base; computing its transfer root chunk-hashes the local snapshot when
+  // the donor cache is cold (mirrors the manifest-side cold charge).
+  bool cold =
+      cp.has_shippable() && st.donor_cached_seq() != cp.snapshot_cert().seq;
+  StateTransferRequestMsg probe = st.make_probe(cp, opts_.id, le());
+  if (cold && probe.base_seq > 0) {
+    ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
+  }
+  broadcast_replicas(ctx, make_message(std::move(probe)));
+}
+
+void SbftReplica::arm_donor_tick(sim::ActorContext& ctx) {
+  if (donor_tick_armed_ || !runtime_.state_transfer().donor_tick_needed()) return;
+  donor_tick_armed_ = true;
+  ctx.set_timer(opts_.config.state_transfer_donor_tick_us,
+                timer_id(kDonorTickTimer, 0));
 }
 
 void SbftReplica::handle_state_chunk(NodeId from, const StateChunkMsg& m,
@@ -1437,12 +1477,7 @@ void SbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
   bool adopted = runtime_.adopt_checkpoint(cert, as_span(envelope), ctx);
   // The stale-target vs lying-manifest distinction lives in the manager,
   // shared with the PBFT engine.
-  if (st.on_adopt_result(adopted, le())) {
-    StateTransferRequestMsg req;
-    req.requester = opts_.id;
-    req.have_seq = le();
-    broadcast_replicas(ctx, make_message(std::move(req)));
-  }
+  if (st.on_adopt_result(adopted, le())) broadcast_state_probe(ctx);
   if (!adopted) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
   try_execute(ctx);

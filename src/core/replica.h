@@ -78,6 +78,9 @@ struct ReplicaStats {
   uint64_t state_transfer_invalid_chunks = 0;
   uint64_t state_transfer_resumes = 0;
   uint64_t state_transfer_bytes_transferred = 0;
+  uint64_t delta_chunks_skipped = 0;    // fetcher: chunks seeded from local base
+  uint64_t delta_bytes_saved = 0;       // fetcher: payload kept off the wire
+  uint64_t donor_chunks_throttled = 0;  // donor: serves deferred by rate limit
   // Phase timing (sums over this replica's slots, microseconds).
   int64_t pp_to_commit_us = 0;    // pre-prepare accept -> commit
   int64_t commit_to_exec_us = 0;  // commit -> execution
@@ -189,6 +192,12 @@ class SbftReplica final : public sim::IActor {
   bool state_transfer_behind() const;
   /// Sends the manager's next chunk-request plan to its chosen donors.
   void send_chunk_requests(sim::ActorContext& ctx);
+  /// Broadcasts the state-transfer probe (delta base advertised; the cold
+  /// chunk-hashing of the local snapshot is charged here).
+  void broadcast_state_probe(sim::ActorContext& ctx);
+  /// Arms the donor tick while the rate limiter has budget in use or deferred
+  /// requests queued (re-served there instead of being dropped).
+  void arm_donor_tick(sim::ActorContext& ctx);
   /// All chunks received: assemble, adopt, and clean up (or restart the fetch
   /// when the assembled envelope fails the certified state-root check).
   void complete_chunked_transfer(sim::ActorContext& ctx);
@@ -233,6 +242,7 @@ class SbftReplica final : public sim::IActor {
   bool progress_timer_armed_ = false;
   bool forwarded_waiting_ = false;  // forwarded a client request to the primary
   bool st_inflight_ = false;
+  bool donor_tick_armed_ = false;
 
   // Votes persisted by a previous incarnation for slots still in flight:
   // seq -> (highest voted view, block digest). A recovered replica refuses to

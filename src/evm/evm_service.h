@@ -51,6 +51,11 @@ class EvmLedgerService final : public IService, public IEvmHost {
   Digest state_digest() const override { return kv_.state_digest(); }
   Bytes snapshot() const override { return kv_.snapshot(); }
   bool restore(ByteSpan snapshot) override { return kv_.restore(snapshot); }
+  // The ledger's serializer is the KV store's, so the chunk-stable paged
+  // layout (and with it delta state transfer) covers EVM snapshots too.
+  void set_snapshot_chunk_hint(uint32_t page) override {
+    kv_.set_snapshot_chunk_hint(page);
+  }
   std::unique_ptr<IService> clone_empty() const override;
   int64_t last_execute_cost_us(const sim::CostModel& costs) const override {
     return costs.evm_us(last_gas_);

@@ -56,6 +56,9 @@ RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime 
     m.state_transfer_invalid_chunks += rs.state_transfer_invalid_chunks;
     m.state_transfer_resumes += rs.state_transfer_resumes;
     m.state_transfer_bytes_transferred += rs.state_transfer_bytes_transferred;
+    m.delta_chunks_skipped += rs.delta_chunks_skipped;
+    m.delta_bytes_saved += rs.delta_bytes_saved;
+    m.donor_chunks_throttled += rs.donor_chunks_throttled;
   }
   auto totals = cluster.network().total_stats();
   m.messages_sent = totals.count;

@@ -40,6 +40,10 @@ struct RunMetrics {
   uint64_t state_transfer_invalid_chunks = 0;
   uint64_t state_transfer_resumes = 0;
   uint64_t state_transfer_bytes_transferred = 0;
+  // Delta state transfer + donor-side rate limiting (docs/state_transfer.md).
+  uint64_t delta_chunks_skipped = 0;
+  uint64_t delta_bytes_saved = 0;
+  uint64_t donor_chunks_throttled = 0;
 };
 
 /// Gathers metrics for completions inside [from_us, to_us) of simulated time.

@@ -1,5 +1,8 @@
 #include "harness/workload.h"
 
+#include <cstdio>
+#include <memory>
+
 #include "common/serde.h"
 #include "kv/kv_service.h"
 
@@ -19,6 +22,25 @@ std::function<Bytes(uint64_t, Rng&)> kv_op_factory(KvWorkloadOptions options) {
     std::vector<Bytes> ops;
     ops.reserve(options.ops_per_request);
     for (uint32_t i = 0; i < options.ops_per_request; ++i) ops.push_back(one_op());
+    return kv::encode_batch(ops);
+  };
+}
+
+std::function<Bytes(uint64_t, Rng&)> hot_range_kv_op_factory(
+    uint32_t key_space, uint32_t hot, uint32_t value_size,
+    uint32_t ops_per_request) {
+  auto next = std::make_shared<uint64_t>(0);
+  return [=](uint64_t, Rng& rng) -> Bytes {
+    std::vector<Bytes> ops;
+    ops.reserve(ops_per_request);
+    for (uint32_t i = 0; i < ops_per_request; ++i) {
+      uint64_t n = (*next)++;
+      uint32_t key = n < key_space ? static_cast<uint32_t>(n) : rng.below(hot);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "key-%06u", key);
+      ops.push_back(kv::encode_put(as_span(to_bytes(buf)),
+                                   as_span(rng.bytes(value_size))));
+    }
     return kv::encode_batch(ops);
   };
 }

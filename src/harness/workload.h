@@ -24,6 +24,17 @@ struct KvWorkloadOptions {
 /// Factory compatible with ClientOptions::op_factory.
 std::function<Bytes(uint64_t, Rng&)> kv_op_factory(KvWorkloadOptions options);
 
+/// KV workload whose steady state mutates only a small hot prefix of an
+/// otherwise cold keyspace — the briefly-behind delta state-transfer
+/// scenario (docs/state_transfer.md): the first `key_space` ops populate
+/// every key ("key-%06u") once, all later writes hit keys [0, hot). Each
+/// request batches `ops_per_request` puts of `value_size`-byte random
+/// values. The phase counter is shared across every copy of the returned
+/// generator (all clients of one cluster).
+std::function<Bytes(uint64_t, Rng&)> hot_range_kv_op_factory(
+    uint32_t key_space, uint32_t hot, uint32_t value_size,
+    uint32_t ops_per_request);
+
 /// Deterministic O(1)-digest replicated service for protocol benchmarks.
 /// The digest is a rolling non-cryptographic commitment over the executed
 /// operation stream — protocol-visible behaviour (determinism, digest

@@ -1,8 +1,22 @@
 #include "kv/kv_service.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/serde.h"
 
 namespace sbft::kv {
+
+namespace {
+
+// Chunk-stable snapshot format (docs/state_transfer.md "chunk-stable
+// encoding"): key-ordered sections, each padded to a multiple of the chunk
+// hint so a mutation perturbs only its own section's pages.
+constexpr char kPagedMagic[8] = {'S', 'B', 'F', 'T', 'K', 'V', 'P', '2'};
+constexpr uint32_t kMaxSectionFanout = 4096;
+constexpr uint32_t kMaxPage = 1u << 26;
+
+}  // namespace
 
 Bytes encode_put(ByteSpan key, ByteSpan value) {
   Writer w;
@@ -110,16 +124,73 @@ Bytes KvService::query(ByteSpan q) const {
 }
 
 Bytes KvService::snapshot() const {
+  uint32_t page = snapshot_page_ > 1 ? snapshot_page_ : 1;
+  // Padding only pays off once the map spans several pages; below that emit
+  // the compact unpadded layout (same sectioned format, page = 1). The gate
+  // is a pure function of the state, so every replica picks the same layout.
+  uint64_t total_payload = 0;
+  for (const auto& [k, v] : data_) total_payload += 8 + k.size() + v.size();
+  if (total_payload < 4ull * page) page = 1;
+  // Section fanout G: a key closes its section when fnv(key) hits the G-mask,
+  // so boundaries are a pure function of the key set — an insertion or
+  // deletion reshapes only its own section, never the layout after it. G is
+  // sized so the expected section payload is a couple of pad units, keeping
+  // padding overhead small; the byte cap below only bounds pathological runs
+  // without a boundary key (it re-synchronizes at the next boundary key).
+  const uint64_t target = page > 1 ? 2ull * page : 8192;
+  const uint64_t avg =
+      data_.empty() ? 1
+                    : std::max<uint64_t>(1, total_payload / data_.size());
+  uint32_t fanout = 1;
+  while (fanout < kMaxSectionFanout && fanout * avg < target) fanout <<= 1;
+
   Writer w;
+  w.raw(ByteSpan{reinterpret_cast<const uint8_t*>(kPagedMagic),
+                 sizeof(kPagedMagic)});
+  w.u32(page);
   w.u64(data_.size());
+  auto pad_to_page = [&w, page] {
+    if (page > 1) {
+      while (w.size() % page != 0) w.u8(0);
+    }
+  };
+  pad_to_page();  // sections start page-aligned
+
+  Writer section;
+  uint32_t count = 0;
+  uint64_t section_payload = 0;
+  auto flush = [&] {
+    if (count == 0) return;
+    w.u32(count);
+    w.raw(as_span(section.data()));
+    pad_to_page();
+    section = Writer();
+    count = 0;
+    section_payload = 0;
+  };
   for (const auto& [k, v] : data_) {
-    w.bytes(as_span(k));
-    w.bytes(as_span(v));
+    section.bytes(as_span(k));
+    section.bytes(as_span(v));
+    ++count;
+    section_payload += 8 + k.size() + v.size();
+    if ((fnv1a(as_span(k)) & (fanout - 1)) == 0 ||
+        section_payload >= 8 * target) {
+      flush();
+    }
   }
+  flush();
   return std::move(w).take();
 }
 
 bool KvService::restore(ByteSpan snapshot) {
+  if (snapshot.size() >= sizeof(kPagedMagic) &&
+      std::memcmp(snapshot.data(), kPagedMagic, sizeof(kPagedMagic)) == 0) {
+    return restore_paged(snapshot);
+  }
+  return restore_flat(snapshot);
+}
+
+bool KvService::restore_flat(ByteSpan snapshot) {
   Reader r(snapshot);
   uint64_t count = r.u64();
   std::map<Bytes, Bytes> data;
@@ -129,6 +200,38 @@ bool KvService::restore(ByteSpan snapshot) {
     data[std::move(k)] = std::move(v);
   }
   if (!r.at_end()) return false;
+  data_.clear();
+  tree_ = merkle::SparseMerkleTree();
+  for (const auto& [k, v] : data) put(as_span(k), as_span(v));
+  return true;
+}
+
+bool KvService::restore_paged(ByteSpan snapshot) {
+  Reader r(snapshot);
+  r.skip(sizeof(kPagedMagic));
+  uint32_t page = r.u32();
+  uint64_t entry_count = r.u64();
+  if (!r.ok() || page > kMaxPage) return false;
+  auto skip_pad = [&] {
+    if (page > 1 && r.pos() % page != 0) r.skip(page - r.pos() % page);
+  };
+  skip_pad();
+  std::map<Bytes, Bytes> data;
+  uint64_t parsed = 0;
+  while (parsed < entry_count && r.ok()) {
+    uint32_t n = r.u32();
+    if (n == 0 || n > entry_count - parsed) return false;
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      Bytes k = r.bytes();
+      Bytes v = r.bytes();
+      data[std::move(k)] = std::move(v);
+    }
+    parsed += n;
+    skip_pad();
+  }
+  if (!r.at_end() || parsed != entry_count || data.size() != entry_count) {
+    return false;
+  }
   data_.clear();
   tree_ = merkle::SparseMerkleTree();
   for (const auto& [k, v] : data) put(as_span(k), as_span(v));

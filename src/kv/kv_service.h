@@ -3,6 +3,15 @@
 // State is a byte-string map mirrored into a sparse Merkle tree, so
 // state_digest() is a commitment to the entire map and any key's
 // presence/value can be proven against it with SmtProof.
+//
+// Snapshots use a *chunk-stable* layout (docs/state_transfer.md): entries are
+// key-ordered and grouped into sections whose boundaries are a pure function
+// of the keys present (a key closes its section when a cheap hash of it hits
+// a fanout mask), and each section is zero-padded to a multiple of the
+// snapshot chunk hint. A small mutation therefore perturbs only the pages of
+// its own section instead of shifting every byte after it — the property the
+// delta state-transfer path exploits. The pre-paged flat format is still
+// accepted by restore() (snapshots persisted in older WALs).
 #pragma once
 
 #include <map>
@@ -40,6 +49,7 @@ class KvService final : public IService {
   Digest state_digest() const override { return tree_.root(); }
   Bytes snapshot() const override;
   bool restore(ByteSpan snapshot) override;
+  void set_snapshot_chunk_hint(uint32_t page) override { snapshot_page_ = page; }
   std::unique_ptr<IService> clone_empty() const override;
   int64_t last_execute_cost_us(const sim::CostModel& costs) const override {
     return costs.kv_op_us * static_cast<int64_t>(last_op_count_);
@@ -60,10 +70,13 @@ class KvService final : public IService {
 
  private:
   static Digest leaf_for(ByteSpan key, ByteSpan value);
+  bool restore_flat(ByteSpan snapshot);   // pre-paged legacy format
+  bool restore_paged(ByteSpan snapshot);  // key-ordered page-aligned sections
 
   std::map<Bytes, Bytes> data_;  // ordered so snapshots are canonical
   merkle::SparseMerkleTree tree_;
   uint64_t last_op_count_ = 1;
+  uint32_t snapshot_page_ = 0;  // section pad unit; <= 1 disables padding
 };
 
 }  // namespace sbft::kv

@@ -33,6 +33,16 @@ class IService {
   virtual Bytes snapshot() const = 0;
   virtual bool restore(ByteSpan snapshot) = 0;
 
+  /// Chunk-stability hint: state transfer splits snapshots into fixed-size
+  /// chunks of `page` bytes, and a serializer that aligns its sections to
+  /// multiples of `page` keeps unmutated regions chunk-for-chunk identical
+  /// across consecutive checkpoints (the property delta state transfer
+  /// exploits — docs/state_transfer.md). 0 or 1 disables padding. Services
+  /// may ignore the hint; the hint never affects state_digest(), only the
+  /// snapshot byte layout, and must be identical on every replica (it is set
+  /// from the cluster-uniform ProtocolConfig::state_transfer_chunk_size).
+  virtual void set_snapshot_chunk_hint(uint32_t /*page*/) {}
+
   /// Fresh service instance of the same kind with empty state (used when a
   /// replica instantiates the service for state transfer).
   virtual std::unique_ptr<IService> clone_empty() const = 0;

@@ -43,6 +43,9 @@ class BlockMerkleTree {
 
   const Digest& root() const { return levels_.back()[0]; }
   uint64_t leaf_count() const { return static_cast<uint64_t>(levels_[0].size()); }
+  /// The leaf digests the tree was built over (index order). State transfer
+  /// diffs two snapshots' trees leaf-by-leaf to build delta manifests.
+  const std::vector<Digest>& leaves() const { return levels_[0]; }
   BlockProof prove(uint64_t index) const;
 
   /// Verifies that `leaf` is at `proof.index` under `root`.

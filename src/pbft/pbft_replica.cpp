@@ -11,6 +11,7 @@ enum TimerKind : uint64_t {
   kBatchTimer = 1,
   kProgressTimer = 2,
   kStateTransferTimer = 3,
+  kDonorTickTimer = 4,  // drain chunk serves the donor rate limiter deferred
 };
 uint64_t timer_id(TimerKind kind, uint64_t payload) {
   return (static_cast<uint64_t>(kind) << 48) | payload;
@@ -22,7 +23,9 @@ PbftReplica::PbftReplica(PbftOptions options, std::unique_ptr<IService> service)
     : opts_(std::move(options)),
       runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal,
                 opts_.config.state_transfer_chunk_size,
-                opts_.config.state_transfer_max_chunks_per_request},
+                opts_.config.state_transfer_max_chunks_per_request,
+                opts_.config.state_transfer_delta_enabled,
+                opts_.config.state_transfer_donor_chunks_per_tick},
                std::move(service)) {
   SBFT_CHECK(opts_.config.c == 0);  // PBFT sizing: n = 3f + 1
   SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
@@ -151,12 +154,7 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
           if (state_transfer_behind()) request_state_transfer(ctx);
           break;
         }
-        if (tick.probe) {
-          StateTransferRequestMsg req;
-          req.requester = opts_.id;
-          req.have_seq = le();
-          broadcast(ctx, make_message(std::move(req)));
-        }
+        if (tick.probe) broadcast_state_probe(ctx);
         send_chunk_requests(ctx);
         ctx.set_timer(opts_.config.state_transfer_retry_us,
                       timer_id(kStateTransferTimer, 0));
@@ -167,6 +165,20 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
       // has yet to obtain any checkpoint (its boot probe may have picked a
       // peer with nothing to ship).
       if (state_transfer_behind()) request_state_transfer(ctx);
+      break;
+    }
+    case kDonorTickTimer: {
+      donor_tick_armed_ = false;
+      runtime::StateTransferManager& st = runtime_.state_transfer();
+      for (auto& [requester, chunk] : st.on_donor_tick(
+               runtime_.checkpoints(), opts_.id, runtime_.stats())) {
+        ctx.charge(ctx.costs().hash_us(chunk.data.size()));
+        if (opts_.corrupt_state_chunks && !chunk.data.empty()) {
+          chunk.data[0] ^= 0xff;
+        }
+        ctx.send(requester - 1, make_message(std::move(chunk)));
+      }
+      arm_donor_tick(ctx);
       break;
     }
   }
@@ -391,12 +403,8 @@ void PbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   runtime::StateTransferManager& st = runtime_.state_transfer();
   if (st.chunked()) {
     if (st.active()) return;  // a fetch round is already running
-    st.begin_probe();
     ++runtime_.stats().state_transfers;
-    StateTransferRequestMsg req;
-    req.requester = opts_.id;
-    req.have_seq = le();
-    broadcast(ctx, make_message(std::move(req)));
+    broadcast_state_probe(ctx);
     if (!st_inflight_) {
       st_inflight_ = true;  // retry timer armed
       ctx.set_timer(opts_.config.state_transfer_retry_us,
@@ -428,9 +436,10 @@ void PbftReplica::handle_state_transfer_request(const StateTransferRequestMsg& m
   runtime::StateTransferManager& st = runtime_.state_transfer();
   if (st.chunked()) {
     // Building the chunk tree hashes the whole envelope — charged only when
-    // the cache is cold for this checkpoint, not on every repeated probe.
+    // the cache is cold for this checkpoint, not on every repeated probe
+    // (note_checkpoint keeps it warm in steady state).
     bool cold = st.donor_cached_seq() != cp.snapshot_cert().seq;
-    auto manifest = st.make_manifest(cp, m.have_seq, opts_.id);
+    auto manifest = st.make_manifest(cp, m, opts_.id);
     if (!manifest) return;
     if (cold) ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
     ctx.send(m.requester - 1, make_message(std::move(*manifest)));
@@ -474,7 +483,15 @@ void PbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   // No pi signature to verify here (PBFT has no threshold keys): the chunk
   // root and certificate are bound end-to-end by the state-root check in
   // adopt_checkpoint — the crash-fault trust model the baseline runs under.
-  if (st.on_manifest(m, le())) send_chunk_requests(ctx);
+  if (st.on_manifest(m, le(), runtime_.checkpoints(), runtime_.stats())) {
+    // A delta manifest may have seeded every chunk from the local base — the
+    // fetch can be complete without a single wire chunk.
+    if (st.fetch_complete()) {
+      complete_chunked_transfer(ctx);
+    } else {
+      send_chunk_requests(ctx);
+    }
+  }
 }
 
 void PbftReplica::handle_state_chunk_request(const StateChunkRequestMsg& m,
@@ -486,6 +503,29 @@ void PbftReplica::handle_state_chunk_request(const StateChunkRequestMsg& m,
     if (opts_.corrupt_state_chunks && !c.data.empty()) c.data[0] ^= 0xff;
     ctx.send(m.requester - 1, make_message(std::move(c)));
   }
+  arm_donor_tick(ctx);
+}
+
+void PbftReplica::broadcast_state_probe(sim::ActorContext& ctx) {
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  const runtime::CheckpointManager& cp = runtime_.checkpoints();
+  // The probe advertises this replica's retained checkpoint as the delta
+  // base; computing its transfer root chunk-hashes the local snapshot when
+  // the donor cache is cold (mirrors the manifest-side cold charge).
+  bool cold =
+      cp.has_shippable() && st.donor_cached_seq() != cp.snapshot_cert().seq;
+  StateTransferRequestMsg probe = st.make_probe(cp, opts_.id, le());
+  if (cold && probe.base_seq > 0) {
+    ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
+  }
+  broadcast(ctx, make_message(std::move(probe)));
+}
+
+void PbftReplica::arm_donor_tick(sim::ActorContext& ctx) {
+  if (donor_tick_armed_ || !runtime_.state_transfer().donor_tick_needed()) return;
+  donor_tick_armed_ = true;
+  ctx.set_timer(opts_.config.state_transfer_donor_tick_us,
+                timer_id(kDonorTickTimer, 0));
 }
 
 void PbftReplica::handle_state_chunk(NodeId from, const StateChunkMsg& m,
@@ -522,12 +562,7 @@ void PbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
   bool adopted = runtime_.adopt_checkpoint(cert, as_span(envelope), ctx);
   // The stale-target vs lying-manifest distinction lives in the manager,
   // shared with the SBFT engine.
-  if (st.on_adopt_result(adopted, le())) {
-    StateTransferRequestMsg req;
-    req.requester = opts_.id;
-    req.have_seq = le();
-    broadcast(ctx, make_message(std::move(req)));
-  }
+  if (st.on_adopt_result(adopted, le())) broadcast_state_probe(ctx);
   if (!adopted) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),

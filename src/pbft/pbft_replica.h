@@ -66,6 +66,9 @@ struct PbftStats {
   uint64_t state_transfer_invalid_chunks = 0;
   uint64_t state_transfer_resumes = 0;
   uint64_t state_transfer_bytes_transferred = 0;
+  uint64_t delta_chunks_skipped = 0;    // fetcher: chunks seeded from local base
+  uint64_t delta_bytes_saved = 0;       // fetcher: payload kept off the wire
+  uint64_t donor_chunks_throttled = 0;  // donor: serves deferred by rate limit
 };
 
 class PbftReplica final : public sim::IActor {
@@ -133,6 +136,12 @@ class PbftReplica final : public sim::IActor {
   bool state_transfer_behind() const;
   void send_chunk_requests(sim::ActorContext& ctx);
   void complete_chunked_transfer(sim::ActorContext& ctx);
+  /// Broadcasts the state-transfer probe (delta base advertised; the cold
+  /// chunk-hashing of the local snapshot is charged here).
+  void broadcast_state_probe(sim::ActorContext& ctx);
+  /// Arms the donor tick while the rate limiter has budget in use or deferred
+  /// requests queued (re-served there instead of being dropped).
+  void arm_donor_tick(sim::ActorContext& ctx);
   bool execution_gap() const;
   void broadcast(sim::ActorContext& ctx, MessagePtr msg);
   void arm_progress_timer(sim::ActorContext& ctx);
@@ -162,6 +171,7 @@ class PbftReplica final : public sim::IActor {
   bool progress_timer_armed_ = false;
   bool forwarded_waiting_ = false;
   bool st_inflight_ = false;
+  bool donor_tick_armed_ = false;
 
   // Votes persisted by a previous incarnation for slots still in flight:
   // seq -> (highest voted view, block digest). A recovered replica refuses to

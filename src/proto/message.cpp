@@ -344,6 +344,8 @@ struct Encoder {
     w.u8(static_cast<uint8_t>(Tag::kStateTransferRequest));
     w.u32(m.requester);
     w.u64(m.have_seq);
+    w.u64(m.base_seq);
+    w.digest(m.base_root);
   }
   void operator()(const StateTransferReplyMsg& m) {
     w.u8(static_cast<uint8_t>(Tag::kStateTransferReply));
@@ -360,6 +362,10 @@ struct Encoder {
     w.u32(m.chunk_count);
     w.u32(m.chunk_size);
     w.u64(m.total_bytes);
+    w.u64(m.base_seq);
+    w.bytes(as_span(m.delta_bitmap));
+    w.u32(static_cast<uint32_t>(m.base_map.size()));
+    for (uint32_t j : m.base_map) w.u32(j);
   }
   void operator()(const StateChunkRequestMsg& m) {
     w.u8(static_cast<uint8_t>(Tag::kStateChunkRequest));
@@ -572,6 +578,8 @@ std::optional<Message> decode_message(ByteSpan data) {
       StateTransferRequestMsg m;
       m.requester = r.u32();
       m.have_seq = r.u64();
+      m.base_seq = r.u64();
+      m.base_root = r.digest();
       out = m;
       break;
     }
@@ -592,6 +600,16 @@ std::optional<Message> decode_message(ByteSpan data) {
       m.chunk_count = r.u32();
       m.chunk_size = r.u32();
       m.total_bytes = r.u64();
+      m.base_seq = r.u64();
+      m.delta_bitmap = r.bytes();
+      uint32_t n = r.u32();
+      // Must admit one entry per chunk up to the manager's chunk-count bound
+      // (1u << 20), or an honest mostly-unchanged delta manifest for a huge
+      // snapshot would be undecodable. Bound by the bytes actually present
+      // before reserving — a forged count must not allocate megabytes.
+      if (n > (1u << 20) || uint64_t{n} * 4 > r.remaining()) return std::nullopt;
+      m.base_map.reserve(n);
+      for (uint32_t i = 0; i < n && r.ok(); ++i) m.base_map.push_back(r.u32());
       out = m;
       break;
     }

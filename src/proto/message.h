@@ -216,6 +216,13 @@ struct GetBlockReplyMsg {
 struct StateTransferRequestMsg {
   ReplicaId requester = 0;
   SeqNum have_seq = 0;  // highest executed sequence at the requester
+  // Delta base advertisement (docs/state_transfer.md "delta manifests"): the
+  // requester's retained checkpoint, identified by its sequence and the
+  // geometry-bound transfer root of its chunked snapshot. base_seq == 0 means
+  // no usable base (wiped disk / chunking off): donors answer with a full
+  // manifest.
+  SeqNum base_seq = 0;
+  Digest base_root{};
 };
 
 /// Monolithic reply: the whole snapshot envelope in one message. Legacy path,
@@ -241,6 +248,17 @@ struct StateManifestMsg {
   uint32_t chunk_count = 0;
   uint32_t chunk_size = 0;     // bytes per chunk (last chunk may be shorter)
   uint64_t total_bytes = 0;    // size of the snapshot envelope
+  // Delta section (base_seq == 0: full manifest, fetch every chunk). When the
+  // donor still holds the chunk hashes of the probe's advertised base, it
+  // Merkle-diffs the two snapshots: bit i of delta_bitmap set means target
+  // chunk i differs from the base and must be fetched; for every unset bit,
+  // base_map (in increasing target-index order) names the base chunk index
+  // holding identical bytes, so the fetcher seeds it from its local snapshot
+  // even across whole-chunk shifts. A lying delta section is caught by the
+  // final state-root check and the manifest sender excluded.
+  SeqNum base_seq = 0;
+  Bytes delta_bitmap;
+  std::vector<uint32_t> base_map;
 };
 
 /// Fetcher -> donor: fetch of specific chunks of one transfer. chunk_root

@@ -18,6 +18,7 @@ std::optional<RecoveredState> RecoveryManager::recover(
   RecoveredState out;
   out.view = wal_state.view;
   out.service = service_factory();
+  out.service->set_snapshot_chunk_hint(snapshot_align_);
 
   // 1. Restore the checkpoint snapshot envelope: the service part verified
   // against the certificate, plus the persisted per-client reply cache.
@@ -80,7 +81,7 @@ std::optional<RecoveredState> RecoveryManager::recover(
     if (checkpoint_interval_ > 0 && s % checkpoint_interval_ == 0) {
       out.snapshot_seq = s;
       out.snapshot_at = runtime::encode_checkpoint_snapshot(
-          as_span(out.service->snapshot()), out.reply_cache);
+          as_span(out.service->snapshot()), out.reply_cache, snapshot_align_);
     }
   }
 

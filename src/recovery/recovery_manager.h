@@ -73,11 +73,17 @@ class RecoveryManager {
  public:
   /// `checkpoint_interval` > 0 re-captures service snapshots at interval
   /// multiples during replay (pass ProtocolConfig::checkpoint_interval()).
+  /// `snapshot_align` is the state-transfer chunk size: re-captured envelopes
+  /// must be byte-identical to the ones live execution would have produced
+  /// (the delta path compares them across replicas), so replay encodes them
+  /// with the same chunk hint and alignment.
   RecoveryManager(std::shared_ptr<storage::ILedgerStorage> ledger,
-                  std::shared_ptr<IReplicaWal> wal, uint64_t checkpoint_interval = 0)
+                  std::shared_ptr<IReplicaWal> wal, uint64_t checkpoint_interval = 0,
+                  uint32_t snapshot_align = 0)
       : ledger_(std::move(ledger)),
         wal_(std::move(wal)),
-        checkpoint_interval_(checkpoint_interval) {}
+        checkpoint_interval_(checkpoint_interval),
+        snapshot_align_(snapshot_align) {}
 
   /// Rebuilds state from the attached storage. Returns nullopt when there is
   /// nothing to recover (fresh storage) or the snapshot fails verification.
@@ -88,6 +94,7 @@ class RecoveryManager {
   std::shared_ptr<storage::ILedgerStorage> ledger_;
   std::shared_ptr<IReplicaWal> wal_;
   uint64_t checkpoint_interval_ = 0;
+  uint32_t snapshot_align_ = 0;
 };
 
 }  // namespace sbft::recovery

@@ -14,18 +14,26 @@ ReplicaRuntime::ReplicaRuntime(RuntimeOptions options,
       service_(std::move(service)),
       checkpoints_(opts_.checkpoint_interval),
       state_transfer_(opts_.state_transfer_chunk_size,
-                      opts_.state_transfer_max_chunks_per_request) {
+                      opts_.state_transfer_max_chunks_per_request,
+                      opts_.state_transfer_donor_chunks_per_tick,
+                      opts_.state_transfer_delta_enabled) {
+  // Every service instance this runtime ever executes on carries the same
+  // chunk hint, so snapshot bytes are identical across replicas (the delta
+  // path compares them chunk-for-chunk).
+  service_->set_snapshot_chunk_hint(opts_.state_transfer_chunk_size);
   exec_digests_[0] = genesis_exec_digest();
 }
 
 std::optional<RecoveredProtocolState> ReplicaRuntime::recover() {
   if (!opts_.ledger && !opts_.wal) return std::nullopt;
   recovery::RecoveryManager manager(opts_.ledger, opts_.wal,
-                                    opts_.checkpoint_interval);
+                                    opts_.checkpoint_interval,
+                                    opts_.state_transfer_chunk_size);
   auto recovered = manager.recover([this] { return service_->clone_empty(); });
   if (!recovered) return std::nullopt;  // fresh storage, or snapshot corrupt
 
   service_ = std::move(recovered->service);
+  service_->set_snapshot_chunk_hint(opts_.state_transfer_chunk_size);
   le_ = recovered->last_executed;
   replies_ = std::move(recovered->reply_cache);
   exec_digests_ = std::move(recovered->exec_digests);
@@ -160,7 +168,14 @@ bool ReplicaRuntime::advance_stable(ExecCertificate cert, sim::ActorContext& ctx
     ctx.charge(ctx.costs().hash_us(envelope.size()));
     return envelope;
   });
-  if (recorded) wal_record_checkpoint();
+  if (recorded) {
+    wal_record_checkpoint();
+    // Seal the pair into the donor chunk cache now (retiring the previous
+    // pair's chunk hashes as a delta base); the rebuild hashes the envelope.
+    if (state_transfer_.note_checkpoint(checkpoints_)) {
+      ctx.charge(ctx.costs().hash_us(checkpoints_.snapshot().size()));
+    }
+  }
   // Keep the checkpointed record itself (serves acks/fetches for stragglers).
   records_.erase(records_.begin(),
                  records_.lower_bound(checkpoints_.last_stable()));
@@ -172,6 +187,7 @@ bool ReplicaRuntime::adopt_checkpoint(const ExecCertificate& cert,
                                       sim::ActorContext& ctx) {
   if (cert.seq <= le_) return false;
   auto fresh = service_->clone_empty();
+  fresh->set_snapshot_chunk_hint(opts_.state_transfer_chunk_size);
   auto decoded = decode_checkpoint_snapshot(snapshot_envelope_bytes);
   ctx.charge(ctx.costs().hash_us(snapshot_envelope_bytes.size()));
   if (!decoded) return false;  // corrupt envelope
@@ -186,6 +202,11 @@ bool ReplicaRuntime::adopt_checkpoint(const ExecCertificate& cert,
   exec_digests_[cert.seq] = cert.exec_digest();
   checkpoints_.adopt(cert, to_bytes(snapshot_envelope_bytes));
   wal_record_checkpoint();
+  // The adopted pair becomes this replica's donor view (and its delta base
+  // the next time it falls behind).
+  if (state_transfer_.note_checkpoint(checkpoints_)) {
+    ctx.charge(ctx.costs().hash_us(checkpoints_.snapshot().size()));
+  }
   records_.erase(records_.begin(), records_.lower_bound(cert.seq));
   return true;
 }
@@ -214,7 +235,11 @@ void ReplicaRuntime::wal_record_checkpoint() {
 }
 
 Bytes ReplicaRuntime::snapshot_envelope() const {
-  return encode_checkpoint_snapshot(as_span(service_->snapshot()), replies_);
+  // Align the envelope to the transfer chunk grid so the service serializer's
+  // page-aligned sections land exactly on chunk boundaries (delta transfer
+  // compares the two grids chunk-for-chunk).
+  return encode_checkpoint_snapshot(as_span(service_->snapshot()), replies_,
+                                    opts_.state_transfer_chunk_size);
 }
 
 }  // namespace sbft::runtime

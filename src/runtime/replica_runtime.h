@@ -46,6 +46,10 @@ struct RuntimeOptions {
   // _max_chunks_per_request); chunk size 0 keeps the monolithic protocol.
   uint32_t state_transfer_chunk_size = 0;
   uint32_t state_transfer_max_chunks_per_request = 16;
+  // Delta state transfer + donor-side chunk-rate limit (docs/state_transfer.md;
+  // ProtocolConfig::state_transfer_delta_enabled / _donor_chunks_per_tick).
+  bool state_transfer_delta_enabled = true;
+  uint32_t state_transfer_donor_chunks_per_tick = 0;
 };
 
 /// Stats common to every protocol; the ordering engines merge these into
@@ -66,6 +70,15 @@ struct RuntimeStats {
   // Chunk payload verified and stored by this replica's fetcher role; summed
   // across a cluster this equals the snapshot bytes moved exactly once.
   uint64_t state_transfer_bytes_transferred = 0;
+  // Delta state transfer (fetcher role): chunks a delta manifest let this
+  // replica seed from its retained local snapshot instead of fetching, and
+  // the payload bytes that therefore never touched the wire.
+  uint64_t delta_chunks_skipped = 0;
+  uint64_t delta_bytes_saved = 0;
+  // Donor role: chunk serves deferred by the donor-side rate limiter to a
+  // later donor tick (a chunk re-deferred across several ticks counts once
+  // per deferral).
+  uint64_t donor_chunks_throttled = 0;
 
   /// Copies every runtime-owned counter into a protocol stats struct (which
   /// must declare fields of the same names) — one place to extend when a
@@ -84,6 +97,9 @@ struct RuntimeStats {
     out.state_transfer_invalid_chunks = state_transfer_invalid_chunks;
     out.state_transfer_resumes = state_transfer_resumes;
     out.state_transfer_bytes_transferred = state_transfer_bytes_transferred;
+    out.delta_chunks_skipped = delta_chunks_skipped;
+    out.delta_bytes_saved = delta_bytes_saved;
+    out.donor_chunks_throttled = donor_chunks_throttled;
   }
 };
 

@@ -8,15 +8,34 @@ namespace sbft::runtime {
 
 namespace {
 constexpr char kMagic[8] = {'S', 'B', 'F', 'T', 'S', 'N', 'A', 'P'};
-constexpr uint16_t kVersion = 1;
+constexpr uint16_t kVersionFlat = 1;     // [bytes service][bytes replies]
+constexpr uint16_t kVersionAligned = 2;  // chunk-aligned sections (see header)
+constexpr uint32_t kMaxAlign = 1u << 26;
+
+size_t align_up(size_t n, uint32_t align) {
+  return align > 1 ? (n + align - 1) / align * align : n;
+}
 }  // namespace
 
-Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies) {
+Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies,
+                                 uint32_t align) {
+  if (align == 0) align = 1;
+  // Alignment buys chunk-stable deltas, at up to ~2 chunks of padding. For a
+  // state smaller than a few chunks that padding dominates (and a delta could
+  // never save much anyway): emit the compact form. The gate is a pure
+  // function of the state, so every replica picks the same layout.
+  if (service_state.size() < 4ull * align) align = 1;
+  Bytes reply_bytes = replies.encode();
   Writer w;
   w.raw(ByteSpan{reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic)});
-  w.u16(kVersion);
-  w.bytes(service_state);
-  w.bytes(as_span(replies.encode()));
+  w.u16(kVersionAligned);
+  w.u32(align);
+  w.u64(service_state.size());
+  w.u64(reply_bytes.size());
+  while (w.size() % align != 0) w.u8(0);  // service starts chunk-aligned
+  w.raw(service_state);
+  while (w.size() % align != 0) w.u8(0);  // replies dirty only tail chunks
+  w.raw(as_span(reply_bytes));
   return std::move(w).take();
 }
 
@@ -29,12 +48,30 @@ std::optional<CheckpointSnapshot> decode_checkpoint_snapshot(ByteSpan data) {
   }
   Reader r(ByteSpan{data.data() + sizeof(kMagic), data.size() - sizeof(kMagic)});
   uint16_t version = r.u16();
-  Bytes service_state = r.bytes();
-  Bytes replies = r.bytes();
-  if (version != kVersion || !r.at_end()) return std::nullopt;
-  auto cache = ReplyCache::decode(as_span(replies));
+  if (version == kVersionFlat) {
+    Bytes service_state = r.bytes();
+    Bytes replies = r.bytes();
+    if (!r.at_end()) return std::nullopt;
+    auto cache = ReplyCache::decode(as_span(replies));
+    if (!cache) return std::nullopt;
+    out.service_state = std::move(service_state);
+    out.replies = std::move(*cache);
+    return out;
+  }
+  if (version != kVersionAligned) return std::nullopt;
+  uint32_t align = r.u32();
+  uint64_t service_len = r.u64();
+  uint64_t replies_len = r.u64();
+  if (!r.ok() || align == 0 || align > kMaxAlign) return std::nullopt;
+  if (service_len > data.size() || replies_len > data.size()) return std::nullopt;
+  size_t header = align_up(sizeof(kMagic) + 2 + 4 + 16, align);
+  size_t service_end = header + align_up(service_len, align);
+  if (service_end > data.size() || data.size() != service_end + replies_len) {
+    return std::nullopt;
+  }
+  auto cache = ReplyCache::decode(data.subspan(service_end, replies_len));
   if (!cache) return std::nullopt;
-  out.service_state = std::move(service_state);
+  out.service_state = to_bytes(data.subspan(header, service_len));
   out.replies = std::move(*cache);
   return out;
 }

@@ -3,9 +3,22 @@
 // A checkpoint snapshot as shipped in WAL records and state-transfer replies
 // is more than the service state: the per-client reply cache rides along so a
 // recovered replica suppresses duplicates of pre-checkpoint requests instead
-// of re-executing them. The envelope frames both parts:
+// of re-executing them. The envelope frames both parts. Version 2 (current)
+// is *chunk-aligned* so the delta state-transfer path can diff consecutive
+// checkpoints chunk-for-chunk (docs/state_transfer.md):
 //
-//   [8-byte magic "SBFTSNAP"][u16 version][bytes service_state][bytes replies]
+//   [8-byte magic "SBFTSNAP"][u16 version=2][u32 align]
+//   [u64 service_len][u64 replies_len][zero pad to align]
+//   [service_state, zero-padded to a multiple of align]
+//   [replies]
+//
+// `align` equals the cluster's state-transfer chunk size (1 when chunking is
+// off), so the service serializer's page-aligned sections land exactly on
+// chunk boundaries of the envelope: an unmutated section occupies
+// byte-identical chunks across consecutive checkpoints. The mutable
+// reply-cache section rides at the tail where it can only dirty the last
+// chunks. Version 1 ([bytes service_state][bytes replies], unaligned) is
+// still decoded (snapshots persisted in older WALs).
 //
 // The service part is the component verified against the certificate's
 // state_root; the reply cache is covered by the local WAL's crash-fault trust
@@ -25,7 +38,10 @@ struct CheckpointSnapshot {
   ReplyCache replies;
 };
 
-Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies);
+/// `align` is the chunk-stability unit (pass the state-transfer chunk size);
+/// <= 1 emits an unpadded envelope.
+Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies,
+                                 uint32_t align = 1);
 /// Inputs without the envelope magic decode as a bare service snapshot (a
 /// malformed service part is caught downstream, by IService::restore and the
 /// state-root check). An input that *carries* the magic but is malformed —

@@ -63,6 +63,7 @@ void StateTransferManager::reset_fetch_state() {
   chunks_.clear();
   received_ = 0;
   donors_.clear();
+  seed_donors_.clear();
   strikes_.clear();
   struck_out_.clear();
   unplanned_.clear();
@@ -86,8 +87,28 @@ void StateTransferManager::retarget(const StateManifestMsg& m) {
   donors_.push_back(m.donor);
 }
 
+StateTransferRequestMsg StateTransferManager::make_probe(
+    const CheckpointManager& cp, ReplicaId self, SeqNum last_executed) {
+  active_ = true;
+  probe_base_seq_ = 0;
+  probe_base_root_ = Digest{};
+  StateTransferRequestMsg req;
+  req.requester = self;
+  req.have_seq = last_executed;
+  if (chunked() && delta_enabled_ && cp.has_shippable()) {
+    const ChunkedSnapshot* base = donor_snapshot(cp);
+    probe_base_seq_ = cp.snapshot_cert().seq;
+    probe_base_root_ = base->transfer_root();
+    req.base_seq = probe_base_seq_;
+    req.base_root = probe_base_root_;
+  }
+  return req;
+}
+
 bool StateTransferManager::on_manifest(const StateManifestMsg& m,
-                                       SeqNum last_executed) {
+                                       SeqNum last_executed,
+                                       const CheckpointManager& cp,
+                                       RuntimeStats& stats) {
   if (!active_ || m.seq <= last_executed) return false;
   if (excluded_.count(m.donor)) return false;
   // Geometry sanity: the chunk grid must tile total_bytes exactly.
@@ -124,19 +145,77 @@ bool StateTransferManager::on_manifest(const StateManifestMsg& m,
     }
     if (!donors_dead) return false;
     manifest_failed();
+    // manifest_failed may have just excluded this very sender (it seeded the
+    // dropped target's delta): its conflicting manifest must not be the one
+    // the fetch re-targets onto.
+    if (excluded_.count(m.donor)) return false;
   }
   if (!has_target() || m.seq > target_cert_.seq) {
     retarget(m);
+    // Delta manifest: seed the chunks the donor marked unchanged from the
+    // local base snapshot before any wire fetch is planned. (Later
+    // same-transfer manifests may seed the still-missing chunks too — see
+    // the registration branch below.)
+    seed_from_base(m, cp, stats);
     return true;
   }
   if (m.seq == target_cert_.seq && incoming == transfer_root_) {
-    // Another replica holds the same transfer: register it as a donor.
+    // Another replica holds the same transfer: register it as a donor — and
+    // honour its delta section even mid-fetch. The adopted manifest may have
+    // come from a donor without the base (full), while this one carries the
+    // diff: same transfer root means the same chunk grid, so seeding the
+    // still-missing unchanged chunks now is exactly as safe as at adoption.
+    bool registered = false;
     if (std::find(donors_.begin(), donors_.end(), m.donor) == donors_.end()) {
       donors_.push_back(m.donor);
-      return true;
+      registered = true;
     }
+    uint32_t received_before = received_;
+    seed_from_base(m, cp, stats);
+    return registered || received_ > received_before;
   }
   return false;
+}
+
+void StateTransferManager::seed_from_base(const StateManifestMsg& m,
+                                          const CheckpointManager& cp,
+                                          RuntimeStats& stats) {
+  if (!delta_enabled_ || m.base_seq == 0) return;
+  // The delta must answer exactly the base this fetch advertised, and that
+  // base must still be the locally retained shippable pair.
+  if (m.base_seq != probe_base_seq_ || !cp.has_shippable() ||
+      cp.snapshot_cert().seq != m.base_seq) {
+    return;
+  }
+  const ChunkedSnapshot* base = donor_snapshot(cp);
+  if (!(base->transfer_root() == probe_base_root_)) return;
+  if (m.delta_bitmap.size() != (chunk_count_ + 7) / 8) return;
+  // Walk the unset (unchanged) bits; base_map names the base chunk index
+  // carrying identical bytes for each, in increasing target-index order.
+  size_t map_pos = 0;
+  uint64_t tail_size = total_bytes_ - uint64_t{chunk_count_ - 1} * target_chunk_size_;
+  for (uint32_t i = 0; i < chunk_count_; ++i) {
+    if (m.delta_bitmap[i / 8] & (1u << (i % 8))) continue;  // differs: fetch
+    if (map_pos >= m.base_map.size()) return;  // malformed: fetch the rest
+    uint32_t j = m.base_map[map_pos++];
+    if (j >= base->chunk_count() || !chunks_[i].empty()) continue;
+    ByteSpan src = base->chunk(as_span(cp.snapshot()), j);
+    // A seeded chunk must be exactly the size its position implies; anything
+    // else is a lying map — leave the index to the wire fetch.
+    uint64_t want = i + 1 == chunk_count_ ? tail_size : target_chunk_size_;
+    if (src.size() != want) continue;
+    chunks_[i] = to_bytes(src);
+    ++received_;
+    unplanned_.erase(i);
+    // Mid-fetch seeding (a later same-transfer delta manifest): the chunk
+    // may already be outstanding at a donor — retire the request marks so
+    // the retry tick neither re-plans it nor blames the donor for it.
+    outstanding_.erase(i);
+    for (auto& [donor, indices] : outstanding_by_donor_) indices.erase(i);
+    seed_donors_.insert(m.donor);
+    ++stats.delta_chunks_skipped;
+    stats.delta_bytes_saved += src.size();
+  }
 }
 
 StateTransferManager::ChunkVerdict StateTransferManager::on_chunk(
@@ -317,6 +396,13 @@ bool StateTransferManager::on_adopt_result(bool adopted, SeqNum last_executed) {
 
 void StateTransferManager::manifest_failed() {
   excluded_.insert(manifest_donor_);
+  // Seeded chunks are unverified until the final state-root check, so a
+  // failure can stem from a lying delta section as much as from a lying
+  // chunk root — exclude every donor whose delta seeded this target too.
+  // When seeder != adopter one honest donor may fall with the liar for this
+  // fetch, but the liar always falls: each failed round removes it, so the
+  // fetch converges onto honest full/delta manifests instead of wedging.
+  for (ReplicaId d : seed_donors_) excluded_.insert(d);
   reset_fetch_state();
   // Stays active (and excluded_ is kept): the caller re-probes and the fetch
   // restarts against the remaining replicas.
@@ -336,6 +422,18 @@ const ChunkedSnapshot* StateTransferManager::donor_snapshot(
     const CheckpointManager& cp) {
   if (!cp.has_shippable()) return nullptr;
   if (donor_seq_ != cp.snapshot_cert().seq || !donor_chunks_) {
+    // Retire the outgoing pair's chunk hashes into the delta-base history (a
+    // fetcher briefly behind will advertise exactly that checkpoint).
+    if (donor_chunks_ && delta_enabled_ && donor_seq_ > 0) {
+      DonorBaseRecord rec;
+      rec.transfer_root = donor_chunks_->transfer_root();
+      rec.leaves = donor_chunks_->leaf_hashes();
+      rec.chunk_size = donor_chunks_->chunk_size();
+      donor_history_[donor_seq_] = std::move(rec);
+      while (donor_history_.size() > kDonorHistory) {
+        donor_history_.erase(donor_history_.begin());
+      }
+    }
     donor_chunks_ =
         std::make_unique<ChunkedSnapshot>(as_span(cp.snapshot()), chunk_size_);
     donor_seq_ = cp.snapshot_cert().seq;
@@ -343,9 +441,20 @@ const ChunkedSnapshot* StateTransferManager::donor_snapshot(
   return donor_chunks_.get();
 }
 
+bool StateTransferManager::note_checkpoint(const CheckpointManager& cp) {
+  // Eager sealing only buys the delta-base history; with delta off the lazy
+  // cold-probe rebuild (charged at manifest time) is strictly cheaper.
+  if (!chunked() || !delta_enabled_ || !cp.has_shippable()) return false;
+  if (donor_seq_ == cp.snapshot_cert().seq && donor_chunks_) return false;
+  donor_snapshot(cp);
+  return true;
+}
+
 std::optional<StateManifestMsg> StateTransferManager::make_manifest(
-    const CheckpointManager& cp, SeqNum have_seq, ReplicaId self) {
-  if (!chunked() || !cp.has_shippable() || cp.snapshot_cert().seq <= have_seq) {
+    const CheckpointManager& cp, const StateTransferRequestMsg& probe,
+    ReplicaId self) {
+  if (!chunked() || !cp.has_shippable() ||
+      cp.snapshot_cert().seq <= probe.have_seq) {
     return std::nullopt;
   }
   const ChunkedSnapshot* snap = donor_snapshot(cp);
@@ -357,6 +466,54 @@ std::optional<StateManifestMsg> StateTransferManager::make_manifest(
   m.chunk_count = snap->chunk_count();
   m.chunk_size = snap->chunk_size();
   m.total_bytes = snap->total_bytes();
+
+  // Delta section: only when the probe's base is a retired pair whose chunk
+  // hashes are still held, under the identical transfer identity the fetcher
+  // computed locally (root mismatch means different bytes — e.g. the fetcher's
+  // disk rotted — and silently diffing would waste its round).
+  if (!delta_enabled_ || probe.base_seq == 0 || probe.base_seq >= m.seq) return m;
+  auto it = donor_history_.find(probe.base_seq);
+  if (it == donor_history_.end() ||
+      !(it->second.transfer_root == probe.base_root) ||
+      it->second.chunk_size != chunk_size_) {
+    return m;  // unknown base: full manifest
+  }
+  // The diff is a pure function of (base checkpoint, current pair): memoize
+  // it so the retry probes a still-behind fetcher re-broadcasts every tick
+  // don't re-walk every chunk hash per donor.
+  if (diff_base_seq_ != probe.base_seq || diff_target_seq_ != donor_seq_) {
+    diff_base_seq_ = probe.base_seq;
+    diff_target_seq_ = donor_seq_;
+    diff_bitmap_.assign((snap->chunk_count() + 7) / 8, 0);
+    diff_base_map_.clear();
+    // Content-addressed diff: a target chunk is unchanged if *any* base
+    // chunk holds identical bytes (same leaf hash), so runs that shifted by
+    // whole chunks still seed. Prefer the same index when available.
+    const std::vector<Digest>& base_leaves = it->second.leaves;
+    std::map<Digest, uint32_t> base_by_hash;
+    for (uint32_t j = 0; j < base_leaves.size(); ++j) {
+      base_by_hash.emplace(base_leaves[j], j);
+    }
+    const std::vector<Digest>& target_leaves = snap->leaf_hashes();
+    for (uint32_t i = 0; i < snap->chunk_count(); ++i) {
+      std::optional<uint32_t> j;
+      if (i < base_leaves.size() && base_leaves[i] == target_leaves[i]) {
+        j = i;
+      } else if (auto hit = base_by_hash.find(target_leaves[i]);
+                 hit != base_by_hash.end()) {
+        j = hit->second;
+      }
+      if (j) {
+        diff_base_map_.push_back(*j);
+      } else {
+        diff_bitmap_[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+      }
+    }
+  }
+  if (diff_base_map_.empty()) return m;  // degenerate delta: full manifest
+  m.base_seq = probe.base_seq;
+  m.delta_bitmap = diff_bitmap_;
+  m.base_map = diff_base_map_;
   return m;
 }
 
@@ -373,9 +530,19 @@ std::vector<StateChunkMsg> StateTransferManager::make_chunks(
   // ignored, so an honest donor can never be blamed for a liar's manifest.
   if (!(snap->transfer_root() == req.chunk_root)) return out;
   size_t limit = std::min<size_t>(req.indices.size(), max_chunks_per_request_);
+  std::vector<uint32_t> deferred;
   for (size_t i = 0; i < limit; ++i) {
     uint32_t index = req.indices[i];
     if (index >= snap->chunk_count()) continue;
+    if (donor_chunks_per_tick_ > 0 &&
+        donor_served_this_tick_ >= donor_chunks_per_tick_) {
+      // Rate limit hit: the remainder is re-served on the donor tick, never
+      // silently dropped (the fetcher would strike this donor for sitting on
+      // a request it never refused).
+      deferred.push_back(index);
+      continue;
+    }
+    ++donor_served_this_tick_;
     StateChunkMsg m;
     m.donor = self;
     m.seq = req.seq;
@@ -389,6 +556,54 @@ std::vector<StateChunkMsg> StateTransferManager::make_chunks(
     // once per role, and not inflated by dropped or duplicate serves.
     ++stats.state_transfer_chunks_served;
     out.push_back(std::move(m));
+  }
+  if (!deferred.empty()) {
+    // Dedup against what this requester already has queued for the same
+    // transfer (its retry ticks re-request chunks the limiter is still
+    // sitting on), and bound the queue — overflow falls back to the
+    // fetcher's retry rather than growing the donor's memory under the very
+    // overload the limiter exists to bound.
+    std::set<uint32_t> queued;
+    size_t queue_total = 0;
+    for (const StateChunkRequestMsg& q : donor_deferred_) {
+      queue_total += q.indices.size();
+      if (q.requester == req.requester && q.seq == req.seq &&
+          q.chunk_root == req.chunk_root) {
+        queued.insert(q.indices.begin(), q.indices.end());
+      }
+    }
+    StateChunkRequestMsg rest = req;
+    rest.indices.clear();
+    for (uint32_t index : deferred) {
+      if (!queued.count(index)) rest.indices.push_back(index);
+    }
+    if (!rest.indices.empty()) {
+      // Overflow drops are counted too — an operator watching the throttle
+      // counter must see the load the limiter turned away, not only the part
+      // it could queue.
+      stats.donor_chunks_throttled += rest.indices.size();
+      if (queue_total < kMaxDeferredChunks) {
+        donor_deferred_.push_back(std::move(rest));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<ReplicaId, StateChunkMsg>>
+StateTransferManager::on_donor_tick(const CheckpointManager& cp, ReplicaId self,
+                                    RuntimeStats& stats) {
+  donor_served_this_tick_ = 0;
+  std::vector<StateChunkRequestMsg> pending = std::move(donor_deferred_);
+  donor_deferred_.clear();
+  std::vector<std::pair<ReplicaId, StateChunkMsg>> out;
+  for (StateChunkRequestMsg& req : pending) {
+    // make_chunks re-validates against the now-current shippable pair (stale
+    // deferred requests fall out; the fetcher's retry tick covers them) and
+    // re-defers whatever exceeds this tick's budget.
+    for (StateChunkMsg& c : make_chunks(cp, req, self, stats)) {
+      out.emplace_back(req.requester, std::move(c));
+    }
   }
   return out;
 }

@@ -15,6 +15,17 @@
 // donor that lied in its manifest is detected there, excluded, and the fetch
 // restarts against the remaining donors.
 //
+// Two refinements for the common briefly-behind case:
+//   * Delta transfer: the probe advertises the fetcher's retained checkpoint
+//     (seq + transfer root); a donor still holding that base's chunk hashes
+//     Merkle-diffs the two snapshots and its manifest marks the chunks that
+//     differ — the fetcher seeds every unchanged chunk from its local
+//     snapshot and fetches only the delta. Unknown base or no shared chunks
+//     falls back to the full-chunked path automatically.
+//   * Donor-side chunk-rate limiting: a donor bounds chunks served per tick
+//     so state transfer cannot starve ordering under load; the trimmed
+//     remainder of a throttled request is re-served on the donor tick.
+//
 // Split of responsibilities: this manager owns the fetch/serve state machine
 // and produces/consumes the protocol message *structs*; it never touches the
 // network. The ordering engines (SBFT, PBFT) send whatever it hands back and
@@ -62,6 +73,9 @@ class ChunkedSnapshot {
   /// Leaf digest a verifier recomputes from a received chunk payload.
   static Digest chunk_leaf(ByteSpan data) { return merkle::leaf_hash(data); }
 
+  /// All chunk leaf hashes in index order (delta diffing between snapshots).
+  const std::vector<Digest>& leaf_hashes() const { return tree_->leaves(); }
+
   /// The transfer key binds the chunk tree root to the manifest geometry, so
   /// two manifests agreeing on the envelope but lying about the grid name
   /// *different* transfers: an honest donor never serves (and is never
@@ -82,9 +96,13 @@ class ChunkedSnapshot {
 class StateTransferManager {
  public:
   explicit StateTransferManager(uint32_t chunk_size,
-                                uint32_t max_chunks_per_request = 16)
+                                uint32_t max_chunks_per_request = 16,
+                                uint32_t donor_chunks_per_tick = 0,
+                                bool delta_enabled = true)
       : chunk_size_(chunk_size),
-        max_chunks_per_request_(max_chunks_per_request ? max_chunks_per_request : 1) {}
+        max_chunks_per_request_(max_chunks_per_request ? max_chunks_per_request : 1),
+        donor_chunks_per_tick_(donor_chunks_per_tick),
+        delta_enabled_(delta_enabled) {}
 
   /// Chunking enabled? (false => the legacy monolithic reply is used).
   bool chunked() const { return chunk_size_ > 0; }
@@ -104,15 +122,37 @@ class StateTransferManager {
   /// lets engines skip expensive signature checks on its further manifests.
   bool donor_excluded(ReplicaId donor) const { return excluded_.count(donor) > 0; }
 
-  /// Marks a fetch round active (idempotent). The caller broadcasts the
-  /// probe; partial state from a disturbed earlier round is kept (resume).
-  void begin_probe() { active_ = true; }
+  /// Marks a fetch round active (idempotent) and clears the delta-base
+  /// advertisement. Unit-test/no-base entry point; engines use make_probe.
+  void begin_probe() {
+    active_ = true;
+    probe_base_seq_ = 0;
+    probe_base_root_ = Digest{};
+  }
+
+  /// Marks a fetch round active and builds the probe to broadcast. When this
+  /// replica retains a shippable checkpoint (and delta transfer is on), the
+  /// probe advertises it as the delta base: donors still holding that base's
+  /// chunk hashes answer with a delta manifest, and the fetcher seeds the
+  /// unchanged chunks from its local snapshot. Partial state from a disturbed
+  /// earlier round is kept (resume).
+  StateTransferRequestMsg make_probe(const CheckpointManager& cp, ReplicaId self,
+                                     SeqNum last_executed);
 
   /// Feeds a donor manifest. Returns true when the manifest (re)targeted the
   /// fetch or registered a new donor — i.e. the caller should send the next
-  /// request plan. Certificate signature verification (SBFT's pi) is the
-  /// caller's job, *before* this call.
-  bool on_manifest(const StateManifestMsg& m, SeqNum last_executed);
+  /// request plan (or, when fetch_complete(), adopt immediately: a delta
+  /// manifest may seed every chunk from the local base). Certificate
+  /// signature verification (SBFT's pi) is the caller's job, *before* this
+  /// call. `cp` is this replica's own checkpoint state — the source the
+  /// delta-seeded chunks are copied from.
+  bool on_manifest(const StateManifestMsg& m, SeqNum last_executed,
+                   const CheckpointManager& cp, RuntimeStats& stats);
+
+  /// Every chunk is in hand (arrived or delta-seeded): assemble + adopt.
+  bool fetch_complete() const {
+    return has_target() && received_ == chunk_count_;
+  }
 
   enum class ChunkVerdict {
     kRejected,   // stale or off-target; ignore silently
@@ -174,19 +214,48 @@ class StateTransferManager {
   /// cache — that rebuild, not every request, is what hashes the envelope.
   SeqNum donor_cached_seq() const { return donor_chunks_ ? donor_seq_ : 0; }
 
+  /// A new shippable pair was sealed (stable checkpoint advanced or adopted):
+  /// rebuilds the donor chunk cache eagerly, retiring the previous pair's
+  /// chunk hashes into the delta-base history. Called by ReplicaRuntime; the
+  /// caller charges one envelope hash when it returns true (cache rebuilt).
+  bool note_checkpoint(const CheckpointManager& cp);
+
   /// Manifest for the current shippable pair; nullopt when there is none or
-  /// it is not newer than `have_seq`.
+  /// it is not newer than probe.have_seq. When the probe advertises a base
+  /// this donor retains (and delta transfer is on), the manifest carries the
+  /// chunk diff against it.
   std::optional<StateManifestMsg> make_manifest(const CheckpointManager& cp,
-                                                SeqNum have_seq, ReplicaId self);
+                                                const StateTransferRequestMsg& probe,
+                                                ReplicaId self);
 
   /// Chunk replies for a fetch request against the current shippable pair;
-  /// empty when the request does not match it (stale root, wrong seq).
+  /// empty when the request does not match it (stale root, wrong seq). When
+  /// the donor chunk-rate limit is hit, the trimmed remainder of the request
+  /// is queued for the next donor tick instead of being dropped.
   std::vector<StateChunkMsg> make_chunks(const CheckpointManager& cp,
                                          const StateChunkRequestMsg& req,
                                          ReplicaId self, RuntimeStats& stats);
 
+  /// Donor tick: resets the per-tick serve budget and re-serves the requests
+  /// the rate limiter deferred (dropping the ones the checkpoint advanced
+  /// past — the fetcher's retry covers those). The engine sends each chunk to
+  /// its requester and re-arms the tick while donor_tick_needed().
+  std::vector<std::pair<ReplicaId, StateChunkMsg>> on_donor_tick(
+      const CheckpointManager& cp, ReplicaId self, RuntimeStats& stats);
+
+  /// A donor tick must be scheduled: the budget is in use or requests wait.
+  bool donor_tick_needed() const {
+    return donor_chunks_per_tick_ > 0 &&
+           (donor_served_this_tick_ > 0 || !donor_deferred_.empty());
+  }
+  size_t donor_deferred_requests() const { return donor_deferred_.size(); }
+
  private:
   void retarget(const StateManifestMsg& m);
+  /// Seeds the chunks a delta manifest marks unchanged from the local base
+  /// snapshot (no-op when the delta section is absent or unusable).
+  void seed_from_base(const StateManifestMsg& m, const CheckpointManager& cp,
+                      RuntimeStats& stats);
   /// Clears every per-target field (target, chunks, donors, strike and
   /// outstanding bookkeeping). Exclusions, rotation, and active_ are managed
   /// by the callers (manifest_failed keeps them; finish drops everything).
@@ -198,9 +267,17 @@ class StateTransferManager {
   static constexpr uint64_t kMaxTotalBytes = 1ull << 31;
   static constexpr uint32_t kMaxChunks = 1u << 20;
   static constexpr uint32_t kStrikeLimit = 2;
+  // Delta bases retained per donor (chunk *hashes* only — 32 B per chunk, the
+  // envelope bytes are never duplicated).
+  static constexpr size_t kDonorHistory = 16;
+  // Bound on chunk indices queued by the donor rate limiter; overflow falls
+  // back to the fetcher's retry instead of growing donor memory.
+  static constexpr size_t kMaxDeferredChunks = 4096;
 
   uint32_t chunk_size_;
   uint32_t max_chunks_per_request_;
+  uint32_t donor_chunks_per_tick_;
+  bool delta_enabled_;
 
   // Fetcher state.
   bool active_ = false;
@@ -230,10 +307,42 @@ class StateTransferManager {
   std::map<ReplicaId, std::set<uint32_t>> outstanding_by_donor_;
   std::set<ReplicaId> delivered_since_tick_;
   uint32_t rotation_ = 0;              // donor round-robin offset
+  // Delta base advertised by the most recent probe (0: none). A delta
+  // manifest is only honoured when it answers exactly this advertisement.
+  SeqNum probe_base_seq_ = 0;
+  Digest probe_base_root_{};
+  // Donors whose delta sections seeded chunks for the current target. Seeded
+  // bytes carry no per-chunk proof (only the final state-root check covers
+  // them), so when adoption fails these are excluded alongside the manifest
+  // sender — a lying delta section must not survive the round it poisoned,
+  // and must never get the adopted manifest's sender blamed in its place.
+  std::set<ReplicaId> seed_donors_;
 
   // Donor-side chunk cache for the current shippable pair.
   SeqNum donor_seq_ = 0;
   std::unique_ptr<ChunkedSnapshot> donor_chunks_;
+  // Chunk hashes of recently retired shippable pairs: the delta bases this
+  // donor can still diff against. The transfer root binds the full geometry
+  // (chunk size, count, total bytes); chunk_size is kept only for the cheap
+  // pre-check before the root comparison.
+  struct DonorBaseRecord {
+    Digest transfer_root{};
+    std::vector<Digest> leaves;
+    uint32_t chunk_size = 0;
+  };
+  std::map<SeqNum, DonorBaseRecord> donor_history_;
+  // Memoized delta diff (pure function of base seq × current pair): repeat
+  // probes from a still-behind fetcher reuse it instead of re-walking every
+  // chunk hash. Invalidated by seq mismatch on either side.
+  SeqNum diff_base_seq_ = 0;
+  SeqNum diff_target_seq_ = 0;
+  Bytes diff_bitmap_;
+  std::vector<uint32_t> diff_base_map_;
+  // Rate limiter: chunks served since the last donor tick, and the trimmed
+  // requests awaiting the next tick (re-validated against the then-current
+  // shippable pair when drained).
+  uint32_t donor_served_this_tick_ = 0;
+  std::vector<StateChunkRequestMsg> donor_deferred_;
 };
 
 }  // namespace sbft::runtime

@@ -143,6 +143,13 @@ TEST(Messages, StateTransferRoundTrips) {
   expect_roundtrip(Message(GetBlockRequestMsg{1, 2, random_digest()}));
   expect_roundtrip(Message(GetBlockReplyMsg{2, random_block(3)}));
   expect_roundtrip(Message(StateTransferRequestMsg{3, 44}));
+  // Probe advertising a delta base (docs/state_transfer.md).
+  StateTransferRequestMsg probe;
+  probe.requester = 4;
+  probe.have_seq = 48;
+  probe.base_seq = 32;
+  probe.base_root = random_digest();
+  expect_roundtrip(Message(probe));
   StateTransferReplyMsg reply;
   reply.seq = 128;
   reply.cert = random_cert();
@@ -160,6 +167,13 @@ TEST(Messages, ChunkedStateTransferRoundTrips) {
   manifest.chunk_size = 4096;
   manifest.total_bytes = 16 * 4096 + 123;
   expect_roundtrip(Message(manifest));
+
+  // Delta manifest: differing-chunk bitmap + base-index map for the rest.
+  StateManifestMsg delta = manifest;
+  delta.base_seq = 112;
+  delta.delta_bitmap = {0x03, 0x80, 0x01};
+  delta.base_map = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
+  expect_roundtrip(Message(delta));
 
   StateChunkRequestMsg req;
   req.requester = 2;

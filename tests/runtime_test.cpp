@@ -6,6 +6,11 @@
 // identical Cluster API.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <set>
+
+#include "common/serde.h"
+#include "crypto/sha256.h"
 #include "evm/contracts.h"
 #include "evm/evm_service.h"
 #include "harness/cluster.h"
@@ -130,6 +135,15 @@ StateManifestMsg manifest_of(const ChunkedSnapshot& snap, ReplicaId donor,
   return m;
 }
 
+/// Feeds a manifest with no local base checkpoint (no delta seeding) — the
+/// plain chunked-path behaviour the tests below exercise.
+bool feed_manifest(StateTransferManager& mgr, const StateManifestMsg& m,
+                   SeqNum last_executed) {
+  CheckpointManager cp(16);
+  RuntimeStats stats;
+  return mgr.on_manifest(m, last_executed, cp, stats);
+}
+
 Bytes patterned_envelope(size_t size) {
   Bytes envelope(size);
   for (size_t i = 0; i < size; ++i) {
@@ -169,8 +183,8 @@ TEST(StateTransferManagerTest, FansOutResumesAndReassembles) {
   RuntimeStats stats;
 
   mgr.begin_probe();
-  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, /*donor=*/1, /*seq=*/16), 0));
-  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, /*donor=*/2, /*seq=*/16), 0));
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, /*donor=*/1, /*seq=*/16), 0));
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, /*donor=*/2, /*seq=*/16), 0));
   EXPECT_EQ(mgr.donor_count(), 2u);
 
   // First plan: 2 donors x cap 2 = 4 outstanding chunks.
@@ -228,7 +242,7 @@ TEST(StateTransferManagerTest, InvalidChunkExcludesDonorForGood) {
   RuntimeStats stats;
 
   mgr.begin_probe();
-  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, 1, 16), 0));
   auto plan = mgr.plan_requests(4);
   ASSERT_EQ(plan.size(), 1u);
 
@@ -243,8 +257,8 @@ TEST(StateTransferManagerTest, InvalidChunkExcludesDonorForGood) {
 
   // An excluded donor's manifests are ignored; an honest donor re-enables
   // the fetch and its indices re-plan immediately.
-  EXPECT_FALSE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));
-  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, 2, 16), 0));
+  EXPECT_FALSE(feed_manifest(mgr, manifest_of(snap, 1, 16), 0));
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, 2, 16), 0));
   auto retry = mgr.plan_requests(4);
   ASSERT_EQ(retry.size(), 1u);
   EXPECT_EQ(retry[0].first, 2u);
@@ -267,7 +281,7 @@ TEST(StateTransferManagerTest, BogusRootManifestCannotWedgeTheFetch) {
     mgr.begin_probe();
     StateManifestMsg bogus = manifest_of(honest, /*donor=*/1, /*seq=*/16);
     bogus.chunk_root[0] ^= 0xff;
-    ASSERT_TRUE(mgr.on_manifest(bogus, 0));
+    ASSERT_TRUE(feed_manifest(mgr, bogus, 0));
     auto plan = mgr.plan_requests(4);
     ASSERT_FALSE(plan.empty());
     StateChunkMsg garbage =
@@ -276,7 +290,7 @@ TEST(StateTransferManagerTest, BogusRootManifestCannotWedgeTheFetch) {
     EXPECT_EQ(mgr.on_chunk(garbage, stats),
               StateTransferManager::ChunkVerdict::kInvalid);
     EXPECT_FALSE(mgr.has_target());  // suspect root dropped with its author
-    ASSERT_TRUE(mgr.on_manifest(manifest_of(honest, /*donor=*/2, 16), 0));
+    ASSERT_TRUE(feed_manifest(mgr, manifest_of(honest, /*donor=*/2, 16), 0));
     EXPECT_EQ(mgr.target_cert().seq, 16u);
   }
 
@@ -289,16 +303,16 @@ TEST(StateTransferManagerTest, BogusRootManifestCannotWedgeTheFetch) {
     mgr.begin_probe();
     StateManifestMsg bogus = manifest_of(honest, /*donor=*/1, /*seq=*/16);
     bogus.chunk_root[0] ^= 0xff;
-    ASSERT_TRUE(mgr.on_manifest(bogus, 0));
+    ASSERT_TRUE(feed_manifest(mgr, bogus, 0));
     StateManifestMsg truth = manifest_of(honest, /*donor=*/2, /*seq=*/16);
-    EXPECT_FALSE(mgr.on_manifest(truth, 0));  // liar's donors not yet dead
+    EXPECT_FALSE(feed_manifest(mgr, truth, 0));  // liar's donors not yet dead
     ASSERT_FALSE(mgr.plan_requests(4).empty());
     mgr.on_retry_tick(0, true, stats);  // strike 1
     ASSERT_FALSE(mgr.plan_requests(4).empty());
     auto tick = mgr.on_retry_tick(0, true, stats);  // strike 2: struck out
     EXPECT_TRUE(tick.probe);
     ASSERT_FALSE(mgr.plan_requests(4).empty());  // forgiveness retries the liar...
-    ASSERT_TRUE(mgr.on_manifest(truth, 0));      // ...but cannot mask its record
+    ASSERT_TRUE(feed_manifest(mgr, truth, 0));      // ...but cannot mask its record
     EXPECT_TRUE(mgr.has_target());
     auto plan = mgr.plan_requests(4);
     ASSERT_FALSE(plan.empty());
@@ -320,7 +334,7 @@ TEST(StateTransferManagerTest, GeometryLieNamesADifferentTransfer) {
   StateManifestMsg shrunk = manifest_of(snap, /*donor=*/1, /*seq=*/16);
   shrunk.chunk_size = 512;  // honest root, lying grid
   shrunk.chunk_count = 20;  // passes ceil(10240 / 512) == 20
-  ASSERT_TRUE(mgr.on_manifest(shrunk, 0));
+  ASSERT_TRUE(feed_manifest(mgr, shrunk, 0));
   auto plan = mgr.plan_requests(4);
   ASSERT_FALSE(plan.empty());
   EXPECT_FALSE(plan[0].second.chunk_root == snap.transfer_root());
@@ -333,7 +347,7 @@ TEST(StateTransferManagerTest, GeometryLieNamesADifferentTransfer) {
   ASSERT_FALSE(mgr.plan_requests(4).empty());
   mgr.on_retry_tick(0, true, stats);
   ASSERT_FALSE(mgr.plan_requests(4).empty());  // engine plans before manifests land
-  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, /*donor=*/2, 16), 0));
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, /*donor=*/2, 16), 0));
   auto honest_plan = mgr.plan_requests(4);
   ASSERT_FALSE(honest_plan.empty());
   EXPECT_TRUE(honest_plan[0].second.chunk_root == snap.transfer_root());
@@ -354,7 +368,7 @@ TEST(StateTransferManagerTest, RetryTickReprobesWhenEveryDonorStruckOut) {
   EXPECT_FALSE(first.stop);
   EXPECT_TRUE(first.probe);  // no manifest adopted yet
 
-  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, 1, 16), 0));
   ASSERT_FALSE(mgr.plan_requests(4).empty());  // donor 1 has outstanding chunks
   auto tick1 = mgr.on_retry_tick(0, true, stats);
   EXPECT_FALSE(tick1.stop);
@@ -379,26 +393,340 @@ TEST(StateTransferManagerTest, AdoptResultDistinguishesStaleFromLyingManifest) {
   // replica — the sender is excluded and the caller must re-probe.
   StateTransferManager mgr(1024, 4);
   mgr.begin_probe();
-  ASSERT_TRUE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, 1, 16), 0));
   EXPECT_TRUE(mgr.on_adopt_result(/*adopted=*/false, /*last_executed=*/0));
   EXPECT_TRUE(mgr.active());                 // fetch restarts
   EXPECT_FALSE(mgr.has_target());            // against a fresh manifest
-  EXPECT_FALSE(mgr.on_manifest(manifest_of(snap, 1, 16), 0));  // liar excluded
+  EXPECT_FALSE(feed_manifest(mgr, manifest_of(snap, 1, 16), 0));  // liar excluded
 
   // Stale target: adoption failed only because the replica caught up past
   // the checkpoint through the ordering protocol — nothing went wrong.
   StateTransferManager stale(1024, 4);
   stale.begin_probe();
-  ASSERT_TRUE(stale.on_manifest(manifest_of(snap, 2, 16), 0));
+  ASSERT_TRUE(feed_manifest(stale, manifest_of(snap, 2, 16), 0));
   EXPECT_FALSE(stale.on_adopt_result(/*adopted=*/false, /*last_executed=*/16));
   EXPECT_FALSE(stale.active());
 
   // Success clears everything.
   StateTransferManager ok(1024, 4);
   ok.begin_probe();
-  ASSERT_TRUE(ok.on_manifest(manifest_of(snap, 3, 16), 0));
+  ASSERT_TRUE(feed_manifest(ok, manifest_of(snap, 3, 16), 0));
   EXPECT_FALSE(ok.on_adopt_result(/*adopted=*/true, /*last_executed=*/16));
   EXPECT_FALSE(ok.active());
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-stable snapshot encoding (the layout delta transfer relies on)
+
+/// Chunks `base`/`target` and counts how many of `target`'s chunks carry
+/// content no chunk of `base` carries — exactly the donor's delta diff.
+uint32_t differing_chunks(const Bytes& base, const Bytes& target,
+                          uint32_t chunk_size) {
+  ChunkedSnapshot b(as_span(base), chunk_size);
+  ChunkedSnapshot t(as_span(target), chunk_size);
+  std::set<Digest> base_hashes(b.leaf_hashes().begin(), b.leaf_hashes().end());
+  uint32_t differing = 0;
+  for (const Digest& leaf : t.leaf_hashes()) {
+    if (!base_hashes.count(leaf)) ++differing;
+  }
+  return differing;
+}
+
+Bytes kv_key(uint32_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key-%06u", i);
+  return to_bytes(buf);
+}
+
+TEST(ChunkStableSnapshot, SmallMutationPerturbsFewChunks) {
+  // 2000 keys with the paged layout: overwriting a handful of values must
+  // dirty only their sections' chunks, not shift every byte after them (the
+  // flat layout re-wrote the whole tail on any size change).
+  kv::KvService a;
+  a.set_snapshot_chunk_hint(1024);
+  for (uint32_t i = 0; i < 2000; ++i) {
+    a.put(as_span(kv_key(i)), as_span(Bytes(48, static_cast<uint8_t>(i))));
+  }
+  Bytes before = a.snapshot();
+  for (uint32_t i : {17u, 444u, 902u, 1500u, 1999u}) {
+    a.put(as_span(kv_key(i)), as_span(Bytes(48, 0xAB)));
+  }
+  Bytes after = a.snapshot();
+  ReplyCache replies;
+  Bytes env_before = encode_checkpoint_snapshot(as_span(before), replies, 1024);
+  Bytes env_after = encode_checkpoint_snapshot(as_span(after), replies, 1024);
+  uint32_t total = ChunkedSnapshot(as_span(env_after), 1024).chunk_count();
+  uint32_t differing = differing_chunks(env_before, env_after, 1024);
+  EXPECT_GT(differing, 0u);
+  EXPECT_GE(total, 100u);
+  EXPECT_LE(differing, 30u) << "a 5-key mutation dirtied " << differing << "/"
+                            << total << " chunks — layout is not chunk-stable";
+
+  // An *insertion* must stay local too: sections after it may shift by whole
+  // pages, which the content-addressed diff absorbs.
+  a.put(as_span(to_bytes("key-000500-new")), as_span(Bytes(48, 0xCD)));
+  Bytes env_ins = encode_checkpoint_snapshot(as_span(a.snapshot()), replies, 1024);
+  EXPECT_LE(differing_chunks(env_after, env_ins, 1024), 8u);
+}
+
+TEST(ChunkStableSnapshot, PagedRoundTripAndLegacyRestore) {
+  kv::KvService a;
+  a.set_snapshot_chunk_hint(1024);
+  for (uint32_t i = 0; i < 300; ++i) {
+    a.put(as_span(kv_key(i)), as_span(Bytes(40, static_cast<uint8_t>(i * 7))));
+  }
+  Bytes paged = a.snapshot();
+  EXPECT_EQ(paged.size() % 1024, 0u);  // sections padded to the page grid
+
+  kv::KvService b;
+  ASSERT_TRUE(b.restore(as_span(paged)));
+  EXPECT_EQ(b.state_digest(), a.state_digest());
+  EXPECT_EQ(b.size(), 300u);
+
+  // The pre-paged flat format (u64 count + pairs) still restores: snapshots
+  // persisted by older WALs.
+  Writer w;
+  w.u64(2);
+  w.bytes(as_span(to_bytes("k1")));
+  w.bytes(as_span(to_bytes("v1")));
+  w.bytes(as_span(to_bytes("k2")));
+  w.bytes(as_span(to_bytes("v2")));
+  kv::KvService legacy;
+  ASSERT_TRUE(legacy.restore(as_span(w.data())));
+  EXPECT_EQ(legacy.get(as_span(to_bytes("k2"))), to_bytes("v2"));
+
+  // Truncated paged input must be rejected.
+  Bytes truncated(paged.begin(), paged.begin() + paged.size() - 512);
+  kv::KvService c;
+  EXPECT_FALSE(c.restore(as_span(truncated)));
+}
+
+TEST(CheckpointSnapshot, AlignedEnvelopeRoundTrip) {
+  ReplyCache cache;
+  cache.store(11, 5, 2, 0, to_bytes("r"));
+  Bytes state(5000, 0x5a);  // >= 4 chunks of 512: the aligned layout engages
+  Bytes envelope = encode_checkpoint_snapshot(as_span(state), cache, 512);
+  EXPECT_EQ((envelope.size() - cache.encode().size()) % 512, 0u);
+  auto decoded = decode_checkpoint_snapshot(as_span(envelope));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->service_state, state);
+  ASSERT_NE(decoded->replies.find(11), nullptr);
+
+  // Truncation anywhere must reject the envelope, exactly like version 1.
+  Bytes cut(envelope.begin(), envelope.end() - 1);
+  EXPECT_FALSE(decode_checkpoint_snapshot(as_span(cut)).has_value());
+
+  // A small state skips the padding (compact layout) but round-trips the same.
+  Bytes tiny = encode_checkpoint_snapshot(as_span(to_bytes("svc")), cache, 65536);
+  EXPECT_LT(tiny.size(), 1000u);
+  auto tiny_decoded = decode_checkpoint_snapshot(as_span(tiny));
+  ASSERT_TRUE(tiny_decoded.has_value());
+  EXPECT_EQ(tiny_decoded->service_state, to_bytes("svc"));
+}
+
+// ---------------------------------------------------------------------------
+// Delta state transfer + donor-side rate limiting (unit level)
+
+ExecCertificate cert_at(SeqNum seq) {
+  ExecCertificate cert;
+  cert.seq = seq;
+  return cert;
+}
+
+TEST(StateTransferManagerTest, DeltaManifestSeedsUnchangedChunks) {
+  // Base: 8 chunks. Target: chunks 2 and 5 mutated, one chunk appended. A
+  // briefly-behind fetcher advertising the base must seed the 6 shared chunks
+  // locally and fetch only the 3 that differ.
+  Bytes base_env = patterned_envelope(8 * 1024);
+  Bytes target_env = base_env;
+  std::fill(target_env.begin() + 2 * 1024, target_env.begin() + 3 * 1024, 0xAB);
+  std::fill(target_env.begin() + 5 * 1024, target_env.begin() + 6 * 1024, 0xCD);
+  target_env.insert(target_env.end(), 1024, 0xEE);  // 9 chunks now
+
+  // Donor: sealed the base checkpoint, then the target (retiring the base's
+  // chunk hashes into its delta history).
+  StateTransferManager donor(1024, 8);
+  CheckpointManager donor_cp(16);
+  donor_cp.adopt(cert_at(16), base_env);
+  EXPECT_TRUE(donor.note_checkpoint(donor_cp));
+  donor_cp.adopt(cert_at(32), target_env);
+  EXPECT_TRUE(donor.note_checkpoint(donor_cp));
+
+  // Fetcher: retains the base as its shippable pair.
+  StateTransferManager fetcher(1024, 8);
+  CheckpointManager fetcher_cp(16);
+  fetcher_cp.adopt(cert_at(16), base_env);
+  StateTransferRequestMsg probe = fetcher.make_probe(fetcher_cp, /*self=*/4,
+                                                     /*last_executed=*/16);
+  EXPECT_EQ(probe.base_seq, 16u);
+
+  auto manifest = donor.make_manifest(donor_cp, probe, /*donor=*/1);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->base_seq, 16u);
+  EXPECT_EQ(manifest->base_map.size(), 6u);
+
+  RuntimeStats stats;
+  ASSERT_TRUE(fetcher.on_manifest(*manifest, 16, fetcher_cp, stats));
+  EXPECT_EQ(stats.delta_chunks_skipped, 6u);
+  EXPECT_EQ(stats.delta_bytes_saved, 6u * 1024u);
+  EXPECT_FALSE(fetcher.fetch_complete());
+
+  // Only the differing chunks go on the wire.
+  auto plan = fetcher.plan_requests(4);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].second.indices, (std::vector<uint32_t>{2, 5, 8}));
+  RuntimeStats donor_stats;
+  using Verdict = StateTransferManager::ChunkVerdict;
+  Verdict last = Verdict::kRejected;
+  for (StateChunkMsg& c :
+       donor.make_chunks(donor_cp, plan[0].second, 1, donor_stats)) {
+    last = fetcher.on_chunk(c, stats);
+  }
+  EXPECT_EQ(last, Verdict::kCompleted);
+  EXPECT_EQ(stats.state_transfer_chunks_fetched, 3u);
+  EXPECT_EQ(stats.state_transfer_bytes_transferred, 3u * 1024u);
+  EXPECT_EQ(fetcher.take_envelope(), target_env);
+}
+
+TEST(StateTransferManagerTest, LateDeltaManifestSeedsMidFetch) {
+  // The adopted manifest may come from a donor without the base (full); a
+  // later same-transfer manifest carrying the delta section must still seed
+  // the missing unchanged chunks — delta savings must not depend on message
+  // arrival order.
+  Bytes base_env = patterned_envelope(8 * 1024);
+  Bytes target_env = base_env;
+  std::fill(target_env.begin() + 2 * 1024, target_env.begin() + 3 * 1024, 0xAB);
+
+  StateTransferManager donor(1024, 8);
+  CheckpointManager donor_cp(16);
+  donor_cp.adopt(cert_at(16), base_env);
+  donor.note_checkpoint(donor_cp);
+  donor_cp.adopt(cert_at(32), target_env);
+  donor.note_checkpoint(donor_cp);
+
+  StateTransferManager fetcher(1024, 16);
+  CheckpointManager fetcher_cp(16);
+  fetcher_cp.adopt(cert_at(16), base_env);
+  StateTransferRequestMsg probe = fetcher.make_probe(fetcher_cp, 4, 16);
+
+  // A full manifest (donor 9 lost its history) adopts the target first and
+  // every chunk gets planned onto it.
+  ChunkedSnapshot tsnap(as_span(target_env), 1024);
+  RuntimeStats stats;
+  ASSERT_TRUE(fetcher.on_manifest(manifest_of(tsnap, /*donor=*/9, /*seq=*/32),
+                                  16, fetcher_cp, stats));
+  EXPECT_EQ(stats.delta_chunks_skipped, 0u);
+  ASSERT_FALSE(fetcher.plan_requests(4).empty());  // all 8 outstanding at 9
+
+  // Donor 1's delta manifest for the same transfer arrives later: the seven
+  // unchanged chunks seed immediately, leaving only chunk 2 on the wire.
+  auto delta = donor.make_manifest(donor_cp, probe, /*donor=*/1);
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->base_seq, 16u);
+  ASSERT_TRUE(fetcher.on_manifest(*delta, 16, fetcher_cp, stats));
+  EXPECT_EQ(stats.delta_chunks_skipped, 7u);
+  EXPECT_EQ(fetcher.chunks_received(), 7u);
+  // The seeded chunks were retired from the outstanding marks: a retry tick
+  // re-plans exactly the one differing chunk.
+  fetcher.on_retry(stats);
+  auto plan = fetcher.plan_requests(4);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].second.indices, (std::vector<uint32_t>{2}));
+
+  // Seeded bytes are only covered by the final state-root check; if that
+  // fails, the delta's seeder must fall with the adopted manifest's sender —
+  // a lying delta section can never wedge the fetch by getting only the
+  // honest adopter blamed.
+  EXPECT_TRUE(fetcher.on_adopt_result(/*adopted=*/false, /*last_executed=*/16));
+  EXPECT_TRUE(fetcher.donor_excluded(9));  // adopted manifest's sender
+  EXPECT_TRUE(fetcher.donor_excluded(1));  // delta seeder
+}
+
+TEST(StateTransferManagerTest, UnknownBaseFallsBackToFullManifest) {
+  Bytes target_env = patterned_envelope(6 * 1024);
+  StateTransferManager donor(1024, 8);
+  CheckpointManager donor_cp(16);
+  donor_cp.adopt(cert_at(32), target_env);
+  EXPECT_TRUE(donor.note_checkpoint(donor_cp));  // no retired base: no history
+
+  // A probe advertising a base this donor never held gets a full manifest —
+  // the wiped/long-gone fetcher path, and the "base it no longer holds" path
+  // of the repeated-wipe scenario.
+  StateTransferRequestMsg probe;
+  probe.requester = 4;
+  probe.have_seq = 16;
+  probe.base_seq = 16;
+  probe.base_root = crypto::sha256(as_span(to_bytes("unknown-base")));
+  auto manifest = donor.make_manifest(donor_cp, probe, /*donor=*/1);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->base_seq, 0u);
+  EXPECT_TRUE(manifest->delta_bitmap.empty());
+  EXPECT_TRUE(manifest->base_map.empty());
+
+  // A wiped fetcher (no shippable pair) advertises no base at all.
+  StateTransferManager fetcher(1024, 8);
+  CheckpointManager empty_cp(16);
+  StateTransferRequestMsg wiped = fetcher.make_probe(empty_cp, 4, 0);
+  EXPECT_EQ(wiped.base_seq, 0u);
+}
+
+TEST(StateTransferManagerTest, ThrottledRequestReservedOnDonorTick) {
+  // The max_chunks_per_request_ / rate-limiter interplay: a request within
+  // the per-request cap but beyond the per-tick budget is trimmed, and the
+  // remainder is re-served on subsequent donor ticks — never dropped.
+  Bytes env = patterned_envelope(8 * 1024);
+  StateTransferManager donor(1024, /*max_chunks_per_request=*/8,
+                             /*donor_chunks_per_tick=*/2);
+  CheckpointManager cp(16);
+  cp.adopt(cert_at(16), env);
+  ChunkedSnapshot snap(as_span(env), 1024);
+  RuntimeStats stats;
+
+  StateChunkRequestMsg req;
+  req.requester = 4;
+  req.seq = 16;
+  req.chunk_root = snap.transfer_root();
+  req.indices = {0, 1, 2, 3, 4};
+  auto served = donor.make_chunks(cp, req, /*self=*/1, stats);
+  EXPECT_EQ(served.size(), 2u);  // budget for this tick
+  EXPECT_EQ(stats.donor_chunks_throttled, 3u);
+  EXPECT_EQ(donor.donor_deferred_requests(), 1u);
+  ASSERT_TRUE(donor.donor_tick_needed());
+
+  // The fetcher's retry tick re-requests chunks the limiter is still sitting
+  // on: those must dedup against the queue, not pile up as duplicates.
+  StateChunkRequestMsg retry_req = req;
+  retry_req.indices = {2, 3, 4};
+  EXPECT_TRUE(donor.make_chunks(cp, retry_req, 1, stats).empty());
+  EXPECT_EQ(donor.donor_deferred_requests(), 1u);
+  EXPECT_EQ(stats.donor_chunks_throttled, 3u);  // nothing newly queued
+
+  // Tick 1 re-serves within a fresh budget (and re-defers the overflow).
+  auto tick1 = donor.on_donor_tick(cp, 1, stats);
+  ASSERT_EQ(tick1.size(), 2u);
+  EXPECT_EQ(tick1[0].first, 4u);  // addressed to the original requester
+  EXPECT_EQ(tick1[0].second.index, 2u);
+  auto tick2 = donor.on_donor_tick(cp, 1, stats);
+  ASSERT_EQ(tick2.size(), 1u);
+  EXPECT_EQ(tick2[0].second.index, 4u);
+  // All five indices ultimately served, each chunk Merkle-valid.
+  EXPECT_EQ(stats.state_transfer_chunks_served, 5u);
+  for (const auto& [requester, c] : tick1) {
+    EXPECT_TRUE(merkle::BlockMerkleTree::verify(
+        snap.chunk_root(), ChunkedSnapshot::chunk_leaf(as_span(c.data)), c.proof));
+  }
+  auto tick3 = donor.on_donor_tick(cp, 1, stats);
+  EXPECT_TRUE(tick3.empty());
+  EXPECT_FALSE(donor.donor_tick_needed());  // budget idle, queue drained
+
+  // A deferred request the checkpoint advanced past is dropped on the tick
+  // (the fetcher's retry re-plans it); the queue never wedges.
+  auto again = donor.make_chunks(cp, req, 1, stats);
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(donor.donor_deferred_requests(), 1u);
+  cp.adopt(cert_at(32), patterned_envelope(2 * 1024));
+  EXPECT_TRUE(donor.on_donor_tick(cp, 1, stats).empty());
+  EXPECT_FALSE(donor.donor_tick_needed());
 }
 
 }  // namespace
@@ -973,6 +1301,128 @@ TEST_P(ChunkedStateTransfer, CorruptChunkDetectedAndRefetchedFromHonestDonor) {
   EXPECT_GT(st.state_transfer_invalid_chunks, 0u)
       << "the corrupt donor was never detected";
   EXPECT_GT(cluster.replica(4).last_stable(), 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+// ---------------------------------------------------------------------------
+// Delta state transfer, donor rate limiting, repeated disk wipe
+// (docs/state_transfer.md "delta manifests"; docs/scenarios.md)
+
+TEST_P(ChunkedStateTransfer, BrieflyLaggingReplicaRejoinsViaDelta) {
+  // A replica that crashes for a couple of checkpoints and keeps its disk
+  // must rejoin by fetching only the chunks that changed, seeding the rest
+  // from the checkpoint it already holds.
+  ClusterOptions opts;
+  opts.kind = GetParam();
+  opts.f = 1;
+  opts.c = 0;
+  opts.num_clients = 2;
+  opts.requests_per_client = 0;  // free-running
+  opts.topology = sim::lan_topology();
+  opts.seed = 41;
+  opts.service_factory = [] { return std::make_unique<kv::KvService>(); };
+  opts.op_factory = hot_range_kv_op_factory(/*key_space=*/4096, /*hot=*/32,
+                                            /*value_size=*/256,
+                                            /*ops_per_request=*/16);
+  opts.tweak_config = [](ProtocolConfig& config) {
+    config.win = 32;
+    config.state_transfer_chunk_size = 1024;
+    config.state_transfer_retry_us = 200'000;
+  };
+  Cluster cluster(std::move(opts));
+  cluster.run_for(4'000'000);  // populate the keyspace + form checkpoints
+  ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+  cluster.crash_replica(3);
+  // Let the cluster seal a bounded number of new checkpoints (so the downed
+  // replica's base stays within the donors' delta history) before restart.
+  SeqNum stable_at_crash = cluster.replica(1).last_stable();
+  uint64_t interval = cluster.config().checkpoint_interval();
+  for (int i = 0; i < 400; ++i) {
+    if (cluster.replica(1).last_stable() >= stable_at_crash + 2 * interval) break;
+    cluster.run_for(50'000);
+  }
+  ASSERT_GE(cluster.replica(1).last_stable(), stable_at_crash + 2 * interval)
+      << "cluster never advanced past the crashed replica";
+  cluster.restart_replica(3);  // disk intact: recovers, then probes with a base
+
+  for (int i = 0; i < 400; ++i) {
+    if (stats_of(cluster, 3).delta_chunks_skipped > 0 &&
+        cluster.replica(3).last_stable() > stable_at_crash) {
+      break;
+    }
+    cluster.run_for(50'000);
+  }
+  const runtime::RuntimeStats& st = stats_of(cluster, 3);
+  EXPECT_EQ(st.recoveries, 1u);  // local WAL survived
+  EXPECT_GT(st.state_transfers, 0u);
+  EXPECT_GT(st.delta_chunks_skipped, 0u)
+      << "delta rejoin never engaged (full transfer instead)";
+  EXPECT_GT(cluster.replica(3).last_stable(), stable_at_crash);
+  // The point of the delta: with ~32 of 4096 keys hot, the bytes fetched over
+  // the wire are a small fraction of the bytes seeded from the local base.
+  EXPECT_GE(st.delta_bytes_saved, 3 * st.state_transfer_bytes_transferred)
+      << "delta saved too little: " << st.delta_bytes_saved << " saved vs "
+      << st.state_transfer_bytes_transferred << " fetched";
+  EXPECT_EQ(st.state_transfer_invalid_chunks, 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST_P(ChunkedStateTransfer, RepeatedDiskWipeOfSameReplicaRefetchesFull) {
+  // ROADMAP scenario "repeated disk wipe of the same replica": the second
+  // wipe must re-fetch the full snapshot — never attempt a delta against a
+  // base the wiped disk no longer holds.
+  auto opts = base(/*requests=*/0, /*chunk_size=*/2048, /*value_size=*/512);
+  Cluster cluster(std::move(opts));
+  cluster.run_for(2'500'000);
+  ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+  for (int wipe = 1; wipe <= 2; ++wipe) {
+    cluster.crash_replica(4);
+    cluster.run_for(300'000);
+    cluster.restart_replica(4, /*wipe_storage=*/true);
+    ASSERT_TRUE(run_until_adopted(cluster, 4))
+        << "wiped replica never caught up (wipe #" << wipe << ")";
+    const runtime::RuntimeStats& st = stats_of(cluster, 4);  // this incarnation
+    EXPECT_EQ(st.recoveries, 0u) << "nothing local should survive a wipe";
+    EXPECT_GT(st.state_transfer_chunks_fetched, 0u);
+    EXPECT_EQ(st.delta_chunks_skipped, 0u)
+        << "wipe #" << wipe << " attempted a delta without a base";
+    EXPECT_EQ(st.delta_bytes_saved, 0u);
+    cluster.run_for(1'000'000);  // participate before the next wipe
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST_P(ChunkedStateTransfer, ThrottledDonorsStillCompleteWipedRejoin) {
+  // Donor-side chunk-rate limiting: donors bound chunks served per tick, the
+  // trimmed remainders are re-served on donor ticks, and the wiped fetcher
+  // still completes — on both protocols.
+  auto opts = base(/*requests=*/250, /*chunk_size=*/2048, /*value_size=*/1024);
+  opts.tweak_config = [](ProtocolConfig& config) {
+    config.win = 32;
+    config.state_transfer_chunk_size = 2048;
+    config.state_transfer_retry_us = 200'000;
+    config.state_transfer_donor_chunks_per_tick = 4;   // well under the plans
+    config.state_transfer_donor_tick_us = 50'000;
+  };
+  opts.restart_schedule.push_back({/*crash_at_us=*/1'000'000,
+                                   /*restart_at_us=*/4'000'000,
+                                   /*replica=*/4, /*wipe_storage=*/true});
+  Cluster cluster(std::move(opts));
+  ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+  if (cluster.simulator().now() < 5'000'000) {
+    cluster.run_for(5'000'000 - cluster.simulator().now());
+  }
+  ASSERT_TRUE(run_until_adopted(cluster, 4)) << "throttled transfer never completed";
+
+  uint64_t throttled = 0;
+  for (ReplicaId r = 1; r <= cluster.n(); ++r) {
+    if (r != 4) throttled += stats_of(cluster, r).donor_chunks_throttled;
+  }
+  EXPECT_GT(throttled, 0u) << "rate limiter never engaged";
+  EXPECT_GT(cluster.replica(4).last_stable(), 0u);
+  EXPECT_EQ(stats_of(cluster, 4).state_transfer_invalid_chunks, 0u);
   EXPECT_TRUE(cluster.check_agreement());
 }
 
