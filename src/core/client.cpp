@@ -44,7 +44,16 @@ bool SbftClient::verify_execute_ack(const ExecuteAckMsg& m,
                                     sim::ActorContext& ctx) const {
   ctx.charge(ctx.costs().hash_us(512));
   ctx.charge(ctx.costs().bls_verify_combined_us);
-  return core::verify_execute_ack(opts_.crypto, opts_.id, m);
+  if (core::verify_execute_ack(opts_.crypto, opts_.id, m)) return true;
+  // After a reconfiguration the certificate's pi signature belongs to a
+  // later epoch's scheme — try every provisioned epoch's verifier.
+  if (opts_.epoch_keys) {
+    for (const auto& [id, keys] : opts_.epoch_keys->epochs()) {
+      ReplicaCrypto rc = ReplicaCrypto::verifier_only(keys);
+      if (core::verify_execute_ack(rc, opts_.id, m)) return true;
+    }
+  }
+  return false;
 }
 
 void SbftClient::complete(bool fast_ack, sim::ActorContext& ctx) {

@@ -18,6 +18,10 @@ struct ClientOptions {
   ProtocolConfig config;
   ClientId id = 0;  // must equal the client's simulator node id
   ReplicaCrypto crypto;  // verifier-only view of the cluster keys
+  // Per-epoch verifier material after reconfigurations (the operator updates
+  // clients alongside replicas; docs/reconfiguration.md). Acks certified
+  // under a later epoch's pi scheme verify against these.
+  std::shared_ptr<const EpochKeyTable> epoch_keys;
   /// Closed-loop request count (§IX: "each client sequentially sends 1000
   /// requests"); 0 means run until the simulation ends.
   uint64_t num_requests = 1000;

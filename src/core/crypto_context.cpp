@@ -22,6 +22,14 @@ ClusterKeys ClusterKeys::generate_rsa(Rng& rng, const ProtocolConfig& config,
   return keys;
 }
 
+ClusterKeys ClusterKeys::generate_for(Rng& rng, uint32_t n, uint32_t f, uint32_t c) {
+  ClusterKeys keys;
+  keys.sigma = crypto::deal_sim_bls(rng, n, 3 * f + c + 1);
+  keys.tau = crypto::deal_sim_bls(rng, n, 2 * f + c + 1);
+  keys.pi = crypto::deal_sim_bls(rng, n, f + 1);
+  return keys;
+}
+
 ReplicaCrypto ReplicaCrypto::for_replica(const ClusterKeys& keys, ReplicaId id) {
   ReplicaCrypto rc = verifier_only(keys);
   rc.sigma_signer = keys.sigma.signers.at(id - 1);
@@ -40,12 +48,8 @@ ReplicaCrypto ReplicaCrypto::verifier_only(const ClusterKeys& keys) {
 
 namespace {
 
-std::vector<ReplicaId> pick_collectors(const ProtocolConfig& config, SeqNum s,
-                                       ViewNum v, std::string_view domain) {
-  const uint32_t n = config.n();
-  const ReplicaId primary = config.primary_of(v);
-  const uint32_t count = std::min(config.num_collectors(), n - 1);
-
+std::vector<ReplicaId> draw_collectors(std::vector<ReplicaId> pool, uint32_t count,
+                                       SeqNum s, ViewNum v, std::string_view domain) {
   // Deterministic pseudo-random draw seeded by (domain, s, v).
   Writer w;
   w.str(domain);
@@ -54,11 +58,6 @@ std::vector<ReplicaId> pick_collectors(const ProtocolConfig& config, SeqNum s,
   Digest seed = crypto::sha256(as_span(w.data()));
   Rng rng(fnv1a(as_span(seed)));
 
-  std::vector<ReplicaId> pool;
-  pool.reserve(n - 1);
-  for (ReplicaId r = 1; r <= n; ++r) {
-    if (r != primary) pool.push_back(r);
-  }
   // Partial Fisher-Yates for the first `count` entries.
   std::vector<ReplicaId> out;
   out.reserve(count);
@@ -68,6 +67,32 @@ std::vector<ReplicaId> pick_collectors(const ProtocolConfig& config, SeqNum s,
     out.push_back(pool[i]);
   }
   return out;
+}
+
+std::vector<ReplicaId> pick_collectors(const ProtocolConfig& config, SeqNum s,
+                                       ViewNum v, std::string_view domain) {
+  const uint32_t n = config.n();
+  const ReplicaId primary = config.primary_of(v);
+  const uint32_t count = std::min(config.num_collectors(), n - 1);
+  std::vector<ReplicaId> pool;
+  pool.reserve(n - 1);
+  for (ReplicaId r = 1; r <= n; ++r) {
+    if (r != primary) pool.push_back(r);
+  }
+  return draw_collectors(std::move(pool), count, s, v, domain);
+}
+
+std::vector<ReplicaId> pick_collectors(const runtime::MembershipEpoch& epoch,
+                                       SeqNum s, ViewNum v,
+                                       std::string_view domain) {
+  const ReplicaId primary = epoch.primary_of(v);
+  const uint32_t count = std::min(epoch.num_collectors(), epoch.n() - 1);
+  std::vector<ReplicaId> pool;
+  pool.reserve(epoch.n() - 1);
+  for (const ReplicaInfo& m : epoch.members) {  // id-sorted: 1..n at genesis
+    if (m.id != primary) pool.push_back(m.id);
+  }
+  return draw_collectors(std::move(pool), count, s, v, domain);
 }
 
 }  // namespace
@@ -91,6 +116,30 @@ std::vector<ReplicaId> fallback_e_collectors(const ProtocolConfig& config, SeqNu
                                              ViewNum v) {
   std::vector<ReplicaId> out = e_collectors(config, s, v);
   out.push_back(config.primary_of(v));
+  return out;
+}
+
+std::vector<ReplicaId> c_collectors(const runtime::MembershipEpoch& epoch, SeqNum s,
+                                    ViewNum v) {
+  return pick_collectors(epoch, s, v, "sbft.c-collector");
+}
+
+std::vector<ReplicaId> e_collectors(const runtime::MembershipEpoch& epoch, SeqNum s,
+                                    ViewNum v) {
+  return pick_collectors(epoch, s, v, "sbft.e-collector");
+}
+
+std::vector<ReplicaId> commit_collectors(const runtime::MembershipEpoch& epoch,
+                                         SeqNum s, ViewNum v) {
+  std::vector<ReplicaId> out = c_collectors(epoch, s, v);
+  out.push_back(epoch.primary_of(v));
+  return out;
+}
+
+std::vector<ReplicaId> fallback_e_collectors(const runtime::MembershipEpoch& epoch,
+                                             SeqNum s, ViewNum v) {
+  std::vector<ReplicaId> out = e_collectors(epoch, s, v);
+  out.push_back(epoch.primary_of(v));
   return out;
 }
 

@@ -7,6 +7,8 @@
 // fallback (§V-E).
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "crypto/threshold.h"
 #include "proto/config.h"
 #include "proto/types.h"
+#include "runtime/membership.h"
 
 namespace sbft::core {
 
@@ -29,6 +32,31 @@ struct ClusterKeys {
   /// Real Shoup threshold-RSA keys (crypto-heavy tests, small n).
   static ClusterKeys generate_rsa(Rng& rng, const ProtocolConfig& config,
                                   int modulus_bits = 512);
+  /// Simulated-BLS keys for an arbitrary roster size and fault parameters —
+  /// the per-epoch re-keying a reconfiguration triggers (signer index k
+  /// belongs to the member of epoch rank k-1; docs/reconfiguration.md).
+  static ClusterKeys generate_for(Rng& rng, uint32_t n, uint32_t f, uint32_t c);
+};
+
+/// Per-epoch threshold key material, provisioned out-of-band by the same
+/// trusted dealer that issues the reconfiguration (a real deployment runs a
+/// re-keying ceremony; the harness deals fresh simulated-BLS schemes). Shared
+/// by every replica and client of a cluster; epochs are provisioned before
+/// the reconfiguration that activates them is submitted.
+class EpochKeyTable {
+ public:
+  void provision(uint64_t epoch, ClusterKeys keys) {
+    epochs_[epoch] = std::move(keys);
+  }
+  const ClusterKeys* find(uint64_t epoch) const {
+    auto it = epochs_.find(epoch);
+    return it == epochs_.end() ? nullptr : &it->second;
+  }
+  /// Epochs in provisioning order (verification fallbacks walk these).
+  const std::map<uint64_t, ClusterKeys>& epochs() const { return epochs_; }
+
+ private:
+  std::map<uint64_t, ClusterKeys> epochs_;
 };
 
 /// Per-replica view of the cluster keys.
@@ -44,11 +72,19 @@ struct ReplicaCrypto {
   static ReplicaCrypto verifier_only(const ClusterKeys& keys);
 };
 
-/// Verifier bundle used by the pure view-change functions.
+/// Verifier bundle used by the pure view-change functions. When `epoch` is
+/// set, sender membership and share-signer indices are resolved against it
+/// (member rank + 1); null keeps the genesis identity mapping (ids 1..n).
+/// `verify_checkpoint`, when set, replaces the plain pi verification of
+/// view-change checkpoint certificates — a certificate sealed just before an
+/// epoch boundary carries the *previous* epoch's pi signature, so the engine
+/// supplies a seq-aware verifier (SbftReplica::verify_cert_pi).
 struct ViewChangeVerifiers {
   const crypto::IThresholdVerifier* sigma = nullptr;
   const crypto::IThresholdVerifier* tau = nullptr;
   const crypto::IThresholdVerifier* pi = nullptr;
+  const runtime::MembershipEpoch* epoch = nullptr;
+  std::function<bool(const ExecCertificate&)> verify_checkpoint;
 };
 
 /// Commit collectors for (s, v): c+1 pseudo-random non-primary replicas,
@@ -69,6 +105,18 @@ std::vector<ReplicaId> commit_collectors(const ProtocolConfig& config, SeqNum s,
 /// certificate stalls).
 std::vector<ReplicaId> fallback_e_collectors(const ProtocolConfig& config, SeqNum s,
                                              ViewNum v);
+
+/// Epoch-roster variants: identical deterministic draws over the epoch's
+/// member list (non-contiguous ids after a removal). For the genesis epoch
+/// (members 1..n, node r-1) they reduce to exactly the config-based draws.
+std::vector<ReplicaId> c_collectors(const runtime::MembershipEpoch& epoch, SeqNum s,
+                                    ViewNum v);
+std::vector<ReplicaId> e_collectors(const runtime::MembershipEpoch& epoch, SeqNum s,
+                                    ViewNum v);
+std::vector<ReplicaId> commit_collectors(const runtime::MembershipEpoch& epoch,
+                                         SeqNum s, ViewNum v);
+std::vector<ReplicaId> fallback_e_collectors(const runtime::MembershipEpoch& epoch,
+                                             SeqNum s, ViewNum v);
 
 /// Stagger rank of `replica` within `collectors` (0 = first), or -1.
 int collector_rank(const std::vector<ReplicaId>& collectors, ReplicaId replica);

@@ -104,17 +104,160 @@ struct SbftReplica::Slot {
 // ---------------------------------------------------------------------------
 // Construction / lifecycle
 
+namespace {
+/// Bootstrap roster handed to the runtime: the explicit one when given, else
+/// the genesis mapping (ids 1..n at nodes 0..n-1).
+runtime::RuntimeOptions make_runtime_options(const ReplicaOptions& opts) {
+  runtime::RuntimeOptions ro;
+  ro.checkpoint_interval = opts.config.checkpoint_interval();
+  ro.ledger = opts.ledger;
+  ro.wal = opts.wal;
+  ro.state_transfer_chunk_size = opts.config.state_transfer_chunk_size;
+  ro.state_transfer_max_chunks_per_request =
+      opts.config.state_transfer_max_chunks_per_request;
+  ro.state_transfer_delta_enabled = opts.config.state_transfer_delta_enabled;
+  ro.state_transfer_donor_chunks_per_tick =
+      opts.config.state_transfer_donor_chunks_per_tick;
+  ro.self = opts.id;
+  if (!opts.roster.empty()) {
+    ro.membership_f = opts.roster_f > 0 ? opts.roster_f : opts.config.f;
+    ro.membership_c = opts.roster_f > 0 ? opts.roster_c : opts.config.c;
+    ro.bootstrap_members = opts.roster;
+  } else {
+    ro.membership_f = opts.config.f;
+    ro.membership_c = opts.config.c;
+    for (ReplicaId r = 1; r <= opts.config.n(); ++r) {
+      ro.bootstrap_members.push_back({r, r - 1});
+    }
+  }
+  return ro;
+}
+}  // namespace
+
 SbftReplica::SbftReplica(ReplicaOptions options, std::unique_ptr<IService> service)
     : opts_(std::move(options)),
-      runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal,
-                opts_.config.state_transfer_chunk_size,
-                opts_.config.state_transfer_max_chunks_per_request,
-                opts_.config.state_transfer_delta_enabled,
-                opts_.config.state_transfer_donor_chunks_per_tick},
-               std::move(service)) {
+      runtime_(make_runtime_options(opts_), std::move(service)),
+      cfg_(opts_.config) {
   opts_.config.validate();
-  SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
+  // With an explicit roster the id may exceed the genesis n (a joiner added
+  // by a later epoch); the genesis mapping requires id in 1..n.
+  SBFT_CHECK(opts_.id >= 1 &&
+             (!opts_.roster.empty() || opts_.id <= opts_.config.n()));
   recover_from_storage();
+  // Recovery may have reinstalled a later epoch; fold it into the derived
+  // config and retirement state (no context: timers re-arm in on_start).
+  // A non-member is a *joiner* only when nothing local says otherwise; a
+  // restarted removed member — whose recovered WAL carries the epoch that
+  // excluded it — re-retires instead of probing for an admission that will
+  // never come. (A wiped removed member boots as a joiner and retires the
+  // moment it adopts a checkpoint whose epoch excludes it.)
+  cfg_ = epoch().derive_config(opts_.config);
+  runtime_.take_epoch_change();
+  retired_ = !runtime_.membership().is_member(opts_.id) &&
+             (!opts_.recovering || runtime_.stats().recoveries > 0);
+}
+
+NodeId SbftReplica::node_of(ReplicaId r) const {
+  // Resolve through the membership history (a state-transfer requester may be
+  // a joiner known only from a staged delta; a donor may be a member of an
+  // epoch this replica already left behind). Genesis fallback r-1 covers the
+  // unconfigured unit-test paths.
+  const runtime::MembershipManager& m = runtime_.membership();
+  if (!m.configured()) return r - 1;
+  for (auto it = m.history().rbegin(); it != m.history().rend(); ++it) {
+    if (int rank = it->rank_of(r); rank >= 0) {
+      return it->members[static_cast<size_t>(rank)].node;
+    }
+  }
+  if (m.pending()) {
+    for (const ReplicaInfo& add : m.pending()->delta.adds) {
+      if (add.id == r) return add.node;
+    }
+  }
+  return r - 1;
+}
+
+const ReplicaCrypto& SbftReplica::crypto_for_epoch(
+    const runtime::MembershipEpoch& e) const {
+  if (e.epoch == 0 || !opts_.epoch_keys) return opts_.crypto;
+  auto it = epoch_crypto_.find(e.epoch);
+  if (it != epoch_crypto_.end()) return it->second;
+  const ClusterKeys* keys = opts_.epoch_keys->find(e.epoch);
+  SBFT_CHECK(keys != nullptr);  // epochs are provisioned before they activate
+  ReplicaCrypto rc = ReplicaCrypto::verifier_only(*keys);
+  if (int rank = e.rank_of(opts_.id); rank >= 0) {
+    rc.sigma_signer = keys->sigma.signers.at(static_cast<size_t>(rank));
+    rc.tau_signer = keys->tau.signers.at(static_cast<size_t>(rank));
+    rc.pi_signer = keys->pi.signers.at(static_cast<size_t>(rank));
+  }
+  return epoch_crypto_.emplace(e.epoch, std::move(rc)).first->second;
+}
+
+bool SbftReplica::verify_cert_pi(const ExecCertificate& cert) const {
+  Digest d = cert.exec_digest();
+  if (crypto_for_seq(cert.seq).pi_verifier->verify(d, as_span(cert.pi_sig))) {
+    return true;
+  }
+  // A joiner may hold a checkpoint certified under an epoch its membership
+  // manager has not installed yet — but only *newer* provisioned epochs may
+  // vouch. Falling back to older epochs would let f+1 shareholders of a
+  // retired epoch mint certificates for arbitrary state (the single-source
+  // checkpoint-trust hazard the PBFT quorum certificate exists to close).
+  if (opts_.epoch_keys) {
+    uint64_t active_epoch = epoch().epoch;
+    for (const auto& [id, keys] : opts_.epoch_keys->epochs()) {
+      if (id <= active_epoch) continue;
+      if (keys.pi.verifier->verify(d, as_span(cert.pi_sig))) return true;
+    }
+  }
+  return false;
+}
+
+ViewChangeVerifiers SbftReplica::view_change_verifiers() const {
+  // Post-activation senders are the only ones whose messages can validate
+  // under the new epoch; pre-activation stragglers re-send after they
+  // activate (the checkpoint protocol drives everyone across the boundary).
+  // Checkpoint certificates are the exception — sealed under the *previous*
+  // epoch's pi scheme — so their verification is seq-aware.
+  const ReplicaCrypto& crypto = crypto_for_epoch(epoch());
+  ViewChangeVerifiers verifiers;
+  verifiers.sigma = crypto.sigma_verifier.get();
+  verifiers.tau = crypto.tau_verifier.get();
+  verifiers.pi = crypto.pi_verifier.get();
+  verifiers.epoch = &epoch();
+  verifiers.verify_checkpoint = [this](const ExecCertificate& cert) {
+    return verify_cert_pi(cert);
+  };
+  return verifiers;
+}
+
+SeqNum SbftReplica::reconfig_gate() const {
+  if (SeqNum staged = runtime_.membership().pending_activation(); staged > 0) {
+    return staged;
+  }
+  return shadow_gate_ > le() ? shadow_gate_ : 0;
+}
+
+void SbftReplica::maybe_refresh_epoch(sim::ActorContext& ctx) {
+  if (!runtime_.take_epoch_change()) return;
+  cfg_ = epoch().derive_config(opts_.config);
+  shadow_gate_ = 0;
+  if (!runtime_.membership().is_member(opts_.id)) {
+    // Removed: drain. Keep serving state transfer and cached replies; never
+    // vote, propose, or start view changes again.
+    retired_ = true;
+    in_view_change_ = false;
+    pending_.clear();
+    pending_keys_.clear();
+    return;
+  }
+  // A replica that just joined needs nothing special — the slots above its
+  // adopted checkpoint arrive through the normal protocol paths.
+  retired_ = false;
+  if (is_primary()) {
+    ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+    try_propose(ctx);
+  }
 }
 
 SbftReplica::~SbftReplica() = default;
@@ -174,7 +317,7 @@ void SbftReplica::send_to_replica(sim::ActorContext& ctx, ReplicaId r, MessagePt
 
 void SbftReplica::broadcast_replicas(sim::ActorContext& ctx, MessagePtr msg) {
   if (silent()) return;
-  for (ReplicaId r = 1; r <= opts_.config.n(); ++r) ctx.send(node_of(r), msg);
+  for (const ReplicaInfo& m : epoch().members) ctx.send(m.node, msg);
 }
 
 Bytes SbftReplica::sign_share_maybe_corrupt(const crypto::IThresholdSigner& signer,
@@ -234,9 +377,11 @@ void SbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext&
         } else if constexpr (std::is_same_v<T, StateManifestMsg>) {
           handle_state_manifest(from, m, ctx);
         } else if constexpr (std::is_same_v<T, StateChunkRequestMsg>) {
-          handle_state_chunk_request(m, ctx);
+          handle_state_chunk_request(from, m, ctx);
         } else if constexpr (std::is_same_v<T, StateChunkMsg>) {
           handle_state_chunk(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, ReconfigBlockMsg>) {
+          handle_reconfig_block(m, ctx);
         }
         // PBFT baseline messages are ignored by SBFT replicas.
       },
@@ -305,7 +450,7 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
     case kShareFallback: {
       Slot* sl = find_slot(s);
       if (!sl || sl->committed || !sl->has_pp || sl->pp_view != view_ ||
-          in_view_change_)
+          in_view_change_ || retired_)
         break;
       SignShareMsg share;
       share.seq = s;
@@ -314,23 +459,26 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
       share.h = sl->h;
       share.replica = opts_.id;
       share.sigma_share = sl->own_sigma_share;
-      share.tau_share = sign_share_maybe_corrupt(*opts_.crypto.tau_signer, sl->h);
+      share.tau_share =
+          sign_share_maybe_corrupt(*crypto_for_seq(s).tau_signer, sl->h);
       ctx.charge(ctx.costs().bls_sign_share_us);
-      send_to_replica(ctx, opts_.config.primary_of(view_),
+      send_to_replica(ctx, epoch().primary_of(view_),
                       make_message(std::move(share)));
       break;
     }
     case kStateFallback: {
       const runtime::ExecutionRecord* rec = runtime_.record(s);
-      if (rec == nullptr || !rec->cert.pi_sig.empty() || in_view_change_) break;
+      if (rec == nullptr || !rec->cert.pi_sig.empty() || in_view_change_ ||
+          retired_ || crypto_for_seq(s).pi_signer == nullptr)
+        break;
       SignStateMsg ss;
       ss.seq = s;
       ss.replica = opts_.id;
       ss.exec_digest = rec->cert.exec_digest();
-      ss.pi_share = sign_share_maybe_corrupt(*opts_.crypto.pi_signer,
+      ss.pi_share = sign_share_maybe_corrupt(*crypto_for_seq(s).pi_signer,
                                              rec->cert.exec_digest());
       ctx.charge(ctx.costs().bls_sign_share_us);
-      send_to_replica(ctx, opts_.config.primary_of(view_),
+      send_to_replica(ctx, epoch().primary_of(view_),
                       make_message(std::move(ss)));
       break;
     }
@@ -362,13 +510,13 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
     case kDonorTickTimer: {
       donor_tick_armed_ = false;
       runtime::StateTransferManager& st = runtime_.state_transfer();
-      for (auto& [requester, chunk] : st.on_donor_tick(
+      for (auto& [node, chunk] : st.on_donor_tick(
                runtime_.checkpoints(), opts_.id, runtime_.stats())) {
         ctx.charge(ctx.costs().hash_us(chunk.data.size()));
         if (opts_.corrupt_state_chunks && !chunk.data.empty()) {
           chunk.data[0] ^= 0xff;
         }
-        send_to_replica(ctx, requester, make_message(std::move(chunk)));
+        if (!silent()) ctx.send(node, make_message(std::move(chunk)));
       }
       arm_donor_tick(ctx);
       break;
@@ -384,6 +532,9 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
 void SbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
                                         sim::ActorContext& ctx) {
   const Request& req = m.request;
+  // The reconfiguration marker id is reserved for blocks the primary builds
+  // from ReconfigBlockMsg; a "client" claiming it is forging.
+  if (req.client == kReconfigClient) return;
   ctx.charge(ctx.costs().rsa_verify_us);  // client request signature ([31])
 
   if (const runtime::CachedReply* cached =
@@ -399,6 +550,7 @@ void SbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
     return;
   }
 
+  if (retired_) return;  // drained: serves caches only, never orders
   if (is_primary() && !in_view_change_) {
     auto key = std::make_pair(req.client, req.timestamp);
     if (pending_keys_.insert(key).second) pending_.emplace_back(req, ctx.now());
@@ -406,16 +558,29 @@ void SbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
   } else if (from == req.client) {
     // Forward to the current primary; remember that we owe progress — if the
     // primary never commits this request the timer forces a view change.
-    send_to_replica(ctx, opts_.config.primary_of(view_),
+    send_to_replica(ctx, epoch().primary_of(view_),
                     make_message(ClientRequestMsg{req}));
     forwarded_waiting_ = true;
     arm_progress_timer(ctx);
   }
 }
 
+void SbftReplica::handle_reconfig_block(const ReconfigBlockMsg& m,
+                                        sim::ActorContext& ctx) {
+  // Administrative channel (docs/reconfiguration.md): the operator submits
+  // the delta to every replica; the primary orders it as a marker request.
+  // Validation is repeated deterministically at execution, so a stale or
+  // inconsistent delta becomes an ordered no-op.
+  if (retired_ || silent() || !is_primary() || in_view_change_) return;
+  auto key = std::make_pair(kReconfigClient, m.nonce);
+  if (pending_keys_.insert(key).second) {
+    pending_.emplace_back(make_reconfig_request(m.delta, m.nonce), ctx.now());
+  }
+  try_propose(ctx, /*flush_partial=*/true);
+}
+
 uint64_t SbftReplica::active_window() const {
-  uint64_t by_collectors =
-      (opts_.config.n() - 1) / opts_.config.num_collectors();  // §VIII
+  uint64_t by_collectors = (epoch().n() - 1) / epoch().num_collectors();  // §VIII
   return std::max<uint64_t>(1, std::min(by_collectors, opts_.config.win / 4));
 }
 
@@ -431,7 +596,7 @@ uint32_t SbftReplica::adaptive_batch_size() const {
 }
 
 void SbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
-  if (!is_primary() || in_view_change_) return;
+  if (!is_primary() || in_view_change_ || retired_) return;
   avg_pending_ = 0.8 * avg_pending_ + 0.2 * static_cast<double>(pending_.size());
   while (!pending_.empty()) {
     // Drop requests already executed (e.g. committed via an earlier view).
@@ -444,6 +609,10 @@ void SbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
     uint64_t in_flight = next_seq_ - 1 - le();
     if (in_flight >= active_window()) return;
     if (next_seq_ > ls() + opts_.config.win) return;
+    // Reconfiguration wedge: no slot beyond a pending activation boundary may
+    // be ordered under the old epoch's keys/quorums — proposals resume from
+    // the boundary once the checkpoint is stable and the epoch active.
+    if (SeqNum gate = reconfig_gate(); gate > 0 && next_seq_ > gate) return;
 
     // The adaptive `batch` value is the *minimum* operations per block
     // (§VIII); partial blocks only leave on the batch timer.
@@ -475,8 +644,8 @@ void SbftReplica::propose_block(Block block, sim::ActorContext& ctx) {
     std::swap(alt.requests.front(), alt.requests.back());
     auto msg_a = make_message(PrePrepareMsg{s, view_, block});
     auto msg_b = make_message(PrePrepareMsg{s, view_, alt});
-    for (ReplicaId r = 1; r <= opts_.config.n(); ++r) {
-      ctx.send(node_of(r), (r % 2 == 0) ? msg_a : msg_b);
+    for (const ReplicaInfo& m : epoch().members) {
+      ctx.send(m.node, (m.id % 2 == 0) ? msg_a : msg_b);
     }
     return;
   }
@@ -489,12 +658,15 @@ void SbftReplica::propose_block(Block block, sim::ActorContext& ctx) {
 
 void SbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
                                      sim::ActorContext& ctx) {
-  if (in_view_change_ || m.view != view_) return;
-  if (!from_replica(from, opts_.config.primary_of(m.view))) return;
+  if (in_view_change_ || m.view != view_ || retired_) return;
+  if (!from_replica(from, epoch().primary_of(m.view))) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) {
     if (m.seq > ls() + opts_.config.win) arm_progress_timer(ctx);
     return;
   }
+  // Reconfiguration wedge: refuse slots beyond a pending activation boundary
+  // (they belong to the next epoch's keys and quorums).
+  if (SeqNum gate = reconfig_gate(); gate > 0 && m.seq > gate) return;
   Slot& sl = slot(m.seq);
   if (sl.has_pp && sl.pp_view >= m.view) return;  // one pre-prepare per view
   // Authenticate the batched client requests.
@@ -504,9 +676,26 @@ void SbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
 
 void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
                                      sim::ActorContext& ctx) {
+  if (retired_) return;
+  // Only members of the slot's epoch vote (a joiner hears the enlarged
+  // cluster's broadcasts before it has adopted the epoch that admits it —
+  // and holds no signer for any earlier scheme).
+  if (!epoch_for_seq(s).contains(opts_.id)) return;
   Slot& sl = slot(s);
   if (sl.has_pp && sl.pp_view >= v) return;
   Digest digest = block.digest();
+  // A block carrying a reconfiguration marker raises the pre-execution shadow
+  // of the activation boundary: later slots are refused until the marker
+  // executes (when the runtime's staged boundary takes over) or the slot is
+  // superseded. Without this, pre-boundary keys could sign post-boundary
+  // slots in the window between ordering and executing the marker.
+  for (const Request& req : block.requests) {
+    if (decode_reconfig_request(req)) {
+      uint64_t interval = opts_.config.checkpoint_interval();
+      SeqNum boundary = (s + interval - 1) / interval * interval;
+      shadow_gate_ = std::max(shadow_gate_, boundary);
+    }
+  }
   // Anti-equivocation across restarts: a previous incarnation's persisted
   // vote at this (or a later) view binds this one to the same digest.
   if (auto wv = wal_votes_.find(s);
@@ -524,9 +713,11 @@ void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
   if (sl.pp_time < 0) sl.pp_time = ctx.now();
   ctx.charge(ctx.costs().hash_us(64));
 
-  // Sign both shares (sigma for the fast path, tau for Linear-PBFT, §V-E).
-  sl.own_sigma_share = sign_share_maybe_corrupt(*opts_.crypto.sigma_signer, sl.h);
-  Bytes tau_share = sign_share_maybe_corrupt(*opts_.crypto.tau_signer, sl.h);
+  // Sign both shares (sigma for the fast path, tau for Linear-PBFT, §V-E),
+  // under the keys of the epoch that governs this slot.
+  const ReplicaCrypto& crypto = crypto_for_seq(s);
+  sl.own_sigma_share = sign_share_maybe_corrupt(*crypto.sigma_signer, sl.h);
+  Bytes tau_share = sign_share_maybe_corrupt(*crypto.tau_signer, sl.h);
   ctx.charge(2 * ctx.costs().bls_sign_share_us);
 
   SignShareMsg share;
@@ -538,7 +729,7 @@ void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
   share.sigma_share = sl.own_sigma_share;
   share.tau_share = tau_share;
   auto msg = make_message(std::move(share));
-  for (ReplicaId collector : c_collectors(opts_.config, s, v)) {
+  for (ReplicaId collector : c_collectors(epoch_for_seq(s), s, v)) {
     send_to_replica(ctx, collector, msg);
   }
   // If the designated collectors stall (e.g. all c+1 are faulty), re-send the
@@ -550,11 +741,12 @@ void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
 }
 
 void SbftReplica::handle_sign_share(const SignShareMsg& m, sim::ActorContext& ctx) {
-  if (in_view_change_ || m.view != view_) return;
+  if (in_view_change_ || m.view != view_ || retired_) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
+  if (signer_of(m.replica, m.seq) == 0) return;  // not a member of the epoch
   // The primary is the always-last fallback collector: replicas re-send
   // their shares to it only when a slot stalls (kShareFallback).
-  auto collectors = commit_collectors(opts_.config, m.seq, m.view);
+  auto collectors = commit_collectors(epoch_for_seq(m.seq), m.seq, m.view);
   int rank = collector_rank(collectors, opts_.id);
   if (rank < 0) return;
   if (m.h != slot_hash(m.seq, m.view, m.block_digest)) {
@@ -586,7 +778,8 @@ void SbftReplica::handle_sign_share(const SignShareMsg& m, sim::ActorContext& ct
   }
 
   size_t count = sl.coll_shares[m.h].size();
-  if (opts_.config.fast_path_enabled && count >= opts_.config.fast_quorum() &&
+  if (opts_.config.fast_path_enabled &&
+      count >= epoch_for_seq(m.seq).fast_quorum() &&
       !sl.coll_sent_fast) {
     if (rank == 0) {
       collector_try_fast(m.seq, ctx, false);
@@ -595,7 +788,8 @@ void SbftReplica::handle_sign_share(const SignShareMsg& m, sim::ActorContext& ct
       ctx.set_timer(rank * opts_.collector_stagger_us, timer_id(kStaggerFast, m.seq));
     }
   }
-  if (!opts_.config.fast_path_enabled && count >= opts_.config.slow_quorum() &&
+  if (!opts_.config.fast_path_enabled &&
+      count >= epoch_for_seq(m.seq).slow_quorum() &&
       !sl.coll_sent_prepare) {
     if (rank == 0) {
       collector_try_prepare(m.seq, ctx);
@@ -613,17 +807,17 @@ void SbftReplica::collector_try_fast(SeqNum s, sim::ActorContext& ctx,
   if (!slp || slp->coll_sent_fast) return;
   Slot& sl = *slp;
   for (auto& [h, shares] : sl.coll_shares) {
-    if (shares.size() < opts_.config.fast_quorum()) continue;
+    if (shares.size() < epoch_for_seq(s).fast_quorum()) continue;
     std::vector<crypto::SignatureShare> sigma_shares;
     sigma_shares.reserve(shares.size());
     for (auto& [replica, pair] : shares)
-      sigma_shares.push_back({replica, pair.sigma});
+      sigma_shares.push_back({signer_of(replica, s), pair.sigma});
     // Batch-verify then combine. Group-signature mode (n-out-of-n) applies
     // when every replica contributed (§VIII).
-    bool group_mode = shares.size() == opts_.config.n();
+    bool group_mode = shares.size() == epoch_for_seq(s).n();
     ctx.charge(ctx.costs().batch_verify_us(sigma_shares.size()));
-    ctx.charge(ctx.costs().combine_us(opts_.config.fast_quorum(), group_mode));
-    auto sig = opts_.crypto.sigma_verifier->combine(h, sigma_shares);
+    ctx.charge(ctx.costs().combine_us(epoch_for_seq(s).fast_quorum(), group_mode));
+    auto sig = crypto_for_seq(s).sigma_verifier->combine(h, sigma_shares);
     if (!sig) {
       ++stats_.invalid_shares_seen;
       continue;  // invalid shares filtered; wait for more
@@ -647,13 +841,14 @@ void SbftReplica::collector_try_prepare(SeqNum s, sim::ActorContext& ctx) {
   if (!slp || slp->coll_sent_prepare || slp->coll_sent_fast) return;
   Slot& sl = *slp;
   for (auto& [h, shares] : sl.coll_shares) {
-    if (shares.size() < opts_.config.slow_quorum()) continue;
+    if (shares.size() < epoch_for_seq(s).slow_quorum()) continue;
     std::vector<crypto::SignatureShare> tau_shares;
     tau_shares.reserve(shares.size());
-    for (auto& [replica, pair] : shares) tau_shares.push_back({replica, pair.tau});
+    for (auto& [replica, pair] : shares)
+      tau_shares.push_back({signer_of(replica, s), pair.tau});
     ctx.charge(ctx.costs().batch_verify_us(tau_shares.size()));
-    ctx.charge(ctx.costs().combine_us(opts_.config.slow_quorum(), false));
-    auto sig = opts_.crypto.tau_verifier->combine(h, tau_shares);
+    ctx.charge(ctx.costs().combine_us(epoch_for_seq(s).slow_quorum(), false));
+    auto sig = crypto_for_seq(s).tau_verifier->combine(h, tau_shares);
     if (!sig) {
       ++stats_.invalid_shares_seen;
       continue;
@@ -673,11 +868,11 @@ void SbftReplica::collector_try_prepare(SeqNum s, sim::ActorContext& ctx) {
 }
 
 void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
-  if (m.view < view_ || (in_view_change_ && m.view == view_)) return;
+  if (m.view < view_ || (in_view_change_ && m.view == view_) || retired_) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   Digest h = slot_hash(m.seq, m.view, m.block_digest);
   ctx.charge(ctx.costs().bls_verify_combined_us);
-  if (!opts_.crypto.tau_verifier->verify(h, as_span(m.tau_sig))) {
+  if (!crypto_for_seq(m.seq).tau_verifier->verify(h, as_span(m.tau_sig))) {
     ++stats_.invalid_shares_seen;
     return;
   }
@@ -701,7 +896,7 @@ void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
   // Fallback-stage collectors (the c+1 C-collectors plus the primary as the
   // last staggered collector, §V-E) remember the certificate so they can
   // aggregate commit shares.
-  auto collectors = commit_collectors(opts_.config, m.seq, m.view);
+  auto collectors = commit_collectors(epoch_for_seq(m.seq), m.seq, m.view);
   if (collector_rank(collectors, opts_.id) >= 0 && sl.coll_tau.empty()) {
     sl.coll_view = m.view;
     sl.coll_active = true;
@@ -710,10 +905,10 @@ void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
     sl.coll_block_digest = m.block_digest;
   }
 
-  if (!sl.sent_commit_share) {
+  if (!sl.sent_commit_share && epoch_for_seq(m.seq).contains(opts_.id)) {
     sl.sent_commit_share = true;
     Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
-    Bytes share = sign_share_maybe_corrupt(*opts_.crypto.tau_signer, d2);
+    Bytes share = sign_share_maybe_corrupt(*crypto_for_seq(m.seq).tau_signer, d2);
     ctx.charge(ctx.costs().bls_sign_share_us);
     CommitShareMsg cs;
     cs.seq = m.seq;
@@ -727,8 +922,9 @@ void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
 }
 
 void SbftReplica::handle_commit_share(const CommitShareMsg& m, sim::ActorContext& ctx) {
-  if (in_view_change_ || m.view != view_) return;
-  auto collectors = commit_collectors(opts_.config, m.seq, m.view);
+  if (in_view_change_ || m.view != view_ || retired_) return;
+  if (signer_of(m.replica, m.seq) == 0) return;
+  auto collectors = commit_collectors(epoch_for_seq(m.seq), m.seq, m.view);
   int rank = collector_rank(collectors, opts_.id);
   if (rank < 0) return;
   Slot* slp = find_slot(m.seq);
@@ -739,7 +935,7 @@ void SbftReplica::handle_commit_share(const CommitShareMsg& m, sim::ActorContext
   if (!(m.commit_digest == expected)) return;
   sl.coll_commit_shares.emplace(m.replica, m.tau_share);
 
-  if (sl.coll_commit_shares.size() >= opts_.config.slow_quorum()) {
+  if (sl.coll_commit_shares.size() >= epoch_for_seq(m.seq).slow_quorum()) {
     if (rank == 0) {
       collector_try_slow_proof(m.seq, ctx);
     } else if (!sl.coll_stagger_slow_set) {
@@ -755,15 +951,15 @@ void SbftReplica::collector_try_slow_proof(SeqNum s, sim::ActorContext& ctx) {
   Slot* slp = find_slot(s);
   if (!slp || slp->coll_sent_slow || slp->coll_tau.empty()) return;
   Slot& sl = *slp;
-  if (sl.coll_commit_shares.size() < opts_.config.slow_quorum()) return;
+  if (sl.coll_commit_shares.size() < epoch_for_seq(s).slow_quorum()) return;
   Digest d2 = commit_hash(crypto::sha256(as_span(sl.coll_tau)));
   std::vector<crypto::SignatureShare> shares;
   shares.reserve(sl.coll_commit_shares.size());
   for (auto& [replica, share] : sl.coll_commit_shares)
-    shares.push_back({replica, share});
+    shares.push_back({signer_of(replica, s), share});
   ctx.charge(ctx.costs().batch_verify_us(shares.size()));
-  ctx.charge(ctx.costs().combine_us(opts_.config.slow_quorum(), false));
-  auto sig = opts_.crypto.tau_verifier->combine(d2, shares);
+  ctx.charge(ctx.costs().combine_us(epoch_for_seq(s).slow_quorum(), false));
+  auto sig = crypto_for_seq(s).tau_verifier->combine(d2, shares);
   if (!sig) {
     ++stats_.invalid_shares_seen;
     return;
@@ -786,7 +982,7 @@ void SbftReplica::handle_full_commit_proof(const FullCommitProofMsg& m,
   if (m.seq <= le()) return;
   Digest h = slot_hash(m.seq, m.view, m.block_digest);
   ctx.charge(ctx.costs().bls_verify_combined_us);
-  if (!opts_.crypto.sigma_verifier->verify(h, as_span(m.sigma_sig))) {
+  if (!crypto_for_seq(m.seq).sigma_verifier->verify(h, as_span(m.sigma_sig))) {
     ++stats_.invalid_shares_seen;
     return;
   }
@@ -807,8 +1003,9 @@ void SbftReplica::handle_full_commit_proof_slow(const FullCommitProofSlowMsg& m,
   Digest h = slot_hash(m.seq, m.view, m.block_digest);
   Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
   ctx.charge(2 * ctx.costs().bls_verify_combined_us);
-  if (!opts_.crypto.tau_verifier->verify(h, as_span(m.tau_sig)) ||
-      !opts_.crypto.tau_verifier->verify(d2, as_span(m.tau_tau_sig))) {
+  const ReplicaCrypto& crypto = crypto_for_seq(m.seq);
+  if (!crypto.tau_verifier->verify(h, as_span(m.tau_sig)) ||
+      !crypto.tau_verifier->verify(d2, as_span(m.tau_tau_sig))) {
     ++stats_.invalid_shares_seen;
     return;
   }
@@ -899,19 +1096,24 @@ void SbftReplica::execute_block(SeqNum s, sim::ActorContext& ctx) {
 
   auto buffered = std::move(slot(s).buffered_pi);
 
-  // Sign the new state (pi threshold) and send to the E-collectors.
-  Bytes pi_share = sign_share_maybe_corrupt(*opts_.crypto.pi_signer, d);
-  ctx.charge(ctx.costs().bls_sign_share_us);
-  SignStateMsg ss;
-  ss.seq = s;
-  ss.replica = opts_.id;
-  ss.exec_digest = d;
-  ss.pi_share = std::move(pi_share);
-  auto msg = make_message(std::move(ss));
-  for (ReplicaId collector : e_collectors(opts_.config, s, view_)) {
-    send_to_replica(ctx, collector, msg);
+  // Sign the new state (pi threshold) and send to the E-collectors. A
+  // non-member of the slot's epoch (joiner catching up) holds no pi signer
+  // and contributes nothing — the members' f+1 shares suffice.
+  if (epoch_for_seq(s).contains(opts_.id) && crypto_for_seq(s).pi_signer) {
+    Bytes pi_share = sign_share_maybe_corrupt(*crypto_for_seq(s).pi_signer, d);
+    ctx.charge(ctx.costs().bls_sign_share_us);
+    SignStateMsg ss;
+    ss.seq = s;
+    ss.replica = opts_.id;
+    ss.exec_digest = d;
+    ss.pi_share = std::move(pi_share);
+    auto msg = make_message(std::move(ss));
+    for (ReplicaId collector : e_collectors(epoch_for_seq(s), s, view_)) {
+      send_to_replica(ctx, collector, msg);
+    }
+    ctx.set_timer(2 * opts_.config.fast_path_timeout_us,
+                  timer_id(kStateFallback, s));
   }
-  ctx.set_timer(2 * opts_.config.fast_path_timeout_us, timer_id(kStateFallback, s));
   // Replay pi shares that arrived before we executed.
   for (auto& [replica, share] : buffered) {
     SignStateMsg replay;
@@ -924,7 +1126,10 @@ void SbftReplica::execute_block(SeqNum s, sim::ActorContext& ctx) {
 }
 
 void SbftReplica::handle_sign_state(const SignStateMsg& m, sim::ActorContext& ctx) {
-  auto collectors = fallback_e_collectors(opts_.config, m.seq, view_);
+  if (retired_) return;
+  uint32_t signer = signer_of(m.replica, m.seq);
+  if (signer == 0) return;  // not a member of the slot's epoch
+  auto collectors = fallback_e_collectors(epoch_for_seq(m.seq), m.seq, view_);
   int rank = collector_rank(collectors, opts_.id);
   if (rank < 0) return;
   Slot& sl = slot(m.seq);
@@ -938,12 +1143,13 @@ void SbftReplica::handle_sign_state(const SignStateMsg& m, sim::ActorContext& ct
   Digest d = rec->cert.exec_digest();
   // Only shares over our own executed digest can combine (robust filtering;
   // the CPU cost is charged as a batch verification at combine time, §III).
-  if (!opts_.crypto.pi_verifier->verify_share(m.replica, d, as_span(m.pi_share))) {
+  if (!crypto_for_seq(m.seq).pi_verifier->verify_share(signer, d,
+                                                       as_span(m.pi_share))) {
     ++stats_.invalid_shares_seen;
     return;
   }
   sl.pi_shares.emplace(m.replica, m.pi_share);
-  if (sl.pi_shares.size() >= opts_.config.exec_quorum()) {
+  if (sl.pi_shares.size() >= epoch_for_seq(m.seq).exec_quorum()) {
     if (rank == 0) {
       ecollector_try_proof(m.seq, ctx, false);
     } else if (!sl.e_stagger_set) {
@@ -961,14 +1167,15 @@ void SbftReplica::ecollector_try_proof(SeqNum s, sim::ActorContext& ctx,
   // Another collector already certified this sequence?
   if (!rec->cert.pi_sig.empty()) return;
   Slot& sl = *slp;
-  if (sl.pi_shares.size() < opts_.config.exec_quorum()) return;
+  if (sl.pi_shares.size() < epoch_for_seq(s).exec_quorum()) return;
   Digest d = rec->cert.exec_digest();
   std::vector<crypto::SignatureShare> shares;
   shares.reserve(sl.pi_shares.size());
-  for (auto& [replica, share] : sl.pi_shares) shares.push_back({replica, share});
+  for (auto& [replica, share] : sl.pi_shares)
+    shares.push_back({signer_of(replica, s), share});
   ctx.charge(ctx.costs().batch_verify_us(shares.size()));
-  ctx.charge(ctx.costs().combine_us(opts_.config.exec_quorum(), false));
-  auto sig = opts_.crypto.pi_verifier->combine(d, shares);
+  ctx.charge(ctx.costs().combine_us(epoch_for_seq(s).exec_quorum(), false));
+  auto sig = crypto_for_seq(s).pi_verifier->combine(d, shares);
   if (!sig) {
     ++stats_.invalid_shares_seen;
     return;
@@ -1009,7 +1216,8 @@ void SbftReplica::send_execute_acks(SeqNum s, sim::ActorContext& ctx) {
 void SbftReplica::handle_full_execute_proof(const FullExecuteProofMsg& m,
                                             sim::ActorContext& ctx) {
   ctx.charge(ctx.costs().bls_verify_combined_us);
-  if (!opts_.crypto.pi_verifier->verify(m.exec_digest, as_span(m.pi_sig))) {
+  if (!crypto_for_seq(m.seq).pi_verifier->verify(m.exec_digest,
+                                                 as_span(m.pi_sig))) {
     ++stats_.invalid_shares_seen;
     return;
   }
@@ -1032,6 +1240,8 @@ void SbftReplica::advance_checkpoint(SeqNum s, sim::ActorContext& ctx) {
   // to the WAL, and garbage-collects execution records.
   if (!runtime_.advance_stable(rec->cert, ctx)) return;
   slots_.erase(slots_.begin(), slots_.lower_bound(ls() + 1));
+  // A staged reconfiguration whose boundary just became stable activates here.
+  maybe_refresh_epoch(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -1095,7 +1305,7 @@ void SbftReplica::adopt_verified_view(ViewNum v, sim::ActorContext& ctx) {
 }
 
 void SbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
-  if (target <= view_) return;
+  if (target <= view_ || retired_) return;
   if (in_view_change_ && target <= vc_target_) return;
   in_view_change_ = true;
   vc_target_ = target;
@@ -1106,7 +1316,7 @@ void SbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
   vc_msgs_[target][opts_.id] = msg;
   broadcast_replicas(ctx, make_message(ViewChangeMsg(msg)));
   arm_progress_timer(ctx);  // exponential backoff to target+1 if this stalls
-  if (opts_.config.primary_of(target) == opts_.id) maybe_send_new_view(target, ctx);
+  if (epoch().primary_of(target) == opts_.id) maybe_send_new_view(target, ctx);
 }
 
 ViewChangeMsg SbftReplica::build_view_change(ViewNum target) const {
@@ -1150,12 +1360,10 @@ ViewChangeMsg SbftReplica::build_view_change(ViewNum target) const {
 }
 
 void SbftReplica::handle_view_change(const ViewChangeMsg& m, sim::ActorContext& ctx) {
-  if (m.next_view <= view_) return;
-  ViewChangeVerifiers verifiers{opts_.crypto.sigma_verifier.get(),
-                                opts_.crypto.tau_verifier.get(),
-                                opts_.crypto.pi_verifier.get()};
+  if (m.next_view <= view_ || retired_) return;
+  ViewChangeVerifiers verifiers = view_change_verifiers();
   ctx.charge(ctx.costs().batch_verify_us(2 * m.slots.size() + 1));
-  if (!validate_view_change(opts_.config, verifiers, m)) return;
+  if (!validate_view_change(cfg_, verifiers, m)) return;
   vc_msgs_[m.next_view][m.sender] = m;
 
   // Join rule (§VII): f+1 distinct replicas ahead of us force our hand.
@@ -1164,28 +1372,28 @@ void SbftReplica::handle_view_change(const ViewChangeMsg& m, sim::ActorContext& 
     for (const auto& [target, senders] : vc_msgs_) {
       if (target > view_) ahead = std::max(ahead, senders.size());
     }
-    if (ahead >= opts_.config.f + 1) {
+    if (ahead >= cfg_.f + 1) {
       ViewNum best = view_;
       for (const auto& [target, senders] : vc_msgs_) {
-        if (senders.size() >= opts_.config.f + 1) best = std::max(best, target);
+        if (senders.size() >= cfg_.f + 1) best = std::max(best, target);
       }
       if (best > view_) start_view_change(best, ctx);
     }
   }
-  if (opts_.config.primary_of(m.next_view) == opts_.id)
+  if (epoch().primary_of(m.next_view) == opts_.id)
     maybe_send_new_view(m.next_view, ctx);
 }
 
 void SbftReplica::maybe_send_new_view(ViewNum target, sim::ActorContext& ctx) {
   if (new_view_sent_ && vc_target_ >= target) return;
   auto it = vc_msgs_.find(target);
-  if (it == vc_msgs_.end() || it->second.size() < opts_.config.view_change_quorum())
+  if (it == vc_msgs_.end() || it->second.size() < cfg_.view_change_quorum())
     return;
   NewViewMsg nv;
   nv.view = target;
   for (const auto& [sender, msg] : it->second) {
     nv.proofs.push_back(msg);
-    if (nv.proofs.size() == opts_.config.view_change_quorum()) break;
+    if (nv.proofs.size() == cfg_.view_change_quorum()) break;
   }
   new_view_sent_ = true;
   broadcast_replicas(ctx, make_message(NewViewMsg(nv)));
@@ -1193,22 +1401,18 @@ void SbftReplica::maybe_send_new_view(ViewNum target, sim::ActorContext& ctx) {
 }
 
 void SbftReplica::handle_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
-  if (m.view <= view_) return;
-  ViewChangeVerifiers verifiers{opts_.crypto.sigma_verifier.get(),
-                                opts_.crypto.tau_verifier.get(),
-                                opts_.crypto.pi_verifier.get()};
+  if (m.view <= view_ || retired_) return;
+  ViewChangeVerifiers verifiers = view_change_verifiers();
   size_t evidence = 0;
   for (const auto& p : m.proofs) evidence += 2 * p.slots.size() + 1;
   ctx.charge(ctx.costs().batch_verify_us(evidence));
-  if (!validate_new_view(opts_.config, verifiers, m)) return;
+  if (!validate_new_view(cfg_, verifiers, m)) return;
   enter_new_view(m, ctx);
 }
 
 void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
-  if (m.view < view_ || (m.view == view_ && !in_view_change_)) return;
-  ViewChangeVerifiers verifiers{opts_.crypto.sigma_verifier.get(),
-                                opts_.crypto.tau_verifier.get(),
-                                opts_.crypto.pi_verifier.get()};
+  if (m.view < view_ || (m.view == view_ && !in_view_change_) || retired_) return;
+  ViewChangeVerifiers verifiers = view_change_verifiers();
 
   view_ = m.view;
   in_view_change_ = false;
@@ -1218,7 +1422,7 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
   vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(m.view));
   runtime_.wal_record_view(m.view);
 
-  SeqNum stable = select_stable_seq(opts_.config, verifiers, m.proofs);
+  SeqNum stable = select_stable_seq(cfg_, verifiers, m.proofs);
   if (stable > le()) request_state_transfer(ctx);
 
   SeqNum max_evidence = stable;
@@ -1228,7 +1432,7 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
 
   for (SeqNum j = stable + 1; j <= max_evidence; ++j) {
     if (j <= le()) continue;  // already executed; safety ensures consistency
-    SafeValue safe = compute_safe_value(opts_.config, verifiers, j, m.proofs);
+    SafeValue safe = compute_safe_value(cfg_, verifiers, j, m.proofs);
     ctx.charge(ctx.costs().batch_verify_us(4));
     Slot& sl = slot(j);
     switch (safe.kind) {
@@ -1293,16 +1497,22 @@ bool SbftReplica::state_transfer_behind() const {
   // A committed-but-unfetchable slot or delivered traffic far past le() means
   // blocks this replica will never see again; a wiped/restarted boot that has
   // recovered nothing yet must also keep probing (its first probe may race
-  // ahead of any checkpoint existing).
+  // ahead of any checkpoint existing). A joiner — bootstrapped with a roster
+  // that does not contain it — keeps probing until the epoch admitting it
+  // arrives via a fetched checkpoint (docs/reconfiguration.md).
   const Slot* next = nullptr;
   if (auto it = slots_.find(le() + 1); it != slots_.end()) next = &it->second;
   return (!slots_.empty() && slots_.rbegin()->first > le() + opts_.config.win) ||
          (next && next->committed && !next->block) ||
-         (opts_.recovering && le() == 0 && ls() == 0);
+         (opts_.recovering && le() == 0 && ls() == 0) ||
+         (!retired_ && !runtime_.membership().is_member(opts_.id));
 }
 
 void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
-  if (silent()) return;
+  // A retired (removed) replica drains: it serves its retained checkpoint
+  // but never fetches newer state — adopting one would advance its
+  // execution past the drain point.
+  if (silent() || retired_) return;
   runtime::StateTransferManager& st = runtime_.state_transfer();
   if (st.chunked()) {
     if (st.active()) return;  // a fetch round is already running
@@ -1318,10 +1528,12 @@ void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   if (st_inflight_) return;
   st_inflight_ = true;
   ++runtime_.stats().state_transfers;
-  // Ask a pseudo-random peer; retry rotates the choice.
-  ReplicaId peer = static_cast<ReplicaId>(
-      1 + ctx.rng().below(opts_.config.n()));
-  if (peer == opts_.id) peer = (peer % opts_.config.n()) + 1;
+  // Ask a pseudo-random member; retry rotates the choice.
+  const auto& members = epoch().members;
+  ReplicaId peer = members[ctx.rng().below(members.size())].id;
+  if (peer == opts_.id) {
+    peer = members[(epoch().rank_of(peer) + 1) % members.size()].id;
+  }
   StateTransferRequestMsg req;
   req.requester = opts_.id;
   req.have_seq = le();
@@ -1329,12 +1541,14 @@ void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   ctx.set_timer(opts_.config.view_change_timeout_us, timer_id(kStateTransferTimer, 0));
 }
 
-void SbftReplica::handle_state_transfer_request(NodeId /*from*/,
+void SbftReplica::handle_state_transfer_request(NodeId from,
                                                 const StateTransferRequestMsg& m,
                                                 sim::ActorContext& ctx) {
   if (silent()) return;
   // Ship the consistent (certificate, snapshot) pair — never the bare stable
-  // checkpoint, whose snapshot may not have been captured.
+  // checkpoint, whose snapshot may not have been captured. Replies go to the
+  // requesting *node*: a joining replica is not in any epoch the donor holds
+  // yet, so its id resolves through no roster.
   const runtime::CheckpointManager& cp = runtime_.checkpoints();
   if (cp.snapshot_cert().pi_sig.empty() || cp.snapshot_cert().seq <= m.have_seq)
     return;
@@ -1347,7 +1561,7 @@ void SbftReplica::handle_state_transfer_request(NodeId /*from*/,
     auto manifest = st.make_manifest(cp, m, opts_.id);
     if (!manifest) return;
     if (cold) ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
-    send_to_replica(ctx, m.requester, make_message(std::move(*manifest)));
+    ctx.send(from, make_message(std::move(*manifest)));
     return;
   }
   StateTransferReplyMsg reply;
@@ -1355,7 +1569,7 @@ void SbftReplica::handle_state_transfer_request(NodeId /*from*/,
   reply.cert = cp.snapshot_cert();
   reply.service_snapshot = cp.snapshot();
   ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
-  send_to_replica(ctx, m.requester, make_message(std::move(reply)));
+  ctx.send(from, make_message(std::move(reply)));
 }
 
 void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
@@ -1365,15 +1579,14 @@ void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
     return;
   }
   ctx.charge(ctx.costs().bls_verify_combined_us);
-  if (m.cert.seq != m.seq ||
-      !opts_.crypto.pi_verifier->verify(m.cert.exec_digest(), as_span(m.cert.pi_sig)))
-    return;
+  if (m.cert.seq != m.seq || !verify_cert_pi(m.cert)) return;
   // The runtime verifies the snapshot envelope against the certificate's
   // state root, installs the service + reply cache, and records the
   // checkpoint in the WAL.
   if (!runtime_.adopt_checkpoint(m.cert, as_span(m.service_snapshot), ctx)) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
   st_inflight_ = false;
+  maybe_refresh_epoch(ctx);  // the adopted envelope may carry a newer epoch
   try_execute(ctx);
 }
 
@@ -1391,9 +1604,10 @@ void SbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   // The certificate must be pi-certified before the manifest can target the
   // fetch; the chunk root itself is bound end-to-end by the final state-root
   // check in adopt_checkpoint (a lying manifest sender is excluded there).
+  // Seq-aware + provisioned-epoch fallback: a joiner fetches checkpoints
+  // certified under epochs it has not installed yet.
   ctx.charge(ctx.costs().bls_verify_combined_us);
-  if (!opts_.crypto.pi_verifier->verify(m.cert.exec_digest(), as_span(m.cert.pi_sig)))
-    return;
+  if (!verify_cert_pi(m.cert)) return;
   if (st.on_manifest(m, le(), runtime_.checkpoints(), runtime_.stats())) {
     // A delta manifest may have seeded every chunk from the local base — the
     // fetch can be complete without a single wire chunk.
@@ -1405,15 +1619,16 @@ void SbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   }
 }
 
-void SbftReplica::handle_state_chunk_request(const StateChunkRequestMsg& m,
+void SbftReplica::handle_state_chunk_request(NodeId from,
+                                             const StateChunkRequestMsg& m,
                                              sim::ActorContext& ctx) {
   if (silent()) return;
   std::vector<StateChunkMsg> chunks = runtime_.state_transfer().make_chunks(
-      runtime_.checkpoints(), m, opts_.id, runtime_.stats());
+      runtime_.checkpoints(), m, opts_.id, runtime_.stats(), from);
   for (StateChunkMsg& c : chunks) {
     ctx.charge(ctx.costs().hash_us(c.data.size()));
     if (opts_.corrupt_state_chunks && !c.data.empty()) c.data[0] ^= 0xff;
-    send_to_replica(ctx, m.requester, make_message(std::move(c)));
+    ctx.send(from, make_message(std::move(c)));  // joiners resolve by node only
   }
   arm_donor_tick(ctx);
 }
@@ -1480,6 +1695,7 @@ void SbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
   if (st.on_adopt_result(adopted, le())) broadcast_state_probe(ctx);
   if (!adopted) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
+  maybe_refresh_epoch(ctx);  // the adopted envelope may carry a newer epoch
   try_execute(ctx);
 }
 

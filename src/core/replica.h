@@ -57,6 +57,17 @@ struct ReplicaOptions {
   // Collector staggering (§V: "in most executions just one collector is
   // active and the others just monitor in idle").
   int64_t collector_stagger_us = 25'000;
+  // Group reconfiguration (docs/reconfiguration.md): the bootstrap roster the
+  // replica starts from. Empty derives the genesis roster from the config
+  // (ids 1..n at nodes 0..n-1). A joining replica is handed the current
+  // epoch's roster — which does not contain it — and learns the epoch that
+  // admits it from state transfer.
+  std::vector<ReplicaInfo> roster;
+  uint32_t roster_f = 0;  // fault parameters of the bootstrap roster (0: config)
+  uint32_t roster_c = 0;
+  // Per-epoch threshold key material (trusted-dealer re-keying); epoch 0
+  // always uses `crypto`. Required before any epoch > 0 activates.
+  std::shared_ptr<const EpochKeyTable> epoch_keys;
 };
 
 struct ReplicaStats {
@@ -81,6 +92,8 @@ struct ReplicaStats {
   uint64_t delta_chunks_skipped = 0;    // fetcher: chunks seeded from local base
   uint64_t delta_bytes_saved = 0;       // fetcher: payload kept off the wire
   uint64_t donor_chunks_throttled = 0;  // donor: serves deferred by rate limit
+  uint64_t epochs_activated = 0;        // membership epochs that took effect
+  uint64_t joins_completed = 0;         // this replica joined via an epoch
   // Phase timing (sums over this replica's slots, microseconds).
   int64_t pp_to_commit_us = 0;    // pre-prepare accept -> commit
   int64_t commit_to_exec_us = 0;  // commit -> execution
@@ -143,13 +156,46 @@ class SbftReplica final : public sim::IActor {
                                    sim::ActorContext& ctx);
   void handle_state_manifest(NodeId from, const StateManifestMsg& m,
                              sim::ActorContext& ctx);
-  void handle_state_chunk_request(const StateChunkRequestMsg& m,
+  void handle_state_chunk_request(NodeId from, const StateChunkRequestMsg& m,
                                   sim::ActorContext& ctx);
   void handle_state_chunk(NodeId from, const StateChunkMsg& m,
                           sim::ActorContext& ctx);
+  void handle_reconfig_block(const ReconfigBlockMsg& m, sim::ActorContext& ctx);
+
+  // --- membership epochs (docs/reconfiguration.md) ----------------------------
+  const runtime::MembershipEpoch& epoch() const {
+    return runtime_.membership().active();
+  }
+  const runtime::MembershipEpoch& epoch_for_seq(SeqNum s) const {
+    return runtime_.membership().epoch_for_seq(s);
+  }
+  /// Threshold key material of an epoch: epoch 0 is the dealt cluster keys;
+  /// later epochs resolve from the provisioned EpochKeyTable (memoized).
+  const ReplicaCrypto& crypto_for_epoch(const runtime::MembershipEpoch& e) const;
+  const ReplicaCrypto& crypto_for_seq(SeqNum s) const {
+    return crypto_for_epoch(epoch_for_seq(s));
+  }
+  /// Signer index of `r` in slot s's epoch schemes (rank + 1); 0 = non-member.
+  uint32_t signer_of(ReplicaId r, SeqNum s) const {
+    int rank = epoch_for_seq(s).rank_of(r);
+    return rank < 0 ? 0 : static_cast<uint32_t>(rank) + 1;
+  }
+  /// Checkpoint certificates outlive their epoch (and a joiner may fetch one
+  /// certified under an epoch it has not installed yet): verify against the
+  /// seq's epoch first, then every provisioned epoch.
+  bool verify_cert_pi(const ExecCertificate& cert) const;
+  /// First sequence proposals/pre-prepares must not cross while a
+  /// reconfiguration awaits activation (0: no gate). Pre-boundary keys must
+  /// never sign post-boundary slots.
+  SeqNum reconfig_gate() const;
+  /// Active epoch's verifier bundle for the pure view-change functions.
+  ViewChangeVerifiers view_change_verifiers() const;
+  /// Folds a pending epoch change into the engine: derived config, primary
+  /// timers, retirement. Call after any runtime operation that can activate.
+  void maybe_refresh_epoch(sim::ActorContext& ctx);
 
   // --- primary --------------------------------------------------------------
-  bool is_primary() const { return opts_.config.primary_of(view_) == opts_.id; }
+  bool is_primary() const { return epoch().primary_of(view_) == opts_.id; }
   uint64_t active_window() const;
   uint32_t adaptive_batch_size() const;
   void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
@@ -207,8 +253,8 @@ class SbftReplica final : public sim::IActor {
   SeqNum ls() const { return runtime_.last_stable(); }
   Slot& slot(SeqNum s);
   Slot* find_slot(SeqNum s);
-  NodeId node_of(ReplicaId r) const { return r - 1; }
-  bool from_replica(NodeId node, ReplicaId r) const { return node == r - 1; }
+  NodeId node_of(ReplicaId r) const;
+  bool from_replica(NodeId node, ReplicaId r) const { return node == node_of(r); }
   void send_to_replica(sim::ActorContext& ctx, ReplicaId r, MessagePtr msg);
   void broadcast_replicas(sim::ActorContext& ctx, MessagePtr msg);
   Bytes sign_share_maybe_corrupt(const crypto::IThresholdSigner& signer,
@@ -218,6 +264,20 @@ class SbftReplica final : public sim::IActor {
 
   ReplicaOptions opts_;
   runtime::ReplicaRuntime runtime_;
+
+  // Derived from the active epoch (f/c patched into the protocol config so
+  // quorum formulas and the pure view-change functions see the epoch sizing).
+  ProtocolConfig cfg_;
+  // Memoized per-epoch ReplicaCrypto resolved from the EpochKeyTable.
+  mutable std::map<uint64_t, ReplicaCrypto> epoch_crypto_;
+  // Set when an activated epoch no longer contains this replica: it drains —
+  // serves state transfer and cached replies, but never votes or proposes.
+  bool retired_ = false;
+  // Pre-execution shadow of the activation boundary: set when a pre-prepare
+  // carrying a reconfiguration marker is accepted at seq s (boundary =
+  // ceil(s / interval) * interval), authoritative once the marker executes
+  // and the runtime stages the pending reconfiguration.
+  SeqNum shadow_gate_ = 0;
 
   ViewNum view_ = 0;
   bool in_view_change_ = false;

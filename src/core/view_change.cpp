@@ -16,6 +16,15 @@ Digest slow_round_digest(const Bytes& tau_sig) {
   return commit_hash(crypto::sha256(as_span(tau_sig)));
 }
 
+/// Threshold-signer index of `sender`: its epoch rank + 1 when the verifiers
+/// carry an epoch (per-epoch schemes index members by rank), its id under the
+/// genesis identity mapping. 0 = not a member (evidence invalid).
+uint32_t signer_index(const ViewChangeVerifiers& verifiers, ReplicaId sender) {
+  if (!verifiers.epoch) return sender;
+  int rank = verifiers.epoch->rank_of(sender);
+  return rank < 0 ? 0 : static_cast<uint32_t>(rank) + 1;
+}
+
 bool validate_slot_evidence(const ViewChangeVerifiers& verifiers, ReplicaId sender,
                             const SlotEvidence& e) {
   switch (e.lm_kind) {
@@ -40,8 +49,10 @@ bool validate_slot_evidence(const ViewChangeVerifiers& verifiers, ReplicaId send
     case FastEvidence::kNone:
       break;
     case FastEvidence::kVote: {
+      uint32_t signer = signer_index(verifiers, sender);
+      if (signer == 0) return false;
       Digest h = slot_hash(e.seq, e.fm_view, e.fm_block_digest);
-      if (!verifiers.sigma->verify_share(sender, h, as_span(e.fm_sig))) return false;
+      if (!verifiers.sigma->verify_share(signer, h, as_span(e.fm_sig))) return false;
       break;
     }
     case FastEvidence::kFullProof: {
@@ -59,6 +70,7 @@ bool validate_checkpoint(const ViewChangeVerifiers& verifiers, SeqNum ls,
                          const ExecCertificate& cert) {
   if (ls == 0) return true;  // genesis needs no proof
   if (cert.seq != ls) return false;
+  if (verifiers.verify_checkpoint) return verifiers.verify_checkpoint(cert);
   return verifiers.pi->verify(cert.exec_digest(), as_span(cert.pi_sig));
 }
 
@@ -67,7 +79,10 @@ bool validate_checkpoint(const ViewChangeVerifiers& verifiers, SeqNum ls,
 bool validate_view_change(const ProtocolConfig& config,
                           const ViewChangeVerifiers& verifiers,
                           const ViewChangeMsg& msg) {
-  if (msg.sender == 0 || msg.sender > config.n()) return false;
+  if (verifiers.epoch ? !verifiers.epoch->contains(msg.sender)
+                      : (msg.sender == 0 || msg.sender > config.n())) {
+    return false;
+  }
   if (!validate_checkpoint(verifiers, msg.ls, msg.checkpoint)) return false;
   std::set<SeqNum> seen;
   for (const SlotEvidence& e : msg.slots) {

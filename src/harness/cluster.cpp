@@ -59,6 +59,10 @@ void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavio
       std::find(opts_.corrupt_chunk_replicas.begin(),
                 opts_.corrupt_chunk_replicas.end(),
                 handle.id_) != opts_.corrupt_chunk_replicas.end();
+  // Every replica bootstraps with the harness' current roster view: for the
+  // genesis build this is exactly the genesis mapping, for joiners the roster
+  // that does not yet contain them, and for restarts the newest one (their
+  // WAL may know better — membership recovery wins then).
   if (opts_.kind == ProtocolKind::kPbft) {
     pbft::PbftOptions po;
     po.config = config_;
@@ -67,18 +71,33 @@ void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavio
     po.wal = handle.wal_;
     po.recovering = recovering;
     po.corrupt_state_chunks = corrupt_chunks;
+    po.fabricate_checkpoint =
+        std::find(opts_.fabricate_checkpoint_replicas.begin(),
+                  opts_.fabricate_checkpoint_replicas.end(),
+                  handle.id_) != opts_.fabricate_checkpoint_replicas.end();
+    po.checkpoint_auth = checkpoint_auth_;
+    po.roster = current_members_;
+    po.roster_f = current_f_;
     handle.pbft_ =
         std::make_unique<pbft::PbftReplica>(std::move(po), opts_.service_factory());
   } else {
     core::ReplicaOptions ro;
     ro.config = config_;
     ro.id = handle.id_;
-    ro.crypto = core::ReplicaCrypto::for_replica(keys_, handle.id_);
+    // A joiner holds no genesis signer slot: verifier-only epoch-0 view (its
+    // signers come from the epoch that admits it, via epoch_keys).
+    ro.crypto = handle.id_ <= config_.n()
+                    ? core::ReplicaCrypto::for_replica(keys_, handle.id_)
+                    : core::ReplicaCrypto::verifier_only(keys_);
     ro.behavior = behavior;
     ro.ledger = handle.ledger_;
     ro.wal = handle.wal_;
     ro.recovering = recovering;
     ro.corrupt_state_chunks = corrupt_chunks;
+    ro.roster = current_members_;
+    ro.roster_f = current_f_;
+    ro.roster_c = current_c_;
+    ro.epoch_keys = epoch_keys_;
     handle.sbft_ =
         std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
   }
@@ -95,8 +114,14 @@ void Cluster::build() {
               ? core::ClusterKeys::generate_rsa(key_rng, config_,
                                                 opts_.threshold_rsa_bits)
               : core::ClusterKeys::generate(key_rng, config_);
+  epoch_keys_ = std::make_shared<core::EpochKeyTable>();
+  checkpoint_auth_ = std::make_shared<pbft::CheckpointAuth>(
+      key_rng.bytes(32));  // cluster checkpoint-signing secret
 
   const uint32_t n = config_.n();
+  current_f_ = config_.f;
+  current_c_ = config_.c;
+  for (ReplicaId r = 1; r <= n; ++r) current_members_.push_back({r, r - 1});
   const ReplicaId primary0 = config_.primary_of(0);
 
   // Fault roles are drawn first (replica behaviour is fixed at construction).
@@ -144,6 +169,7 @@ void Cluster::build() {
     core::ClientOptions co;
     co.config = config_;
     co.crypto = core::ReplicaCrypto::verifier_only(keys_);
+    co.epoch_keys = epoch_keys_;
     co.num_requests = opts_.requests_per_client;
     co.id = n + i;
     co.op_factory = opts_.per_client_op_factory ? opts_.per_client_op_factory(co.id)
@@ -173,6 +199,72 @@ void Cluster::build() {
       });
     }
   }
+}
+
+ReplicaId Cluster::add_replica() {
+  ReplicaHandle handle;
+  handle.id_ = static_cast<ReplicaId>(replicas_.size() + 1);
+  if (opts_.durability) {
+    handle.ledger_ = std::make_shared<storage::MemoryLedgerStorage>();
+    handle.wal_ = std::make_shared<recovery::MemoryWal>();
+  }
+  // The joiner bootstraps as a wiped recovering fetcher against the current
+  // roster (which does not contain it); it participates only after an epoch
+  // admitting it activates and arrives via state transfer.
+  build_replica(handle, core::ReplicaBehavior::kHonest, /*recovering=*/true);
+  handle.node_ = net_->add_node(handle.actor());
+  ReplicaId id = handle.id_;
+  replicas_.push_back(std::move(handle));
+  if (started_) net_->start_node(replicas_.back().node_);
+  return id;
+}
+
+void Cluster::submit_reconfig(const std::vector<ReplicaId>& adds,
+                              const std::vector<ReplicaId>& removes,
+                              uint32_t new_f, uint32_t new_c) {
+  ReconfigDelta delta;
+  for (ReplicaId id : adds) delta.adds.push_back({id, replica(id).node()});
+  delta.removes = removes;
+  delta.new_f = new_f;
+  delta.new_c = opts_.kind == ProtocolKind::kSbft ? new_c : 0;
+
+  // Harness view of the post-activation roster (epoch-key dealing and future
+  // joiner bootstraps read it).
+  std::vector<ReplicaInfo> next = current_members_;
+  next.erase(std::remove_if(next.begin(), next.end(),
+                            [&](const ReplicaInfo& m) {
+                              return std::find(removes.begin(), removes.end(),
+                                               m.id) != removes.end();
+                            }),
+             next.end());
+  for (const ReplicaInfo& add : delta.adds) next.push_back(add);
+  std::sort(next.begin(), next.end(),
+            [](const ReplicaInfo& a, const ReplicaInfo& b) { return a.id < b.id; });
+  SBFT_CHECK(next.size() == 3ull * new_f + 2ull * delta.new_c + 1);
+
+  if (opts_.kind != ProtocolKind::kPbft) {
+    // Trusted-dealer re-keying for the new roster (docs/reconfiguration.md):
+    // signer index k belongs to the member of epoch rank k-1. Real threshold
+    // RSA would need a re-dealing ceremony; the sim-BLS scheme is what the
+    // reconfiguration scenarios run.
+    SBFT_CHECK(!opts_.use_real_threshold_crypto);
+    Rng epoch_rng(opts_.seed ^ (0xec0cull + next_epoch_));
+    epoch_keys_->provision(
+        next_epoch_, core::ClusterKeys::generate_for(
+                         epoch_rng, static_cast<uint32_t>(next.size()), new_f,
+                         delta.new_c));
+  }
+
+  // Inject the administrative request to every current member; whichever is
+  // primary orders it.
+  auto msg = make_message(ReconfigBlockMsg{delta, next_epoch_});
+  for (const ReplicaInfo& m : current_members_) {
+    net_->inject(m.node, m.node, msg);
+  }
+  current_members_ = std::move(next);
+  current_f_ = new_f;
+  current_c_ = delta.new_c;
+  ++next_epoch_;
 }
 
 void Cluster::restart_replica(ReplicaId r, bool wipe_storage) {

@@ -62,6 +62,10 @@ struct ClusterOptions {
   // chunk from another donor). Works on every protocol — the corruption sits
   // in the shared chunk-serving path, not in an ordering engine.
   std::vector<ReplicaId> corrupt_chunk_replicas;
+  // PBFT-only fault: replicas that answer state-transfer probes with a
+  // fabricated-but-root-consistent checkpoint (defeated by the quorum
+  // checkpoint certificate, ProtocolConfig::pbft_verify_checkpoint_certs).
+  std::vector<ReplicaId> fabricate_checkpoint_replicas;
 
   // Durability: give every replica a memory-backed ledger + WAL owned by its
   // handle, so a replica can be killed and restarted (the handles stand in
@@ -120,6 +124,26 @@ class Cluster {
   core::SbftReplica* sbft_replica(ReplicaId id);  // null for kPbft clusters
   pbft::PbftReplica* pbft_replica(ReplicaId id);  // null for SBFT clusters
 
+  // --- group reconfiguration (docs/reconfiguration.md) -----------------------
+  /// Builds a new replica slot (next id, fresh wiped storage, recovering
+  /// boot) and admits its node to the network. The replica bootstraps with
+  /// the *current* roster — which does not contain it — and joins once a
+  /// ReconfigBlockMsg naming it activates. Call before submit_reconfig.
+  ReplicaId add_replica();
+  /// Submits an add/remove reconfiguration to the running cluster: deals and
+  /// provisions the next epoch's threshold keys (SBFT), builds the
+  /// ReconfigBlockMsg, and injects it to every current member (the primary
+  /// orders it; it takes effect at the next stable checkpoint). `adds` name
+  /// replicas created via add_replica.
+  void submit_reconfig(const std::vector<ReplicaId>& adds,
+                       const std::vector<ReplicaId>& removes, uint32_t new_f,
+                       uint32_t new_c = 0);
+  /// Roster the harness believes active/incoming (updated by submit_reconfig).
+  const std::vector<ReplicaInfo>& current_members() const {
+    return current_members_;
+  }
+  size_t num_replicas() const { return replicas_.size(); }
+
   // --- crash / restart (any protocol) ----------------------------------------
   /// Crashes the replica's node (id↔node translation via its handle).
   void crash_replica(ReplicaId r) { net_->crash(replica(r).node()); }
@@ -157,6 +181,14 @@ class Cluster {
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
   core::ClusterKeys keys_;
+  // Reconfiguration material: per-epoch threshold keys (SBFT; shared with
+  // replicas and clients) and the PBFT checkpoint signing authority.
+  std::shared_ptr<core::EpochKeyTable> epoch_keys_;
+  std::shared_ptr<pbft::CheckpointAuth> checkpoint_auth_;
+  std::vector<ReplicaInfo> current_members_;  // harness' view of the roster
+  uint32_t current_f_ = 0;
+  uint32_t current_c_ = 0;
+  uint64_t next_epoch_ = 1;
   std::vector<ReplicaHandle> replicas_;  // index r - 1
   std::vector<std::unique_ptr<core::SbftClient>> clients_;
   bool started_ = false;

@@ -49,7 +49,7 @@ RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime 
   m.view_changes = cluster.total_view_changes();
   m.recoveries = cluster.total_recoveries();
   m.wal_bytes_written = cluster.total_wal_bytes_written();
-  for (ReplicaId r = 1; r <= cluster.n(); ++r) {
+  for (ReplicaId r = 1; r <= cluster.num_replicas(); ++r) {
     const runtime::RuntimeStats& rs = cluster.replica(r).runtime_stats();
     m.state_transfer_chunks_served += rs.state_transfer_chunks_served;
     m.state_transfer_chunks_fetched += rs.state_transfer_chunks_fetched;
@@ -59,6 +59,8 @@ RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime 
     m.delta_chunks_skipped += rs.delta_chunks_skipped;
     m.delta_bytes_saved += rs.delta_bytes_saved;
     m.donor_chunks_throttled += rs.donor_chunks_throttled;
+    m.epochs_activated += rs.epochs_activated;
+    m.joins_completed += rs.joins_completed;
   }
   auto totals = cluster.network().total_stats();
   m.messages_sent = totals.count;

@@ -44,6 +44,9 @@ struct RunMetrics {
   uint64_t delta_chunks_skipped = 0;
   uint64_t delta_bytes_saved = 0;
   uint64_t donor_chunks_throttled = 0;
+  // Group reconfiguration (summed over replicas; docs/reconfiguration.md).
+  uint64_t epochs_activated = 0;
+  uint64_t joins_completed = 0;
 };
 
 /// Gathers metrics for completions inside [from_us, to_us) of simulated time.

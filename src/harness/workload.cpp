@@ -1,5 +1,6 @@
 #include "harness/workload.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -45,6 +46,42 @@ std::function<Bytes(uint64_t, Rng&)> hot_range_kv_op_factory(
   };
 }
 
+namespace {
+constexpr uint32_t kFastKvMagic = 0x32564b46;  // "FKV2"
+constexpr size_t kShardBytes = 16;             // two u64 accumulators
+
+/// Shards-per-section for a given pad unit: each section occupies exactly
+/// `page` bytes (shard records never straddle a section boundary), so one
+/// mutated shard dirties one aligned chunk of the snapshot.
+size_t shards_per_section(uint32_t page) {
+  return std::max<size_t>(1, page / kShardBytes);
+}
+}  // namespace
+
+FastKvService::FastKvService(uint32_t shards) { reset_shards(shards); }
+
+void FastKvService::reset_shards(uint32_t shards) {
+  shards_.assign(std::max<uint32_t>(1, shards), Shard{});
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].acc0 = 0x243f6a8885a308d3ull ^ (i * 0x9e3779b97f4a7c15ull);
+    shards_[i].acc1 = 0x13198a2e03707344ull + i;
+  }
+  digest0_ = 0;
+  digest1_ = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto [m0, m1] = shard_mix(i, shards_[i]);
+    digest0_ += m0;
+    digest1_ ^= m1;
+  }
+  ops_ = 0;
+}
+
+std::pair<uint64_t, uint64_t> FastKvService::shard_mix(size_t i, const Shard& s) {
+  uint64_t m0 = (s.acc0 + i + 1) * 0x9e3779b97f4a7c15ull;
+  uint64_t m1 = (s.acc1 ^ (i * 0x2545f4914f6cdd1dull)) * 0x100000001b3ull;
+  return {m0, m1};
+}
+
 Bytes FastKvService::execute(ByteSpan op) {
   // Count constituent operations of a kBatch wrapper for cost reporting.
   last_op_count_ = 1;
@@ -52,12 +89,18 @@ Bytes FastKvService::execute(ByteSpan op) {
     Reader r(op.subspan(1));
     last_op_count_ = std::max<uint64_t>(1, r.u32());
   }
-  // Rolling digest: mixes length and a bounded prefix of the payload; cheap
-  // and deterministic, and any divergence in the executed stream diverges
-  // the digest.
+  // Rolling digest: mixes length and a bounded prefix of the payload into one
+  // content-selected shard; cheap and deterministic, and any divergence in
+  // the executed stream diverges the digest.
   uint64_t h = fnv1a(op.subspan(0, std::min<size_t>(op.size(), 64)));
-  acc0_ = (acc0_ ^ h) * 0x100000001b3ull + op.size();
-  acc1_ = (acc1_ + h) ^ (acc1_ << 13) ^ (acc1_ >> 7);
+  size_t idx = static_cast<size_t>(h % shards_.size());
+  Shard& s = shards_[idx];
+  auto [old0, old1] = shard_mix(idx, s);
+  s.acc0 = (s.acc0 ^ h) * 0x100000001b3ull + op.size();
+  s.acc1 = (s.acc1 + h) ^ (s.acc1 << 13) ^ (s.acc1 >> 7);
+  auto [new0, new1] = shard_mix(idx, s);
+  digest0_ += new0 - old0;  // wrapping: the sum commitment stays incremental
+  digest1_ ^= old1 ^ new1;
   ++ops_;
   return to_bytes("OK");
 }
@@ -66,32 +109,88 @@ Bytes FastKvService::query(ByteSpan) const { return {}; }
 
 Digest FastKvService::state_digest() const {
   Digest d{};
+  uint64_t shards = shards_.size();
   for (int i = 0; i < 8; ++i) {
-    d[static_cast<size_t>(i)] = static_cast<uint8_t>(acc0_ >> (8 * i));
-    d[static_cast<size_t>(8 + i)] = static_cast<uint8_t>(acc1_ >> (8 * i));
+    d[static_cast<size_t>(i)] = static_cast<uint8_t>(digest0_ >> (8 * i));
+    d[static_cast<size_t>(8 + i)] = static_cast<uint8_t>(digest1_ >> (8 * i));
     d[static_cast<size_t>(16 + i)] = static_cast<uint8_t>(ops_ >> (8 * i));
+    d[static_cast<size_t>(24 + i)] = static_cast<uint8_t>(shards >> (8 * i));
   }
   return d;
 }
 
 Bytes FastKvService::snapshot() const {
+  // Paged layout (chunk-stable, docs/state_transfer.md): header padded to the
+  // page, then sections of shards_per_section records each padded to the
+  // page. Padding is skipped for states smaller than a few pages — there a
+  // delta could never save much and the zeros would dominate; the gate is a
+  // pure function of (shard count, page), so every replica picks the same
+  // layout. The page rides in the header, making restore self-describing.
+  uint32_t page = snapshot_page_;
+  if (page <= 1 || shards_.size() * kShardBytes < 4ull * page) page = 1;
   Writer w;
-  w.u64(acc0_);
-  w.u64(acc1_);
+  w.u32(kFastKvMagic);
+  w.u32(static_cast<uint32_t>(shards_.size()));
+  w.u32(page);
   w.u64(ops_);
+  if (page > 1) {
+    while (w.size() % page != 0) w.u8(0);
+    size_t per_section = shards_per_section(page);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      w.u64(shards_[i].acc0);
+      w.u64(shards_[i].acc1);
+      if ((i + 1) % per_section == 0 || i + 1 == shards_.size()) {
+        while (w.size() % page != 0) w.u8(0);
+      }
+    }
+  } else {
+    for (const Shard& s : shards_) {
+      w.u64(s.acc0);
+      w.u64(s.acc1);
+    }
+  }
   return std::move(w).take();
 }
 
 bool FastKvService::restore(ByteSpan snapshot) {
   Reader r(snapshot);
-  acc0_ = r.u64();
-  acc1_ = r.u64();
-  ops_ = r.u64();
-  return r.at_end();
+  if (r.u32() != kFastKvMagic) return false;
+  uint32_t shards = r.u32();
+  uint32_t page = r.u32();
+  uint64_t ops = r.u64();
+  if (!r.ok() || shards == 0 || shards > (1u << 24)) return false;
+  std::vector<Shard> loaded(shards);
+  if (page > 1) {
+    r.skip((page - r.pos() % page) % page);
+    size_t per_section = shards_per_section(page);
+    for (size_t i = 0; i < shards; ++i) {
+      loaded[i].acc0 = r.u64();
+      loaded[i].acc1 = r.u64();
+      if ((i + 1) % per_section == 0 || i + 1 == shards) {
+        r.skip((page - r.pos() % page) % page);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < shards; ++i) {
+      loaded[i].acc0 = r.u64();
+      loaded[i].acc1 = r.u64();
+    }
+  }
+  if (!r.at_end()) return false;
+  shards_ = std::move(loaded);
+  ops_ = ops;
+  digest0_ = 0;
+  digest1_ = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto [m0, m1] = shard_mix(i, shards_[i]);
+    digest0_ += m0;
+    digest1_ ^= m1;
+  }
+  return true;
 }
 
 std::unique_ptr<IService> FastKvService::clone_empty() const {
-  return std::make_unique<FastKvService>();
+  return std::make_unique<FastKvService>(shard_count());
 }
 
 }  // namespace sbft::harness

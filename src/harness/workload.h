@@ -7,6 +7,8 @@
 #pragma once
 
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -40,23 +42,47 @@ std::function<Bytes(uint64_t, Rng&)> hot_range_kv_op_factory(
 /// operation stream — protocol-visible behaviour (determinism, digest
 /// equality across replicas, divergence on different histories) is preserved
 /// at negligible simulation cost.
+///
+/// State is *sharded*: each operation folds into one of `shards` accumulator
+/// pairs (chosen by an op-content hash), and the snapshot groups shards into
+/// sections zero-padded to set_snapshot_chunk_hint — so a burst of operations
+/// perturbs only the sections of the shards it touched, and delta state
+/// transfer moves just those chunks (docs/state_transfer.md; previously this
+/// service ignored the hint and every delta degraded to a full fetch). The
+/// global digest stays O(1) per op: an incremental commitment over the shard
+/// accumulators is maintained alongside them.
 class FastKvService final : public IService {
  public:
+  explicit FastKvService(uint32_t shards = 2048);
+
   Bytes execute(ByteSpan op) override;
   Bytes query(ByteSpan q) const override;
   Digest state_digest() const override;
   Bytes snapshot() const override;
   bool restore(ByteSpan snapshot) override;
+  void set_snapshot_chunk_hint(uint32_t page) override { snapshot_page_ = page; }
   std::unique_ptr<IService> clone_empty() const override;
   int64_t last_execute_cost_us(const sim::CostModel& costs) const override {
     return costs.kv_op_us * static_cast<int64_t>(last_op_count_);
   }
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
 
  private:
-  uint64_t acc0_ = 0x243f6a8885a308d3ull;  // rolling digest accumulators
-  uint64_t acc1_ = 0x13198a2e03707344ull;
+  struct Shard {
+    uint64_t acc0 = 0;
+    uint64_t acc1 = 0;
+  };
+  /// Commitment contribution of shard `i` (added into the running digest
+  /// sums; subtracted/re-added when the shard mutates).
+  static std::pair<uint64_t, uint64_t> shard_mix(size_t i, const Shard& s);
+  void reset_shards(uint32_t shards);
+
+  std::vector<Shard> shards_;
+  uint64_t digest0_ = 0;  // wrapping sum over shard_mix().first
+  uint64_t digest1_ = 0;  // xor over shard_mix().second
   uint64_t ops_ = 0;
   uint64_t last_op_count_ = 1;
+  uint32_t snapshot_page_ = 0;  // section pad unit; <= 1 disables padding
 };
 
 }  // namespace sbft::harness

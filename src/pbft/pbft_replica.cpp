@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "common/serde.h"
+#include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "runtime/snapshot.h"
 
 namespace sbft::pbft {
 
@@ -17,19 +20,111 @@ uint64_t timer_id(TimerKind kind, uint64_t payload) {
   return (static_cast<uint64_t>(kind) << 48) | payload;
 }
 TimerKind timer_kind(uint64_t id) { return static_cast<TimerKind>(id >> 48); }
+
+runtime::RuntimeOptions make_runtime_options(const PbftOptions& opts) {
+  runtime::RuntimeOptions ro;
+  ro.checkpoint_interval = opts.config.checkpoint_interval();
+  ro.ledger = opts.ledger;
+  ro.wal = opts.wal;
+  ro.state_transfer_chunk_size = opts.config.state_transfer_chunk_size;
+  ro.state_transfer_max_chunks_per_request =
+      opts.config.state_transfer_max_chunks_per_request;
+  ro.state_transfer_delta_enabled = opts.config.state_transfer_delta_enabled;
+  ro.state_transfer_donor_chunks_per_tick =
+      opts.config.state_transfer_donor_chunks_per_tick;
+  ro.self = opts.id;
+  if (!opts.roster.empty()) {
+    ro.membership_f = opts.roster_f > 0 ? opts.roster_f : opts.config.f;
+    ro.membership_c = 0;
+    ro.bootstrap_members = opts.roster;
+  } else {
+    ro.membership_f = opts.config.f;
+    ro.membership_c = 0;
+    for (ReplicaId r = 1; r <= opts.config.n(); ++r) {
+      ro.bootstrap_members.push_back({r, r - 1});
+    }
+  }
+  return ro;
+}
 }  // namespace
+
+Bytes CheckpointAuth::sign(ReplicaId replica, SeqNum seq,
+                          const Digest& state_root) const {
+  Writer key;
+  key.raw(as_span(secret_));
+  key.u32(replica);
+  Digest replica_key = crypto::sha256(as_span(key.data()));
+  Writer msg;
+  msg.str("pbft.checkpoint");
+  msg.u64(seq);
+  msg.digest(state_root);
+  Digest mac = crypto::hmac_sha256(as_span(replica_key), as_span(msg.data()));
+  return Bytes(mac.begin(), mac.end());
+}
+
+bool CheckpointAuth::verify(ReplicaId replica, SeqNum seq,
+                            const Digest& state_root, ByteSpan sig) const {
+  Bytes expect = sign(replica, seq, state_root);
+  return sig.size() == expect.size() &&
+         std::equal(sig.begin(), sig.end(), expect.begin());
+}
 
 PbftReplica::PbftReplica(PbftOptions options, std::unique_ptr<IService> service)
     : opts_(std::move(options)),
-      runtime_({opts_.config.checkpoint_interval(), opts_.ledger, opts_.wal,
-                opts_.config.state_transfer_chunk_size,
-                opts_.config.state_transfer_max_chunks_per_request,
-                opts_.config.state_transfer_delta_enabled,
-                opts_.config.state_transfer_donor_chunks_per_tick},
-               std::move(service)) {
+      runtime_(make_runtime_options(opts_), std::move(service)),
+      cfg_(opts_.config) {
   SBFT_CHECK(opts_.config.c == 0);  // PBFT sizing: n = 3f + 1
-  SBFT_CHECK(opts_.id >= 1 && opts_.id <= opts_.config.n());
+  SBFT_CHECK(opts_.id >= 1 &&
+             (!opts_.roster.empty() || opts_.id <= opts_.config.n()));
   recover_from_storage();
+  // See the SBFT engine: a recovered non-member re-retires; only a replica
+  // with no local evidence (a joiner, or a wiped removed member that will
+  // retire on its first adopted epoch) keeps probing for admission.
+  cfg_ = epoch().derive_config(opts_.config);
+  runtime_.take_epoch_change();
+  retired_ = !runtime_.membership().is_member(opts_.id) &&
+             (!opts_.recovering || runtime_.stats().recoveries > 0);
+}
+
+NodeId PbftReplica::node_of(ReplicaId r) const {
+  const runtime::MembershipManager& m = runtime_.membership();
+  if (!m.configured()) return r - 1;
+  for (auto it = m.history().rbegin(); it != m.history().rend(); ++it) {
+    if (int rank = it->rank_of(r); rank >= 0) {
+      return it->members[static_cast<size_t>(rank)].node;
+    }
+  }
+  if (m.pending()) {
+    for (const ReplicaInfo& add : m.pending()->delta.adds) {
+      if (add.id == r) return add.node;
+    }
+  }
+  return r - 1;
+}
+
+SeqNum PbftReplica::reconfig_gate() const {
+  if (SeqNum staged = runtime_.membership().pending_activation(); staged > 0) {
+    return staged;
+  }
+  return shadow_gate_ > le() ? shadow_gate_ : 0;
+}
+
+void PbftReplica::maybe_refresh_epoch(sim::ActorContext& ctx) {
+  if (!runtime_.take_epoch_change()) return;
+  cfg_ = epoch().derive_config(opts_.config);
+  shadow_gate_ = 0;
+  if (!runtime_.membership().is_member(opts_.id)) {
+    retired_ = true;
+    in_view_change_ = false;
+    pending_.clear();
+    pending_keys_.clear();
+    return;
+  }
+  retired_ = false;
+  if (is_primary()) {
+    ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
+    try_propose(ctx);
+  }
 }
 
 void PbftReplica::recover_from_storage() {
@@ -73,7 +168,7 @@ std::optional<Digest> PbftReplica::committed_digest_of(SeqNum s) const {
 }
 
 void PbftReplica::broadcast(sim::ActorContext& ctx, MessagePtr msg) {
-  for (ReplicaId r = 1; r <= opts_.config.n(); ++r) ctx.send(r - 1, msg);
+  for (const ReplicaInfo& m : epoch().members) ctx.send(m.node, msg);
 }
 
 void PbftReplica::arm_progress_timer(sim::ActorContext& ctx) {
@@ -103,15 +198,17 @@ void PbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext&
         } else if constexpr (std::is_same_v<T, PbftNewViewMsg>) {
           handle_new_view(from, m, ctx);
         } else if constexpr (std::is_same_v<T, StateTransferRequestMsg>) {
-          handle_state_transfer_request(m, ctx);
+          handle_state_transfer_request(from, m, ctx);
         } else if constexpr (std::is_same_v<T, StateTransferReplyMsg>) {
           handle_state_transfer_reply(m, ctx);
         } else if constexpr (std::is_same_v<T, StateManifestMsg>) {
           handle_state_manifest(from, m, ctx);
         } else if constexpr (std::is_same_v<T, StateChunkRequestMsg>) {
-          handle_state_chunk_request(m, ctx);
+          handle_state_chunk_request(from, m, ctx);
         } else if constexpr (std::is_same_v<T, StateChunkMsg>) {
           handle_state_chunk(from, m, ctx);
+        } else if constexpr (std::is_same_v<T, ReconfigBlockMsg>) {
+          handle_reconfig_block(m, ctx);
         }
       },
       msg);
@@ -170,13 +267,13 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
     case kDonorTickTimer: {
       donor_tick_armed_ = false;
       runtime::StateTransferManager& st = runtime_.state_transfer();
-      for (auto& [requester, chunk] : st.on_donor_tick(
+      for (auto& [node, chunk] : st.on_donor_tick(
                runtime_.checkpoints(), opts_.id, runtime_.stats())) {
         ctx.charge(ctx.costs().hash_us(chunk.data.size()));
         if (opts_.corrupt_state_chunks && !chunk.data.empty()) {
           chunk.data[0] ^= 0xff;
         }
-        ctx.send(requester - 1, make_message(std::move(chunk)));
+        ctx.send(node, make_message(std::move(chunk)));
       }
       arm_donor_tick(ctx);
       break;
@@ -190,6 +287,7 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
 void PbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
                                         sim::ActorContext& ctx) {
   const Request& req = m.request;
+  if (req.client == kReconfigClient) return;  // reserved marker id: forged
   ctx.charge(ctx.costs().rsa_verify_us);
   if (const runtime::CachedReply* cached =
           runtime_.cached_reply(req.client, req.timestamp)) {
@@ -202,19 +300,33 @@ void PbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
     ctx.send(req.client, make_message(std::move(reply)));
     return;
   }
+  if (retired_) return;  // drained: serves caches only, never orders
   if (is_primary() && !in_view_change_) {
     auto key = std::make_pair(req.client, req.timestamp);
     if (pending_keys_.insert(key).second) pending_.push_back(req);
     try_propose(ctx);
   } else if (from == req.client) {
-    ctx.send(opts_.config.primary_of(view_) - 1, make_message(ClientRequestMsg{req}));
+    ctx.send(node_of(epoch().primary_of(view_)),
+             make_message(ClientRequestMsg{req}));
     forwarded_waiting_ = true;
     arm_progress_timer(ctx);
   }
 }
 
+void PbftReplica::handle_reconfig_block(const ReconfigBlockMsg& m,
+                                        sim::ActorContext& ctx) {
+  // Administrative channel (docs/reconfiguration.md): ordered as a marker
+  // request; validation repeats deterministically at execution.
+  if (retired_ || !is_primary() || in_view_change_) return;
+  auto key = std::make_pair(kReconfigClient, m.nonce);
+  if (pending_keys_.insert(key).second) {
+    pending_.push_back(make_reconfig_request(m.delta, m.nonce));
+  }
+  try_propose(ctx, /*flush_partial=*/true);
+}
+
 void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
-  if (!is_primary() || in_view_change_) return;
+  if (!is_primary() || in_view_change_ || retired_) return;
   const uint64_t window = std::max<uint64_t>(1, opts_.config.win / 4);
   while (!pending_.empty()) {
     const Request& head = pending_.front();
@@ -225,6 +337,9 @@ void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
     }
     if (next_seq_ - 1 - le() >= window) return;
     if (next_seq_ > ls() + opts_.config.win) return;
+    // Reconfiguration wedge: slots beyond a pending activation boundary wait
+    // for the new epoch (docs/reconfiguration.md).
+    if (SeqNum gate = reconfig_gate(); gate > 0 && next_seq_ > gate) return;
     // Batching: wait for a full block unless the batch timer flushes.
     if (pending_.size() < opts_.config.max_batch && !flush_partial) return;
     Block block;
@@ -242,9 +357,10 @@ void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
 
 void PbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
                                      sim::ActorContext& ctx) {
-  if (in_view_change_ || m.view != view_) return;
-  if (from != opts_.config.primary_of(m.view) - 1) return;
+  if (in_view_change_ || m.view != view_ || retired_) return;
+  if (from != node_of(epoch().primary_of(m.view))) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
+  if (SeqNum gate = reconfig_gate(); gate > 0 && m.seq > gate) return;
   Slot& sl = slots_[m.seq];
   if (sl.has_pp && sl.pp_view >= m.view) return;
   // Verify the primary's signature and every client request signature.
@@ -255,8 +371,21 @@ void PbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
 
 void PbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
                                      sim::ActorContext& ctx) {
+  if (retired_) return;
+  // Only members of the slot's epoch vote (a joiner hears the enlarged
+  // cluster's broadcasts before it has adopted the epoch that admits it).
+  if (!epoch_for_seq(s).contains(opts_.id)) return;
   Slot& sl = slots_[s];
   Digest digest = block.digest();
+  // Shadow of the activation boundary (see the SBFT engine): slots beyond a
+  // marker-bearing block wait until the marker executes and stages.
+  for (const Request& req : block.requests) {
+    if (decode_reconfig_request(req)) {
+      uint64_t interval = opts_.config.checkpoint_interval();
+      SeqNum boundary = (s + interval - 1) / interval * interval;
+      shadow_gate_ = std::max(shadow_gate_, boundary);
+    }
+  }
   // Anti-equivocation across restarts: a previous incarnation's persisted
   // vote at this (or a later) view binds this one to the same digest.
   if (auto wv = wal_votes_.find(s);
@@ -284,8 +413,9 @@ void PbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
 }
 
 void PbftReplica::handle_prepare(const PbftPrepareMsg& m, sim::ActorContext& ctx) {
-  if (in_view_change_ || m.view != view_) return;
+  if (in_view_change_ || m.view != view_ || retired_) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
+  if (!epoch_for_seq(m.seq).contains(m.replica)) return;
   ctx.charge(ctx.costs().rsa_verify_us);  // the all-to-all quadratic cost
   Slot& sl = slots_[m.seq];
   if (sl.has_pp && !(m.h == sl.h)) return;
@@ -296,7 +426,7 @@ void PbftReplica::handle_prepare(const PbftPrepareMsg& m, sim::ActorContext& ctx
 void PbftReplica::check_prepared(SeqNum s, sim::ActorContext& ctx) {
   Slot& sl = slots_[s];
   if (sl.prepared || !sl.has_pp) return;
-  if (sl.prepares.size() < opts_.config.slow_quorum()) return;  // 2f+1
+  if (sl.prepares.size() < epoch_for_seq(s).slow_quorum()) return;  // 2f+1
   sl.prepared = true;
   if (!sl.sent_commit) {
     sl.sent_commit = true;
@@ -308,8 +438,9 @@ void PbftReplica::check_prepared(SeqNum s, sim::ActorContext& ctx) {
 }
 
 void PbftReplica::handle_commit(const PbftCommitMsg& m, sim::ActorContext& ctx) {
-  if (in_view_change_ || m.view != view_) return;
+  if (in_view_change_ || m.view != view_ || retired_) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
+  if (!epoch_for_seq(m.seq).contains(m.replica)) return;
   ctx.charge(ctx.costs().rsa_verify_us);
   Slot& sl = slots_[m.seq];
   if (sl.has_pp && !(m.h == sl.h)) return;
@@ -320,7 +451,7 @@ void PbftReplica::handle_commit(const PbftCommitMsg& m, sim::ActorContext& ctx) 
 void PbftReplica::check_committed(SeqNum s, sim::ActorContext& ctx) {
   Slot& sl = slots_[s];
   if (sl.committed || !sl.prepared) return;
-  if (sl.commits.size() < opts_.config.slow_quorum()) return;  // 2f+1
+  if (sl.commits.size() < epoch_for_seq(s).slow_quorum()) return;  // 2f+1
   sl.committed = true;
   try_execute(ctx);
 }
@@ -348,11 +479,16 @@ void PbftReplica::try_execute(sim::ActorContext& ctx) {
       ctx.send(req.client, make_message(std::move(reply)));
     }
 
-    // Quadratic PBFT checkpoint protocol (§V-F contrasts against this).
+    // Quadratic PBFT checkpoint protocol (§V-F contrasts against this). The
+    // vote carries this replica's checkpoint signature — 2f+1 of them form
+    // the certificate state transfer ships (docs/reconfiguration.md).
     if (s % opts_.config.checkpoint_interval() == 0) {
       ctx.charge(ctx.costs().rsa_sign_us);
-      broadcast(ctx, make_message(
-                         PbftCheckpointMsg{s, rec.cert.state_root, opts_.id}));
+      PbftCheckpointMsg ckpt{s, rec.cert.state_root, opts_.id, {}};
+      if (opts_.checkpoint_auth) {
+        ckpt.sig = opts_.checkpoint_auth->sign(opts_.id, s, rec.cert.state_root);
+      }
+      broadcast(ctx, make_message(std::move(ckpt)));
     }
   }
 }
@@ -369,11 +505,23 @@ bool PbftReplica::execution_gap() const {
 }
 
 void PbftReplica::handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContext& ctx) {
-  if (m.seq <= ls()) return;
+  // Votes for the *current* stable checkpoint keep accumulating (only f+1 are
+  // needed for stability, but the donor-side certificate wants 2f+1); only
+  // strictly older ones are dropped.
+  if (m.seq < ls()) return;
+  if (!epoch_for_seq(m.seq).contains(m.replica)) return;
   ctx.charge(ctx.costs().rsa_verify_us);
+  // A signature that fails verification never enters the vote set — the
+  // checkpoint protocol itself is hardened, not just state transfer.
+  if (opts_.checkpoint_auth &&
+      !opts_.checkpoint_auth->verify(m.replica, m.seq, m.state_digest,
+                                     as_span(m.sig))) {
+    return;
+  }
   auto& votes = checkpoint_votes_[m.seq][m.state_digest];
-  votes.insert(m.replica);
-  if (votes.size() < opts_.config.exec_quorum()) return;  // f+1
+  votes.emplace(m.replica, m.sig);
+  if (m.seq == ls()) return;  // already stable: certificate material only
+  if (votes.size() < epoch_for_seq(m.seq).exec_quorum()) return;  // f+1
   if (m.seq > le()) {
     // A stable checkpoint exists beyond what we executed. If we truly slept
     // through the missing blocks (restart, partition), catch up via state
@@ -385,10 +533,11 @@ void PbftReplica::handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContex
   // executed, persists the checkpoint to the WAL, GCs execution records.
   if (const runtime::ExecutionRecord* rec = runtime_.record(m.seq)) {
     runtime_.advance_stable(rec->cert, ctx);
+    maybe_refresh_epoch(ctx);
   }
   slots_.erase(slots_.begin(), slots_.lower_bound(ls() + 1));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
-                          checkpoint_votes_.upper_bound(ls()));
+                          checkpoint_votes_.lower_bound(ls()));
 }
 
 // ---------------------------------------------------------------------------
@@ -396,10 +545,68 @@ void PbftReplica::handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContex
 // chunked protocol spec in docs/state_transfer.md)
 
 bool PbftReplica::state_transfer_behind() const {
-  return execution_gap() || (opts_.recovering && le() == 0 && ls() == 0);
+  return execution_gap() || (opts_.recovering && le() == 0 && ls() == 0) ||
+         (!retired_ && !runtime_.membership().is_member(opts_.id));
+}
+
+std::vector<CheckpointSigShare> PbftReplica::checkpoint_proof_for(
+    const ExecCertificate& cert) const {
+  std::vector<CheckpointSigShare> proof;
+  if (!opts_.checkpoint_auth) return proof;
+  uint32_t need = 2 * epoch_for_seq(cert.seq).f + 1;
+  auto seq_it = checkpoint_votes_.find(cert.seq);
+  if (seq_it != checkpoint_votes_.end()) {
+    if (auto digest_it = seq_it->second.find(cert.state_root);
+        digest_it != seq_it->second.end() && digest_it->second.size() >= need) {
+      for (const auto& [replica, sig] : digest_it->second) {
+        proof.push_back({replica, sig});
+        if (proof.size() == need) break;
+      }
+      return proof;
+    }
+  }
+  // No own votes (checkpoint adopted via state transfer): re-serve the proof
+  // that vouched for it to us.
+  if (cert.seq == adopted_proof_seq_ && cert.state_root == adopted_proof_root_) {
+    return adopted_proof_;
+  }
+  return proof;
+}
+
+bool PbftReplica::verify_checkpoint_proof(
+    const ExecCertificate& cert, const std::vector<CheckpointSigShare>& proof,
+    sim::ActorContext& ctx) {
+  if (!opts_.config.pbft_verify_checkpoint_certs || !opts_.checkpoint_auth) {
+    return true;  // trust-the-channel mode (the pre-certificate behaviour)
+  }
+  const runtime::MembershipEpoch& e = epoch_for_seq(cert.seq);
+  uint32_t need = 2 * e.f + 1;
+  ctx.charge(ctx.costs().rsa_verify_us * static_cast<int64_t>(proof.size()));
+  std::set<ReplicaId> valid;
+  for (const CheckpointSigShare& s : proof) {
+    if (!e.contains(s.replica) || valid.count(s.replica)) continue;
+    if (opts_.checkpoint_auth->verify(s.replica, cert.seq, cert.state_root,
+                                      as_span(s.sig))) {
+      valid.insert(s.replica);
+      if (valid.size() >= need) {
+        // Remember the newest verified proof: if this replica ends up
+        // adopting the checkpoint it holds no votes of its own, and this is
+        // what it re-serves as a donor (checkpoint_proof_for).
+        if (cert.seq >= adopted_proof_seq_) {
+          adopted_proof_seq_ = cert.seq;
+          adopted_proof_root_ = cert.state_root;
+          adopted_proof_ = proof;
+        }
+        return true;
+      }
+    }
+  }
+  ++stats_.checkpoint_certs_rejected;
+  return false;
 }
 
 void PbftReplica::request_state_transfer(sim::ActorContext& ctx) {
+  if (retired_) return;  // drained: serves state, never fetches newer state
   runtime::StateTransferManager& st = runtime_.state_transfer();
   if (st.chunked()) {
     if (st.active()) return;  // a fetch round is already running
@@ -415,25 +622,80 @@ void PbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   if (st_inflight_) return;
   st_inflight_ = true;
   ++runtime_.stats().state_transfers;
-  // Ask a pseudo-random peer; retry rotates the choice.
-  ReplicaId peer = static_cast<ReplicaId>(1 + ctx.rng().below(opts_.config.n()));
-  if (peer == opts_.id) peer = (peer % opts_.config.n()) + 1;
+  // Ask a pseudo-random member; retry rotates the choice.
+  const auto& members = epoch().members;
+  ReplicaId peer = members[ctx.rng().below(members.size())].id;
+  if (peer == opts_.id) {
+    peer = members[(epoch().rank_of(peer) + 1) % members.size()].id;
+  }
   StateTransferRequestMsg req;
   req.requester = opts_.id;
   req.have_seq = le();
-  ctx.send(peer - 1, make_message(std::move(req)));
+  ctx.send(node_of(peer), make_message(std::move(req)));
   ctx.set_timer(opts_.config.view_change_timeout_us,
                 timer_id(kStateTransferTimer, 0));
 }
 
-void PbftReplica::handle_state_transfer_request(const StateTransferRequestMsg& m,
+std::optional<StateManifestMsg> PbftReplica::fabricate_manifest(
+    const StateTransferRequestMsg& probe, sim::ActorContext& ctx) {
+  // Build (once) a self-consistent but invented checkpoint: a fresh service
+  // with a divergent history, its envelope, and a certificate whose state
+  // root genuinely matches — the fabrication the quorum checkpoint
+  // certificate exists to defeat. Advertised well ahead of the cluster so a
+  // trusting fetcher always retargets onto it.
+  uint64_t interval = opts_.config.checkpoint_interval();
+  if (fake_envelope_.empty()) {
+    auto evil = runtime_.service().clone_empty();
+    evil->set_snapshot_chunk_hint(opts_.config.state_transfer_chunk_size);
+    evil->execute(as_span(to_bytes("fabricated-history")));
+    fake_cert_.seq = ((ls() + probe.have_seq) / interval + 64) * interval;
+    fake_cert_.state_root = evil->state_digest();
+    fake_cert_.ops_root = empty_ops_root();
+    fake_cert_.prev_exec_digest = genesis_exec_digest();
+    fake_envelope_ = runtime::encode_checkpoint_snapshot(
+        as_span(evil->snapshot()), runtime::ReplyCache{},
+        opts_.config.state_transfer_chunk_size,
+        as_span(runtime_.membership().encode()));
+    fake_chunks_ = std::make_unique<runtime::ChunkedSnapshot>(
+        as_span(fake_envelope_), opts_.config.state_transfer_chunk_size);
+    ctx.charge(ctx.costs().hash_us(fake_envelope_.size()));
+  }
+  if (fake_cert_.seq <= probe.have_seq) return std::nullopt;
+  StateManifestMsg m;
+  m.donor = opts_.id;
+  m.seq = fake_cert_.seq;
+  m.cert = fake_cert_;
+  m.chunk_root = fake_chunks_->chunk_root();
+  m.chunk_count = fake_chunks_->chunk_count();
+  m.chunk_size = fake_chunks_->chunk_size();
+  m.total_bytes = fake_chunks_->total_bytes();
+  // The best forgery available: its own signature. 1 < 2f+1, which is the
+  // entire point of the certificate.
+  if (opts_.checkpoint_auth) {
+    m.checkpoint_proof.push_back(
+        {opts_.id, opts_.checkpoint_auth->sign(opts_.id, fake_cert_.seq,
+                                               fake_cert_.state_root)});
+  }
+  return m;
+}
+
+void PbftReplica::handle_state_transfer_request(NodeId from,
+                                                const StateTransferRequestMsg& m,
                                                 sim::ActorContext& ctx) {
   // Ship the consistent (certificate, snapshot) pair captured when the
-  // checkpoint executed. No pi signature here — the certificate's state root
-  // is what the receiver verifies the snapshot against.
+  // checkpoint executed. No pi signature here — the quorum checkpoint
+  // certificate (2f+1 CheckpointSigShare) is what vouches for the
+  // checkpoint's legitimacy. Replies go to the requesting *node*: a joining
+  // replica is not in any epoch the donor holds yet.
+  runtime::StateTransferManager& st = runtime_.state_transfer();
+  if (opts_.fabricate_checkpoint && st.chunked()) {
+    if (auto fake = fabricate_manifest(m, ctx)) {
+      ctx.send(from, make_message(std::move(*fake)));
+    }
+    return;
+  }
   const runtime::CheckpointManager& cp = runtime_.checkpoints();
   if (!cp.has_shippable() || cp.snapshot_cert().seq <= m.have_seq) return;
-  runtime::StateTransferManager& st = runtime_.state_transfer();
   if (st.chunked()) {
     // Building the chunk tree hashes the whole envelope — charged only when
     // the cache is cold for this checkpoint, not on every repeated probe
@@ -441,16 +703,18 @@ void PbftReplica::handle_state_transfer_request(const StateTransferRequestMsg& m
     bool cold = st.donor_cached_seq() != cp.snapshot_cert().seq;
     auto manifest = st.make_manifest(cp, m, opts_.id);
     if (!manifest) return;
+    manifest->checkpoint_proof = checkpoint_proof_for(manifest->cert);
     if (cold) ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
-    ctx.send(m.requester - 1, make_message(std::move(*manifest)));
+    ctx.send(from, make_message(std::move(*manifest)));
     return;
   }
   StateTransferReplyMsg reply;
   reply.seq = cp.snapshot_cert().seq;
   reply.cert = cp.snapshot_cert();
   reply.service_snapshot = cp.snapshot();
+  reply.checkpoint_proof = checkpoint_proof_for(reply.cert);
   ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
-  ctx.send(m.requester - 1, make_message(std::move(reply)));
+  ctx.send(from, make_message(std::move(reply)));
 }
 
 void PbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
@@ -460,15 +724,19 @@ void PbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
     return;
   }
   if (m.cert.seq != m.seq) return;
+  // A monolithic reply without a 2f+1 checkpoint certificate is exactly the
+  // single-donor trust the certificate removes.
+  if (!verify_checkpoint_proof(m.cert, m.checkpoint_proof, ctx)) return;
   // The runtime verifies the snapshot envelope against the certificate's
   // state root, installs the service + reply cache, and records the
   // checkpoint in the WAL.
   if (!runtime_.adopt_checkpoint(m.cert, as_span(m.service_snapshot), ctx)) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
-                          checkpoint_votes_.upper_bound(m.seq));
+                          checkpoint_votes_.lower_bound(m.seq));
   progress_marker_ = le();
   st_inflight_ = false;
+  maybe_refresh_epoch(ctx);
   try_execute(ctx);
 }
 
@@ -479,10 +747,16 @@ void PbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   // The donor field must match the authenticated channel's sender: donor
   // identity drives registration and (on an invalid chunk) exclusion, so a
   // faulty replica must not be able to impersonate honest donors.
-  if (from != m.donor - 1) return;
-  // No pi signature to verify here (PBFT has no threshold keys): the chunk
-  // root and certificate are bound end-to-end by the state-root check in
-  // adopt_checkpoint — the crash-fault trust model the baseline runs under.
+  if (from != node_of(m.donor)) return;
+  // Quorum checkpoint certificate: 2f+1 distinct signed checkpoint digests
+  // must vouch for the manifest's certificate, so a single faulty donor
+  // cannot feed a fabricated-but-root-consistent checkpoint (PBFT has no pi
+  // threshold signature; this is its equivalent). An unverifiable manifest is
+  // ignored rather than excluding its donor: an honest donor may simply not
+  // have gathered 2f+1 matching signatures *yet* (f+1 suffice for local
+  // stability) and will re-offer a complete certificate on a later probe.
+  if (st.donor_excluded(m.donor)) return;
+  if (!verify_checkpoint_proof(m.cert, m.checkpoint_proof, ctx)) return;
   if (st.on_manifest(m, le(), runtime_.checkpoints(), runtime_.stats())) {
     // A delta manifest may have seeded every chunk from the local base — the
     // fetch can be complete without a single wire chunk.
@@ -494,14 +768,38 @@ void PbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   }
 }
 
-void PbftReplica::handle_state_chunk_request(const StateChunkRequestMsg& m,
+void PbftReplica::handle_state_chunk_request(NodeId from,
+                                             const StateChunkRequestMsg& m,
                                              sim::ActorContext& ctx) {
+  // The fabricating donor serves its invented envelope with perfectly valid
+  // Merkle proofs — per-chunk verification cannot catch it; only the
+  // checkpoint certificate (or the final state-root check) can.
+  if (opts_.fabricate_checkpoint && fake_chunks_ &&
+      m.chunk_root == fake_chunks_->transfer_root() && m.seq == fake_cert_.seq) {
+    size_t limit = std::min<size_t>(
+        m.indices.size(), opts_.config.state_transfer_max_chunks_per_request);
+    for (size_t i = 0; i < limit; ++i) {
+      uint32_t index = m.indices[i];
+      if (index >= fake_chunks_->chunk_count()) continue;
+      StateChunkMsg c;
+      c.donor = opts_.id;
+      c.seq = fake_cert_.seq;
+      c.chunk_root = fake_chunks_->transfer_root();
+      c.index = index;
+      c.chunk_count = fake_chunks_->chunk_count();
+      c.data = to_bytes(fake_chunks_->chunk(as_span(fake_envelope_), index));
+      c.proof = fake_chunks_->proof(index);
+      ctx.charge(ctx.costs().hash_us(c.data.size()));
+      ctx.send(from, make_message(std::move(c)));
+    }
+    return;
+  }
   std::vector<StateChunkMsg> chunks = runtime_.state_transfer().make_chunks(
-      runtime_.checkpoints(), m, opts_.id, runtime_.stats());
+      runtime_.checkpoints(), m, opts_.id, runtime_.stats(), from);
   for (StateChunkMsg& c : chunks) {
     ctx.charge(ctx.costs().hash_us(c.data.size()));
     if (opts_.corrupt_state_chunks && !c.data.empty()) c.data[0] ^= 0xff;
-    ctx.send(m.requester - 1, make_message(std::move(c)));
+    ctx.send(from, make_message(std::move(c)));
   }
   arm_donor_tick(ctx);
 }
@@ -531,7 +829,7 @@ void PbftReplica::arm_donor_tick(sim::ActorContext& ctx) {
 void PbftReplica::handle_state_chunk(NodeId from, const StateChunkMsg& m,
                                      sim::ActorContext& ctx) {
   // Spoofed donor ids could exclude honest donors (see handle_state_manifest).
-  if (from != m.donor - 1) return;
+  if (from != node_of(m.donor)) return;
   runtime::StateTransferManager& st = runtime_.state_transfer();
   ctx.charge(ctx.costs().hash_us(m.data.size()));  // leaf hash + proof path
   using Verdict = runtime::StateTransferManager::ChunkVerdict;
@@ -551,7 +849,7 @@ void PbftReplica::handle_state_chunk(NodeId from, const StateChunkMsg& m,
 
 void PbftReplica::send_chunk_requests(sim::ActorContext& ctx) {
   for (auto& [donor, req] : runtime_.state_transfer().plan_requests(opts_.id)) {
-    ctx.send(donor - 1, make_message(std::move(req)));
+    ctx.send(node_of(donor), make_message(std::move(req)));
   }
 }
 
@@ -566,8 +864,9 @@ void PbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
   if (!adopted) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
-                          checkpoint_votes_.upper_bound(cert.seq));
+                          checkpoint_votes_.lower_bound(cert.seq));
   progress_marker_ = le();
+  maybe_refresh_epoch(ctx);
   try_execute(ctx);
 }
 
@@ -575,7 +874,7 @@ void PbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
 // View change
 
 void PbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
-  if (target <= view_) return;
+  if (target <= view_ || retired_) return;
   if (in_view_change_ && target <= vc_target_) return;
   in_view_change_ = true;
   vc_target_ = target;
@@ -603,20 +902,21 @@ void PbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
 
 void PbftReplica::handle_view_change(const PbftViewChangeMsg& m,
                                      sim::ActorContext& ctx) {
-  if (m.next_view <= view_) return;
+  if (m.next_view <= view_ || retired_) return;
+  if (!epoch().contains(m.sender)) return;
   ctx.charge(ctx.costs().rsa_verify_us);
   vc_msgs_[m.next_view][m.sender] = m;
 
-  if (vc_msgs_[m.next_view].size() >= opts_.config.f + 1 && m.next_view > vc_target_) {
+  if (vc_msgs_[m.next_view].size() >= cfg_.f + 1 && m.next_view > vc_target_) {
     start_view_change(m.next_view, ctx);
   }
-  if (opts_.config.primary_of(m.next_view) == opts_.id && !new_view_sent_ &&
-      vc_msgs_[m.next_view].size() >= opts_.config.view_change_quorum()) {
+  if (epoch().primary_of(m.next_view) == opts_.id && !new_view_sent_ &&
+      vc_msgs_[m.next_view].size() >= cfg_.view_change_quorum()) {
     PbftNewViewMsg nv;
     nv.view = m.next_view;
     for (const auto& [sender, proof] : vc_msgs_[m.next_view]) {
       nv.proofs.push_back(proof);
-      if (nv.proofs.size() == opts_.config.view_change_quorum()) break;
+      if (nv.proofs.size() == cfg_.view_change_quorum()) break;
     }
     new_view_sent_ = true;
     ctx.charge(ctx.costs().rsa_sign_us);
@@ -627,9 +927,9 @@ void PbftReplica::handle_view_change(const PbftViewChangeMsg& m,
 
 void PbftReplica::handle_new_view(NodeId from, const PbftNewViewMsg& m,
                                   sim::ActorContext& ctx) {
-  if (m.view <= view_) return;
-  if (from != opts_.config.primary_of(m.view) - 1) return;
-  if (m.proofs.size() < opts_.config.view_change_quorum()) return;
+  if (m.view <= view_ || retired_) return;
+  if (from != node_of(epoch().primary_of(m.view))) return;
+  if (m.proofs.size() < cfg_.view_change_quorum()) return;
   ctx.charge(ctx.costs().rsa_verify_us *
              static_cast<int64_t>(m.proofs.size()));
   enter_new_view(m, ctx);

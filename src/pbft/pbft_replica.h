@@ -36,6 +36,25 @@
 
 namespace sbft::pbft {
 
+/// Per-replica checkpoint signing (CheckpointSigShare). The scheme is an
+/// HMAC over a per-replica key derived from a cluster secret — the simulation
+/// stand-in for per-replica public-key signatures, enforced (like the
+/// simulated-BLS threshold scheme) by capability discipline: honest code only
+/// ever signs with its own id, and the fault-injected donor fabricates a
+/// checkpoint precisely because it *cannot* forge the other 2f signatures.
+class CheckpointAuth {
+ public:
+  explicit CheckpointAuth(Bytes cluster_secret)
+      : secret_(std::move(cluster_secret)) {}
+
+  Bytes sign(ReplicaId replica, SeqNum seq, const Digest& state_root) const;
+  bool verify(ReplicaId replica, SeqNum seq, const Digest& state_root,
+              ByteSpan sig) const;
+
+ private:
+  Bytes secret_;
+};
+
 struct PbftOptions {
   ProtocolConfig config;  // c must be 0
   ReplicaId id = 1;
@@ -48,6 +67,20 @@ struct PbftOptions {
   // Fault injection: as a state-transfer donor, flip a byte in every chunk
   // payload served (fetchers must detect it by Merkle verification).
   bool corrupt_state_chunks = false;
+  // Fault injection: as a state-transfer donor, answer probes with a
+  // fabricated-but-root-consistent checkpoint ahead of the cluster. Without
+  // verified checkpoint certificates a fetcher adopts it; with them
+  // (ProtocolConfig::pbft_verify_checkpoint_certs) the manifest lacks 2f+1
+  // valid CheckpointSigShares and is rejected.
+  bool fabricate_checkpoint = false;
+  // Checkpoint signing/verification authority (shared per cluster). Null
+  // disables checkpoint certificates entirely (unit setups).
+  std::shared_ptr<const CheckpointAuth> checkpoint_auth;
+  // Group reconfiguration (docs/reconfiguration.md): bootstrap roster; empty
+  // derives the genesis roster (ids 1..n at nodes 0..n-1) from the config.
+  std::vector<ReplicaInfo> roster;
+  uint32_t roster_f = 0;
+  uint32_t roster_c = 0;
 };
 
 struct PbftStats {
@@ -69,6 +102,11 @@ struct PbftStats {
   uint64_t delta_chunks_skipped = 0;    // fetcher: chunks seeded from local base
   uint64_t delta_bytes_saved = 0;       // fetcher: payload kept off the wire
   uint64_t donor_chunks_throttled = 0;  // donor: serves deferred by rate limit
+  uint64_t epochs_activated = 0;        // membership epochs that took effect
+  uint64_t joins_completed = 0;         // this replica joined via an epoch
+  // State-transfer manifests/replies rejected for missing or invalid quorum
+  // checkpoint certificates (the malicious-donor defense).
+  uint64_t checkpoint_certs_rejected = 0;
 };
 
 class PbftReplica final : public sim::IActor {
@@ -112,18 +150,48 @@ class PbftReplica final : public sim::IActor {
   void handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContext& ctx);
   void handle_view_change(const PbftViewChangeMsg& m, sim::ActorContext& ctx);
   void handle_new_view(NodeId from, const PbftNewViewMsg& m, sim::ActorContext& ctx);
-  void handle_state_transfer_request(const StateTransferRequestMsg& m,
+  void handle_state_transfer_request(NodeId from, const StateTransferRequestMsg& m,
                                      sim::ActorContext& ctx);
   void handle_state_transfer_reply(const StateTransferReplyMsg& m,
                                    sim::ActorContext& ctx);
   void handle_state_manifest(NodeId from, const StateManifestMsg& m,
                              sim::ActorContext& ctx);
-  void handle_state_chunk_request(const StateChunkRequestMsg& m,
+  void handle_state_chunk_request(NodeId from, const StateChunkRequestMsg& m,
                                   sim::ActorContext& ctx);
   void handle_state_chunk(NodeId from, const StateChunkMsg& m,
                           sim::ActorContext& ctx);
+  void handle_reconfig_block(const ReconfigBlockMsg& m, sim::ActorContext& ctx);
 
-  bool is_primary() const { return opts_.config.primary_of(view_) == opts_.id; }
+  // --- membership epochs (docs/reconfiguration.md) ---------------------------
+  const runtime::MembershipEpoch& epoch() const {
+    return runtime_.membership().active();
+  }
+  const runtime::MembershipEpoch& epoch_for_seq(SeqNum s) const {
+    return runtime_.membership().epoch_for_seq(s);
+  }
+  NodeId node_of(ReplicaId r) const;
+  /// Activation boundary no proposal/pre-prepare may cross (0: none).
+  SeqNum reconfig_gate() const;
+  /// Folds a pending epoch change into the engine (derived config, primary
+  /// timer, retirement). Call after any runtime operation that can activate.
+  void maybe_refresh_epoch(sim::ActorContext& ctx);
+
+  // --- checkpoint certificates (2f+1 CheckpointSigShare) ---------------------
+  /// Quorum proof for the current shippable checkpoint; empty when fewer
+  /// than 2f+1 matching signatures are on hand.
+  std::vector<CheckpointSigShare> checkpoint_proof_for(
+      const ExecCertificate& cert) const;
+  /// 2f+1 distinct members of the checkpoint's epoch, all verifying over
+  /// (cert.seq, cert.state_root). Counts a rejection on failure.
+  bool verify_checkpoint_proof(const ExecCertificate& cert,
+                               const std::vector<CheckpointSigShare>& proof,
+                               sim::ActorContext& ctx);
+  /// Fabricated-donor fault: manifest for a bogus checkpoint ahead of the
+  /// cluster (built lazily, served from fake_* below).
+  std::optional<StateManifestMsg> fabricate_manifest(
+      const StateTransferRequestMsg& probe, sim::ActorContext& ctx);
+
+  bool is_primary() const { return epoch().primary_of(view_) == opts_.id; }
   void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
   void accept_pre_prepare(SeqNum s, ViewNum v, Block block, sim::ActorContext& ctx);
   void check_prepared(SeqNum s, sim::ActorContext& ctx);
@@ -151,6 +219,15 @@ class PbftReplica final : public sim::IActor {
   PbftOptions opts_;
   runtime::ReplicaRuntime runtime_;
 
+  // Derived from the active epoch (f patched into the protocol config).
+  ProtocolConfig cfg_;
+  // Set when an activated epoch no longer contains this replica: it drains —
+  // serves state transfer and cached replies, but never votes or proposes.
+  bool retired_ = false;
+  // Pre-execution shadow of a reconfiguration activation boundary (see the
+  // SBFT engine; authoritative once the marker executes).
+  SeqNum shadow_gate_ = 0;
+
   ViewNum view_ = 0;
   bool in_view_change_ = false;
   ViewNum vc_target_ = 0;
@@ -161,8 +238,25 @@ class PbftReplica final : public sim::IActor {
   std::deque<Request> pending_;
   std::set<std::pair<ClientId, uint64_t>> pending_keys_;
 
-  // Checkpoint votes: seq -> digest -> voters.
-  std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> checkpoint_votes_;
+  // Checkpoint votes: seq -> digest -> voter -> signature (CheckpointSigShare
+  // material; sigs verified on arrival when checkpoint_auth is set). The
+  // entry for the stable checkpoint is retained so the donor can ship a
+  // 2f+1 certificate with its manifests.
+  std::map<SeqNum, std::map<Digest, std::map<ReplicaId, Bytes>>> checkpoint_votes_;
+
+  // The quorum certificate that vouched for the checkpoint this replica
+  // adopted via state transfer: a fresh adopter has no checkpoint votes of
+  // its own, so it re-serves this proof to later fetchers instead of being
+  // an unusable donor until the next checkpoint forms. (In-memory only, like
+  // the vote set — a restarted donor re-accumulates at the next checkpoint.)
+  SeqNum adopted_proof_seq_ = 0;
+  Digest adopted_proof_root_{};
+  std::vector<CheckpointSigShare> adopted_proof_;
+
+  // Fabricated-donor fault state (fabricate_checkpoint).
+  Bytes fake_envelope_;
+  std::unique_ptr<runtime::ChunkedSnapshot> fake_chunks_;
+  ExecCertificate fake_cert_;
 
   std::map<ViewNum, std::map<ReplicaId, PbftViewChangeMsg>> vc_msgs_;
   bool new_view_sent_ = false;

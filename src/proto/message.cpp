@@ -1,5 +1,7 @@
 #include "proto/message.h"
 
+#include <cstring>
+
 #include "common/serde.h"
 #include "crypto/sha256.h"
 
@@ -91,6 +93,8 @@ enum class Tag : uint8_t {
   kPbftCommit, kPbftCheckpoint, kPbftViewChange, kPbftNewView,
   // Chunked state transfer (appended; earlier tag values are wire-stable).
   kStateManifest, kStateChunkRequest, kStateChunk,
+  // Group reconfiguration (appended).
+  kReconfigBlock,
 };
 
 void put(Writer& w, const Request& r) {
@@ -192,6 +196,57 @@ ViewChangeMsg get_view_change(Reader& r) {
   m.slots.reserve(n);
   for (uint32_t i = 0; i < n && r.ok(); ++i) m.slots.push_back(get_slot_evidence(r));
   return m;
+}
+
+void put(Writer& w, const ReconfigDelta& d) {
+  w.u32(static_cast<uint32_t>(d.adds.size()));
+  for (const ReplicaInfo& info : d.adds) {
+    w.u32(info.id);
+    w.u32(info.node);
+  }
+  w.u32(static_cast<uint32_t>(d.removes.size()));
+  for (ReplicaId r : d.removes) w.u32(r);
+  w.u32(d.new_f);
+  w.u32(d.new_c);
+}
+
+ReconfigDelta get_reconfig_delta(Reader& r) {
+  ReconfigDelta d;
+  uint32_t adds = r.u32();
+  if (adds > 100'000) return d;
+  for (uint32_t i = 0; i < adds && r.ok(); ++i) {
+    ReplicaInfo info;
+    info.id = r.u32();
+    info.node = r.u32();
+    d.adds.push_back(info);
+  }
+  uint32_t removes = r.u32();
+  if (removes > 100'000) return d;
+  for (uint32_t i = 0; i < removes && r.ok(); ++i) d.removes.push_back(r.u32());
+  d.new_f = r.u32();
+  d.new_c = r.u32();
+  return d;
+}
+
+void put(Writer& w, const std::vector<CheckpointSigShare>& proof) {
+  w.u32(static_cast<uint32_t>(proof.size()));
+  for (const CheckpointSigShare& s : proof) {
+    w.u32(s.replica);
+    w.bytes(as_span(s.sig));
+  }
+}
+
+std::vector<CheckpointSigShare> get_checkpoint_proof(Reader& r) {
+  std::vector<CheckpointSigShare> proof;
+  uint32_t n = r.u32();
+  if (n > 100'000) return proof;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    CheckpointSigShare s;
+    s.replica = r.u32();
+    s.sig = r.bytes();
+    proof.push_back(std::move(s));
+  }
+  return proof;
 }
 
 void put(Writer& w, const merkle::BlockProof& p) { w.bytes(as_span(p.encode())); }
@@ -352,6 +407,7 @@ struct Encoder {
     w.u64(m.seq);
     put(w, m.cert);
     w.bytes(as_span(m.service_snapshot));
+    put(w, m.checkpoint_proof);
   }
   void operator()(const StateManifestMsg& m) {
     w.u8(static_cast<uint8_t>(Tag::kStateManifest));
@@ -366,6 +422,7 @@ struct Encoder {
     w.bytes(as_span(m.delta_bitmap));
     w.u32(static_cast<uint32_t>(m.base_map.size()));
     for (uint32_t j : m.base_map) w.u32(j);
+    put(w, m.checkpoint_proof);
   }
   void operator()(const StateChunkRequestMsg& m) {
     w.u8(static_cast<uint8_t>(Tag::kStateChunkRequest));
@@ -404,6 +461,7 @@ struct Encoder {
     w.u64(m.seq);
     w.digest(m.state_digest);
     w.u32(m.replica);
+    w.bytes(as_span(m.sig));
   }
   void operator()(const PbftViewChangeMsg& m) {
     w.u8(static_cast<uint8_t>(Tag::kPbftViewChange));
@@ -414,6 +472,11 @@ struct Encoder {
     w.u64(m.view);
     w.u32(static_cast<uint32_t>(m.proofs.size()));
     for (const auto& p : m.proofs) put(w, p);
+  }
+  void operator()(const ReconfigBlockMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kReconfigBlock));
+    put(w, m.delta);
+    w.u64(m.nonce);
   }
 };
 
@@ -588,6 +651,7 @@ std::optional<Message> decode_message(ByteSpan data) {
       m.seq = r.u64();
       m.cert = get_cert(r);
       m.service_snapshot = r.bytes();
+      m.checkpoint_proof = get_checkpoint_proof(r);
       out = m;
       break;
     }
@@ -610,6 +674,7 @@ std::optional<Message> decode_message(ByteSpan data) {
       if (n > (1u << 20) || uint64_t{n} * 4 > r.remaining()) return std::nullopt;
       m.base_map.reserve(n);
       for (uint32_t i = 0; i < n && r.ok(); ++i) m.base_map.push_back(r.u32());
+      m.checkpoint_proof = get_checkpoint_proof(r);
       out = m;
       break;
     }
@@ -660,6 +725,7 @@ std::optional<Message> decode_message(ByteSpan data) {
       m.seq = r.u64();
       m.state_digest = r.digest();
       m.replica = r.u32();
+      m.sig = r.bytes();
       out = m;
       break;
     }
@@ -674,6 +740,13 @@ std::optional<Message> decode_message(ByteSpan data) {
       if (n > 100'000) return std::nullopt;
       for (uint32_t i = 0; i < n && r.ok(); ++i)
         m.proofs.push_back(get_pbft_view_change(r));
+      out = m;
+      break;
+    }
+    case Tag::kReconfigBlock: {
+      ReconfigBlockMsg m;
+      m.delta = get_reconfig_delta(r);
+      m.nonce = r.u64();
       out = m;
       break;
     }
@@ -713,8 +786,51 @@ const char* message_type_name(const Message& msg) {
     const char* operator()(const PbftCheckpointMsg&) { return "pbft-checkpoint"; }
     const char* operator()(const PbftViewChangeMsg&) { return "pbft-view-change"; }
     const char* operator()(const PbftNewViewMsg&) { return "pbft-new-view"; }
+    const char* operator()(const ReconfigBlockMsg&) { return "reconfig-block"; }
   };
   return std::visit(Namer{}, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration marker requests (docs/reconfiguration.md)
+
+namespace {
+constexpr char kReconfigOpMagic[8] = {'S', 'B', 'F', 'T', 'R', 'C', 'F', 'G'};
+}  // namespace
+
+Bytes encode_reconfig_delta(const ReconfigDelta& delta) {
+  Writer w;
+  put(w, delta);
+  return std::move(w).take();
+}
+
+std::optional<ReconfigDelta> decode_reconfig_delta(ByteSpan data) {
+  Reader r(data);
+  ReconfigDelta d = get_reconfig_delta(r);
+  if (!r.at_end()) return std::nullopt;
+  return d;
+}
+
+Request make_reconfig_request(const ReconfigDelta& delta, uint64_t nonce) {
+  Request req;
+  req.client = kReconfigClient;
+  req.timestamp = nonce;
+  Writer w;
+  w.raw(ByteSpan{reinterpret_cast<const uint8_t*>(kReconfigOpMagic),
+                 sizeof(kReconfigOpMagic)});
+  put(w, delta);
+  req.op = std::move(w).take();
+  return req;
+}
+
+std::optional<ReconfigDelta> decode_reconfig_request(const Request& req) {
+  if (req.client != kReconfigClient) return std::nullopt;
+  if (req.op.size() < sizeof(kReconfigOpMagic) ||
+      std::memcmp(req.op.data(), kReconfigOpMagic, sizeof(kReconfigOpMagic)) != 0) {
+    return std::nullopt;
+  }
+  return decode_reconfig_delta(
+      as_span(req.op).subspan(sizeof(kReconfigOpMagic)));
 }
 
 }  // namespace sbft

@@ -196,6 +196,42 @@ struct NewViewMsg {
 };
 
 // ---------------------------------------------------------------------------
+// Group reconfiguration (docs/reconfiguration.md)
+
+/// Membership delta ordered through the normal agreement path. The resulting
+/// roster must satisfy the cluster sizing law exactly:
+/// |members ± delta| == 3*new_f + 2*new_c + 1.
+struct ReconfigDelta {
+  std::vector<ReplicaInfo> adds;  // joining replicas (id + network address)
+  std::vector<ReplicaId> removes;
+  uint32_t new_f = 0;
+  uint32_t new_c = 0;
+
+  size_t wire_size() const { return 8 + adds.size() * 8 + removes.size() * 4 + 8; }
+};
+
+Bytes encode_reconfig_delta(const ReconfigDelta& delta);
+std::optional<ReconfigDelta> decode_reconfig_delta(ByteSpan data);
+
+/// Administrative request to reorder the replica set. Sent to the primary
+/// (the harness injects it on the operator's behalf), which wraps the delta
+/// into a reserved marker request (client id 0) and orders it like any block;
+/// the epoch takes effect at the next stable checkpoint boundary.
+struct ReconfigBlockMsg {
+  ReconfigDelta delta;
+  uint64_t nonce = 0;  // distinguishes repeated submissions (marker timestamp)
+};
+
+/// Client id 0 is reserved for reconfiguration marker requests; real clients
+/// occupy node ids >= n and can never carry it.
+constexpr ClientId kReconfigClient = 0;
+
+/// Builds the marker Request the primary orders for a reconfiguration.
+Request make_reconfig_request(const ReconfigDelta& delta, uint64_t nonce);
+/// Decodes a marker request; nullopt when `req` is a normal client request.
+std::optional<ReconfigDelta> decode_reconfig_request(const Request& req);
+
+// ---------------------------------------------------------------------------
 // State transfer (§VIII; follows the PBFT code base's mechanism)
 
 /// Fetch of a decision-block payload by digest. Used after a view change when
@@ -225,6 +261,15 @@ struct StateTransferRequestMsg {
   Digest base_root{};
 };
 
+/// One replica's signature over a checkpoint (seq, state_root) pair. The PBFT
+/// baseline ships 2f+1 of these with a state-transfer manifest so a fetcher
+/// never has to take a single donor's word for a checkpoint's legitimacy
+/// (SBFT needs none: its certificates carry the pi threshold signature).
+struct CheckpointSigShare {
+  ReplicaId replica = 0;
+  Bytes sig;
+};
+
 /// Monolithic reply: the whole snapshot envelope in one message. Legacy path,
 /// used when ProtocolConfig::state_transfer_chunk_size == 0; the chunked
 /// protocol below replaces it everywhere else (docs/state_transfer.md).
@@ -232,6 +277,8 @@ struct StateTransferReplyMsg {
   SeqNum seq = 0;  // checkpoint being shipped
   ExecCertificate cert;
   Bytes service_snapshot;
+  // PBFT checkpoint certificate (2f+1 CheckpointSigShare); empty under SBFT.
+  std::vector<CheckpointSigShare> checkpoint_proof;
 };
 
 // --- chunked state transfer (docs/state_transfer.md is the normative spec) --
@@ -259,6 +306,9 @@ struct StateManifestMsg {
   SeqNum base_seq = 0;
   Bytes delta_bitmap;
   std::vector<uint32_t> base_map;
+  // PBFT checkpoint certificate for `cert` (2f+1 CheckpointSigShare over
+  // (seq, state_root)); empty under SBFT, whose cert carries a pi signature.
+  std::vector<CheckpointSigShare> checkpoint_proof;
 };
 
 /// Fetcher -> donor: fetch of specific chunks of one transfer. chunk_root
@@ -309,6 +359,10 @@ struct PbftCheckpointMsg {
   SeqNum seq = 0;
   Digest state_digest{};
   ReplicaId replica = 0;
+  // Signature over (seq, state_digest) — accumulated into the checkpoint
+  // certificate state transfer ships (CheckpointSigShare). Empty when the
+  // cluster runs without checkpoint authentication.
+  Bytes sig;
 };
 
 struct PbftPreparedCert {
@@ -340,7 +394,7 @@ using Message = std::variant<
     NewViewMsg, GetBlockRequestMsg, GetBlockReplyMsg, StateTransferRequestMsg,
     StateTransferReplyMsg, StateManifestMsg, StateChunkRequestMsg, StateChunkMsg,
     PbftPrepareMsg, PbftCommitMsg, PbftCheckpointMsg,
-    PbftViewChangeMsg, PbftNewViewMsg>;
+    PbftViewChangeMsg, PbftNewViewMsg, ReconfigBlockMsg>;
 
 using MessagePtr = std::shared_ptr<const Message>;
 

@@ -11,4 +11,16 @@ using ReplicaId = uint32_t; // replica identifier, 1..n (matches §V)
 using ClientId = uint32_t;  // client identifier (disjoint from replica ids)
 using NodeId = uint32_t;    // simulator node id (replicas then clients)
 
+/// One member of a membership epoch: the replica's stable identity plus its
+/// network address (in the simulator, the node id). Carried by reconfiguration
+/// deltas and membership epochs (docs/reconfiguration.md).
+struct ReplicaInfo {
+  ReplicaId id = 0;
+  NodeId node = 0;
+
+  friend bool operator==(const ReplicaInfo& a, const ReplicaInfo& b) {
+    return a.id == b.id && a.node == b.node;
+  }
+};
+
 }  // namespace sbft

@@ -33,6 +33,10 @@ std::optional<RecoveredState> RecoveryManager::recover(
     out.checkpoint = wal_state.checkpoint;
     out.snapshot = wal_state.snapshot;
     out.exec_digests[out.last_stable] = wal_state.checkpoint.exec_digest();
+    // Membership as of the stable checkpoint; anything staged there and
+    // already past its boundary activated before the crash.
+    out.membership.restore(as_span(decoded->membership));
+    out.membership.activate_up_to(out.last_stable);
   } else {
     out.exec_digests[0] = genesis_exec_digest();
   }
@@ -56,8 +60,17 @@ std::optional<RecoveredState> RecoveryManager::recover(
     for (size_t l = 0; l < rb.block.requests.size(); ++l) {
       const Request& req = rb.block.requests[l];
       Bytes value;
-      if (const runtime::CachedReply* cached = out.reply_cache.find(req.client);
-          cached != nullptr && req.timestamp <= cached->timestamp) {
+      if (auto delta = decode_reconfig_request(req)) {
+        // Reconfiguration marker: re-staged, never executed on the service —
+        // replay must mirror live execution byte-for-byte (the leaves and
+        // re-captured envelopes feed certified state).
+        bool staged = out.membership.stage(*delta, s, checkpoint_interval_);
+        value = to_bytes(staged ? "RECONF" : "RECONF-REJECTED");
+      } else if (req.client == kReconfigClient) {
+        value = to_bytes("RECONF-REJECTED");
+      } else if (const runtime::CachedReply* cached =
+                     out.reply_cache.find(req.client);
+                 cached != nullptr && req.timestamp <= cached->timestamp) {
         // Duplicate of a request already executed — within the suffix or, via
         // the restored cache, before the checkpoint. Must not execute twice.
         value = cached->value;
@@ -81,7 +94,8 @@ std::optional<RecoveredState> RecoveryManager::recover(
     if (checkpoint_interval_ > 0 && s % checkpoint_interval_ == 0) {
       out.snapshot_seq = s;
       out.snapshot_at = runtime::encode_checkpoint_snapshot(
-          as_span(out.service->snapshot()), out.reply_cache, snapshot_align_);
+          as_span(out.service->snapshot()), out.reply_cache, snapshot_align_,
+          as_span(out.membership.encode()));
     }
   }
 

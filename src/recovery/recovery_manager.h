@@ -31,6 +31,7 @@
 
 #include "kv/service.h"
 #include "recovery/wal.h"
+#include "runtime/membership.h"
 #include "runtime/reply_cache.h"
 #include "storage/ledger_storage.h"
 
@@ -67,6 +68,12 @@ struct RecoveredState {
   // certificate arriving post-recovery pairs with consistent state.
   SeqNum snapshot_seq = 0;
   Bytes snapshot_at;
+  // Membership as of the crash: restored from the checkpoint envelope's
+  // membership section, activated through the stable boundary, and advanced
+  // by any reconfiguration markers in the replayed suffix
+  // (docs/reconfiguration.md). Unconfigured for pre-membership logs — the
+  // replica keeps its bootstrap roster then.
+  runtime::MembershipManager membership;
 };
 
 class RecoveryManager {

@@ -22,6 +22,16 @@ ReplicaRuntime::ReplicaRuntime(RuntimeOptions options,
   // path compares them chunk-for-chunk).
   service_->set_snapshot_chunk_hint(opts_.state_transfer_chunk_size);
   exec_digests_[0] = genesis_exec_digest();
+  if (!opts_.bootstrap_members.empty()) {
+    membership_.init_genesis(opts_.membership_f, opts_.membership_c,
+                             opts_.bootstrap_members);
+  }
+}
+
+void ReplicaRuntime::note_membership_change(bool was_member) {
+  ++stats_.epochs_activated;
+  epoch_changed_ = true;
+  if (!was_member && membership_.is_member(opts_.self)) ++stats_.joins_completed;
 }
 
 std::optional<RecoveredProtocolState> ReplicaRuntime::recover() {
@@ -34,6 +44,12 @@ std::optional<RecoveredProtocolState> ReplicaRuntime::recover() {
 
   service_ = std::move(recovered->service);
   service_->set_snapshot_chunk_hint(opts_.state_transfer_chunk_size);
+  // Membership as of the crash (checkpoint envelope + replayed markers); a
+  // pre-membership log leaves the bootstrap roster in place.
+  if (recovered->membership.configured()) {
+    membership_ = std::move(recovered->membership);
+    epoch_changed_ = membership_.active().epoch > 0;
+  }
   le_ = recovered->last_executed;
   replies_ = std::move(recovered->reply_cache);
   exec_digests_ = std::move(recovered->exec_digests);
@@ -83,8 +99,20 @@ ExecutionRecord& ReplicaRuntime::execute_block(SeqNum s, ViewNum pp_view,
   for (size_t l = 0; l < rec.block.requests.size(); ++l) {
     const Request& req = rec.block.requests[l];
     Bytes value;
-    if (const CachedReply* cached = replies_.find(req.client);
-        cached != nullptr && req.timestamp <= cached->timestamp) {
+    if (auto delta = decode_reconfig_request(req)) {
+      // Reconfiguration marker: staged in the membership manager instead of
+      // executed on the service (the service state — and therefore the
+      // certified state root — is never touched by membership changes). The
+      // outcome is deterministic, so every replica stages or rejects alike.
+      bool staged = membership_.stage(*delta, s, opts_.checkpoint_interval);
+      value = to_bytes(staged ? "RECONF" : "RECONF-REJECTED");
+    } else if (req.client == kReconfigClient) {
+      // Reserved client id without a valid marker payload: deterministic
+      // no-op (defense in depth; engines already refuse client-0 requests
+      // from the network).
+      value = to_bytes("RECONF-REJECTED");
+    } else if (const CachedReply* cached = replies_.find(req.client);
+               cached != nullptr && req.timestamp <= cached->timestamp) {
       value = cached->value;  // duplicate: executed exactly once
       ++stats_.reply_cache_hits;
     } else {
@@ -179,6 +207,13 @@ bool ReplicaRuntime::advance_stable(ExecCertificate cert, sim::ActorContext& ctx
   // Keep the checkpointed record itself (serves acks/fetches for stragglers).
   records_.erase(records_.begin(),
                  records_.lower_bound(checkpoints_.last_stable()));
+  // A staged reconfiguration takes effect the moment its boundary checkpoint
+  // is stable (docs/reconfiguration.md): the engine re-derives quorums from
+  // the new epoch before any post-boundary slot is voted on.
+  bool was_member = membership_.is_member(opts_.self);
+  if (membership_.activate_up_to(checkpoints_.last_stable())) {
+    note_membership_change(was_member);
+  }
   return true;
 }
 
@@ -199,6 +234,17 @@ bool ReplicaRuntime::adopt_checkpoint(const ExecCertificate& cert,
   // The snapshot's cache can only be newer than ours, but a legacy envelope
   // carries none — keep our own entries where they win.
   replies_.absorb(std::move(decoded->replies));
+  // The membership section moves the roster forward (never back): a joining
+  // replica learns the epoch that admitted it from the snapshot itself, and a
+  // staged-but-unactivated reconfiguration survives the transfer.
+  bool was_member = membership_.is_member(opts_.self);
+  uint64_t epoch_before =
+      membership_.configured() ? membership_.active().epoch : 0;
+  membership_.restore(as_span(decoded->membership));
+  membership_.activate_up_to(cert.seq);
+  if (membership_.configured() && membership_.active().epoch != epoch_before) {
+    note_membership_change(was_member);
+  }
   exec_digests_[cert.seq] = cert.exec_digest();
   checkpoints_.adopt(cert, to_bytes(snapshot_envelope_bytes));
   wal_record_checkpoint();
@@ -237,9 +283,11 @@ void ReplicaRuntime::wal_record_checkpoint() {
 Bytes ReplicaRuntime::snapshot_envelope() const {
   // Align the envelope to the transfer chunk grid so the service serializer's
   // page-aligned sections land exactly on chunk boundaries (delta transfer
-  // compares the two grids chunk-for-chunk).
+  // compares the two grids chunk-for-chunk). The membership section rides at
+  // the mutable tail next to the reply cache.
   return encode_checkpoint_snapshot(as_span(service_->snapshot()), replies_,
-                                    opts_.state_transfer_chunk_size);
+                                    opts_.state_transfer_chunk_size,
+                                    as_span(membership_.encode()));
 }
 
 }  // namespace sbft::runtime

@@ -31,6 +31,7 @@
 #include "proto/message.h"
 #include "recovery/wal.h"
 #include "runtime/checkpoint_manager.h"
+#include "runtime/membership.h"
 #include "runtime/reply_cache.h"
 #include "runtime/state_transfer.h"
 #include "sim/network.h"
@@ -50,6 +51,15 @@ struct RuntimeOptions {
   // ProtocolConfig::state_transfer_delta_enabled / _donor_chunks_per_tick).
   bool state_transfer_delta_enabled = true;
   uint32_t state_transfer_donor_chunks_per_tick = 0;
+  // Group reconfiguration (docs/reconfiguration.md): the bootstrap roster
+  // this replica starts from (the genesis epoch, or — for a joining replica —
+  // the epoch the operator handed it; state transfer moves it forward from
+  // there). Empty leaves membership unconfigured: reconfiguration markers are
+  // ignored and every membership query is a no-op (runtime-only unit tests).
+  uint32_t membership_f = 0;
+  uint32_t membership_c = 0;
+  std::vector<ReplicaInfo> bootstrap_members;
+  ReplicaId self = 0;  // this replica's id (join detection)
 };
 
 /// Stats common to every protocol; the ordering engines merge these into
@@ -79,6 +89,9 @@ struct RuntimeStats {
   // later donor tick (a chunk re-deferred across several ticks counts once
   // per deferral).
   uint64_t donor_chunks_throttled = 0;
+  // Group reconfiguration (docs/reconfiguration.md).
+  uint64_t epochs_activated = 0;  // membership epochs that took effect here
+  uint64_t joins_completed = 0;   // this replica became a member via an epoch
 
   /// Copies every runtime-owned counter into a protocol stats struct (which
   /// must declare fields of the same names) — one place to extend when a
@@ -100,6 +113,8 @@ struct RuntimeStats {
     out.delta_chunks_skipped = delta_chunks_skipped;
     out.delta_bytes_saved = delta_bytes_saved;
     out.donor_chunks_throttled = donor_chunks_throttled;
+    out.epochs_activated = epochs_activated;
+    out.joins_completed = joins_completed;
   }
 };
 
@@ -186,6 +201,22 @@ class ReplicaRuntime {
   StateTransferManager& state_transfer() { return state_transfer_; }
   const StateTransferManager& state_transfer() const { return state_transfer_; }
 
+  // --- membership ------------------------------------------------------------
+  /// Membership epochs (docs/reconfiguration.md): the engines read the active
+  /// epoch for every quorum/primary/address computation. Reconfiguration
+  /// markers ordered through execute_block stage deltas here; epochs activate
+  /// when advance_stable / adopt_checkpoint reach the activation boundary —
+  /// both return true through epoch_changed() queries the engines poll.
+  const MembershipManager& membership() const { return membership_; }
+  /// True once per activation: the active epoch changed since the last call
+  /// (the engine refreshes its derived quorum/crypto state and checks for its
+  /// own retirement).
+  bool take_epoch_change() {
+    bool changed = epoch_changed_;
+    epoch_changed_ = false;
+    return changed;
+  }
+
   // --- WAL -------------------------------------------------------------------
   void wal_record_view(ViewNum v);
   void wal_record_vote(SeqNum s, ViewNum v, const Digest& block_digest);
@@ -198,12 +229,17 @@ class ReplicaRuntime {
  private:
   Bytes snapshot_envelope() const;
   void wal_record_checkpoint();
+  /// Folds a membership activation (or restore) into the stats and the
+  /// engine-visible change flag.
+  void note_membership_change(bool was_member);
 
   RuntimeOptions opts_;
   std::unique_ptr<IService> service_;
   ReplyCache replies_;
   CheckpointManager checkpoints_;
   StateTransferManager state_transfer_;
+  MembershipManager membership_;
+  bool epoch_changed_ = false;
 
   SeqNum le_ = 0;  // last executed sequence
   std::map<SeqNum, ExecutionRecord> records_;

@@ -10,6 +10,7 @@ namespace {
 constexpr char kMagic[8] = {'S', 'B', 'F', 'T', 'S', 'N', 'A', 'P'};
 constexpr uint16_t kVersionFlat = 1;     // [bytes service][bytes replies]
 constexpr uint16_t kVersionAligned = 2;  // chunk-aligned sections (see header)
+constexpr uint16_t kVersionMembership = 3;  // + membership tail section
 constexpr uint32_t kMaxAlign = 1u << 26;
 
 size_t align_up(size_t n, uint32_t align) {
@@ -18,7 +19,7 @@ size_t align_up(size_t n, uint32_t align) {
 }  // namespace
 
 Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies,
-                                 uint32_t align) {
+                                 uint32_t align, ByteSpan membership) {
   if (align == 0) align = 1;
   // Alignment buys chunk-stable deltas, at up to ~2 chunks of padding. For a
   // state smaller than a few chunks that padding dominates (and a delta could
@@ -28,14 +29,16 @@ Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& repli
   Bytes reply_bytes = replies.encode();
   Writer w;
   w.raw(ByteSpan{reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic)});
-  w.u16(kVersionAligned);
+  w.u16(kVersionMembership);
   w.u32(align);
   w.u64(service_state.size());
   w.u64(reply_bytes.size());
+  w.u64(membership.size());
   while (w.size() % align != 0) w.u8(0);  // service starts chunk-aligned
   w.raw(service_state);
-  while (w.size() % align != 0) w.u8(0);  // replies dirty only tail chunks
+  while (w.size() % align != 0) w.u8(0);  // mutable tail dirties only the end
   w.raw(as_span(reply_bytes));
+  w.raw(membership);
   return std::move(w).take();
 }
 
@@ -58,21 +61,30 @@ std::optional<CheckpointSnapshot> decode_checkpoint_snapshot(ByteSpan data) {
     out.replies = std::move(*cache);
     return out;
   }
-  if (version != kVersionAligned) return std::nullopt;
+  if (version != kVersionAligned && version != kVersionMembership) {
+    return std::nullopt;
+  }
   uint32_t align = r.u32();
   uint64_t service_len = r.u64();
   uint64_t replies_len = r.u64();
+  uint64_t membership_len = version >= kVersionMembership ? r.u64() : 0;
   if (!r.ok() || align == 0 || align > kMaxAlign) return std::nullopt;
-  if (service_len > data.size() || replies_len > data.size()) return std::nullopt;
-  size_t header = align_up(sizeof(kMagic) + 2 + 4 + 16, align);
+  if (service_len > data.size() || replies_len > data.size() ||
+      membership_len > data.size()) {
+    return std::nullopt;
+  }
+  size_t len_fields = version >= kVersionMembership ? 24 : 16;
+  size_t header = align_up(sizeof(kMagic) + 2 + 4 + len_fields, align);
   size_t service_end = header + align_up(service_len, align);
-  if (service_end > data.size() || data.size() != service_end + replies_len) {
+  if (service_end > data.size() ||
+      data.size() != service_end + replies_len + membership_len) {
     return std::nullopt;
   }
   auto cache = ReplyCache::decode(data.subspan(service_end, replies_len));
   if (!cache) return std::nullopt;
   out.service_state = to_bytes(data.subspan(header, service_len));
   out.replies = std::move(*cache);
+  out.membership = to_bytes(data.subspan(service_end + replies_len, membership_len));
   return out;
 }
 

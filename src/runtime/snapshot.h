@@ -3,27 +3,31 @@
 // A checkpoint snapshot as shipped in WAL records and state-transfer replies
 // is more than the service state: the per-client reply cache rides along so a
 // recovered replica suppresses duplicates of pre-checkpoint requests instead
-// of re-executing them. The envelope frames both parts. Version 2 (current)
-// is *chunk-aligned* so the delta state-transfer path can diff consecutive
-// checkpoints chunk-for-chunk (docs/state_transfer.md):
+// of re-executing them, and (version 3) the membership section so recovering
+// and joining replicas learn the roster from the snapshot itself
+// (docs/reconfiguration.md). The envelope frames all parts. Version 3
+// (current) is *chunk-aligned* so the delta state-transfer path can diff
+// consecutive checkpoints chunk-for-chunk (docs/state_transfer.md):
 //
-//   [8-byte magic "SBFTSNAP"][u16 version=2][u32 align]
-//   [u64 service_len][u64 replies_len][zero pad to align]
+//   [8-byte magic "SBFTSNAP"][u16 version=3][u32 align]
+//   [u64 service_len][u64 replies_len][u64 membership_len][zero pad to align]
 //   [service_state, zero-padded to a multiple of align]
-//   [replies]
+//   [replies][membership]
 //
 // `align` equals the cluster's state-transfer chunk size (1 when chunking is
 // off), so the service serializer's page-aligned sections land exactly on
 // chunk boundaries of the envelope: an unmutated section occupies
 // byte-identical chunks across consecutive checkpoints. The mutable
-// reply-cache section rides at the tail where it can only dirty the last
-// chunks. Version 1 ([bytes service_state][bytes replies], unaligned) is
-// still decoded (snapshots persisted in older WALs).
+// reply-cache and membership sections ride at the tail where they can only
+// dirty the last chunks. Version 2 (same layout, no membership) and version 1
+// ([bytes service_state][bytes replies], unaligned) are still decoded
+// (snapshots persisted in older WALs).
 //
 // The service part is the component verified against the certificate's
-// state_root; the reply cache is covered by the local WAL's crash-fault trust
-// (and, over state transfer, by the same authenticated-channel assumption the
-// snapshot ride-along metadata already relies on — see README §durability).
+// state_root; the reply cache and membership section are covered by the local
+// WAL's crash-fault trust (and, over state transfer, by the same
+// authenticated-channel/quorum assumptions the snapshot ride-along metadata
+// already relies on — see README §durability and docs/reconfiguration.md).
 // decode falls back to treating the whole input as a bare service snapshot
 // (the pre-envelope format) with an empty reply cache, so logs written before
 // this format remain recoverable.
@@ -36,12 +40,14 @@ namespace sbft::runtime {
 struct CheckpointSnapshot {
   Bytes service_state;
   ReplyCache replies;
+  Bytes membership;  // MembershipManager section; empty on pre-v3 envelopes
 };
 
 /// `align` is the chunk-stability unit (pass the state-transfer chunk size);
-/// <= 1 emits an unpadded envelope.
+/// <= 1 emits an unpadded envelope. `membership` is the encoded
+/// MembershipManager section (empty when membership is unconfigured).
 Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies,
-                                 uint32_t align = 1);
+                                 uint32_t align = 1, ByteSpan membership = {});
 /// Inputs without the envelope magic decode as a bare service snapshot (a
 /// malformed service part is caught downstream, by IService::restore and the
 /// state-root check). An input that *carries* the magic but is malformed —

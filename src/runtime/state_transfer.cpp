@@ -234,23 +234,11 @@ StateTransferManager::ChunkVerdict StateTransferManager::on_chunk(
                    m.proof);
   if (!valid) {
     ++stats.state_transfer_invalid_chunks;
-    excluded_.insert(m.donor);
-    donors_.erase(std::remove(donors_.begin(), donors_.end(), m.donor),
-                  donors_.end());
-    // Everything outstanding at the bad donor becomes re-plannable right now.
-    if (auto it = outstanding_by_donor_.find(m.donor);
-        it != outstanding_by_donor_.end()) {
-      for (uint32_t i : it->second) {
-        outstanding_.erase(i);
-        if (chunks_[i].empty()) unplanned_.insert(i);
-      }
-      outstanding_by_donor_.erase(it);
-    }
     // An invalid chunk from the replica whose manifest we adopted makes the
-    // whole target suspect (it authored the chunk root): drop it now so
-    // honest same-seq manifests can re-target on the next probe, instead of
-    // waiting for a completion that may never come.
-    if (m.donor == manifest_donor_) manifest_failed();
+    // whole target suspect (it authored the chunk root): exclude_donor drops
+    // it so honest same-seq manifests can re-target on the next probe,
+    // instead of waiting for a completion that may never come.
+    exclude_donor(m.donor);
     return ChunkVerdict::kInvalid;
   }
   // A verified chunk proves the donor is alive and serving, even when it
@@ -394,6 +382,21 @@ bool StateTransferManager::on_adopt_result(bool adopted, SeqNum last_executed) {
   return true;
 }
 
+void StateTransferManager::exclude_donor(ReplicaId donor) {
+  excluded_.insert(donor);
+  donors_.erase(std::remove(donors_.begin(), donors_.end(), donor), donors_.end());
+  // Everything outstanding at the bad donor becomes re-plannable right now.
+  if (auto it = outstanding_by_donor_.find(donor);
+      it != outstanding_by_donor_.end()) {
+    for (uint32_t i : it->second) {
+      outstanding_.erase(i);
+      if (!chunks_.empty() && chunks_[i].empty()) unplanned_.insert(i);
+    }
+    outstanding_by_donor_.erase(it);
+  }
+  if (donor == manifest_donor_ && has_target()) manifest_failed();
+}
+
 void StateTransferManager::manifest_failed() {
   excluded_.insert(manifest_donor_);
   // Seeded chunks are unverified until the final state-root check, so a
@@ -519,7 +522,7 @@ std::optional<StateManifestMsg> StateTransferManager::make_manifest(
 
 std::vector<StateChunkMsg> StateTransferManager::make_chunks(
     const CheckpointManager& cp, const StateChunkRequestMsg& req, ReplicaId self,
-    RuntimeStats& stats) {
+    RuntimeStats& stats, NodeId requester_node) {
   std::vector<StateChunkMsg> out;
   if (!chunked() || !cp.has_shippable() || cp.snapshot_cert().seq != req.seq) {
     return out;  // checkpoint advanced past the request: fetcher re-probes
@@ -565,11 +568,11 @@ std::vector<StateChunkMsg> StateTransferManager::make_chunks(
     // overload the limiter exists to bound.
     std::set<uint32_t> queued;
     size_t queue_total = 0;
-    for (const StateChunkRequestMsg& q : donor_deferred_) {
-      queue_total += q.indices.size();
-      if (q.requester == req.requester && q.seq == req.seq &&
-          q.chunk_root == req.chunk_root) {
-        queued.insert(q.indices.begin(), q.indices.end());
+    for (const DeferredRequest& q : donor_deferred_) {
+      queue_total += q.req.indices.size();
+      if (q.req.requester == req.requester && q.req.seq == req.seq &&
+          q.req.chunk_root == req.chunk_root) {
+        queued.insert(q.req.indices.begin(), q.req.indices.end());
       }
     }
     StateChunkRequestMsg rest = req;
@@ -583,26 +586,26 @@ std::vector<StateChunkMsg> StateTransferManager::make_chunks(
       // it could queue.
       stats.donor_chunks_throttled += rest.indices.size();
       if (queue_total < kMaxDeferredChunks) {
-        donor_deferred_.push_back(std::move(rest));
+        donor_deferred_.push_back({requester_node, std::move(rest)});
       }
     }
   }
   return out;
 }
 
-std::vector<std::pair<ReplicaId, StateChunkMsg>>
+std::vector<std::pair<NodeId, StateChunkMsg>>
 StateTransferManager::on_donor_tick(const CheckpointManager& cp, ReplicaId self,
                                     RuntimeStats& stats) {
   donor_served_this_tick_ = 0;
-  std::vector<StateChunkRequestMsg> pending = std::move(donor_deferred_);
+  std::vector<DeferredRequest> pending = std::move(donor_deferred_);
   donor_deferred_.clear();
-  std::vector<std::pair<ReplicaId, StateChunkMsg>> out;
-  for (StateChunkRequestMsg& req : pending) {
+  std::vector<std::pair<NodeId, StateChunkMsg>> out;
+  for (DeferredRequest& d : pending) {
     // make_chunks re-validates against the now-current shippable pair (stale
     // deferred requests fall out; the fetcher's retry tick covers them) and
     // re-defers whatever exceeds this tick's budget.
-    for (StateChunkMsg& c : make_chunks(cp, req, self, stats)) {
-      out.emplace_back(req.requester, std::move(c));
+    for (StateChunkMsg& c : make_chunks(cp, d.req, self, stats, d.node)) {
+      out.emplace_back(d.node, std::move(c));
     }
   }
   return out;

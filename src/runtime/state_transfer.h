@@ -203,6 +203,13 @@ class StateTransferManager {
   /// target so the next probe re-targets from the remaining donors.
   void manifest_failed();
 
+  /// Excludes `donor` for the rest of this fetch round on protocol-layer
+  /// evidence the manager cannot see itself (e.g. a manifest whose checkpoint
+  /// certificate failed quorum verification). Its outstanding chunk requests
+  /// become re-plannable immediately; if it authored the adopted manifest the
+  /// target is dropped like manifest_failed().
+  void exclude_donor(ReplicaId donor);
+
   /// Fetch finished (envelope adopted) or became moot (caught up through the
   /// ordering protocol): clears all fetch state.
   void finish();
@@ -232,15 +239,19 @@ class StateTransferManager {
   /// empty when the request does not match it (stale root, wrong seq). When
   /// the donor chunk-rate limit is hit, the trimmed remainder of the request
   /// is queued for the next donor tick instead of being dropped.
+  /// `requester_node` is the channel node the request arrived from — the
+  /// deferred remainder is re-served there (a joiner's id resolves through
+  /// no roster the donor holds yet).
   std::vector<StateChunkMsg> make_chunks(const CheckpointManager& cp,
                                          const StateChunkRequestMsg& req,
-                                         ReplicaId self, RuntimeStats& stats);
+                                         ReplicaId self, RuntimeStats& stats,
+                                         NodeId requester_node = 0);
 
   /// Donor tick: resets the per-tick serve budget and re-serves the requests
   /// the rate limiter deferred (dropping the ones the checkpoint advanced
   /// past — the fetcher's retry covers those). The engine sends each chunk to
-  /// its requester and re-arms the tick while donor_tick_needed().
-  std::vector<std::pair<ReplicaId, StateChunkMsg>> on_donor_tick(
+  /// the returned *node* and re-arms the tick while donor_tick_needed().
+  std::vector<std::pair<NodeId, StateChunkMsg>> on_donor_tick(
       const CheckpointManager& cp, ReplicaId self, RuntimeStats& stats);
 
   /// A donor tick must be scheduled: the budget is in use or requests wait.
@@ -340,9 +351,14 @@ class StateTransferManager {
   std::vector<uint32_t> diff_base_map_;
   // Rate limiter: chunks served since the last donor tick, and the trimmed
   // requests awaiting the next tick (re-validated against the then-current
-  // shippable pair when drained).
+  // shippable pair when drained). Each entry keeps the channel node the
+  // request arrived from, so the re-serve reaches joiners too.
+  struct DeferredRequest {
+    NodeId node = 0;
+    StateChunkRequestMsg req;
+  };
   uint32_t donor_served_this_tick_ = 0;
-  std::vector<StateChunkRequestMsg> donor_deferred_;
+  std::vector<DeferredRequest> donor_deferred_;
 };
 
 }  // namespace sbft::runtime

@@ -122,6 +122,13 @@ void Network::start() {
   }
 }
 
+void Network::start_node(NodeId node) {
+  sim_.schedule(sim_.now(), [this, node] {
+    run_handler(node, sim_.now(),
+                [this, node](ActorContext& ctx) { nodes_[node].actor->on_start(ctx); });
+  });
+}
+
 void Network::crash(NodeId node) { nodes_[node].crashed = true; }
 
 void Network::restart(NodeId node, IActor* actor) {

@@ -109,6 +109,9 @@ class Network {
 
   /// Delivers on_start to every node at time 0.
   void start();
+  /// Delivers on_start to one node at the current simulated time — for nodes
+  /// added after start() (e.g. a replica joining via reconfiguration).
+  void start_node(NodeId node);
 
   // --- fault injection -------------------------------------------------------
   void crash(NodeId node);

@@ -155,6 +155,10 @@ TEST(Messages, StateTransferRoundTrips) {
   reply.cert = random_cert();
   reply.service_snapshot = rng().bytes(500);
   expect_roundtrip(Message(reply));
+  // With a PBFT quorum checkpoint certificate attached.
+  reply.checkpoint_proof = {{1, rng().bytes(32)}, {2, rng().bytes(32)},
+                            {4, rng().bytes(32)}};
+  expect_roundtrip(Message(reply));
 }
 
 TEST(Messages, ChunkedStateTransferRoundTrips) {
@@ -174,6 +178,12 @@ TEST(Messages, ChunkedStateTransferRoundTrips) {
   delta.delta_bitmap = {0x03, 0x80, 0x01};
   delta.base_map = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
   expect_roundtrip(Message(delta));
+
+  // PBFT manifest with its quorum checkpoint certificate.
+  StateManifestMsg certified = manifest;
+  certified.checkpoint_proof = {{1, rng().bytes(32)}, {3, rng().bytes(32)},
+                                {4, rng().bytes(32)}};
+  expect_roundtrip(Message(certified));
 
   StateChunkRequestMsg req;
   req.requester = 2;
@@ -200,6 +210,8 @@ TEST(Messages, PbftRoundTrips) {
   expect_roundtrip(Message(PbftPrepareMsg{1, 2, random_digest(), 3}));
   expect_roundtrip(Message(PbftCommitMsg{4, 5, random_digest(), 6}));
   expect_roundtrip(Message(PbftCheckpointMsg{128, random_digest(), 7}));
+  expect_roundtrip(
+      Message(PbftCheckpointMsg{128, random_digest(), 7, rng().bytes(32)}));
   PbftViewChangeMsg vc;
   vc.sender = 1;
   vc.next_view = 2;
@@ -259,10 +271,52 @@ TEST(Messages, ExecCertificateDigestChains) {
   EXPECT_NE(a.exec_digest(), b.exec_digest());
 }
 
+TEST(Messages, ReconfigBlockRoundTrip) {
+  ReconfigBlockMsg m;
+  m.delta.adds = {{5, 6}, {6, 7}, {7, 8}};
+  m.delta.removes = {4};
+  m.delta.new_f = 2;
+  m.delta.new_c = 0;
+  m.nonce = 3;
+  expect_roundtrip(Message(m));
+
+  auto decoded = decode_message(as_span(encode_message(Message(m))));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<ReconfigBlockMsg>(*decoded);
+  ASSERT_EQ(back.delta.adds.size(), 3u);
+  EXPECT_EQ(back.delta.adds[0].id, 5u);
+  EXPECT_EQ(back.delta.adds[0].node, 6u);
+  EXPECT_EQ(back.delta.removes, std::vector<ReplicaId>{4});
+  EXPECT_EQ(back.delta.new_f, 2u);
+  EXPECT_EQ(back.nonce, 3u);
+}
+
+TEST(Messages, ReconfigMarkerRequestRoundTrip) {
+  ReconfigDelta delta;
+  delta.adds = {{9, 12}};
+  delta.new_f = 1;
+  Request req = make_reconfig_request(delta, 7);
+  EXPECT_EQ(req.client, kReconfigClient);
+  EXPECT_EQ(req.timestamp, 7u);
+  auto back = decode_reconfig_request(req);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->adds.size(), 1u);
+  EXPECT_EQ(back->adds[0].id, 9u);
+  EXPECT_EQ(back->adds[0].node, 12u);
+  // A normal client request never decodes as a marker.
+  EXPECT_FALSE(decode_reconfig_request(random_request()).has_value());
+  // A client-0 request without the marker magic is not a reconfiguration.
+  Request forged;
+  forged.client = kReconfigClient;
+  forged.op = to_bytes("not-a-marker");
+  EXPECT_FALSE(decode_reconfig_request(forged).has_value());
+}
+
 TEST(Messages, TypeNamesDistinct) {
   EXPECT_STREQ(message_type_name(Message(PrePrepareMsg{})), "pre-prepare");
   EXPECT_STREQ(message_type_name(Message(SignShareMsg{})), "sign-share");
   EXPECT_STREQ(message_type_name(Message(NewViewMsg{})), "new-view");
+  EXPECT_STREQ(message_type_name(Message(ReconfigBlockMsg{})), "reconfig-block");
 }
 
 TEST(Messages, FuzzDecodeDoesNotCrash) {

@@ -84,6 +84,133 @@ TEST(CheckpointSnapshot, EnvelopeRoundTrip) {
   EXPECT_EQ(decoded->replies.find(11)->timestamp, 5u);
 }
 
+TEST(CheckpointSnapshot, MembershipSectionRoundTrip) {
+  ReplyCache cache;
+  cache.store(11, 5, 2, 0, to_bytes("r"));
+  Bytes membership = to_bytes("membership-section-bytes");
+  Bytes envelope = encode_checkpoint_snapshot(as_span(to_bytes("svc-state")),
+                                              cache, 1, as_span(membership));
+  auto decoded = decode_checkpoint_snapshot(as_span(envelope));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->service_state, to_bytes("svc-state"));
+  EXPECT_EQ(decoded->membership, membership);
+  ASSERT_NE(decoded->replies.find(11), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Membership epochs (docs/reconfiguration.md)
+
+std::vector<ReplicaInfo> genesis_members4() {
+  return {{1, 0}, {2, 1}, {3, 2}, {4, 3}};
+}
+
+TEST(Membership, StagesAndActivatesAtCheckpointBoundary) {
+  MembershipManager m;
+  m.init_genesis(1, 0, genesis_members4());
+  ASSERT_TRUE(m.configured());
+  EXPECT_TRUE(m.is_member(2));
+  EXPECT_FALSE(m.is_member(5));
+  EXPECT_EQ(m.active().primary_of(0), 1u);
+  EXPECT_EQ(m.active().slow_quorum(), 3u);
+
+  ReconfigDelta delta;
+  delta.adds = {{5, 10}, {6, 11}, {7, 12}};
+  delta.new_f = 2;
+  ASSERT_TRUE(m.stage(delta, /*exec_seq=*/5, /*interval=*/8));
+  EXPECT_EQ(m.pending_activation(), 8u);
+  EXPECT_FALSE(m.stage(delta, 6, 8));  // one reconfiguration in flight
+
+  EXPECT_FALSE(m.activate_up_to(7));
+  ASSERT_TRUE(m.activate_up_to(8));
+  EXPECT_EQ(m.active().epoch, 1u);
+  EXPECT_EQ(m.active().n(), 7u);
+  EXPECT_EQ(m.active().f, 2u);
+  EXPECT_EQ(m.active().slow_quorum(), 5u);
+  EXPECT_TRUE(m.is_member(7));
+  EXPECT_EQ(m.active().node_of(7), 12u);
+  EXPECT_EQ(m.active().rank_of(5), 4);
+  // Boundary slots belong to the epoch that ordered them.
+  EXPECT_EQ(m.epoch_for_seq(8).epoch, 0u);
+  EXPECT_EQ(m.epoch_for_seq(9).epoch, 1u);
+
+  // Removal epoch: drop the three new members again, back to f=1.
+  ReconfigDelta removal;
+  removal.removes = {5, 6, 7};
+  removal.new_f = 1;
+  ASSERT_TRUE(m.stage(removal, 17, 8));
+  EXPECT_EQ(m.pending_activation(), 24u);
+  ASSERT_TRUE(m.activate_up_to(24));
+  EXPECT_EQ(m.active().epoch, 2u);
+  EXPECT_EQ(m.active().n(), 4u);
+  EXPECT_FALSE(m.is_member(6));
+  EXPECT_EQ(m.epoch_for_seq(20).epoch, 1u);
+}
+
+TEST(Membership, RejectsInconsistentDeltas) {
+  MembershipManager m;
+  m.init_genesis(1, 0, genesis_members4());
+
+  ReconfigDelta bad;
+  bad.removes = {9};  // not a member
+  bad.new_f = 1;
+  EXPECT_FALSE(m.stage(bad, 5, 8));
+
+  bad = {};
+  bad.adds = {{2, 9}};  // id already a member
+  bad.new_f = 1;
+  EXPECT_FALSE(m.stage(bad, 5, 8));
+
+  bad = {};
+  bad.adds = {{5, 1}};  // node already occupied
+  bad.new_f = 1;
+  EXPECT_FALSE(m.stage(bad, 5, 8));
+
+  bad = {};
+  bad.adds = {{5, 10}};  // 5 replicas can satisfy no 3f+2c+1 with f>=1
+  bad.new_f = 1;
+  EXPECT_FALSE(m.stage(bad, 5, 8));
+
+  bad = {};
+  bad.adds = {{5, 10}, {6, 11}, {7, 12}};
+  bad.new_f = 2;
+  EXPECT_FALSE(m.stage(bad, 5, /*interval=*/0));  // checkpoints disabled
+  EXPECT_TRUE(m.stage(bad, 5, 8));
+}
+
+TEST(Membership, EncodeRestoreMovesForwardOnly) {
+  MembershipManager donor;
+  donor.init_genesis(1, 0, genesis_members4());
+  ReconfigDelta delta;
+  delta.adds = {{5, 10}, {6, 11}, {7, 12}};
+  delta.new_f = 2;
+  ASSERT_TRUE(donor.stage(delta, 5, 8));
+
+  // A fetcher at the same epoch adopts the staged reconfiguration.
+  MembershipManager fetcher;
+  fetcher.init_genesis(1, 0, genesis_members4());
+  ASSERT_TRUE(fetcher.restore(as_span(donor.encode())));
+  EXPECT_EQ(fetcher.pending_activation(), 8u);
+  ASSERT_TRUE(fetcher.activate_up_to(8));
+  EXPECT_EQ(fetcher.active().epoch, 1u);
+
+  // A joiner bootstrapped with the old roster learns the new epoch whole.
+  ASSERT_TRUE(donor.activate_up_to(8));
+  MembershipManager joiner;
+  joiner.init_genesis(1, 0, genesis_members4());
+  ASSERT_TRUE(joiner.restore(as_span(donor.encode())));
+  EXPECT_EQ(joiner.active().epoch, 1u);
+  EXPECT_TRUE(joiner.active().contains(7));
+
+  // Stale sections never regress an advanced manager.
+  MembershipManager stale;
+  stale.init_genesis(1, 0, genesis_members4());
+  EXPECT_FALSE(joiner.restore(as_span(stale.encode())));
+  EXPECT_EQ(joiner.active().epoch, 1u);
+
+  // Malformed sections are ignored.
+  EXPECT_FALSE(joiner.restore(as_span(to_bytes("garbage"))));
+}
+
 TEST(CheckpointSnapshot, BareLegacySnapshotFallsBack) {
   // Pre-envelope WAL records carry the raw service snapshot; it must decode
   // as the service part with an empty cache, not fail.
@@ -263,6 +390,25 @@ TEST(StateTransferManagerTest, InvalidChunkExcludesDonorForGood) {
   ASSERT_EQ(retry.size(), 1u);
   EXPECT_EQ(retry[0].first, 2u);
   EXPECT_EQ(retry[0].second.indices.size(), snap.chunk_count());
+}
+
+TEST(StateTransferManagerTest, ExcludeDonorRePlansItsOutstandingChunks) {
+  Bytes envelope = patterned_envelope(4 * 1024);
+  ChunkedSnapshot snap(as_span(envelope), 1024);
+  StateTransferManager mgr(1024, 4);
+  mgr.begin_probe();
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, 1, 16), 0));
+  ASSERT_TRUE(feed_manifest(mgr, manifest_of(snap, 2, 16), 0));
+  ASSERT_FALSE(mgr.plan_requests(4).empty());
+  // Protocol-layer exclusion (e.g. a failed PBFT checkpoint certificate):
+  // donor 2 is dropped and its outstanding indices re-plan onto donor 1.
+  mgr.exclude_donor(2);
+  EXPECT_TRUE(mgr.donor_excluded(2));
+  EXPECT_EQ(mgr.donor_count(), 1u);
+  auto plan = mgr.plan_requests(4);
+  ASSERT_FALSE(plan.empty());
+  for (const auto& [donor, req] : plan) EXPECT_EQ(donor, 1u);
+  EXPECT_FALSE(feed_manifest(mgr, manifest_of(snap, 2, 16), 0));  // stays out
 }
 
 TEST(StateTransferManagerTest, BogusRootManifestCannotWedgeTheFetch) {
@@ -687,7 +833,8 @@ TEST(StateTransferManagerTest, ThrottledRequestReservedOnDonorTick) {
   req.seq = 16;
   req.chunk_root = snap.transfer_root();
   req.indices = {0, 1, 2, 3, 4};
-  auto served = donor.make_chunks(cp, req, /*self=*/1, stats);
+  auto served = donor.make_chunks(cp, req, /*self=*/1, stats,
+                                  /*requester_node=*/3);
   EXPECT_EQ(served.size(), 2u);  // budget for this tick
   EXPECT_EQ(stats.donor_chunks_throttled, 3u);
   EXPECT_EQ(donor.donor_deferred_requests(), 1u);
@@ -697,14 +844,14 @@ TEST(StateTransferManagerTest, ThrottledRequestReservedOnDonorTick) {
   // on: those must dedup against the queue, not pile up as duplicates.
   StateChunkRequestMsg retry_req = req;
   retry_req.indices = {2, 3, 4};
-  EXPECT_TRUE(donor.make_chunks(cp, retry_req, 1, stats).empty());
+  EXPECT_TRUE(donor.make_chunks(cp, retry_req, 1, stats, 3).empty());
   EXPECT_EQ(donor.donor_deferred_requests(), 1u);
   EXPECT_EQ(stats.donor_chunks_throttled, 3u);  // nothing newly queued
 
   // Tick 1 re-serves within a fresh budget (and re-defers the overflow).
   auto tick1 = donor.on_donor_tick(cp, 1, stats);
   ASSERT_EQ(tick1.size(), 2u);
-  EXPECT_EQ(tick1[0].first, 4u);  // addressed to the original requester
+  EXPECT_EQ(tick1[0].first, 3u);  // addressed to the requester's node
   EXPECT_EQ(tick1[0].second.index, 2u);
   auto tick2 = donor.on_donor_tick(cp, 1, stats);
   ASSERT_EQ(tick2.size(), 1u);
@@ -721,7 +868,7 @@ TEST(StateTransferManagerTest, ThrottledRequestReservedOnDonorTick) {
 
   // A deferred request the checkpoint advanced past is dropped on the tick
   // (the fetcher's retry re-plans it); the queue never wedges.
-  auto again = donor.make_chunks(cp, req, 1, stats);
+  auto again = donor.make_chunks(cp, req, 1, stats, 3);
   EXPECT_EQ(again.size(), 2u);
   EXPECT_EQ(donor.donor_deferred_requests(), 1u);
   cp.adopt(cert_at(32), patterned_envelope(2 * 1024));
@@ -1433,6 +1580,385 @@ INSTANTIATE_TEST_SUITE_P(Protocols, ChunkedStateTransfer,
                            return info.param == ProtocolKind::kSbft ? "Sbft"
                                                                     : "Pbft";
                          });
+
+// ---------------------------------------------------------------------------
+// Group reconfiguration scenarios (docs/reconfiguration.md; ctest -L reconfig)
+
+class Reconfiguration : public ::testing::TestWithParam<ProtocolKind> {
+ protected:
+  ClusterOptions base(uint32_t f, uint64_t seed) const {
+    ClusterOptions opts;
+    opts.kind = GetParam();
+    opts.f = f;
+    opts.c = 0;
+    opts.num_clients = 2;
+    opts.requests_per_client = 0;  // free-running: reconfig needs live traffic
+    opts.topology = sim::lan_topology();
+    opts.seed = seed;
+    opts.tweak_config = [](ProtocolConfig& config) {
+      config.win = 16;  // checkpoint every 8 blocks: epochs activate quickly
+      config.state_transfer_chunk_size = 1024;
+      config.state_transfer_retry_us = 200'000;
+    };
+    return opts;
+  }
+
+  /// Runs until `pred` holds, in 100ms steps, up to ~60s of simulated time.
+  template <typename Pred>
+  bool run_until(Cluster& cluster, Pred&& pred) {
+    for (int i = 0; i < 600; ++i) {
+      if (pred()) return true;
+      cluster.run_for(100'000);
+    }
+    return pred();
+  }
+
+  uint64_t total_completed(Cluster& cluster) const {
+    uint64_t total = 0;
+    for (size_t i = 0; i < cluster.num_clients(); ++i) {
+      total += cluster.client(i).completed();
+    }
+    return total;
+  }
+};
+
+TEST_P(Reconfiguration, AddedReplicasJoinViaStateTransferAndSurviveNewF) {
+  // The acceptance scenario: three replicas added by one ReconfigBlockMsg
+  // join an f=1 cluster as wiped state-transfer fetchers; the enlarged
+  // cluster (n=7, f=2) then keeps committing with two replicas crashed —
+  // impossible at the old f.
+  Cluster cluster(base(/*f=*/1, /*seed=*/51));
+  cluster.run_for(1'500'000);
+  ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+  ReplicaId a = cluster.add_replica();
+  ReplicaId b = cluster.add_replica();
+  ReplicaId c = cluster.add_replica();
+  ASSERT_EQ(a, 5u);
+  ASSERT_EQ(c, 7u);
+  cluster.submit_reconfig({a, b, c}, {}, /*new_f=*/2);
+
+  ASSERT_TRUE(run_until(cluster, [&] {
+    return cluster.replica(a).runtime_stats().joins_completed == 1 &&
+           cluster.replica(b).runtime_stats().joins_completed == 1 &&
+           cluster.replica(c).runtime_stats().joins_completed == 1;
+  })) << "added replicas never joined";
+  EXPECT_GE(cluster.replica(1).runtime_stats().epochs_activated, 1u);
+  for (ReplicaId r : {a, b, c}) {
+    const runtime::RuntimeStats& st = cluster.replica(r).runtime_stats();
+    EXPECT_EQ(st.recoveries, 0u) << "joiner " << r << " had local state";
+    EXPECT_GT(st.state_transfer_chunks_fetched, 0u)
+        << "joiner " << r << " did not arrive via wiped state transfer";
+    EXPECT_GT(cluster.replica(r).last_executed(), 0u);
+  }
+
+  // Joined replicas participate: the cluster keeps executing past the join.
+  SeqNum joined_le = cluster.replica(1).last_executed();
+  ASSERT_TRUE(run_until(cluster, [&] {
+    return cluster.replica(a).last_executed() > joined_le;
+  })) << "joined replica never executed new blocks";
+
+  // f faults at the new f: one original and one added replica crash.
+  cluster.crash_replica(4);
+  cluster.crash_replica(b);
+  SeqNum le_before = cluster.replica(1).last_executed();
+  uint64_t completed_before = total_completed(cluster);
+  ASSERT_TRUE(run_until(cluster, [&] {
+    return cluster.replica(1).last_executed() > le_before + 4 &&
+           total_completed(cluster) > completed_before + 8;
+  })) << "enlarged cluster lost liveness under f=2 faults";
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST_P(Reconfiguration, RemovedReplicasDrainAndClusterStaysLive) {
+  // Shrink n=7 (f=2) to n=4 (f=1): the removed replicas stop executing and
+  // voting the moment the epoch activates, and the survivors keep serving.
+  Cluster cluster(base(/*f=*/2, /*seed=*/53));
+  cluster.run_for(1'500'000);
+  ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+  cluster.submit_reconfig({}, {5, 6, 7}, /*new_f=*/1);
+  ASSERT_TRUE(run_until(cluster, [&] {
+    return cluster.replica(1).runtime_stats().epochs_activated >= 1 &&
+           cluster.replica(5).runtime_stats().epochs_activated >= 1;
+  })) << "removal epoch never activated";
+
+  // Drain: the removed replicas refuse post-epoch work — their execution
+  // freezes while the shrunk cluster keeps committing.
+  cluster.run_for(500'000);  // let in-flight pre-epoch work settle
+  SeqNum frozen5 = cluster.replica(5).last_executed();
+  SeqNum frozen6 = cluster.replica(6).last_executed();
+  SeqNum le_before = cluster.replica(1).last_executed();
+  uint64_t completed_before = total_completed(cluster);
+  ASSERT_TRUE(run_until(cluster, [&] {
+    return cluster.replica(1).last_executed() > le_before + 8 &&
+           total_completed(cluster) > completed_before + 8;
+  })) << "shrunk cluster lost liveness";
+  EXPECT_EQ(cluster.replica(5).last_executed(), frozen5)
+      << "removed replica kept executing";
+  EXPECT_EQ(cluster.replica(6).last_executed(), frozen6);
+
+  // A removed replica that crashes and restarts re-retires from its
+  // recovered WAL (which carries the epoch that excluded it): it must not
+  // come back as a perpetual state-transfer prober, let alone a voter.
+  cluster.crash_replica(6);
+  cluster.run_for(300'000);
+  cluster.restart_replica(6);
+  cluster.run_for(2'000'000);
+  EXPECT_EQ(cluster.replica(6).last_executed(), frozen6)
+      << "restarted removed replica resumed executing";
+  EXPECT_EQ(cluster.replica(6).runtime_stats().state_transfers, 0u)
+      << "restarted removed replica probes state transfer forever";
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, Reconfiguration,
+                         ::testing::Values(ProtocolKind::kSbft,
+                                           ProtocolKind::kPbft),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           return info.param == ProtocolKind::kSbft ? "Sbft"
+                                                                    : "Pbft";
+                         });
+
+// ---------------------------------------------------------------------------
+// Remaining ROADMAP scenario: restart of the current primary mid-view-change
+
+class PrimaryMidViewChangeRestart : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(PrimaryMidViewChangeRestart, RecoversLivenessWithoutDoubleExecution) {
+  ClusterOptions opts;
+  opts.kind = GetParam();
+  opts.f = 1;
+  opts.c = 0;
+  opts.num_clients = 2;
+  opts.requests_per_client = 150;
+  opts.topology = sim::lan_topology();
+  opts.seed = 57;
+  opts.tweak_config = [](ProtocolConfig& config) { config.win = 32; };
+  Cluster cluster(std::move(opts));
+  cluster.run_for(800'000);  // progress in view 0
+
+  // Crash the view-0 primary plus one backup: the view change the survivors
+  // start cannot reach its 2f+1 quorum — the cluster is wedged *mid-view-
+  // change* when the primary restarts into it.
+  cluster.crash_replica(1);
+  cluster.crash_replica(3);
+  // Client retry (4s) re-raises the survivors' progress obligation; their
+  // progress timers (2s) then start the view change — which stalls short of
+  // its 2f+1 quorum with only two replicas alive.
+  cluster.run_for(10'000'000);
+  EXPECT_GT(cluster.total_view_changes(), 0u) << "view change never started";
+  EXPECT_EQ(cluster.replica(2).view(), 0u) << "view change completed early";
+
+  cluster.restart_replica(1);  // the old primary rejoins mid-view-change
+  ASSERT_TRUE(cluster.run_until_done(900'000'000)) << "liveness never resumed";
+  EXPECT_EQ(cluster.replica(1).runtime_stats().recoveries, 1u);
+  EXPECT_GT(cluster.replica(2).view(), 0u) << "no later view took over";
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    EXPECT_EQ(cluster.client(i).completed(), 150u);
+  }
+  // No double execution via the reply cache: replicas 2 and 4 lived through
+  // the whole run (including the clients' retry storms while wedged) — each
+  // of the 300 requests executed at most once on them.
+  for (ReplicaId r : {2u, 4u}) {
+    EXPECT_LE(cluster.replica(r).runtime_stats().requests_executed, 300u)
+        << "replica " << r << " re-executed retried requests";
+  }
+  // And the sharp form: a replayed duplicate of an executed request is served
+  // from the cache, not re-executed.
+  ClientId client = cluster.n();  // first client's node id == its ClientId
+  const ReplicaHandle& survivor = cluster.replica(2);
+  uint64_t executed_before = survivor.runtime_stats().requests_executed;
+  Request dup;
+  dup.client = client;
+  dup.timestamp = 1;
+  dup.op = to_bytes("retry-of-first-request");
+  cluster.network().inject(client, survivor.node(),
+                           make_message(ClientRequestMsg{dup}));
+  cluster.run_for(200'000);
+  EXPECT_EQ(survivor.runtime_stats().requests_executed, executed_before)
+      << "duplicate re-executed instead of being served from cache";
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, PrimaryMidViewChangeRestart,
+                         ::testing::Values(ProtocolKind::kSbft,
+                                           ProtocolKind::kPbft),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           return info.param == ProtocolKind::kSbft ? "Sbft"
+                                                                    : "Pbft";
+                         });
+
+// ---------------------------------------------------------------------------
+// FastKvService delta state transfer (its snapshots are now chunk-stable)
+
+class FastKvDeltaTransfer : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(FastKvDeltaTransfer, BrieflyLaggingReplicaSkipsUnchangedChunks) {
+  // FastKvService used to ignore the snapshot chunk hint, silently degrading
+  // every delta rejoin to a full fetch. With the sharded paged serializer, a
+  // workload cycling few distinct payloads dirties few shards — and a
+  // briefly-lagging replica seeds the rest from its local base.
+  ClusterOptions opts;
+  opts.kind = GetParam();
+  opts.f = 1;
+  opts.c = 0;
+  opts.num_clients = 2;
+  opts.requests_per_client = 0;  // free-running
+  opts.topology = sim::lan_topology();
+  opts.seed = 61;
+  // Few distinct op payloads => few dirty shards between checkpoints (the
+  // shard is chosen by op-content hash).
+  opts.op_factory = [](uint64_t i, Rng&) -> Bytes {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "hot-%u", static_cast<unsigned>(i % 8));
+    return to_bytes(buf);
+  };
+  opts.tweak_config = [](ProtocolConfig& config) {
+    config.win = 32;
+    config.state_transfer_chunk_size = 512;
+    config.state_transfer_retry_us = 200'000;
+  };
+  Cluster cluster(std::move(opts));
+  cluster.run_for(2'000'000);
+  ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+  cluster.crash_replica(3);
+  SeqNum stable_at_crash = cluster.replica(1).last_stable();
+  uint64_t interval = cluster.config().checkpoint_interval();
+  for (int i = 0; i < 400; ++i) {
+    if (cluster.replica(1).last_stable() >= stable_at_crash + 2 * interval) break;
+    cluster.run_for(50'000);
+  }
+  ASSERT_GE(cluster.replica(1).last_stable(), stable_at_crash + 2 * interval);
+  cluster.restart_replica(3);  // disk intact: probes with a delta base
+
+  for (int i = 0; i < 400; ++i) {
+    if (cluster.replica(3).runtime_stats().delta_chunks_skipped > 0 &&
+        cluster.replica(3).last_stable() > stable_at_crash) {
+      break;
+    }
+    cluster.run_for(50'000);
+  }
+  const runtime::RuntimeStats& st = cluster.replica(3).runtime_stats();
+  EXPECT_EQ(st.recoveries, 1u);
+  EXPECT_GT(st.delta_chunks_skipped, 0u)
+      << "FastKv delta rejoin degraded to a full fetch";
+  EXPECT_GT(st.delta_bytes_saved, 0u);
+  EXPECT_GT(cluster.replica(3).last_stable(), stable_at_crash);
+  EXPECT_EQ(st.state_transfer_invalid_chunks, 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, FastKvDeltaTransfer,
+                         ::testing::Values(ProtocolKind::kSbft,
+                                           ProtocolKind::kPbft),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           return info.param == ProtocolKind::kSbft ? "Sbft"
+                                                                    : "Pbft";
+                         });
+
+TEST(FastKvSnapshots, ChunkHintYieldsStableSectionsAndRoundTrips) {
+  FastKvService a(/*shards=*/256);  // 4 KiB of shard state
+  a.set_snapshot_chunk_hint(512);
+  for (int i = 0; i < 100; ++i) {
+    a.execute(as_span(to_bytes("op-" + std::to_string(i))));
+  }
+  Bytes before = a.snapshot();
+  ASSERT_EQ(before.size() % 512, 0u) << "sections not page-aligned";
+
+  // Round trip, independent of the restorer's current hint (the page rides
+  // in the snapshot header).
+  FastKvService b(/*shards=*/256);
+  ASSERT_TRUE(b.restore(as_span(before)));
+  EXPECT_TRUE(b.state_digest() == a.state_digest());
+
+  // One more op dirties at most two pages: the header (op counter) and the
+  // section of the single shard it folded into.
+  a.execute(as_span(to_bytes("one-more-op")));
+  Bytes after = a.snapshot();
+  ASSERT_EQ(after.size(), before.size());
+  size_t dirty = 0;
+  for (size_t off = 0; off < before.size(); off += 512) {
+    if (!std::equal(before.begin() + static_cast<ptrdiff_t>(off),
+                    before.begin() + static_cast<ptrdiff_t>(off + 512),
+                    after.begin() + static_cast<ptrdiff_t>(off))) {
+      ++dirty;
+    }
+  }
+  EXPECT_LE(dirty, 2u) << "a single op dirtied " << dirty << " pages";
+  EXPECT_GE(dirty, 1u);
+  EXPECT_FALSE(b.state_digest() == a.state_digest());
+
+  // Without a hint (or with tiny state) the flat layout round-trips too.
+  FastKvService flat(/*shards=*/8);
+  flat.execute(as_span(to_bytes("x")));
+  FastKvService flat2(/*shards=*/8);
+  ASSERT_TRUE(flat2.restore(as_span(flat.snapshot())));
+  EXPECT_TRUE(flat2.state_digest() == flat.state_digest());
+}
+
+// ---------------------------------------------------------------------------
+// PBFT malicious-donor checkpoint trust (the quorum certificate bugfix)
+
+TEST(PbftMaliciousDonor, FabricatedCheckpointNeedsQuorumCertificate) {
+  // A single faulty donor fabricates a root-consistent checkpoint far ahead
+  // of the cluster. On the old trust-the-channel path the wiped fetcher
+  // adopts it; with verified quorum checkpoint certificates (2f+1 signed
+  // checkpoint digests shipped with the manifest) it is rejected and the
+  // fetcher lands on the honest checkpoint.
+  for (bool verify : {false, true}) {
+    ClusterOptions opts;
+    opts.kind = ProtocolKind::kPbft;
+    opts.f = 1;
+    opts.c = 0;
+    opts.num_clients = 2;
+    opts.requests_per_client = 0;  // free-running
+    opts.topology = sim::lan_topology();
+    opts.seed = 67;
+    opts.service_factory = [] { return std::make_unique<kv::KvService>(); };
+    KvWorkloadOptions kv;
+    kv.value_size = 256;
+    kv.key_space = 1024;
+    opts.op_factory = kv_op_factory(kv);
+    opts.fabricate_checkpoint_replicas = {2};
+    opts.tweak_config = [verify](ProtocolConfig& config) {
+      config.win = 16;
+      config.state_transfer_chunk_size = 1024;
+      config.state_transfer_retry_us = 200'000;
+      config.pbft_verify_checkpoint_certs = verify;
+    };
+    Cluster cluster(std::move(opts));
+    cluster.run_for(2'500'000);
+    ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+    uint64_t interval = cluster.config().checkpoint_interval();
+
+    cluster.crash_replica(4);
+    cluster.run_for(300'000);
+    cluster.restart_replica(4, /*wipe_storage=*/true);
+    for (int i = 0; i < 600; ++i) {
+      if (cluster.replica(4).last_stable() > 0) break;
+      cluster.run_for(50'000);
+    }
+    ASSERT_GT(cluster.replica(4).last_stable(), 0u)
+        << "wiped replica adopted nothing (verify=" << verify << ")";
+
+    SeqNum honest = cluster.replica(1).last_stable();
+    SeqNum adopted = cluster.replica(4).last_stable();
+    if (!verify) {
+      // The regression this feature fixes: the fabricated checkpoint (dozens
+      // of intervals ahead of anything real) was swallowed whole.
+      EXPECT_GT(adopted, honest + 10 * interval)
+          << "fetcher did not adopt the fabricated checkpoint on the "
+             "trust-the-channel path — the regression test lost its teeth";
+    } else {
+      EXPECT_LE(adopted, honest + interval) << "fabricated checkpoint adopted";
+      EXPECT_GT(cluster.pbft_replica(4)->stats().checkpoint_certs_rejected, 0u)
+          << "the fabricated manifest was never rejected";
+      EXPECT_TRUE(cluster.check_agreement());
+    }
+  }
+}
 
 }  // namespace
 }  // namespace sbft::harness

@@ -5,7 +5,11 @@
    existing file (anchors are stripped; http(s) links are skipped).
 2. Every public class declared in src/runtime/*.h appears by name in
    docs/architecture.md — the runtime layer is the protocol-agnostic core
-   both ordering engines share, so its surface must stay documented.
+   both ordering engines share, so its surface must stay documented
+   (MembershipManager, StateTransferManager, ... are discovered, not listed).
+3. Every page under docs/ is linked from at least one *other* checked
+   document — a doc nobody can reach from README.md or its siblings is
+   effectively unpublished.
 
 Exits non-zero with a summary of every violation.
 """
@@ -44,6 +48,30 @@ def check_links():
     return errors
 
 
+def check_docs_reachable():
+    """Every docs/*.md page must be linked from another checked document."""
+    errors = []
+    linked = set()
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if resolved.exists() and resolved != doc.resolve():
+                linked.add(resolved)
+    for doc in sorted((ROOT / "docs").glob("*.md")):
+        if doc.resolve() not in linked:
+            errors.append(
+                f"{doc.relative_to(ROOT)}: not linked from any other document "
+                f"(orphaned page)"
+            )
+    return errors
+
+
 def check_runtime_classes():
     errors = []
     arch = ROOT / "docs" / "architecture.md"
@@ -61,15 +89,15 @@ def check_runtime_classes():
 
 
 def main():
-    errors = check_links() + check_runtime_classes()
+    errors = check_links() + check_docs_reachable() + check_runtime_classes()
     docs = len(doc_files())
     if errors:
         print(f"check_docs: {len(errors)} problem(s) across {docs} documents:")
         for err in errors:
             print(f"  - {err}")
         return 1
-    print(f"check_docs: OK ({docs} documents, links resolve, "
-          f"runtime classes documented)")
+    print(f"check_docs: OK ({docs} documents, links resolve, no orphaned "
+          f"pages, runtime classes documented)")
     return 0
 
 
