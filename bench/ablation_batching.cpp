@@ -37,19 +37,20 @@ int main() {
 
   std::printf("=== Ablation: adaptive batching (§VIII), f=%u, continent WAN, "
               "single-op requests ===\n\n", f);
-  std::printf("%-18s %10s %14s %14s\n", "policy", "clients", "req/s",
-              "median ms");
+  std::printf("%-18s %10s %14s %14s %10s\n", "policy", "clients", "req/s",
+              "median ms", "p99 ms");
 
   for (uint32_t clients : {16u, 128u}) {
     ExperimentResult adaptive = run_with_batching(f, clients, true, 64, measure);
-    std::printf("%-18s %10u %14.0f %14.0f\n", "adaptive", clients,
+    std::printf("%-18s %10u %14.0f %14.0f %10.0f\n", "adaptive", clients,
                 adaptive.metrics.requests_per_second,
-                adaptive.metrics.latency.median_ms);
+                adaptive.metrics.latency.median_ms, adaptive.metrics.latency.p99_ms);
     std::fflush(stdout);
     for (uint32_t fixed : {1u, 16u, 64u}) {
       ExperimentResult r = run_with_batching(f, clients, false, fixed, measure);
-      std::printf("batch=%-12u %10u %14.0f %14.0f\n", fixed, clients,
-                  r.metrics.requests_per_second, r.metrics.latency.median_ms);
+      std::printf("batch=%-12u %10u %14.0f %14.0f %10.0f\n", fixed, clients,
+                  r.metrics.requests_per_second, r.metrics.latency.median_ms,
+                  r.metrics.latency.p99_ms);
       std::fflush(stdout);
     }
     std::printf("\n");

@@ -35,8 +35,8 @@ int main() {
       std::printf("%6u %6u %10u %14.0f %14.0f %12llu %12llu%s\n", c,
                   3 * f + 2 * c + 1, stragglers, r.metrics.ops_per_second,
                   r.metrics.latency.median_ms,
-                  static_cast<unsigned long long>(r.metrics.fast_commits),
-                  static_cast<unsigned long long>(r.metrics.slow_commits),
+                  static_cast<unsigned long long>(r.metrics.counter("fast_commits")),
+                  static_cast<unsigned long long>(r.metrics.counter("slow_commits")),
                   r.agreement_ok ? "" : "  !!AGREEMENT VIOLATION!!");
       std::fflush(stdout);
     }

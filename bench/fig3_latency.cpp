@@ -35,8 +35,8 @@ int main() {
 
   std::printf("=== Figure 3: latency vs throughput — f=%u, continent WAN ===\n",
               f);
-  std::printf("each series lists (throughput ops/s -> median latency ms) per "
-              "client count %s\n\n",
+  std::printf("each series lists (throughput ops/s -> median/p99 latency ms) "
+              "per client count %s\n\n",
               bench_full_mode() ? "{4,32,64,128,192,256}" : "{4,64,256}");
 
   for (uint32_t batch : batches) {
@@ -56,8 +56,8 @@ int main() {
           point.warmup_us = 800'000;
           point.measure_us = bench_full_mode() ? 4'000'000 : 1'200'000;
           ExperimentResult r = run_point_cached(point);
-          std::printf("  (%7.0f -> %6.0fms)", r.metrics.ops_per_second,
-                      r.metrics.latency.median_ms);
+          std::printf("  (%7.0f -> %5.0f/%5.0fms)", r.metrics.ops_per_second,
+                      r.metrics.latency.median_ms, r.metrics.latency.p99_ms);
           std::fflush(stdout);
         }
         std::printf("\n");

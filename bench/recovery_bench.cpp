@@ -18,6 +18,7 @@
 #include "harness/cluster.h"
 #include "harness/eth_workload.h"
 #include "harness/experiment.h"
+#include "harness/metrics.h"
 #include "harness/workload.h"
 #include "kv/kv_service.h"
 #include "recovery/recovery_manager.h"
@@ -450,12 +451,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(blocks), mode,
                   static_cast<unsigned long long>(r.replayed),
                   static_cast<unsigned long long>(r.replayed_bytes), r.wall_ms);
-      std::printf("{\"bench\":\"recovery_replay\",\"ledger_blocks\":%llu,"
-                  "\"mode\":\"%s\",\"replayed\":%llu,\"replayed_bytes\":%llu,"
-                  "\"recover_wall_ms\":%.3f}\n",
-                  static_cast<unsigned long long>(blocks), mode,
-                  static_cast<unsigned long long>(r.replayed),
-                  static_cast<unsigned long long>(r.replayed_bytes), r.wall_ms);
+      std::printf("%s\n", JsonWriter()
+                              .field("bench", "recovery_replay")
+                              .field("ledger_blocks", blocks)
+                              .field("mode", mode)
+                              .field("replayed", r.replayed)
+                              .field("replayed_bytes", r.replayed_bytes)
+                              .field("recover_wall_ms", r.wall_ms)
+                              .str()
+                              .c_str());
       std::fflush(stdout);
     }
   }
@@ -471,10 +475,13 @@ int main(int argc, char** argv) {
       double rejoin = measure_rejoin_ms(kind, down);
       std::printf("%10s %14lld %16.1f\n", protocol_name(kind),
                   static_cast<long long>(down / 1000), rejoin);
-      std::printf("{\"bench\":\"recovery_rejoin\",\"protocol\":\"%s\","
-                  "\"downtime_ms\":%lld,\"rejoin_ms\":%.1f}\n",
-                  protocol_name(kind), static_cast<long long>(down / 1000),
-                  rejoin);
+      std::printf("%s\n", JsonWriter()
+                              .field("bench", "recovery_rejoin")
+                              .field("protocol", protocol_name(kind))
+                              .field("downtime_ms", static_cast<int64_t>(down / 1000))
+                              .field("rejoin_ms", rejoin)
+                              .str()
+                              .c_str());
       std::fflush(stdout);
     }
   }
@@ -499,21 +506,21 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.wire_bytes),
                     static_cast<unsigned long long>(r.chunks_fetched),
                     static_cast<unsigned long long>(r.chunks_served));
-        std::printf(
-            "{\"bench\":\"state_transfer_sweep\",\"protocol\":\"%s\","
-            "\"state\":\"%s\",\"mode\":\"%s\",\"snapshot_bytes\":%llu,"
-            "\"rejoin_ms\":%.1f,\"wire_bytes\":%llu,"
-            "\"state_transfer_chunks_fetched\":%llu,"
-            "\"state_transfer_chunks_served\":%llu,"
-            "\"state_transfer_bytes_transferred\":%llu,"
-            "\"state_transfer_resumes\":%llu}\n",
-            protocol_name(kind), state, mode,
-            static_cast<unsigned long long>(r.snapshot_bytes), r.rejoin_ms,
-            static_cast<unsigned long long>(r.wire_bytes),
-            static_cast<unsigned long long>(r.chunks_fetched),
-            static_cast<unsigned long long>(r.chunks_served),
-            static_cast<unsigned long long>(r.bytes_transferred),
-            static_cast<unsigned long long>(r.resumes));
+        std::printf("%s\n", JsonWriter()
+                                .field("bench", "state_transfer_sweep")
+                                .field("protocol", protocol_name(kind))
+                                .field("state", state)
+                                .field("mode", mode)
+                                .field("snapshot_bytes", r.snapshot_bytes)
+                                .field("rejoin_ms", r.rejoin_ms)
+                                .field("wire_bytes", r.wire_bytes)
+                                .field("state_transfer_chunks_fetched", r.chunks_fetched)
+                                .field("state_transfer_chunks_served", r.chunks_served)
+                                .field("state_transfer_bytes_transferred",
+                                       r.bytes_transferred)
+                                .field("state_transfer_resumes", r.resumes)
+                                .str()
+                                .c_str());
         std::fflush(stdout);
         if (r.rejoin_ms < 0) {
           std::printf("FAIL: wiped replica never rejoined (%s, %s, %s)\n",
@@ -556,19 +563,21 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.bytes_transferred),
                     static_cast<unsigned long long>(r.delta_bytes_saved),
                     static_cast<unsigned long long>(r.delta_chunks_skipped));
-        std::printf(
-            "{\"bench\":\"delta_state_transfer\",\"protocol\":\"%s\","
-            "\"state\":\"%s\",\"mutation\":\"%s\",\"mode\":\"%s\","
-            "\"snapshot_bytes\":%llu,\"rejoin_ms\":%.1f,"
-            "\"state_transfer_bytes_transferred\":%llu,"
-            "\"state_transfer_chunks_fetched\":%llu,"
-            "\"delta_chunks_skipped\":%llu,\"delta_bytes_saved\":%llu}\n",
-            protocol_name(kind), c.state, c.mutation, mode,
-            static_cast<unsigned long long>(r.snapshot_bytes), r.rejoin_ms,
-            static_cast<unsigned long long>(r.bytes_transferred),
-            static_cast<unsigned long long>(r.chunks_fetched),
-            static_cast<unsigned long long>(r.delta_chunks_skipped),
-            static_cast<unsigned long long>(r.delta_bytes_saved));
+        std::printf("%s\n", JsonWriter()
+                                .field("bench", "delta_state_transfer")
+                                .field("protocol", protocol_name(kind))
+                                .field("state", c.state)
+                                .field("mutation", c.mutation)
+                                .field("mode", mode)
+                                .field("snapshot_bytes", r.snapshot_bytes)
+                                .field("rejoin_ms", r.rejoin_ms)
+                                .field("state_transfer_bytes_transferred",
+                                       r.bytes_transferred)
+                                .field("state_transfer_chunks_fetched", r.chunks_fetched)
+                                .field("delta_chunks_skipped", r.delta_chunks_skipped)
+                                .field("delta_bytes_saved", r.delta_bytes_saved)
+                                .str()
+                                .c_str());
         std::fflush(stdout);
         if (r.rejoin_ms < 0) {
           std::printf("FAIL: briefly-behind replica never rejoined (%s, %s, "
@@ -603,15 +612,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.joins_completed),
                 static_cast<unsigned long long>(r.joiner_wire_bytes),
                 r.removal_drained ? "yes" : "NO");
-    std::printf("{\"bench\":\"reconfiguration\",\"protocol\":\"%s\","
-                "\"join_ms\":%.1f,\"epochs_activated\":%llu,"
-                "\"joins_completed\":%llu,\"joiner_wire_bytes\":%llu,"
-                "\"removal_drained\":%s}\n",
-                protocol_name(kind), r.join_ms,
-                static_cast<unsigned long long>(r.epochs_activated),
-                static_cast<unsigned long long>(r.joins_completed),
-                static_cast<unsigned long long>(r.joiner_wire_bytes),
-                r.removal_drained ? "true" : "false");
+    std::printf("%s\n", JsonWriter()
+                            .field("bench", "reconfiguration")
+                            .field("protocol", protocol_name(kind))
+                            .field("join_ms", r.join_ms)
+                            .field("epochs_activated", r.epochs_activated)
+                            .field("joins_completed", r.joins_completed)
+                            .field("joiner_wire_bytes", r.joiner_wire_bytes)
+                            .field_raw("removal_drained",
+                                       r.removal_drained ? "true" : "false")
+                            .str()
+                            .c_str());
     std::fflush(stdout);
     if (r.join_ms < 0 || r.joins_completed < 3 || !r.removal_drained) {
       std::printf("FAIL: reconfiguration cycle broke on %s (join_ms=%.1f, "
@@ -635,10 +646,12 @@ int main(int argc, char** argv) {
               inc_bytes > 0 ? static_cast<double>(full_bytes) /
                                   static_cast<double>(inc_bytes)
                             : 0.0);
-  std::printf("{\"bench\":\"wal_compaction\",\"incremental_bytes\":%llu,"
-              "\"full_rewrite_bytes\":%llu}\n",
-              static_cast<unsigned long long>(inc_bytes),
-              static_cast<unsigned long long>(full_bytes));
+  std::printf("%s\n", JsonWriter()
+                          .field("bench", "wal_compaction")
+                          .field("incremental_bytes", inc_bytes)
+                          .field("full_rewrite_bytes", full_bytes)
+                          .str()
+                          .c_str());
   if (inc_bytes >= full_bytes) {
     std::printf("FAIL: incremental compaction wrote >= bytes than full "
                 "rewrite\n");

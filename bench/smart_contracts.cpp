@@ -26,6 +26,7 @@ struct Row {
   const char* protocol;
   double tps;
   double median_ms;
+  double p99_ms;
 };
 
 Row run_replicated(const char* setting, ProtocolKind kind, uint32_t c,
@@ -51,7 +52,8 @@ Row run_replicated(const char* setting, ProtocolKind kind, uint32_t c,
   RunMetrics m = collect_metrics(cluster, from, cluster.simulator().now(),
                                  workload.txs_per_request);
   if (!cluster.check_agreement()) std::printf("!!AGREEMENT VIOLATION!!\n");
-  return {setting, protocol_name(kind), m.ops_per_second, m.latency.median_ms};
+  return {setting, protocol_name(kind), m.ops_per_second, m.latency.median_ms,
+          m.latency.p99_ms};
 }
 
 Row run_single_machine(uint64_t txs) {
@@ -73,7 +75,7 @@ Row run_single_machine(uint64_t txs) {
     executed += workload.txs_per_request;
   }
   double tps = static_cast<double>(executed) / (static_cast<double>(simulated_us) / 1e6);
-  return {"single machine", "no replication", tps, 0};
+  return {"single machine", "no replication", tps, 0, 0};
 }
 
 }  // namespace
@@ -91,8 +93,8 @@ int main() {
     std::printf("(reduced sizing f=16/n=65 by default; SBFT_BENCH_FULL=1 for "
                 "the paper's f=64/n=209)\n");
   }
-  std::printf("\n%-16s %-16s %12s %14s\n", "setting", "protocol", "tps",
-              "median ms");
+  std::printf("\n%-16s %-16s %12s %14s %10s\n", "setting", "protocol", "tps",
+              "median ms", "p99 ms");
 
   std::vector<Row> rows;
   rows.push_back(run_replicated("continent WAN", ProtocolKind::kSbft, c,
@@ -106,8 +108,8 @@ int main() {
   rows.push_back(run_single_machine(full ? 100'000 : 20'000));
 
   for (const Row& row : rows) {
-    std::printf("%-16s %-16s %12.0f %14.0f\n", row.setting, row.protocol, row.tps,
-                row.median_ms);
+    std::printf("%-16s %-16s %12.0f %14.0f %10.0f\n", row.setting, row.protocol,
+                row.tps, row.median_ms, row.p99_ms);
   }
 
   std::printf("\nPaper rows: continent SBFT 378tps/254ms vs PBFT 204tps/538ms; "

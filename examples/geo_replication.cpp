@@ -40,17 +40,19 @@ int main(int argc, char** argv) {
 
   std::printf("throughput: %.0f ops/s (%.0f requests/s)\n",
               metrics.ops_per_second, metrics.requests_per_second);
-  std::printf("latency: median %.0f ms, mean %.0f ms, p95 %.0f ms\n",
+  std::printf("latency: median %.0f ms, mean %.0f ms, p95 %.0f ms, p99 %.0f ms, "
+              "p99.9 %.0f ms\n",
               metrics.latency.median_ms, metrics.latency.mean_ms,
-              metrics.latency.p95_ms);
+              metrics.latency.p95_ms, metrics.latency.p99_ms,
+              metrics.latency.p999_ms);
   std::printf("fast-path commits: %llu, slow-path: %llu, single-ack fraction: "
               "%.2f\n",
-              static_cast<unsigned long long>(metrics.fast_commits),
-              static_cast<unsigned long long>(metrics.slow_commits),
+              static_cast<unsigned long long>(metrics.counter("fast_commits")),
+              static_cast<unsigned long long>(metrics.counter("slow_commits")),
               metrics.fast_ack_fraction);
   std::printf("messages: %llu (%.1f MB simulated traffic)\n",
-              static_cast<unsigned long long>(metrics.messages_sent),
-              static_cast<double>(metrics.bytes_sent) / 1e6);
+              static_cast<unsigned long long>(metrics.counter("messages_sent")),
+              static_cast<double>(metrics.counter("bytes_sent")) / 1e6);
 
   bool agree = cluster.check_agreement();
   std::printf("agreement audit: %s\n", agree ? "OK" : "VIOLATED");

@@ -119,6 +119,7 @@ runtime::RuntimeOptions make_runtime_options(const ReplicaOptions& opts) {
   ro.state_transfer_donor_chunks_per_tick =
       opts.config.state_transfer_donor_chunks_per_tick;
   ro.self = opts.id;
+  ro.tracer = opts.tracer;
   if (!opts.roster.empty()) {
     ro.membership_f = opts.roster_f > 0 ? opts.roster_f : opts.config.f;
     ro.membership_c = opts.roster_f > 0 ? opts.roster_c : opts.config.c;
@@ -137,6 +138,13 @@ runtime::RuntimeOptions make_runtime_options(const ReplicaOptions& opts) {
 SbftReplica::SbftReplica(ReplicaOptions options, std::unique_ptr<IService> service)
     : opts_(std::move(options)),
       runtime_(make_runtime_options(opts_), std::move(service)),
+      trace_(opts_.tracer ? *opts_.tracer : obs::Tracer::nop()),
+      metrics_(opts_.metrics ? opts_.metrics
+                             : std::make_shared<obs::MetricsRegistry>()),
+      h_pp_to_commit_(&metrics_->histogram("stage.pp_to_commit_us")),
+      h_commit_to_exec_(&metrics_->histogram("stage.commit_to_exec_us")),
+      h_pending_wait_(&metrics_->histogram("stage.pending_wait_us")),
+      h_exec_to_ack_(&metrics_->histogram("stage.exec_to_ack_us")),
       cfg_(opts_.config) {
   opts_.config.validate();
   // With an explicit roster the id may exceed the genesis n (a joiner added
@@ -246,6 +254,8 @@ void SbftReplica::maybe_refresh_epoch(sim::ActorContext& ctx) {
     // Removed: drain. Keep serving state transfer and cached replies; never
     // vote, propose, or start view changes again.
     retired_ = true;
+    trace_.instant(ctx.now(), obs::Category::kReconfig, obs::ev::kEpochRetired,
+                   0, 0, 0, "epoch", epoch().epoch);
     in_view_change_ = false;
     pending_.clear();
     pending_keys_.clear();
@@ -264,7 +274,7 @@ SbftReplica::~SbftReplica() = default;
 
 ReplicaStats SbftReplica::stats() const {
   ReplicaStats merged = stats_;
-  runtime_.stats().merge_into(merged);
+  static_cast<runtime::RuntimeStats&>(merged) = runtime_.stats();
   return merged;
 }
 
@@ -490,19 +500,34 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
         auto tick = st.on_retry_tick(le(), state_transfer_behind(), runtime_.stats());
         if (tick.stop) {
           st_inflight_ = false;
+          if (st_span_open_ && !state_transfer_behind()) {
+            st_span_open_ = false;
+            trace_.end(ctx.now(), obs::Category::kStateTransfer,
+                       obs::ev::kStateTransfer, st_session_, le());
+          }
           // The fetch that just ended may have become moot for its *target*
           // while the replica fell behind a newer checkpoint (the cluster
           // moved on mid-fetch): start over, like the legacy path below.
           if (state_transfer_behind()) request_state_transfer(ctx);
           break;
         }
-        if (tick.probe) broadcast_state_probe(ctx);
+        if (tick.probe) {
+          broadcast_state_probe(ctx);
+        } else {
+          trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                         obs::ev::kStResume, st_session_, le());
+        }
         send_chunk_requests(ctx);
         ctx.set_timer(opts_.config.state_transfer_retry_us,
                       timer_id(kStateTransferTimer, 0));
         break;
       }
       st_inflight_ = false;
+      if (st_span_open_ && !state_transfer_behind()) {
+        st_span_open_ = false;
+        trace_.end(ctx.now(), obs::Category::kStateTransfer,
+                   obs::ev::kStateTransfer, st_session_, le());
+      }
       // Still behind? Try another source.
       if (state_transfer_behind()) request_state_transfer(ctx);
       break;
@@ -547,13 +572,19 @@ void SbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
     reply.seq = cached->seq;
     reply.value = cached->value;
     if (!silent()) ctx.send(req.client, make_message(std::move(reply)));
+    trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kReplyCached, 0,
+                   cached->seq, view_, "client", req.client);
     return;
   }
 
   if (retired_) return;  // drained: serves caches only, never orders
   if (is_primary() && !in_view_change_) {
     auto key = std::make_pair(req.client, req.timestamp);
-    if (pending_keys_.insert(key).second) pending_.emplace_back(req, ctx.now());
+    if (pending_keys_.insert(key).second) {
+      pending_.emplace_back(req, ctx.now());
+      trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kRequestAdmitted,
+                     0, 0, view_, "client", req.client);
+    }
     try_propose(ctx);
   } else if (from == req.client) {
     // Forward to the current primary; remember that we owe progress — if the
@@ -625,6 +656,7 @@ void SbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
       pending_.pop_front();
       pending_keys_.erase({r.client, r.timestamp});
       stats_.pending_wait_us += ctx.now() - arrived;
+      h_pending_wait_->record(ctx.now() - arrived);
       ++stats_.proposed_requests;
       block.requests.push_back(std::move(r));
     }
@@ -711,6 +743,11 @@ void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
   sl.h = slot_hash(s, v, sl.block_digest);
   sl.awaiting_block = false;
   if (sl.pp_time < 0) sl.pp_time = ctx.now();
+  // Slot span: accepted pre-prepare -> executed. The span id folds the view
+  // in so a slot re-accepted after a view change opens a fresh span (the
+  // superseded one stays dangling, which Perfetto renders as unfinished).
+  trace_.begin(ctx.now(), obs::Category::kSlot, obs::ev::kSlot,
+               (v << 32) | s, s, v);
   ctx.charge(ctx.costs().hash_us(64));
 
   // Sign both shares (sigma for the fast path, tau for Linear-PBFT, §V-E),
@@ -823,6 +860,8 @@ void SbftReplica::collector_try_fast(SeqNum s, sim::ActorContext& ctx,
       continue;  // invalid shares filtered; wait for more
     }
     sl.coll_sent_fast = true;
+    trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kFastProofFormed,
+                   0, s, sl.coll_view, "shares", shares.size());
     FullCommitProofMsg proof;
     proof.seq = s;
     proof.view = sl.coll_view;
@@ -854,6 +893,8 @@ void SbftReplica::collector_try_prepare(SeqNum s, sim::ActorContext& ctx) {
       continue;
     }
     sl.coll_sent_prepare = true;
+    trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kPrepareFormed, 0,
+                   s, sl.coll_view, "shares", shares.size());
     sl.coll_tau = *sig;
     sl.coll_h = h;
     sl.coll_block_digest = sl.coll_digest_of_h[h];
@@ -965,6 +1006,8 @@ void SbftReplica::collector_try_slow_proof(SeqNum s, sim::ActorContext& ctx) {
     return;
   }
   sl.coll_sent_slow = true;
+  trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kSlowProofFormed, 0,
+                 s, sl.coll_view, "shares", sl.coll_commit_shares.size());
   FullCommitProofSlowMsg proof;
   proof.seq = s;
   proof.view = sl.coll_view;
@@ -1031,6 +1074,7 @@ void SbftReplica::commit(SeqNum s, const Digest& block_digest, bool fast,
   sl.commit_time = ctx.now();
   if (sl.pp_time >= 0) {
     stats_.pp_to_commit_us += ctx.now() - sl.pp_time;
+    h_pp_to_commit_->record(ctx.now() - sl.pp_time);
     ++stats_.timed_slots;
   }
   if (fast) {
@@ -1038,8 +1082,17 @@ void SbftReplica::commit(SeqNum s, const Digest& block_digest, bool fast,
   } else {
     ++stats_.slow_commits;
   }
+  trace_.instant(ctx.now(), obs::Category::kSlot,
+                 fast ? obs::ev::kCommitFast : obs::ev::kCommitSlow, 0, s,
+                 sl.pp_view, "digest", obs::digest_prefix(block_digest.data()));
   if (!sl.block || !(sl.block_digest == block_digest)) {
     // Committed by proof without the payload: fetch it.
+    if (!sl.has_pp) {
+      // Proof-driven catch-up (never saw the pre-prepare): open the slot
+      // span at the commit so the execute end has a begin to pair with.
+      trace_.begin(ctx.now(), obs::Category::kSlot, obs::ev::kSlot,
+                   (sl.pp_view << 32) | s, s, sl.pp_view);
+    }
     sl.awaiting_block = true;
     sl.awaiting_digest = block_digest;
     sl.awaiting_is_commit = true;
@@ -1076,7 +1129,12 @@ void SbftReplica::execute_block(SeqNum s, sim::ActorContext& ctx) {
       runtime_.execute_block(s, sl.pp_view, *sl.block, ctx);
   Digest d = rec.cert.exec_digest();
 
-  if (sl.commit_time >= 0) stats_.commit_to_exec_us += ctx.now() - sl.commit_time;
+  if (sl.commit_time >= 0) {
+    stats_.commit_to_exec_us += ctx.now() - sl.commit_time;
+    h_commit_to_exec_->record(ctx.now() - sl.commit_time);
+  }
+  trace_.end(ctx.now(), obs::Category::kSlot, obs::ev::kSlot,
+             (sl.pp_view << 32) | s, s, sl.pp_view);
 
   // Without the execution collector (Linear-PBFT variants), every replica
   // replies to every client directly — the f+1-messages-per-client cost that
@@ -1197,7 +1255,10 @@ void SbftReplica::send_execute_acks(SeqNum s, sim::ActorContext& ctx) {
   const runtime::ExecutionRecord& rec = *rec_ptr;
   if (rec.leaves.empty()) return;
   stats_.exec_to_ack_us += ctx.now() - rec.executed_at;
+  h_exec_to_ack_->record(ctx.now() - rec.executed_at);
   ++stats_.acked_blocks;
+  trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kExecAcks, 0, s,
+                 view_, "requests", rec.block.requests.size());
   merkle::BlockMerkleTree tree(rec.leaves);
   for (size_t l = 0; l < rec.block.requests.size(); ++l) {
     const Request& req = rec.block.requests[l];
@@ -1293,6 +1354,8 @@ void SbftReplica::adopt_verified_view(ViewNum v, sim::ActorContext& ctx) {
   // NewViewMsg path (it adopts the in-flight slots).
   if (v <= view_ || in_view_change_) return;
   view_ = v;
+  trace_.instant(ctx.now(), obs::Category::kViewChange, obs::ev::kViewAdopted,
+                 0, 0, v);
   vc_target_ = v;
   vc_attempts_ = 0;
   new_view_sent_ = false;
@@ -1311,6 +1374,17 @@ void SbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
   vc_target_ = target;
   ++vc_attempts_;
   ++stats_.view_changes;
+  // One session span per target view; escalating to a higher target closes
+  // the superseded session and opens the next.
+  if (vc_span_ != 0 && vc_span_ != target) {
+    trace_.end(ctx.now(), obs::Category::kViewChange, obs::ev::kViewChange,
+               vc_span_, 0, vc_span_, "superseded", 1);
+  }
+  if (vc_span_ != target) {
+    vc_span_ = target;
+    trace_.begin(ctx.now(), obs::Category::kViewChange, obs::ev::kViewChange,
+                 target, 0, target);
+  }
 
   ViewChangeMsg msg = build_view_change(target);
   vc_msgs_[target][opts_.id] = msg;
@@ -1396,6 +1470,8 @@ void SbftReplica::maybe_send_new_view(ViewNum target, sim::ActorContext& ctx) {
     if (nv.proofs.size() == cfg_.view_change_quorum()) break;
   }
   new_view_sent_ = true;
+  trace_.instant(ctx.now(), obs::Category::kViewChange, obs::ev::kNewViewSent,
+                 0, 0, target);
   broadcast_replicas(ctx, make_message(NewViewMsg(nv)));
   enter_new_view(nv, ctx);
 }
@@ -1416,6 +1492,15 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
 
   view_ = m.view;
   in_view_change_ = false;
+  if (vc_span_ != 0) {
+    trace_.end(ctx.now(), obs::Category::kViewChange, obs::ev::kViewChange,
+               vc_span_, 0, vc_span_, "entered_view", m.view);
+    vc_span_ = 0;
+  } else {
+    // Entered on the strength of a NewView alone (never locally timed out).
+    trace_.instant(ctx.now(), obs::Category::kViewChange, obs::ev::kViewEntered,
+                   0, 0, m.view);
+  }
   vc_target_ = m.view;
   vc_attempts_ = 0;
   new_view_sent_ = false;
@@ -1455,6 +1540,11 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
           sl.pp_view = m.view;
           sl.block = safe.block;
           sl.block_digest = safe.block_digest;
+          // Adopted from view-change evidence, not via accept_pre_prepare:
+          // open the slot span here so its execute end has a begin to pair
+          // with.
+          trace_.begin(ctx.now(), obs::Category::kSlot, obs::ev::kSlot,
+                       (m.view << 32) | j, j, m.view);
         }
         commit(j, safe.block_digest, safe.decided_fast, ctx);
         break;
@@ -1517,6 +1607,11 @@ void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   if (st.chunked()) {
     if (st.active()) return;  // a fetch round is already running
     ++runtime_.stats().state_transfers;
+    if (!st_span_open_) {
+      st_span_open_ = true;
+      trace_.begin(ctx.now(), obs::Category::kStateTransfer,
+                   obs::ev::kStateTransfer, ++st_session_, le());
+    }
     broadcast_state_probe(ctx);
     if (!st_inflight_) {
       st_inflight_ = true;  // retry timer armed
@@ -1528,6 +1623,11 @@ void SbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   if (st_inflight_) return;
   st_inflight_ = true;
   ++runtime_.stats().state_transfers;
+  if (!st_span_open_) {
+    st_span_open_ = true;
+    trace_.begin(ctx.now(), obs::Category::kStateTransfer,
+                 obs::ev::kStateTransfer, ++st_session_, le());
+  }
   // Ask a pseudo-random member; retry rotates the choice.
   const auto& members = epoch().members;
   ReplicaId peer = members[ctx.rng().below(members.size())].id;
@@ -1576,6 +1676,11 @@ void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
                                               sim::ActorContext& ctx) {
   if (m.seq <= le()) {
     st_inflight_ = false;
+    if (st_span_open_ && !state_transfer_behind()) {
+      st_span_open_ = false;
+      trace_.end(ctx.now(), obs::Category::kStateTransfer,
+                 obs::ev::kStateTransfer, st_session_, le());
+    }
     return;
   }
   ctx.charge(ctx.costs().bls_verify_combined_us);
@@ -1586,6 +1691,13 @@ void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
   if (!runtime_.adopt_checkpoint(m.cert, as_span(m.service_snapshot), ctx)) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
   st_inflight_ = false;
+  trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStAdopt,
+                 st_session_, m.seq);
+  if (st_span_open_) {
+    st_span_open_ = false;
+    trace_.end(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStateTransfer,
+               st_session_, m.seq);
+  }
   maybe_refresh_epoch(ctx);  // the adopted envelope may carry a newer epoch
   try_execute(ctx);
 }
@@ -1608,7 +1720,12 @@ void SbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   // certified under epochs it has not installed yet.
   ctx.charge(ctx.costs().bls_verify_combined_us);
   if (!verify_cert_pi(m.cert)) return;
-  if (st.on_manifest(m, le(), runtime_.checkpoints(), runtime_.stats())) {
+  bool accepted = st.on_manifest(m, le(), runtime_.checkpoints(), runtime_.stats());
+  if (accepted) {
+    trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStManifest,
+                   st_session_, m.seq, 0, "donor", m.donor);
+  }
+  if (accepted) {
     // A delta manifest may have seeded every chunk from the local base — the
     // fetch can be complete without a single wire chunk.
     if (st.fetch_complete()) {
@@ -1645,6 +1762,8 @@ void SbftReplica::broadcast_state_probe(sim::ActorContext& ctx) {
   if (cold && probe.base_seq > 0) {
     ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
   }
+  trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStProbe,
+                 st_session_, le());
   broadcast_replicas(ctx, make_message(std::move(probe)));
 }
 
@@ -1663,12 +1782,21 @@ void SbftReplica::handle_state_chunk(NodeId from, const StateChunkMsg& m,
   runtime::StateTransferManager& st = runtime_.state_transfer();
   ctx.charge(ctx.costs().hash_us(m.data.size()));  // leaf hash + proof path
   using Verdict = runtime::StateTransferManager::ChunkVerdict;
-  switch (st.on_chunk(m, runtime_.stats())) {
+  switch (Verdict verdict = st.on_chunk(m, runtime_.stats()); verdict) {
     case Verdict::kCompleted:
+      trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                     obs::ev::kStChunkStored, st_session_, m.seq, 0, "index",
+                     m.index);
       complete_chunked_transfer(ctx);
       break;
     case Verdict::kStored:
     case Verdict::kInvalid:
+      trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                     verdict == Verdict::kStored ? obs::ev::kStChunkStored
+                                                 : obs::ev::kStChunkInvalid,
+                     st_session_, m.seq, 0,
+                     verdict == Verdict::kStored ? "index" : "donor",
+                     verdict == Verdict::kStored ? m.index : m.donor);
       // Keep the pipeline full; an invalid chunk also re-plans the indices
       // that were outstanding at the now-excluded donor.
       send_chunk_requests(ctx);
@@ -1693,7 +1821,20 @@ void SbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
   // The stale-target vs lying-manifest distinction lives in the manager,
   // shared with the PBFT engine.
   if (st.on_adopt_result(adopted, le())) broadcast_state_probe(ctx);
-  if (!adopted) return;
+  if (!adopted) {
+    // Session stays open: the retry tick re-probes or stops it.
+    trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                   obs::ev::kStAdoptFailed, st_session_, cert.seq);
+    return;
+  }
+  trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStAdopt,
+                 st_session_, cert.seq, 0, "digest",
+                 obs::digest_prefix(cert.exec_digest().data()));
+  if (st_span_open_) {
+    st_span_open_ = false;
+    trace_.end(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStateTransfer,
+               st_session_, cert.seq);
+  }
   slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
   maybe_refresh_epoch(ctx);  // the adopted envelope may carry a newer epoch
   try_execute(ctx);

@@ -18,6 +18,8 @@
 #include "core/crypto_context.h"
 #include "core/view_change.h"
 #include "kv/service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/config.h"
 #include "proto/message.h"
 #include "recovery/wal.h"
@@ -68,33 +70,23 @@ struct ReplicaOptions {
   // Per-epoch threshold key material (trusted-dealer re-keying); epoch 0
   // always uses `crypto`. Required before any epoch > 0 activates.
   std::shared_ptr<const EpochKeyTable> epoch_keys;
+  // Observability (docs/observability.md). A null tracer binds to the shared
+  // disabled instance; a null registry gets an engine-private one, so both
+  // are optional for direct-construction unit tests.
+  std::shared_ptr<obs::Tracer> tracer;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
-struct ReplicaStats {
+/// SBFT protocol counters on top of the shared runtime counters (the base's
+/// fields — execution, state transfer, recovery, reconfiguration — are
+/// slice-assigned from the runtime in stats()).
+struct ReplicaStats : runtime::RuntimeStats {
   uint64_t fast_commits = 0;
   uint64_t slow_commits = 0;
-  uint64_t blocks_executed = 0;
-  uint64_t requests_executed = 0;
   uint64_t view_changes = 0;
-  uint64_t state_transfers = 0;
   uint64_t invalid_shares_seen = 0;
-  // Durability / crash recovery.
-  uint64_t recoveries = 0;         // 1 when this incarnation rebuilt from storage
-  uint64_t blocks_replayed = 0;    // ledger blocks re-executed during recovery
-  uint64_t wal_bytes_written = 0;  // cumulative WAL appends (handle lifetime)
-  uint64_t reply_cache_hits = 0;   // duplicates served or suppressed
-  // Chunked state transfer (filled by RuntimeStats::merge_into).
-  uint64_t state_transfer_chunks_served = 0;
-  uint64_t state_transfer_chunks_fetched = 0;
-  uint64_t state_transfer_invalid_chunks = 0;
-  uint64_t state_transfer_resumes = 0;
-  uint64_t state_transfer_bytes_transferred = 0;
-  uint64_t delta_chunks_skipped = 0;    // fetcher: chunks seeded from local base
-  uint64_t delta_bytes_saved = 0;       // fetcher: payload kept off the wire
-  uint64_t donor_chunks_throttled = 0;  // donor: serves deferred by rate limit
-  uint64_t epochs_activated = 0;        // membership epochs that took effect
-  uint64_t joins_completed = 0;         // this replica joined via an epoch
-  // Phase timing (sums over this replica's slots, microseconds).
+  // Phase timing (sums over this replica's slots, microseconds). Per-stage
+  // distributions live in the metrics registry's "stage.*" histograms.
   int64_t pp_to_commit_us = 0;    // pre-prepare accept -> commit
   int64_t commit_to_exec_us = 0;  // commit -> execution
   uint64_t timed_slots = 0;
@@ -103,6 +95,20 @@ struct ReplicaStats {
   int64_t exec_to_ack_us = 0;     // E-collector: own execution -> acks sent
   uint64_t acked_blocks = 0;
   uint64_t buffered_pi_shares = 0;
+
+  /// Invokes fn(name, value) for every counter, runtime fields included.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    runtime::RuntimeStats::for_each(fn);
+    fn("fast_commits", fast_commits);
+    fn("slow_commits", slow_commits);
+    fn("view_changes", view_changes);
+    fn("invalid_shares_seen", invalid_shares_seen);
+    fn("timed_slots", timed_slots);
+    fn("proposed_requests", proposed_requests);
+    fn("acked_blocks", acked_blocks);
+    fn("buffered_pi_shares", buffered_pi_shares);
+  }
 };
 
 class SbftReplica final : public sim::IActor {
@@ -264,6 +270,21 @@ class SbftReplica final : public sim::IActor {
 
   ReplicaOptions opts_;
   runtime::ReplicaRuntime runtime_;
+
+  // Observability: the tracer reference binds to opts_.tracer or the shared
+  // disabled instance; per-stage latency histograms live in the registry and
+  // survive restarts with it (the harness shares one registry per handle).
+  obs::Tracer& trace_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Histogram* h_pp_to_commit_;
+  obs::Histogram* h_commit_to_exec_;
+  obs::Histogram* h_pending_wait_;
+  obs::Histogram* h_exec_to_ack_;
+  // Open trace spans (0 / false = none): the view-change session under way,
+  // and the current state-transfer session.
+  ViewNum vc_span_ = 0;
+  uint64_t st_session_ = 0;
+  bool st_span_open_ = false;
 
   // Derived from the active epoch (f/c patched into the protocol config so
   // quorum formulas and the pure view-change functions see the epoch sizing).

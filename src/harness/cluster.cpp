@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace_export.h"
+
 namespace sbft::harness {
 
 const char* protocol_name(ProtocolKind kind) {
@@ -78,6 +80,8 @@ void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavio
     po.checkpoint_auth = checkpoint_auth_;
     po.roster = current_members_;
     po.roster_f = current_f_;
+    po.tracer = handle.tracer_;
+    po.metrics = handle.metrics_;
     handle.pbft_ =
         std::make_unique<pbft::PbftReplica>(std::move(po), opts_.service_factory());
   } else {
@@ -98,6 +102,8 @@ void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavio
     ro.roster_f = current_f_;
     ro.roster_c = current_c_;
     ro.epoch_keys = epoch_keys_;
+    ro.tracer = handle.tracer_;
+    ro.metrics = handle.metrics_;
     handle.sbft_ =
         std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
   }
@@ -159,6 +165,10 @@ void Cluster::build() {
       handle.ledger_ = std::make_shared<storage::MemoryLedgerStorage>();
       handle.wal_ = std::make_shared<recovery::MemoryWal>();
     }
+    handle.metrics_ = std::make_shared<obs::MetricsRegistry>();
+    if (opts_.tracing) {
+      handle.tracer_ = std::make_shared<obs::Tracer>(r, opts_.trace_capacity);
+    }
     build_replica(handle, behavior[r], /*recovering=*/false);
     handle.node_ = net_->add_node(handle.actor());
     SBFT_CHECK(handle.node_ == r - 1);  // replicas are added first
@@ -168,6 +178,7 @@ void Cluster::build() {
   for (uint32_t i = 0; i < opts_.num_clients; ++i) {
     core::ClientOptions co;
     co.config = config_;
+    co.retry_timeout_us = config_.client_retry_timeout_us;
     co.crypto = core::ReplicaCrypto::verifier_only(keys_);
     co.epoch_keys = epoch_keys_;
     co.num_requests = opts_.requests_per_client;
@@ -207,6 +218,11 @@ ReplicaId Cluster::add_replica() {
   if (opts_.durability) {
     handle.ledger_ = std::make_shared<storage::MemoryLedgerStorage>();
     handle.wal_ = std::make_shared<recovery::MemoryWal>();
+  }
+  handle.metrics_ = std::make_shared<obs::MetricsRegistry>();
+  if (opts_.tracing) {
+    handle.tracer_ =
+        std::make_shared<obs::Tracer>(handle.id_, opts_.trace_capacity);
   }
   // The joiner bootstraps as a wiped recovering fetcher against the current
   // roster (which does not contain it); it participates only after an epoch
@@ -267,6 +283,17 @@ void Cluster::submit_reconfig(const std::vector<ReplicaId>& adds,
   ++next_epoch_;
 }
 
+void Cluster::crash_replica(ReplicaId r) {
+  ReplicaHandle& handle = replica(r);
+  net_->crash(handle.node());
+  // Lifecycle marker: lets trace consumers segment the stream by incarnation
+  // (a restarted replica's execution cursor may legitimately move back).
+  if (handle.tracer_) {
+    handle.tracer_->instant(sim_.now(), obs::Category::kSlot,
+                            obs::ev::kReplicaCrashed);
+  }
+}
+
 void Cluster::restart_replica(ReplicaId r, bool wipe_storage) {
   ReplicaHandle& handle = replica(r);
   SBFT_CHECK(net_->crashed(handle.node()));
@@ -275,6 +302,13 @@ void Cluster::restart_replica(ReplicaId r, bool wipe_storage) {
   }
   if (wipe_storage || !handle.wal_) {
     handle.wal_ = std::make_shared<recovery::MemoryWal>();
+  }
+  // The tracer and registry survive the restart like the disk does: the new
+  // incarnation appends to the same stream, after a restart marker.
+  if (handle.tracer_) {
+    handle.tracer_->instant(sim_.now(), obs::Category::kSlot,
+                            obs::ev::kReplicaRestarted, 0, 0, 0, "wiped",
+                            wipe_storage ? 1 : 0);
   }
   build_replica(handle, core::ReplicaBehavior::kHonest, /*recovering=*/true);
   net_->restart(handle.node(), handle.actor());
@@ -359,6 +393,33 @@ uint64_t Cluster::total_view_changes() const {
   uint64_t total = 0;
   for (const ReplicaHandle& h : replicas_) total += h.view_changes();
   return total;
+}
+
+std::vector<const obs::Tracer*> Cluster::tracers() const {
+  std::vector<const obs::Tracer*> out;
+  for (const ReplicaHandle& h : replicas_) {
+    if (h.tracer()) out.push_back(h.tracer().get());
+  }
+  return out;
+}
+
+std::string Cluster::trace_json() const { return obs::chrome_trace_json(tracers()); }
+
+bool Cluster::dump_trace(const std::string& path) const {
+  return obs::write_chrome_trace(path, tracers());
+}
+
+obs::CheckReport Cluster::check_trace() const {
+  // The fast-quorum invariant only applies when a fast path exists; PBFT and
+  // Linear-PBFT commit through prepare/commit quorums exclusively.
+  obs::TraceChecker checker(config_.fast_path_enabled ? config_.fast_quorum()
+                                                      : 0);
+  for (const ReplicaHandle& h : replicas_) {
+    if (h.tracer()) {
+      checker.add_replica(h.id(), h.tracer()->events(), h.tracer()->dropped());
+    }
+  }
+  return checker.run();
 }
 
 bool Cluster::check_agreement(SeqNum* bad_seq) const {

@@ -12,10 +12,13 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "core/client.h"
 #include "core/replica.h"
 #include "harness/replica_handle.h"
 #include "harness/workload.h"
+#include "obs/trace_checker.h"
 #include "pbft/pbft_replica.h"
 #include "recovery/wal.h"
 #include "sim/network.h"
@@ -83,6 +86,12 @@ struct ClusterOptions {
   };
   std::vector<RestartEvent> restart_schedule;
 
+  // Structured protocol tracing (docs/observability.md). Off by default;
+  // enabling it never perturbs the simulation (tracers only record, they
+  // never touch timers, the network, or any RNG).
+  bool tracing = false;
+  size_t trace_capacity = 65536;  // events retained per replica (ring buffer)
+
   // Use real Shoup threshold-RSA keys instead of the simulated-BLS scheme.
   // Slower (real modular exponentiation per share); meant for small-n tests
   // that exercise the protocol with genuine cryptography.
@@ -146,7 +155,7 @@ class Cluster {
 
   // --- crash / restart (any protocol) ----------------------------------------
   /// Crashes the replica's node (id↔node translation via its handle).
-  void crash_replica(ReplicaId r) { net_->crash(replica(r).node()); }
+  void crash_replica(ReplicaId r);
   /// Rebuilds a crashed replica from its surviving ledger + WAL handles and
   /// re-admits it to the network; with wipe_storage the handles are replaced
   /// by empty ones first (disk loss — recovery must go via state transfer).
@@ -170,6 +179,18 @@ class Cluster {
   /// same sequence number committed the same block. Returns false (and the
   /// offending sequence via *bad_seq) on divergence.
   bool check_agreement(SeqNum* bad_seq = nullptr) const;
+
+  // --- observability (docs/observability.md) ---------------------------------
+  /// Per-replica tracers in replica-id order (empty unless options().tracing).
+  std::vector<const obs::Tracer*> tracers() const;
+  /// Chrome-trace-event JSON over every replica's events (Perfetto-loadable).
+  std::string trace_json() const;
+  /// Writes trace_json() to `path`; false on I/O failure.
+  bool dump_trace(const std::string& path) const;
+  /// Cross-replica invariant audit over the recorded traces (agreement on
+  /// executed digests, no double execution, fast commits backed by quorum
+  /// proofs, state-transfer sessions terminate).
+  obs::CheckReport check_trace() const;
 
  private:
   void build();

@@ -64,16 +64,31 @@ std::filesystem::path cache_dir() {
   return std::filesystem::temp_directory_path() / "sbft-bench-cache";
 }
 
+// Cache schema version: bump whenever the serialized shape changes so stale
+// files from older builds re-run instead of mis-parsing.
+constexpr int kCacheVersion = 2;
+
 bool load_cached(const std::filesystem::path& file, ExperimentResult* out) {
   std::ifstream in(file);
   if (!in) return false;
+  int version = 0;
+  in >> version;
+  if (version != kCacheVersion) return false;
   int agreement = 0;
   RunMetrics& m = out->metrics;
   in >> m.requests_completed >> m.requests_per_second >> m.ops_per_second >>
       m.latency.count >> m.latency.mean_ms >> m.latency.median_ms >>
-      m.latency.p95_ms >> m.latency.min_ms >> m.latency.max_ms >>
-      m.fast_ack_fraction >> m.fast_commits >> m.slow_commits >> m.view_changes >>
-      m.messages_sent >> m.bytes_sent >> agreement >> out->sim_events;
+      m.latency.p95_ms >> m.latency.p99_ms >> m.latency.p999_ms >>
+      m.latency.min_ms >> m.latency.max_ms >> m.fast_ack_fraction >> agreement >>
+      out->sim_events;
+  size_t num_counters = 0;
+  in >> num_counters;
+  for (size_t i = 0; i < num_counters && in; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    in >> name >> value;
+    m.registry.counter(name) = value;
+  }
   if (!in) return false;
   out->agreement_ok = agreement != 0;
   return true;
@@ -84,13 +99,23 @@ void store_cached(const std::filesystem::path& file, const ExperimentResult& r) 
   std::filesystem::create_directories(cache_dir(), ec);
   std::ofstream out(file);
   const RunMetrics& m = r.metrics;
-  out << m.requests_completed << ' ' << m.requests_per_second << ' '
-      << m.ops_per_second << ' ' << m.latency.count << ' ' << m.latency.mean_ms
-      << ' ' << m.latency.median_ms << ' ' << m.latency.p95_ms << ' '
-      << m.latency.min_ms << ' ' << m.latency.max_ms << ' ' << m.fast_ack_fraction
-      << ' ' << m.fast_commits << ' ' << m.slow_commits << ' ' << m.view_changes
-      << ' ' << m.messages_sent << ' ' << m.bytes_sent << ' '
-      << (r.agreement_ok ? 1 : 0) << ' ' << r.sim_events << '\n';
+  out << kCacheVersion << ' ' << m.requests_completed << ' '
+      << m.requests_per_second << ' ' << m.ops_per_second << ' '
+      << m.latency.count << ' ' << m.latency.mean_ms << ' ' << m.latency.median_ms
+      << ' ' << m.latency.p95_ms << ' ' << m.latency.p99_ms << ' '
+      << m.latency.p999_ms << ' ' << m.latency.min_ms << ' ' << m.latency.max_ms
+      << ' ' << m.fast_ack_fraction << ' ' << (r.agreement_ok ? 1 : 0) << ' '
+      << r.sim_events << '\n';
+  // Counters by name (names never contain whitespace); histograms are not
+  // cached — a cache hit keeps the table counters, which is all the benches
+  // read through run_point_cached.
+  size_t num_counters = 0;
+  m.registry.for_each_counter([&](const std::string&, uint64_t) { ++num_counters; });
+  out << num_counters;
+  m.registry.for_each_counter([&](const std::string& name, uint64_t value) {
+    out << ' ' << name << ' ' << value;
+  });
+  out << '\n';
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "harness/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <sstream>
 
@@ -16,6 +17,8 @@ LatencySummary summarize_latencies(const std::vector<int64_t>& latencies_us) {
                 static_cast<double>(sorted.size()) / 1000.0;
   out.median_ms = static_cast<double>(sorted[sorted.size() / 2]) / 1000.0;
   out.p95_ms = static_cast<double>(sorted[sorted.size() * 95 / 100]) / 1000.0;
+  out.p99_ms = static_cast<double>(sorted[sorted.size() * 99 / 100]) / 1000.0;
+  out.p999_ms = static_cast<double>(sorted[sorted.size() * 999 / 1000]) / 1000.0;
   out.min_ms = static_cast<double>(sorted.front()) / 1000.0;
   out.max_ms = static_cast<double>(sorted.back()) / 1000.0;
   return out;
@@ -44,27 +47,20 @@ RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime 
     m.fast_ack_fraction =
         static_cast<double>(fast_acks) / static_cast<double>(m.requests_completed);
   }
-  m.fast_commits = cluster.total_fast_commits();
-  m.slow_commits = cluster.total_slow_commits();
-  m.view_changes = cluster.total_view_changes();
-  m.recoveries = cluster.total_recoveries();
-  m.wal_bytes_written = cluster.total_wal_bytes_written();
+  // Every replica's counters fold into the registry by name — the stats
+  // structs enumerate themselves, so new counters flow through untouched.
   for (ReplicaId r = 1; r <= cluster.num_replicas(); ++r) {
-    const runtime::RuntimeStats& rs = cluster.replica(r).runtime_stats();
-    m.state_transfer_chunks_served += rs.state_transfer_chunks_served;
-    m.state_transfer_chunks_fetched += rs.state_transfer_chunks_fetched;
-    m.state_transfer_invalid_chunks += rs.state_transfer_invalid_chunks;
-    m.state_transfer_resumes += rs.state_transfer_resumes;
-    m.state_transfer_bytes_transferred += rs.state_transfer_bytes_transferred;
-    m.delta_chunks_skipped += rs.delta_chunks_skipped;
-    m.delta_bytes_saved += rs.delta_bytes_saved;
-    m.donor_chunks_throttled += rs.donor_chunks_throttled;
-    m.epochs_activated += rs.epochs_activated;
-    m.joins_completed += rs.joins_completed;
+    const ReplicaHandle& h = cluster.replica(r);
+    h.for_each_stat(
+        [&](std::string_view name, uint64_t value) { m.registry.add(name, value); });
+    if (h.metrics()) m.registry.merge(*h.metrics());
   }
+  // WAL bytes come from the durable handles, not the replica stats: the
+  // handle's counter spans every incarnation of a restarted replica.
+  m.registry.counter("wal_bytes_written") = cluster.total_wal_bytes_written();
   auto totals = cluster.network().total_stats();
-  m.messages_sent = totals.count;
-  m.bytes_sent = totals.bytes;
+  m.registry.counter("messages_sent") = totals.count;
+  m.registry.counter("bytes_sent") = totals.bytes;
   return m;
 }
 
@@ -80,6 +76,67 @@ std::string format_row(const std::vector<std::string>& cells,
     out << cell << ' ';
   }
   return out.str();
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (body_.size() > 1) body_ += ',';
+  body_ += '"';
+  body_ += name;
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, uint64_t value) {
+  key(name);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, int64_t value) {
+  key(name);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  key(name);
+  body_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, std::string_view value) {
+  key(name);
+  body_ += '"';
+  body_ += value;  // callers pass identifier-like strings; no escaping needed
+  body_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_raw(std::string_view name, std::string_view raw_json) {
+  key(name);
+  body_ += raw_json;
+  return *this;
+}
+
+std::string metrics_json(const RunMetrics& m) {
+  JsonWriter lat;
+  lat.field("count", m.latency.count)
+      .field("mean_ms", m.latency.mean_ms)
+      .field("median_ms", m.latency.median_ms)
+      .field("p95_ms", m.latency.p95_ms)
+      .field("p99_ms", m.latency.p99_ms)
+      .field("p999_ms", m.latency.p999_ms)
+      .field("min_ms", m.latency.min_ms)
+      .field("max_ms", m.latency.max_ms);
+  JsonWriter w;
+  w.field("requests_completed", m.requests_completed)
+      .field("requests_per_second", m.requests_per_second)
+      .field("ops_per_second", m.ops_per_second)
+      .field("fast_ack_fraction", m.fast_ack_fraction)
+      .field_raw("latency", lat.str())
+      .field_raw("registry", m.registry.to_json());
+  return w.str();
 }
 
 }  // namespace sbft::harness

@@ -1,11 +1,14 @@
-// Latency/throughput aggregation over client completion records.
+// Latency/throughput aggregation over client completion records, plus the
+// shared table/JSON emission helpers the benches use (docs/observability.md).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/cluster.h"
+#include "obs/metrics.h"
 
 namespace sbft::harness {
 
@@ -14,39 +17,29 @@ struct LatencySummary {
   double mean_ms = 0;
   double median_ms = 0;
   double p95_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
   double min_ms = 0;
   double max_ms = 0;
 };
 
 LatencySummary summarize_latencies(const std::vector<int64_t>& latencies_us);
 
+/// One measurement window's worth of results. Every protocol/runtime counter
+/// lives in the registry under its stats name ("fast_commits",
+/// "state_transfer_resumes", ...) plus the network totals ("messages_sent",
+/// "bytes_sent") — adding a counter at an increment site needs no change
+/// here. Per-stage latency histograms from every replica are merged in too.
 struct RunMetrics {
   uint64_t requests_completed = 0;
   double requests_per_second = 0;
   double ops_per_second = 0;  // requests * ops_per_request
   LatencySummary latency;
   double fast_ack_fraction = 0;  // accepted via a single execute-ack
-  uint64_t fast_commits = 0;
-  uint64_t slow_commits = 0;
-  uint64_t view_changes = 0;
-  uint64_t messages_sent = 0;
-  uint64_t bytes_sent = 0;
-  // Durability / crash recovery (fault experiments report recovery cost).
-  uint64_t recoveries = 0;
-  uint64_t wal_bytes_written = 0;
-  // Chunked state transfer (summed over replicas; docs/state_transfer.md).
-  uint64_t state_transfer_chunks_served = 0;
-  uint64_t state_transfer_chunks_fetched = 0;
-  uint64_t state_transfer_invalid_chunks = 0;
-  uint64_t state_transfer_resumes = 0;
-  uint64_t state_transfer_bytes_transferred = 0;
-  // Delta state transfer + donor-side rate limiting (docs/state_transfer.md).
-  uint64_t delta_chunks_skipped = 0;
-  uint64_t delta_bytes_saved = 0;
-  uint64_t donor_chunks_throttled = 0;
-  // Group reconfiguration (summed over replicas; docs/reconfiguration.md).
-  uint64_t epochs_activated = 0;
-  uint64_t joins_completed = 0;
+  obs::MetricsRegistry registry;
+
+  /// Counter by stats name; 0 if never incremented.
+  uint64_t counter(std::string_view name) const { return registry.value(name); }
 };
 
 /// Gathers metrics for completions inside [from_us, to_us) of simulated time.
@@ -56,5 +49,28 @@ RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime 
 /// Formats a fixed-width table row; the benches share this printer.
 std::string format_row(const std::vector<std::string>& cells,
                        const std::vector<int>& widths);
+
+/// Minimal one-object JSON line builder — the shared emission path for bench
+/// JSON output (no external JSON dependency).
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view name, uint64_t value);
+  JsonWriter& field(std::string_view name, int64_t value);
+  JsonWriter& field(std::string_view name, double value);
+  JsonWriter& field(std::string_view name, std::string_view value);  // quoted
+  /// Embeds pre-rendered JSON (an object or array) verbatim.
+  JsonWriter& field_raw(std::string_view name, std::string_view raw_json);
+
+  /// The finished object, e.g. {"a":1,"b":"x"}.
+  std::string str() const { return body_ + "}"; }
+
+ private:
+  void key(std::string_view name);
+  std::string body_ = "{";
+};
+
+/// Canonical JSON rendering of a RunMetrics: throughput/latency fields plus
+/// the full registry (counters + histogram summaries) under "registry".
+std::string metrics_json(const RunMetrics& m);
 
 }  // namespace sbft::harness

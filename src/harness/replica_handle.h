@@ -14,6 +14,8 @@
 #include <optional>
 
 #include "core/replica.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pbft/pbft_replica.h"
 #include "recovery/wal.h"
 #include "runtime/replica_runtime.h"
@@ -59,9 +61,25 @@ class ReplicaHandle {
     return sbft_ ? sbft_->committed_digest_of(s) : pbft_->committed_digest_of(s);
   }
 
+  /// Visits every protocol + runtime counter as (name, value) — the generic
+  /// path metrics collection walks instead of copying fields one by one.
+  template <typename Fn>
+  void for_each_stat(Fn&& fn) const {
+    if (sbft_) {
+      sbft_->stats().for_each(fn);
+    } else {
+      pbft_->stats().for_each(fn);
+    }
+  }
+
   // --- durable storage (outlives replica incarnations) -----------------------
   std::shared_ptr<storage::ILedgerStorage> ledger() const { return ledger_; }
   std::shared_ptr<recovery::IReplicaWal> wal() const { return wal_; }
+
+  // --- observability (outlives replica incarnations, like the disk) ----------
+  /// Null unless the cluster was built with tracing enabled.
+  std::shared_ptr<obs::Tracer> tracer() const { return tracer_; }
+  std::shared_ptr<obs::MetricsRegistry> metrics() const { return metrics_; }
 
  private:
   friend class Cluster;
@@ -72,6 +90,8 @@ class ReplicaHandle {
   std::unique_ptr<pbft::PbftReplica> pbft_;
   std::shared_ptr<storage::ILedgerStorage> ledger_;
   std::shared_ptr<recovery::IReplicaWal> wal_;
+  std::shared_ptr<obs::Tracer> tracer_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
 };
 
 }  // namespace sbft::harness

@@ -1,0 +1,32 @@
+#include "obs/trace.h"
+
+namespace sbft::obs {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kSlot: return "slot";
+    case Category::kViewChange: return "viewchange";
+    case Category::kStateTransfer: return "statetransfer";
+    case Category::kCheckpoint: return "checkpoint";
+    case Category::kReconfig: return "reconfig";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+Tracer& Tracer::nop() {
+  // A disabled tracer never mutates state, so sharing one instance between
+  // replicas is safe (the simulation is single-threaded regardless).
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace sbft::obs

@@ -33,6 +33,7 @@ runtime::RuntimeOptions make_runtime_options(const PbftOptions& opts) {
   ro.state_transfer_donor_chunks_per_tick =
       opts.config.state_transfer_donor_chunks_per_tick;
   ro.self = opts.id;
+  ro.tracer = opts.tracer;
   if (!opts.roster.empty()) {
     ro.membership_f = opts.roster_f > 0 ? opts.roster_f : opts.config.f;
     ro.membership_c = 0;
@@ -72,6 +73,11 @@ bool CheckpointAuth::verify(ReplicaId replica, SeqNum seq,
 PbftReplica::PbftReplica(PbftOptions options, std::unique_ptr<IService> service)
     : opts_(std::move(options)),
       runtime_(make_runtime_options(opts_), std::move(service)),
+      trace_(opts_.tracer ? *opts_.tracer : obs::Tracer::nop()),
+      metrics_(opts_.metrics ? opts_.metrics
+                             : std::make_shared<obs::MetricsRegistry>()),
+      h_pp_to_commit_(&metrics_->histogram("stage.pp_to_commit_us")),
+      h_commit_to_exec_(&metrics_->histogram("stage.commit_to_exec_us")),
       cfg_(opts_.config) {
   SBFT_CHECK(opts_.config.c == 0);  // PBFT sizing: n = 3f + 1
   SBFT_CHECK(opts_.id >= 1 &&
@@ -115,6 +121,8 @@ void PbftReplica::maybe_refresh_epoch(sim::ActorContext& ctx) {
   shadow_gate_ = 0;
   if (!runtime_.membership().is_member(opts_.id)) {
     retired_ = true;
+    trace_.instant(ctx.now(), obs::Category::kReconfig, obs::ev::kEpochRetired,
+                   0, 0, 0, "epoch", epoch().epoch);
     in_view_change_ = false;
     pending_.clear();
     pending_keys_.clear();
@@ -154,7 +162,9 @@ void PbftReplica::on_start(sim::ActorContext& ctx) {
 
 PbftStats PbftReplica::stats() const {
   PbftStats merged = stats_;
-  runtime_.stats().merge_into(merged);
+  // The protocol-agnostic counters live in the runtime; the base subobject of
+  // stats_ stays zero, so slicing the runtime's copy in is a plain overwrite.
+  static_cast<runtime::RuntimeStats&>(merged) = runtime_.stats();
   return merged;
 }
 
@@ -245,19 +255,34 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
         auto tick = st.on_retry_tick(le(), state_transfer_behind(), runtime_.stats());
         if (tick.stop) {
           st_inflight_ = false;
+          if (st_span_open_ && !state_transfer_behind()) {
+            st_span_open_ = false;
+            trace_.end(ctx.now(), obs::Category::kStateTransfer,
+                       obs::ev::kStateTransfer, st_session_, le());
+          }
           // The fetch that just ended may have become moot for its *target*
           // while the replica fell behind a newer checkpoint (the cluster
           // moved on mid-fetch): start over, like the legacy path below.
           if (state_transfer_behind()) request_state_transfer(ctx);
           break;
         }
-        if (tick.probe) broadcast_state_probe(ctx);
+        if (tick.probe) {
+          broadcast_state_probe(ctx);
+        } else {
+          trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                         obs::ev::kStResume, st_session_, le());
+        }
         send_chunk_requests(ctx);
         ctx.set_timer(opts_.config.state_transfer_retry_us,
                       timer_id(kStateTransferTimer, 0));
         break;
       }
       st_inflight_ = false;
+      if (st_span_open_ && !state_transfer_behind()) {
+        st_span_open_ = false;
+        trace_.end(ctx.now(), obs::Category::kStateTransfer,
+                   obs::ev::kStateTransfer, st_session_, le());
+      }
       // Retry while a true gap persists — or while a wiped/restarted replica
       // has yet to obtain any checkpoint (its boot probe may have picked a
       // peer with nothing to ship).
@@ -297,13 +322,19 @@ void PbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
     reply.timestamp = cached->timestamp;
     reply.seq = cached->seq;
     reply.value = cached->value;
+    trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kReplyCached, 0,
+                   cached->seq, 0, "client", req.client);
     ctx.send(req.client, make_message(std::move(reply)));
     return;
   }
   if (retired_) return;  // drained: serves caches only, never orders
   if (is_primary() && !in_view_change_) {
     auto key = std::make_pair(req.client, req.timestamp);
-    if (pending_keys_.insert(key).second) pending_.push_back(req);
+    if (pending_keys_.insert(key).second) {
+      pending_.push_back(req);
+      trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kRequestAdmitted,
+                     0, 0, view_, "client", req.client);
+    }
     try_propose(ctx);
   } else if (from == req.client) {
     ctx.send(node_of(epoch().primary_of(view_)),
@@ -400,6 +431,11 @@ void PbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
   sl.block_digest = digest;
   sl.h = slot_hash(s, v, sl.block_digest);
   sl.block = std::move(block);
+  sl.pp_time = ctx.now();
+  // Slot span id folds the view in: re-accepting the slot at a higher view
+  // (after a view change) opens a fresh span rather than reusing the old id.
+  trace_.begin(ctx.now(), obs::Category::kSlot, obs::ev::kSlot, (v << 32) | s,
+               s, v);
   ctx.charge(ctx.costs().hash_us(64));
 
   if (!sl.sent_prepare) {
@@ -428,6 +464,9 @@ void PbftReplica::check_prepared(SeqNum s, sim::ActorContext& ctx) {
   if (sl.prepared || !sl.has_pp) return;
   if (sl.prepares.size() < epoch_for_seq(s).slow_quorum()) return;  // 2f+1
   sl.prepared = true;
+  trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kPrepareFormed,
+                 (sl.pp_view << 32) | s, s, sl.pp_view, "prepares",
+                 sl.prepares.size());
   if (!sl.sent_commit) {
     sl.sent_commit = true;
     sl.commits.insert(opts_.id);
@@ -453,6 +492,12 @@ void PbftReplica::check_committed(SeqNum s, sim::ActorContext& ctx) {
   if (sl.committed || !sl.prepared) return;
   if (sl.commits.size() < epoch_for_seq(s).slow_quorum()) return;  // 2f+1
   sl.committed = true;
+  sl.commit_time = ctx.now();
+  if (sl.pp_time > 0) h_pp_to_commit_->record(ctx.now() - sl.pp_time);
+  // PBFT's three-phase commit is the slow path by construction.
+  trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kCommitSlow,
+                 (sl.pp_view << 32) | s, s, sl.pp_view, "digest",
+                 obs::digest_prefix(sl.block_digest.data()));
   try_execute(ctx);
 }
 
@@ -467,6 +512,9 @@ void PbftReplica::try_execute(sim::ActorContext& ctx) {
     // multiples.
     runtime::ExecutionRecord& rec =
         runtime_.execute_block(s, sl.pp_view, *sl.block, ctx);
+    if (sl.commit_time > 0) h_commit_to_exec_->record(ctx.now() - sl.commit_time);
+    trace_.end(ctx.now(), obs::Category::kSlot, obs::ev::kSlot,
+               (sl.pp_view << 32) | s, s, sl.pp_view);
     for (size_t l = 0; l < rec.block.requests.size(); ++l) {
       const Request& req = rec.block.requests[l];
       ClientReplyMsg reply;
@@ -602,6 +650,9 @@ bool PbftReplica::verify_checkpoint_proof(
     }
   }
   ++stats_.checkpoint_certs_rejected;
+  trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                 obs::ev::kStCertRejected, st_session_, cert.seq, 0, "valid_sigs",
+                 valid.size());
   return false;
 }
 
@@ -611,6 +662,11 @@ void PbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   if (st.chunked()) {
     if (st.active()) return;  // a fetch round is already running
     ++runtime_.stats().state_transfers;
+    if (!st_span_open_) {
+      st_span_open_ = true;
+      trace_.begin(ctx.now(), obs::Category::kStateTransfer,
+                   obs::ev::kStateTransfer, ++st_session_, le());
+    }
     broadcast_state_probe(ctx);
     if (!st_inflight_) {
       st_inflight_ = true;  // retry timer armed
@@ -622,6 +678,11 @@ void PbftReplica::request_state_transfer(sim::ActorContext& ctx) {
   if (st_inflight_) return;
   st_inflight_ = true;
   ++runtime_.stats().state_transfers;
+  if (!st_span_open_) {
+    st_span_open_ = true;
+    trace_.begin(ctx.now(), obs::Category::kStateTransfer,
+                 obs::ev::kStateTransfer, ++st_session_, le());
+  }
   // Ask a pseudo-random member; retry rotates the choice.
   const auto& members = epoch().members;
   ReplicaId peer = members[ctx.rng().below(members.size())].id;
@@ -721,6 +782,11 @@ void PbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
                                               sim::ActorContext& ctx) {
   if (m.seq <= le()) {
     st_inflight_ = false;
+    if (st_span_open_ && !state_transfer_behind()) {
+      st_span_open_ = false;
+      trace_.end(ctx.now(), obs::Category::kStateTransfer,
+                 obs::ev::kStateTransfer, st_session_, le());
+    }
     return;
   }
   if (m.cert.seq != m.seq) return;
@@ -736,6 +802,13 @@ void PbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
                           checkpoint_votes_.lower_bound(m.seq));
   progress_marker_ = le();
   st_inflight_ = false;
+  trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStAdopt,
+                 st_session_, m.seq);
+  if (st_span_open_) {
+    st_span_open_ = false;
+    trace_.end(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStateTransfer,
+               st_session_, m.seq);
+  }
   maybe_refresh_epoch(ctx);
   try_execute(ctx);
 }
@@ -758,6 +831,8 @@ void PbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   if (st.donor_excluded(m.donor)) return;
   if (!verify_checkpoint_proof(m.cert, m.checkpoint_proof, ctx)) return;
   if (st.on_manifest(m, le(), runtime_.checkpoints(), runtime_.stats())) {
+    trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStManifest,
+                   st_session_, m.seq, 0, "donor", m.donor);
     // A delta manifest may have seeded every chunk from the local base — the
     // fetch can be complete without a single wire chunk.
     if (st.fetch_complete()) {
@@ -816,6 +891,8 @@ void PbftReplica::broadcast_state_probe(sim::ActorContext& ctx) {
   if (cold && probe.base_seq > 0) {
     ctx.charge(ctx.costs().hash_us(cp.snapshot().size()));
   }
+  trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStProbe,
+                 st_session_, le());
   broadcast(ctx, make_message(std::move(probe)));
 }
 
@@ -833,12 +910,21 @@ void PbftReplica::handle_state_chunk(NodeId from, const StateChunkMsg& m,
   runtime::StateTransferManager& st = runtime_.state_transfer();
   ctx.charge(ctx.costs().hash_us(m.data.size()));  // leaf hash + proof path
   using Verdict = runtime::StateTransferManager::ChunkVerdict;
-  switch (st.on_chunk(m, runtime_.stats())) {
+  switch (Verdict verdict = st.on_chunk(m, runtime_.stats()); verdict) {
     case Verdict::kCompleted:
+      trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                     obs::ev::kStChunkStored, st_session_, m.seq, 0, "index",
+                     m.index);
       complete_chunked_transfer(ctx);
       break;
     case Verdict::kStored:
     case Verdict::kInvalid:
+      trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                     verdict == Verdict::kStored ? obs::ev::kStChunkStored
+                                                 : obs::ev::kStChunkInvalid,
+                     st_session_, m.seq, 0,
+                     verdict == Verdict::kStored ? "index" : "donor",
+                     verdict == Verdict::kStored ? m.index : m.donor);
       send_chunk_requests(ctx);
       break;
     case Verdict::kDuplicate:
@@ -861,7 +947,20 @@ void PbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
   // The stale-target vs lying-manifest distinction lives in the manager,
   // shared with the SBFT engine.
   if (st.on_adopt_result(adopted, le())) broadcast_state_probe(ctx);
-  if (!adopted) return;
+  if (!adopted) {
+    // Session stays open: the retry tick re-probes or stops it.
+    trace_.instant(ctx.now(), obs::Category::kStateTransfer,
+                   obs::ev::kStAdoptFailed, st_session_, cert.seq);
+    return;
+  }
+  trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStAdopt,
+                 st_session_, cert.seq, 0, "digest",
+                 obs::digest_prefix(cert.exec_digest().data()));
+  if (st_span_open_) {
+    st_span_open_ = false;
+    trace_.end(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStateTransfer,
+               st_session_, cert.seq);
+  }
   slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.lower_bound(cert.seq));
@@ -880,6 +979,18 @@ void PbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
   vc_target_ = target;
   ++vc_attempts_;
   ++stats_.view_changes;
+  // One span per view-change session; escalating the target supersedes the
+  // open span (see the SBFT engine).
+  if (vc_span_ != 0 && vc_span_ != target) {
+    trace_.end(ctx.now(), obs::Category::kViewChange, obs::ev::kViewChange,
+               vc_span_, 0, vc_span_, "superseded", 1);
+    vc_span_ = 0;
+  }
+  if (vc_span_ == 0) {
+    vc_span_ = target;
+    trace_.begin(ctx.now(), obs::Category::kViewChange, obs::ev::kViewChange,
+                 target, 0, target);
+  }
 
   PbftViewChangeMsg msg;
   msg.sender = opts_.id;
@@ -919,6 +1030,8 @@ void PbftReplica::handle_view_change(const PbftViewChangeMsg& m,
       if (nv.proofs.size() == cfg_.view_change_quorum()) break;
     }
     new_view_sent_ = true;
+    trace_.instant(ctx.now(), obs::Category::kViewChange, obs::ev::kNewViewSent,
+                   vc_span_, 0, m.next_view);
     ctx.charge(ctx.costs().rsa_sign_us);
     broadcast(ctx, make_message(PbftNewViewMsg(nv)));
     enter_new_view(nv, ctx);
@@ -941,6 +1054,15 @@ void PbftReplica::enter_new_view(const PbftNewViewMsg& m, sim::ActorContext& ctx
   vc_target_ = m.view;
   vc_attempts_ = 0;
   new_view_sent_ = false;
+  if (vc_span_ != 0) {
+    trace_.end(ctx.now(), obs::Category::kViewChange, obs::ev::kViewChange,
+               vc_span_, 0, m.view, "entered_view", m.view);
+    vc_span_ = 0;
+  } else {
+    // Entered without a local view-change session (caught up via new-view).
+    trace_.instant(ctx.now(), obs::Category::kViewChange, obs::ev::kViewEntered,
+                   0, 0, m.view);
+  }
   vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(m.view));
   runtime_.wal_record_view(m.view);
 

@@ -27,6 +27,8 @@
 #include <set>
 
 #include "kv/service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/config.h"
 #include "proto/message.h"
 #include "recovery/wal.h"
@@ -81,32 +83,27 @@ struct PbftOptions {
   std::vector<ReplicaInfo> roster;
   uint32_t roster_f = 0;
   uint32_t roster_c = 0;
+  // Observability (docs/observability.md). Both optional: a null tracer
+  // binds the shared no-op instance; a null registry gets a private one.
+  std::shared_ptr<obs::Tracer> tracer;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
-struct PbftStats {
-  uint64_t blocks_executed = 0;
-  uint64_t requests_executed = 0;
+/// Protocol counters over the shared runtime counters (execution, WAL,
+/// state transfer, reconfiguration live in the runtime::RuntimeStats base).
+struct PbftStats : runtime::RuntimeStats {
   uint64_t view_changes = 0;
-  uint64_t state_transfers = 0;
-  // Durability / crash recovery (same semantics as core::ReplicaStats).
-  uint64_t recoveries = 0;
-  uint64_t blocks_replayed = 0;
-  uint64_t wal_bytes_written = 0;
-  uint64_t reply_cache_hits = 0;
-  // Chunked state transfer (filled by RuntimeStats::merge_into).
-  uint64_t state_transfer_chunks_served = 0;
-  uint64_t state_transfer_chunks_fetched = 0;
-  uint64_t state_transfer_invalid_chunks = 0;
-  uint64_t state_transfer_resumes = 0;
-  uint64_t state_transfer_bytes_transferred = 0;
-  uint64_t delta_chunks_skipped = 0;    // fetcher: chunks seeded from local base
-  uint64_t delta_bytes_saved = 0;       // fetcher: payload kept off the wire
-  uint64_t donor_chunks_throttled = 0;  // donor: serves deferred by rate limit
-  uint64_t epochs_activated = 0;        // membership epochs that took effect
-  uint64_t joins_completed = 0;         // this replica joined via an epoch
   // State-transfer manifests/replies rejected for missing or invalid quorum
   // checkpoint certificates (the malicious-donor defense).
   uint64_t checkpoint_certs_rejected = 0;
+
+  /// Visits every counter as (name, value) — runtime base first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    runtime::RuntimeStats::for_each(fn);
+    fn("view_changes", view_changes);
+    fn("checkpoint_certs_rejected", checkpoint_certs_rejected);
+  }
 };
 
 class PbftReplica final : public sim::IActor {
@@ -140,6 +137,8 @@ class PbftReplica final : public sim::IActor {
     bool sent_commit = false;
     bool prepared = false;
     bool committed = false;
+    sim::SimTime pp_time = 0;      // when the pre-prepare was accepted
+    sim::SimTime commit_time = 0;  // when the commit quorum formed
   };
 
   void handle_client_request(NodeId from, const ClientRequestMsg& m,
@@ -218,6 +217,17 @@ class PbftReplica final : public sim::IActor {
 
   PbftOptions opts_;
   runtime::ReplicaRuntime runtime_;
+
+  // Observability: bound once at construction; emit sites never null-check.
+  obs::Tracer& trace_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Histogram* h_pp_to_commit_ = nullptr;
+  obs::Histogram* h_commit_to_exec_ = nullptr;
+  // Open view-change session span (0 = none); see the SBFT engine.
+  ViewNum vc_span_ = 0;
+  // State-transfer session span bookkeeping.
+  uint64_t st_session_ = 0;
+  bool st_span_open_ = false;
 
   // Derived from the active epoch (f patched into the protocol config).
   ProtocolConfig cfg_;

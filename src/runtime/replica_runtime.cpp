@@ -11,6 +11,7 @@ namespace sbft::runtime {
 ReplicaRuntime::ReplicaRuntime(RuntimeOptions options,
                                std::unique_ptr<IService> service)
     : opts_(std::move(options)),
+      trace_(opts_.tracer ? *opts_.tracer : obs::Tracer::nop()),
       service_(std::move(service)),
       checkpoints_(opts_.checkpoint_interval),
       state_transfer_(opts_.state_transfer_chunk_size,
@@ -28,10 +29,17 @@ ReplicaRuntime::ReplicaRuntime(RuntimeOptions options,
   }
 }
 
-void ReplicaRuntime::note_membership_change(bool was_member) {
+void ReplicaRuntime::note_membership_change(bool was_member, sim::SimTime now) {
   ++stats_.epochs_activated;
   epoch_changed_ = true;
-  if (!was_member && membership_.is_member(opts_.self)) ++stats_.joins_completed;
+  uint64_t epoch = membership_.active().epoch;
+  trace_.instant(now, obs::Category::kReconfig, obs::ev::kEpochActivated, 0, 0,
+                 0, "epoch", epoch);
+  if (!was_member && membership_.is_member(opts_.self)) {
+    ++stats_.joins_completed;
+    trace_.instant(now, obs::Category::kReconfig, obs::ev::kEpochJoined, 0, 0,
+                   0, "epoch", epoch);
+  }
 }
 
 std::optional<RecoveredProtocolState> ReplicaRuntime::recover() {
@@ -143,6 +151,8 @@ ExecutionRecord& ReplicaRuntime::execute_block(SeqNum s, ViewNum pp_view,
   }
   le_ = s;
   ++stats_.blocks_executed;
+  trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kExecute, s, s,
+                 pp_view, "digest", obs::digest_prefix(exec_digests_[s].data()));
 
   // Capture the checkpoint snapshot while the service state still equals the
   // state the certificate describes; the reply cache rides along so recovery
@@ -151,6 +161,8 @@ ExecutionRecord& ReplicaRuntime::execute_block(SeqNum s, ViewNum pp_view,
     Bytes envelope = snapshot_envelope();
     ctx.charge(ctx.costs().hash_us(envelope.size()));
     checkpoints_.capture_pending(s, std::move(envelope));
+    trace_.instant(ctx.now(), obs::Category::kCheckpoint,
+                   obs::ev::kCheckpointCaptured, 0, s);
   }
 
   rec.executed_at = ctx.now();
@@ -197,6 +209,8 @@ bool ReplicaRuntime::advance_stable(ExecCertificate cert, sim::ActorContext& ctx
     return envelope;
   });
   if (recorded) {
+    trace_.instant(ctx.now(), obs::Category::kCheckpoint,
+                   obs::ev::kCheckpointStable, 0, cert.seq);
     wal_record_checkpoint();
     // Seal the pair into the donor chunk cache now (retiring the previous
     // pair's chunk hashes as a delta base); the rebuild hashes the envelope.
@@ -212,7 +226,7 @@ bool ReplicaRuntime::advance_stable(ExecCertificate cert, sim::ActorContext& ctx
   // the new epoch before any post-boundary slot is voted on.
   bool was_member = membership_.is_member(opts_.self);
   if (membership_.activate_up_to(checkpoints_.last_stable())) {
-    note_membership_change(was_member);
+    note_membership_change(was_member, ctx.now());
   }
   return true;
 }
@@ -243,10 +257,13 @@ bool ReplicaRuntime::adopt_checkpoint(const ExecCertificate& cert,
   membership_.restore(as_span(decoded->membership));
   membership_.activate_up_to(cert.seq);
   if (membership_.configured() && membership_.active().epoch != epoch_before) {
-    note_membership_change(was_member);
+    note_membership_change(was_member, ctx.now());
   }
   exec_digests_[cert.seq] = cert.exec_digest();
   checkpoints_.adopt(cert, to_bytes(snapshot_envelope_bytes));
+  trace_.instant(ctx.now(), obs::Category::kCheckpoint,
+                 obs::ev::kCheckpointAdopted, 0, cert.seq, 0, "digest",
+                 obs::digest_prefix(exec_digests_[cert.seq].data()));
   wal_record_checkpoint();
   // The adopted pair becomes this replica's donor view (and its delta base
   // the next time it falls behind).

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "kv/service.h"
+#include "obs/trace.h"
 #include "proto/message.h"
 #include "recovery/wal.h"
 #include "runtime/checkpoint_manager.h"
@@ -60,10 +61,16 @@ struct RuntimeOptions {
   uint32_t membership_c = 0;
   std::vector<ReplicaInfo> bootstrap_members;
   ReplicaId self = 0;  // this replica's id (join detection)
+  // Structured tracing (docs/observability.md); null leaves the runtime bound
+  // to the shared disabled tracer.
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
-/// Stats common to every protocol; the ordering engines merge these into
-/// their protocol-specific stats structs via merge_into.
+/// Stats common to every protocol. The protocol stats structs (ReplicaStats,
+/// PbftStats) inherit this directly — engine snapshots slice-assign the base
+/// instead of copying field by field — and for_each is the single descriptor
+/// the harness uses to fold every counter into the metrics registry, so a new
+/// counter is one field plus one fn() line.
 struct RuntimeStats {
   uint64_t blocks_executed = 0;
   uint64_t requests_executed = 0;
@@ -93,28 +100,26 @@ struct RuntimeStats {
   uint64_t epochs_activated = 0;  // membership epochs that took effect here
   uint64_t joins_completed = 0;   // this replica became a member via an epoch
 
-  /// Copies every runtime-owned counter into a protocol stats struct (which
-  /// must declare fields of the same names) — one place to extend when a
-  /// counter is added, instead of one copy-loop per ordering engine.
-  template <typename ProtocolStats>
-  void merge_into(ProtocolStats& out) const {
-    out.blocks_executed = blocks_executed;
-    out.requests_executed = requests_executed;
-    out.reply_cache_hits = reply_cache_hits;
-    out.state_transfers = state_transfers;
-    out.recoveries = recoveries;
-    out.blocks_replayed = blocks_replayed;
-    out.wal_bytes_written = wal_bytes_written;
-    out.state_transfer_chunks_served = state_transfer_chunks_served;
-    out.state_transfer_chunks_fetched = state_transfer_chunks_fetched;
-    out.state_transfer_invalid_chunks = state_transfer_invalid_chunks;
-    out.state_transfer_resumes = state_transfer_resumes;
-    out.state_transfer_bytes_transferred = state_transfer_bytes_transferred;
-    out.delta_chunks_skipped = delta_chunks_skipped;
-    out.delta_bytes_saved = delta_bytes_saved;
-    out.donor_chunks_throttled = donor_chunks_throttled;
-    out.epochs_activated = epochs_activated;
-    out.joins_completed = joins_completed;
+  /// Invokes fn(name, value) for every runtime counter.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    fn("blocks_executed", blocks_executed);
+    fn("requests_executed", requests_executed);
+    fn("reply_cache_hits", reply_cache_hits);
+    fn("state_transfers", state_transfers);
+    fn("recoveries", recoveries);
+    fn("blocks_replayed", blocks_replayed);
+    fn("wal_bytes_written", wal_bytes_written);
+    fn("state_transfer_chunks_served", state_transfer_chunks_served);
+    fn("state_transfer_chunks_fetched", state_transfer_chunks_fetched);
+    fn("state_transfer_invalid_chunks", state_transfer_invalid_chunks);
+    fn("state_transfer_resumes", state_transfer_resumes);
+    fn("state_transfer_bytes_transferred", state_transfer_bytes_transferred);
+    fn("delta_chunks_skipped", delta_chunks_skipped);
+    fn("delta_bytes_saved", delta_bytes_saved);
+    fn("donor_chunks_throttled", donor_chunks_throttled);
+    fn("epochs_activated", epochs_activated);
+    fn("joins_completed", joins_completed);
   }
 };
 
@@ -230,10 +235,11 @@ class ReplicaRuntime {
   Bytes snapshot_envelope() const;
   void wal_record_checkpoint();
   /// Folds a membership activation (or restore) into the stats and the
-  /// engine-visible change flag.
-  void note_membership_change(bool was_member);
+  /// engine-visible change flag. `now` timestamps the trace event.
+  void note_membership_change(bool was_member, sim::SimTime now);
 
   RuntimeOptions opts_;
+  obs::Tracer& trace_;  // opts_.tracer or the shared disabled instance
   std::unique_ptr<IService> service_;
   ReplyCache replies_;
   CheckpointManager checkpoints_;

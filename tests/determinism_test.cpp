@@ -19,7 +19,7 @@ struct RunSignature {
   bool operator==(const RunSignature&) const = default;
 };
 
-RunSignature run_once(uint64_t seed, ProtocolKind kind) {
+RunSignature run_once(uint64_t seed, ProtocolKind kind, bool tracing = false) {
   ClusterOptions opts;
   opts.kind = kind;
   opts.f = 1;
@@ -28,6 +28,7 @@ RunSignature run_once(uint64_t seed, ProtocolKind kind) {
   opts.requests_per_client = 0;
   opts.topology = sim::continent_topology();
   opts.seed = seed;
+  opts.tracing = tracing;
   Cluster cluster(std::move(opts));
   cluster.run_for(1'000'000);
 
@@ -66,6 +67,40 @@ TEST(Determinism, DifferentSeedsDiverge) {
   RunSignature b = run_once(2, ProtocolKind::kSbft);
   // Different request payloads and jitter draws: traffic must differ.
   EXPECT_NE(a.bytes, b.bytes);
+}
+
+TEST(Determinism, TracingDoesNotPerturbTheSimulation) {
+  // Tracers only record into memory — never timers, network, or RNG — so
+  // enabling tracing must leave the run bit-for-bit identical.
+  RunSignature off = run_once(44, ProtocolKind::kSbft, /*tracing=*/false);
+  RunSignature on = run_once(44, ProtocolKind::kSbft, /*tracing=*/true);
+  EXPECT_EQ(off, on);
+  EXPECT_EQ(run_once(45, ProtocolKind::kPbft, false),
+            run_once(45, ProtocolKind::kPbft, true));
+}
+
+TEST(Determinism, TraceDumpByteIdenticalAcrossRuns) {
+  auto trace_of = [](uint64_t seed) {
+    ClusterOptions opts;
+    opts.kind = ProtocolKind::kSbft;
+    opts.f = 1;
+    opts.num_clients = 3;
+    opts.requests_per_client = 0;
+    opts.topology = sim::lan_topology();
+    opts.seed = seed;
+    opts.tracing = true;
+    Cluster cluster(std::move(opts));
+    cluster.run_for(1'000'000);
+    cluster.crash_replica(3);
+    cluster.run_for(500'000);
+    cluster.restart_replica(3);
+    cluster.run_for(1'000'000);
+    return cluster.trace_json();
+  };
+  std::string a = trace_of(46);
+  EXPECT_GT(a.size(), 1000u);
+  EXPECT_EQ(a, trace_of(46));
+  EXPECT_NE(a, trace_of(47));
 }
 
 TEST(Determinism, FaultScheduleReproducible) {

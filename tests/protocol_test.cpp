@@ -160,7 +160,7 @@ TEST(SbftProtocol, ThroughputMetricsSane) {
   EXPECT_GT(m.requests_completed, 0u);
   EXPECT_GT(m.ops_per_second, 0.0);
   EXPECT_GT(m.latency.median_ms, 0.0);
-  EXPECT_GT(m.messages_sent, 0u);
+  EXPECT_GT(m.counter("messages_sent"), 0u);
   EXPECT_NEAR(m.fast_ack_fraction, 1.0, 0.01);
 }
 

@@ -10,6 +10,9 @@
 3. Every page under docs/ is linked from at least one *other* checked
    document — a doc nobody can reach from README.md or its siblings is
    effectively unpublished.
+4. Every public class declared in src/obs/*.h appears by name in
+   docs/observability.md or docs/architecture.md — same contract as the
+   runtime layer, for the observability surface.
 
 Exits non-zero with a summary of every violation.
 """
@@ -88,8 +91,27 @@ def check_runtime_classes():
     return errors
 
 
+def check_obs_classes():
+    errors = []
+    corpus = ""
+    for name in ("observability.md", "architecture.md"):
+        page = ROOT / "docs" / name
+        if not page.exists():
+            return [f"missing docs/{name}"]
+        corpus += page.read_text(encoding="utf-8")
+    for header in sorted((ROOT / "src" / "obs").glob("*.h")):
+        for cls in CLASS_RE.findall(header.read_text(encoding="utf-8")):
+            if cls not in corpus:
+                errors.append(
+                    f"src/obs/{header.name}: public class '{cls}' is not "
+                    f"mentioned in docs/observability.md or docs/architecture.md"
+                )
+    return errors
+
+
 def main():
-    errors = check_links() + check_docs_reachable() + check_runtime_classes()
+    errors = (check_links() + check_docs_reachable() + check_runtime_classes()
+              + check_obs_classes())
     docs = len(doc_files())
     if errors:
         print(f"check_docs: {len(errors)} problem(s) across {docs} documents:")
@@ -97,7 +119,7 @@ def main():
             print(f"  - {err}")
         return 1
     print(f"check_docs: OK ({docs} documents, links resolve, no orphaned "
-          f"pages, runtime classes documented)")
+          f"pages, runtime and obs classes documented)")
     return 0
 
 

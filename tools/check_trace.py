@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Schema guard for dumped Chrome-trace-event JSON (run by CI after the
+trace tour — see docs/observability.md).
+
+Validates that a trace produced by obs::write_chrome_trace is loadable by
+Perfetto and internally consistent:
+
+1. Top level is an object with a non-empty "traceEvents" array.
+2. Every event carries name/cat/ph/pid/tid, uses a known phase
+   (M metadata, i instant, b/e async span), and non-metadata events carry a
+   numeric "ts" plus an "args" object with "seq" and "view".
+3. Span events pair up strictly per (cat, id): an "e" without a prior "b"
+   is an error (the emit sites guarantee every end has a begin); a "b"
+   still open at dump time is fine — that is an in-flight or superseded
+   span truncated by the end of the run.
+4. The categories a protocol run necessarily produces are present:
+   slot, viewchange, statetransfer.
+
+Exits non-zero with a summary of every violation.
+"""
+import json
+import sys
+
+PHASES = {"M", "i", "b", "e"}
+REQUIRED_CATEGORIES = {"slot", "viewchange", "statetransfer"}
+
+
+def check_trace(doc):
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing, not an array, or empty"]
+
+    open_spans = {}  # (cat, id) -> count of unmatched begins
+    categories = set()
+    for i, e in enumerate(events):
+        where = f"event[{i}]"
+        ph = e.get("ph")
+        if ph not in PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        # Metadata events name processes/threads and carry no category.
+        keys = ("name", "ph", "pid", "tid") if ph == "M" else (
+            "name", "cat", "ph", "pid", "tid")
+        for key in keys:
+            if key not in e:
+                errors.append(f"{where}: missing '{key}'")
+        if ph == "M":
+            continue
+        categories.add(e.get("cat"))
+        if not isinstance(e.get("ts"), (int, float)):
+            errors.append(f"{where}: non-metadata event without numeric 'ts'")
+        args = e.get("args")
+        if not isinstance(args, dict) or "seq" not in args or "view" not in args:
+            errors.append(f"{where}: 'args' must carry 'seq' and 'view'")
+        if ph in ("b", "e"):
+            if "id" not in e:
+                errors.append(f"{where}: span event without 'id'")
+                continue
+            key = (e.get("cat"), e["id"])
+            if ph == "b":
+                open_spans[key] = open_spans.get(key, 0) + 1
+            elif open_spans.get(key, 0) > 0:
+                open_spans[key] -= 1
+            else:
+                errors.append(
+                    f"{where}: end without begin for span {key[1]!r} "
+                    f"(cat {key[0]!r})"
+                )
+
+    missing = REQUIRED_CATEGORIES - categories
+    if missing:
+        errors.append(f"missing required categories: {sorted(missing)}")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <trace.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_trace: cannot load {argv[1]}: {exc}")
+        return 1
+
+    errors = check_trace(doc)
+    if errors:
+        print(f"check_trace: {len(errors)} problem(s) in {argv[1]}:")
+        for err in errors[:50]:
+            print(f"  - {err}")
+        if len(errors) > 50:
+            print(f"  ... and {len(errors) - 50} more")
+        return 1
+    events = doc["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "b")
+    print(
+        f"check_trace: OK ({len(events)} events, {spans} spans, "
+        f"categories: {sorted(c for c in {e.get('cat') for e in events} if c)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
