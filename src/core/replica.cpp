@@ -93,12 +93,19 @@ struct SbftReplica::Slot {
   Digest coll_h{};           // h the certificate refers to
   Digest coll_block_digest{};
   std::map<ReplicaId, Bytes> coll_commit_shares;  // shares over d2
+  // Batch-verify + combine offloads in flight on a worker lane, keyed by the
+  // h being combined. Guards against re-offloading the same quorum while its
+  // verification runs; cleared by the completion callback.
+  std::set<Digest> coll_fast_verifying;
+  std::set<Digest> coll_prepare_verifying;
+  bool coll_slow_verifying = false;
 
   // --- E-collector state -----------------------------------------------------
   std::map<ReplicaId, Bytes> pi_shares;  // shares matching our own exec digest
   std::vector<std::pair<ReplicaId, Bytes>> buffered_pi;  // arrived pre-execution
   bool e_sent = false;
   bool e_stagger_set = false;
+  bool e_verifying = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -560,8 +567,16 @@ void SbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
   // The reconfiguration marker id is reserved for blocks the primary builds
   // from ReconfigBlockMsg; a "client" claiming it is forging.
   if (req.client == kReconfigClient) return;
-  ctx.charge(ctx.costs().rsa_verify_us);  // client request signature ([31])
+  // Client request signature ([31]): verified on a worker lane when the node
+  // has one; admission continues in the completion.
+  ctx.offload(ctx.costs().rsa_verify_us,
+              [this, from, req](sim::ActorContext& c) {
+                admit_client_request(from, req, c);
+              });
+}
 
+void SbftReplica::admit_client_request(NodeId from, const Request& req,
+                                       sim::ActorContext& ctx) {
   if (const runtime::CachedReply* cached =
           runtime_.cached_reply(req.client, req.timestamp)) {
     // Already executed: serve the cached reply (client retry path, §V-A).
@@ -663,6 +678,21 @@ void SbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
     if (block.requests.empty()) return;
     propose_block(std::move(block), ctx);
   }
+
+  // Primary-driven no-op fill (docs/reconfiguration.md): a staged
+  // reconfiguration only activates when the checkpoint at its boundary
+  // becomes stable, and checkpoints only form when slots commit. With no
+  // client traffic the cluster would idle forever short of the boundary —
+  // so on batch-timer ticks the primary fills the gap with empty blocks.
+  if (flush_partial && pending_.empty()) {
+    SeqNum gate = reconfig_gate();
+    while (gate > 0 && next_seq_ <= gate &&
+           next_seq_ - 1 - le() < active_window() &&
+           next_seq_ <= ls() + opts_.config.win) {
+      ++stats_.noop_fill_blocks;
+      propose_block(null_block(), ctx);
+    }
+  }
 }
 
 void SbftReplica::propose_block(Block block, sim::ActorContext& ctx) {
@@ -701,9 +731,19 @@ void SbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
   if (SeqNum gate = reconfig_gate(); gate > 0 && m.seq > gate) return;
   Slot& sl = slot(m.seq);
   if (sl.has_pp && sl.pp_view >= m.view) return;  // one pre-prepare per view
-  // Authenticate the batched client requests.
-  ctx.charge(static_cast<int64_t>(m.block.requests.size()) * ctx.costs().rsa_verify_us);
-  accept_pre_prepare(m.seq, m.view, m.block, ctx);
+  // Authenticate the batched client requests on a worker lane; acceptance
+  // (state mutation, share signing) continues serially once they verify.
+  // The guards re-run in the completion: a view change or checkpoint may
+  // have advanced while verification was in flight.
+  int64_t cost =
+      static_cast<int64_t>(m.block.requests.size()) * ctx.costs().rsa_verify_us;
+  ctx.offload(cost, [this, seq = m.seq, v = m.view,
+                     block = m.block](sim::ActorContext& c) mutable {
+    if (in_view_change_ || v != view_ || retired_) return;
+    if (seq <= ls() || seq > ls() + opts_.config.win) return;
+    if (SeqNum gate = reconfig_gate(); gate > 0 && seq > gate) return;
+    accept_pre_prepare(seq, v, std::move(block), c);
+  });
 }
 
 void SbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
@@ -844,31 +884,49 @@ void SbftReplica::collector_try_fast(SeqNum s, sim::ActorContext& ctx,
   if (!slp || slp->coll_sent_fast) return;
   Slot& sl = *slp;
   for (auto& [h, shares] : sl.coll_shares) {
+    if (sl.coll_sent_fast) break;  // an inline completion already proved s
     if (shares.size() < epoch_for_seq(s).fast_quorum()) continue;
+    if (sl.coll_fast_verifying.count(h)) continue;  // combine already queued
     std::vector<crypto::SignatureShare> sigma_shares;
     sigma_shares.reserve(shares.size());
     for (auto& [replica, pair] : shares)
       sigma_shares.push_back({signer_of(replica, s), pair.sigma});
-    // Batch-verify then combine. Group-signature mode (n-out-of-n) applies
-    // when every replica contributed (§VIII).
+    // Batch-verify then combine, on a worker lane — combining slot s overlaps
+    // collecting s+1..s+w. Group-signature mode (n-out-of-n) applies when
+    // every replica contributed (§VIII).
     bool group_mode = shares.size() == epoch_for_seq(s).n();
-    ctx.charge(ctx.costs().batch_verify_us(sigma_shares.size()));
-    ctx.charge(ctx.costs().combine_us(epoch_for_seq(s).fast_quorum(), group_mode));
-    auto sig = crypto_for_seq(s).sigma_verifier->combine(h, sigma_shares);
-    if (!sig) {
-      ++stats_.invalid_shares_seen;
-      continue;  // invalid shares filtered; wait for more
-    }
-    sl.coll_sent_fast = true;
-    trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kFastProofFormed,
-                   0, s, sl.coll_view, "shares", shares.size());
-    FullCommitProofMsg proof;
-    proof.seq = s;
-    proof.view = sl.coll_view;
-    proof.block_digest = sl.coll_digest_of_h[h];
-    proof.sigma_sig = std::move(*sig);
-    broadcast_replicas(ctx, make_message(std::move(proof)));
-    return;
+    int64_t cost = ctx.costs().batch_verify_us(sigma_shares.size()) +
+                   ctx.costs().combine_us(epoch_for_seq(s).fast_quorum(), group_mode);
+    sl.coll_fast_verifying.insert(h);
+    ViewNum cv = sl.coll_view;
+    ctx.offload(cost, [this, s, h, cv, sigma_shares = std::move(sigma_shares)](
+                          sim::ActorContext& c) {
+      Slot* sp = find_slot(s);
+      if (!sp) return;  // checkpoint retired the slot mid-verification
+      sp->coll_fast_verifying.erase(h);
+      if (sp->coll_sent_fast || !sp->coll_active || sp->coll_view != cv) return;
+      auto sig = crypto_for_seq(s).sigma_verifier->combine(h, sigma_shares);
+      if (!sig) {
+        ++stats_.invalid_shares_seen;
+        // Shares that arrived while this combine was in flight were skipped
+        // by the inflight guard; if the quorum grew, retry with the larger
+        // set. (Inline completions run synchronously — the set cannot have
+        // grown, so this never recurses at one lane.)
+        auto it = sp->coll_shares.find(h);
+        if (it != sp->coll_shares.end() && it->second.size() > sigma_shares.size())
+          collector_try_fast(s, c, false);
+        return;  // invalid shares filtered; wait for more
+      }
+      sp->coll_sent_fast = true;
+      trace_.instant(c.now(), obs::Category::kSlot, obs::ev::kFastProofFormed,
+                     0, s, sp->coll_view, "shares", sigma_shares.size());
+      FullCommitProofMsg proof;
+      proof.seq = s;
+      proof.view = sp->coll_view;
+      proof.block_digest = sp->coll_digest_of_h[h];
+      proof.sigma_sig = std::move(*sig);
+      broadcast_replicas(c, make_message(std::move(proof)));
+    });
   }
 }
 
@@ -880,86 +938,108 @@ void SbftReplica::collector_try_prepare(SeqNum s, sim::ActorContext& ctx) {
   if (!slp || slp->coll_sent_prepare || slp->coll_sent_fast) return;
   Slot& sl = *slp;
   for (auto& [h, shares] : sl.coll_shares) {
+    if (sl.coll_sent_prepare || sl.coll_sent_fast) break;
     if (shares.size() < epoch_for_seq(s).slow_quorum()) continue;
+    if (sl.coll_prepare_verifying.count(h)) continue;
     std::vector<crypto::SignatureShare> tau_shares;
     tau_shares.reserve(shares.size());
     for (auto& [replica, pair] : shares)
       tau_shares.push_back({signer_of(replica, s), pair.tau});
-    ctx.charge(ctx.costs().batch_verify_us(tau_shares.size()));
-    ctx.charge(ctx.costs().combine_us(epoch_for_seq(s).slow_quorum(), false));
-    auto sig = crypto_for_seq(s).tau_verifier->combine(h, tau_shares);
-    if (!sig) {
-      ++stats_.invalid_shares_seen;
-      continue;
-    }
-    sl.coll_sent_prepare = true;
-    trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kPrepareFormed, 0,
-                   s, sl.coll_view, "shares", shares.size());
-    sl.coll_tau = *sig;
-    sl.coll_h = h;
-    sl.coll_block_digest = sl.coll_digest_of_h[h];
-    PrepareMsg prep;
-    prep.seq = s;
-    prep.view = sl.coll_view;
-    prep.block_digest = sl.coll_block_digest;
-    prep.tau_sig = std::move(*sig);
-    broadcast_replicas(ctx, make_message(std::move(prep)));
-    return;
+    int64_t cost = ctx.costs().batch_verify_us(tau_shares.size()) +
+                   ctx.costs().combine_us(epoch_for_seq(s).slow_quorum(), false);
+    sl.coll_prepare_verifying.insert(h);
+    ViewNum cv = sl.coll_view;
+    ctx.offload(cost, [this, s, h, cv, tau_shares = std::move(tau_shares)](
+                          sim::ActorContext& c) {
+      Slot* sp = find_slot(s);
+      if (!sp) return;
+      sp->coll_prepare_verifying.erase(h);
+      if (sp->coll_sent_prepare || sp->coll_sent_fast || !sp->coll_active ||
+          sp->coll_view != cv) {
+        return;
+      }
+      auto sig = crypto_for_seq(s).tau_verifier->combine(h, tau_shares);
+      if (!sig) {
+        ++stats_.invalid_shares_seen;
+        auto it = sp->coll_shares.find(h);
+        if (it != sp->coll_shares.end() && it->second.size() > tau_shares.size())
+          collector_try_prepare(s, c);
+        return;
+      }
+      sp->coll_sent_prepare = true;
+      trace_.instant(c.now(), obs::Category::kSlot, obs::ev::kPrepareFormed, 0,
+                     s, sp->coll_view, "shares", tau_shares.size());
+      sp->coll_tau = *sig;
+      sp->coll_h = h;
+      sp->coll_block_digest = sp->coll_digest_of_h[h];
+      PrepareMsg prep;
+      prep.seq = s;
+      prep.view = sp->coll_view;
+      prep.block_digest = sp->coll_block_digest;
+      prep.tau_sig = std::move(*sig);
+      broadcast_replicas(c, make_message(std::move(prep)));
+    });
   }
 }
 
 void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
   if (m.view < view_ || (in_view_change_ && m.view == view_) || retired_) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
-  Digest h = slot_hash(m.seq, m.view, m.block_digest);
-  ctx.charge(ctx.costs().bls_verify_combined_us);
-  if (!crypto_for_seq(m.seq).tau_verifier->verify(h, as_span(m.tau_sig))) {
-    ++stats_.invalid_shares_seen;
-    return;
-  }
-  // A valid tau(h) for a future view proves a slow quorum operates there; a
-  // lagging/recovered replica can fast-forward and process the prepare.
-  adopt_verified_view(m.view, ctx);
-  if (in_view_change_ || m.view != view_) return;
-  Slot& sl = slot(m.seq);
-  if (sl.has_cert && sl.cert_view < m.view) {
-    // The commit round is bound to one certificate: a fresh tau(h) from a
-    // later view starts a fresh round (without this, a slot whose slow round
-    // stalled in view v can never commit in any later view).
-    sl.sent_commit_share = false;
-  }
-  if (!sl.has_cert || sl.cert_view <= m.view) {
-    sl.has_cert = true;
-    sl.cert_view = m.view;
-    sl.cert_digest = m.block_digest;
-    sl.cert_tau = m.tau_sig;
-  }
-  // Fallback-stage collectors (the c+1 C-collectors plus the primary as the
-  // last staggered collector, §V-E) remember the certificate so they can
-  // aggregate commit shares.
-  auto collectors = commit_collectors(epoch_for_seq(m.seq), m.seq, m.view);
-  if (collector_rank(collectors, opts_.id) >= 0 && sl.coll_tau.empty()) {
-    sl.coll_view = m.view;
-    sl.coll_active = true;
-    sl.coll_tau = m.tau_sig;
-    sl.coll_h = h;
-    sl.coll_block_digest = m.block_digest;
-  }
+  // Verify the combined tau on a worker lane; certificate adoption and the
+  // commit share reply continue serially. The entry guards re-run in the
+  // completion against state that moved during verification.
+  ctx.offload(ctx.costs().bls_verify_combined_us, [this, m](sim::ActorContext& c) {
+    if (m.view < view_ || (in_view_change_ && m.view == view_) || retired_) return;
+    if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
+    Digest h = slot_hash(m.seq, m.view, m.block_digest);
+    if (!crypto_for_seq(m.seq).tau_verifier->verify(h, as_span(m.tau_sig))) {
+      ++stats_.invalid_shares_seen;
+      return;
+    }
+    // A valid tau(h) for a future view proves a slow quorum operates there; a
+    // lagging/recovered replica can fast-forward and process the prepare.
+    adopt_verified_view(m.view, c);
+    if (in_view_change_ || m.view != view_) return;
+    Slot& sl = slot(m.seq);
+    if (sl.has_cert && sl.cert_view < m.view) {
+      // The commit round is bound to one certificate: a fresh tau(h) from a
+      // later view starts a fresh round (without this, a slot whose slow
+      // round stalled in view v can never commit in any later view).
+      sl.sent_commit_share = false;
+    }
+    if (!sl.has_cert || sl.cert_view <= m.view) {
+      sl.has_cert = true;
+      sl.cert_view = m.view;
+      sl.cert_digest = m.block_digest;
+      sl.cert_tau = m.tau_sig;
+    }
+    // Fallback-stage collectors (the c+1 C-collectors plus the primary as the
+    // last staggered collector, §V-E) remember the certificate so they can
+    // aggregate commit shares.
+    auto collectors = commit_collectors(epoch_for_seq(m.seq), m.seq, m.view);
+    if (collector_rank(collectors, opts_.id) >= 0 && sl.coll_tau.empty()) {
+      sl.coll_view = m.view;
+      sl.coll_active = true;
+      sl.coll_tau = m.tau_sig;
+      sl.coll_h = h;
+      sl.coll_block_digest = m.block_digest;
+    }
 
-  if (!sl.sent_commit_share && epoch_for_seq(m.seq).contains(opts_.id)) {
-    sl.sent_commit_share = true;
-    Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
-    Bytes share = sign_share_maybe_corrupt(*crypto_for_seq(m.seq).tau_signer, d2);
-    ctx.charge(ctx.costs().bls_sign_share_us);
-    CommitShareMsg cs;
-    cs.seq = m.seq;
-    cs.view = m.view;
-    cs.commit_digest = d2;
-    cs.replica = opts_.id;
-    cs.tau_share = std::move(share);
-    auto msg = make_message(std::move(cs));
-    for (ReplicaId collector : collectors) send_to_replica(ctx, collector, msg);
-  }
+    if (!sl.sent_commit_share && epoch_for_seq(m.seq).contains(opts_.id)) {
+      sl.sent_commit_share = true;
+      Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
+      Bytes share = sign_share_maybe_corrupt(*crypto_for_seq(m.seq).tau_signer, d2);
+      c.charge(c.costs().bls_sign_share_us);
+      CommitShareMsg cs;
+      cs.seq = m.seq;
+      cs.view = m.view;
+      cs.commit_digest = d2;
+      cs.replica = opts_.id;
+      cs.tau_share = std::move(share);
+      auto msg = make_message(std::move(cs));
+      for (ReplicaId collector : collectors) send_to_replica(c, collector, msg);
+    }
+  });
 }
 
 void SbftReplica::handle_commit_share(const CommitShareMsg& m, sim::ActorContext& ctx) {
@@ -992,29 +1072,41 @@ void SbftReplica::collector_try_slow_proof(SeqNum s, sim::ActorContext& ctx) {
   Slot* slp = find_slot(s);
   if (!slp || slp->coll_sent_slow || slp->coll_tau.empty()) return;
   Slot& sl = *slp;
+  if (sl.coll_slow_verifying) return;
   if (sl.coll_commit_shares.size() < epoch_for_seq(s).slow_quorum()) return;
   Digest d2 = commit_hash(crypto::sha256(as_span(sl.coll_tau)));
   std::vector<crypto::SignatureShare> shares;
   shares.reserve(sl.coll_commit_shares.size());
   for (auto& [replica, share] : sl.coll_commit_shares)
     shares.push_back({signer_of(replica, s), share});
-  ctx.charge(ctx.costs().batch_verify_us(shares.size()));
-  ctx.charge(ctx.costs().combine_us(epoch_for_seq(s).slow_quorum(), false));
-  auto sig = crypto_for_seq(s).tau_verifier->combine(d2, shares);
-  if (!sig) {
-    ++stats_.invalid_shares_seen;
-    return;
-  }
-  sl.coll_sent_slow = true;
-  trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kSlowProofFormed, 0,
-                 s, sl.coll_view, "shares", sl.coll_commit_shares.size());
-  FullCommitProofSlowMsg proof;
-  proof.seq = s;
-  proof.view = sl.coll_view;
-  proof.block_digest = sl.coll_block_digest;
-  proof.tau_sig = sl.coll_tau;
-  proof.tau_tau_sig = std::move(*sig);
-  broadcast_replicas(ctx, make_message(std::move(proof)));
+  int64_t cost = ctx.costs().batch_verify_us(shares.size()) +
+                 ctx.costs().combine_us(epoch_for_seq(s).slow_quorum(), false);
+  sl.coll_slow_verifying = true;
+  ViewNum cv = sl.coll_view;
+  ctx.offload(cost, [this, s, cv, d2,
+                     shares = std::move(shares)](sim::ActorContext& c) {
+    Slot* sp = find_slot(s);
+    if (!sp) return;
+    sp->coll_slow_verifying = false;
+    if (sp->coll_sent_slow || sp->coll_view != cv || sp->coll_tau.empty()) return;
+    auto sig = crypto_for_seq(s).tau_verifier->combine(d2, shares);
+    if (!sig) {
+      ++stats_.invalid_shares_seen;
+      if (sp->coll_commit_shares.size() > shares.size())
+        collector_try_slow_proof(s, c);
+      return;
+    }
+    sp->coll_sent_slow = true;
+    trace_.instant(c.now(), obs::Category::kSlot, obs::ev::kSlowProofFormed, 0,
+                   s, sp->coll_view, "shares", shares.size());
+    FullCommitProofSlowMsg proof;
+    proof.seq = s;
+    proof.view = sp->coll_view;
+    proof.block_digest = sp->coll_block_digest;
+    proof.tau_sig = sp->coll_tau;
+    proof.tau_tau_sig = std::move(*sig);
+    broadcast_replicas(c, make_message(std::move(proof)));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -1023,45 +1115,51 @@ void SbftReplica::collector_try_slow_proof(SeqNum s, sim::ActorContext& ctx) {
 void SbftReplica::handle_full_commit_proof(const FullCommitProofMsg& m,
                                            sim::ActorContext& ctx) {
   if (m.seq <= le()) return;
-  Digest h = slot_hash(m.seq, m.view, m.block_digest);
-  ctx.charge(ctx.costs().bls_verify_combined_us);
-  if (!crypto_for_seq(m.seq).sigma_verifier->verify(h, as_span(m.sigma_sig))) {
-    ++stats_.invalid_shares_seen;
-    return;
-  }
-  adopt_verified_view(m.view, ctx);
-  Slot& sl = slot(m.seq);
-  if (!sl.has_fast_proof) {
-    sl.has_fast_proof = true;
-    sl.fp_view = m.view;
-    sl.fp_digest = m.block_digest;
-    sl.fast_proof = m.sigma_sig;
-  }
-  commit(m.seq, m.block_digest, /*fast=*/true, ctx);
+  // Combined-signature check on a worker lane; the commit itself (state
+  // mutation, execution) stays serial in the completion.
+  ctx.offload(ctx.costs().bls_verify_combined_us, [this, m](sim::ActorContext& c) {
+    if (m.seq <= le()) return;
+    Digest h = slot_hash(m.seq, m.view, m.block_digest);
+    if (!crypto_for_seq(m.seq).sigma_verifier->verify(h, as_span(m.sigma_sig))) {
+      ++stats_.invalid_shares_seen;
+      return;
+    }
+    adopt_verified_view(m.view, c);
+    Slot& sl = slot(m.seq);
+    if (!sl.has_fast_proof) {
+      sl.has_fast_proof = true;
+      sl.fp_view = m.view;
+      sl.fp_digest = m.block_digest;
+      sl.fast_proof = m.sigma_sig;
+    }
+    commit(m.seq, m.block_digest, /*fast=*/true, c);
+  });
 }
 
 void SbftReplica::handle_full_commit_proof_slow(const FullCommitProofSlowMsg& m,
                                                 sim::ActorContext& ctx) {
   if (m.seq <= le()) return;
-  Digest h = slot_hash(m.seq, m.view, m.block_digest);
-  Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
-  ctx.charge(2 * ctx.costs().bls_verify_combined_us);
-  const ReplicaCrypto& crypto = crypto_for_seq(m.seq);
-  if (!crypto.tau_verifier->verify(h, as_span(m.tau_sig)) ||
-      !crypto.tau_verifier->verify(d2, as_span(m.tau_tau_sig))) {
-    ++stats_.invalid_shares_seen;
-    return;
-  }
-  adopt_verified_view(m.view, ctx);
-  Slot& sl = slot(m.seq);
-  if (!sl.has_slow_proof) {
-    sl.has_slow_proof = true;
-    sl.sp_view = m.view;
-    sl.sp_digest = m.block_digest;
-    sl.slow_inner = m.tau_sig;
-    sl.slow_proof = m.tau_tau_sig;
-  }
-  commit(m.seq, m.block_digest, /*fast=*/false, ctx);
+  ctx.offload(2 * ctx.costs().bls_verify_combined_us, [this, m](sim::ActorContext& c) {
+    if (m.seq <= le()) return;
+    Digest h = slot_hash(m.seq, m.view, m.block_digest);
+    Digest d2 = commit_hash(crypto::sha256(as_span(m.tau_sig)));
+    const ReplicaCrypto& crypto = crypto_for_seq(m.seq);
+    if (!crypto.tau_verifier->verify(h, as_span(m.tau_sig)) ||
+        !crypto.tau_verifier->verify(d2, as_span(m.tau_tau_sig))) {
+      ++stats_.invalid_shares_seen;
+      return;
+    }
+    adopt_verified_view(m.view, c);
+    Slot& sl = slot(m.seq);
+    if (!sl.has_slow_proof) {
+      sl.has_slow_proof = true;
+      sl.sp_view = m.view;
+      sl.sp_digest = m.block_digest;
+      sl.slow_inner = m.tau_sig;
+      sl.slow_proof = m.tau_tau_sig;
+    }
+    commit(m.seq, m.block_digest, /*fast=*/false, c);
+  });
 }
 
 void SbftReplica::commit(SeqNum s, const Digest& block_digest, bool fast,
@@ -1225,27 +1323,39 @@ void SbftReplica::ecollector_try_proof(SeqNum s, sim::ActorContext& ctx,
   // Another collector already certified this sequence?
   if (!rec->cert.pi_sig.empty()) return;
   Slot& sl = *slp;
+  if (sl.e_verifying) return;
   if (sl.pi_shares.size() < epoch_for_seq(s).exec_quorum()) return;
   Digest d = rec->cert.exec_digest();
   std::vector<crypto::SignatureShare> shares;
   shares.reserve(sl.pi_shares.size());
   for (auto& [replica, share] : sl.pi_shares)
     shares.push_back({signer_of(replica, s), share});
-  ctx.charge(ctx.costs().batch_verify_us(shares.size()));
-  ctx.charge(ctx.costs().combine_us(epoch_for_seq(s).exec_quorum(), false));
-  auto sig = crypto_for_seq(s).pi_verifier->combine(d, shares);
-  if (!sig) {
-    ++stats_.invalid_shares_seen;
-    return;
-  }
-  sl.e_sent = true;
-  rec->cert.pi_sig = *sig;
-  FullExecuteProofMsg proof;
-  proof.seq = s;
-  proof.exec_digest = d;
-  proof.pi_sig = std::move(*sig);
-  broadcast_replicas(ctx, make_message(std::move(proof)));
-  if (opts_.config.execution_collector) send_execute_acks(s, ctx);
+  int64_t cost = ctx.costs().batch_verify_us(shares.size()) +
+                 ctx.costs().combine_us(epoch_for_seq(s).exec_quorum(), false);
+  sl.e_verifying = true;
+  ctx.offload(cost, [this, s, d, shares = std::move(shares)](sim::ActorContext& c) {
+    Slot* sp = find_slot(s);
+    if (!sp) return;
+    sp->e_verifying = false;
+    runtime::ExecutionRecord* rec2 = runtime_.record(s);
+    if (rec2 == nullptr || sp->e_sent || !rec2->cert.pi_sig.empty()) return;
+    if (!(rec2->cert.exec_digest() == d)) return;  // re-executed differently
+    auto sig = crypto_for_seq(s).pi_verifier->combine(d, shares);
+    if (!sig) {
+      ++stats_.invalid_shares_seen;
+      if (sp->pi_shares.size() > shares.size())
+        ecollector_try_proof(s, c, false);
+      return;
+    }
+    sp->e_sent = true;
+    rec2->cert.pi_sig = *sig;
+    FullExecuteProofMsg proof;
+    proof.seq = s;
+    proof.exec_digest = d;
+    proof.pi_sig = std::move(*sig);
+    broadcast_replicas(c, make_message(std::move(proof)));
+    if (opts_.config.execution_collector) send_execute_acks(s, c);
+  });
 }
 
 void SbftReplica::send_execute_acks(SeqNum s, sim::ActorContext& ctx) {
@@ -1276,20 +1386,21 @@ void SbftReplica::send_execute_acks(SeqNum s, sim::ActorContext& ctx) {
 
 void SbftReplica::handle_full_execute_proof(const FullExecuteProofMsg& m,
                                             sim::ActorContext& ctx) {
-  ctx.charge(ctx.costs().bls_verify_combined_us);
-  if (!crypto_for_seq(m.seq).pi_verifier->verify(m.exec_digest,
-                                                 as_span(m.pi_sig))) {
-    ++stats_.invalid_shares_seen;
-    return;
-  }
-  runtime::ExecutionRecord* rec = runtime_.record(m.seq);
-  if (rec != nullptr && rec->cert.exec_digest() == m.exec_digest) {
-    if (rec->cert.pi_sig.empty()) rec->cert.pi_sig = m.pi_sig;
-    advance_checkpoint(m.seq, ctx);
-  } else if (m.seq > le() + opts_.config.win / 2) {
-    // Far behind the cluster: catch up via state transfer.
-    request_state_transfer(ctx);
-  }
+  ctx.offload(ctx.costs().bls_verify_combined_us, [this, m](sim::ActorContext& c) {
+    if (!crypto_for_seq(m.seq).pi_verifier->verify(m.exec_digest,
+                                                   as_span(m.pi_sig))) {
+      ++stats_.invalid_shares_seen;
+      return;
+    }
+    runtime::ExecutionRecord* rec = runtime_.record(m.seq);
+    if (rec != nullptr && rec->cert.exec_digest() == m.exec_digest) {
+      if (rec->cert.pi_sig.empty()) rec->cert.pi_sig = m.pi_sig;
+      advance_checkpoint(m.seq, c);
+    } else if (m.seq > le() + opts_.config.win / 2) {
+      // Far behind the cluster: catch up via state transfer.
+      request_state_transfer(c);
+    }
+  });
 }
 
 void SbftReplica::advance_checkpoint(SeqNum s, sim::ActorContext& ctx) {

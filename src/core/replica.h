@@ -95,6 +95,9 @@ struct ReplicaStats : runtime::RuntimeStats {
   int64_t exec_to_ack_us = 0;     // E-collector: own execution -> acks sent
   uint64_t acked_blocks = 0;
   uint64_t buffered_pi_shares = 0;
+  // Primary: empty blocks proposed to drive an idle cluster across a pending
+  // reconfiguration's activation checkpoint boundary.
+  uint64_t noop_fill_blocks = 0;
 
   /// Invokes fn(name, value) for every counter, runtime fields included.
   template <typename Fn>
@@ -108,6 +111,7 @@ struct ReplicaStats : runtime::RuntimeStats {
     fn("proposed_requests", proposed_requests);
     fn("acked_blocks", acked_blocks);
     fn("buffered_pi_shares", buffered_pi_shares);
+    fn("noop_fill_blocks", noop_fill_blocks);
   }
 };
 
@@ -205,6 +209,10 @@ class SbftReplica final : public sim::IActor {
   uint64_t active_window() const;
   uint32_t adaptive_batch_size() const;
   void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
+  /// Continuation of handle_client_request once the request signature has
+  /// been verified (possibly on a worker lane).
+  void admit_client_request(NodeId from, const Request& req,
+                            sim::ActorContext& ctx);
   void propose_block(Block block, sim::ActorContext& ctx);
 
   // --- commit paths ----------------------------------------------------------

@@ -172,6 +172,7 @@ void Cluster::build() {
     build_replica(handle, behavior[r], /*recovering=*/false);
     handle.node_ = net_->add_node(handle.actor());
     SBFT_CHECK(handle.node_ == r - 1);  // replicas are added first
+    net_->set_cores(handle.node_, cores_for(r));
   }
 
   // Clients occupy node ids n..n+k-1; ClientId == NodeId.
@@ -212,6 +213,14 @@ void Cluster::build() {
   }
 }
 
+uint32_t Cluster::cores_for(ReplicaId r) const {
+  if (auto it = opts_.replica_cores.find(r); it != opts_.replica_cores.end()) {
+    return std::max<uint32_t>(1, it->second);
+  }
+  if (opts_.cores_per_replica > 0) return opts_.cores_per_replica;
+  return std::max<uint32_t>(1, opts_.costs.cores_per_replica);
+}
+
 ReplicaId Cluster::add_replica() {
   ReplicaHandle handle;
   handle.id_ = static_cast<ReplicaId>(replicas_.size() + 1);
@@ -229,6 +238,7 @@ ReplicaId Cluster::add_replica() {
   // admitting it activates and arrives via state transfer.
   build_replica(handle, core::ReplicaBehavior::kHonest, /*recovering=*/true);
   handle.node_ = net_->add_node(handle.actor());
+  net_->set_cores(handle.node_, cores_for(handle.id_));
   ReplicaId id = handle.id_;
   replicas_.push_back(std::move(handle));
   if (started_) net_->start_node(replicas_.back().node_);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,14 @@ struct ClusterOptions {
   sim::Topology topology;
   sim::CostModel costs;
   uint64_t seed = 1;
+
+  // CPU lanes per replica node (docs/performance.md): lane 0 runs the serial
+  // handler path, extra lanes absorb offloaded signature verification.
+  // 0 = use costs.cores_per_replica (default 1, the classic serial node).
+  // Clients always keep one lane. replica_cores overrides individual
+  // replicas (e.g. one under-provisioned straggler in a multi-core fleet).
+  uint32_t cores_per_replica = 0;
+  std::map<ReplicaId, uint32_t> replica_cores;
 
   /// Service run by every replica; defaults to FastKvService.
   std::function<std::unique_ptr<IService>()> service_factory;
@@ -196,6 +205,9 @@ class Cluster {
   void build();
   void build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavior,
                      bool recovering);
+  /// CPU lanes for replica r: replica_cores override, else cores_per_replica,
+  /// else the cost model's default (min 1).
+  uint32_t cores_for(ReplicaId r) const;
 
   ClusterOptions opts_;
   ProtocolConfig config_;

@@ -30,9 +30,18 @@ ExperimentResult run_point(const ExperimentPoint& point) {
   opts.seed = point.seed;
   opts.crash_replicas = point.crash_replicas;
   opts.straggler_replicas = point.straggler_replicas;
+  opts.cores_per_replica = point.cores;
   KvWorkloadOptions workload;
   workload.ops_per_request = point.ops_per_request;
   opts.op_factory = kv_op_factory(workload);
+  if (point.window > 0 || point.max_batch > 0) {
+    uint64_t win = point.window;
+    uint32_t max_batch = point.max_batch;
+    opts.tweak_config = [win, max_batch](ProtocolConfig& cfg) {
+      if (win > 0) cfg.win = win;
+      if (max_batch > 0) cfg.max_batch = max_batch;
+    };
+  }
   if (point.tweak) point.tweak(opts);
 
   Cluster cluster(std::move(opts));
@@ -55,7 +64,8 @@ std::string cache_key(const ExperimentPoint& p) {
   key << "k" << static_cast<int>(p.kind) << "_f" << p.f << "_c" << p.c << "_cl"
       << p.num_clients << "_b" << p.ops_per_request << "_cr" << p.crash_replicas
       << "_st" << p.straggler_replicas << "_w" << p.warmup_us << "_m"
-      << p.measure_us << "_s" << p.seed << "_t"
+      << p.measure_us << "_s" << p.seed << "_co" << p.cores << "_wn" << p.window
+      << "_mb" << p.max_batch << "_t"
       << (p.topology.region_latency_us.empty() ? "continent" : p.topology.name);
   return key.str();
 }
@@ -66,7 +76,7 @@ std::filesystem::path cache_dir() {
 
 // Cache schema version: bump whenever the serialized shape changes so stale
 // files from older builds re-run instead of mis-parsing.
-constexpr int kCacheVersion = 2;
+constexpr int kCacheVersion = 3;
 
 bool load_cached(const std::filesystem::path& file, ExperimentResult* out) {
   std::ifstream in(file);

@@ -16,6 +16,9 @@ struct ExperimentPoint {
   uint32_t c = 0;
   uint32_t num_clients = 4;
   uint32_t ops_per_request = 1;   // 64 = the paper's batching mode
+  uint32_t cores = 0;      // CPU lanes per replica; 0 = cost-model default (1)
+  uint64_t window = 0;     // ProtocolConfig::win override; 0 = keep default
+  uint32_t max_batch = 0;  // ProtocolConfig::max_batch override; 0 = default
   uint32_t crash_replicas = 0;
   uint32_t straggler_replicas = 0;
   sim::SimTime warmup_us = 1'000'000;

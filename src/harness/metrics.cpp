@@ -55,6 +55,23 @@ RunMetrics collect_metrics(Cluster& cluster, sim::SimTime from_us, sim::SimTime 
         [&](std::string_view name, uint64_t value) { m.registry.add(name, value); });
     if (h.metrics()) m.registry.merge(*h.metrics());
   }
+  // Per-lane CPU utilization (docs/performance.md). Lane 0 is the serial
+  // handler lane; lanes >= 1 absorb offloaded signature verification. The
+  // network tracks these per node across incarnations, so they come from
+  // the network rather than the replica stats.
+  sim::Network& net = cluster.network();
+  for (ReplicaId r = 1; r <= cluster.num_replicas(); ++r) {
+    NodeId node = cluster.replica(r).node();
+    const std::vector<int64_t>& lanes = net.lane_used_us(node);
+    for (size_t lane = 0; lane < lanes.size(); ++lane) {
+      uint64_t used = static_cast<uint64_t>(lanes[lane]);
+      m.registry.counter("cpu_used_us") += used;
+      m.registry.counter(lane == 0 ? "cpu_lane0_used_us"
+                                   : "cpu_worker_used_us") += used;
+      m.registry.histogram("cpu.lane_used_us").record(lanes[lane]);
+    }
+    m.registry.counter("cpu_offloads_run") += net.offloads_run(node);
+  }
   // WAL bytes come from the durable handles, not the replica stats: the
   // handle's counter spans every incarnation of a restarted replica.
   m.registry.counter("wal_bytes_written") = cluster.total_wal_bytes_written();

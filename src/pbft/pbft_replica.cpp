@@ -313,7 +313,16 @@ void PbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
                                         sim::ActorContext& ctx) {
   const Request& req = m.request;
   if (req.client == kReconfigClient) return;  // reserved marker id: forged
-  ctx.charge(ctx.costs().rsa_verify_us);
+  // Request signature verification runs on a worker lane when available;
+  // admission continues serially in the completion.
+  ctx.offload(ctx.costs().rsa_verify_us,
+              [this, from, req](sim::ActorContext& c) {
+                admit_client_request(from, req, c);
+              });
+}
+
+void PbftReplica::admit_client_request(NodeId from, const Request& req,
+                                       sim::ActorContext& ctx) {
   if (const runtime::CachedReply* cached =
           runtime_.cached_reply(req.client, req.timestamp)) {
     ClientReplyMsg reply;
@@ -384,6 +393,22 @@ void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
     ctx.charge(ctx.costs().hash_us(block.wire_size()) + ctx.costs().rsa_sign_us);
     broadcast(ctx, make_message(PrePrepareMsg{s, view_, std::move(block)}));
   }
+
+  // Primary-driven no-op fill (docs/reconfiguration.md): a staged
+  // reconfiguration activates only when the checkpoint at its boundary
+  // becomes stable, which needs the boundary slot to commit. With no client
+  // traffic the batch timer fills the remaining slots with empty blocks.
+  if (flush_partial && pending_.empty()) {
+    SeqNum gate = reconfig_gate();
+    while (gate > 0 && next_seq_ <= gate && next_seq_ - 1 - le() < window &&
+           next_seq_ <= ls() + opts_.config.win) {
+      Block block;
+      SeqNum s = next_seq_++;
+      ++stats_.noop_fill_blocks;
+      ctx.charge(ctx.costs().hash_us(block.wire_size()) + ctx.costs().rsa_sign_us);
+      broadcast(ctx, make_message(PrePrepareMsg{s, view_, std::move(block)}));
+    }
+  }
 }
 
 void PbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
@@ -394,10 +419,18 @@ void PbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
   if (SeqNum gate = reconfig_gate(); gate > 0 && m.seq > gate) return;
   Slot& sl = slots_[m.seq];
   if (sl.has_pp && sl.pp_view >= m.view) return;
-  // Verify the primary's signature and every client request signature.
-  ctx.charge(ctx.costs().rsa_verify_us *
-             static_cast<int64_t>(1 + m.block.requests.size()));
-  accept_pre_prepare(m.seq, m.view, m.block, ctx);
+  // Verify the primary's signature and every client request signature on a
+  // worker lane; acceptance (WAL vote, prepare broadcast) continues serially.
+  // The entry guards re-run in the completion.
+  int64_t cost = ctx.costs().rsa_verify_us *
+                 static_cast<int64_t>(1 + m.block.requests.size());
+  ctx.offload(cost, [this, seq = m.seq, v = m.view,
+                     block = m.block](sim::ActorContext& c) mutable {
+    if (in_view_change_ || v != view_ || retired_) return;
+    if (seq <= ls() || seq > ls() + opts_.config.win) return;
+    if (SeqNum gate = reconfig_gate(); gate > 0 && seq > gate) return;
+    accept_pre_prepare(seq, v, std::move(block), c);
+  });
 }
 
 void PbftReplica::accept_pre_prepare(SeqNum s, ViewNum v, Block block,
@@ -452,11 +485,16 @@ void PbftReplica::handle_prepare(const PbftPrepareMsg& m, sim::ActorContext& ctx
   if (in_view_change_ || m.view != view_ || retired_) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   if (!epoch_for_seq(m.seq).contains(m.replica)) return;
-  ctx.charge(ctx.costs().rsa_verify_us);  // the all-to-all quadratic cost
-  Slot& sl = slots_[m.seq];
-  if (sl.has_pp && !(m.h == sl.h)) return;
-  sl.prepares.insert(m.replica);
-  check_prepared(m.seq, ctx);
+  // The all-to-all quadratic verification cost — the offload is what lets a
+  // multi-core PBFT replica absorb 3f+1 prepares per slot in parallel.
+  ctx.offload(ctx.costs().rsa_verify_us, [this, m](sim::ActorContext& c) {
+    if (in_view_change_ || m.view != view_ || retired_) return;
+    if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
+    Slot& sl = slots_[m.seq];
+    if (sl.has_pp && !(m.h == sl.h)) return;
+    sl.prepares.insert(m.replica);
+    check_prepared(m.seq, c);
+  });
 }
 
 void PbftReplica::check_prepared(SeqNum s, sim::ActorContext& ctx) {
@@ -480,11 +518,14 @@ void PbftReplica::handle_commit(const PbftCommitMsg& m, sim::ActorContext& ctx) 
   if (in_view_change_ || m.view != view_ || retired_) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   if (!epoch_for_seq(m.seq).contains(m.replica)) return;
-  ctx.charge(ctx.costs().rsa_verify_us);
-  Slot& sl = slots_[m.seq];
-  if (sl.has_pp && !(m.h == sl.h)) return;
-  sl.commits.insert(m.replica);
-  check_committed(m.seq, ctx);
+  ctx.offload(ctx.costs().rsa_verify_us, [this, m](sim::ActorContext& c) {
+    if (in_view_change_ || m.view != view_ || retired_) return;
+    if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
+    Slot& sl = slots_[m.seq];
+    if (sl.has_pp && !(m.h == sl.h)) return;
+    sl.commits.insert(m.replica);
+    check_committed(m.seq, c);
+  });
 }
 
 void PbftReplica::check_committed(SeqNum s, sim::ActorContext& ctx) {
@@ -558,7 +599,14 @@ void PbftReplica::handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContex
   // strictly older ones are dropped.
   if (m.seq < ls()) return;
   if (!epoch_for_seq(m.seq).contains(m.replica)) return;
-  ctx.charge(ctx.costs().rsa_verify_us);
+  ctx.offload(ctx.costs().rsa_verify_us, [this, m](sim::ActorContext& c) {
+    handle_checkpoint_verified(m, c);
+  });
+}
+
+void PbftReplica::handle_checkpoint_verified(const PbftCheckpointMsg& m,
+                                             sim::ActorContext& ctx) {
+  if (m.seq < ls()) return;  // stability may have advanced mid-verification
   // A signature that fails verification never enters the vote set — the
   // checkpoint protocol itself is hardened, not just state transfer.
   if (opts_.checkpoint_auth &&

@@ -96,6 +96,9 @@ struct PbftStats : runtime::RuntimeStats {
   // State-transfer manifests/replies rejected for missing or invalid quorum
   // checkpoint certificates (the malicious-donor defense).
   uint64_t checkpoint_certs_rejected = 0;
+  // Primary: empty blocks proposed to drive an idle cluster across a pending
+  // reconfiguration's activation checkpoint boundary.
+  uint64_t noop_fill_blocks = 0;
 
   /// Visits every counter as (name, value) — runtime base first.
   template <typename Fn>
@@ -103,6 +106,7 @@ struct PbftStats : runtime::RuntimeStats {
     runtime::RuntimeStats::for_each(fn);
     fn("view_changes", view_changes);
     fn("checkpoint_certs_rejected", checkpoint_certs_rejected);
+    fn("noop_fill_blocks", noop_fill_blocks);
   }
 };
 
@@ -147,6 +151,10 @@ class PbftReplica final : public sim::IActor {
   void handle_prepare(const PbftPrepareMsg& m, sim::ActorContext& ctx);
   void handle_commit(const PbftCommitMsg& m, sim::ActorContext& ctx);
   void handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContext& ctx);
+  /// Continuation of handle_checkpoint once the vote signature cost has been
+  /// paid (possibly on a worker lane).
+  void handle_checkpoint_verified(const PbftCheckpointMsg& m,
+                                  sim::ActorContext& ctx);
   void handle_view_change(const PbftViewChangeMsg& m, sim::ActorContext& ctx);
   void handle_new_view(NodeId from, const PbftNewViewMsg& m, sim::ActorContext& ctx);
   void handle_state_transfer_request(NodeId from, const StateTransferRequestMsg& m,
@@ -192,6 +200,10 @@ class PbftReplica final : public sim::IActor {
 
   bool is_primary() const { return epoch().primary_of(view_) == opts_.id; }
   void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
+  /// Continuation of handle_client_request once the request signature has
+  /// been verified (possibly on a worker lane).
+  void admit_client_request(NodeId from, const Request& req,
+                            sim::ActorContext& ctx);
   void accept_pre_prepare(SeqNum s, ViewNum v, Block block, sim::ActorContext& ctx);
   void check_prepared(SeqNum s, sim::ActorContext& ctx);
   void check_committed(SeqNum s, sim::ActorContext& ctx);

@@ -93,6 +93,21 @@ void ActorContext::multicast(const std::vector<NodeId>& to, MessagePtr msg) {
   for (NodeId t : to) send(t, msg);
 }
 
+void ActorContext::offload(int64_t cost_us,
+                           std::function<void(ActorContext&)> done) {
+  if (net_.cores(self_) <= 1) {
+    // Single lane: the "offloaded" work runs right here, serially, exactly
+    // as the pre-lane model charged it.
+    ++net_.nodes_[self_].offloads_run;
+    charge(cost_us);
+    done(*this);
+    return;
+  }
+  // Buffered like sends/timers: the work starts when this handler's charged
+  // CPU completes, on the earliest-free worker lane (see Network::flush).
+  offloads_.push_back({cost_us, std::move(done)});
+}
+
 // ---------------------------------------------------------------------------
 // Network
 
@@ -109,6 +124,9 @@ NodeId Network::add_node(IActor* actor, uint32_t region) {
   state.actor = actor;
   state.region = region;
   state.rng = link_rng_.fork();
+  uint32_t lanes = std::max<uint32_t>(1, costs_.cores_per_replica);
+  state.lane_busy.assign(lanes, 0);
+  state.lane_used_us.assign(lanes, 0);
   nodes_.push_back(std::move(state));
   return static_cast<NodeId>(nodes_.size() - 1);
 }
@@ -137,9 +155,11 @@ void Network::restart(NodeId node, IActor* actor) {
   state.crashed = false;
   ++state.incarnation;
   if (actor) state.actor = actor;
-  // Runtime state died with the process; the link is idle when it boots.
+  // Runtime state died with the process; every lane and the link are idle
+  // when it boots. Pending offload completions from the dead incarnation are
+  // dropped by the incarnation gate when they fire.
   state.cpu_queue.clear();
-  state.cpu_busy = sim_.now();
+  for (SimTime& busy : state.lane_busy) busy = sim_.now();
   state.uplink_busy = sim_.now();
   state.downlink_busy = sim_.now();
   sim_.schedule(sim_.now(), [this, node] {
@@ -150,6 +170,60 @@ void Network::restart(NodeId node, IActor* actor) {
 
 void Network::set_cpu_factor(NodeId node, double factor) {
   nodes_[node].cpu_factor = factor;
+}
+
+void Network::set_cores(NodeId node, uint32_t k) {
+  SBFT_CHECK(k >= 1);
+  NodeState& state = nodes_[node];
+  state.lane_busy.resize(k, 0);
+  state.lane_used_us.resize(k, 0);
+}
+
+int64_t Network::cpu_used_us(NodeId node) const {
+  int64_t total = 0;
+  for (int64_t used : nodes_[node].lane_used_us) total += used;
+  return total;
+}
+
+void Network::offload(NodeId node, int64_t cost_us,
+                      std::function<void(ActorContext&)> done) {
+  NodeState& state = nodes_[node];
+  if (state.crashed) return;
+  if (state.lane_busy.size() <= 1) {
+    // Single lane: queue the work as an ordinary serial handler.
+    ++state.offloads_run;
+    run_handler(node, sim_.now(),
+                [cost_us, done = std::move(done)](ActorContext& ctx) {
+                  ctx.charge(cost_us);
+                  done(ctx);
+                });
+    return;
+  }
+  dispatch_offload(node, cost_us, std::move(done), sim_.now());
+}
+
+void Network::dispatch_offload(NodeId node, int64_t cost_us, Handler done,
+                               SimTime earliest) {
+  NodeState& state = nodes_[node];
+  // Earliest-free worker lane; ties break to the lowest index (deterministic).
+  size_t lane = 1;
+  for (size_t l = 2; l < state.lane_busy.size(); ++l) {
+    if (state.lane_busy[l] < state.lane_busy[lane]) lane = l;
+  }
+  SimTime begin = std::max(earliest, state.lane_busy[lane]);
+  int64_t scaled =
+      static_cast<int64_t>(static_cast<double>(cost_us) * state.cpu_factor);
+  SimTime finish = begin + scaled;
+  state.lane_busy[lane] = finish;
+  state.lane_used_us[lane] += scaled;
+  ++state.offloads_run;
+  uint64_t inc = state.incarnation;
+  sim_.schedule(finish, [this, node, inc, done = std::move(done)]() mutable {
+    // The completion continues the protocol state machine, so it re-enters
+    // the serial lane — and dies if the incarnation that queued it did.
+    if (nodes_[node].crashed || nodes_[node].incarnation != inc) return;
+    run_handler(node, sim_.now(), std::move(done));
+  });
 }
 
 void Network::set_extra_latency(NodeId node, int64_t us) {
@@ -185,10 +259,11 @@ void Network::reset_stats() { stats_.fill(MessageStats{}); }
 void Network::run_handler(NodeId node, SimTime at, Handler fn) {
   NodeState& state = nodes_[node];
   if (state.crashed) return;
-  if (state.cpu_busy > at || !state.cpu_queue.empty()) {
-    // Node busy: enqueue FIFO and make sure a drain fires when it frees up.
+  if (state.lane_busy[0] > at || !state.cpu_queue.empty()) {
+    // Serial lane busy: enqueue FIFO and make sure a drain fires when it
+    // frees up.
     state.cpu_queue.push_back(std::move(fn));
-    schedule_drain(node, std::max(state.cpu_busy, at));
+    schedule_drain(node, std::max(state.lane_busy[0], at));
     return;
   }
   execute_handler(node, at, fn);
@@ -215,23 +290,30 @@ void Network::drain(NodeId node) {
     return;
   }
   if (state.cpu_queue.empty()) return;
-  if (state.cpu_busy > sim_.now()) {
-    schedule_drain(node, state.cpu_busy);
+  if (state.lane_busy[0] > sim_.now()) {
+    schedule_drain(node, state.lane_busy[0]);
     return;
   }
   Handler fn = std::move(state.cpu_queue.front());
   state.cpu_queue.pop_front();
   execute_handler(node, sim_.now(), fn);
-  if (!state.cpu_queue.empty()) schedule_drain(node, state.cpu_busy);
+  if (!state.cpu_queue.empty()) schedule_drain(node, state.lane_busy[0]);
 }
 
 void Network::flush(NodeId node, ActorContext& ctx) {
   NodeState& state = nodes_[node];
   int64_t cpu = static_cast<int64_t>(static_cast<double>(ctx.charged_) * state.cpu_factor);
   SimTime done = ctx.start_ + cpu;
-  state.cpu_busy = done;
-  state.cpu_used_us += cpu;
+  state.lane_busy[0] = done;
+  state.lane_used_us[0] += cpu;
   ++state.handlers_run;
+
+  // Offloaded work starts when the handler that requested it completes —
+  // the handler "hands off" to a worker lane at its end, like sends depart
+  // at `done`.
+  for (auto& o : ctx.offloads_) {
+    dispatch_offload(node, o.cost_us, std::move(o.done), done);
+  }
 
   // Broadcasts enqueue the same payload many times; compute its wire size
   // once per distinct message object.

@@ -3,8 +3,11 @@
 // Nodes (replicas and clients) are actors on a shared discrete-event
 // simulator. The model captures exactly the resources the paper's evaluation
 // exercises on AWS:
-//   * per-node sequential CPU (handlers charge cost-model time; a saturated
-//     node queues work),
+//   * per-node CPU lanes (lane 0 runs handlers sequentially — message
+//     dispatch and state mutation stay serial; lanes 1..k-1 absorb work
+//     explicitly offloaded by handlers, modelling the paper's parallelized
+//     signature verification across a replica's cores — see
+//     docs/performance.md),
 //   * per-node uplink/downlink serialization (a broadcast is n unicasts that
 //     serialize on the sender's uplink — this is what makes all-to-all
 //     quadratic patterns hurt and collector patterns win),
@@ -57,6 +60,15 @@ class ActorContext {
   /// Adds simulated CPU time to this handler.
   void charge(int64_t us) { charged_ += us; }
 
+  /// Hands `cost_us` of parallelizable work (signature verification, share
+  /// combination) to a worker lane; `done` continues the protocol state
+  /// machine as a fresh lane-0 handler when the work completes. On a
+  /// single-lane node this degenerates to charge(cost_us) + done(*this)
+  /// inline, so engine code restructured around offload() is byte-identical
+  /// to the serial model at cores=1. Completions are incarnation-gated: a
+  /// callback queued before a crash+restart never fires.
+  void offload(int64_t cost_us, std::function<void(ActorContext&)> done);
+
   void send(NodeId to, MessagePtr msg) { sends_.push_back({to, std::move(msg)}); }
   void multicast(const std::vector<NodeId>& to, MessagePtr msg);
   /// Schedules on_timer(id) `delay` after this handler completes.
@@ -75,6 +87,10 @@ class ActorContext {
     int64_t delay_us;
     uint64_t id;
   };
+  struct PendingOffload {
+    int64_t cost_us;
+    std::function<void(ActorContext&)> done;
+  };
 
   Network& net_;
   NodeId self_;
@@ -82,6 +98,7 @@ class ActorContext {
   int64_t charged_ = 0;
   std::vector<PendingSend> sends_;
   std::vector<PendingTimer> timers_;
+  std::vector<PendingOffload> offloads_;
 };
 
 class IActor {
@@ -125,8 +142,22 @@ class Network {
   void restart(NodeId node, IActor* actor = nullptr);
   /// Restart count of the node (0 = original incarnation).
   uint64_t incarnation(NodeId node) const { return nodes_[node].incarnation; }
-  /// Straggler: multiplies the node's CPU costs (1.0 = nominal).
+  /// Straggler: multiplies the node's CPU costs on every lane (1.0 = nominal).
   void set_cpu_factor(NodeId node, double factor);
+  /// Resizes the node's CPU to `k` lanes (k >= 1). Lane 0 stays the serial
+  /// handler lane; lanes 1..k-1 serve offload() work. New nodes default to
+  /// CostModel::cores_per_replica lanes.
+  void set_cores(NodeId node, uint32_t k);
+  uint32_t cores(NodeId node) const {
+    return static_cast<uint32_t>(nodes_[node].lane_busy.size());
+  }
+  /// Queues `cost_us` of work on the node's earliest-free worker lane at the
+  /// current simulated time; `done` runs as a lane-0 handler on completion.
+  /// On a single-lane node the work runs (and is charged) on lane 0. Engines
+  /// should prefer ActorContext::offload — this entry point exists for tests
+  /// and for work initiated outside a handler.
+  void offload(NodeId node, int64_t cost_us,
+               std::function<void(ActorContext&)> done);
   /// Extra one-way latency for all messages to/from this node.
   void set_extra_latency(NodeId node, int64_t us);
   /// Uniform message drop probability (applies to every link).
@@ -152,7 +183,17 @@ class Network {
   const CostModel& costs() const { return costs_; }
   Simulator& simulator() { return sim_; }
   Rng& node_rng(NodeId node) { return nodes_[node].rng; }
-  int64_t cpu_used_us(NodeId node) const { return nodes_[node].cpu_used_us; }
+  /// Total charged CPU across all lanes (utilization probe).
+  int64_t cpu_used_us(NodeId node) const;
+  /// Cumulative charged CPU per lane (index 0 = serial handler lane).
+  /// Survives restart: utilization is a property of the node, not the
+  /// incarnation.
+  const std::vector<int64_t>& lane_used_us(NodeId node) const {
+    return nodes_[node].lane_used_us;
+  }
+  /// Number of offloads dispatched to worker lanes (plus inline-run offloads
+  /// on single-lane nodes).
+  uint64_t offloads_run(NodeId node) const { return nodes_[node].offloads_run; }
   uint64_t handlers_run(NodeId node) const { return nodes_[node].handlers_run; }
   size_t cpu_queue_depth(NodeId node) const { return nodes_[node].cpu_queue.size(); }
 
@@ -167,14 +208,18 @@ class Network {
     bool crashed = false;
     double cpu_factor = 1.0;
     int64_t extra_latency_us = 0;
-    SimTime cpu_busy = 0;
+    // Per-lane busy-until timestamps. Lane 0 is the serial handler lane
+    // (message dispatch, state mutation); lanes 1..k-1 serve offload() work,
+    // dispatched earliest-free (ties: lowest index).
+    std::vector<SimTime> lane_busy{0};
     SimTime uplink_busy = 0;
     SimTime downlink_busy = 0;
-    // FIFO of handlers waiting for the node's (sequential) CPU.
+    // FIFO of handlers waiting for the node's serial lane.
     std::deque<Handler> cpu_queue;
     bool drain_scheduled = false;
     uint64_t incarnation = 0;  // bumped by restart(); gates stale timers
-    int64_t cpu_used_us = 0;   // cumulative charged CPU (utilization probe)
+    std::vector<int64_t> lane_used_us{0};  // cumulative charged CPU per lane
+    uint64_t offloads_run = 0;
     uint64_t handlers_run = 0;
     Rng rng{0};
   };
@@ -185,6 +230,8 @@ class Network {
                SimTime arrival);
   void run_handler(NodeId node, SimTime at, Handler fn);
   void execute_handler(NodeId node, SimTime at, const Handler& fn);
+  void dispatch_offload(NodeId node, int64_t cost_us, Handler done,
+                        SimTime earliest);
   void schedule_drain(NodeId node, SimTime at);
   void drain(NodeId node);
   void flush(NodeId node, ActorContext& ctx);

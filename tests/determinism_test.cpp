@@ -19,7 +19,8 @@ struct RunSignature {
   bool operator==(const RunSignature&) const = default;
 };
 
-RunSignature run_once(uint64_t seed, ProtocolKind kind, bool tracing = false) {
+RunSignature run_once(uint64_t seed, ProtocolKind kind, bool tracing = false,
+                      uint32_t cores = 0) {
   ClusterOptions opts;
   opts.kind = kind;
   opts.f = 1;
@@ -29,6 +30,7 @@ RunSignature run_once(uint64_t seed, ProtocolKind kind, bool tracing = false) {
   opts.topology = sim::continent_topology();
   opts.seed = seed;
   opts.tracing = tracing;
+  opts.cores_per_replica = cores;
   Cluster cluster(std::move(opts));
   cluster.run_for(1'000'000);
 
@@ -101,6 +103,81 @@ TEST(Determinism, TraceDumpByteIdenticalAcrossRuns) {
   EXPECT_GT(a.size(), 1000u);
   EXPECT_EQ(a, trace_of(46));
   EXPECT_NE(a, trace_of(47));
+}
+
+TEST(Determinism, MultiLaneRunsIdenticalFromSameSeed) {
+  // Worker-lane dispatch (earliest-free, lowest index on ties) is part of
+  // the deterministic state machine: same seed + same lane count => the
+  // same run, for both ordering engines.
+  RunSignature a = run_once(48, ProtocolKind::kSbft, false, /*cores=*/8);
+  RunSignature b = run_once(48, ProtocolKind::kSbft, false, /*cores=*/8);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.max_executed, 0u);
+  EXPECT_EQ(run_once(49, ProtocolKind::kPbft, false, 8),
+            run_once(49, ProtocolKind::kPbft, false, 8));
+}
+
+TEST(Determinism, MultiLaneTraceDumpByteIdentical) {
+  auto trace_of = [](uint64_t seed) {
+    ClusterOptions opts;
+    opts.kind = ProtocolKind::kSbft;
+    opts.f = 1;
+    opts.num_clients = 3;
+    opts.requests_per_client = 0;
+    opts.topology = sim::lan_topology();
+    opts.seed = seed;
+    opts.tracing = true;
+    opts.cores_per_replica = 8;
+    Cluster cluster(std::move(opts));
+    cluster.run_for(1'000'000);
+    return cluster.trace_json();
+  };
+  std::string a = trace_of(50);
+  EXPECT_GT(a.size(), 1000u);
+  EXPECT_EQ(a, trace_of(50));
+}
+
+TEST(Determinism, LaneCountChangesTimingNotResults) {
+  // cores=1 vs cores=8 run the same protocol state machine — offloading
+  // only moves crypto cost onto worker lanes, so the committed blocks,
+  // final service state, and client outcomes must match; only sim-time
+  // (and hence latencies) may differ. One sequential client pins the
+  // batching so per-seq blocks are comparable across lane counts.
+  struct Outcome {
+    SeqNum max_executed;
+    Digest state_root;
+    size_t client_records;
+    std::vector<Bytes> blocks;
+
+    bool operator==(const Outcome&) const = default;
+  };
+  auto run_with_cores = [](uint32_t cores) {
+    ClusterOptions opts;
+    opts.kind = ProtocolKind::kSbft;
+    opts.f = 1;
+    opts.c = 1;
+    opts.num_clients = 1;
+    opts.requests_per_client = 20;
+    opts.topology = sim::continent_topology();
+    opts.seed = 51;
+    opts.cores_per_replica = cores;
+    Cluster cluster(std::move(opts));
+    EXPECT_TRUE(cluster.run_until_done(60'000'000));
+    Outcome out;
+    out.max_executed = cluster.max_executed();
+    out.state_root = cluster.sbft_replica(1)->service().state_digest();
+    out.client_records = cluster.client(0).records().size();
+    auto ledger = cluster.replica_ledger(1);
+    for (SeqNum s = 1; s <= ledger->last_seq(); ++s) {
+      if (auto block = ledger->read_block(s)) out.blocks.push_back(*block);
+    }
+    return out;
+  };
+  Outcome serial = run_with_cores(1);
+  Outcome parallel = run_with_cores(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial.client_records, 20u);
+  EXPECT_GE(serial.blocks.size(), 20u);
 }
 
 TEST(Determinism, FaultScheduleReproducible) {

@@ -1712,6 +1712,31 @@ TEST_P(Reconfiguration, RemovedReplicasDrainAndClusterStaysLive) {
   EXPECT_TRUE(cluster.check_agreement());
 }
 
+TEST_P(Reconfiguration, IdleClusterNoopFillsToTheActivationBoundary) {
+  // A staged reconfiguration activates at the next stable checkpoint — but a
+  // checkpoint needs committed sequence numbers. With zero clients nothing
+  // would ever commit, so the primary fills the gap with no-op blocks until
+  // the activation boundary (docs/performance.md, "no-op fill").
+  ClusterOptions opts = base(/*f=*/2, /*seed=*/61);
+  opts.num_clients = 0;
+  Cluster cluster(std::move(opts));
+  cluster.run_for(500'000);
+  EXPECT_EQ(cluster.max_executed(), 0u) << "idle cluster committed blocks";
+
+  cluster.submit_reconfig({}, {5, 6, 7}, /*new_f=*/1);
+  ASSERT_TRUE(run_until(cluster, [&] {
+    return cluster.replica(1).runtime_stats().epochs_activated >= 1 &&
+           cluster.replica(5).runtime_stats().epochs_activated >= 1;
+  })) << "idle cluster never reached the activation boundary";
+
+  uint64_t noops = 0;
+  cluster.replica(1).for_each_stat([&](std::string_view name, uint64_t value) {
+    if (name == "noop_fill_blocks") noops = value;
+  });
+  EXPECT_GT(noops, 0u) << "activation progressed without no-op fill";
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
 INSTANTIATE_TEST_SUITE_P(Protocols, Reconfiguration,
                          ::testing::Values(ProtocolKind::kSbft,
                                            ProtocolKind::kPbft),

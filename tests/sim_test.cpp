@@ -312,6 +312,121 @@ TEST(Network, StaleTimersDieWithTheCrashedIncarnation) {
   EXPECT_GE(actor.fired[0], 7000);
 }
 
+// ---------------------------------------------------------------------------
+// CPU lanes / offload (docs/performance.md)
+
+struct OffloadActor : IActor {
+  int64_t cost = 10'000;
+  int copies = 1;
+  std::vector<SimTime> completed;
+  void on_message(NodeId, const Message&, ActorContext& ctx) override {
+    for (int i = 0; i < copies; ++i) {
+      ctx.offload(cost, [this](ActorContext& c) { completed.push_back(c.now()); });
+    }
+  }
+};
+
+TEST(Network, OffloadRunsInlineOnSingleLaneNode) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  OffloadActor actor;
+  net.add_node(&starter);
+  NodeId node = net.add_node(&actor);
+  starter.target = node;
+  net.start();
+  sim.run_until_idle();
+  ASSERT_EQ(actor.completed.size(), 1u);
+  EXPECT_EQ(net.cores(node), 1u);
+  EXPECT_EQ(net.offloads_run(node), 1u);
+  // Inline execution charges the serial lane; there is no worker lane.
+  ASSERT_EQ(net.lane_used_us(node).size(), 1u);
+  EXPECT_GE(net.lane_used_us(node)[0], actor.cost);
+  EXPECT_GE(net.cpu_used_us(node), actor.cost);
+}
+
+TEST(Network, OffloadsOverlapAcrossWorkerLanes) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  OffloadActor actor;
+  actor.copies = 2;
+  net.add_node(&starter);
+  NodeId node = net.add_node(&actor);
+  starter.target = node;
+  net.set_cores(node, 3);  // lane 0 + two workers
+  net.start();
+  sim.run_until_idle();
+  ASSERT_EQ(actor.completed.size(), 2u);
+  // Both tasks ran in parallel on distinct worker lanes: completions land
+  // within one handler overhead of each other, not one task-cost apart.
+  EXPECT_LT(actor.completed[1] - actor.completed[0], actor.cost);
+  const std::vector<int64_t>& lanes = net.lane_used_us(node);
+  ASSERT_EQ(lanes.size(), 3u);
+  EXPECT_EQ(lanes[1], actor.cost);
+  EXPECT_EQ(lanes[2], actor.cost);
+  EXPECT_EQ(net.offloads_run(node), 2u);
+}
+
+TEST(Network, OffloadQueuesOnEarliestFreeLane) {
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Starter starter;
+  OffloadActor actor;
+  actor.copies = 3;  // two lanes -> the third task queues behind the first
+  net.add_node(&starter);
+  NodeId node = net.add_node(&actor);
+  starter.target = node;
+  net.set_cores(node, 3);
+  net.start();
+  sim.run_until_idle();
+  ASSERT_EQ(actor.completed.size(), 3u);
+  EXPECT_LT(actor.completed[1] - actor.completed[0], actor.cost);
+  EXPECT_GE(actor.completed[2], actor.completed[0] + actor.cost);
+  const std::vector<int64_t>& lanes = net.lane_used_us(node);
+  EXPECT_EQ(lanes[1] + lanes[2], 3 * actor.cost);
+}
+
+TEST(Network, OffloadCompletionsDieWithTheCrashedIncarnation) {
+  struct Nobody : IActor {
+    void on_message(NodeId, const Message&, ActorContext&) override {}
+  };
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Nobody actor;
+  NodeId node = net.add_node(&actor);
+  net.set_cores(node, 2);
+  net.start();
+  bool completed = false;
+  net.offload(node, 10'000, [&](ActorContext&) { completed = true; });
+  sim.run_until(2000);
+  net.crash(node);
+  net.restart(node);
+  sim.run_until_idle();
+  // The offload was dispatched, but its completion belonged to the old
+  // incarnation — exactly like a stale timer, it must never fire.
+  EXPECT_EQ(net.offloads_run(node), 1u);
+  EXPECT_FALSE(completed);
+}
+
+TEST(Network, StragglerCpuFactorScalesWorkerLanes) {
+  struct Nobody : IActor {
+    void on_message(NodeId, const Message&, ActorContext&) override {}
+  };
+  Simulator sim;
+  Network net(sim, lan_topology(), CostModel{});
+  Nobody actor;
+  NodeId node = net.add_node(&actor);
+  net.set_cores(node, 2);
+  net.set_cpu_factor(node, 10.0);
+  net.start();
+  SimTime done_at = 0;
+  net.offload(node, 1000, [&](ActorContext& c) { done_at = c.now(); });
+  sim.run_until_idle();
+  EXPECT_GE(done_at, 10'000);  // 1ms of work, 10x straggler
+  EXPECT_EQ(net.lane_used_us(node)[1], 10'000);
+}
+
 TEST(Topologies, Shapes) {
   EXPECT_EQ(lan_topology().num_regions(), 1u);
   EXPECT_EQ(continent_topology().num_regions(), 10u);  // 5 regions x 2 AZ

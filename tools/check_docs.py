@@ -13,6 +13,10 @@
 4. Every public class declared in src/obs/*.h appears by name in
    docs/observability.md or docs/architecture.md — same contract as the
    runtime layer, for the observability surface.
+5. Every public class declared in src/sim/*.h appears by name in
+   docs/performance.md or docs/architecture.md — the simulator's execution
+   model (lanes, offload, determinism) is the foundation everything else
+   builds on, so its surface must stay documented.
 
 Exits non-zero with a summary of every violation.
 """
@@ -109,9 +113,27 @@ def check_obs_classes():
     return errors
 
 
+def check_sim_classes():
+    errors = []
+    corpus = ""
+    for name in ("performance.md", "architecture.md"):
+        page = ROOT / "docs" / name
+        if not page.exists():
+            return [f"missing docs/{name}"]
+        corpus += page.read_text(encoding="utf-8")
+    for header in sorted((ROOT / "src" / "sim").glob("*.h")):
+        for cls in CLASS_RE.findall(header.read_text(encoding="utf-8")):
+            if cls not in corpus:
+                errors.append(
+                    f"src/sim/{header.name}: public class '{cls}' is not "
+                    f"mentioned in docs/performance.md or docs/architecture.md"
+                )
+    return errors
+
+
 def main():
     errors = (check_links() + check_docs_reachable() + check_runtime_classes()
-              + check_obs_classes())
+              + check_obs_classes() + check_sim_classes())
     docs = len(doc_files())
     if errors:
         print(f"check_docs: {len(errors)} problem(s) across {docs} documents:")
@@ -119,7 +141,7 @@ def main():
             print(f"  - {err}")
         return 1
     print(f"check_docs: OK ({docs} documents, links resolve, no orphaned "
-          f"pages, runtime and obs classes documented)")
+          f"pages, runtime, obs, and sim classes documented)")
     return 0
 
 
