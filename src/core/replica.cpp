@@ -593,6 +593,13 @@ void SbftReplica::admit_client_request(NodeId from, const Request& req,
   }
 
   if (retired_) return;  // drained: serves caches only, never orders
+  // Censoring primary: requests from odd-id clients vanish at admission. The
+  // censored client keeps retrying, backups keep forwarding, and their
+  // progress timers eventually force a view change to an honest primary.
+  if (opts_.behavior == ReplicaBehavior::kCensor && is_primary() &&
+      req.client % 2 == 1) {
+    return;
+  }
   if (is_primary() && !in_view_change_) {
     auto key = std::make_pair(req.client, req.timestamp);
     if (pending_keys_.insert(key).second) {
@@ -1531,7 +1538,17 @@ ViewChangeMsg SbftReplica::build_view_change(ViewNum target) const {
       e.fm_view = sl.fp_view;
       e.fm_block_digest = sl.fp_digest;
       e.fm_sig = sl.fast_proof;
-    } else if (sl.has_pp) {
+    } else if (sl.has_pp && !sl.own_sigma_share.empty() &&
+               sl.h == slot_hash(s, sl.pp_view, sl.block_digest)) {
+      // The fm vote is only evidence if the retained share actually signs
+      // (seq, pp_view, digest). A slot adopted through enter_new_view's
+      // decided branch bumps pp_view without re-signing, so its stale (or,
+      // after a wiped restart, absent) share would poison the whole
+      // view-change message — receivers drop it, quorums never form, and
+      // the decided slot's full proof above already carries the safety
+      // evidence. Found by the schedule fuzzer (seed 65): two replicas
+      // poisoned this way plus one silent byzantine left view changes
+      // permanently unable to converge.
       e.fm_kind = FastEvidence::kVote;
       e.fm_view = sl.pp_view;
       e.fm_block_digest = sl.block_digest;

@@ -36,6 +36,9 @@ enum class ReplicaBehavior {
   kSilent,         // receives but never sends (crash-like, still counts CPU)
   kEquivocate,     // as primary, proposes different blocks to different halves
   kCorruptShares,  // flips a byte in every threshold share it emits
+  kCensor,         // as primary, silently drops requests from odd-id clients
+                   // (liveness must recover via the backup progress timers
+                   // forcing a view change past the censoring primary)
 };
 
 struct ReplicaOptions {

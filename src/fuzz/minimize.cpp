@@ -1,0 +1,59 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+
+#include "fuzz/runner.h"
+
+namespace sbft::fuzz {
+
+Schedule minimize_schedule(const Schedule& failing,
+                           const FailurePredicate& fails, uint32_t max_runs,
+                           MinimizeStats* stats) {
+  MinimizeStats local;
+  Schedule current = failing;
+  size_t granularity = 2;
+
+  while (current.events.size() >= 2 && local.runs < max_runs) {
+    const size_t count = current.events.size();
+    granularity = std::min(granularity, count);
+    const size_t chunk = (count + granularity - 1) / granularity;
+
+    bool reduced = false;
+    for (size_t start = 0; start < count && local.runs < max_runs;
+         start += chunk) {
+      // Complement test: drop events [start, start+chunk) and re-run.
+      Schedule candidate = current;
+      candidate.events.erase(
+          candidate.events.begin() + static_cast<ptrdiff_t>(start),
+          candidate.events.begin() +
+              static_cast<ptrdiff_t>(std::min(start + chunk, count)));
+      ++local.runs;
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        granularity = std::max<size_t>(granularity - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= count) {
+        local.reached_fixpoint = true;  // 1-minimal: no single event removable
+        break;
+      }
+      granularity = std::min(granularity * 2, count);
+    }
+  }
+  if (current.events.size() < 2) local.reached_fixpoint = true;
+
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+Schedule minimize_schedule(const Schedule& failing, uint32_t max_runs,
+                           MinimizeStats* stats) {
+  return minimize_schedule(
+      failing, [](const Schedule& s) { return !run_schedule(s).ok(); },
+      max_runs, stats);
+}
+
+}  // namespace sbft::fuzz

@@ -1,0 +1,39 @@
+// Byzantine schedule fuzzing (docs/fuzzing.md): delta-debugging minimizer.
+//
+// Given a failing schedule, ddmin shrinks its fault-event list to a locally
+// minimal subset that still fails: it repeatedly partitions the events into
+// chunks and tests each chunk's complement, re-running the schedule through
+// the real runner (or any injected predicate — the self-tests use synthetic
+// ones). Because the runner guards every fault application, any sub-schedule
+// of a valid schedule is itself valid, so dropping events never manufactures
+// a new failure mode by breaking schedule well-formedness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/schedule.h"
+
+namespace sbft::fuzz {
+
+/// True iff the candidate schedule still fails (still reproduces the bug).
+using FailurePredicate = std::function<bool(const Schedule&)>;
+
+struct MinimizeStats {
+  uint32_t runs = 0;           // predicate evaluations spent
+  bool reached_fixpoint = false;  // false: stopped on the run budget instead
+};
+
+/// ddmin over `failing.events` with an injected predicate. The input is
+/// assumed to fail (it is not re-tested). Returns the minimized schedule;
+/// topology and time bounds are never altered.
+Schedule minimize_schedule(const Schedule& failing,
+                           const FailurePredicate& fails,
+                           uint32_t max_runs = 48,
+                           MinimizeStats* stats = nullptr);
+
+/// Convenience overload: the predicate is "run_schedule reports violations".
+Schedule minimize_schedule(const Schedule& failing, uint32_t max_runs = 48,
+                           MinimizeStats* stats = nullptr);
+
+}  // namespace sbft::fuzz

@@ -1,0 +1,366 @@
+#include "fuzz/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace sbft::fuzz {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+constexpr KindName kKindNames[] = {
+    {FaultKind::kCrash, "crash"},
+    {FaultKind::kRestart, "restart"},
+    {FaultKind::kPartition, "partition"},
+    {FaultKind::kHeal, "heal"},
+    {FaultKind::kDropWindow, "drop"},
+    {FaultKind::kDelay, "delay"},
+    {FaultKind::kReorder, "reorder"},
+    {FaultKind::kCensorLink, "censor"},
+    {FaultKind::kReconfig, "reconfig"},
+};
+
+const char* protocol_token(harness::ProtocolKind kind) {
+  switch (kind) {
+    case harness::ProtocolKind::kPbft: return "pbft";
+    case harness::ProtocolKind::kLinearPbft: return "linear_pbft";
+    case harness::ProtocolKind::kLinearPbftFast: return "linear_pbft_fast";
+    case harness::ProtocolKind::kSbft: return "sbft";
+  }
+  return "?";
+}
+
+std::optional<harness::ProtocolKind> protocol_from_token(const std::string& t) {
+  if (t == "pbft") return harness::ProtocolKind::kPbft;
+  if (t == "linear_pbft") return harness::ProtocolKind::kLinearPbft;
+  if (t == "linear_pbft_fast") return harness::ProtocolKind::kLinearPbftFast;
+  if (t == "sbft") return harness::ProtocolKind::kSbft;
+  return std::nullopt;
+}
+
+const char* behavior_token(core::ReplicaBehavior b) {
+  switch (b) {
+    case core::ReplicaBehavior::kHonest: return "honest";
+    case core::ReplicaBehavior::kSilent: return "silent";
+    case core::ReplicaBehavior::kEquivocate: return "equivocate";
+    case core::ReplicaBehavior::kCorruptShares: return "corrupt_shares";
+    case core::ReplicaBehavior::kCensor: return "censor";
+  }
+  return "?";
+}
+
+std::optional<core::ReplicaBehavior> behavior_from_token(const std::string& t) {
+  if (t == "honest") return core::ReplicaBehavior::kHonest;
+  if (t == "silent") return core::ReplicaBehavior::kSilent;
+  if (t == "equivocate") return core::ReplicaBehavior::kEquivocate;
+  if (t == "corrupt_shares") return core::ReplicaBehavior::kCorruptShares;
+  if (t == "censor") return core::ReplicaBehavior::kCensor;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  for (const KindName& k : kKindNames) {
+    if (k.kind == kind) return k.name;
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_name(const std::string& name) {
+  for (const KindName& k : kKindNames) {
+    if (name == k.name) return k.kind;
+  }
+  return std::nullopt;
+}
+
+std::string Schedule::to_text() const {
+  std::ostringstream out;
+  out << "# sbft-fuzz schedule v1\n";
+  out << "seed " << seed << "\n";
+  out << "protocol " << protocol_token(topology.kind) << "\n";
+  out << "f " << topology.f << "\n";
+  out << "c " << topology.c << "\n";
+  out << "clients " << topology.clients << "\n";
+  out << "requests " << topology.requests_per_client << "\n";
+  out << "cores " << topology.cores << "\n";
+  out << "byzantine " << topology.byzantine << " "
+      << behavior_token(topology.byz_behavior) << "\n";
+  out << "service " << (topology.service == 0 ? "fastkv" : "kv") << "\n";
+  out << "cluster_seed " << topology.cluster_seed << "\n";
+  out << "horizon_us " << fault_horizon_us << "\n";
+  out << "settle_us " << settle_us << "\n";
+  out << "deadline_us " << liveness_deadline_us << "\n";
+  for (const FaultEvent& e : events) {
+    out << "event " << e.at_us << " " << fault_kind_name(e.kind) << " " << e.a
+        << " " << e.b << " " << e.c << "\n";
+  }
+  return out.str();
+}
+
+std::optional<Schedule> Schedule::from_text(const std::string& text) {
+  Schedule s;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_seed = false;
+  while (std::getline(in, line)) {
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank
+    if (key == "seed") {
+      if (!(ls >> s.seed)) return std::nullopt;
+      saw_seed = true;
+    } else if (key == "protocol") {
+      std::string t;
+      if (!(ls >> t)) return std::nullopt;
+      auto kind = protocol_from_token(t);
+      if (!kind) return std::nullopt;
+      s.topology.kind = *kind;
+    } else if (key == "f") {
+      if (!(ls >> s.topology.f)) return std::nullopt;
+    } else if (key == "c") {
+      if (!(ls >> s.topology.c)) return std::nullopt;
+    } else if (key == "clients") {
+      if (!(ls >> s.topology.clients)) return std::nullopt;
+    } else if (key == "requests") {
+      if (!(ls >> s.topology.requests_per_client)) return std::nullopt;
+    } else if (key == "cores") {
+      if (!(ls >> s.topology.cores)) return std::nullopt;
+    } else if (key == "byzantine") {
+      std::string t;
+      if (!(ls >> s.topology.byzantine >> t)) return std::nullopt;
+      auto b = behavior_from_token(t);
+      if (!b) return std::nullopt;
+      s.topology.byz_behavior = *b;
+    } else if (key == "service") {
+      std::string t;
+      if (!(ls >> t)) return std::nullopt;
+      if (t == "fastkv") {
+        s.topology.service = 0;
+      } else if (t == "kv") {
+        s.topology.service = 1;
+      } else {
+        return std::nullopt;
+      }
+    } else if (key == "cluster_seed") {
+      if (!(ls >> s.topology.cluster_seed)) return std::nullopt;
+    } else if (key == "horizon_us") {
+      if (!(ls >> s.fault_horizon_us)) return std::nullopt;
+    } else if (key == "settle_us") {
+      if (!(ls >> s.settle_us)) return std::nullopt;
+    } else if (key == "deadline_us") {
+      if (!(ls >> s.liveness_deadline_us)) return std::nullopt;
+    } else if (key == "event") {
+      FaultEvent e;
+      std::string kind;
+      if (!(ls >> e.at_us >> kind >> e.a >> e.b >> e.c)) return std::nullopt;
+      auto k = fault_kind_from_name(kind);
+      if (!k) return std::nullopt;
+      e.kind = *k;
+      s.events.push_back(e);
+    } else {
+      return std::nullopt;  // unknown key: refuse rather than misreplay
+    }
+  }
+  if (!saw_seed) return std::nullopt;
+  std::stable_sort(
+      s.events.begin(), s.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at_us < b.at_us; });
+  return s;
+}
+
+std::string Schedule::summary() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " " << protocol_token(topology.kind)
+      << " f=" << topology.f << " c=" << topology.c << " clients="
+      << topology.clients << "x" << topology.requests_per_client;
+  if (topology.byzantine > 0) {
+    out << " byz=" << topology.byzantine << "("
+        << behavior_token(topology.byz_behavior) << ")";
+  }
+  out << " svc=" << (topology.service == 0 ? "fastkv" : "kv") << " cores="
+      << topology.cores << " events=" << events.size() << " horizon="
+      << fault_horizon_us / 1000 << "ms";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Generation
+
+Schedule ScheduleFuzzer::generate(uint64_t seed) const {
+  Rng rng(seed ^ 0xf0225eedull);
+  Schedule s;
+  s.seed = seed;
+
+  // --- topology --------------------------------------------------------------
+  ScheduleTopology& t = s.topology;
+  uint64_t proto = rng.below(100);
+  if (proto < 40) {
+    t.kind = harness::ProtocolKind::kSbft;
+  } else if (proto < 60) {
+    t.kind = harness::ProtocolKind::kLinearPbftFast;
+  } else if (proto < 80) {
+    t.kind = harness::ProtocolKind::kLinearPbft;
+  } else {
+    t.kind = harness::ProtocolKind::kPbft;
+  }
+  t.f = rng.below(4) == 0 ? 2 : 1;
+  // Keep n <= 7: f=2 runs always use c=0, f=1 runs draw c in {0, 1}.
+  t.c = (t.kind == harness::ProtocolKind::kSbft && t.f == 1 && rng.below(10) < 3)
+            ? 1
+            : 0;
+  t.clients = 2 + static_cast<uint32_t>(rng.below(3));
+  t.requests_per_client =
+      limits_.min_requests +
+      rng.below(limits_.max_requests - limits_.min_requests + 1);
+  t.cores = rng.below(4) == 0 ? 2 : 1;
+  // Byzantine behaviours live in the SBFT engine; the PBFT baseline only
+  // sees crash/network faults (harness::Cluster enforces this).
+  if (t.kind != harness::ProtocolKind::kPbft && rng.below(10) < 4) {
+    t.byzantine = 1;  // <= f always
+    switch (rng.below(4)) {
+      case 0: t.byz_behavior = core::ReplicaBehavior::kSilent; break;
+      case 1: t.byz_behavior = core::ReplicaBehavior::kEquivocate; break;
+      case 2: t.byz_behavior = core::ReplicaBehavior::kCorruptShares; break;
+      default: t.byz_behavior = core::ReplicaBehavior::kCensor; break;
+    }
+  }
+  t.service = rng.below(10) < 3 ? 1 : 0;
+  t.cluster_seed = rng.next() | 1;
+
+  const uint32_t n = t.n();
+  s.fault_horizon_us =
+      limits_.min_horizon_us +
+      static_cast<int64_t>(rng.below(
+          static_cast<uint64_t>(limits_.max_horizon_us - limits_.min_horizon_us)));
+
+  // --- reconfiguration (at most one; always the first fault) -----------------
+  // The ReconfigBlockMsg is injected to the *current primary's* pending queue
+  // only, so it must be submitted while the cluster is fault-free — the
+  // generator places it first with a quiet window behind it, and the runner
+  // additionally skips it if anything is down when it fires.
+  int64_t chaos_from = 200'000;
+  bool reconfig_planned = false;
+  if (t.c == 0 && rng.below(100) < 22) {
+    FaultEvent rc;
+    rc.kind = FaultKind::kReconfig;
+    rc.at_us = s.fault_horizon_us / 5 +
+               static_cast<int64_t>(rng.below(
+                   static_cast<uint64_t>(s.fault_horizon_us / 5) + 1));
+    rc.a = t.f == 1 ? 0 : 1;  // grow 4 -> 7 at f=1, shrink 7 -> 4 at f=2
+    s.events.push_back(rc);
+    chaos_from = rc.at_us + 3'500'000;
+    s.fault_horizon_us = std::max(s.fault_horizon_us, chaos_from + 2'000'000);
+    reconfig_planned = true;
+  }
+
+  // --- composed fault events -------------------------------------------------
+  uint32_t count =
+      limits_.min_events +
+      static_cast<uint32_t>(
+          rng.below(limits_.max_events - limits_.min_events + 1));
+  std::vector<int64_t> times;
+  for (uint32_t i = 0; i < count; ++i) {
+    times.push_back(chaos_from +
+                    static_cast<int64_t>(rng.below(static_cast<uint64_t>(
+                        s.fault_horizon_us - chaos_from))));
+  }
+  std::sort(times.begin(), times.end());
+
+  // Walk the times in order with a model of which replicas are down, so
+  // restarts target actually-crashed replicas and no more than f+1 replicas
+  // are ever down at once (the heal phase restarts stragglers regardless).
+  std::vector<ReplicaId> down;
+  auto any_up_replica = [&](Rng& r) {
+    for (int tries = 0; tries < 8; ++tries) {
+      ReplicaId cand = 1 + static_cast<ReplicaId>(r.below(n));
+      if (std::find(down.begin(), down.end(), cand) == down.end()) return cand;
+    }
+    return static_cast<ReplicaId>(0);
+  };
+
+  for (int64_t at : times) {
+    FaultEvent e;
+    e.at_us = at;
+    uint64_t roll = rng.below(100);
+    if (roll < 30) {
+      // Crash (falls back to restart when the crash budget is exhausted).
+      ReplicaId victim = down.size() < t.f + 1 ? any_up_replica(rng) : 0;
+      if (victim != 0) {
+        e.kind = FaultKind::kCrash;
+        e.a = victim;
+        down.push_back(victim);
+      } else if (!down.empty()) {
+        e.kind = FaultKind::kRestart;
+        e.a = down[rng.below(down.size())];
+        e.b = rng.below(10) < 3 ? 1 : 0;  // wipe
+        down.erase(std::find(down.begin(), down.end(), static_cast<ReplicaId>(e.a)));
+      } else {
+        continue;
+      }
+    } else if (roll < 52) {
+      // Restart one downed replica (or crash one when none is down).
+      if (!down.empty()) {
+        e.kind = FaultKind::kRestart;
+        e.a = down[rng.below(down.size())];
+        e.b = rng.below(10) < 3 ? 1 : 0;
+        down.erase(std::find(down.begin(), down.end(), static_cast<ReplicaId>(e.a)));
+      } else {
+        ReplicaId victim = any_up_replica(rng);
+        if (victim == 0) continue;
+        e.kind = FaultKind::kCrash;
+        e.a = victim;
+        down.push_back(victim);
+      }
+    } else if (roll < 66) {
+      e.kind = FaultKind::kPartition;
+      uint32_t side = 1 + static_cast<uint32_t>(rng.below(t.f + 1));
+      uint64_t mask = 0;
+      for (uint32_t i = 0; i < side; ++i) {
+        mask |= 1ull << rng.below(n);  // duplicates just shrink the side
+      }
+      e.a = mask;
+    } else if (roll < 76) {
+      e.kind = FaultKind::kHeal;
+    } else if (roll < 84) {
+      e.kind = FaultKind::kDropWindow;
+      e.a = 50 + rng.below(250);               // 5% .. 30% drop
+      e.b = 200'000 + rng.below(1'800'000);    // up to 2s
+    } else if (roll < 90) {
+      e.kind = FaultKind::kDelay;
+      e.a = 1 + rng.below(n);
+      e.b = 5'000 + rng.below(95'000);         // 5ms .. 100ms extra latency
+      e.c = 300'000 + rng.below(2'700'000);    // up to 3s
+    } else if (roll < 96) {
+      e.kind = FaultKind::kReorder;
+      e.a = 100 + rng.below(400);              // 10% .. 50% of messages
+      e.b = 2'000 + rng.below(48'000);         // up to 50ms extra delay
+      e.c = 300'000 + rng.below(2'700'000);
+    } else {
+      e.kind = FaultKind::kCensorLink;
+      e.a = 1 + rng.below(n);                   // replica
+      e.b = rng.below(t.clients);               // client index
+      e.c = 500'000 + rng.below(2'500'000);
+    }
+    s.events.push_back(e);
+  }
+
+  std::stable_sort(
+      s.events.begin(), s.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at_us < b.at_us; });
+
+  s.settle_us = 10'000'000;
+  s.liveness_deadline_us = s.fault_horizon_us + 390'000'000;
+  (void)reconfig_planned;
+  return s;
+}
+
+}  // namespace sbft::fuzz

@@ -1,0 +1,108 @@
+// Byzantine schedule fuzzing (docs/fuzzing.md): the schedule model.
+//
+// A Schedule is everything one fuzz run needs, derived deterministically from
+// a single 64-bit seed: the cluster topology (protocol variant, f/c, client
+// population, service, cores, construction-time Byzantine behaviours) and a
+// time-ordered list of composed fault events (crash/restart/wipe, partitions
+// and heals, drop/delay/reorder windows, link-level censorship, group
+// reconfiguration). Schedules serialize to a line-oriented text format — the
+// repro file the campaign driver writes on failure and `ctest -L fuzz`
+// replays — and the format is canonical: parse(to_text(s)).to_text() ==
+// s.to_text(), and two runs of the same seed produce byte-identical text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/replica.h"
+#include "harness/cluster.h"
+
+namespace sbft::fuzz {
+
+/// Fault vocabulary. Every event carries up to three integer operands whose
+/// meaning depends on the kind (see the field comments).
+enum class FaultKind : uint8_t {
+  kCrash,       // a = replica id
+  kRestart,     // a = replica id, b = wipe storage (0/1)
+  kPartition,   // a = bitmask of replica ids (bit r-1) isolated from the rest
+  kHeal,        // clear every link-level fault
+  kDropWindow,  // a = drop probability (permille), b = duration us
+  kDelay,       // a = replica id, b = extra one-way latency us, c = duration us
+  kReorder,     // a = probability (permille), b = max extra us, c = duration us
+  kCensorLink,  // a = replica id, b = client index, c = duration us
+                // (directional blackhole client -> replica)
+  kReconfig,    // a = 0 grow (f 1->2, add 3 replicas), 1 shrink (f 2->1)
+};
+
+const char* fault_kind_name(FaultKind kind);
+std::optional<FaultKind> fault_kind_from_name(const std::string& name);
+
+struct FaultEvent {
+  int64_t at_us = 0;
+  FaultKind kind = FaultKind::kCrash;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Cluster shape for one run (all derived from the seed).
+struct ScheduleTopology {
+  harness::ProtocolKind kind = harness::ProtocolKind::kSbft;
+  uint32_t f = 1;
+  uint32_t c = 0;
+  uint32_t clients = 2;
+  uint64_t requests_per_client = 20;
+  uint32_t cores = 1;
+  uint32_t byzantine = 0;  // construction-time Byzantine replicas (<= f)
+  core::ReplicaBehavior byz_behavior = core::ReplicaBehavior::kHonest;
+  uint32_t service = 0;  // 0 = FastKvService, 1 = KvService (Merkle-auth KV)
+  uint64_t cluster_seed = 1;
+
+  uint32_t n() const { return 3 * f + 2 * c + 1; }
+  bool operator==(const ScheduleTopology&) const = default;
+};
+
+struct Schedule {
+  uint64_t seed = 0;  // generator seed (0 for hand-built schedules)
+  ScheduleTopology topology;
+  std::vector<FaultEvent> events;  // sorted by at_us (stable)
+  int64_t fault_horizon_us = 4'000'000;   // heal-everything time
+  int64_t settle_us = 10'000'000;         // post-completion convergence window
+  int64_t liveness_deadline_us = 400'000'000;
+
+  /// Canonical repro serialization (docs/fuzzing.md lists the grammar).
+  std::string to_text() const;
+  /// nullopt on malformed input; ignores blank lines and '#' comments.
+  static std::optional<Schedule> from_text(const std::string& text);
+  /// One-line human summary ("seed=7 SBFT f=1 c=1 ... 6 events").
+  std::string summary() const;
+};
+
+/// Bounds the generator draws within (exposed so tests can tighten them).
+struct FuzzLimits {
+  uint32_t min_events = 3;
+  uint32_t max_events = 12;
+  uint64_t min_requests = 12;
+  uint64_t max_requests = 40;
+  int64_t min_horizon_us = 2'000'000;
+  int64_t max_horizon_us = 8'000'000;
+};
+
+/// Derives a complete Schedule from one 64-bit seed. Pure function: the same
+/// seed (and limits) always yields the same schedule, and every stochastic
+/// choice flows from the seed through one Rng stream.
+class ScheduleFuzzer {
+ public:
+  explicit ScheduleFuzzer(FuzzLimits limits = {}) : limits_(limits) {}
+
+  Schedule generate(uint64_t seed) const;
+
+ private:
+  FuzzLimits limits_;
+};
+
+}  // namespace sbft::fuzz

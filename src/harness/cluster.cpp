@@ -352,6 +352,47 @@ core::SbftReplica* Cluster::sbft_replica(ReplicaId id) { return replica(id).sbft
 
 pbft::PbftReplica* Cluster::pbft_replica(ReplicaId id) { return replica(id).pbft(); }
 
+void Cluster::partition(const std::vector<ReplicaId>& side) {
+  std::vector<NodeId> inside;
+  for (ReplicaId r : side) inside.push_back(replica(r).node());
+  auto is_inside = [&](NodeId n) {
+    return std::find(inside.begin(), inside.end(), n) != inside.end();
+  };
+  NodeId total = net_->num_nodes();
+  for (NodeId a : inside) {
+    for (NodeId b = 0; b < total; ++b) {
+      if (a != b && !is_inside(b)) net_->disconnect(a, b);
+    }
+  }
+}
+
+void Cluster::heal_partitions() { net_->clear_link_faults(); }
+
+std::vector<std::string> Cluster::audit_state_convergence() const {
+  std::vector<ReplicaStateView> views;
+  for (const ReplicaHandle& h : replicas_) {
+    ReplicaStateView v;
+    v.id = h.id();
+    v.live = !net_->crashed(h.node());
+    v.member = std::any_of(
+        current_members_.begin(), current_members_.end(),
+        [&](const ReplicaInfo& m) { return m.id == h.id(); });
+    v.executed = h.last_executed();
+    v.stable = h.last_stable();
+    v.state_root = h.service().state_digest();
+    views.push_back(std::move(v));
+  }
+  return harness::audit_state_convergence(views);
+}
+
+std::vector<std::string> Cluster::audit_reply_caches() const {
+  std::vector<std::pair<ReplicaId, const runtime::ReplyCache*>> caches;
+  for (const ReplicaHandle& h : replicas_) {
+    caches.emplace_back(h.id(), &h.runtime().replies());
+  }
+  return harness::audit_reply_caches(caches);
+}
+
 SeqNum Cluster::min_executed() const {
   SeqNum lo = UINT64_MAX;
   for (const ReplicaHandle& h : replicas_) {

@@ -17,6 +17,7 @@
 
 #include "core/client.h"
 #include "core/replica.h"
+#include "harness/audit.h"
 #include "harness/replica_handle.h"
 #include "harness/workload.h"
 #include "obs/trace_checker.h"
@@ -176,6 +177,14 @@ class Cluster {
     return replica(r).wal();
   }
 
+  // --- network partitions (any protocol) -------------------------------------
+  /// Isolates `side` from every other node (replicas and clients): cuts each
+  /// pair link crossing the boundary. Composes with earlier partitions.
+  void partition(const std::vector<ReplicaId>& side);
+  /// Clears every link-level fault (pair cuts, directional blocks, per-link
+  /// delays, reordering, drop probability) in one stroke.
+  void heal_partitions();
+
   SeqNum min_executed() const;
   SeqNum max_executed() const;
   uint64_t total_fast_commits() const;
@@ -188,6 +197,13 @@ class Cluster {
   /// same sequence number committed the same block. Returns false (and the
   /// offending sequence via *bad_seq) on divergence.
   bool check_agreement(SeqNum* bad_seq = nullptr) const;
+
+  // --- end-of-run audits (harness/audit.h; the fuzzer's cluster oracle) ------
+  /// State-root convergence across live roster members (call after healing
+  /// every fault and letting traffic settle). Empty when clean.
+  std::vector<std::string> audit_state_convergence() const;
+  /// Cross-replica reply-cache consistency. Empty when clean.
+  std::vector<std::string> audit_reply_caches() const;
 
   // --- observability (docs/observability.md) ---------------------------------
   /// Per-replica tracers in replica-id order (empty unless options().tracing).

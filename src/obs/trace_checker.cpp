@@ -76,6 +76,61 @@ CheckReport TraceChecker::run() const {
     }
   }
 
+  // Invariant 5: view monotonicity per incarnation. A restart marker resets
+  // the cursor (a rebooted replica legitimately starts from its recovered
+  // view and works forward).
+  for (const auto& s : streams_) {
+    uint64_t last_view = 0;
+    for (const auto& e : s.events) {
+      if (e.category == Category::kSlot &&
+          std::string_view(ev::kReplicaRestarted) == e.name) {
+        last_view = 0;
+        continue;
+      }
+      if (e.category != Category::kViewChange) continue;
+      bool enters_view = std::string_view(ev::kNewViewSent) == e.name ||
+                         std::string_view(ev::kViewEntered) == e.name ||
+                         std::string_view(ev::kViewAdopted) == e.name;
+      if (!enters_view) continue;
+      if (e.view < last_view) {
+        report.violations.push_back(
+            "replica " + std::to_string(s.replica) + ": entered view " +
+            std::to_string(e.view) + " after view " +
+            std::to_string(last_view) + " (view moved backwards)");
+      }
+      last_view = e.view;
+    }
+  }
+
+  // Invariant 6: checkpoint-root agreement — two replicas stabilizing a
+  // checkpoint at the same sequence must agree on its state root. Only
+  // events that carry the digest argument participate (older traces predate
+  // the arg).
+  {
+    std::map<uint64_t, std::pair<uint64_t, uint32_t>> first_root;
+    for (const auto& s : streams_) {
+      for (const auto& e : s.events) {
+        if (e.category != Category::kCheckpoint ||
+            std::string_view(ev::kCheckpointStable) != e.name ||
+            e.arg_name == nullptr ||
+            std::string_view("digest") != e.arg_name) {
+          continue;
+        }
+        auto [it, inserted] =
+            first_root.try_emplace(e.seq, std::make_pair(e.arg, s.replica));
+        if (!inserted && it->second.first != e.arg) {
+          report.violations.push_back(
+              "checkpoint seq " + std::to_string(e.seq) + ": replica " +
+              std::to_string(s.replica) + " stabilized state-root prefix " +
+              std::to_string(e.arg) + " but replica " +
+              std::to_string(it->second.second) + " stabilized " +
+              std::to_string(it->second.first) +
+              " (checkpoint agreement broken)");
+        }
+      }
+    }
+  }
+
   if (truncated) {
     report.notes.push_back(
         "streams truncated: fast-quorum and session-termination checks "

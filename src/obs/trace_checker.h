@@ -13,6 +13,12 @@
 //      event showing a full fast quorum of sign-shares backing its proof.
 //   4. State-transfer sessions terminate: every session span that was opened
 //      is closed (adopt or stop) by the end of the run.
+//   5. View monotonicity: within one incarnation of a replica, the views it
+//      enters (newview.sent / view.entered / view.adopted) never decrease —
+//      a replica sliding back to an older view could re-vote slots it
+//      already voted under newer primaries.
+//   6. Checkpoint-root agreement: every two replicas that stabilized a
+//      checkpoint at the same sequence recorded the same state-root prefix.
 // Invariants 3 and 4 need complete streams, so they are skipped (with a
 // note) when any tracer reports dropped events.
 #pragma once

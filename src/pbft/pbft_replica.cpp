@@ -244,6 +244,14 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
         if (outstanding) arm_progress_timer(ctx);
         break;
       }
+      // If f+1 checkpoint votes prove the cluster executed past us, the
+      // stall is not the primary's fault — we missed (or are dropping, if a
+      // view change is pending) the traffic for slots a quorum already
+      // garbage-collected. Fetch the checkpoint; escalating the view change
+      // alone cannot recover the gap (schedule fuzzer, seed 91).
+      if (outstanding && checkpoint_evidence_frontier() > le()) {
+        request_state_transfer(ctx);
+      }
       if (outstanding) start_view_change(std::max(view_, vc_target_) + 1, ctx);
       break;
     }
@@ -569,8 +577,9 @@ void PbftReplica::try_execute(sim::ActorContext& ctx) {
     }
 
     // Quadratic PBFT checkpoint protocol (§V-F contrasts against this). The
-    // vote carries this replica's checkpoint signature — 2f+1 of them form
-    // the certificate state transfer ships (docs/reconfiguration.md).
+    // vote carries this replica's checkpoint signature — f+1 of them form
+    // the weak certificate state transfer ships, and donors attach up to
+    // 2f+1 when available (docs/reconfiguration.md).
     if (s % opts_.config.checkpoint_interval() == 0) {
       ctx.charge(ctx.costs().rsa_sign_us);
       PbftCheckpointMsg ckpt{s, rec.cert.state_root, opts_.id, {}};
@@ -582,20 +591,50 @@ void PbftReplica::try_execute(sim::ActorContext& ctx) {
   }
 }
 
-/// A true execution gap: no pre-prepare for the next sequence while later
-/// slots exist. Those blocks were delivered while this replica was away and
+/// A true execution gap: the replica cannot execute its next sequence from
+/// the slots it holds, while evidence exists that the cluster moved past it.
+///
+/// Two shapes qualify. No pre-prepare for the next sequence while later
+/// slots exist: those blocks were delivered while this replica was away and
 /// will never be re-sent — only a newer checkpoint can close the gap. (A
 /// merely *lagging* replica, whose next slot is present but not yet
 /// committed, needs no state transfer.)
+///
+/// Or an *uncommitted pre-prepare from an older view* for the next sequence:
+/// prepares and commits are matched against the current view, and a
+/// new-view that re-chose the slot would have replaced pp_view via the
+/// normal acceptance path, so a stale pp can never complete — it is as good
+/// as missing, with no "later slots" requirement (the checkpoint evidence
+/// that gates the state-transfer triggers is itself the proof that the
+/// cluster moved on). Found by the schedule fuzzer (seed 91): the old
+/// primary, stranded by a partition and then by a solo view change, kept
+/// its own dead view-0 pre-prepare as its *only* slot past le(), which
+/// defeated every checkpoint-evidence state-transfer trigger forever.
 bool PbftReplica::execution_gap() const {
+  if (slots_.empty()) return false;
   auto next = slots_.find(le() + 1);
-  return (next == slots_.end() || !next->second.has_pp) && !slots_.empty() &&
-         slots_.rbegin()->first > le() + 1;
+  if (next != slots_.end() && next->second.has_pp) {
+    return !next->second.committed && next->second.pp_view < view_;
+  }
+  return slots_.rbegin()->first > le() + 1;
+}
+
+SeqNum PbftReplica::checkpoint_evidence_frontier() const {
+  SeqNum best = 0;
+  for (const auto& [seq, digests] : checkpoint_votes_) {
+    for (const auto& [digest, votes] : digests) {
+      if (votes.size() >= epoch_for_seq(seq).exec_quorum()) {
+        best = std::max(best, seq);
+        break;
+      }
+    }
+  }
+  return best;
 }
 
 void PbftReplica::handle_checkpoint(const PbftCheckpointMsg& m, sim::ActorContext& ctx) {
-  // Votes for the *current* stable checkpoint keep accumulating (only f+1 are
-  // needed for stability, but the donor-side certificate wants 2f+1); only
+  // Votes for the *current* stable checkpoint keep accumulating (f+1 make it
+  // stable and servable; donors still like to ship up to 2f+1 shares); only
   // strictly older ones are dropped.
   if (m.seq < ls()) return;
   if (!epoch_for_seq(m.seq).contains(m.replica)) return;
@@ -622,7 +661,21 @@ void PbftReplica::handle_checkpoint_verified(const PbftCheckpointMsg& m,
     // A stable checkpoint exists beyond what we executed. If we truly slept
     // through the missing blocks (restart, partition), catch up via state
     // transfer; if we merely lag with the slots in hand, just execute.
-    if (execution_gap()) request_state_transfer(ctx);
+    // Three silent-sleep shapes need the extra triggers (schedule fuzzer,
+    // seeds 5 and 91): an *empty* slot map (a replica that adopted a
+    // checkpoint far behind the live frontier drops every current
+    // pre-prepare as out-of-window); a stable checkpoint a full window past
+    // le() — by then the quorum has garbage-collected the votes for our next
+    // slot, so a pre-prepare we hold without its prepares will never
+    // complete; and a *pending view change* — while it lasts this replica
+    // drops prepares and commits, so the slots in hand cannot complete
+    // either, and checkpoint evidence arriving now means a quorum is
+    // executing in a view we left (a solo view change nobody joins wedges
+    // forever otherwise).
+    if (execution_gap() || slots_.empty() || in_view_change_ ||
+        m.seq > le() + opts_.config.win) {
+      request_state_transfer(ctx);
+    }
     return;
   }
   // Advance through the runtime: promotes the snapshot captured when m.seq
@@ -649,14 +702,23 @@ std::vector<CheckpointSigShare> PbftReplica::checkpoint_proof_for(
     const ExecCertificate& cert) const {
   std::vector<CheckpointSigShare> proof;
   if (!opts_.checkpoint_auth) return proof;
-  uint32_t need = 2 * epoch_for_seq(cert.seq).f + 1;
+  const runtime::MembershipEpoch& e = epoch_for_seq(cert.seq);
+  // A weak certificate (f+1 distinct voters, PBFT §state transfer) is what a
+  // fetcher needs; ship the full 2f+1 when available, but do not refuse to
+  // serve below it — a checkpoint can legitimately stabilize inside a group
+  // of exactly f+1 executors while the rest of the cluster is partitioned or
+  // crashed, and then 2f+1 matching votes never exist at all (schedule
+  // fuzzer, seed 91: frontier 16 was only ever executed by 4 of 7 replicas
+  // with f=2, so donors holding 4 shares starved every fetcher forever).
+  uint32_t floor = e.exec_quorum();
+  uint32_t want = 2 * e.f + 1;
   auto seq_it = checkpoint_votes_.find(cert.seq);
   if (seq_it != checkpoint_votes_.end()) {
     if (auto digest_it = seq_it->second.find(cert.state_root);
-        digest_it != seq_it->second.end() && digest_it->second.size() >= need) {
+        digest_it != seq_it->second.end() && digest_it->second.size() >= floor) {
       for (const auto& [replica, sig] : digest_it->second) {
         proof.push_back({replica, sig});
-        if (proof.size() == need) break;
+        if (proof.size() == want) break;
       }
       return proof;
     }
@@ -676,7 +738,18 @@ bool PbftReplica::verify_checkpoint_proof(
     return true;  // trust-the-channel mode (the pre-certificate behaviour)
   }
   const runtime::MembershipEpoch& e = epoch_for_seq(cert.seq);
-  uint32_t need = 2 * e.f + 1;
+  // PBFT's weak-certificate rule covers exactly this adoption decision: f+1
+  // distinct shares contain at least one honest voucher, and that honest
+  // replica only voted after executing the committed prefix the checkpoint
+  // summarizes (the snapshot itself is still verified against the
+  // certificate's state root chunk by chunk). Demanding the full 2f+1 here
+  // is stronger than the stability rule the protocol itself runs on (f+1
+  // votes advance ls()) and deadlocks in two fuzzer-found shapes: a wiped
+  // fetcher whose boot roster outgrew the epoch that stabilized the
+  // checkpoint (seed 5 — the old epoch's 2f+1 can be smaller than the boot
+  // roster's), and a frontier only ever executed by an f+1-sized fragment
+  // of the cluster, where 2f+1 matching votes never come to exist (seed 91).
+  uint32_t need = e.exec_quorum();
   ctx.charge(ctx.costs().rsa_verify_us * static_cast<int64_t>(proof.size()));
   std::set<ReplicaId> valid;
   for (const CheckpointSigShare& s : proof) {
@@ -778,8 +851,8 @@ std::optional<StateManifestMsg> PbftReplica::fabricate_manifest(
   m.chunk_count = fake_chunks_->chunk_count();
   m.chunk_size = fake_chunks_->chunk_size();
   m.total_bytes = fake_chunks_->total_bytes();
-  // The best forgery available: its own signature. 1 < 2f+1, which is the
-  // entire point of the certificate.
+  // The best forgery available: its own signature. 1 < f+1 (the
+  // weak-certificate floor), which is the entire point of the certificate.
   if (opts_.checkpoint_auth) {
     m.checkpoint_proof.push_back(
         {opts_.id, opts_.checkpoint_auth->sign(opts_.id, fake_cert_.seq,
@@ -792,10 +865,11 @@ void PbftReplica::handle_state_transfer_request(NodeId from,
                                                 const StateTransferRequestMsg& m,
                                                 sim::ActorContext& ctx) {
   // Ship the consistent (certificate, snapshot) pair captured when the
-  // checkpoint executed. No pi signature here — the quorum checkpoint
-  // certificate (2f+1 CheckpointSigShare) is what vouches for the
-  // checkpoint's legitimacy. Replies go to the requesting *node*: a joining
-  // replica is not in any epoch the donor holds yet.
+  // checkpoint executed. No pi signature here — the weak checkpoint
+  // certificate (f+1 distinct CheckpointSigShares, up to 2f+1 shipped) is
+  // what vouches for the checkpoint's legitimacy. Replies go to the
+  // requesting *node*: a joining replica is not in any epoch the donor
+  // holds yet.
   runtime::StateTransferManager& st = runtime_.state_transfer();
   if (opts_.fabricate_checkpoint && st.chunked()) {
     if (auto fake = fabricate_manifest(m, ctx)) {
@@ -838,8 +912,8 @@ void PbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
     return;
   }
   if (m.cert.seq != m.seq) return;
-  // A monolithic reply without a 2f+1 checkpoint certificate is exactly the
-  // single-donor trust the certificate removes.
+  // A monolithic reply without a weak checkpoint certificate (f+1 distinct
+  // shares) is exactly the single-donor trust the certificate removes.
   if (!verify_checkpoint_proof(m.cert, m.checkpoint_proof, ctx)) return;
   // The runtime verifies the snapshot envelope against the certificate's
   // state root, installs the service + reply cache, and records the
@@ -869,13 +943,13 @@ void PbftReplica::handle_state_manifest(NodeId from, const StateManifestMsg& m,
   // identity drives registration and (on an invalid chunk) exclusion, so a
   // faulty replica must not be able to impersonate honest donors.
   if (from != node_of(m.donor)) return;
-  // Quorum checkpoint certificate: 2f+1 distinct signed checkpoint digests
-  // must vouch for the manifest's certificate, so a single faulty donor
-  // cannot feed a fabricated-but-root-consistent checkpoint (PBFT has no pi
-  // threshold signature; this is its equivalent). An unverifiable manifest is
-  // ignored rather than excluding its donor: an honest donor may simply not
-  // have gathered 2f+1 matching signatures *yet* (f+1 suffice for local
-  // stability) and will re-offer a complete certificate on a later probe.
+  // Weak checkpoint certificate: f+1 distinct signed checkpoint digests
+  // (at least one honest voucher) must back the manifest's certificate, so a
+  // single faulty donor cannot feed a fabricated-but-root-consistent
+  // checkpoint (PBFT has no pi threshold signature; this is its equivalent).
+  // An unverifiable manifest is ignored rather than excluding its donor: an
+  // honest donor may simply not have gathered f+1 matching signatures *yet*
+  // and will re-offer a complete certificate on a later probe.
   if (st.donor_excluded(m.donor)) return;
   if (!verify_checkpoint_proof(m.cert, m.checkpoint_proof, ctx)) return;
   if (st.on_manifest(m, le(), runtime_.checkpoints(), runtime_.stats())) {

@@ -72,8 +72,8 @@ struct PbftOptions {
   // Fault injection: as a state-transfer donor, answer probes with a
   // fabricated-but-root-consistent checkpoint ahead of the cluster. Without
   // verified checkpoint certificates a fetcher adopts it; with them
-  // (ProtocolConfig::pbft_verify_checkpoint_certs) the manifest lacks 2f+1
-  // valid CheckpointSigShares and is rejected.
+  // (ProtocolConfig::pbft_verify_checkpoint_certs) the manifest lacks the
+  // f+1 valid CheckpointSigShares of a weak certificate and is rejected.
   bool fabricate_checkpoint = false;
   // Checkpoint signing/verification authority (shared per cluster). Null
   // disables checkpoint certificates entirely (unit setups).
@@ -183,13 +183,16 @@ class PbftReplica final : public sim::IActor {
   /// timer, retirement). Call after any runtime operation that can activate.
   void maybe_refresh_epoch(sim::ActorContext& ctx);
 
-  // --- checkpoint certificates (2f+1 CheckpointSigShare) ---------------------
-  /// Quorum proof for the current shippable checkpoint; empty when fewer
-  /// than 2f+1 matching signatures are on hand.
+  // --- checkpoint certificates (CheckpointSigShare lists) --------------------
+  /// Proof for the current shippable checkpoint: up to 2f+1 shares, served
+  /// from f+1 up (the weak-certificate floor — a frontier executed by only
+  /// an f+1-sized fragment never accrues 2f+1 matching votes); empty below
+  /// that.
   std::vector<CheckpointSigShare> checkpoint_proof_for(
       const ExecCertificate& cert) const;
-  /// 2f+1 distinct members of the checkpoint's epoch, all verifying over
-  /// (cert.seq, cert.state_root). Counts a rejection on failure.
+  /// Weak certificate: f+1 distinct members of the checkpoint's epoch, all
+  /// verifying over (cert.seq, cert.state_root) — at least one honest
+  /// voucher. Counts a rejection on failure.
   bool verify_checkpoint_proof(const ExecCertificate& cert,
                                const std::vector<CheckpointSigShare>& proof,
                                sim::ActorContext& ctx);
@@ -222,6 +225,9 @@ class PbftReplica final : public sim::IActor {
   /// requests queued (re-served there instead of being dropped).
   void arm_donor_tick(sim::ActorContext& ctx);
   bool execution_gap() const;
+  /// Highest sequence for which f+1 distinct checkpoint votes on one digest
+  /// are on hand — proof some honest replica executed that far.
+  SeqNum checkpoint_evidence_frontier() const;
   void broadcast(sim::ActorContext& ctx, MessagePtr msg);
   void arm_progress_timer(sim::ActorContext& ctx);
   SeqNum le() const { return runtime_.last_executed(); }
@@ -263,7 +269,7 @@ class PbftReplica final : public sim::IActor {
   // Checkpoint votes: seq -> digest -> voter -> signature (CheckpointSigShare
   // material; sigs verified on arrival when checkpoint_auth is set). The
   // entry for the stable checkpoint is retained so the donor can ship a
-  // 2f+1 certificate with its manifests.
+  // certificate with its manifests.
   std::map<SeqNum, std::map<Digest, std::map<ReplicaId, Bytes>>> checkpoint_votes_;
 
   // The quorum certificate that vouched for the checkpoint this replica

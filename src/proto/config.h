@@ -59,10 +59,10 @@ struct ProtocolConfig {
   // queued or turned away — counts donor_chunks_throttled.
   uint32_t state_transfer_donor_chunks_per_tick = 0;
   int64_t state_transfer_donor_tick_us = 100'000;
-  // PBFT baseline: require a quorum checkpoint certificate (2f+1 signed
-  // checkpoint digests, CheckpointSigShare) with every state-transfer
-  // manifest/reply, so a single faulty donor cannot feed a fabricated but
-  // root-consistent checkpoint. false restores the old trust-the-channel
+  // PBFT baseline: require a weak checkpoint certificate (f+1 distinct
+  // signed checkpoint digests, CheckpointSigShare; donors ship up to 2f+1)
+  // with every state-transfer manifest/reply, so a single faulty donor
+  // cannot feed a fabricated but root-consistent checkpoint. false restores the old trust-the-channel
   // behaviour (kept for the malicious-donor regression comparison). No effect
   // on SBFT, whose certificates carry the pi threshold signature.
   bool pbft_verify_checkpoint_certs = true;

@@ -262,9 +262,11 @@ struct StateTransferRequestMsg {
 };
 
 /// One replica's signature over a checkpoint (seq, state_root) pair. The PBFT
-/// baseline ships 2f+1 of these with a state-transfer manifest so a fetcher
-/// never has to take a single donor's word for a checkpoint's legitimacy
-/// (SBFT needs none: its certificates carry the pi threshold signature).
+/// baseline ships up to 2f+1 of these with a state-transfer manifest; a
+/// fetcher accepts from f+1 (a weak certificate: at least one honest voucher)
+/// so it never has to take a single donor's word for a checkpoint's
+/// legitimacy (SBFT needs none: its certificates carry the pi threshold
+/// signature).
 struct CheckpointSigShare {
   ReplicaId replica = 0;
   Bytes sig;
@@ -277,7 +279,8 @@ struct StateTransferReplyMsg {
   SeqNum seq = 0;  // checkpoint being shipped
   ExecCertificate cert;
   Bytes service_snapshot;
-  // PBFT checkpoint certificate (2f+1 CheckpointSigShare); empty under SBFT.
+  // PBFT weak checkpoint certificate (f+1..2f+1 CheckpointSigShare); empty
+  // under SBFT.
   std::vector<CheckpointSigShare> checkpoint_proof;
 };
 
@@ -306,8 +309,9 @@ struct StateManifestMsg {
   SeqNum base_seq = 0;
   Bytes delta_bitmap;
   std::vector<uint32_t> base_map;
-  // PBFT checkpoint certificate for `cert` (2f+1 CheckpointSigShare over
-  // (seq, state_root)); empty under SBFT, whose cert carries a pi signature.
+  // PBFT weak checkpoint certificate for `cert` (f+1..2f+1 CheckpointSigShare
+  // over (seq, state_root)); empty under SBFT, whose cert carries a pi
+  // signature.
   std::vector<CheckpointSigShare> checkpoint_proof;
 };
 

@@ -210,7 +210,8 @@ bool ReplicaRuntime::advance_stable(ExecCertificate cert, sim::ActorContext& ctx
   });
   if (recorded) {
     trace_.instant(ctx.now(), obs::Category::kCheckpoint,
-                   obs::ev::kCheckpointStable, 0, cert.seq);
+                   obs::ev::kCheckpointStable, 0, cert.seq, 0, "digest",
+                   obs::digest_prefix(cert.state_root.data()));
     wal_record_checkpoint();
     // Seal the pair into the donor chunk cache now (retiring the previous
     // pair's chunk hashes as a delta base); the rebuild hashes the envelope.

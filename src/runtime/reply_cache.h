@@ -42,6 +42,9 @@ class ReplyCache {
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+  /// Full cache contents, client-ordered — cross-replica consistency audits
+  /// (harness/audit.h) compare caches entry by entry.
+  const std::map<ClientId, CachedReply>& entries() const { return entries_; }
   void clear() { entries_.clear(); }
 
   /// Canonical encoding (embedded in checkpoint snapshots).

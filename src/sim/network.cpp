@@ -238,6 +238,36 @@ void Network::reconnect(NodeId a, NodeId b) {
   cut_links_.erase({std::min(a, b), std::max(a, b)});
 }
 
+void Network::block_link(NodeId from, NodeId to) {
+  blocked_links_.insert({from, to});
+}
+
+void Network::unblock_link(NodeId from, NodeId to) {
+  blocked_links_.erase({from, to});
+}
+
+void Network::set_link_extra_delay(NodeId from, NodeId to, int64_t us) {
+  if (us <= 0) {
+    link_extra_delay_.erase({from, to});
+  } else {
+    link_extra_delay_[{from, to}] = us;
+  }
+}
+
+void Network::set_reorder(double probability, int64_t max_extra_us) {
+  reorder_probability_ = probability;
+  reorder_max_extra_us_ = max_extra_us;
+}
+
+void Network::clear_link_faults() {
+  cut_links_.clear();
+  blocked_links_.clear();
+  link_extra_delay_.clear();
+  reorder_probability_ = 0.0;
+  reorder_max_extra_us_ = 0;
+  drop_probability_ = 0.0;
+}
+
 void Network::inject(NodeId from, NodeId to, MessagePtr msg) {
   size_t wire_size = message_wire_size(*msg);
   stats_[msg->index()].count += 1;
@@ -353,6 +383,7 @@ void Network::transmit(NodeId from, NodeId to, MessagePtr msg, size_t wire_size,
     return;
   }
   if (cut_links_.count({std::min(from, to), std::max(from, to)})) return;
+  if (!blocked_links_.empty() && blocked_links_.count({from, to})) return;
   if (drop_probability_ > 0 && link_rng_.chance(drop_probability_)) return;
 
   // Uplink serialization at the sender.
@@ -368,6 +399,15 @@ void Network::transmit(NodeId from, NodeId to, MessagePtr msg, size_t wire_size,
                     src.extra_latency_us + dst.extra_latency_us +
                     static_cast<int64_t>(link_rng_.below(
                         static_cast<uint64_t>(std::max<int64_t>(topology_.jitter_us, 1))));
+  if (!link_extra_delay_.empty()) {
+    if (auto it = link_extra_delay_.find({from, to}); it != link_extra_delay_.end()) {
+      latency += it->second;
+    }
+  }
+  if (reorder_probability_ > 0 && link_rng_.chance(reorder_probability_)) {
+    latency += static_cast<int64_t>(link_rng_.below(
+        static_cast<uint64_t>(std::max<int64_t>(reorder_max_extra_us_, 1))));
+  }
   deliver(from, to, std::move(msg), wire_size, tx_end + latency);
 }
 

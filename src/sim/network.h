@@ -18,6 +18,7 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -165,6 +166,25 @@ class Network {
   /// Cuts / restores the pair link (both directions).
   void disconnect(NodeId a, NodeId b);
   void reconnect(NodeId a, NodeId b);
+  /// Directional blackhole: every message from `from` to `to` is dropped
+  /// (the reverse direction stays up). Models asymmetric link loss and
+  /// network-level censorship — e.g. a primary that never hears one client.
+  void block_link(NodeId from, NodeId to);
+  void unblock_link(NodeId from, NodeId to);
+  /// Extra one-way propagation delay on the directed link `from -> to`
+  /// (0 removes the entry). Composes with region latency and per-node
+  /// extra latency.
+  void set_link_extra_delay(NodeId from, NodeId to, int64_t us);
+  /// Random reordering: each transmitted message independently receives, with
+  /// `probability`, an extra uniform delay in [0, max_extra_us) — enough to
+  /// overtake later traffic on the same link. probability 0 disables the
+  /// feature and draws nothing from the RNG, so runs without it are
+  /// byte-identical to the pre-knob model.
+  void set_reorder(double probability, int64_t max_extra_us);
+  /// Clears every link-level fault in one stroke: pair cuts, directional
+  /// blocks, per-link delays, the reorder knob, and the drop probability.
+  /// Per-node faults (crash, cpu factor, extra latency) are untouched.
+  void clear_link_faults();
 
   /// Test hook: injects a message from `from` to `to` at the current
   /// simulated time, as if `from` had sent it from a handler (normal latency,
@@ -241,6 +261,10 @@ class Network {
   CostModel costs_;
   std::vector<NodeState> nodes_;
   std::set<std::pair<NodeId, NodeId>> cut_links_;
+  std::set<std::pair<NodeId, NodeId>> blocked_links_;  // directional
+  std::map<std::pair<NodeId, NodeId>, int64_t> link_extra_delay_;
+  double reorder_probability_ = 0.0;
+  int64_t reorder_max_extra_us_ = 0;
   double drop_probability_ = 0.0;
   Rng link_rng_;
   std::array<MessageStats, std::variant_size_v<Message>> stats_{};

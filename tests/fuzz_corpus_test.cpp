@@ -1,0 +1,50 @@
+// Seed-corpus regression suite (ctest -L fuzz; docs/fuzzing.md).
+//
+// Every schedule the fuzzer ever caught a bug with is checked in under
+// tests/fuzz_corpus/*.sched (the minimized repro the campaign driver wrote,
+// comments preserved). This test replays each one through the real runner
+// and requires a clean verdict — so a fixed bug stays fixed, and a revert
+// fails CI with the exact schedule that resurfaces it. Add new corpus files
+// by copying the repro out of the campaign's --repro-dir once the fix lands.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/runner.h"
+
+namespace sbft {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files() {
+  fs::path dir = fs::path(SBFT_SOURCE_DIR) / "tests" / "fuzz_corpus";
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".sched") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpus, HasAtLeastOneSchedule) {
+  // The corpus must never silently empty out (e.g. a rename breaking the
+  // glob) — that would turn the whole suite into a vacuous pass.
+  EXPECT_GE(corpus_files().size(), 1u);
+}
+
+TEST(FuzzCorpus, EveryScheduleReplaysClean) {
+  for (const fs::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    fuzz::FuzzResult result;
+    std::string error;
+    ASSERT_TRUE(fuzz::replay_file(path.string(), &result, &error)) << error;
+    EXPECT_TRUE(result.ok()) << result.summary();
+  }
+}
+
+}  // namespace
+}  // namespace sbft

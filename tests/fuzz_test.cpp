@@ -1,0 +1,348 @@
+// Schedule-fuzzer self-tests and fixed-seed smoke campaign (ctest -L fuzz;
+// docs/fuzzing.md).
+//
+// Four families:
+//   * Generator determinism and serialization: the same seed yields a
+//     byte-identical schedule text, the text format round-trips canonically,
+//     and malformed repro files are rejected rather than half-parsed.
+//   * Randomness discipline: every stochastic choice flows from the single
+//     fuzzer seed (no global RNG), so generation is a pure function.
+//   * Minimizer convergence: ddmin with synthetic failure predicates shrinks
+//     to the exact culprit subset and respects its run budget.
+//   * Invariant-oracle unit cases: true-positive and true-negative inputs for
+//     the cluster-level audits (harness/audit.h) the runner applies after
+//     every fuzz run.
+// The smoke campaign at the end runs a handful of fixed seeds through the
+// full generate -> run -> audit pipeline and must come back clean — the
+// per-push CI gate. Long randomized campaigns live in bench_fuzz_campaign.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fuzz/campaign.h"
+#include "fuzz/minimize.h"
+#include "fuzz/runner.h"
+#include "fuzz/schedule.h"
+#include "harness/audit.h"
+#include "runtime/reply_cache.h"
+
+namespace sbft {
+namespace {
+
+using fuzz::FaultEvent;
+using fuzz::FaultKind;
+using fuzz::Schedule;
+using fuzz::ScheduleFuzzer;
+
+// ---------------------------------------------------------------------------
+// Generator determinism and serialization
+
+TEST(ScheduleFuzzer, SameSeedIsByteIdentical) {
+  ScheduleFuzzer fuzzer;
+  for (uint64_t seed : {1ull, 7ull, 42ull, 0xdeadbeefull, ~0ull}) {
+    Schedule a = fuzzer.generate(seed);
+    Schedule b = fuzzer.generate(seed);
+    EXPECT_EQ(a.to_text(), b.to_text()) << "seed " << seed;
+    EXPECT_EQ(a.topology, b.topology);
+    EXPECT_EQ(a.events, b.events);
+  }
+}
+
+TEST(ScheduleFuzzer, DistinctSeedsDiversify) {
+  // Not a per-pair guarantee (two seeds may collide), but across a window of
+  // seeds the generator must exercise the topology and fault space.
+  ScheduleFuzzer fuzzer;
+  std::set<std::string> texts;
+  std::set<harness::ProtocolKind> protocols;
+  std::set<FaultKind> kinds;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Schedule s = fuzzer.generate(seed);
+    texts.insert(s.to_text());
+    protocols.insert(s.topology.kind);
+    for (const FaultEvent& e : s.events) kinds.insert(e.kind);
+  }
+  EXPECT_GE(texts.size(), 39u) << "generator barely depends on the seed";
+  EXPECT_GE(protocols.size(), 3u);
+  EXPECT_GE(kinds.size(), 5u) << "fault vocabulary under-exercised";
+}
+
+TEST(ScheduleFuzzer, EventsSortedAndWithinBounds) {
+  fuzz::FuzzLimits limits;
+  ScheduleFuzzer fuzzer(limits);
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    Schedule s = fuzzer.generate(seed);
+    EXPECT_TRUE(std::is_sorted(
+        s.events.begin(), s.events.end(),
+        [](const FaultEvent& x, const FaultEvent& y) {
+          return x.at_us < y.at_us;
+        }))
+        << "seed " << seed;
+    EXPECT_GE(s.events.size(), limits.min_events) << "seed " << seed;
+    EXPECT_LE(s.events.size(), limits.max_events) << "seed " << seed;
+    EXPECT_GE(s.topology.requests_per_client, limits.min_requests);
+    EXPECT_LE(s.topology.requests_per_client, limits.max_requests);
+    EXPECT_LE(s.topology.byzantine, s.topology.f);
+    for (const FaultEvent& e : s.events) {
+      EXPECT_GE(e.at_us, 0);
+      EXPECT_LE(e.at_us, s.fault_horizon_us) << "seed " << seed;
+    }
+    EXPECT_GT(s.liveness_deadline_us, s.fault_horizon_us);
+  }
+}
+
+TEST(ScheduleText, RoundTripIsCanonical) {
+  ScheduleFuzzer fuzzer;
+  for (uint64_t seed : {3ull, 5ull, 11ull, 29ull}) {
+    Schedule s = fuzzer.generate(seed);
+    std::string text = s.to_text();
+    std::optional<Schedule> parsed = Schedule::from_text(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->to_text(), text);
+    EXPECT_EQ(parsed->topology, s.topology);
+    EXPECT_EQ(parsed->events, s.events);
+    EXPECT_EQ(parsed->seed, s.seed);
+  }
+}
+
+TEST(ScheduleText, IgnoresCommentsAndSortsEvents) {
+  std::string text =
+      "# a hand-written repro\n"
+      "seed 9\n"
+      "protocol pbft\n"
+      "f 1\n"
+      "\n"
+      "event 2000 crash 2 0 0\n"
+      "event 1000 crash 3 0 0\n";
+  std::optional<Schedule> s = Schedule::from_text(text);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->seed, 9u);
+  EXPECT_EQ(s->topology.kind, harness::ProtocolKind::kPbft);
+  ASSERT_EQ(s->events.size(), 2u);
+  EXPECT_EQ(s->events[0].at_us, 1000);
+  EXPECT_EQ(s->events[1].at_us, 2000);
+}
+
+TEST(ScheduleText, RejectsMalformedInput) {
+  EXPECT_FALSE(Schedule::from_text("").has_value()) << "missing seed";
+  EXPECT_FALSE(Schedule::from_text("protocol sbft\n").has_value());
+  EXPECT_FALSE(Schedule::from_text("seed 1\nbogus_key 3\n").has_value());
+  EXPECT_FALSE(Schedule::from_text("seed 1\nprotocol carrier_pigeon\n")
+                   .has_value());
+  EXPECT_FALSE(Schedule::from_text("seed 1\nevent 10 meteor 1 0 0\n")
+                   .has_value());
+  EXPECT_FALSE(Schedule::from_text("seed 1\nevent 10 crash\n").has_value())
+      << "event with missing operands";
+}
+
+TEST(ScheduleText, FaultKindNamesRoundTrip) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kReconfig); ++k) {
+    FaultKind kind = static_cast<FaultKind>(k);
+    std::optional<FaultKind> back =
+        fuzz::fault_kind_from_name(fuzz::fault_kind_name(kind));
+    ASSERT_TRUE(back.has_value()) << fuzz::fault_kind_name(kind);
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(fuzz::fault_kind_from_name("gamma_ray").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer convergence (synthetic predicates — no cluster runs)
+
+Schedule synthetic_schedule(size_t num_events) {
+  Schedule s;
+  s.seed = 0;
+  for (size_t i = 0; i < num_events; ++i) {
+    FaultEvent e;
+    e.at_us = static_cast<int64_t>(1000 * (i + 1));
+    e.kind = FaultKind::kCrash;
+    e.a = i + 1;
+    s.events.push_back(e);
+  }
+  return s;
+}
+
+TEST(Minimizer, ConvergesToSingleCulprit) {
+  Schedule failing = synthetic_schedule(10);
+  // Fails iff the event with a == 7 survives.
+  auto fails = [](const Schedule& s) {
+    return std::any_of(s.events.begin(), s.events.end(),
+                       [](const FaultEvent& e) { return e.a == 7; });
+  };
+  fuzz::MinimizeStats stats;
+  Schedule min = fuzz::minimize_schedule(failing, fails, /*max_runs=*/64,
+                                         &stats);
+  ASSERT_EQ(min.events.size(), 1u);
+  EXPECT_EQ(min.events[0].a, 7u);
+  EXPECT_TRUE(stats.reached_fixpoint);
+  EXPECT_GT(stats.runs, 0u);
+}
+
+TEST(Minimizer, ConvergesToInteractingPair) {
+  Schedule failing = synthetic_schedule(12);
+  // Fails only when events 3 and 9 are both present — the classic case where
+  // naive one-at-a-time deletion would get stuck but ddmin's complement
+  // passes succeed.
+  auto fails = [](const Schedule& s) {
+    bool three = false, nine = false;
+    for (const FaultEvent& e : s.events) {
+      three |= e.a == 3;
+      nine |= e.a == 9;
+    }
+    return three && nine;
+  };
+  Schedule min = fuzz::minimize_schedule(failing, fails, /*max_runs=*/128);
+  ASSERT_EQ(min.events.size(), 2u);
+  EXPECT_EQ(min.events[0].a, 3u);
+  EXPECT_EQ(min.events[1].a, 9u);
+}
+
+TEST(Minimizer, RespectsRunBudget) {
+  Schedule failing = synthetic_schedule(64);
+  uint32_t calls = 0;
+  auto fails = [&calls](const Schedule& s) {
+    ++calls;
+    // Everything fails, so ddmin keeps shrinking until 1-minimal.
+    return !s.events.empty();
+  };
+  fuzz::MinimizeStats stats;
+  fuzz::minimize_schedule(failing, fails, /*max_runs=*/5, &stats);
+  EXPECT_LE(stats.runs, 5u);
+  EXPECT_LE(calls, 5u);
+  EXPECT_FALSE(stats.reached_fixpoint);
+}
+
+TEST(Minimizer, PreservesTopologyAndBounds) {
+  ScheduleFuzzer fuzzer;
+  Schedule failing = fuzzer.generate(17);
+  auto fails = [](const Schedule&) { return true; };
+  Schedule min = fuzz::minimize_schedule(failing, fails);
+  EXPECT_EQ(min.topology, failing.topology);
+  EXPECT_EQ(min.seed, failing.seed);
+  EXPECT_EQ(min.fault_horizon_us, failing.fault_horizon_us);
+  EXPECT_EQ(min.liveness_deadline_us, failing.liveness_deadline_us);
+  // ddmin is 1-minimal over non-empty subsets: an always-fails predicate
+  // shrinks to a single event, never to the empty schedule.
+  EXPECT_EQ(min.events.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant-oracle unit cases (the audits behind every fuzz run's verdict)
+
+harness::ReplicaStateView view(ReplicaId id, SeqNum executed, SeqNum stable,
+                               uint8_t root_byte, bool live = true,
+                               bool member = true) {
+  harness::ReplicaStateView v;
+  v.id = id;
+  v.live = live;
+  v.member = member;
+  v.executed = executed;
+  v.stable = stable;
+  v.state_root.fill(root_byte);
+  return v;
+}
+
+TEST(ConvergenceAudit, CleanClusterPasses) {
+  std::vector<harness::ReplicaStateView> views = {
+      view(1, 100, 96, 0xaa), view(2, 100, 96, 0xaa), view(3, 100, 96, 0xaa),
+      view(4, 100, 96, 0xaa)};
+  EXPECT_TRUE(harness::audit_state_convergence(views).empty());
+}
+
+TEST(ConvergenceAudit, LaggingMemberBelowStableFrontierFlagged) {
+  // Replica 4 never caught up to the cluster's stable checkpoint — exactly
+  // the stranded-fetcher shape the fuzzer caught in PBFT (corpus seed 5).
+  std::vector<harness::ReplicaStateView> views = {
+      view(1, 100, 96, 0xaa), view(2, 100, 96, 0xaa), view(3, 100, 96, 0xaa),
+      view(4, 0, 0, 0x00)};
+  std::vector<std::string> violations =
+      harness::audit_state_convergence(views);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("replica 4"), std::string::npos)
+      << violations[0];
+}
+
+TEST(ConvergenceAudit, DivergentRootsAtSameCursorFlagged) {
+  std::vector<harness::ReplicaStateView> views = {
+      view(1, 100, 96, 0xaa), view(2, 100, 96, 0xbb), view(3, 100, 96, 0xaa),
+      view(4, 100, 96, 0xaa)};
+  EXPECT_FALSE(harness::audit_state_convergence(views).empty());
+}
+
+TEST(ConvergenceAudit, DeadAndRemovedReplicasExempt) {
+  // A crashed node and a removed member may lag or diverge freely.
+  std::vector<harness::ReplicaStateView> views = {
+      view(1, 100, 96, 0xaa), view(2, 100, 96, 0xaa), view(3, 100, 96, 0xaa),
+      view(4, 10, 8, 0x11, /*live=*/false),
+      view(5, 60, 56, 0x22, /*live=*/true, /*member=*/false)};
+  EXPECT_TRUE(harness::audit_state_convergence(views).empty());
+}
+
+TEST(ReplyCacheAudit, ConsistentCachesPass) {
+  runtime::ReplyCache a;
+  runtime::ReplyCache b;
+  a.store(/*client=*/1, /*timestamp=*/5, /*seq=*/10, /*index=*/0, {1, 2, 3});
+  b.store(1, 5, 10, 0, {1, 2, 3});
+  // A lagging cache (older timestamp, older seq) is fine.
+  a.store(2, 9, 14, 1, {4});
+  EXPECT_TRUE(harness::audit_reply_caches({{1, &a}, {2, &b}}).empty());
+}
+
+TEST(ReplyCacheAudit, SameTimestampDifferentReplyFlagged) {
+  runtime::ReplyCache a;
+  runtime::ReplyCache b;
+  a.store(1, 5, 10, 0, {1, 2, 3});
+  b.store(1, 5, 10, 0, {9, 9, 9});  // same request, different reply value
+  EXPECT_FALSE(harness::audit_reply_caches({{1, &a}, {2, &b}}).empty());
+}
+
+TEST(ReplyCacheAudit, NewerTimestampAtOlderSeqFlagged) {
+  runtime::ReplyCache a;
+  runtime::ReplyCache b;
+  a.store(1, 5, 10, 0, {1});
+  b.store(1, 7, 4, 0, {2});  // newer request supposedly ordered earlier
+  EXPECT_FALSE(harness::audit_reply_caches({{1, &a}, {2, &b}}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-seed smoke campaign (the per-push CI gate)
+
+TEST(FuzzSmoke, FixedSeedCampaignIsClean) {
+  fuzz::CampaignOptions opts;
+  opts.seed_base = 1;
+  opts.num_seeds = 4;
+  opts.minimize = false;  // a failure here is reported, not triaged
+  fuzz::CampaignReport report = fuzz::run_campaign(opts);
+  EXPECT_EQ(report.runs, 4u);
+  EXPECT_TRUE(report.ok()) << report.failures << " seed(s) failed; re-run "
+                              "bench_fuzz_campaign --seeds 4 to triage";
+}
+
+TEST(FuzzSmoke, RunnerReportsInjectedLivenessFailure) {
+  // True-positive check for the end-to-end oracle: a schedule that crashes
+  // f+1 replicas and never restarts them (the horizon restart is the only
+  // rescue, so move the deadline before it) must be reported as a liveness
+  // violation, not silently passed.
+  Schedule s;
+  s.seed = 0;
+  s.topology.kind = harness::ProtocolKind::kSbft;
+  s.topology.f = 1;
+  s.topology.clients = 2;
+  s.topology.requests_per_client = 30;
+  s.topology.cluster_seed = 77;
+  FaultEvent crash1{/*at_us=*/200'000, FaultKind::kCrash, /*a=*/1, 0, 0};
+  FaultEvent crash2{/*at_us=*/250'000, FaultKind::kCrash, /*a=*/2, 0, 0};
+  s.events = {crash1, crash2};
+  s.fault_horizon_us = 60'000'000;
+  s.liveness_deadline_us = 20'000'000;  // well before the horizon heal
+  s.settle_us = 1'000'000;
+  fuzz::FuzzResult result = fuzz::run_schedule(s);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_EQ(result.violations[0].rfind("liveness:", 0), 0u)
+      << result.violations[0];
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1745,6 +1745,69 @@ INSTANTIATE_TEST_SUITE_P(Protocols, Reconfiguration,
                                                                     : "Pbft";
                          });
 
+TEST(PbftWipedRejoin, AfterGrowReconfigCatchesUp) {
+  // Regression for a schedule-fuzzer find (tests/fuzz_corpus/
+  // seed-5-pbft-wiped-rejoin.sched): after a grow reconfiguration (f 1 -> 2),
+  // a replica that crashes and restarts wiped was stranded at sequence 0
+  // forever. Two compounding PBFT bugs:
+  //   1. The history-less fetcher only knows its boot roster (activated_at
+  //      0), so it demanded 2*f_new+1 = 5 checkpoint signature shares for a
+  //      checkpoint that donors — correctly attributing it to the
+  //      pre-activation epoch — prove with 2*f_old+1 = 3. Every certificate
+  //      was rejected, forever. The weak-certificate rule (f+1 distinct
+  //      member shares contain an honest voucher) is the sound threshold for
+  //      a fetcher that cannot date the checkpoint.
+  //   2. Once a checkpoint far behind the live frontier was adopted, the
+  //      replica dropped every current pre-prepare as out-of-window, so
+  //      execution_gap() (which inspects the slot map) never re-armed state
+  //      transfer and checkpoint evidence a full window ahead was ignored.
+  ClusterOptions opts;
+  opts.kind = ProtocolKind::kPbft;
+  opts.f = 1;
+  opts.c = 0;
+  opts.num_clients = 2;
+  opts.requests_per_client = 0;  // free-running
+  opts.topology = sim::lan_topology();
+  opts.seed = 51;
+  opts.tweak_config = [](ProtocolConfig& config) {
+    config.win = 16;
+    config.state_transfer_chunk_size = 1024;
+    config.state_transfer_retry_us = 200'000;
+  };
+  Cluster cluster(std::move(opts));
+  cluster.run_for(1'500'000);
+  ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+  ReplicaId a = cluster.add_replica();
+  ReplicaId b = cluster.add_replica();
+  ReplicaId c = cluster.add_replica();
+  cluster.submit_reconfig({a, b, c}, {}, /*new_f=*/2);
+  bool joined = false;
+  for (int i = 0; i < 600 && !joined; ++i) {
+    joined = cluster.replica(c).runtime_stats().joins_completed == 1;
+    cluster.run_for(100'000);
+  }
+  ASSERT_TRUE(joined) << "grow reconfiguration never completed";
+
+  // The fuzzer's minimized shape: crash an *original* replica shortly after
+  // activation, restart it wiped. Its newest reachable checkpoint then sits
+  // at (or before) the activation boundary with only the old epoch's shares.
+  cluster.crash_replica(3);
+  cluster.run_for(1'000'000);
+  cluster.restart_replica(3, /*wipe_storage=*/true);
+  cluster.run_for(10'000'000);
+
+  const runtime::RuntimeStats& st = cluster.replica(3).runtime_stats();
+  EXPECT_GE(st.state_transfers, 1u) << "wiped replica never fetched state";
+  EXPECT_GE(cluster.replica(3).last_executed(),
+            cluster.replica(1).last_stable())
+      << "wiped replica stranded behind the stable frontier (bug 1/2 "
+         "resurfaced)";
+  EXPECT_LT(cluster.pbft_replica(3)->stats().checkpoint_certs_rejected, 5u)
+      << "fetcher stuck rejecting legitimate old-epoch certificates";
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
 // ---------------------------------------------------------------------------
 // Remaining ROADMAP scenario: restart of the current primary mid-view-change
 

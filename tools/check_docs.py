@@ -17,6 +17,9 @@
    docs/performance.md or docs/architecture.md — the simulator's execution
    model (lanes, offload, determinism) is the foundation everything else
    builds on, so its surface must stay documented.
+6. Every public class declared in src/fuzz/*.h appears by name in
+   docs/fuzzing.md or docs/architecture.md — the schedule fuzzer is the
+   repo's randomized safety net, so its surface must stay documented.
 
 Exits non-zero with a summary of every violation.
 """
@@ -131,9 +134,28 @@ def check_sim_classes():
     return errors
 
 
+def check_fuzz_classes():
+    errors = []
+    corpus = ""
+    for name in ("fuzzing.md", "architecture.md"):
+        page = ROOT / "docs" / name
+        if not page.exists():
+            return [f"missing docs/{name}"]
+        corpus += page.read_text(encoding="utf-8")
+    for header in sorted((ROOT / "src" / "fuzz").glob("*.h")):
+        for cls in CLASS_RE.findall(header.read_text(encoding="utf-8")):
+            if cls not in corpus:
+                errors.append(
+                    f"src/fuzz/{header.name}: public class '{cls}' is not "
+                    f"mentioned in docs/fuzzing.md or docs/architecture.md"
+                )
+    return errors
+
+
 def main():
     errors = (check_links() + check_docs_reachable() + check_runtime_classes()
-              + check_obs_classes() + check_sim_classes())
+              + check_obs_classes() + check_sim_classes()
+              + check_fuzz_classes())
     docs = len(doc_files())
     if errors:
         print(f"check_docs: {len(errors)} problem(s) across {docs} documents:")
@@ -141,7 +163,7 @@ def main():
             print(f"  - {err}")
         return 1
     print(f"check_docs: OK ({docs} documents, links resolve, no orphaned "
-          f"pages, runtime, obs, and sim classes documented)")
+          f"pages, runtime, obs, sim, and fuzz classes documented)")
     return 0
 
 

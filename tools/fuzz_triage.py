@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Summarize a fuzz campaign's JSON log (docs/fuzzing.md, triage workflow).
+
+bench_fuzz_campaign emits one JSON object per run on stdout. Pipe that (or a
+saved log file) through this tool to get a triage summary: pass/fail counts,
+failures grouped by violation class (liveness / agreement / trace /
+convergence / reply-cache), and for every failing seed its schedule summary,
+violations, and the repro file to replay with
+`bench_fuzz_campaign --replay <file>`.
+
+Usage:
+  ./build/bench_fuzz_campaign --seeds 100 | python3 tools/fuzz_triage.py
+  python3 tools/fuzz_triage.py campaign.jsonl [more.jsonl ...]
+
+Exits 1 when any run failed (so CI jobs can gate on it), 2 on unusable input.
+"""
+import json
+import sys
+from collections import Counter
+
+
+def violation_class(message):
+    """The oracle that fired: the prefix up to the first ':'."""
+    head, sep, _ = message.partition(":")
+    return head if sep else "other"
+
+
+def read_runs(streams):
+    runs = []
+    bad_lines = 0
+    for stream in streams:
+        for line in stream:
+            line = line.strip()
+            if not line or not line.startswith("{"):
+                continue  # human-readable noise interleaved with the log
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad_lines += 1
+                continue
+            if "seed" in record and "ok" in record:
+                runs.append(record)
+    return runs, bad_lines
+
+
+def main(argv):
+    if len(argv) > 1:
+        streams = [open(path, encoding="utf-8") for path in argv[1:]]
+    else:
+        streams = [sys.stdin]
+    runs, bad_lines = read_runs(streams)
+    if not runs:
+        print("fuzz_triage: no campaign records found "
+              "(expected JSON lines from bench_fuzz_campaign)")
+        return 2
+
+    failures = [r for r in runs if not r["ok"]]
+    classes = Counter()
+    for run in failures:
+        for violation in run.get("violations", []):
+            classes[violation_class(violation)] += 1
+
+    print(f"fuzz_triage: {len(runs)} run(s), {len(failures)} failure(s)"
+          + (f", {bad_lines} unparseable line(s)" if bad_lines else ""))
+    total_exec = sum(r.get("executed", 0) for r in runs)
+    total_vc = sum(r.get("view_changes", 0) for r in runs)
+    total_rec = sum(r.get("recoveries", 0) for r in runs)
+    print(f"  coverage: {total_exec} blocks executed, {total_vc} view "
+          f"change(s), {total_rec} recover(ies) across all runs")
+
+    if not failures:
+        return 0
+
+    print("  violations by oracle:")
+    for name, count in classes.most_common():
+        print(f"    {name}: {count}")
+    print("  failing seeds:")
+    for run in failures:
+        print(f"    seed {run['seed']}: {run.get('schedule', '?')}")
+        for violation in run.get("violations", []):
+            print(f"      - {violation}")
+        if "repro" in run:
+            print(f"      replay: ./build/bench_fuzz_campaign --replay "
+                  f"{run['repro']}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
