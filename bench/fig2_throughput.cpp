@@ -57,6 +57,7 @@ ExperimentResult run_and_emit(const ExperimentPoint& point, const char* label) {
           .field("window", static_cast<uint64_t>(point.window > 0 ? point.window : 256))
           .field("cores", static_cast<uint64_t>(point.cores > 0 ? point.cores : 1))
           .field("crash_replicas", static_cast<uint64_t>(point.crash_replicas))
+          .field("adaptive", static_cast<int64_t>(point.adaptive))
           .field("requests_per_second", r.metrics.requests_per_second)
           .field("ops_per_second", r.metrics.ops_per_second)
           .field("median_latency_ms", r.metrics.latency.median_ms)
@@ -212,6 +213,66 @@ bool paper_scale_pair(bool quick) {
   return true;
 }
 
+// Adaptive vs static batching (§VIII): for each protocol, sweep static batch
+// sizes with the controller forced off, then run the adaptive controller with
+// the same cap. The controller must land within 10% of the best hand-tuned
+// static point — the paper's claim is that the adaptive parameter removes the
+// need to tune the batch size per deployment.
+bool adaptive_vs_static(bool quick) {
+  const uint32_t f = quick ? 4 : 16;
+  const uint32_t clients = quick ? 64 : 128;
+  const std::vector<uint32_t> static_batches = {1, 16, 64};
+  struct Pair { ProtocolKind kind; const char* label; };
+  const Pair pairs[] = {
+      {ProtocolKind::kSbft, "SBFT(c=0)"},
+      {ProtocolKind::kPbft, "PBFT"},
+  };
+
+  std::printf("=== Adaptive vs static batching (f=%u, %u clients) ===\n\n", f,
+              clients);
+  std::printf("%12s %10s %14s %14s\n", "protocol", "batch", "ops/s",
+              "median ms");
+  bool ok = true;
+  for (const Pair& p : pairs) {
+    double best_static = 0;
+    auto base_point = [&] {
+      ExperimentPoint point;
+      point.kind = p.kind;
+      point.f = f;
+      point.num_clients = clients;
+      point.ops_per_request = 1;
+      point.warmup_us = 500'000;
+      point.measure_us = quick ? 1'000'000 : 2'000'000;
+      return point;
+    };
+    for (uint32_t batch : static_batches) {
+      ExperimentPoint point = base_point();
+      point.max_batch = batch;
+      point.adaptive = 0;
+      ExperimentResult r = run_and_emit(point, p.label);
+      best_static = std::max(best_static, r.metrics.ops_per_second);
+      std::printf("%12s %10u %14.0f %14.2f\n", p.label, batch,
+                  r.metrics.ops_per_second, r.metrics.latency.median_ms);
+    }
+    ExperimentPoint point = base_point();
+    point.max_batch = 64;
+    point.adaptive = 1;
+    ExperimentResult r = run_and_emit(point, p.label);
+    std::printf("%12s %10s %14.0f %14.2f\n", p.label, "adaptive",
+                r.metrics.ops_per_second, r.metrics.latency.median_ms);
+    double ratio = best_static > 0 ? r.metrics.ops_per_second / best_static : 0;
+    std::printf("%12s adaptive / best-static ratio: %.2fx (require >= 0.9x)\n\n",
+                p.label, ratio);
+    if (ratio < 0.9) {
+      std::printf("FAIL: %s adaptive batching below 0.9x of best static\n",
+                  p.label);
+      ok = false;
+    }
+    std::fflush(stdout);
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,5 +289,6 @@ int main(int argc, char** argv) {
   if (!quick) classic_panels();
   cores_grid(quick);
   bool ok = paper_scale_pair(quick);
+  ok = adaptive_vs_static(quick) && ok;
   return ok ? 0 : 1;
 }

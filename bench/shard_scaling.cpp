@@ -1,0 +1,231 @@
+// Sharded-deployment scaling bench (docs/sharding.md).
+//
+// Two workloads, each swept over SBFT and scale-optimized PBFT groups:
+//
+//  1. Single-shard scaling: 1 -> 4 independent groups under a shared
+//     simulator, offered load scaled with the group count (fixed clients and
+//     requests per group). Because the keyspace is hash-partitioned and
+//     single-key requests never leave their group, aggregate throughput
+//     should grow near-linearly; the bench asserts >= 2.5x aggregate
+//     ops/second at 4 groups vs 1 for both protocols.
+//
+//  2. Cross-shard 2PC under faults: a 4-group deployment where every Nth
+//     client request is a two-key transfer ordered through BFT 2PC, with the
+//     group-0 primary (group 0 coordinates every transaction it
+//     participates in) crashed mid-run and restarted later. The bench
+//     asserts the deployment-wide atomicity audit comes back clean and
+//     every group still satisfies per-group agreement.
+//
+// Every point emits one JSON line (grep '^{') with `groups`,
+// `aggregate_ops_per_s`, `cross_shard_commits`, and `cross_shard_aborts`;
+// CI runs `--quick` and guards those fields.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/metrics.h"
+#include "shard/deployment.h"
+
+using namespace sbft;
+using namespace sbft::shard;
+using sbft::harness::ProtocolKind;
+
+namespace {
+
+struct ProtocolSpec {
+  ProtocolKind kind;
+  const char* label;
+};
+
+const ProtocolSpec kProtocols[] = {
+    {ProtocolKind::kSbft, "SBFT"},
+    {ProtocolKind::kPbft, "PBFT"},
+};
+
+struct PointResult {
+  double aggregate_ops_per_s = 0.0;
+  uint64_t completed = 0;
+  uint64_t cross_commits = 0;
+  uint64_t cross_aborts = 0;
+  bool ok = true;
+};
+
+DeploymentOptions base_options(ProtocolKind kind, uint32_t groups, bool quick) {
+  DeploymentOptions o;
+  o.num_groups = groups;
+  o.group.kind = kind;
+  o.group.f = 1;
+  // Offered load scales with the group count so the sweep measures capacity,
+  // not a fixed load spread ever thinner: each group gets the same client
+  // pressure at every point.
+  o.num_clients = groups * (quick ? 3 : 4);
+  o.requests_per_client = quick ? 50 : 200;
+  o.keyspace = 4096;
+  o.seed = 42;
+  return o;
+}
+
+PointResult run_point(const DeploymentOptions& opts, sim::SimTime deadline_us,
+                      const char* workload, const char* label) {
+  Deployment dep(opts);
+  bool done = dep.run_until_done(deadline_us);
+  // Clients finishing does not mean every backup executed its group's tail;
+  // drain so the atomicity audit sees final state everywhere.
+  dep.run_for(10'000'000);
+
+  PointResult r;
+  r.completed = dep.total_completed();
+  r.cross_commits = dep.cross_shard_commits();
+  r.cross_aborts = dep.cross_shard_aborts();
+  const double elapsed_s =
+      static_cast<double>(dep.simulator().now()) / 1e6;
+  if (elapsed_s > 0) r.aggregate_ops_per_s = r.completed / elapsed_s;
+
+  std::vector<std::string> violations = dep.audit_cross_shard_atomicity();
+  bool agreement = true;
+  for (uint32_t g = 0; g < dep.num_groups(); ++g) {
+    if (!dep.group(g).check_agreement()) agreement = false;
+  }
+  r.ok = done && violations.empty() && agreement;
+  if (!done) std::fprintf(stderr, "FAIL: %s/%s did not finish\n", workload, label);
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "ATOMICITY VIOLATION: %s\n", v.c_str());
+  }
+  if (!agreement) std::fprintf(stderr, "FAIL: per-group agreement broken\n");
+
+  std::printf(
+      "%s\n",
+      harness::JsonWriter()
+          .field("bench", "shard_scaling")
+          .field("workload", workload)
+          .field("protocol", label)
+          .field("groups", static_cast<uint64_t>(opts.num_groups))
+          .field("clients", static_cast<uint64_t>(opts.num_clients))
+          .field("requests_per_client", opts.requests_per_client)
+          .field("completed", r.completed)
+          .field("aggregate_ops_per_s", r.aggregate_ops_per_s)
+          .field("cross_shard_commits", r.cross_commits)
+          .field("cross_shard_aborts", r.cross_aborts)
+          .field("atomicity_ok", static_cast<uint64_t>(violations.empty() ? 1 : 0))
+          .field("agreement_ok", static_cast<uint64_t>(agreement ? 1 : 0))
+          .str()
+          .c_str());
+  std::fflush(stdout);
+  return r;
+}
+
+// Workload 1: single-shard keyspace partitioning, 1 -> 4 groups.
+bool scaling_sweep(bool quick) {
+  bool ok = true;
+  for (const ProtocolSpec& p : kProtocols) {
+    double at_one = 0.0, at_four = 0.0;
+    for (uint32_t groups : {1u, 2u, 4u}) {
+      DeploymentOptions opts = base_options(p.kind, groups, quick);
+      PointResult r = run_point(opts, /*deadline_us=*/300'000'000,
+                                "single_shard", p.label);
+      ok = ok && r.ok;
+      if (groups == 1) at_one = r.aggregate_ops_per_s;
+      if (groups == 4) at_four = r.aggregate_ops_per_s;
+    }
+    const double speedup = at_one > 0 ? at_four / at_one : 0.0;
+    std::printf("# %s single-shard speedup at 4 groups: %.2fx\n", p.label,
+                speedup);
+    if (speedup < 2.5) {
+      std::fprintf(stderr,
+                   "FAIL: %s 4-group aggregate throughput %.2fx of 1 group "
+                   "(need >= 2.5x)\n",
+                   p.label, speedup);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+// Workload 2: cross-shard transfers with the group-0 primary crashed
+// mid-2PC. Group 0 is the coordinator of every transaction it touches, so
+// the crash lands on in-flight coordinators; atomicity must survive the
+// view change, and the restarted primary must catch back up.
+bool cross_shard_faults(bool quick) {
+  bool ok = true;
+  for (const ProtocolSpec& p : kProtocols) {
+    DeploymentOptions opts = base_options(p.kind, /*groups=*/4, quick);
+    opts.cross_shard_every = 4;
+    opts.requests_per_client = quick ? 30 : 100;
+
+    Deployment dep(opts);
+    const ReplicaId primary = dep.group(0).config().primary_of(0);
+    dep.simulator().schedule(2'000'000,
+                             [&] { dep.group(0).crash_replica(primary); });
+    dep.simulator().schedule(60'000'000,
+                             [&] { dep.group(0).restart_replica(primary); });
+    bool done = dep.run_until_done(/*deadline_us=*/400'000'000);
+    dep.run_for(10'000'000);
+
+    std::vector<std::string> violations = dep.audit_cross_shard_atomicity();
+    bool agreement = true;
+    for (uint32_t g = 0; g < dep.num_groups(); ++g) {
+      if (!dep.group(g).check_agreement()) agreement = false;
+    }
+    const uint64_t commits = dep.cross_shard_commits();
+    const uint64_t aborts = dep.cross_shard_aborts();
+    const double elapsed_s =
+        static_cast<double>(dep.simulator().now()) / 1e6;
+    const double rate =
+        elapsed_s > 0 ? dep.total_completed() / elapsed_s : 0.0;
+
+    if (!done) std::fprintf(stderr, "FAIL: %s cross-shard run did not finish\n", p.label);
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "ATOMICITY VIOLATION: %s\n", v.c_str());
+    }
+    if (!agreement) std::fprintf(stderr, "FAIL: per-group agreement broken\n");
+    if (commits == 0) {
+      std::fprintf(stderr, "FAIL: %s committed no cross-shard transfers\n",
+                   p.label);
+    }
+    ok = ok && done && violations.empty() && agreement && commits > 0;
+
+    std::printf(
+        "%s\n",
+        harness::JsonWriter()
+            .field("bench", "shard_scaling")
+            .field("workload", "cross_shard_crash")
+            .field("protocol", p.label)
+            .field("groups", static_cast<uint64_t>(opts.num_groups))
+            .field("clients", static_cast<uint64_t>(opts.num_clients))
+            .field("requests_per_client", opts.requests_per_client)
+            .field("completed", dep.total_completed())
+            .field("aggregate_ops_per_s", rate)
+            .field("cross_shard_commits", commits)
+            .field("cross_shard_aborts", aborts)
+            .field("crashed_replica", static_cast<uint64_t>(primary))
+            .field("atomicity_ok", static_cast<uint64_t>(violations.empty() ? 1 : 0))
+            .field("agreement_ok", static_cast<uint64_t>(agreement ? 1 : 0))
+            .str()
+            .c_str());
+    std::fflush(stdout);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  std::printf("# shard_scaling: keyspace-partitioned multi-group deployment\n");
+  std::printf("# (1 -> 4 groups, SBFT + PBFT; --quick for the CI subset)\n\n");
+
+  bool ok = scaling_sweep(quick);
+  ok = cross_shard_faults(quick) && ok;
+
+  if (!ok) {
+    std::fprintf(stderr, "\nshard_scaling: FAILED\n");
+    return 1;
+  }
+  std::printf("\n# shard_scaling: all assertions passed\n");
+  return 0;
+}

@@ -6,6 +6,11 @@ namespace sbft::core {
 
 SbftClient::SbftClient(ClientOptions options) : opts_(std::move(options)) {
   SBFT_CHECK(opts_.op_factory != nullptr);
+  if (opts_.replica_nodes.empty()) {
+    for (NodeId node = 0; node < opts_.config.n(); ++node) {
+      opts_.replica_nodes.push_back(node);
+    }
+  }
 }
 
 void SbftClient::on_start(sim::ActorContext& ctx) { send_next(ctx); }
@@ -27,7 +32,8 @@ void SbftClient::send_next(sim::ActorContext& ctx) {
 
   // First attempt goes to the replica we believe reaches the primary (any
   // correct replica forwards, §V-A); retries broadcast and rotate the hint.
-  ctx.send(primary_hint_, make_message(ClientRequestMsg{std::move(req)}));
+  ctx.send(opts_.replica_nodes[primary_hint_],
+           make_message(ClientRequestMsg{std::move(req)}));
   ctx.set_timer(opts_.retry_timeout_us, ++timer_gen_);
 }
 
@@ -100,7 +106,8 @@ void SbftClient::on_message(NodeId /*from*/, const Message& msg,
 void SbftClient::on_timer(uint64_t id, sim::ActorContext& ctx) {
   if (!outstanding_ || id != timer_gen_) return;
   ++retries_;
-  primary_hint_ = (primary_hint_ + 1) % opts_.config.n();  // rotate away from a dead node
+  primary_hint_ =
+      (primary_hint_ + 1) % opts_.replica_nodes.size();  // rotate away from a dead node
   // Retry: broadcast to all replicas and ask for the f+1 acknowledgement
   // path (replicas reply directly from their caches once executed).
   Request req;
@@ -109,7 +116,7 @@ void SbftClient::on_timer(uint64_t id, sim::ActorContext& ctx) {
   req.op = current_op_;
   req.client_sig = Bytes(opts_.signature_size, 0xab);
   auto msg = make_message(ClientRequestMsg{std::move(req)});
-  for (NodeId r = 0; r < opts_.config.n(); ++r) ctx.send(r, msg);
+  for (NodeId node : opts_.replica_nodes) ctx.send(node, msg);
   ctx.set_timer(opts_.retry_timeout_us, ++timer_gen_);
 }
 

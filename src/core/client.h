@@ -30,6 +30,10 @@ struct ClientOptions {
   /// Modeled client request signature size (RSA-2048 => 256 bytes).
   size_t signature_size = 256;
   int64_t retry_timeout_us = 4'000'000;
+  /// Network nodes of the group's replicas, in replica-id order. Empty
+  /// derives the genesis mapping (replica r at node r-1); a sharded
+  /// deployment passes the group's actual node block (docs/sharding.md).
+  std::vector<NodeId> replica_nodes;
 };
 
 struct ClientRecord {
@@ -67,7 +71,7 @@ class SbftClient final : public sim::IActor {
   bool verify_execute_ack(const ExecuteAckMsg& m, sim::ActorContext& ctx) const;
 
   ClientOptions opts_;
-  NodeId primary_hint_ = 0;  // replica we believe relays to the primary
+  size_t primary_hint_ = 0;  // index into replica_nodes: believed primary relay
   uint64_t timestamp_ = 0;
   Bytes current_op_;
   bool outstanding_ = false;

@@ -21,6 +21,7 @@ enum TimerKind : uint64_t {
   kShareFallback = 9,   // re-send sign-share to the primary (stalled slot)
   kStateFallback = 10,  // re-send sign-state to the primary (stalled cert)
   kDonorTickTimer = 11, // drain chunk serves the donor rate limiter deferred
+  kShardTickTimer = 12, // marker executor retry cadence (docs/sharding.md)
 };
 
 uint64_t timer_id(TimerKind kind, uint64_t payload) {
@@ -43,23 +44,10 @@ struct SbftReplica::Slot {
   Digest h{};
   Bytes own_sigma_share;  // kept for the view-change fm vote
 
-  // Prepare certificate (slow path).
-  bool has_cert = false;
-  ViewNum cert_view = 0;
-  Digest cert_digest{};
-  Bytes cert_tau;
+  // The slow-path prepare certificate and the fast/slow full proofs live in
+  // runtime_.evidence() (runtime/evidence_store.h) — the view-change
+  // evidence layer shared with PBFT.
   bool sent_commit_share = false;
-
-  // Full proofs.
-  bool has_fast_proof = false;
-  ViewNum fp_view = 0;
-  Digest fp_digest{};
-  Bytes fast_proof;
-  bool has_slow_proof = false;
-  ViewNum sp_view = 0;
-  Digest sp_digest{};
-  Bytes slow_inner;
-  Bytes slow_proof;
 
   bool committed = false;
   bool committed_fast = false;
@@ -125,8 +113,10 @@ runtime::RuntimeOptions make_runtime_options(const ReplicaOptions& opts) {
   ro.state_transfer_delta_enabled = opts.config.state_transfer_delta_enabled;
   ro.state_transfer_donor_chunks_per_tick =
       opts.config.state_transfer_donor_chunks_per_tick;
+  ro.state_transfer_delta_history = opts.config.state_transfer_delta_history;
   ro.self = opts.id;
   ro.tracer = opts.tracer;
+  ro.marker_executor = opts.marker_executor;
   if (!opts.roster.empty()) {
     ro.membership_f = opts.roster_f > 0 ? opts.roster_f : opts.config.f;
     ro.membership_c = opts.roster_f > 0 ? opts.roster_c : opts.config.c;
@@ -305,6 +295,14 @@ void SbftReplica::on_start(sim::ActorContext& ctx) {
   if (is_primary()) {
     ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
   }
+  if (opts_.marker_executor != nullptr &&
+      opts_.marker_executor->tick_interval_us() > 0) {
+    ctx.set_timer(opts_.marker_executor->tick_interval_us(),
+                  timer_id(kShardTickTimer, 0));
+  }
+  // Recovery replay may have re-run shard decisions whose results the
+  // outside world never saw (crash between execute and send): flush them.
+  pump_marker_executor(ctx);
   // A restarted replica may have slept through checkpoints (or lost its disk
   // entirely): probe a peer for a newer stable checkpoint right away instead
   // of waiting to notice the gap from protocol traffic.
@@ -399,10 +397,18 @@ void SbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext&
           handle_state_chunk(from, m, ctx);
         } else if constexpr (std::is_same_v<T, ReconfigBlockMsg>) {
           handle_reconfig_block(m, ctx);
+        } else if constexpr (std::is_same_v<T, TxVoteMsg> ||
+                             std::is_same_v<T, TxDecisionMsg>) {
+          // Cross-shard 2PC traffic belongs to the marker executor; the pump
+          // below relays its responses and stages decision markers.
+          if (opts_.marker_executor != nullptr) {
+            opts_.marker_executor->on_network(from, msg, ctx.now());
+          }
         }
         // PBFT baseline messages are ignored by SBFT replicas.
       },
       msg);
+  pump_marker_executor(ctx);
 }
 
 void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
@@ -425,20 +431,23 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
     }
     case kStaggerFast: {
       Slot* sl = find_slot(s);
-      if (sl && sl->coll_active && !sl->has_fast_proof && !sl->committed)
+      const auto* ev = runtime_.evidence().find(s);
+      if (sl && sl->coll_active && !(ev && ev->has_fast_proof) && !sl->committed)
         collector_try_fast(s, ctx, /*from_stagger=*/true);
       break;
     }
     case kStaggerPrepare: {
       Slot* sl = find_slot(s);
-      if (sl && sl->coll_active && !sl->has_cert && !sl->committed &&
+      const auto* ev = runtime_.evidence().find(s);
+      if (sl && sl->coll_active && !(ev && ev->has_prepared) && !sl->committed &&
           !sl->coll_sent_prepare)
         collector_try_prepare(s, ctx);
       break;
     }
     case kStaggerSlow: {
       Slot* sl = find_slot(s);
-      if (sl && sl->coll_active && !sl->has_slow_proof && !sl->committed)
+      const auto* ev = runtime_.evidence().find(s);
+      if (sl && sl->coll_active && !(ev && ev->has_slow_proof) && !sl->committed)
         collector_try_slow_proof(s, ctx);
       break;
     }
@@ -553,9 +562,18 @@ void SbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
       arm_donor_tick(ctx);
       break;
     }
+    case kShardTickTimer: {
+      if (opts_.marker_executor != nullptr) {
+        opts_.marker_executor->on_tick(ctx.now());
+        ctx.set_timer(opts_.marker_executor->tick_interval_us(),
+                      timer_id(kShardTickTimer, 0));
+      }
+      break;
+    }
     default:
       break;
   }
+  pump_marker_executor(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -565,8 +583,9 @@ void SbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
                                         sim::ActorContext& ctx) {
   const Request& req = m.request;
   // The reconfiguration marker id is reserved for blocks the primary builds
-  // from ReconfigBlockMsg; a "client" claiming it is forging.
-  if (req.client == kReconfigClient) return;
+  // from ReconfigBlockMsg; a "client" claiming it is forging. Same for the
+  // shard 2PC decision marker id (decisions enter via the marker executor).
+  if (req.client == kReconfigClient || req.client == kShardTxClient) return;
   // Client request signature ([31]): verified on a worker lane when the node
   // has one; admission continues in the completion.
   ctx.offload(ctx.costs().rsa_verify_us,
@@ -632,6 +651,32 @@ void SbftReplica::handle_reconfig_block(const ReconfigBlockMsg& m,
   try_propose(ctx, /*flush_partial=*/true);
 }
 
+void SbftReplica::pump_marker_executor(sim::ActorContext& ctx) {
+  runtime::IMarkerExecutor* ex = opts_.marker_executor;
+  if (ex == nullptr) return;
+  // Relay whatever the executor queued while handling ordered markers or
+  // cross-group messages (votes, decision broadcasts, client results).
+  for (auto& [node, msg] : ex->take_outbound()) {
+    if (!silent()) ctx.send(node, std::move(msg));
+  }
+  // Decision markers the executor wants ordered go through the primary's
+  // pending queue like reconfiguration blocks; on a backup they are dropped
+  // here and re-staged by the executor's tick (possibly under a new primary).
+  if (retired_ || silent() || !is_primary() || in_view_change_) {
+    ex->take_marker_requests();
+    return;
+  }
+  bool queued = false;
+  for (Request& req : ex->take_marker_requests()) {
+    auto key = std::make_pair(req.client, req.timestamp);
+    if (pending_keys_.insert(key).second) {
+      pending_.emplace_back(std::move(req), ctx.now());
+      queued = true;
+    }
+  }
+  if (queued) try_propose(ctx, /*flush_partial=*/true);
+}
+
 uint64_t SbftReplica::active_window() const {
   uint64_t by_collectors = (epoch().n() - 1) / epoch().num_collectors();  // §VIII
   return std::max<uint64_t>(1, std::min(by_collectors, opts_.config.win / 4));
@@ -639,10 +684,11 @@ uint64_t SbftReplica::active_window() const {
 
 uint32_t SbftReplica::adaptive_batch_size() const {
   if (!opts_.config.adaptive_batching) return opts_.config.max_batch;
-  // §VIII: an adaptive controller keyed off the average backlog. We track an
-  // EWMA of the pending queue and size blocks to absorb it across a couple
-  // of concurrent blocks: small batches (low latency) when idle, full
-  // batches (amortized fixed costs) under load.
+  // §VIII: an adaptive controller keyed off outstanding demand. We track an
+  // EWMA of the requests the primary currently owes (queued + proposed but
+  // not yet executed — the closed-loop client population) and size blocks to
+  // absorb it across a couple of concurrent blocks: small batches (low
+  // latency) when idle, full batches (amortized fixed costs) under load.
   uint64_t size = static_cast<uint64_t>(avg_pending_ / 2.0) + 1;
   return static_cast<uint32_t>(
       std::clamp<uint64_t>(size, 1, opts_.config.max_batch));
@@ -650,7 +696,16 @@ uint32_t SbftReplica::adaptive_batch_size() const {
 
 void SbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
   if (!is_primary() || in_view_change_ || retired_) return;
-  avg_pending_ = 0.8 * avg_pending_ + 0.2 * static_cast<double>(pending_.size());
+  // Demand sample: queued requests plus requests in unexecuted blocks. The
+  // in-flight scan is bounded by the window and recomputed from the slots so
+  // it self-corrects across view changes and state transfer.
+  uint64_t in_flight_reqs = 0;
+  for (auto it = slots_.upper_bound(le());
+       it != slots_.end() && it->first < next_seq_; ++it) {
+    if (it->second.block) in_flight_reqs += it->second.block->requests.size();
+  }
+  avg_pending_ = 0.8 * avg_pending_ +
+                 0.2 * static_cast<double>(pending_.size() + in_flight_reqs);
   while (!pending_.empty()) {
     // Drop requests already executed (e.g. committed via an earlier view).
     const Request& head = pending_.front().first;
@@ -1008,18 +1063,15 @@ void SbftReplica::handle_prepare(const PrepareMsg& m, sim::ActorContext& ctx) {
     adopt_verified_view(m.view, c);
     if (in_view_change_ || m.view != view_) return;
     Slot& sl = slot(m.seq);
-    if (sl.has_cert && sl.cert_view < m.view) {
+    if (const auto* ev = runtime_.evidence().find(m.seq);
+        ev && ev->has_prepared && ev->prepared_view < m.view) {
       // The commit round is bound to one certificate: a fresh tau(h) from a
       // later view starts a fresh round (without this, a slot whose slow
       // round stalled in view v can never commit in any later view).
       sl.sent_commit_share = false;
     }
-    if (!sl.has_cert || sl.cert_view <= m.view) {
-      sl.has_cert = true;
-      sl.cert_view = m.view;
-      sl.cert_digest = m.block_digest;
-      sl.cert_tau = m.tau_sig;
-    }
+    runtime_.evidence().record_prepared(m.seq, m.view, m.block_digest,
+                                        m.tau_sig);
     // Fallback-stage collectors (the c+1 C-collectors plus the primary as the
     // last staggered collector, §V-E) remember the certificate so they can
     // aggregate commit shares.
@@ -1132,13 +1184,8 @@ void SbftReplica::handle_full_commit_proof(const FullCommitProofMsg& m,
       return;
     }
     adopt_verified_view(m.view, c);
-    Slot& sl = slot(m.seq);
-    if (!sl.has_fast_proof) {
-      sl.has_fast_proof = true;
-      sl.fp_view = m.view;
-      sl.fp_digest = m.block_digest;
-      sl.fast_proof = m.sigma_sig;
-    }
+    runtime_.evidence().record_fast_proof(m.seq, m.view, m.block_digest,
+                                          m.sigma_sig);
     commit(m.seq, m.block_digest, /*fast=*/true, c);
   });
 }
@@ -1157,14 +1204,8 @@ void SbftReplica::handle_full_commit_proof_slow(const FullCommitProofSlowMsg& m,
       return;
     }
     adopt_verified_view(m.view, c);
-    Slot& sl = slot(m.seq);
-    if (!sl.has_slow_proof) {
-      sl.has_slow_proof = true;
-      sl.sp_view = m.view;
-      sl.sp_digest = m.block_digest;
-      sl.slow_inner = m.tau_sig;
-      sl.slow_proof = m.tau_tau_sig;
-    }
+    runtime_.evidence().record_slow_proof(m.seq, m.view, m.block_digest,
+                                          m.tau_sig, m.tau_tau_sig);
     commit(m.seq, m.block_digest, /*fast=*/false, c);
   });
 }
@@ -1419,6 +1460,7 @@ void SbftReplica::advance_checkpoint(SeqNum s, sim::ActorContext& ctx) {
   // to the WAL, and garbage-collects execution records.
   if (!runtime_.advance_stable(rec->cert, ctx)) return;
   slots_.erase(slots_.begin(), slots_.lower_bound(ls() + 1));
+  runtime_.evidence().gc_through(ls());
   // A staged reconfiguration whose boundary just became stable activates here.
   maybe_refresh_epoch(ctx);
 }
@@ -1521,23 +1563,24 @@ ViewChangeMsg SbftReplica::build_view_change(ViewNum target) const {
     if (s <= ls() || s > ls() + opts_.config.win) continue;
     SlotEvidence e;
     e.seq = s;
-    if (sl.has_slow_proof) {
+    const runtime::SlotEvidenceRecord* ev = runtime_.evidence().find(s);
+    if (ev && ev->has_slow_proof) {
       e.lm_kind = SlowEvidence::kFullProof;
-      e.lm_view = sl.sp_view;
-      e.lm_block_digest = sl.sp_digest;
-      e.lm_sig = sl.slow_proof;
-      e.lm_inner_sig = sl.slow_inner;
-    } else if (sl.has_cert) {
+      e.lm_view = ev->slow_view;
+      e.lm_block_digest = ev->slow_digest;
+      e.lm_sig = ev->slow_sig;
+      e.lm_inner_sig = ev->slow_inner_sig;
+    } else if (ev && ev->has_prepared) {
       e.lm_kind = SlowEvidence::kPrepareCert;
-      e.lm_view = sl.cert_view;
-      e.lm_block_digest = sl.cert_digest;
-      e.lm_sig = sl.cert_tau;
+      e.lm_view = ev->prepared_view;
+      e.lm_block_digest = ev->prepared_digest;
+      e.lm_sig = ev->prepared_sig;
     }
-    if (sl.has_fast_proof) {
+    if (ev && ev->has_fast_proof) {
       e.fm_kind = FastEvidence::kFullProof;
-      e.fm_view = sl.fp_view;
-      e.fm_block_digest = sl.fp_digest;
-      e.fm_sig = sl.fast_proof;
+      e.fm_view = ev->fast_view;
+      e.fm_block_digest = ev->fast_digest;
+      e.fm_sig = ev->fast_sig;
     } else if (sl.has_pp && !sl.own_sigma_share.empty() &&
                sl.h == slot_hash(s, sl.pp_view, sl.block_digest)) {
       // The fm vote is only evidence if the retained share actually signs
@@ -1651,17 +1694,15 @@ void SbftReplica::enter_new_view(const NewViewMsg& m, sim::ActorContext& ctx) {
     switch (safe.kind) {
       case SafeValue::Kind::kDecided: {
         // Record the proof so future view changes re-propagate it.
-        if (safe.decided_fast && !sl.has_fast_proof) {
-          sl.has_fast_proof = true;
-          sl.fp_view = safe.evidence_view;
-          sl.fp_digest = safe.block_digest;
-          sl.fast_proof = safe.decided_proof;
-        } else if (!safe.decided_fast && !sl.has_slow_proof) {
-          sl.has_slow_proof = true;
-          sl.sp_view = safe.evidence_view;
-          sl.sp_digest = safe.block_digest;
-          sl.slow_proof = safe.decided_proof;
-          sl.slow_inner = safe.decided_inner;
+        if (safe.decided_fast) {
+          runtime_.evidence().record_fast_proof(j, safe.evidence_view,
+                                                safe.block_digest,
+                                                safe.decided_proof);
+        } else {
+          runtime_.evidence().record_slow_proof(j, safe.evidence_view,
+                                                safe.block_digest,
+                                                safe.decided_inner,
+                                                safe.decided_proof);
         }
         if (safe.block && !(sl.has_pp && sl.block_digest == safe.block_digest)) {
           sl.has_pp = true;
@@ -1818,6 +1859,7 @@ void SbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
   // checkpoint in the WAL.
   if (!runtime_.adopt_checkpoint(m.cert, as_span(m.service_snapshot), ctx)) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
+  runtime_.evidence().gc_through(m.seq);
   st_inflight_ = false;
   trace_.instant(ctx.now(), obs::Category::kStateTransfer, obs::ev::kStAdopt,
                  st_session_, m.seq);
@@ -1964,6 +2006,7 @@ void SbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
                st_session_, cert.seq);
   }
   slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
+  runtime_.evidence().gc_through(cert.seq);
   maybe_refresh_epoch(ctx);  // the adopted envelope may carry a newer epoch
   try_execute(ctx);
 }

@@ -78,6 +78,10 @@ struct ReplicaOptions {
   // are optional for direct-construction unit tests.
   std::shared_ptr<obs::Tracer> tracer;
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  // Cross-shard marker executor (docs/sharding.md). Not owned — the harness
+  // keeps it alive across replica incarnations, like the ledger. Null for
+  // single-group deployments.
+  runtime::IMarkerExecutor* marker_executor = nullptr;
 };
 
 /// SBFT protocol counters on top of the shared runtime counters (the base's
@@ -214,6 +218,10 @@ class SbftReplica final : public sim::IActor {
   void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
   /// Continuation of handle_client_request once the request signature has
   /// been verified (possibly on a worker lane).
+  /// Drains the marker executor after every message/timer: relays its queued
+  /// sends and (primary only) enqueues staged 2PC decision markers for
+  /// ordering (docs/sharding.md). No-op without an executor.
+  void pump_marker_executor(sim::ActorContext& ctx);
   void admit_client_request(NodeId from, const Request& req,
                             sim::ActorContext& ctx);
   void propose_block(Block block, sim::ActorContext& ctx);

@@ -50,6 +50,22 @@ Cluster::Cluster(ClusterOptions options)
     opts_.service_factory = [] { return std::make_unique<FastKvService>(); };
   }
   if (!opts_.op_factory) opts_.op_factory = kv_op_factory({});
+  owned_sim_ = std::make_unique<sim::Simulator>();
+  sim_ = owned_sim_.get();
+  owned_net_ =
+      std::make_unique<sim::Network>(*sim_, opts_.topology, opts_.costs, opts_.seed);
+  net_ = owned_net_.get();
+  build();
+}
+
+Cluster::Cluster(ClusterOptions options, sim::Simulator& sim, sim::Network& net)
+    : opts_(std::move(options)), config_(opts_.make_config()) {
+  if (!opts_.service_factory) {
+    opts_.service_factory = [] { return std::make_unique<FastKvService>(); };
+  }
+  if (!opts_.op_factory) opts_.op_factory = kv_op_factory({});
+  sim_ = &sim;
+  net_ = &net;
   build();
 }
 
@@ -82,6 +98,7 @@ void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavio
     po.roster_f = current_f_;
     po.tracer = handle.tracer_;
     po.metrics = handle.metrics_;
+    po.marker_executor = handle.marker_executor_.get();
     handle.pbft_ =
         std::make_unique<pbft::PbftReplica>(std::move(po), opts_.service_factory());
   } else {
@@ -104,6 +121,7 @@ void Cluster::build_replica(ReplicaHandle& handle, core::ReplicaBehavior behavio
     ro.epoch_keys = epoch_keys_;
     ro.tracer = handle.tracer_;
     ro.metrics = handle.metrics_;
+    ro.marker_executor = handle.marker_executor_.get();
     handle.sbft_ =
         std::make_unique<core::SbftReplica>(std::move(ro), opts_.service_factory());
   }
@@ -114,7 +132,9 @@ void Cluster::build() {
   // rather than running a "byzantine" PBFT cluster all-honest. (Crash /
   // straggler / restart faults are network-level and work on every protocol.)
   SBFT_CHECK(opts_.kind != ProtocolKind::kPbft || opts_.byzantine_replicas == 0);
-  net_ = std::make_unique<sim::Network>(sim_, opts_.topology, opts_.costs, opts_.seed);
+  // Embedded as a shard, the cluster's node block starts where the shared
+  // network currently ends; standalone it starts at 0.
+  node_base_ = net_->num_nodes();
   Rng key_rng(opts_.seed ^ 0x5bf7u);
   keys_ = opts_.use_real_threshold_crypto
               ? core::ClusterKeys::generate_rsa(key_rng, config_,
@@ -127,7 +147,9 @@ void Cluster::build() {
   const uint32_t n = config_.n();
   current_f_ = config_.f;
   current_c_ = config_.c;
-  for (ReplicaId r = 1; r <= n; ++r) current_members_.push_back({r, r - 1});
+  for (ReplicaId r = 1; r <= n; ++r) {
+    current_members_.push_back({r, node_base_ + r - 1});
+  }
   const ReplicaId primary0 = config_.primary_of(0);
 
   // Fault roles are drawn first (replica behaviour is fixed at construction).
@@ -155,8 +177,8 @@ void Cluster::build() {
     behavior[backups[cursor++]] = opts_.byzantine_behavior;
   }
 
-  // Replicas occupy node ids 0..n-1; the authoritative replica->node mapping
-  // lives in each ReplicaHandle.
+  // Replicas occupy node ids node_base..node_base+n-1; the authoritative
+  // replica->node mapping lives in each ReplicaHandle.
   replicas_.resize(n);
   for (ReplicaId r = 1; r <= n; ++r) {
     ReplicaHandle& handle = replicas_[r - 1];
@@ -169,26 +191,36 @@ void Cluster::build() {
     if (opts_.tracing) {
       handle.tracer_ = std::make_shared<obs::Tracer>(r, opts_.trace_capacity);
     }
+    if (opts_.marker_executor_factory) {
+      handle.marker_executor_ =
+          opts_.marker_executor_factory(r, node_base_ + r - 1);
+    }
     build_replica(handle, behavior[r], /*recovering=*/false);
     handle.node_ = net_->add_node(handle.actor());
-    SBFT_CHECK(handle.node_ == r - 1);  // replicas are added first
+    SBFT_CHECK(handle.node_ == node_base_ + r - 1);  // replicas are added first
     net_->set_cores(handle.node_, cores_for(r));
   }
 
-  // Clients occupy node ids n..n+k-1; ClientId == NodeId.
+  // Clients occupy the node ids after the replica block; ClientId == NodeId
+  // (globally unique across a deployment's groups — reply caches and exec
+  // leaves key on the client id).
   for (uint32_t i = 0; i < opts_.num_clients; ++i) {
     core::ClientOptions co;
     co.config = config_;
     co.retry_timeout_us = config_.client_retry_timeout_us;
     co.crypto = core::ReplicaCrypto::verifier_only(keys_);
     co.epoch_keys = epoch_keys_;
+    const ClientId cid = node_base_ + n + i;
     co.num_requests = opts_.requests_per_client;
-    co.id = n + i;
-    co.op_factory = opts_.per_client_op_factory ? opts_.per_client_op_factory(co.id)
+    co.id = cid;
+    for (const ReplicaInfo& m : current_members_) {
+      co.replica_nodes.push_back(m.node);
+    }
+    co.op_factory = opts_.per_client_op_factory ? opts_.per_client_op_factory(cid)
                                                 : opts_.op_factory;
     auto client = std::make_unique<core::SbftClient>(std::move(co));
     NodeId node = net_->add_node(client.get());
-    SBFT_CHECK(node == n + i);
+    SBFT_CHECK(node == cid);
     clients_.push_back(std::move(client));
   }
 
@@ -204,9 +236,9 @@ void Cluster::build() {
     ReplicaId target = ev.replica;
     if (target == 0 && cursor < backups.size()) target = backups[cursor++];
     if (target == 0) continue;  // no backup left to assign
-    sim_.schedule(ev.crash_at_us, [this, target] { crash_replica(target); });
+    sim_->schedule(ev.crash_at_us, [this, target] { crash_replica(target); });
     if (ev.restart_at_us > ev.crash_at_us) {
-      sim_.schedule(ev.restart_at_us, [this, target, wipe = ev.wipe_storage] {
+      sim_->schedule(ev.restart_at_us, [this, target, wipe = ev.wipe_storage] {
         restart_replica(target, wipe);
       });
     }
@@ -232,6 +264,11 @@ ReplicaId Cluster::add_replica() {
   if (opts_.tracing) {
     handle.tracer_ =
         std::make_shared<obs::Tracer>(handle.id_, opts_.trace_capacity);
+  }
+  if (opts_.marker_executor_factory) {
+    // The joiner takes the next node id the shared network will hand out.
+    handle.marker_executor_ =
+        opts_.marker_executor_factory(handle.id_, net_->num_nodes());
   }
   // The joiner bootstraps as a wiped recovering fetcher against the current
   // roster (which does not contain it); it participates only after an epoch
@@ -299,7 +336,7 @@ void Cluster::crash_replica(ReplicaId r) {
   // Lifecycle marker: lets trace consumers segment the stream by incarnation
   // (a restarted replica's execution cursor may legitimately move back).
   if (handle.tracer_) {
-    handle.tracer_->instant(sim_.now(), obs::Category::kSlot,
+    handle.tracer_->instant(sim_->now(), obs::Category::kSlot,
                             obs::ev::kReplicaCrashed);
   }
 }
@@ -316,7 +353,7 @@ void Cluster::restart_replica(ReplicaId r, bool wipe_storage) {
   // The tracer and registry survive the restart like the disk does: the new
   // incarnation appends to the same stream, after a restart marker.
   if (handle.tracer_) {
-    handle.tracer_->instant(sim_.now(), obs::Category::kSlot,
+    handle.tracer_->instant(sim_->now(), obs::Category::kSlot,
                             obs::ev::kReplicaRestarted, 0, 0, 0, "wiped",
                             wipe_storage ? 1 : 0);
   }
@@ -329,7 +366,7 @@ void Cluster::run_for(sim::SimTime sim_time_us) {
     started_ = true;
     net_->start();
   }
-  sim_.run_until(sim_.now() + sim_time_us);
+  sim_->run_until(sim_->now() + sim_time_us);
 }
 
 bool Cluster::run_until_done(sim::SimTime deadline_us) {
@@ -337,12 +374,12 @@ bool Cluster::run_until_done(sim::SimTime deadline_us) {
     started_ = true;
     net_->start();
   }
-  while (sim_.now() < deadline_us) {
+  while (sim_->now() < deadline_us) {
     bool all_done = std::all_of(clients_.begin(), clients_.end(),
                                 [](const auto& c) { return c->done(); });
     if (all_done) return true;
-    if (sim_.idle()) return false;  // deadlock would be a bug; surface it
-    sim_.run_until(std::min(deadline_us, sim_.now() + 50'000));
+    if (sim_->idle()) return false;  // deadlock would be a bug; surface it
+    sim_->run_until(std::min(deadline_us, sim_->now() + 50'000));
   }
   return std::all_of(clients_.begin(), clients_.end(),
                      [](const auto& c) { return c->done(); });

@@ -111,12 +111,27 @@ struct ClusterOptions {
   // Optional overrides applied to the derived ProtocolConfig.
   std::function<void(ProtocolConfig&)> tweak_config;
 
+  /// Per-replica cross-shard marker executor (docs/sharding.md): called at
+  /// build time with the replica id and the network node it will occupy. The
+  /// handle keeps the executor alive across incarnations — recovery and
+  /// state transfer restore its state, the way the ledger survives a crash.
+  /// Null (the default) runs the group without a shard layer.
+  std::function<std::shared_ptr<runtime::IMarkerExecutor>(ReplicaId, NodeId)>
+      marker_executor_factory;
+
   ProtocolConfig make_config() const;
 };
 
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
+  /// Embeds the cluster as one *shard* of a multi-group deployment
+  /// (src/shard/Deployment): nodes are added to the caller's shared network
+  /// starting at its current node count, and the caller drives the shared
+  /// simulator (run_for / run_until_done must not be used — the deployment
+  /// starts the network and pumps the loop). Both references must outlive
+  /// the cluster.
+  Cluster(ClusterOptions options, sim::Simulator& sim, sim::Network& net);
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -128,12 +143,23 @@ class Cluster {
   /// Returns true if all clients finished.
   bool run_until_done(sim::SimTime deadline_us);
 
-  sim::Simulator& simulator() { return sim_; }
+  sim::Simulator& simulator() { return *sim_; }
   sim::Network& network() { return *net_; }
+  /// First network node this cluster occupies (0 unless embedded in a
+  /// deployment); replicas sit at node_base()..node_base()+n-1, clients after.
+  NodeId node_base() const { return node_base_; }
   const ClusterOptions& options() const { return opts_; }
   const ProtocolConfig& config() const { return config_; }
 
   uint32_t n() const { return config_.n(); }
+  /// Verifier-only view of this group's keys — what a deployment-level shard
+  /// client needs to check execute-acks coming from this group.
+  core::ReplicaCrypto verifier_crypto() const {
+    return core::ReplicaCrypto::verifier_only(keys_);
+  }
+  std::shared_ptr<const core::EpochKeyTable> epoch_keys() const {
+    return epoch_keys_;
+  }
   core::SbftClient& client(size_t i) { return *clients_[i]; }
   size_t num_clients() const { return clients_.size(); }
 
@@ -227,8 +253,13 @@ class Cluster {
 
   ClusterOptions opts_;
   ProtocolConfig config_;
-  sim::Simulator sim_;
-  std::unique_ptr<sim::Network> net_;
+  // Owned for a standalone cluster; null (borrowing the deployment's shared
+  // instances via the raw pointers) when embedded as a shard.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  std::unique_ptr<sim::Network> owned_net_;
+  sim::Simulator* sim_ = nullptr;
+  sim::Network* net_ = nullptr;
+  NodeId node_base_ = 0;
   core::ClusterKeys keys_;
   // Reconfiguration material: per-epoch threshold keys (SBFT; shared with
   // replicas and clients) and the PBFT checkpoint signing authority.

@@ -34,12 +34,14 @@ ExperimentResult run_point(const ExperimentPoint& point) {
   KvWorkloadOptions workload;
   workload.ops_per_request = point.ops_per_request;
   opts.op_factory = kv_op_factory(workload);
-  if (point.window > 0 || point.max_batch > 0) {
+  if (point.window > 0 || point.max_batch > 0 || point.adaptive >= 0) {
     uint64_t win = point.window;
     uint32_t max_batch = point.max_batch;
-    opts.tweak_config = [win, max_batch](ProtocolConfig& cfg) {
+    int adaptive = point.adaptive;
+    opts.tweak_config = [win, max_batch, adaptive](ProtocolConfig& cfg) {
       if (win > 0) cfg.win = win;
       if (max_batch > 0) cfg.max_batch = max_batch;
+      if (adaptive >= 0) cfg.adaptive_batching = adaptive != 0;
     };
   }
   if (point.tweak) point.tweak(opts);
@@ -65,7 +67,7 @@ std::string cache_key(const ExperimentPoint& p) {
       << p.num_clients << "_b" << p.ops_per_request << "_cr" << p.crash_replicas
       << "_st" << p.straggler_replicas << "_w" << p.warmup_us << "_m"
       << p.measure_us << "_s" << p.seed << "_co" << p.cores << "_wn" << p.window
-      << "_mb" << p.max_batch << "_t"
+      << "_mb" << p.max_batch << "_ad" << p.adaptive << "_t"
       << (p.topology.region_latency_us.empty() ? "continent" : p.topology.name);
   return key.str();
 }
@@ -76,7 +78,7 @@ std::filesystem::path cache_dir() {
 
 // Cache schema version: bump whenever the serialized shape changes so stale
 // files from older builds re-run instead of mis-parsing.
-constexpr int kCacheVersion = 3;
+constexpr int kCacheVersion = 4;
 
 bool load_cached(const std::filesystem::path& file, ExperimentResult* out) {
   std::ifstream in(file);

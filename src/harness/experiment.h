@@ -19,6 +19,9 @@ struct ExperimentPoint {
   uint32_t cores = 0;      // CPU lanes per replica; 0 = cost-model default (1)
   uint64_t window = 0;     // ProtocolConfig::win override; 0 = keep default
   uint32_t max_batch = 0;  // ProtocolConfig::max_batch override; 0 = default
+  // ProtocolConfig::adaptive_batching override: -1 = keep default, 0 = force
+  // static max_batch blocks, 1 = force the §VIII adaptive controller.
+  int adaptive = -1;
   uint32_t crash_replicas = 0;
   uint32_t straggler_replicas = 0;
   sim::SimTime warmup_us = 1'000'000;

@@ -81,6 +81,12 @@ class ReplicaHandle {
   std::shared_ptr<obs::Tracer> tracer() const { return tracer_; }
   std::shared_ptr<obs::MetricsRegistry> metrics() const { return metrics_; }
 
+  /// Cross-shard marker executor (docs/sharding.md); null without a shard
+  /// layer. Outlives replica incarnations — recovery restores its state.
+  std::shared_ptr<runtime::IMarkerExecutor> marker_executor() const {
+    return marker_executor_;
+  }
+
  private:
   friend class Cluster;
 
@@ -92,6 +98,7 @@ class ReplicaHandle {
   std::shared_ptr<recovery::IReplicaWal> wal_;
   std::shared_ptr<obs::Tracer> tracer_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<runtime::IMarkerExecutor> marker_executor_;
 };
 
 }  // namespace sbft::harness

@@ -15,6 +15,7 @@ enum TimerKind : uint64_t {
   kProgressTimer = 2,
   kStateTransferTimer = 3,
   kDonorTickTimer = 4,  // drain chunk serves the donor rate limiter deferred
+  kShardTickTimer = 5,  // marker executor retry cadence (docs/sharding.md)
 };
 uint64_t timer_id(TimerKind kind, uint64_t payload) {
   return (static_cast<uint64_t>(kind) << 48) | payload;
@@ -32,8 +33,10 @@ runtime::RuntimeOptions make_runtime_options(const PbftOptions& opts) {
   ro.state_transfer_delta_enabled = opts.config.state_transfer_delta_enabled;
   ro.state_transfer_donor_chunks_per_tick =
       opts.config.state_transfer_donor_chunks_per_tick;
+  ro.state_transfer_delta_history = opts.config.state_transfer_delta_history;
   ro.self = opts.id;
   ro.tracer = opts.tracer;
+  ro.marker_executor = opts.marker_executor;
   if (!opts.roster.empty()) {
     ro.membership_f = opts.roster_f > 0 ? opts.roster_f : opts.config.f;
     ro.membership_c = 0;
@@ -155,6 +158,14 @@ void PbftReplica::on_start(sim::ActorContext& ctx) {
   if (is_primary()) {
     ctx.set_timer(opts_.config.batch_timeout_us, timer_id(kBatchTimer, 0));
   }
+  if (opts_.marker_executor != nullptr &&
+      opts_.marker_executor->tick_interval_us() > 0) {
+    ctx.set_timer(opts_.marker_executor->tick_interval_us(),
+                  timer_id(kShardTickTimer, 0));
+  }
+  // Recovery replay may have re-run shard decisions whose results the
+  // outside world never saw (crash between execute and send): flush them.
+  pump_marker_executor(ctx);
   // A restarted replica may have slept through checkpoints (or lost its disk
   // entirely): probe a peer for a newer stable checkpoint right away.
   if (opts_.recovering) request_state_transfer(ctx);
@@ -219,9 +230,17 @@ void PbftReplica::on_message(NodeId from, const Message& msg, sim::ActorContext&
           handle_state_chunk(from, m, ctx);
         } else if constexpr (std::is_same_v<T, ReconfigBlockMsg>) {
           handle_reconfig_block(m, ctx);
+        } else if constexpr (std::is_same_v<T, TxVoteMsg> ||
+                             std::is_same_v<T, TxDecisionMsg>) {
+          // Cross-shard 2PC traffic belongs to the marker executor; the pump
+          // below relays its responses and stages decision markers.
+          if (opts_.marker_executor != nullptr) {
+            opts_.marker_executor->on_network(from, msg, ctx.now());
+          }
         }
       },
       msg);
+  pump_marker_executor(ctx);
 }
 
 void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
@@ -311,7 +330,16 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
       arm_donor_tick(ctx);
       break;
     }
+    case kShardTickTimer: {
+      if (opts_.marker_executor != nullptr) {
+        opts_.marker_executor->on_tick(ctx.now());
+        ctx.set_timer(opts_.marker_executor->tick_interval_us(),
+                      timer_id(kShardTickTimer, 0));
+      }
+      break;
+    }
   }
+  pump_marker_executor(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -320,7 +348,9 @@ void PbftReplica::on_timer(uint64_t id, sim::ActorContext& ctx) {
 void PbftReplica::handle_client_request(NodeId from, const ClientRequestMsg& m,
                                         sim::ActorContext& ctx) {
   const Request& req = m.request;
-  if (req.client == kReconfigClient) return;  // reserved marker id: forged
+  // Reserved marker ids: reconfiguration blocks and shard 2PC decisions are
+  // built internally, never accepted from the wire as client requests.
+  if (req.client == kReconfigClient || req.client == kShardTxClient) return;
   // Request signature verification runs on a worker lane when available;
   // admission continues serially in the completion.
   ctx.offload(ctx.costs().rsa_verify_us,
@@ -373,8 +403,50 @@ void PbftReplica::handle_reconfig_block(const ReconfigBlockMsg& m,
   try_propose(ctx, /*flush_partial=*/true);
 }
 
+void PbftReplica::pump_marker_executor(sim::ActorContext& ctx) {
+  runtime::IMarkerExecutor* ex = opts_.marker_executor;
+  if (ex == nullptr) return;
+  // Relay whatever the executor queued while handling ordered markers or
+  // cross-group messages (votes, decision broadcasts, client results).
+  for (auto& [node, msg] : ex->take_outbound()) ctx.send(node, std::move(msg));
+  // Decision markers the executor wants ordered go through the primary's
+  // pending queue like reconfiguration blocks; on a backup they are dropped
+  // here and re-staged by the executor's tick (possibly under a new primary).
+  if (retired_ || !is_primary() || in_view_change_) {
+    ex->take_marker_requests();
+    return;
+  }
+  bool queued = false;
+  for (Request& req : ex->take_marker_requests()) {
+    auto key = std::make_pair(req.client, req.timestamp);
+    if (pending_keys_.insert(key).second) {
+      pending_.push_back(std::move(req));
+      queued = true;
+    }
+  }
+  if (queued) try_propose(ctx, /*flush_partial=*/true);
+}
+
+uint32_t PbftReplica::adaptive_batch_size() const {
+  if (!opts_.config.adaptive_batching) return opts_.config.max_batch;
+  // Same controller as SBFT (§VIII): EWMA of outstanding demand (queued +
+  // proposed-but-unexecuted requests). Unlike SBFT, blocks absorb the whole
+  // estimate: PBFT pays O(n^2) messages per block, so fuller-but-fewer
+  // blocks beat pipelining two half-size ones.
+  uint64_t size = static_cast<uint64_t>(avg_pending_) + 1;
+  return static_cast<uint32_t>(
+      std::clamp<uint64_t>(size, 1, opts_.config.max_batch));
+}
+
 void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
   if (!is_primary() || in_view_change_ || retired_) return;
+  uint64_t in_flight_reqs = 0;
+  for (auto it = slots_.upper_bound(le());
+       it != slots_.end() && it->first < next_seq_; ++it) {
+    if (it->second.block) in_flight_reqs += it->second.block->requests.size();
+  }
+  avg_pending_ = 0.8 * avg_pending_ +
+                 0.2 * static_cast<double>(pending_.size() + in_flight_reqs);
   const uint64_t window = std::max<uint64_t>(1, opts_.config.win / 4);
   while (!pending_.empty()) {
     const Request& head = pending_.front();
@@ -388,10 +460,12 @@ void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
     // Reconfiguration wedge: slots beyond a pending activation boundary wait
     // for the new epoch (docs/reconfiguration.md).
     if (SeqNum gate = reconfig_gate(); gate > 0 && next_seq_ > gate) return;
-    // Batching: wait for a full block unless the batch timer flushes.
-    if (pending_.size() < opts_.config.max_batch && !flush_partial) return;
+    // Batching: the adaptive `batch` value is the *minimum* operations per
+    // block (§VIII); partial blocks only leave on the batch timer.
+    const uint32_t want = adaptive_batch_size();
+    if (pending_.size() < want && !flush_partial) return;
     Block block;
-    while (!pending_.empty() && block.requests.size() < opts_.config.max_batch) {
+    while (!pending_.empty() && block.requests.size() < want) {
       Request r = std::move(pending_.front());
       pending_.pop_front();
       pending_keys_.erase({r.client, r.timestamp});
@@ -510,6 +584,10 @@ void PbftReplica::check_prepared(SeqNum s, sim::ActorContext& ctx) {
   if (sl.prepared || !sl.has_pp) return;
   if (sl.prepares.size() < epoch_for_seq(s).slow_quorum()) return;  // 2f+1
   sl.prepared = true;
+  // Runtime evidence layer (shared with SBFT): a PBFT view change re-ships
+  // the prepared certificate's block, so the record carries it.
+  runtime_.evidence().record_prepared(s, sl.pp_view, sl.h, /*sig=*/{},
+                                      sl.block);
   trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kPrepareFormed,
                  (sl.pp_view << 32) | s, s, sl.pp_view, "prepares",
                  sl.prepares.size());
@@ -685,6 +763,7 @@ void PbftReplica::handle_checkpoint_verified(const PbftCheckpointMsg& m,
     maybe_refresh_epoch(ctx);
   }
   slots_.erase(slots_.begin(), slots_.lower_bound(ls() + 1));
+  runtime_.evidence().gc_through(ls());
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.lower_bound(ls()));
 }
@@ -920,6 +999,7 @@ void PbftReplica::handle_state_transfer_reply(const StateTransferReplyMsg& m,
   // checkpoint in the WAL.
   if (!runtime_.adopt_checkpoint(m.cert, as_span(m.service_snapshot), ctx)) return;
   slots_.erase(slots_.begin(), slots_.upper_bound(m.seq));
+  runtime_.evidence().gc_through(m.seq);
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.lower_bound(m.seq));
   progress_marker_ = le();
@@ -1084,6 +1164,7 @@ void PbftReplica::complete_chunked_transfer(sim::ActorContext& ctx) {
                st_session_, cert.seq);
   }
   slots_.erase(slots_.begin(), slots_.upper_bound(cert.seq));
+  runtime_.evidence().gc_through(cert.seq);
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.lower_bound(cert.seq));
   progress_marker_ = le();
@@ -1118,15 +1199,17 @@ void PbftReplica::start_view_change(ViewNum target, sim::ActorContext& ctx) {
   msg.sender = opts_.id;
   msg.next_view = target;
   msg.ls = ls();
-  for (const auto& [s, sl] : slots_) {
-    if (!sl.prepared || !sl.block) continue;
-    PbftPreparedCert cert;
-    cert.seq = s;
-    cert.view = sl.pp_view;
-    cert.h = sl.h;
-    cert.block = *sl.block;
-    msg.prepared.push_back(std::move(cert));
-  }
+  runtime_.evidence().for_each_in(
+      ls(), ls() + opts_.config.win,
+      [&msg](SeqNum s, const runtime::SlotEvidenceRecord& ev) {
+        if (!ev.has_prepared || !ev.prepared_block) return;
+        PbftPreparedCert cert;
+        cert.seq = s;
+        cert.view = ev.prepared_view;
+        cert.h = ev.prepared_digest;
+        cert.block = *ev.prepared_block;
+        msg.prepared.push_back(std::move(cert));
+      });
   vc_msgs_[target][opts_.id] = msg;
   ctx.charge(ctx.costs().rsa_sign_us);
   broadcast(ctx, make_message(PbftViewChangeMsg(msg)));

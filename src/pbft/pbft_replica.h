@@ -87,6 +87,10 @@ struct PbftOptions {
   // binds the shared no-op instance; a null registry gets a private one.
   std::shared_ptr<obs::Tracer> tracer;
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  // Cross-shard marker executor (docs/sharding.md). Not owned — the harness
+  // keeps it alive across replica incarnations, like the ledger. Null for
+  // single-group deployments.
+  runtime::IMarkerExecutor* marker_executor = nullptr;
 };
 
 /// Protocol counters over the shared runtime counters (execution, WAL,
@@ -203,8 +207,17 @@ class PbftReplica final : public sim::IActor {
 
   bool is_primary() const { return epoch().primary_of(view_) == opts_.id; }
   void try_propose(sim::ActorContext& ctx, bool flush_partial = false);
+  /// §VIII adaptive batch parameter, mirroring SBFT's controller: sizes the
+  /// minimum block off an EWMA of the pending backlog (small blocks when
+  /// idle for latency, full blocks under load for amortized fixed costs).
+  /// Returns the static config.max_batch when adaptive_batching is off.
+  uint32_t adaptive_batch_size() const;
   /// Continuation of handle_client_request once the request signature has
   /// been verified (possibly on a worker lane).
+  /// Drains the marker executor after every message/timer: relays its queued
+  /// sends and (primary only) enqueues staged 2PC decision markers for
+  /// ordering (docs/sharding.md). No-op without an executor.
+  void pump_marker_executor(sim::ActorContext& ctx);
   void admit_client_request(NodeId from, const Request& req,
                             sim::ActorContext& ctx);
   void accept_pre_prepare(SeqNum s, ViewNum v, Block block, sim::ActorContext& ctx);
@@ -265,6 +278,7 @@ class PbftReplica final : public sim::IActor {
   std::map<SeqNum, Slot> slots_;
   std::deque<Request> pending_;
   std::set<std::pair<ClientId, uint64_t>> pending_keys_;
+  double avg_pending_ = 0;  // EWMA demand estimate for adaptive batching
 
   // Checkpoint votes: seq -> digest -> voter -> signature (CheckpointSigShare
   // material; sigs verified on arrival when checkpoint_auth is set). The

@@ -50,6 +50,11 @@ struct ProtocolConfig {
   // travel. false falls back to full-chunked manifests everywhere (kept for
   // the delta-vs-full comparison in bench_recovery_bench).
   bool state_transfer_delta_enabled = true;
+  // Delta bases retained per donor: a rejoining fetcher whose retained
+  // checkpoint is more than this many checkpoints behind the donor's newest
+  // falls back to a full-chunked manifest. Retention costs 32 B per chunk per
+  // base (hashes only), so deep histories are cheap for mid-size states.
+  uint32_t state_transfer_delta_history = 16;
   // Donor-side chunk-rate limit: at most this many chunks served per donor
   // tick, so a donor serving fetchers under heavy client load bounds its
   // state-transfer burst instead of starving ordering. 0 = unlimited. The

@@ -95,6 +95,8 @@ enum class Tag : uint8_t {
   kStateManifest, kStateChunkRequest, kStateChunk,
   // Group reconfiguration (appended).
   kReconfigBlock,
+  // Cross-shard transactions (appended).
+  kTxVote, kTxDecision, kTxResult,
 };
 
 void put(Writer& w, const Request& r) {
@@ -225,6 +227,78 @@ ReconfigDelta get_reconfig_delta(Reader& r) {
   for (uint32_t i = 0; i < removes && r.ok(); ++i) d.removes.push_back(r.u32());
   d.new_f = r.u32();
   d.new_c = r.u32();
+  return d;
+}
+
+void put(Writer& w, const ShardTx& tx) {
+  w.u64(tx.txid);
+  w.u32(tx.coordinator);
+  w.u32(static_cast<uint32_t>(tx.shards.size()));
+  for (const TxShardOps& s : tx.shards) {
+    w.u32(s.group);
+    w.u32(static_cast<uint32_t>(s.ops.size()));
+    for (const Bytes& op : s.ops) w.bytes(as_span(op));
+  }
+}
+
+ShardTx get_shard_tx(Reader& r) {
+  ShardTx tx;
+  tx.txid = r.u64();
+  tx.coordinator = r.u32();
+  uint32_t shards = r.u32();
+  if (shards > 10'000) return tx;
+  for (uint32_t i = 0; i < shards && r.ok(); ++i) {
+    TxShardOps s;
+    s.group = r.u32();
+    uint32_t ops = r.u32();
+    if (ops > 1'000'000) return tx;
+    for (uint32_t j = 0; j < ops && r.ok(); ++j) s.ops.push_back(r.bytes());
+    tx.shards.push_back(std::move(s));
+  }
+  return tx;
+}
+
+void put(Writer& w, const TxGroupCert& c) {
+  w.u32(c.group);
+  w.boolean(c.commit);
+  w.u32(static_cast<uint32_t>(c.votes.size()));
+  for (const TxVote& v : c.votes) {
+    w.u32(v.replica);
+    w.boolean(v.commit);
+    w.bytes(as_span(v.sig));
+  }
+}
+
+TxGroupCert get_tx_group_cert(Reader& r) {
+  TxGroupCert c;
+  c.group = r.u32();
+  c.commit = r.boolean();
+  uint32_t n = r.u32();
+  if (n > 100'000) return c;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    TxVote v;
+    v.replica = r.u32();
+    v.commit = r.boolean();
+    v.sig = r.bytes();
+    c.votes.push_back(std::move(v));
+  }
+  return c;
+}
+
+void put(Writer& w, const TxDecision& d) {
+  w.u64(d.txid);
+  w.boolean(d.commit);
+  w.u32(static_cast<uint32_t>(d.certs.size()));
+  for (const TxGroupCert& c : d.certs) put(w, c);
+}
+
+TxDecision get_tx_decision(Reader& r) {
+  TxDecision d;
+  d.txid = r.u64();
+  d.commit = r.boolean();
+  uint32_t n = r.u32();
+  if (n > 10'000) return d;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) d.certs.push_back(get_tx_group_cert(r));
   return d;
 }
 
@@ -477,6 +551,28 @@ struct Encoder {
     w.u8(static_cast<uint8_t>(Tag::kReconfigBlock));
     put(w, m.delta);
     w.u64(m.nonce);
+  }
+  void operator()(const TxVoteMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kTxVote));
+    w.u64(m.txid);
+    w.u32(m.group);
+    w.u32(m.replica);
+    w.boolean(m.commit);
+    w.bytes(as_span(m.sig));
+  }
+  void operator()(const TxDecisionMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kTxDecision));
+    w.u64(m.txid);
+    w.boolean(m.commit);
+    w.u32(static_cast<uint32_t>(m.certs.size()));
+    for (const TxGroupCert& c : m.certs) put(w, c);
+  }
+  void operator()(const TxResultMsg& m) {
+    w.u8(static_cast<uint8_t>(Tag::kTxResult));
+    w.u64(m.txid);
+    w.u32(m.group);
+    w.u32(m.replica);
+    w.boolean(m.committed);
   }
 };
 
@@ -750,6 +846,36 @@ std::optional<Message> decode_message(ByteSpan data) {
       out = m;
       break;
     }
+    case Tag::kTxVote: {
+      TxVoteMsg m;
+      m.txid = r.u64();
+      m.group = r.u32();
+      m.replica = r.u32();
+      m.commit = r.boolean();
+      m.sig = r.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kTxDecision: {
+      TxDecisionMsg m;
+      m.txid = r.u64();
+      m.commit = r.boolean();
+      uint32_t n = r.u32();
+      if (n > 10'000) return std::nullopt;
+      for (uint32_t i = 0; i < n && r.ok(); ++i)
+        m.certs.push_back(get_tx_group_cert(r));
+      out = m;
+      break;
+    }
+    case Tag::kTxResult: {
+      TxResultMsg m;
+      m.txid = r.u64();
+      m.group = r.u32();
+      m.replica = r.u32();
+      m.committed = r.boolean();
+      out = m;
+      break;
+    }
     default:
       return std::nullopt;
   }
@@ -787,6 +913,9 @@ const char* message_type_name(const Message& msg) {
     const char* operator()(const PbftViewChangeMsg&) { return "pbft-view-change"; }
     const char* operator()(const PbftNewViewMsg&) { return "pbft-new-view"; }
     const char* operator()(const ReconfigBlockMsg&) { return "reconfig-block"; }
+    const char* operator()(const TxVoteMsg&) { return "tx-vote"; }
+    const char* operator()(const TxDecisionMsg&) { return "tx-decision"; }
+    const char* operator()(const TxResultMsg&) { return "tx-result"; }
   };
   return std::visit(Namer{}, msg);
 }
@@ -831,6 +960,72 @@ std::optional<ReconfigDelta> decode_reconfig_request(const Request& req) {
   }
   return decode_reconfig_delta(
       as_span(req.op).subspan(sizeof(kReconfigOpMagic)));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard transaction marker requests (docs/sharding.md)
+
+namespace {
+constexpr char kTxPrepareMagic[8] = {'S', 'B', 'F', 'T', 'T', 'X', 'P', 'R'};
+constexpr char kTxDecisionMagic[8] = {'S', 'B', 'F', 'T', 'T', 'X', 'D', 'C'};
+
+bool has_magic(const Bytes& op, const char (&magic)[8]) {
+  return op.size() >= sizeof(magic) &&
+         std::memcmp(op.data(), magic, sizeof(magic)) == 0;
+}
+}  // namespace
+
+Bytes encode_shard_tx(const ShardTx& tx) {
+  Writer w;
+  put(w, tx);
+  return std::move(w).take();
+}
+
+std::optional<ShardTx> decode_shard_tx(ByteSpan data) {
+  Reader r(data);
+  ShardTx tx = get_shard_tx(r);
+  if (!r.at_end()) return std::nullopt;
+  return tx;
+}
+
+Request make_tx_prepare_request(const ShardTx& tx, ClientId client,
+                                uint64_t timestamp) {
+  Request req;
+  req.client = client;
+  req.timestamp = timestamp;
+  Writer w;
+  w.raw(ByteSpan{reinterpret_cast<const uint8_t*>(kTxPrepareMagic),
+                 sizeof(kTxPrepareMagic)});
+  put(w, tx);
+  req.op = std::move(w).take();
+  return req;
+}
+
+std::optional<ShardTx> decode_tx_prepare_request(const Request& req) {
+  if (!has_magic(req.op, kTxPrepareMagic)) return std::nullopt;
+  return decode_shard_tx(as_span(req.op).subspan(sizeof(kTxPrepareMagic)));
+}
+
+Request make_tx_decision_request(const TxDecision& decision) {
+  Request req;
+  req.client = kShardTxClient;
+  req.timestamp = decision.txid;  // txids are unique, not monotone: the
+                                  // execution path bypasses the reply cache
+  Writer w;
+  w.raw(ByteSpan{reinterpret_cast<const uint8_t*>(kTxDecisionMagic),
+                 sizeof(kTxDecisionMagic)});
+  put(w, decision);
+  req.op = std::move(w).take();
+  return req;
+}
+
+std::optional<TxDecision> decode_tx_decision_request(const Request& req) {
+  if (req.client != kShardTxClient) return std::nullopt;
+  if (!has_magic(req.op, kTxDecisionMagic)) return std::nullopt;
+  Reader r(as_span(req.op).subspan(sizeof(kTxDecisionMagic)));
+  TxDecision d = get_tx_decision(r);
+  if (!r.at_end()) return std::nullopt;
+  return d;
 }
 
 }  // namespace sbft

@@ -232,6 +232,106 @@ Request make_reconfig_request(const ReconfigDelta& delta, uint64_t nonce);
 std::optional<ReconfigDelta> decode_reconfig_request(const Request& req);
 
 // ---------------------------------------------------------------------------
+// Cross-shard transactions (docs/sharding.md)
+//
+// A deployment partitions the keyspace across independent BFT groups; a
+// multi-key transaction touching several groups commits through BFT 2PC:
+// every participant group orders a Prepare (locking/validating its keys) and
+// votes to the coordinator group, the coordinator orders the Commit/Abort
+// decision once it holds a certified vote from every participant, and each
+// participant orders the decision to apply or release.
+
+/// One participant group's slice of a cross-shard transaction: the service
+/// operations that group applies if the transaction commits.
+struct TxShardOps {
+  uint32_t group = 0;
+  std::vector<Bytes> ops;
+};
+
+/// Full transaction body. Every Prepare carries the whole transaction, so
+/// each participant (the coordinator group included) can validate the
+/// participant set and later apply its own slice without a fetch round.
+struct ShardTx {
+  uint64_t txid = 0;       // unique (client node id in the high bits)
+  uint32_t coordinator = 0;  // lowest participant group id
+  std::vector<TxShardOps> shards;  // ascending group order
+};
+
+Bytes encode_shard_tx(const ShardTx& tx);
+std::optional<ShardTx> decode_shard_tx(ByteSpan data);
+
+/// Client id 1 is reserved for cross-shard decision marker requests (id 0 is
+/// kReconfigClient); replica and client node ids in any deployment start past
+/// the reserved range, so no real client can carry it.
+constexpr ClientId kShardTxClient = 1;
+
+/// Builds the Prepare request a ShardClient sends to one participant group: a
+/// normal client request (the sender's own id and per-group monotone
+/// timestamp, so the reply cache dedups retries), whose op wraps the
+/// transaction under a reserved magic. The marker executor claims it at
+/// execution instead of the service.
+Request make_tx_prepare_request(const ShardTx& tx, ClientId client,
+                                uint64_t timestamp);
+/// Decodes a Prepare marker op; nullopt for normal client requests.
+std::optional<ShardTx> decode_tx_prepare_request(const Request& req);
+
+/// One replica's vote over (txid, group, commit), authenticated by the
+/// deployment's TxAuth HMAC (src/shard/tx_manager.h).
+struct TxVote {
+  ReplicaId replica = 0;
+  bool commit = false;
+  Bytes sig;
+};
+
+/// f+1 matching votes from one participant group — a certified group vote.
+struct TxGroupCert {
+  uint32_t group = 0;
+  bool commit = false;
+  std::vector<TxVote> votes;
+};
+
+/// Decision payload ordered as a marker request (client kShardTxClient) in
+/// the coordinator and every participant group. Self-certifying: validation
+/// happens deterministically at execution, so a Byzantine primary ordering a
+/// forged decision is neutralized by every replica rejecting it alike.
+struct TxDecision {
+  uint64_t txid = 0;
+  bool commit = false;  // commit needs f+1 commit votes from EVERY group
+  std::vector<TxGroupCert> certs;
+};
+
+Request make_tx_decision_request(const TxDecision& decision);
+std::optional<TxDecision> decode_tx_decision_request(const Request& req);
+
+/// Participant replica -> coordinator group replicas: this group's vote,
+/// emitted when its Prepare executes.
+struct TxVoteMsg {
+  uint64_t txid = 0;
+  uint32_t group = 0;
+  ReplicaId replica = 0;
+  bool commit = false;
+  Bytes sig;  // TxAuth HMAC over (txid, group, replica, commit)
+};
+
+/// Coordinator replica -> participant group replicas: the ordered decision
+/// plus the vote certificates that justify it.
+struct TxDecisionMsg {
+  uint64_t txid = 0;
+  bool commit = false;
+  std::vector<TxGroupCert> certs;
+};
+
+/// Participant replica -> client: this group applied (commit) or released
+/// (abort) the transaction. The client completes a transaction on f+1
+/// matching results from every participant group.
+struct TxResultMsg {
+  uint64_t txid = 0;
+  uint32_t group = 0;
+  ReplicaId replica = 0;
+  bool committed = false;
+};
+
+// ---------------------------------------------------------------------------
 // State transfer (§VIII; follows the PBFT code base's mechanism)
 
 /// Fetch of a decision-block payload by digest. Used after a view change when
@@ -398,7 +498,8 @@ using Message = std::variant<
     NewViewMsg, GetBlockRequestMsg, GetBlockReplyMsg, StateTransferRequestMsg,
     StateTransferReplyMsg, StateManifestMsg, StateChunkRequestMsg, StateChunkMsg,
     PbftPrepareMsg, PbftCommitMsg, PbftCheckpointMsg,
-    PbftViewChangeMsg, PbftNewViewMsg, ReconfigBlockMsg>;
+    PbftViewChangeMsg, PbftNewViewMsg, ReconfigBlockMsg,
+    TxVoteMsg, TxDecisionMsg, TxResultMsg>;
 
 using MessagePtr = std::shared_ptr<const Message>;
 

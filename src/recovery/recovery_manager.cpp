@@ -29,6 +29,11 @@ std::optional<RecoveredState> RecoveryManager::recover(
     if (!(out.service->state_digest() == wal_state.checkpoint.state_root))
       return std::nullopt;  // snapshot does not match the certified root
     out.reply_cache = std::move(decoded->replies);
+    if (marker_executor_ != nullptr) {
+      // Marker-executor (cross-shard lock/tx) state as of the checkpoint;
+      // replay advances it alongside the service and reply cache.
+      marker_executor_->restore(as_span(decoded->marker));
+    }
     out.last_stable = wal_state.last_stable;
     out.checkpoint = wal_state.checkpoint;
     out.snapshot = wal_state.snapshot;
@@ -39,6 +44,9 @@ std::optional<RecoveredState> RecoveryManager::recover(
     out.membership.activate_up_to(out.last_stable);
   } else {
     out.exec_digests[0] = genesis_exec_digest();
+    // No checkpoint: the executor starts from scratch (its pre-crash state
+    // was in volatile memory; replay below rebuilds it from the ledger).
+    if (marker_executor_ != nullptr) marker_executor_->restore({});
   }
   out.last_executed = out.last_stable;
 
@@ -68,12 +76,27 @@ std::optional<RecoveredState> RecoveryManager::recover(
         value = to_bytes(staged ? "RECONF" : "RECONF-REJECTED");
       } else if (req.client == kReconfigClient) {
         value = to_bytes("RECONF-REJECTED");
+      } else if (req.client == kShardTxClient) {
+        // Cross-shard decision marker: routed to the marker executor, which
+        // dedups by txid (the reply cache never sees this reserved client).
+        // Branch order mirrors ReplicaRuntime::execute_block exactly — the
+        // values feed the re-derived leaves and exec digests.
+        if (marker_executor_ != nullptr && marker_executor_->claims(req)) {
+          value = marker_executor_->execute_marker(req, s, *out.service);
+        } else {
+          value = to_bytes("TX-REJECTED");
+        }
       } else if (const runtime::CachedReply* cached =
                      out.reply_cache.find(req.client);
                  cached != nullptr && req.timestamp <= cached->timestamp) {
         // Duplicate of a request already executed — within the suffix or, via
         // the restored cache, before the checkpoint. Must not execute twice.
         value = cached->value;
+      } else if (marker_executor_ != nullptr && marker_executor_->claims(req)) {
+        // Transaction Prepare from a real client: executed by the marker
+        // executor, cached like any client request.
+        value = marker_executor_->execute_marker(req, s, *out.service);
+        out.reply_cache.store(req.client, req.timestamp, s, l, value);
       } else {
         value = out.service->execute(as_span(req.op));
         out.reply_cache.store(req.client, req.timestamp, s, l, value);
@@ -93,9 +116,11 @@ std::optional<RecoveredState> RecoveryManager::recover(
     out.replayed.push_back(std::move(rb));
     if (checkpoint_interval_ > 0 && s % checkpoint_interval_ == 0) {
       out.snapshot_seq = s;
+      Bytes marker =
+          marker_executor_ != nullptr ? marker_executor_->snapshot() : Bytes{};
       out.snapshot_at = runtime::encode_checkpoint_snapshot(
           as_span(out.service->snapshot()), out.reply_cache, snapshot_align_,
-          as_span(out.membership.encode()));
+          as_span(out.membership.encode()), as_span(marker));
     }
   }
 

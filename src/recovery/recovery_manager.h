@@ -31,6 +31,7 @@
 
 #include "kv/service.h"
 #include "recovery/wal.h"
+#include "runtime/marker_executor.h"
 #include "runtime/membership.h"
 #include "runtime/reply_cache.h"
 #include "storage/ledger_storage.h"
@@ -84,13 +85,19 @@ class RecoveryManager {
   /// must be byte-identical to the ones live execution would have produced
   /// (the delta path compares them across replicas), so replay encodes them
   /// with the same chunk hint and alignment.
+  /// `marker_executor` mirrors live execution's marker routing during replay
+  /// (cross-shard Prepare/decision requests never touch the service): its
+  /// state is restored from the checkpoint envelope's marker section and
+  /// advanced through the replayed suffix, exactly like membership.
   RecoveryManager(std::shared_ptr<storage::ILedgerStorage> ledger,
                   std::shared_ptr<IReplicaWal> wal, uint64_t checkpoint_interval = 0,
-                  uint32_t snapshot_align = 0)
+                  uint32_t snapshot_align = 0,
+                  runtime::IMarkerExecutor* marker_executor = nullptr)
       : ledger_(std::move(ledger)),
         wal_(std::move(wal)),
         checkpoint_interval_(checkpoint_interval),
-        snapshot_align_(snapshot_align) {}
+        snapshot_align_(snapshot_align),
+        marker_executor_(marker_executor) {}
 
   /// Rebuilds state from the attached storage. Returns nullopt when there is
   /// nothing to recover (fresh storage) or the snapshot fails verification.
@@ -102,6 +109,7 @@ class RecoveryManager {
   std::shared_ptr<IReplicaWal> wal_;
   uint64_t checkpoint_interval_ = 0;
   uint32_t snapshot_align_ = 0;
+  runtime::IMarkerExecutor* marker_executor_ = nullptr;
 };
 
 }  // namespace sbft::recovery

@@ -17,7 +17,8 @@ ReplicaRuntime::ReplicaRuntime(RuntimeOptions options,
       state_transfer_(opts_.state_transfer_chunk_size,
                       opts_.state_transfer_max_chunks_per_request,
                       opts_.state_transfer_donor_chunks_per_tick,
-                      opts_.state_transfer_delta_enabled) {
+                      opts_.state_transfer_delta_enabled,
+                      opts_.state_transfer_delta_history) {
   // Every service instance this runtime ever executes on carries the same
   // chunk hint, so snapshot bytes are identical across replicas (the delta
   // path compares them chunk-for-chunk).
@@ -46,7 +47,8 @@ std::optional<RecoveredProtocolState> ReplicaRuntime::recover() {
   if (!opts_.ledger && !opts_.wal) return std::nullopt;
   recovery::RecoveryManager manager(opts_.ledger, opts_.wal,
                                     opts_.checkpoint_interval,
-                                    opts_.state_transfer_chunk_size);
+                                    opts_.state_transfer_chunk_size,
+                                    opts_.marker_executor);
   auto recovered = manager.recover([this] { return service_->clone_empty(); });
   if (!recovered) return std::nullopt;  // fresh storage, or snapshot corrupt
 
@@ -119,10 +121,32 @@ ExecutionRecord& ReplicaRuntime::execute_block(SeqNum s, ViewNum pp_view,
       // no-op (defense in depth; engines already refuse client-0 requests
       // from the network).
       value = to_bytes("RECONF-REJECTED");
+    } else if (req.client == kShardTxClient) {
+      // Cross-shard decision marker: txids are unique but not monotone, so
+      // the reply cache never sees this client — the executor dedups by txid
+      // (docs/sharding.md). Without an executor the reserved id is a
+      // deterministic no-op, mirroring the kReconfigClient defense.
+      if (opts_.marker_executor != nullptr &&
+          opts_.marker_executor->claims(req)) {
+        value = opts_.marker_executor->execute_marker(req, s, *service_);
+        ctx.charge(opts_.marker_executor->last_execute_cost_us(ctx.costs()));
+        ++stats_.requests_executed;
+      } else {
+        value = to_bytes("TX-REJECTED");
+      }
     } else if (const CachedReply* cached = replies_.find(req.client);
                cached != nullptr && req.timestamp <= cached->timestamp) {
       value = cached->value;  // duplicate: executed exactly once
       ++stats_.reply_cache_hits;
+    } else if (opts_.marker_executor != nullptr &&
+               opts_.marker_executor->claims(req)) {
+      // Transaction Prepare from a real client: executed by the marker
+      // executor (lock/validate, never the service), but cached like any
+      // client request so retries are served without re-locking.
+      value = opts_.marker_executor->execute_marker(req, s, *service_);
+      ctx.charge(opts_.marker_executor->last_execute_cost_us(ctx.costs()));
+      replies_.store(req.client, req.timestamp, s, l, value);
+      ++stats_.requests_executed;
     } else {
       value = service_->execute(as_span(req.op));
       ctx.charge(service_->last_execute_cost_us(ctx.costs()));
@@ -260,6 +284,12 @@ bool ReplicaRuntime::adopt_checkpoint(const ExecCertificate& cert,
   if (membership_.configured() && membership_.active().epoch != epoch_before) {
     note_membership_change(was_member, ctx.now());
   }
+  // The marker section replaces the executor's lock/transaction state with
+  // the donors' view at this checkpoint, so later markers execute against the
+  // same state on every replica of the group (docs/sharding.md).
+  if (opts_.marker_executor != nullptr) {
+    opts_.marker_executor->restore(as_span(decoded->marker));
+  }
   exec_digests_[cert.seq] = cert.exec_digest();
   checkpoints_.adopt(cert, to_bytes(snapshot_envelope_bytes));
   trace_.instant(ctx.now(), obs::Category::kCheckpoint,
@@ -301,11 +331,14 @@ void ReplicaRuntime::wal_record_checkpoint() {
 Bytes ReplicaRuntime::snapshot_envelope() const {
   // Align the envelope to the transfer chunk grid so the service serializer's
   // page-aligned sections land exactly on chunk boundaries (delta transfer
-  // compares the two grids chunk-for-chunk). The membership section rides at
-  // the mutable tail next to the reply cache.
+  // compares the two grids chunk-for-chunk). The membership and marker
+  // sections ride at the mutable tail next to the reply cache.
+  Bytes marker;
+  if (opts_.marker_executor != nullptr) marker = opts_.marker_executor->snapshot();
   return encode_checkpoint_snapshot(as_span(service_->snapshot()), replies_,
                                     opts_.state_transfer_chunk_size,
-                                    as_span(membership_.encode()));
+                                    as_span(membership_.encode()),
+                                    as_span(marker));
 }
 
 }  // namespace sbft::runtime

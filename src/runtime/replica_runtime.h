@@ -32,6 +32,8 @@
 #include "proto/message.h"
 #include "recovery/wal.h"
 #include "runtime/checkpoint_manager.h"
+#include "runtime/evidence_store.h"
+#include "runtime/marker_executor.h"
 #include "runtime/membership.h"
 #include "runtime/reply_cache.h"
 #include "runtime/state_transfer.h"
@@ -52,6 +54,12 @@ struct RuntimeOptions {
   // ProtocolConfig::state_transfer_delta_enabled / _donor_chunks_per_tick).
   bool state_transfer_delta_enabled = true;
   uint32_t state_transfer_donor_chunks_per_tick = 0;
+  // Delta bases retained per donor (ProtocolConfig::state_transfer_delta_history).
+  uint32_t state_transfer_delta_history = 16;
+  // Marker-request executor (src/shard 2PC; docs/sharding.md). Not owned —
+  // the harness keeps it alive across replica incarnations, like the ledger.
+  // Null routes every non-reconfig request to the service, as before.
+  IMarkerExecutor* marker_executor = nullptr;
   // Group reconfiguration (docs/reconfiguration.md): the bootstrap roster
   // this replica starts from (the genesis epoch, or — for a joining replica —
   // the epoch the operator handed it; state transfer moves it forward from
@@ -199,6 +207,14 @@ class ReplicaRuntime {
   bool adopt_checkpoint(const ExecCertificate& cert, ByteSpan snapshot_envelope,
                         sim::ActorContext& ctx);
 
+  // --- view-change evidence --------------------------------------------------
+  /// Certificates and full proofs the owning replica must carry into a view
+  /// change (docs/architecture.md): engines record them as they form and
+  /// read them when building view-change messages; checkpoint advance is the
+  /// engines' cue to gc_through the new stable seq.
+  EvidenceStore& evidence() { return evidence_; }
+  const EvidenceStore& evidence() const { return evidence_; }
+
   // --- state transfer --------------------------------------------------------
   /// Chunked state-transfer state machine (fetcher + donor roles); the
   /// ordering engines drive it and send what it hands back — the runtime
@@ -243,6 +259,7 @@ class ReplicaRuntime {
   std::unique_ptr<IService> service_;
   ReplyCache replies_;
   CheckpointManager checkpoints_;
+  EvidenceStore evidence_;
   StateTransferManager state_transfer_;
   MembershipManager membership_;
   bool epoch_changed_ = false;

@@ -3,25 +3,30 @@
 // A checkpoint snapshot as shipped in WAL records and state-transfer replies
 // is more than the service state: the per-client reply cache rides along so a
 // recovered replica suppresses duplicates of pre-checkpoint requests instead
-// of re-executing them, and (version 3) the membership section so recovering
+// of re-executing them, (version 3) the membership section so recovering
 // and joining replicas learn the roster from the snapshot itself
-// (docs/reconfiguration.md). The envelope frames all parts. Version 3
-// (current) is *chunk-aligned* so the delta state-transfer path can diff
-// consecutive checkpoints chunk-for-chunk (docs/state_transfer.md):
+// (docs/reconfiguration.md), and (version 4) the marker-executor section so
+// cross-shard lock/transaction state survives state transfer exactly like
+// the reply cache does (docs/sharding.md). The envelope frames all parts.
+// Version 4 (current) is *chunk-aligned* so the delta state-transfer path can
+// diff consecutive checkpoints chunk-for-chunk (docs/state_transfer.md):
 //
-//   [8-byte magic "SBFTSNAP"][u16 version=3][u32 align]
-//   [u64 service_len][u64 replies_len][u64 membership_len][zero pad to align]
+//   [8-byte magic "SBFTSNAP"][u16 version=4][u32 align]
+//   [u64 service_len][u64 replies_len][u64 membership_len][u64 marker_len]
+//   [zero pad to align]
 //   [service_state, zero-padded to a multiple of align]
-//   [replies][membership]
+//   [replies][membership][marker]
 //
 // `align` equals the cluster's state-transfer chunk size (1 when chunking is
 // off), so the service serializer's page-aligned sections land exactly on
 // chunk boundaries of the envelope: an unmutated section occupies
 // byte-identical chunks across consecutive checkpoints. The mutable
-// reply-cache and membership sections ride at the tail where they can only
-// dirty the last chunks. Version 2 (same layout, no membership) and version 1
-// ([bytes service_state][bytes replies], unaligned) are still decoded
-// (snapshots persisted in older WALs).
+// reply-cache, membership, and marker sections ride at the tail where they
+// can only dirty the last chunks. Version 3 (no marker section), version 2
+// (no membership), and version 1 ([bytes service_state][bytes replies],
+// unaligned) are still decoded (snapshots persisted in older WALs); an empty
+// marker section encodes as version 3 so deployments without a shard layer
+// produce byte-identical envelopes to the previous release.
 //
 // The service part is the component verified against the certificate's
 // state_root; the reply cache and membership section are covered by the local
@@ -41,13 +46,16 @@ struct CheckpointSnapshot {
   Bytes service_state;
   ReplyCache replies;
   Bytes membership;  // MembershipManager section; empty on pre-v3 envelopes
+  Bytes marker;      // IMarkerExecutor section; empty on pre-v4 envelopes
 };
 
 /// `align` is the chunk-stability unit (pass the state-transfer chunk size);
 /// <= 1 emits an unpadded envelope. `membership` is the encoded
-/// MembershipManager section (empty when membership is unconfigured).
+/// MembershipManager section (empty when membership is unconfigured);
+/// `marker` the IMarkerExecutor section (empty without a shard layer).
 Bytes encode_checkpoint_snapshot(ByteSpan service_state, const ReplyCache& replies,
-                                 uint32_t align = 1, ByteSpan membership = {});
+                                 uint32_t align = 1, ByteSpan membership = {},
+                                 ByteSpan marker = {});
 /// Inputs without the envelope magic decode as a bare service snapshot (a
 /// malformed service part is caught downstream, by IService::restore and the
 /// state-root check). An input that *carries* the magic but is malformed —

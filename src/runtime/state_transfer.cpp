@@ -433,7 +433,7 @@ const ChunkedSnapshot* StateTransferManager::donor_snapshot(
       rec.leaves = donor_chunks_->leaf_hashes();
       rec.chunk_size = donor_chunks_->chunk_size();
       donor_history_[donor_seq_] = std::move(rec);
-      while (donor_history_.size() > kDonorHistory) {
+      while (donor_history_.size() > delta_history_) {
         donor_history_.erase(donor_history_.begin());
       }
     }

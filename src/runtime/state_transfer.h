@@ -98,11 +98,20 @@ class StateTransferManager {
   explicit StateTransferManager(uint32_t chunk_size,
                                 uint32_t max_chunks_per_request = 16,
                                 uint32_t donor_chunks_per_tick = 0,
-                                bool delta_enabled = true)
+                                bool delta_enabled = true,
+                                size_t delta_history = kDefaultDonorHistory)
       : chunk_size_(chunk_size),
         max_chunks_per_request_(max_chunks_per_request ? max_chunks_per_request : 1),
         donor_chunks_per_tick_(donor_chunks_per_tick),
-        delta_enabled_(delta_enabled) {}
+        delta_enabled_(delta_enabled),
+        delta_history_(delta_history ? delta_history : 1) {}
+
+  /// Delta bases retained per donor (ProtocolConfig::state_transfer_delta_history).
+  size_t delta_history() const { return delta_history_; }
+
+  /// Default delta-base retention: a fetcher whose base is older than this
+  /// many checkpoints behind a donor falls back to a full-chunked manifest.
+  static constexpr size_t kDefaultDonorHistory = 16;
 
   /// Chunking enabled? (false => the legacy monolithic reply is used).
   bool chunked() const { return chunk_size_ > 0; }
@@ -278,9 +287,6 @@ class StateTransferManager {
   static constexpr uint64_t kMaxTotalBytes = 1ull << 31;
   static constexpr uint32_t kMaxChunks = 1u << 20;
   static constexpr uint32_t kStrikeLimit = 2;
-  // Delta bases retained per donor (chunk *hashes* only — 32 B per chunk, the
-  // envelope bytes are never duplicated).
-  static constexpr size_t kDonorHistory = 16;
   // Bound on chunk indices queued by the donor rate limiter; overflow falls
   // back to the fetcher's retry instead of growing donor memory.
   static constexpr size_t kMaxDeferredChunks = 4096;
@@ -289,6 +295,9 @@ class StateTransferManager {
   uint32_t max_chunks_per_request_;
   uint32_t donor_chunks_per_tick_;
   bool delta_enabled_;
+  // Delta bases retained per donor (chunk *hashes* only — 32 B per chunk, the
+  // envelope bytes are never duplicated).
+  size_t delta_history_;
 
   // Fetcher state.
   bool active_ = false;

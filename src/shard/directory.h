@@ -1,0 +1,38 @@
+// Deployment directory: which network nodes host each group's replicas.
+//
+// Built once by shard::Deployment as it constructs its groups and shared
+// read-only afterwards (executors and clients resolve vote/decision/result
+// targets through it at runtime). Replica ids are group-local (1..n); node
+// ids are global across the deployment's shared network.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "proto/types.h"
+
+namespace sbft::shard {
+
+class Directory {
+ public:
+  /// Registers the next group's replica nodes, in replica-id order
+  /// (replica r of the group sits at nodes[r - 1]).
+  void add_group(std::vector<NodeId> nodes) { groups_.push_back(std::move(nodes)); }
+
+  uint32_t num_groups() const { return static_cast<uint32_t>(groups_.size()); }
+
+  const std::vector<NodeId>& replica_nodes(uint32_t group) const {
+    SBFT_CHECK(group < groups_.size());
+    return groups_[group];
+  }
+
+  /// Group size (replica count) — bounds-checks replica ids in votes.
+  uint32_t group_size(uint32_t group) const {
+    return static_cast<uint32_t>(replica_nodes(group).size());
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> groups_;
+};
+
+}  // namespace sbft::shard

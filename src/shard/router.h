@@ -1,0 +1,35 @@
+// Deterministic key -> group router (docs/sharding.md).
+//
+// A deployment hash-partitions the keyspace across its BFT groups: every
+// client, replica, and audit computes the same owner for a key from nothing
+// but the key bytes and the group count, so routing needs no directory
+// lookups and no coordination. FNV-1a keeps the hash cheap (routing runs on
+// the client's critical path for every request) and stable across platforms.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace sbft::shard {
+
+class Router {
+ public:
+  explicit Router(uint32_t num_groups) : num_groups_(num_groups ? num_groups : 1) {}
+
+  uint32_t num_groups() const { return num_groups_; }
+
+  /// Owning group of `key`, in [0, num_groups).
+  uint32_t group_of(ByteSpan key) const {
+    // FNV-1a 64-bit.
+    uint64_t h = 14695981039346656037ull;
+    for (uint8_t b : key) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    return static_cast<uint32_t>(h % num_groups_);
+  }
+
+ private:
+  uint32_t num_groups_;
+};
+
+}  // namespace sbft::shard

@@ -1,0 +1,113 @@
+// Deployment-level client: multiplexes per-group sessions over the router.
+//
+// A ShardClient runs the closed-loop workload of a sharded deployment
+// (docs/sharding.md). Each request is routed by key:
+//
+//   single-shard (the common case) — the request goes to exactly the owning
+//   group and completes through that group's ordinary client protocol: SBFT
+//   single execute-ack verified against the group's execution certificate,
+//   or the f+1 matching-replies fallback. No 2PC, no cross-group traffic —
+//   which is what makes aggregate throughput scale with the group count.
+//
+//   cross-shard — keys map to several groups: the client builds a ShardTx,
+//   sends the same Prepare to every participant group (each orders it
+//   independently), and completes once f+1 replicas of EVERY participant
+//   group report the same TxResultMsg outcome. Replies to retransmitted
+//   prepares that already carry the decision ("TX-COMMITTED"/"TX-ABORTED")
+//   count toward the same tally, covering lost result messages.
+//
+// ClientId == NodeId globally across the deployment, exactly like in-group
+// clients: reply caches and execution leaves key on the client id.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "shard/router.h"
+
+namespace sbft::shard {
+
+/// What the client must know about one group to talk to it.
+struct ShardGroupView {
+  ProtocolConfig config;
+  core::ReplicaCrypto crypto;  // verifier-only view of the group's keys
+  std::vector<NodeId> replica_nodes;  // replica-id order
+};
+
+struct ShardClientOptions {
+  ClientId id = 0;  // must equal the client's simulator node id
+  uint64_t num_requests = 1000;
+  std::shared_ptr<const Router> router;
+  std::vector<ShardGroupView> groups;  // index == group id
+  /// Every Nth request (1-based) is a two-key cross-shard transfer;
+  /// 0 disables cross-shard traffic entirely.
+  uint32_t cross_shard_every = 0;
+  /// Distinct keys the workload draws from (smaller => more lock conflicts).
+  uint32_t keyspace = 100'000;
+  size_t signature_size = 256;
+  int64_t retry_timeout_us = 4'000'000;
+};
+
+struct ShardClientRecord {
+  sim::SimTime completed_at = 0;
+  int64_t latency_us = 0;
+  bool cross_shard = false;
+  bool committed = true;  // false only for aborted cross-shard transactions
+};
+
+class ShardClient final : public sim::IActor {
+ public:
+  explicit ShardClient(ShardClientOptions options);
+
+  void on_start(sim::ActorContext& ctx) override;
+  void on_message(NodeId from, const Message& msg, sim::ActorContext& ctx) override;
+  void on_timer(uint64_t id, sim::ActorContext& ctx) override;
+
+  uint64_t completed() const { return records_.size(); }
+  uint64_t retries() const { return retries_; }
+  uint64_t cross_shard_commits() const { return cross_commits_; }
+  uint64_t cross_shard_aborts() const { return cross_aborts_; }
+  const std::vector<ShardClientRecord>& records() const { return records_; }
+  bool done() const {
+    return opts_.num_requests != 0 && completed() >= opts_.num_requests;
+  }
+
+ private:
+  void send_next(sim::ActorContext& ctx);
+  void send_current(bool broadcast, sim::ActorContext& ctx);
+  void complete(bool committed, sim::ActorContext& ctx);
+  /// Group whose replica block contains `node`; nullopt for foreign nodes.
+  std::optional<uint32_t> group_of_node(NodeId node) const;
+  /// Records one cross-shard outcome report and completes when every
+  /// participant group reached its f+1 threshold.
+  void tally_tx_result(uint32_t group, ReplicaId replica, bool committed,
+                       sim::ActorContext& ctx);
+
+  ShardClientOptions opts_;
+  std::vector<size_t> hints_;  // per-group believed-primary index
+  uint64_t timestamp_ = 0;
+  bool outstanding_ = false;
+  sim::SimTime sent_at_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t timer_gen_ = 0;
+
+  // Current request (kept for retransmission).
+  bool cross_shard_ = false;
+  uint32_t target_group_ = 0;          // single-shard: owning group
+  Bytes current_op_;                   // single-shard: encoded KV op
+  ShardTx current_tx_;                 // cross-shard: the full transaction
+  std::vector<uint32_t> tx_groups_;    // cross-shard: participant groups
+
+  // Single-shard f+1 fallback tally: replica -> value digest.
+  std::map<ReplicaId, Digest> reply_tally_;
+  // Cross-shard tally: group -> replica -> reported outcome.
+  std::map<uint32_t, std::map<ReplicaId, bool>> tx_tally_;
+
+  uint64_t cross_commits_ = 0;
+  uint64_t cross_aborts_ = 0;
+  std::vector<ShardClientRecord> records_;
+};
+
+}  // namespace sbft::shard

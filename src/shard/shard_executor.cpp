@@ -1,0 +1,270 @@
+#include "shard/shard_executor.h"
+
+#include <algorithm>
+
+namespace sbft::shard {
+
+ShardExecutor::ShardExecutor(ShardExecutorOptions options)
+    : opts_(std::move(options)) {
+  SBFT_CHECK(opts_.directory != nullptr && opts_.auth != nullptr);
+  SBFT_CHECK(opts_.replica >= 1);
+}
+
+bool ShardExecutor::claims(const Request& req) const {
+  if (req.client == kShardTxClient) {
+    return decode_tx_decision_request(req).has_value();
+  }
+  return decode_tx_prepare_request(req).has_value();
+}
+
+Bytes ShardExecutor::execute_marker(const Request& req, SeqNum /*s*/,
+                                    IService& service) {
+  last_applied_ops_ = 0;
+  if (req.client == kShardTxClient) {
+    auto d = decode_tx_decision_request(req);
+    if (!d) return to_bytes("TX-REJECTED");
+    const bool replay = tm_.decided(d->txid).has_value();
+    if (!replay && !validate_decision(*d)) return to_bytes("TX-REJECTED");
+    // Capture the prepared record before decide() consumes it: the decision
+    // broadcast needs the participant set and the result needs the client.
+    const PreparedTx* p = tm_.prepared(d->txid);
+    const ClientId client = p != nullptr ? p->client : 0;
+    const ShardTx tx = p != nullptr ? p->tx : ShardTx{};
+    Bytes value = tm_.decide(*d, opts_.group, service);
+    last_applied_ops_ = tm_.last_applied_ops();
+    if (replay || value == to_bytes("TX-REJECTED")) return value;
+
+    d->commit ? ++commits_ : ++aborts_;
+    pending_decisions_.erase(d->txid);
+    votes_.erase(d->txid);
+    decided_log_[d->txid] = *d;
+    if (p != nullptr && tx.coordinator == opts_.group) {
+      // Coordinator replicas relay the ordered decision to the other
+      // participant groups, which order the same self-certifying marker.
+      auto msg = make_message(TxDecisionMsg{d->txid, d->commit, d->certs});
+      for (const TxShardOps& s : tx.shards) {
+        if (s.group == opts_.group) continue;
+        for (NodeId node : opts_.directory->replica_nodes(s.group)) {
+          outbound_.emplace_back(node, msg);
+        }
+      }
+    }
+    if (p != nullptr) {
+      outbound_.emplace_back(
+          client, make_message(
+                      TxResultMsg{d->txid, opts_.group, opts_.replica, d->commit}));
+    }
+    return value;
+  }
+
+  auto tx = decode_tx_prepare_request(req);
+  if (!tx) return to_bytes("TX-REJECTED");
+  const auto decided_before = tm_.decided(tx->txid);
+  Bytes value = tm_.prepare(*tx, req.client, opts_.group);
+  if (decided_before.has_value()) {
+    // The decision outran this group's prepare; the client may still be
+    // waiting on this group's result.
+    outbound_.emplace_back(
+        req.client, make_message(TxResultMsg{tx->txid, opts_.group, opts_.replica,
+                                             *decided_before}));
+    return value;
+  }
+  if (const PreparedTx* p = tm_.prepared(tx->txid); p != nullptr) {
+    send_vote(*p);
+  }
+  return value;
+}
+
+int64_t ShardExecutor::last_execute_cost_us(const sim::CostModel& costs) const {
+  // Lock/validate bookkeeping plus the applied service operations.
+  return costs.hash_us(64) +
+         static_cast<int64_t>(last_applied_ops_) * costs.kv_op_us;
+}
+
+Bytes ShardExecutor::snapshot() const { return tm_.snapshot(); }
+
+bool ShardExecutor::restore(ByteSpan data) {
+  // The deterministic half comes from the envelope; the volatile half is
+  // per-replica in-flight state that retries rebuild.
+  votes_.clear();
+  pending_decisions_.clear();
+  decided_log_.clear();
+  outbound_.clear();
+  marker_requests_.clear();
+  last_applied_ops_ = 0;
+  return tm_.restore(data);
+}
+
+void ShardExecutor::send_vote(const PreparedTx& p) {
+  const uint64_t txid = p.tx.txid;
+  TxVoteMsg v;
+  v.txid = txid;
+  v.group = opts_.group;
+  v.replica = opts_.replica;
+  v.commit = p.vote_commit;
+  v.sig = opts_.auth->sign(txid, opts_.group, opts_.replica, p.vote_commit);
+  const NodeId self =
+      opts_.directory->replica_nodes(opts_.group)[opts_.replica - 1];
+  auto msg = make_message(v);
+  for (NodeId node : opts_.directory->replica_nodes(p.tx.coordinator)) {
+    if (node == self) {
+      // Own vote tallies locally (we are a coordinator-group replica).
+      votes_[txid][v.group].emplace(v.replica, TxVote{v.replica, v.commit, v.sig});
+    } else {
+      outbound_.emplace_back(node, msg);
+    }
+  }
+  if (p.tx.coordinator == opts_.group) maybe_build_decision(txid, p.tx);
+}
+
+void ShardExecutor::maybe_build_decision(uint64_t txid, const ShardTx& tx) {
+  if (tm_.decided(txid).has_value() || pending_decisions_.count(txid) != 0) return;
+  auto vit = votes_.find(txid);
+  if (vit == votes_.end()) return;
+  const uint32_t quorum = opts_.f + 1;
+
+  auto cert_of = [&](uint32_t group, bool commit) -> std::optional<TxGroupCert> {
+    auto git = vit->second.find(group);
+    if (git == vit->second.end()) return std::nullopt;
+    TxGroupCert cert;
+    cert.group = group;
+    cert.commit = commit;
+    for (const auto& [replica, vote] : git->second) {
+      if (vote.commit != commit) continue;
+      cert.votes.push_back(vote);
+      if (cert.votes.size() >= quorum) return cert;
+    }
+    return std::nullopt;
+  };
+
+  // Any group's f+1 abort votes aborts the transaction outright.
+  for (const TxShardOps& s : tx.shards) {
+    if (auto cert = cert_of(s.group, false)) {
+      stage_decision(TxDecision{txid, false, {std::move(*cert)}});
+      return;
+    }
+  }
+  // Commit needs a certified commit vote from EVERY participant group.
+  TxDecision d;
+  d.txid = txid;
+  d.commit = true;
+  for (const TxShardOps& s : tx.shards) {
+    auto cert = cert_of(s.group, true);
+    if (!cert) return;  // some group still short of quorum
+    d.certs.push_back(std::move(*cert));
+  }
+  stage_decision(std::move(d));
+}
+
+bool ShardExecutor::validate_decision(const TxDecision& d) const {
+  const uint32_t quorum = opts_.f + 1;
+  auto cert_valid = [&](const TxGroupCert& cert) {
+    if (cert.group >= opts_.directory->num_groups()) return false;
+    const uint32_t size = opts_.directory->group_size(cert.group);
+    std::vector<ReplicaId> seen;
+    uint32_t good = 0;
+    for (const TxVote& v : cert.votes) {
+      if (v.commit != cert.commit) continue;
+      if (v.replica == 0 || v.replica > size) continue;
+      if (std::find(seen.begin(), seen.end(), v.replica) != seen.end()) continue;
+      if (!opts_.auth->verify(d.txid, cert.group, v.replica, v.commit,
+                              as_span(v.sig))) {
+        continue;
+      }
+      seen.push_back(v.replica);
+      ++good;
+    }
+    return good >= quorum;
+  };
+
+  if (!d.commit) {
+    // One certified abort vote set from any participant group suffices.
+    return std::any_of(d.certs.begin(), d.certs.end(), [&](const TxGroupCert& c) {
+      return !c.commit && cert_valid(c);
+    });
+  }
+  // Commit: a certified commit vote from every participant group. The
+  // participant set comes from the locally prepared transaction — which must
+  // exist, since a valid commit carries this group's own votes and those are
+  // only emitted after the local prepare ordered (see tx_manager.h).
+  const PreparedTx* p = tm_.prepared(d.txid);
+  if (p == nullptr) return false;
+  for (const TxShardOps& s : p->tx.shards) {
+    bool covered = std::any_of(d.certs.begin(), d.certs.end(),
+                               [&](const TxGroupCert& c) {
+                                 return c.group == s.group && c.commit &&
+                                        cert_valid(c);
+                               });
+    if (!covered) return false;
+  }
+  return true;
+}
+
+void ShardExecutor::stage_decision(TxDecision d) {
+  marker_requests_.push_back(make_tx_decision_request(d));
+  pending_decisions_.emplace(d.txid, std::move(d));
+}
+
+void ShardExecutor::on_network(NodeId from, const Message& msg,
+                               sim::SimTime /*now*/) {
+  if (const auto* v = std::get_if<TxVoteMsg>(&msg)) {
+    if (auto it = decided_log_.find(v->txid); it != decided_log_.end()) {
+      // Late vote for a decided transaction: the sender's group is still
+      // waiting for the decision — re-answer with it.
+      outbound_.emplace_back(from, make_message(TxDecisionMsg{
+                                       v->txid, it->second.commit,
+                                       it->second.certs}));
+      return;
+    }
+    if (tm_.decided(v->txid).has_value()) return;
+    if (v->group >= opts_.directory->num_groups()) return;
+    if (v->replica == 0 || v->replica > opts_.directory->group_size(v->group)) return;
+    // The simulated network authenticates channels: the sender's node must
+    // match the claimed (group, replica) identity.
+    if (opts_.directory->replica_nodes(v->group)[v->replica - 1] != from) return;
+    if (!opts_.auth->verify(v->txid, v->group, v->replica, v->commit,
+                            as_span(v->sig))) {
+      return;
+    }
+    votes_[v->txid][v->group].emplace(v->replica,
+                                      TxVote{v->replica, v->commit, v->sig});
+    if (const PreparedTx* p = tm_.prepared(v->txid);
+        p != nullptr && p->tx.coordinator == opts_.group) {
+      maybe_build_decision(v->txid, p->tx);
+    }
+    return;
+  }
+  if (const auto* dm = std::get_if<TxDecisionMsg>(&msg)) {
+    if (tm_.decided(dm->txid).has_value()) return;
+    if (pending_decisions_.count(dm->txid) != 0) return;
+    TxDecision d{dm->txid, dm->commit, dm->certs};
+    // Cheap pre-filter; the binding check happens deterministically when the
+    // ordered marker executes. A replica that has not yet executed its own
+    // prepare rejects here and recovers via the vote-retry round trip.
+    if (!validate_decision(d)) return;
+    stage_decision(std::move(d));
+    return;
+  }
+}
+
+void ShardExecutor::on_tick(sim::SimTime /*now*/) {
+  // Re-send votes for transactions stuck in prepared: covers lost votes and
+  // coordinator-side restarts (the coordinator answers decided transactions
+  // from its decision log).
+  for (const auto& [txid, p] : tm_.prepared_txs()) send_vote(p);
+  // Re-queue staged decisions: covers a primary crash that dropped the
+  // marker queue before ordering (the new primary re-surfaces them here).
+  for (const auto& [txid, d] : pending_decisions_) {
+    marker_requests_.push_back(make_tx_decision_request(d));
+  }
+}
+
+std::vector<std::pair<NodeId, MessagePtr>> ShardExecutor::take_outbound() {
+  return std::exchange(outbound_, {});
+}
+
+std::vector<Request> ShardExecutor::take_marker_requests() {
+  return std::exchange(marker_requests_, {});
+}
+
+}  // namespace sbft::shard

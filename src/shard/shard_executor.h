@@ -1,0 +1,109 @@
+// Per-replica shard layer: marker execution + cross-group 2PC traffic.
+//
+// One ShardExecutor backs each replica of a sharded deployment, implementing
+// runtime::IMarkerExecutor (docs/sharding.md). It splits cleanly in two:
+//
+//   Deterministic half (snapshotted): the TxManager — lock table and
+//   prepared/decided registers — mutated only by ordered Prepare and
+//   decision markers, identical across the group's replicas.
+//
+//   Volatile half (per-replica, rebuilt by retries after crash or state
+//   transfer): coordinator vote tallies, decisions awaiting own-group
+//   ordering, queued sends. This mirrors how an ordering engine's in-flight
+//   message state is volatile while its ledger is durable.
+//
+// Message flow for a transaction (coordinator = lowest participant group):
+//   1. every participant group orders the client's Prepare; each replica
+//      executing it sends a TxAuth-signed TxVoteMsg to ALL replicas of the
+//      coordinator group,
+//   2. a coordinator replica holding f+1 matching votes from EVERY group
+//      builds the commit TxDecision (or the abort one, from any group's f+1
+//      abort votes) and asks its engine to order it as a marker request,
+//   3. executing the ordered decision, coordinator replicas broadcast
+//      TxDecisionMsg to the other participant groups' replicas, which order
+//      the same self-certifying marker in their own groups,
+//   4. every replica executing a decision sends TxResultMsg to the client,
+//      which completes on f+1 matching results from every participant group.
+//
+// A forged or replayed decision is neutralized at execution: certificates
+// are validated deterministically by every replica before TxManager applies
+// anything, so a Byzantine primary can at worst order a marker that the
+// whole group rejects alike.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "runtime/marker_executor.h"
+#include "shard/directory.h"
+#include "shard/tx_auth.h"
+#include "shard/tx_manager.h"
+
+namespace sbft::shard {
+
+struct ShardExecutorOptions {
+  uint32_t group = 0;
+  ReplicaId replica = 0;
+  uint32_t f = 1;  // per-group fault bound (uniform across the deployment)
+  std::shared_ptr<const Directory> directory;
+  std::shared_ptr<const TxAuth> auth;
+  /// Retry cadence: undecided prepared transactions re-send their vote, and
+  /// pending decisions re-enter the marker queue (covers primary crashes
+  /// that dropped the queue). 0 disables the tick.
+  int64_t tick_interval_us = 100'000;
+};
+
+class ShardExecutor final : public runtime::IMarkerExecutor {
+ public:
+  explicit ShardExecutor(ShardExecutorOptions options);
+
+  // --- execution half (ordered requests; deterministic) ----------------------
+  bool claims(const Request& req) const override;
+  Bytes execute_marker(const Request& req, SeqNum s, IService& service) override;
+  int64_t last_execute_cost_us(const sim::CostModel& costs) const override;
+  Bytes snapshot() const override;
+  bool restore(ByteSpan data) override;
+
+  // --- network half (volatile; per-replica) ----------------------------------
+  void on_network(NodeId from, const Message& msg, sim::SimTime now) override;
+  void on_tick(sim::SimTime now) override;
+  int64_t tick_interval_us() const override { return opts_.tick_interval_us; }
+  std::vector<std::pair<NodeId, MessagePtr>> take_outbound() override;
+  std::vector<Request> take_marker_requests() override;
+
+  const TxManager& tx_manager() const { return tm_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  /// Queues this replica's signed vote to every coordinator-group replica.
+  void send_vote(const PreparedTx& p);
+  /// Coordinator role: if `txid` now has a decisive vote set (f+1 commit
+  /// from every participant, or f+1 abort from one), stage its decision for
+  /// own-group ordering.
+  void maybe_build_decision(uint64_t txid, const ShardTx& tx);
+  /// Deterministic certificate check every replica applies before deciding.
+  bool validate_decision(const TxDecision& d) const;
+  void stage_decision(TxDecision d);
+
+  ShardExecutorOptions opts_;
+  TxManager tm_;
+
+  // Volatile state below — deliberately excluded from snapshot()/restore().
+  // Coordinator vote tallies: txid -> group -> replica -> vote.
+  std::map<uint64_t, std::map<uint32_t, std::map<ReplicaId, TxVote>>> votes_;
+  // Decisions staged for own-group ordering, kept until executed (the tick
+  // re-queues them if a primary crash dropped the marker queue).
+  std::map<uint64_t, TxDecision> pending_decisions_;
+  // Executed decisions kept for late-vote re-answers (coordinator role).
+  std::map<uint64_t, TxDecision> decided_log_;
+  std::vector<std::pair<NodeId, MessagePtr>> outbound_;
+  std::vector<Request> marker_requests_;
+  uint64_t last_applied_ops_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+};
+
+}  // namespace sbft::shard

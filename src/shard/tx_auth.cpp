@@ -1,0 +1,44 @@
+#include "shard/tx_auth.h"
+
+#include "common/serde.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace sbft::shard {
+
+namespace {
+Digest vote_mac(const Bytes& secret, uint64_t txid, uint32_t group,
+                ReplicaId replica, bool commit) {
+  // Per-replica derived key, so one replica's authenticator never verifies
+  // under another's identity (same construction as pbft::CheckpointAuth).
+  Writer key;
+  key.raw(as_span(secret));
+  key.u32(group);
+  key.u32(replica);
+  Digest replica_key = crypto::sha256(as_span(key.data()));
+  Writer msg;
+  msg.str("shard.txvote");
+  msg.u64(txid);
+  msg.u32(group);
+  msg.u32(replica);
+  msg.boolean(commit);
+  return crypto::hmac_sha256(as_span(replica_key), as_span(msg.data()));
+}
+}  // namespace
+
+Bytes TxAuth::sign(uint64_t txid, uint32_t group, ReplicaId replica,
+                   bool commit) const {
+  Digest mac = vote_mac(secret_, txid, group, replica, commit);
+  return Bytes(mac.begin(), mac.end());
+}
+
+bool TxAuth::verify(uint64_t txid, uint32_t group, ReplicaId replica, bool commit,
+                    ByteSpan sig) const {
+  Digest mac = vote_mac(secret_, txid, group, replica, commit);
+  if (sig.size() != mac.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < mac.size(); ++i) diff |= static_cast<uint8_t>(sig[i] ^ mac[i]);
+  return diff == 0;
+}
+
+}  // namespace sbft::shard

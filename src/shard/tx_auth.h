@@ -1,0 +1,34 @@
+// Cross-shard vote authentication (docs/sharding.md).
+//
+// A TxVote certifies that a specific replica of a specific group voted to
+// commit or abort a transaction. Votes cross group boundaries (participant
+// replicas send them to the coordinator group) and later ride inside ordered
+// TxDecision markers, so they need an authenticator every replica of the
+// deployment can verify deterministically at execution time. Modeled on the
+// PBFT checkpoint authority (pbft::CheckpointAuth): a deployment-wide shared
+// secret with a per-replica derived key, standing in for the per-replica
+// signatures a real deployment would use. Fault model caveat: a Byzantine
+// replica knowing the shared secret could forge other replicas' votes; the
+// simulated deployment uses Byzantine *schedules*, not vote forgery, so the
+// HMAC stands in for signatures exactly the way CheckpointAuth does.
+#pragma once
+
+#include "common/bytes.h"
+#include "proto/types.h"
+
+namespace sbft::shard {
+
+class TxAuth {
+ public:
+  explicit TxAuth(Bytes secret) : secret_(std::move(secret)) {}
+
+  /// HMAC over (txid, group, replica, commit) under the replica-derived key.
+  Bytes sign(uint64_t txid, uint32_t group, ReplicaId replica, bool commit) const;
+  bool verify(uint64_t txid, uint32_t group, ReplicaId replica, bool commit,
+              ByteSpan sig) const;
+
+ private:
+  Bytes secret_;
+};
+
+}  // namespace sbft::shard

@@ -1,0 +1,158 @@
+#include "shard/tx_manager.h"
+
+#include "common/serde.h"
+#include "kv/kv_service.h"
+
+namespace sbft::shard {
+
+namespace {
+const TxShardOps* slice_of(const ShardTx& tx, uint32_t group) {
+  for (const TxShardOps& s : tx.shards) {
+    if (s.group == group) return &s;
+  }
+  return nullptr;
+}
+
+Bytes decision_value(bool committed) {
+  return to_bytes(committed ? "TX-COMMITTED" : "TX-ABORTED");
+}
+}  // namespace
+
+Bytes TxManager::prepare(const ShardTx& tx, ClientId client, uint32_t group) {
+  last_applied_ops_ = 0;
+  if (auto it = decided_.find(tx.txid); it != decided_.end()) {
+    // The decision raced ahead of this group's prepare (a conflict elsewhere
+    // aborted the transaction before we ordered it). Serve the outcome; the
+    // keys were never locked here, so there is nothing to take or release.
+    return decision_value(it->second);
+  }
+  if (auto it = prepared_.find(tx.txid); it != prepared_.end()) {
+    return to_bytes(it->second.vote_commit ? "TX-PREPARED" : "TX-CONFLICT");
+  }
+  const TxShardOps* slice = slice_of(tx, group);
+  if (slice == nullptr || slice->ops.empty()) return to_bytes("TX-REJECTED");
+
+  PreparedTx p;
+  p.tx = tx;
+  p.client = client;
+  p.vote_commit = true;
+  std::vector<Bytes> keys;
+  for (const Bytes& op : slice->ops) {
+    auto decoded = kv::decode_op(as_span(op));
+    if (!decoded || decoded->type == kv::OpType::kBatch) {
+      p.vote_commit = false;  // unlockable op — vote abort
+      break;
+    }
+    auto it = locks_.find(decoded->key);
+    if (it != locks_.end() && it->second != tx.txid) {
+      p.vote_commit = false;  // key held by another in-flight transaction
+      break;
+    }
+    keys.push_back(decoded->key);
+  }
+  if (p.vote_commit) {
+    for (const Bytes& key : keys) locks_[key] = tx.txid;
+  }
+  Bytes value = to_bytes(p.vote_commit ? "TX-PREPARED" : "TX-CONFLICT");
+  prepared_.emplace(tx.txid, std::move(p));
+  return value;
+}
+
+Bytes TxManager::decide(const TxDecision& decision, uint32_t group,
+                        IService& service) {
+  last_applied_ops_ = 0;
+  if (auto it = decided_.find(decision.txid); it != decided_.end()) {
+    return decision_value(it->second);  // replayed marker: idempotent
+  }
+  auto pit = prepared_.find(decision.txid);
+  if (decision.commit && pit == prepared_.end()) {
+    return to_bytes("TX-REJECTED");  // see header: unreachable with valid certs
+  }
+  if (pit != prepared_.end()) {
+    const PreparedTx& p = pit->second;
+    if (decision.commit) {
+      const TxShardOps* slice = slice_of(p.tx, group);
+      for (const Bytes& op : slice->ops) {
+        service.execute(as_span(op));
+        ++last_applied_ops_;
+      }
+    }
+    // Release exactly the locks this transaction holds (a conflicting
+    // prepare never took any).
+    for (auto it = locks_.begin(); it != locks_.end();) {
+      it = it->second == decision.txid ? locks_.erase(it) : std::next(it);
+    }
+    prepared_.erase(pit);
+  }
+  decided_[decision.txid] = decision.commit;
+  return decision_value(decision.commit);
+}
+
+const PreparedTx* TxManager::prepared(uint64_t txid) const {
+  auto it = prepared_.find(txid);
+  return it == prepared_.end() ? nullptr : &it->second;
+}
+
+std::optional<bool> TxManager::decided(uint64_t txid) const {
+  auto it = decided_.find(txid);
+  if (it == decided_.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes TxManager::snapshot() const {
+  Writer w;
+  w.u32(1);  // version
+  w.u64(locks_.size());
+  for (const auto& [key, txid] : locks_) {
+    w.bytes(as_span(key));
+    w.u64(txid);
+  }
+  w.u64(prepared_.size());
+  for (const auto& [txid, p] : prepared_) {
+    w.u64(txid);
+    w.u32(p.client);
+    w.boolean(p.vote_commit);
+    w.bytes(as_span(encode_shard_tx(p.tx)));
+  }
+  w.u64(decided_.size());
+  for (const auto& [txid, committed] : decided_) {
+    w.u64(txid);
+    w.boolean(committed);
+  }
+  return std::move(w).take();
+}
+
+bool TxManager::restore(ByteSpan data) {
+  locks_.clear();
+  prepared_.clear();
+  decided_.clear();
+  last_applied_ops_ = 0;
+  if (data.empty()) return true;  // pre-shard envelope or fresh boot
+  Reader r(data);
+  if (r.u32() != 1) return false;
+  uint64_t num_locks = r.u64();
+  for (uint64_t i = 0; r.ok() && i < num_locks; ++i) {
+    Bytes key = r.bytes();
+    uint64_t txid = r.u64();
+    locks_.emplace(std::move(key), txid);
+  }
+  uint64_t num_prepared = r.u64();
+  for (uint64_t i = 0; r.ok() && i < num_prepared; ++i) {
+    uint64_t txid = r.u64();
+    PreparedTx p;
+    p.client = r.u32();
+    p.vote_commit = r.boolean();
+    auto tx = decode_shard_tx(as_span(r.bytes()));
+    if (!tx) return false;
+    p.tx = std::move(*tx);
+    prepared_.emplace(txid, std::move(p));
+  }
+  uint64_t num_decided = r.u64();
+  for (uint64_t i = 0; r.ok() && i < num_decided; ++i) {
+    uint64_t txid = r.u64();
+    decided_[txid] = r.boolean();
+  }
+  return r.at_end();
+}
+
+}  // namespace sbft::shard

@@ -1,0 +1,80 @@
+// Deterministic cross-shard transaction state machine (docs/sharding.md).
+//
+// The execution half of a replica's shard layer: a key lock table plus the
+// per-transaction prepared/decided registers, mutated ONLY by ordered
+// requests (Prepare markers and TxDecision markers), so every replica of a
+// group holds identical TxManager state after executing the same block
+// prefix. Nothing here touches the network or the clock — that side lives in
+// ShardExecutor. The whole state serializes into the checkpoint snapshot
+// envelope's marker section, which is how locks survive state transfer,
+// crash recovery, and joiner bootstrap exactly like the reply cache does.
+//
+// Lifecycle of a transaction in one group:
+//   prepare(tx)  — locks this group's keys if all are free (vote commit) or
+//                  leaves them untouched on conflict (vote abort),
+//   decide(d)    — commit: applies this group's operations to the service
+//                  and releases the locks; abort: just releases. Idempotent
+//                  by txid; an abort decision may precede the local prepare
+//                  (another group's conflict aborted the transaction first),
+//                  in which case the late prepare returns the decision
+//                  instead of taking locks.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "kv/service.h"
+#include "proto/message.h"
+
+namespace sbft::shard {
+
+/// A transaction this group prepared and has not yet decided.
+struct PreparedTx {
+  ShardTx tx;
+  ClientId client = 0;  // Prepare sender; TxResultMsgs go to this node
+  bool vote_commit = false;
+};
+
+class TxManager {
+ public:
+  /// Executes an ordered Prepare. Returns the reply value: "TX-PREPARED"
+  /// (all of this group's keys locked), "TX-CONFLICT" (some key held by
+  /// another transaction — vote abort), "TX-ABORTED"/"TX-COMMITTED" (the
+  /// decision already executed; no locks taken), or "TX-REJECTED" (this
+  /// group is not a participant / malformed ops).
+  Bytes prepare(const ShardTx& tx, ClientId client, uint32_t group);
+
+  /// Executes an ordered decision (certificates already validated by the
+  /// caller). Commit applies this group's slice to `service` and releases
+  /// its locks; abort only releases. Returns "TX-COMMITTED"/"TX-ABORTED",
+  /// idempotently for replays, or "TX-REJECTED" for a commit decision with
+  /// no matching prepare (unreachable with valid certificates: a commit
+  /// carries this group's own f+1 votes, which only exist after its prepare
+  /// ordered — kept as a deterministic guard).
+  Bytes decide(const TxDecision& decision, uint32_t group, IService& service);
+
+  const PreparedTx* prepared(uint64_t txid) const;
+  std::optional<bool> decided(uint64_t txid) const;
+  /// Prepared-and-undecided transactions (vote retry iterates these).
+  const std::map<uint64_t, PreparedTx>& prepared_txs() const { return prepared_; }
+  /// Every decision this group executed (the deployment's atomicity audit
+  /// cross-checks these maps across groups).
+  const std::map<uint64_t, bool>& decided_txs() const { return decided_; }
+  size_t locked_keys() const { return locks_.size(); }
+  /// Service operations applied by the most recent decide (cost charging).
+  uint64_t last_applied_ops() const { return last_applied_ops_; }
+
+  /// Checkpoint marker-section serde; must round-trip byte-identically
+  /// (consecutive identical states encode identically — the delta state
+  /// transfer path compares envelopes chunk-for-chunk).
+  Bytes snapshot() const;
+  bool restore(ByteSpan data);
+
+ private:
+  std::map<Bytes, uint64_t> locks_;        // key -> holding txid
+  std::map<uint64_t, PreparedTx> prepared_;  // undecided only
+  std::map<uint64_t, bool> decided_;       // txid -> committed
+  uint64_t last_applied_ops_ = 0;
+};
+
+}  // namespace sbft::shard

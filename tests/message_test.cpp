@@ -312,6 +312,101 @@ TEST(Messages, ReconfigMarkerRequestRoundTrip) {
   EXPECT_FALSE(decode_reconfig_request(forged).has_value());
 }
 
+ShardTx random_shard_tx() {
+  ShardTx tx;
+  tx.txid = rng().next();
+  tx.coordinator = 1;
+  for (uint32_t g : {1u, 3u, 4u}) {
+    TxShardOps slice;
+    slice.group = g;
+    for (uint32_t i = 0; i < 1 + rng().below(3); ++i)
+      slice.ops.push_back(rng().bytes(1 + rng().below(48)));
+    tx.shards.push_back(std::move(slice));
+  }
+  return tx;
+}
+
+TxGroupCert random_group_cert(uint32_t group, bool commit) {
+  TxGroupCert cert;
+  cert.group = group;
+  cert.commit = commit;
+  for (ReplicaId r : {0u, 2u}) cert.votes.push_back({r, commit, rng().bytes(32)});
+  return cert;
+}
+
+TEST(Messages, ShardTxRoundTrip) {
+  ShardTx tx = random_shard_tx();
+  auto back = decode_shard_tx(as_span(encode_shard_tx(tx)));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->txid, tx.txid);
+  EXPECT_EQ(back->coordinator, tx.coordinator);
+  ASSERT_EQ(back->shards.size(), tx.shards.size());
+  for (size_t i = 0; i < tx.shards.size(); ++i) {
+    EXPECT_EQ(back->shards[i].group, tx.shards[i].group);
+    EXPECT_EQ(back->shards[i].ops, tx.shards[i].ops);
+  }
+  EXPECT_FALSE(decode_shard_tx(as_span(rng().bytes(17))).has_value());
+}
+
+TEST(Messages, TxEnvelopeRoundTrips) {
+  expect_roundtrip(Message(TxVoteMsg{rng().next(), 3, 2, true, rng().bytes(32)}));
+  expect_roundtrip(Message(TxResultMsg{rng().next(), 2, 1, false}));
+
+  TxDecisionMsg dm;
+  dm.txid = rng().next();
+  dm.commit = true;
+  dm.certs.push_back(random_group_cert(1, true));
+  dm.certs.push_back(random_group_cert(3, true));
+  expect_roundtrip(Message(dm));
+  auto decoded = decode_message(as_span(encode_message(Message(dm))));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<TxDecisionMsg>(*decoded);
+  EXPECT_EQ(back.txid, dm.txid);
+  EXPECT_TRUE(back.commit);
+  ASSERT_EQ(back.certs.size(), 2u);
+  EXPECT_EQ(back.certs[1].group, 3u);
+  ASSERT_EQ(back.certs[1].votes.size(), 2u);
+  EXPECT_EQ(back.certs[1].votes[1].replica, 2u);
+  EXPECT_EQ(back.certs[1].votes[1].sig, dm.certs[1].votes[1].sig);
+}
+
+TEST(Messages, TxPrepareMarkerRequestRoundTrip) {
+  ShardTx tx = random_shard_tx();
+  Request req = make_tx_prepare_request(tx, /*client=*/42, /*timestamp=*/9);
+  EXPECT_EQ(req.client, 42u);
+  EXPECT_EQ(req.timestamp, 9u);
+  auto back = decode_tx_prepare_request(req);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->txid, tx.txid);
+  ASSERT_EQ(back->shards.size(), tx.shards.size());
+  EXPECT_EQ(back->shards[2].ops, tx.shards[2].ops);
+  // A normal client request never decodes as a Prepare marker.
+  EXPECT_FALSE(decode_tx_prepare_request(random_request()).has_value());
+}
+
+TEST(Messages, TxDecisionMarkerRequestRoundTrip) {
+  TxDecision decision;
+  decision.txid = rng().next();
+  decision.commit = false;
+  decision.certs.push_back(random_group_cert(1, false));
+  Request req = make_tx_decision_request(decision);
+  EXPECT_EQ(req.client, kShardTxClient);
+  auto back = decode_tx_decision_request(req);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->txid, decision.txid);
+  EXPECT_FALSE(back->commit);
+  ASSERT_EQ(back->certs.size(), 1u);
+  EXPECT_EQ(back->certs[0].votes[0].sig, decision.certs[0].votes[0].sig);
+  // The reserved-client markers carry distinct magics: a decision marker is
+  // not a reconfiguration and vice versa.
+  EXPECT_FALSE(decode_reconfig_request(req).has_value());
+  ReconfigDelta delta;
+  delta.adds = {{9, 12}};
+  EXPECT_FALSE(
+      decode_tx_decision_request(make_reconfig_request(delta, 7)).has_value());
+  EXPECT_FALSE(decode_tx_decision_request(random_request()).has_value());
+}
+
 TEST(Messages, TypeNamesDistinct) {
   EXPECT_STREQ(message_type_name(Message(PrePrepareMsg{})), "pre-prepare");
   EXPECT_STREQ(message_type_name(Message(SignShareMsg{})), "sign-share");

@@ -20,6 +20,7 @@
 #include "recovery/recovery_manager.h"
 #include "recovery/wal.h"
 #include "runtime/checkpoint_manager.h"
+#include "runtime/evidence_store.h"
 #include "runtime/reply_cache.h"
 #include "runtime/replica_runtime.h"
 #include "runtime/snapshot.h"
@@ -71,6 +72,52 @@ TEST(ReplyCache, DecodeRejectsMalformed) {
   Bytes encoded = cache.encode();
   encoded.pop_back();  // truncated value
   EXPECT_FALSE(ReplyCache::decode(as_span(encoded)).has_value());
+}
+
+TEST(EvidenceStore, PreparedHighestViewWinsProofsFirstWins) {
+  EvidenceStore store;
+  Digest d1 = crypto::sha256(as_span(to_bytes("one")));
+  Digest d2 = crypto::sha256(as_span(to_bytes("two")));
+
+  // Prepared: a newer view supersedes, an older view is rejected.
+  EXPECT_TRUE(store.record_prepared(5, 2, d1, to_bytes("tau-v2")));
+  EXPECT_FALSE(store.record_prepared(5, 1, d2, to_bytes("tau-v1")));
+  EXPECT_TRUE(store.record_prepared(5, 4, d2, to_bytes("tau-v4")));
+  const SlotEvidenceRecord* rec = store.find(5);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->prepared_view, 4u);
+  EXPECT_TRUE(rec->prepared_digest == d2);
+  EXPECT_EQ(rec->prepared_sig, to_bytes("tau-v4"));
+
+  // Proofs: the first recorded one is final.
+  EXPECT_TRUE(store.record_fast_proof(5, 4, d2, to_bytes("sigma")));
+  EXPECT_FALSE(store.record_fast_proof(5, 9, d1, to_bytes("later")));
+  EXPECT_TRUE(store.record_slow_proof(5, 4, d2, to_bytes("tau"), to_bytes("tt")));
+  EXPECT_FALSE(store.record_slow_proof(5, 9, d1, to_bytes("x"), to_bytes("y")));
+  rec = store.find(5);
+  EXPECT_EQ(rec->fast_view, 4u);
+  EXPECT_EQ(rec->fast_sig, to_bytes("sigma"));
+  EXPECT_EQ(rec->slow_view, 4u);
+  EXPECT_EQ(rec->slow_inner_sig, to_bytes("tau"));
+  EXPECT_EQ(rec->slow_sig, to_bytes("tt"));
+}
+
+TEST(EvidenceStore, RangeIterationAndGc) {
+  EvidenceStore store;
+  Digest d = crypto::sha256(as_span(to_bytes("d")));
+  for (SeqNum s = 1; s <= 10; ++s) store.record_prepared(s, 1, d, {});
+  std::vector<SeqNum> seen;
+  store.for_each_in(3, 7, [&](SeqNum s, const SlotEvidenceRecord&) {
+    seen.push_back(s);
+  });
+  EXPECT_EQ(seen, (std::vector<SeqNum>{4, 5, 6, 7}));
+
+  store.gc_through(8);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.find(8), nullptr);
+  ASSERT_NE(store.find(9), nullptr);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
 }
 
 TEST(CheckpointSnapshot, EnvelopeRoundTrip) {
@@ -1520,6 +1567,16 @@ TEST_P(ChunkedStateTransfer, RepeatedDiskWipeOfSameReplicaRefetchesFull) {
   // wipe must re-fetch the full snapshot — never attempt a delta against a
   // base the wiped disk no longer holds.
   auto opts = base(/*requests=*/0, /*chunk_size=*/2048, /*value_size=*/512);
+  // Pin static batching: the zero-delta assertions below require catch-up to
+  // finish in ONE transfer round. The adaptive controller changes the block
+  // cadence enough for the cluster to seal a checkpoint mid-transfer, which
+  // adds a second round that legitimately deltas against the full snapshot
+  // this incarnation just fetched — not the stale-base bug this test guards.
+  auto inner = opts.tweak_config;
+  opts.tweak_config = [inner](ProtocolConfig& config) {
+    inner(config);
+    config.adaptive_batching = false;
+  };
   Cluster cluster(std::move(opts));
   cluster.run_for(2'500'000);
   ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
@@ -1539,6 +1596,69 @@ TEST_P(ChunkedStateTransfer, RepeatedDiskWipeOfSameReplicaRefetchesFull) {
     cluster.run_for(1'000'000);  // participate before the next wipe
   }
   EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST_P(ChunkedStateTransfer, DeltaHistoryDepthBoundsDelta) {
+  // ROADMAP carry-over "deepen the donor delta history": the per-donor
+  // retention is ProtocolConfig::state_transfer_delta_history (default 16).
+  // A rejoiner whose base fell 17+ checkpoints behind must fall back to a
+  // full-chunked transfer at the default depth, and succeed as a delta when
+  // the deployment configures a deeper history.
+  for (bool deep : {false, true}) {
+    SCOPED_TRACE(deep ? "history=64" : "history=default(16)");
+    auto opts = base(/*requests=*/600, /*chunk_size=*/2048, /*value_size=*/512);
+    // Hot/cold workload: uniform-random puts shift the snapshot layout in
+    // nearly every chunk, leaving nothing for a delta to skip regardless of
+    // history depth. Populate 512 keys once, then churn only the first 32,
+    // so the cold chunks stay byte-identical across the 18-checkpoint gap.
+    opts.op_factory = hot_range_kv_op_factory(/*key_space=*/512, /*hot=*/32,
+                                              /*value_size=*/512,
+                                              /*ops_per_request=*/1);
+    auto inner = opts.tweak_config;
+    opts.tweak_config = [inner, deep](ProtocolConfig& config) {
+      inner(config);
+      if (deep) config.state_transfer_delta_history = 64;
+    };
+    Cluster cluster(std::move(opts));
+    cluster.run_for(2'000'000);
+    ASSERT_GT(cluster.replica(1).last_stable(), 0u) << "no checkpoint formed";
+
+    cluster.crash_replica(3);
+    SeqNum stable_at_crash = cluster.replica(1).last_stable();
+    uint64_t interval = cluster.config().checkpoint_interval();
+    // Let the survivors seal 18 more checkpoints — safely past the default
+    // 16-deep history — then drain ALL client traffic before the restart, so
+    // the rejoin is exactly one transfer round against a frozen stable seq
+    // (a moving target could legitimately add a second, delta round).
+    for (int i = 0; i < 2000; ++i) {
+      if (cluster.replica(1).last_stable() >= stable_at_crash + 18 * interval)
+        break;
+      cluster.run_for(50'000);
+    }
+    ASSERT_GE(cluster.replica(1).last_stable(), stable_at_crash + 18 * interval)
+        << "workload too small to outrun the delta history";
+    ASSERT_TRUE(cluster.run_until_done(600'000'000)) << "clients stalled";
+
+    cluster.restart_replica(3);  // disk intact: recovers, probes with a base
+    for (int i = 0; i < 400; ++i) {
+      if (cluster.replica(3).last_stable() > stable_at_crash) break;
+      cluster.run_for(50'000);
+    }
+    const runtime::RuntimeStats& st = stats_of(cluster, 3);
+    EXPECT_GT(cluster.replica(3).last_stable(), stable_at_crash)
+        << "rejoiner never caught up";
+    EXPECT_EQ(st.recoveries, 1u);
+    EXPECT_GT(st.state_transfer_chunks_fetched, 0u);
+    if (deep) {
+      EXPECT_GT(st.delta_chunks_skipped, 0u)
+          << "deep history should have served a delta";
+    } else {
+      EXPECT_EQ(st.delta_chunks_skipped, 0u)
+          << "base beyond the history depth must fall back to full-chunked";
+    }
+    EXPECT_EQ(st.state_transfer_invalid_chunks, 0u);
+    EXPECT_TRUE(cluster.check_agreement());
+  }
 }
 
 TEST_P(ChunkedStateTransfer, ThrottledDonorsStillCompleteWipedRejoin) {

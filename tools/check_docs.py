@@ -20,6 +20,10 @@
 6. Every public class declared in src/fuzz/*.h appears by name in
    docs/fuzzing.md or docs/architecture.md — the schedule fuzzer is the
    repo's randomized safety net, so its surface must stay documented.
+7. Every public class declared in src/shard/*.h appears by name in
+   docs/sharding.md or docs/architecture.md — the multi-group deployment
+   and its BFT 2PC are a protocol surface of their own, so it must stay
+   documented.
 
 Exits non-zero with a summary of every violation.
 """
@@ -152,10 +156,28 @@ def check_fuzz_classes():
     return errors
 
 
+def check_shard_classes():
+    errors = []
+    corpus = ""
+    for name in ("sharding.md", "architecture.md"):
+        page = ROOT / "docs" / name
+        if not page.exists():
+            return [f"missing docs/{name}"]
+        corpus += page.read_text(encoding="utf-8")
+    for header in sorted((ROOT / "src" / "shard").glob("*.h")):
+        for cls in CLASS_RE.findall(header.read_text(encoding="utf-8")):
+            if cls not in corpus:
+                errors.append(
+                    f"src/shard/{header.name}: public class '{cls}' is not "
+                    f"mentioned in docs/sharding.md or docs/architecture.md"
+                )
+    return errors
+
+
 def main():
     errors = (check_links() + check_docs_reachable() + check_runtime_classes()
               + check_obs_classes() + check_sim_classes()
-              + check_fuzz_classes())
+              + check_fuzz_classes() + check_shard_classes())
     docs = len(doc_files())
     if errors:
         print(f"check_docs: {len(errors)} problem(s) across {docs} documents:")
@@ -163,7 +185,7 @@ def main():
             print(f"  - {err}")
         return 1
     print(f"check_docs: OK ({docs} documents, links resolve, no orphaned "
-          f"pages, runtime, obs, sim, and fuzz classes documented)")
+          f"pages, runtime, obs, sim, fuzz, and shard classes documented)")
     return 0
 
 
