@@ -732,7 +732,6 @@ void SbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
       auto [r, arrived] = std::move(pending_.front());
       pending_.pop_front();
       pending_keys_.erase({r.client, r.timestamp});
-      stats_.pending_wait_us += ctx.now() - arrived;
       h_pending_wait_->record(ctx.now() - arrived);
       ++stats_.proposed_requests;
       block.requests.push_back(std::move(r));
@@ -783,7 +782,10 @@ void SbftReplica::propose_block(Block block, sim::ActorContext& ctx) {
 void SbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
                                      sim::ActorContext& ctx) {
   if (in_view_change_ || m.view != view_ || retired_) return;
-  if (!from_replica(from, epoch().primary_of(m.view))) return;
+  // The proposer check is slot-scoped: the slot's epoch elects its primary
+  // (equal to the live epoch for every seq the window+wedge guards admit,
+  // but the routing must say so — lint:epoch_math).
+  if (!from_replica(from, epoch_for_seq(m.seq).primary_of(m.view))) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) {
     if (m.seq > ls() + opts_.config.win) arm_progress_timer(ctx);
     return;
@@ -1219,7 +1221,6 @@ void SbftReplica::commit(SeqNum s, const Digest& block_digest, bool fast,
   sl.committed_digest = block_digest;
   sl.commit_time = ctx.now();
   if (sl.pp_time >= 0) {
-    stats_.pp_to_commit_us += ctx.now() - sl.pp_time;
     h_pp_to_commit_->record(ctx.now() - sl.pp_time);
     ++stats_.timed_slots;
   }
@@ -1276,7 +1277,6 @@ void SbftReplica::execute_block(SeqNum s, sim::ActorContext& ctx) {
   Digest d = rec.cert.exec_digest();
 
   if (sl.commit_time >= 0) {
-    stats_.commit_to_exec_us += ctx.now() - sl.commit_time;
     h_commit_to_exec_->record(ctx.now() - sl.commit_time);
   }
   trace_.end(ctx.now(), obs::Category::kSlot, obs::ev::kSlot,
@@ -1412,7 +1412,6 @@ void SbftReplica::send_execute_acks(SeqNum s, sim::ActorContext& ctx) {
   if (rec_ptr == nullptr) return;
   const runtime::ExecutionRecord& rec = *rec_ptr;
   if (rec.leaves.empty()) return;
-  stats_.exec_to_ack_us += ctx.now() - rec.executed_at;
   h_exec_to_ack_->record(ctx.now() - rec.executed_at);
   ++stats_.acked_blocks;
   trace_.instant(ctx.now(), obs::Category::kSlot, obs::ev::kExecAcks, 0, s,

@@ -92,15 +92,13 @@ struct ReplicaStats : runtime::RuntimeStats {
   uint64_t slow_commits = 0;
   uint64_t view_changes = 0;
   uint64_t invalid_shares_seen = 0;
-  // Phase timing (sums over this replica's slots, microseconds). Per-stage
-  // distributions live in the metrics registry's "stage.*" histograms.
-  int64_t pp_to_commit_us = 0;    // pre-prepare accept -> commit
-  int64_t commit_to_exec_us = 0;  // commit -> execution
-  uint64_t timed_slots = 0;
-  int64_t pending_wait_us = 0;    // primary: request arrival -> proposal
-  uint64_t proposed_requests = 0;
-  int64_t exec_to_ack_us = 0;     // E-collector: own execution -> acks sent
-  uint64_t acked_blocks = 0;
+  // Phase timing lives in the metrics registry's "stage.*" histograms
+  // (pp_to_commit/commit_to_exec/pending_wait/exec_to_ack); the raw
+  // per-replica sums that used to sit here were dead weight the counter lint
+  // flagged — they were accumulated but never exported anywhere.
+  uint64_t timed_slots = 0;        // slots with a pp->commit measurement
+  uint64_t proposed_requests = 0;  // primary: requests batched into blocks
+  uint64_t acked_blocks = 0;       // E-collector: blocks acked to clients
   uint64_t buffered_pi_shares = 0;
   // Primary: empty blocks proposed to drive an idle cluster across a pending
   // reconfiguration's activation checkpoint boundary.

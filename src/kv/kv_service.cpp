@@ -112,6 +112,10 @@ Bytes KvService::execute(ByteSpan op) {
       erase(as_span(decoded->key));
       return to_bytes("OK");
     }
+    case OpType::kBatch:
+      // Unreachable: batches are unpacked above and decode_op rejects the
+      // batch tag, but the case keeps -Wswitch exhaustive.
+      break;
   }
   return to_bytes("ERR:unknown");
 }

@@ -10,8 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
@@ -99,19 +99,18 @@ class SparseMerkleTree {
   struct NodeKey {
     int level;       // 0 = leaf level, kDepth = root
     uint64_t index;  // node index within the level
-    bool operator==(const NodeKey&) const = default;
-  };
-  struct NodeKeyHash {
-    size_t operator()(const NodeKey& k) const noexcept {
-      return std::hash<uint64_t>()(k.index * 131 + static_cast<uint64_t>(k.level));
-    }
+    auto operator<=>(const NodeKey&) const = default;
   };
 
   Digest node(int level, uint64_t index) const;
   static const std::vector<Digest>& default_hashes();
 
-  std::unordered_map<NodeKey, Digest, NodeKeyHash> nodes_;
-  std::unordered_map<uint64_t, Digest> leaves_;
+  // Ordered maps, not hash maps: the state root these trees produce flows
+  // into checkpoint certificates and snapshots, so no container here may
+  // expose hash-seed-dependent iteration order (lint:determinism). Lookups
+  // are point-addressed; ordering also makes a future ranged diff trivial.
+  std::map<NodeKey, Digest> nodes_;
+  std::map<uint64_t, Digest> leaves_;
   Digest root_;
 };
 

@@ -496,7 +496,10 @@ void PbftReplica::try_propose(sim::ActorContext& ctx, bool flush_partial) {
 void PbftReplica::handle_pre_prepare(NodeId from, const PrePrepareMsg& m,
                                      sim::ActorContext& ctx) {
   if (in_view_change_ || m.view != view_ || retired_) return;
-  if (from != node_of(epoch().primary_of(m.view))) return;
+  // Slot-scoped proposer check: the slot's epoch elects its primary
+  // (lint:epoch_math), even though the window+wedge guards below keep every
+  // admitted seq inside the live epoch.
+  if (from != node_of(epoch_for_seq(m.seq).primary_of(m.view))) return;
   if (m.seq <= ls() || m.seq > ls() + opts_.config.win) return;
   if (SeqNum gate = reconfig_gate(); gate > 0 && m.seq > gate) return;
   Slot& sl = slots_[m.seq];

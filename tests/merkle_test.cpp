@@ -171,6 +171,39 @@ TEST(Smt, ProofEncodingRoundTrip) {
                                        leaf_hash(as_span("val-7")), *decoded));
 }
 
+TEST(Smt, PermutedUpdateOrderByteIdenticalProofs) {
+  // Regression for the lint:determinism conversion of the tree's node and
+  // leaf containers to std::map (merkle_tree.h): the root is the replicas'
+  // state digest, so neither it nor any encoded proof may depend on the
+  // order state arrived in — or on a hash seed the old unordered containers
+  // would have smuggled in.
+  std::vector<std::pair<std::string, Digest>> updates;
+  for (int i = 0; i < 64; ++i) {
+    updates.emplace_back("key-" + std::to_string(i),
+                         leaf_hash(as_span(to_bytes("val-" + std::to_string(i)))));
+  }
+  auto build = [&](uint64_t shuffle_seed) {
+    auto shuffled = updates;
+    Rng rng(shuffle_seed);
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    }
+    SparseMerkleTree t;
+    for (const auto& [k, leaf] : shuffled) t.update(as_span(k), leaf);
+    return t;
+  };
+  SparseMerkleTree a = build(1);
+  SparseMerkleTree b = build(2);
+  SparseMerkleTree c = build(3);
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.root(), c.root());
+  for (const auto& [k, leaf] : updates) {
+    Bytes proof_a = a.prove(as_span(k)).encode();
+    EXPECT_EQ(proof_a, b.prove(as_span(k)).encode()) << k;
+    EXPECT_EQ(proof_a, c.prove(as_span(k)).encode()) << k;
+  }
+}
+
 TEST(Smt, RandomizedAgainstReference) {
   SparseMerkleTree t;
   std::map<std::string, Digest> reference;

@@ -414,6 +414,46 @@ TEST(Messages, TypeNamesDistinct) {
   EXPECT_STREQ(message_type_name(Message(ReconfigBlockMsg{})), "reconfig-block");
 }
 
+// ---------------------------------------------------------------------------
+// Auto-derived exhaustiveness over the Message variant (lint:wire_format).
+// The loop below is instantiated per alternative at compile time, so a new
+// wire type added to the variant is covered the moment it exists — its tag
+// must be unique across all message types and a default-constructed instance
+// must survive encode -> decode -> re-encode byte-identically. Populated
+// round-trips live in the named tests above; this one guarantees no type can
+// ship with no serde coverage at all.
+
+template <size_t I = 0>
+void visit_all_wire_messages(std::map<uint8_t, std::string>* tags) {
+  if constexpr (I < std::variant_size_v<Message>) {
+    using Alt = std::variant_alternative_t<I, Message>;
+    Message msg{Alt{}};
+    const char* name = message_type_name(msg);
+    Bytes encoded = encode_message(msg);
+    EXPECT_FALSE(encoded.empty()) << name;
+    if (!encoded.empty()) {
+      auto [it, inserted] = tags->emplace(encoded[0], name);
+      EXPECT_TRUE(inserted) << "duplicate wire tag " << int{encoded[0]}
+                            << ": " << it->second << " vs " << name;
+      EXPECT_EQ(encoded.size(), message_wire_size(msg)) << name;
+      auto decoded = decode_message(as_span(encoded));
+      if (!decoded.has_value()) {
+        ADD_FAILURE() << name << ": default instance does not decode";
+      } else {
+        EXPECT_EQ(decoded->index(), I) << name;
+        EXPECT_EQ(encode_message(*decoded), encoded) << name;
+      }
+    }
+    visit_all_wire_messages<I + 1>(tags);
+  }
+}
+
+TEST(Messages, AllWireMessagesHaveUniqueTagsAndRoundTrip) {
+  std::map<uint8_t, std::string> tags;
+  visit_all_wire_messages(&tags);
+  EXPECT_EQ(tags.size(), std::variant_size_v<Message>);
+}
+
 TEST(Messages, FuzzDecodeDoesNotCrash) {
   Rng fuzz(123);
   for (int i = 0; i < 2000; ++i) {

@@ -24,6 +24,10 @@
    docs/sharding.md or docs/architecture.md — the multi-group deployment
    and its BFT 2PC are a protocol surface of their own, so it must stay
    documented.
+8. Every lint check registered in tools/lint/bft_lint.py (the CHECKS
+   registry) appears by name in docs/static_analysis.md — the lint suite
+   encodes protocol invariants, so adding a check without documenting what
+   it enforces (and its allowlist policy) fails here.
 
 Exits non-zero with a summary of every violation.
 """
@@ -174,10 +178,34 @@ def check_shard_classes():
     return errors
 
 
+def check_lint_checks_documented():
+    """Every check in tools/lint/bft_lint.py's CHECKS registry is documented."""
+    lint = ROOT / "tools" / "lint" / "bft_lint.py"
+    page = ROOT / "docs" / "static_analysis.md"
+    if not lint.exists():
+        return [f"missing {lint.relative_to(ROOT)}"]
+    if not page.exists():
+        return ["missing docs/static_analysis.md"]
+    registry = re.search(r"CHECKS\s*=\s*\{(.*?)\}", lint.read_text(
+        encoding="utf-8"), re.DOTALL)
+    if not registry:
+        return ["tools/lint/bft_lint.py: CHECKS registry not found"]
+    names = re.findall(r"\"(\w+)\"\s*:", registry.group(1))
+    if not names:
+        return ["tools/lint/bft_lint.py: CHECKS registry is empty"]
+    text = page.read_text(encoding="utf-8")
+    return [
+        f"tools/lint/bft_lint.py: lint check '{name}' is not documented in "
+        f"docs/static_analysis.md"
+        for name in names if f"`{name}`" not in text
+    ]
+
+
 def main():
     errors = (check_links() + check_docs_reachable() + check_runtime_classes()
               + check_obs_classes() + check_sim_classes()
-              + check_fuzz_classes() + check_shard_classes())
+              + check_fuzz_classes() + check_shard_classes()
+              + check_lint_checks_documented())
     docs = len(doc_files())
     if errors:
         print(f"check_docs: {len(errors)} problem(s) across {docs} documents:")
@@ -185,7 +213,8 @@ def main():
             print(f"  - {err}")
         return 1
     print(f"check_docs: OK ({docs} documents, links resolve, no orphaned "
-          f"pages, runtime, obs, sim, fuzz, and shard classes documented)")
+          f"pages, runtime, obs, sim, fuzz, and shard classes documented, "
+          f"lint checks documented)")
     return 0
 
 

@@ -1,81 +1,23 @@
 #!/usr/bin/env python3
-"""Randomness-discipline audit for the schedule fuzzer (CI docs job).
+"""Randomness-discipline audit — compatibility shim.
 
-Every stochastic choice in the fuzz pipeline must flow from the single 64-bit
-campaign seed through the repo's deterministic common::Rng — that is what
-makes `generate(seed)` a pure function, repro files replayable, and
-`ctest -L fuzz` stable. This check greps src/fuzz/ for ambient entropy and
-wall-clock sources that would silently break that contract:
+The src/fuzz-only audit this script used to run has been generalized to all
+of src/ as the `entropy` check of the BFT lint suite (tools/lint/bft_lint.py,
+docs/static_analysis.md). Every stochastic choice anywhere in the simulated
+system must flow from a seed through common::Rng; scoped exceptions live in
+tools/lint/allowlists/entropy.allow with per-entry justifications.
 
-  * C / C++ RNGs seeded outside the schedule seed: rand(), srand(),
-    <random> (std::mt19937, std::random_device, distributions), /dev/urandom.
-  * Time as entropy: time(), clock(), gettimeofday, std::chrono clocks.
-
-One scoped exception: campaign.cpp may read std::chrono::steady_clock for the
---duration wall-clock budget. That decides *how many* seeds run, never what
-any schedule contains — each seed's schedule and verdict stay deterministic.
-
-Exits non-zero listing every offending file:line.
+This shim keeps the historical entry point (CI docs job, docs/fuzzing.md)
+working by delegating to `bft_lint.py --check entropy`.
 """
-import re
+import runpy
 import sys
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
-FUZZ_DIR = ROOT / "src" / "fuzz"
-
-FORBIDDEN = [
-    (re.compile(r"\bsrand\s*\("), "srand() seeds the libc RNG"),
-    (re.compile(r"(?<![\w:])rand\s*\("), "rand() draws from ambient state"),
-    (re.compile(r"#\s*include\s*<random>"), "<random> engines bypass the seed"),
-    (re.compile(r"\bstd::(mt19937|minstd_rand|default_random_engine|"
-                r"random_device|uniform_int_distribution|"
-                r"uniform_real_distribution|bernoulli_distribution)\b"),
-     "std <random> machinery bypasses common::Rng"),
-    (re.compile(r"/dev/u?random"), "kernel entropy is not replayable"),
-    (re.compile(r"(?<![\w:])time\s*\(|\bgettimeofday\b|\bclock\s*\("),
-     "wall-clock time as input"),
-    (re.compile(r"std::chrono::(system_clock|high_resolution_clock|"
-                r"steady_clock)"), "chrono clock as input"),
+sys.argv = [
+    "bft_lint.py", "--check", "entropy",
+    "--root", str(Path(__file__).resolve().parent.parent),
 ]
-
-# campaign.cpp's --duration budget may poll steady_clock: it bounds how many
-# seeds run, not what any schedule contains.
-ALLOWED = {("campaign.cpp", "std::chrono::steady_clock")}
-
-
-def main():
-    sources = sorted(
-        list(FUZZ_DIR.glob("*.h")) + list(FUZZ_DIR.glob("*.cpp")))
-    if not sources:
-        print(f"check_randomness: no sources under {FUZZ_DIR} — "
-              f"did src/fuzz move?")
-        return 1
-    errors = []
-    for source in sources:
-        for lineno, line in enumerate(
-                source.read_text(encoding="utf-8").splitlines(), start=1):
-            code = line.split("//", 1)[0]  # comments may name the offenders
-            for pattern, why in FORBIDDEN:
-                match = pattern.search(code)
-                if not match:
-                    continue
-                if (source.name, match.group(0)) in ALLOWED:
-                    continue
-                errors.append(
-                    f"src/fuzz/{source.name}:{lineno}: {why} "
-                    f"[{match.group(0).strip()}]")
-    if errors:
-        print(f"check_randomness: {len(errors)} ambient-entropy use(s) in "
-              f"src/fuzz — every draw must flow from the campaign seed "
-              f"through common::Rng:")
-        for err in errors:
-            print(f"  - {err}")
-        return 1
-    print(f"check_randomness: OK ({len(sources)} files — all fuzz "
-          f"randomness flows from the campaign seed)")
-    return 0
-
-
-if __name__ == "__main__":
-    sys.exit(main())
+runpy.run_path(
+    str(Path(__file__).resolve().parent / "lint" / "bft_lint.py"),
+    run_name="__main__")
